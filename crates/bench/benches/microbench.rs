@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for the core kernels: compositing, warp,
+//! run-length encoding, prefix sums, partition search, and the ray-casting
+//! baseline. These complement the figure binaries (which measure simulated
+//! multiprocessor cycles) with host wall-clock numbers for the serial
+//! building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swr_bench::{build_dataset, view_at};
+use swr_core::{balanced_contiguous, parallel_prefix_sum, prefix_sum};
+use swr_geom::Factorization;
+use swr_raycast::RayCaster;
+use swr_render::{warp_full, FinalImage, NullTracer, SerialRenderer};
+use swr_volume::{classify, EncodedVolume, Phantom};
+
+fn bench_composite_frame(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composite_frame");
+    for base in [24usize, 48] {
+        let enc = build_dataset(Phantom::MriBrain, base);
+        let view = view_at(enc.dims(), 30.0);
+        g.bench_with_input(BenchmarkId::from_parameter(base), &base, |b, _| {
+            let mut r = SerialRenderer::new();
+            b.iter(|| r.render(&enc, &view));
+        });
+    }
+    g.finish();
+}
+
+fn bench_warp(c: &mut Criterion) {
+    let enc = build_dataset(Phantom::MriBrain, 48);
+    let view = view_at(enc.dims(), 30.0);
+    let fact = Factorization::from_view(&view);
+    // Composite once, then bench the warp alone.
+    let mut renderer = SerialRenderer::new();
+    let _ = renderer.render(&enc, &view);
+    let mut inter = swr_render::IntermediateImage::new(fact.inter_w, fact.inter_h);
+    let rle = enc.for_axis(fact.principal);
+    let opts = swr_render::CompositeOpts::default();
+    let mut t = NullTracer;
+    for y in 0..fact.inter_h {
+        let mut row = inter.row_view(y);
+        for m in 0..fact.slice_count() {
+            let k = fact.slice_for_step(m);
+            swr_render::composite_scanline_slice(rle, &fact, &mut row, k, &opts, &mut t);
+        }
+    }
+    c.bench_function("warp_full_48", |b| {
+        let mut out = FinalImage::new(fact.final_w, fact.final_h);
+        b.iter(|| {
+            out.clear();
+            warp_full(&inter, &fact, &mut out, &mut NullTracer)
+        });
+    });
+}
+
+fn bench_rle_encode(c: &mut Criterion) {
+    let vol = Phantom::MriBrain.generate(Phantom::MriBrain.paper_dims(48), 42);
+    let classified = classify(&vol, &Phantom::MriBrain.default_transfer());
+    c.bench_function("rle_encode_48", |b| {
+        b.iter(|| EncodedVolume::encode(&classified));
+    });
+}
+
+fn bench_classification(c: &mut Criterion) {
+    use swr_volume::{classify_fast, classify_with_field, GradientField};
+    let vol = Phantom::MriBrain.generate(Phantom::MriBrain.paper_dims(48), 42);
+    let tf = Phantom::MriBrain.default_transfer();
+    let mut g = c.benchmark_group("classification_48");
+    g.bench_function("full", |b| b.iter(|| classify(&vol, &tf)));
+    g.bench_function("minmax_fast", |b| b.iter(|| classify_fast(&vol, &tf)));
+    let field = GradientField::compute(&vol);
+    g.bench_function("relight_from_field", |b| {
+        b.iter(|| classify_with_field(&vol, &field, &tf))
+    });
+    g.finish();
+}
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let v: Vec<u64> = (0..100_000u64).map(|i| i % 977).collect();
+    c.bench_function("prefix_sum_serial_100k", |b| b.iter(|| prefix_sum(&v)));
+    c.bench_function("prefix_sum_parallel_100k", |b| {
+        b.iter(|| parallel_prefix_sum(&v, 4))
+    });
+}
+
+fn bench_partition_search(c: &mut Criterion) {
+    let profile: Vec<u64> = (0..4096u64).map(|i| (i * 31) % 257).collect();
+    c.bench_function("balanced_partition_4096x32", |b| {
+        b.iter(|| balanced_contiguous(0..4096, &profile, 32))
+    });
+}
+
+fn bench_raycast(c: &mut Criterion) {
+    let vol = Phantom::MriBrain.generate(Phantom::MriBrain.paper_dims(24), 42);
+    let classified = classify(&vol, &Phantom::MriBrain.default_transfer());
+    let view = view_at(vol.dims(), 30.0);
+    c.bench_function("raycast_frame_24", |b| {
+        let rc = RayCaster::new(&classified);
+        b.iter(|| rc.render(&view));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_composite_frame,
+        bench_warp,
+        bench_rle_encode,
+        bench_classification,
+        bench_prefix_sum,
+        bench_partition_search,
+        bench_raycast
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Minimal command-line parsing shared by the figure binaries.
+//!
+//! Supported flags (all optional):
+//!
+//! * `--base N` — base resolution (replaces the figure's default tier(s)).
+//! * `--procs a,b,c` — processor counts to sweep.
+//! * `--angle D` — view angle in degrees.
+//! * `--warmup N` — steady-state warm-up frames before measuring.
+//! * `--chunk N` — compositing chunk rows (task/steal unit).
+//! * `--csv` — machine-readable output.
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Base resolution override.
+    pub base: Option<usize>,
+    /// Processor-count sweep override.
+    pub procs: Option<Vec<usize>>,
+    /// View angle (degrees).
+    pub angle: f64,
+    /// Steady-state warm-up frames.
+    pub warmup: usize,
+    /// Chunk size override.
+    pub chunk: Option<usize>,
+    /// Emit CSV instead of aligned tables.
+    pub csv: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            base: None,
+            procs: None,
+            angle: 30.0,
+            warmup: 1,
+            chunk: None,
+            csv: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`, panicking with a usage message on
+    /// malformed input.
+    pub fn parse() -> Args {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--base" => out.base = Some(value("--base").parse().expect("--base: integer")),
+                "--procs" => {
+                    out.procs = Some(
+                        value("--procs")
+                            .split(',')
+                            .map(|s| s.trim().parse().expect("--procs: integers"))
+                            .collect(),
+                    )
+                }
+                "--angle" => out.angle = value("--angle").parse().expect("--angle: number"),
+                "--warmup" => out.warmup = value("--warmup").parse().expect("--warmup: integer"),
+                "--chunk" => out.chunk = Some(value("--chunk").parse().expect("--chunk: integer")),
+                "--csv" => out.csv = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --base N  --procs a,b,c  --angle D  --warmup N  --chunk N  --csv"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Processor counts to sweep, with a figure-specific default.
+    pub fn procs_or(&self, default: &[usize]) -> Vec<usize> {
+        self.procs.clone().unwrap_or_else(|| default.to_vec())
+    }
+
+    /// Base size with a figure-specific default.
+    pub fn base_or(&self, default: usize) -> usize {
+        self.base.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse_from(s(&[]));
+        assert_eq!(a.base, None);
+        assert_eq!(a.angle, 30.0);
+        assert_eq!(a.warmup, 1);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = Args::parse_from(s(&[
+            "--base", "96", "--procs", "1,2,4", "--angle", "45", "--warmup", "2", "--chunk",
+            "8", "--csv",
+        ]));
+        assert_eq!(a.base, Some(96));
+        assert_eq!(a.procs, Some(vec![1, 2, 4]));
+        assert_eq!(a.angle, 45.0);
+        assert_eq!(a.warmup, 2);
+        assert_eq!(a.chunk, Some(8));
+        assert!(a.csv);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        let _ = Args::parse_from(s(&["--bogus"]));
+    }
+}

@@ -1,0 +1,6 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+
+fn main() {
+    let args = swr_bench::Args::parse();
+    swr_bench::ablations(&args);
+}

@@ -1,0 +1,6 @@
+//! Bonus exhibit: simulated animation with the new algorithm (§4.2 cadence).
+
+fn main() {
+    let args = swr_bench::Args::parse();
+    swr_bench::bonus_animation(&args);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the data of the paper's Figure 22. See `swr_bench::figs`.
+
+fn main() {
+    let args = swr_bench::Args::parse();
+    swr_bench::fig22(&args);
+}

@@ -1,0 +1,35 @@
+//! Runs every figure harness in order (the full evaluation sweep).
+
+type FigFn = fn(&swr_bench::Args);
+
+fn main() {
+    let args = swr_bench::Args::parse();
+    let figs: &[(&str, FigFn)] = &[
+        ("fig02", swr_bench::fig02),
+        ("fig04", swr_bench::fig04),
+        ("fig05", swr_bench::fig05),
+        ("fig06", swr_bench::fig06),
+        ("fig07", swr_bench::fig07),
+        ("fig08", swr_bench::fig08),
+        ("fig09", swr_bench::fig09),
+        ("fig10", swr_bench::fig10),
+        ("fig12", swr_bench::fig12),
+        ("fig13", swr_bench::fig13),
+        ("fig14", swr_bench::fig14),
+        ("fig15", swr_bench::fig15),
+        ("fig16", swr_bench::fig16),
+        ("fig17", swr_bench::fig17),
+        ("fig18", swr_bench::fig18),
+        ("fig19", swr_bench::fig19),
+        ("fig20", swr_bench::fig20),
+        ("fig21", swr_bench::fig21),
+        ("fig22", swr_bench::fig22),
+        ("ablations", swr_bench::ablations),
+        ("bonus_animation", swr_bench::bonus_animation),
+    ];
+    for (name, f) in figs {
+        let t0 = std::time::Instant::now();
+        f(&args);
+        eprintln!("[{name} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,282 @@
+//! High-level experiment drivers shared by the figure binaries.
+
+use crate::{view_at, FRAME_STEP_DEG};
+use swr_core::{capture_frame, CaptureConfig, CapturedFrame};
+use swr_memsim::{
+    replay_steady, replay_svm_steady, FrameWorkload, MissCounts, Platform, SimResult,
+    SvmConfig, SvmResult,
+};
+use swr_volume::EncodedVolume;
+
+/// Which parallel algorithm a capture represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alg {
+    /// §3.1: interleaved chunks + barrier + tiled warp.
+    Old,
+    /// §4: profiled contiguous partitions + band warp, no barrier.
+    New,
+}
+
+impl Alg {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Alg::Old => "old",
+            Alg::New => "new",
+        }
+    }
+}
+
+/// Linearly rescales a per-scanline profile to a different intermediate
+/// image height (successive animation frames differ by a pixel or two).
+pub fn fit_profile(profile: &[u64], h: usize) -> Vec<u64> {
+    if profile.len() == h {
+        return profile.to_vec();
+    }
+    if profile.is_empty() || h == 0 {
+        return vec![0; h];
+    }
+    let n = profile.len();
+    (0..h)
+        .map(|y| {
+            let src = y as f64 * n as f64 / h as f64;
+            let i = (src as usize).min(n - 1);
+            profile[i]
+        })
+        .collect()
+}
+
+/// A captured frame for one algorithm, ready to assemble per-P workloads.
+pub struct AlgCapture {
+    /// The algorithm.
+    pub alg: Alg,
+    /// The captured frame at the target angle.
+    pub frame: CapturedFrame,
+    /// Prediction profile (previous animation frame's measurement), fitted
+    /// to this frame's intermediate height. Empty for the old algorithm.
+    pub profile: Vec<u64>,
+}
+
+impl AlgCapture {
+    /// Captures the target frame for `alg`. For the new algorithm this also
+    /// renders the *previous* animation frame (angle − Δ) to obtain the
+    /// prediction profile, exactly as the animation loop would.
+    pub fn capture(alg: Alg, enc: &EncodedVolume, angle: f64, cfg: &CaptureConfig) -> Self {
+        let dims = enc.dims();
+        match alg {
+            Alg::Old => {
+                let frame = capture_frame(enc, &view_at(dims, angle), cfg, false, false);
+                AlgCapture { alg, frame, profile: Vec::new() }
+            }
+            Alg::New => {
+                let prev =
+                    capture_frame(enc, &view_at(dims, angle - FRAME_STEP_DEG), cfg, true, false);
+                let frame = capture_frame(enc, &view_at(dims, angle), cfg, true, false);
+                let profile = fit_profile(&prev.profile, frame.factorization().inter_h);
+                AlgCapture { alg, frame, profile }
+            }
+        }
+    }
+
+    /// Assembles the workload for `nprocs` processors.
+    pub fn workload(&mut self, nprocs: usize) -> FrameWorkload {
+        match self.alg {
+            Alg::Old => self.frame.old_workload(nprocs),
+            Alg::New => {
+                let profile = self.profile.clone();
+                self.frame.new_workload(nprocs, &profile)
+            }
+        }
+    }
+}
+
+/// One point of a speedup curve.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupPoint {
+    pub procs: usize,
+    pub cycles: u64,
+    pub speedup: f64,
+}
+
+/// Steady-state speedup curve on a hardware-coherent platform.
+pub fn speedup_series(
+    cap: &mut AlgCapture,
+    platform: &Platform,
+    procs: &[usize],
+    warmup: usize,
+) -> Vec<SpeedupPoint> {
+    let w1 = cap.workload(1);
+    let t1 = replay_steady(platform, &w1, warmup).total_cycles.max(1);
+    procs
+        .iter()
+        .map(|&p| {
+            let cycles = replay_steady(platform, &cap.workload(p), warmup)
+                .total_cycles
+                .max(1);
+            SpeedupPoint {
+                procs: p,
+                cycles,
+                speedup: t1 as f64 / cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// Steady-state execution breakdown on a hardware-coherent platform.
+pub fn breakdown_at(
+    cap: &mut AlgCapture,
+    platform: &Platform,
+    procs: usize,
+    warmup: usize,
+) -> SimResult {
+    replay_steady(platform, &cap.workload(procs), warmup)
+}
+
+/// Steady-state speedup curve on the SVM platform.
+pub fn svm_speedup_series(
+    cap: &mut AlgCapture,
+    cfg: &SvmConfig,
+    procs: &[usize],
+    warmup: usize,
+) -> Vec<SpeedupPoint> {
+    let t1 = replay_svm_steady(cfg, &cap.workload(1), warmup)
+        .total_cycles
+        .max(1);
+    procs
+        .iter()
+        .map(|&p| {
+            let cycles = replay_svm_steady(cfg, &cap.workload(p), warmup)
+                .total_cycles
+                .max(1);
+            SpeedupPoint {
+                procs: p,
+                cycles,
+                speedup: t1 as f64 / cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// Steady-state SVM breakdown.
+pub fn svm_breakdown_at(
+    cap: &mut AlgCapture,
+    cfg: &SvmConfig,
+    procs: usize,
+    warmup: usize,
+) -> SvmResult {
+    replay_svm_steady(cfg, &cap.workload(procs), warmup)
+}
+
+/// Miss-rate / miss-class curve versus per-processor cache size (the
+/// working-set methodology of §3.4.4): same workload, caches from `sizes`.
+pub fn cache_size_curve(
+    cap: &mut AlgCapture,
+    base: &Platform,
+    procs: usize,
+    sizes: &[usize],
+    warmup: usize,
+) -> Vec<(usize, MissCounts, u64)> {
+    let wl = cap.workload(procs);
+    sizes
+        .iter()
+        .map(|&s| {
+            let platform = base.with_cache_size(s);
+            let r = replay_steady(&platform, &wl, warmup);
+            (s, r.misses, r.accesses)
+        })
+        .collect()
+}
+
+/// Miss-class curve versus cache-line size (the spatial-locality
+/// methodology of §3.4.3).
+pub fn line_size_curve(
+    cap: &mut AlgCapture,
+    base: &Platform,
+    procs: usize,
+    lines: &[usize],
+    warmup: usize,
+) -> Vec<(usize, MissCounts, u64)> {
+    let wl = cap.workload(procs);
+    lines
+        .iter()
+        .map(|&l| {
+            let platform = base.with_line_size(l);
+            let r = replay_steady(&platform, &wl, warmup);
+            (l, r.misses, r.accesses)
+        })
+        .collect()
+}
+
+/// Formats a miss-count breakdown as per-1000-references rates:
+/// `[total, cold, replacement, true sharing, false sharing]`.
+pub fn miss_row(m: &MissCounts, accesses: u64) -> Vec<String> {
+    let a = accesses.max(1) as f64;
+    [
+        m.total() as f64,
+        m.cold as f64,
+        m.replacement() as f64,
+        m.true_sharing as f64,
+        m.false_sharing as f64,
+    ]
+    .iter()
+    .map(|&x| crate::per_k(x / a))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_dataset;
+    use swr_volume::Phantom;
+
+    fn tiny() -> EncodedVolume {
+        build_dataset(Phantom::MriBrain, 32)
+    }
+
+    #[test]
+    fn fit_profile_identity_and_rescale() {
+        let p = vec![1u64, 2, 3, 4];
+        assert_eq!(fit_profile(&p, 4), p);
+        let up = fit_profile(&p, 8);
+        assert_eq!(up.len(), 8);
+        assert_eq!(up[0], 1);
+        assert_eq!(up[7], 4);
+        assert_eq!(fit_profile(&[], 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn speedup_series_monotone_enough() {
+        let enc = tiny();
+        let mut cap = AlgCapture::capture(Alg::New, &enc, 30.0, &CaptureConfig::default());
+        let pts = speedup_series(&mut cap, &Platform::ideal_dsm(), &[1, 2, 4], 1);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].speedup > 0.9 && pts[0].speedup < 1.1, "{:?}", pts[0]);
+        assert!(pts[2].speedup > 1.5, "{pts:?}");
+    }
+
+    #[test]
+    fn old_capture_has_no_profile() {
+        let enc = tiny();
+        let cap = AlgCapture::capture(Alg::Old, &enc, 30.0, &CaptureConfig::default());
+        assert!(cap.profile.is_empty());
+        assert_eq!(cap.alg.name(), "old");
+    }
+
+    #[test]
+    fn cache_size_curve_monotone() {
+        let enc = tiny();
+        let mut cap = AlgCapture::capture(Alg::Old, &enc, 30.0, &CaptureConfig::default());
+        let curve = cache_size_curve(
+            &mut cap,
+            &Platform::ideal_dsm(),
+            4,
+            &[2 << 10, 64 << 10, 1 << 20],
+            1,
+        );
+        // Miss counts must not increase with cache size (LRU inclusion-ish;
+        // allow tiny wobble from set-conflict edge cases).
+        let m0 = curve[0].1.total() as f64;
+        let m2 = curve[2].1.total() as f64;
+        assert!(m2 <= m0 * 1.05, "misses {m0} -> {m2}");
+    }
+}

@@ -1,0 +1,837 @@
+//! One function per data figure of the paper.
+//!
+//! Each function regenerates the corresponding figure's series as a printed
+//! table. The binaries in `src/bin/` are one-line wrappers; `run_all`
+//! executes everything in order. `EXPERIMENTS.md` records how each output
+//! compares with the paper.
+
+use crate::args::Args;
+use crate::exp::*;
+use crate::table::*;
+use crate::{build_dataset, view_at, PROC_COUNTS, SEED, SIZE_TIERS, TIER_NAMES};
+use swr_core::{capture_frame, CaptureConfig};
+use swr_memsim::{replay_steady, Platform, SimResult, SvmConfig, SvmResult};
+use swr_raycast::RayCaster;
+use swr_render::{CountingTracer, SerialRenderer};
+use swr_volume::{classify, ClassifiedVolume, Phantom};
+
+/// Builds the classified (pre-RLE) volume — needed by the ray caster.
+pub fn build_classified(phantom: Phantom, base: usize) -> ClassifiedVolume {
+    let vol = phantom.generate(phantom.paper_dims(base), SEED);
+    classify(&vol, &phantom.default_transfer())
+}
+
+fn capture_cfg(args: &Args) -> CaptureConfig {
+    CaptureConfig {
+        chunk_rows: args.chunk.unwrap_or(4),
+        ..Default::default()
+    }
+}
+
+fn breakdown_fracs(r: &SimResult) -> [f64; 4] {
+    let busy = r.busy_total() as f64;
+    let mem = r.mem_total() as f64;
+    let sync = r.sync_total() as f64;
+    let lock = r.lock_total() as f64;
+    let tot = (busy + mem + sync + lock).max(1.0);
+    [busy / tot, mem / tot, sync / tot, lock / tot]
+}
+
+fn svm_fracs(r: &SvmResult) -> [f64; 5] {
+    let c = r.compute_total() as f64;
+    let d = r.data_wait_total() as f64;
+    let b = r.barrier_total() as f64;
+    let l = r.lock_total() as f64;
+    let p = r.protocol_total() as f64;
+    let tot = (c + d + b + l + p).max(1.0);
+    [c / tot, d / tot, b / tot, l / tot, p / tot]
+}
+
+/// Figure 2: serial rendering-time breakdown, ray caster vs shear warper.
+pub fn fig02(args: &Args) {
+    let base = args.base_or(80);
+    let classified = build_classified(Phantom::MriBrain, base);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let view = view_at(classified.dims(), args.angle);
+
+    let mut rc_tracer = CountingTracer::default();
+    let rc = RayCaster::new(&classified);
+    let rc_t0 = std::time::Instant::now();
+    let _ = rc.render_traced(&view, &mut rc_tracer);
+    let rc_wall = rc_t0.elapsed().as_secs_f64();
+
+    let mut sw_tracer = CountingTracer::default();
+    let mut sw = SerialRenderer::new();
+    let sw_t0 = std::time::Instant::now();
+    let _ = sw.render_traced(&enc, &view, &mut sw_tracer);
+    let sw_wall = sw_t0.elapsed().as_secs_f64();
+
+    let row = |name: &str, t: &CountingTracer, wall: f64| {
+        let total = t.total_cycles().max(1) as f64;
+        vec![
+            name.to_string(),
+            format!("{:.2}", total / 1e6),
+            pct(t.traverse_cycles as f64 / total),
+            pct(t.composite_cycles as f64 / total),
+            pct(t.warp_cycles as f64 / total),
+            pct(t.other_cycles as f64 / total),
+            format!("{wall:.3}"),
+        ]
+    };
+    print_table(
+        &format!("Figure 2 — serial breakdown, MRI {base} base (paper: s-w ≈ 4-7x faster, r-c dominated by looping)"),
+        &["renderer", "Mcycles", "loop/traverse", "composite", "warp", "other", "wall s"],
+        &[
+            row("ray-cast", &rc_tracer, rc_wall),
+            row("shear-warp", &sw_tracer, sw_wall),
+        ],
+        args.csv,
+    );
+    let ratio = rc_tracer.total_cycles() as f64 / sw_tracer.total_cycles().max(1) as f64;
+    println!("modeled cycle ratio r-c/s-w = {ratio:.2} (wall {:.2})", rc_wall / sw_wall.max(1e-9));
+}
+
+/// Figure 4: old-algorithm speedups on Challenge / DASH / the simulator.
+pub fn fig04(args: &Args) {
+    let base = args.base_or(160);
+    let procs = args.procs_or(&PROC_COUNTS);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let platforms = [Platform::challenge(), Platform::dash(), Platform::ideal_dsm()];
+    let mut series = Vec::new();
+    for pf in &platforms {
+        let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
+        series.push(speedup_series(&mut cap, pf, &procs, args.warmup));
+    }
+    let rows: Vec<Vec<String>> = procs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let mut r = vec![p.to_string()];
+            for s in &series {
+                r.push(f2(s[i].speedup));
+            }
+            r
+        })
+        .collect();
+    print_table(
+        &format!("Figure 4 — old parallel shear-warp speedups, MRI large ({base} base)"),
+        &["procs", "Challenge", "DASH", "Simulator"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 5: old-algorithm cumulative-time breakdown vs processors.
+pub fn fig05(args: &Args) {
+    let base = args.base_or(160);
+    let procs = args.procs_or(&[1, 4, 8, 16, 32]);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let mut rows = Vec::new();
+    for pf in [Platform::dash(), Platform::ideal_dsm()] {
+        let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
+        for &p in &procs {
+            let r = breakdown_at(&mut cap, &pf, p, args.warmup);
+            let f = breakdown_fracs(&r);
+            rows.push(vec![
+                pf.name.to_string(),
+                p.to_string(),
+                pct(f[0]),
+                pct(f[1]),
+                pct(f[2]),
+                pct(f[3]),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Figure 5 — old algorithm time breakdown, MRI large ({base} base) (paper: memory stalls dominate at scale, ~50% on DASH@32)"),
+        &["platform", "procs", "busy", "memory", "sync", "lock"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 6: old-algorithm speedups across dataset sizes on DASH and
+/// Challenge.
+pub fn fig06(args: &Args) {
+    let procs = args.procs_or(&PROC_COUNTS);
+    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    for pf in [Platform::dash(), Platform::challenge()] {
+        let mut cols = Vec::new();
+        for &base in &tiers {
+            let enc = build_dataset(Phantom::MriBrain, base);
+            let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
+            cols.push(speedup_series(&mut cap, &pf, &procs, args.warmup));
+        }
+        let mut header = vec!["procs"];
+        let names: Vec<String> = tiers.iter().map(|b| format!("base{b}")).collect();
+        header.extend(names.iter().map(|s| s.as_str()));
+        let rows: Vec<Vec<String>> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let mut r = vec![p.to_string()];
+                for c in &cols {
+                    r.push(f2(c[i].speedup));
+                }
+                r
+            })
+            .collect();
+        print_table(
+            &format!("Figure 6 — old algorithm speedups per dataset size, {} (tiers {TIER_NAMES:?})", pf.name),
+            &header,
+            &rows,
+            args.csv,
+        );
+    }
+}
+
+/// Figure 7: miss-type breakdown vs processors (old, simulator).
+pub fn fig07(args: &Args) {
+    let base = args.base_or(160);
+    let procs = args.procs_or(&[2, 4, 8, 16, 32]);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let pf = Platform::ideal_dsm();
+    let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
+    let mut rows = Vec::new();
+    for &p in &procs {
+        let r = breakdown_at(&mut cap, &pf, p, args.warmup);
+        let mut row = vec![p.to_string()];
+        row.extend(miss_row(&r.misses, r.accesses));
+        row.push(pct(r.remote_fraction()));
+        row.push(format!("{}", r.network_bytes() / 1024));
+        rows.push(row);
+    }
+    print_table(
+        &format!("Figure 7 — old algorithm misses per 1000 refs vs procs, simulator ({base} base) (paper: true sharing grows to dominate)"),
+        &["procs", "total", "cold", "repl", "true-sh", "false-sh", "remote", "net KB"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 8: miss-type breakdown vs cache-line size (old, 32 procs).
+pub fn fig08(args: &Args) {
+    let base = args.base_or(160);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
+    let lines = [16usize, 32, 64, 128, 256, 512];
+    let curve = line_size_curve(&mut cap, &Platform::ideal_dsm(), 32, &lines, args.warmup);
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|(l, m, a)| {
+            let mut r = vec![l.to_string()];
+            r.extend(miss_row(m, *a));
+            r
+        })
+        .collect();
+    print_table(
+        &format!("Figure 8 — old algorithm misses per 1000 refs vs line size, 32 procs ({base} base) (paper: rates drop up to 256B, false sharing stays minor)"),
+        &["line B", "total", "cold", "repl", "true-sh", "false-sh"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 9: miss rate vs cache size per dataset (old algorithm working
+/// sets).
+pub fn fig09(args: &Args) {
+    let procs = 32;
+    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let sizes: Vec<usize> = (0..11).map(|i| 1024usize << i).collect(); // 1KB..1MB
+    let mut cols = Vec::new();
+    for &base in &tiers {
+        let enc = build_dataset(Phantom::MriBrain, base);
+        let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
+        cols.push(cache_size_curve(
+            &mut cap,
+            &Platform::ideal_dsm(),
+            procs,
+            &sizes,
+            args.warmup,
+        ));
+    }
+    let names: Vec<String> = tiers.iter().map(|b| format!("base{b}")).collect();
+    let mut header = vec!["cache"];
+    header.extend(names.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut r = vec![format!("{}K", s / 1024)];
+            for c in &cols {
+                let (_, m, a) = &c[i];
+                r.push(per_k(m.total() as f64 / (*a).max(1) as f64));
+            }
+            r
+        })
+        .collect();
+    print_table(
+        "Figure 9 — old algorithm miss rate (per 1000 refs) vs cache size, 32 procs (paper: working set grows ~n², independent of procs)",
+        &header,
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 10: the per-scanline work profile of one frame.
+pub fn fig10(args: &Args) {
+    let base = args.base_or(80);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let view = view_at(enc.dims(), args.angle);
+    let mut renderer = SerialRenderer::new();
+    let mut profile = Vec::new();
+    let mut tracer = swr_render::NullTracer;
+    let _ = renderer.render_profiled(&enc, &view, &mut tracer, &mut profile);
+    let peak = *profile.iter().max().unwrap_or(&1) as f64;
+    let h = profile.len();
+    println!("\n== Figure 10 — per-scanline compositing work profile (intermediate image {h} scanlines) ==");
+    let first = profile.iter().position(|&w| w > 0).unwrap_or(0);
+    let last = profile.iter().rposition(|&w| w > 0).unwrap_or(0);
+    println!("occupied band: scanlines {first}..{last} ({} of {h} empty — the §4.2 clipping opportunity)", h - (last - first + 1));
+    let step = (h / 40).max(1);
+    let mut rows = Vec::new();
+    for y in (0..h).step_by(step) {
+        let w = profile[y];
+        let bar = "#".repeat((w as f64 / peak * 50.0).round() as usize);
+        rows.push(vec![y.to_string(), w.to_string(), bar]);
+    }
+    print_table("scanline work (sampled)", &["y", "work", "profile"], &rows, args.csv);
+}
+
+fn compare_speedups(
+    title: &str,
+    phantom: Phantom,
+    platform: &Platform,
+    args: &Args,
+) {
+    let procs = args.procs_or(&PROC_COUNTS);
+    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let mut cols = Vec::new();
+    let mut names = Vec::new();
+    for &base in &tiers {
+        let enc = build_dataset(phantom, base);
+        for alg in [Alg::Old, Alg::New] {
+            let mut cap = AlgCapture::capture(alg, &enc, args.angle, &capture_cfg(args));
+            cols.push(speedup_series(&mut cap, platform, &procs, args.warmup));
+            names.push(format!("{}-{}", alg.name(), base));
+        }
+    }
+    let mut header = vec!["procs"];
+    header.extend(names.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = procs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let mut r = vec![p.to_string()];
+            for c in &cols {
+                r.push(f2(c[i].speedup));
+            }
+            r
+        })
+        .collect();
+    print_table(title, &header, &rows, args.csv);
+}
+
+/// Figure 12: old vs new speedups, MRI datasets, DASH.
+pub fn fig12(args: &Args) {
+    compare_speedups(
+        "Figure 12 — old vs new speedups, MRI datasets, DASH (paper: new wins, more at scale)",
+        Phantom::MriBrain,
+        &Platform::dash(),
+        args,
+    );
+}
+
+/// Figure 13: old vs new speedups, MRI datasets, the simulator.
+pub fn fig13(args: &Args) {
+    compare_speedups(
+        "Figure 13 — old vs new speedups, MRI datasets, simulator",
+        Phantom::MriBrain,
+        &Platform::ideal_dsm(),
+        args,
+    );
+}
+
+/// Figure 14: old vs new cumulative-time breakdowns on DASH + simulator.
+pub fn fig14(args: &Args) {
+    let base = args.base_or(160);
+    let procs = args.procs_or(&[1, 4, 8, 16, 32]);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let mut rows = Vec::new();
+    for pf in [Platform::dash(), Platform::ideal_dsm()] {
+        for alg in [Alg::Old, Alg::New] {
+            let mut cap = AlgCapture::capture(alg, &enc, args.angle, &capture_cfg(args));
+            for &p in &procs {
+                let r = breakdown_at(&mut cap, &pf, p, args.warmup);
+                let f = breakdown_fracs(&r);
+                rows.push(vec![
+                    pf.name.to_string(),
+                    alg.name().to_string(),
+                    p.to_string(),
+                    pct(f[0]),
+                    pct(f[1]),
+                    pct(f[2]),
+                    pct(f[3]),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &format!("Figure 14 — old vs new time breakdown, MRI large ({base} base) (paper: data stall no longer dominates in the new program)"),
+        &["platform", "alg", "procs", "busy", "memory", "sync", "lock"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 15: old vs new speedups on the CT head datasets.
+pub fn fig15(args: &Args) {
+    compare_speedups(
+        "Figure 15 — old vs new speedups, CT head datasets, DASH",
+        Phantom::CtHead,
+        &Platform::dash(),
+        args,
+    );
+    compare_speedups(
+        "Figure 15 (cont.) — CT head datasets, simulator",
+        Phantom::CtHead,
+        &Platform::ideal_dsm(),
+        args,
+    );
+}
+
+/// Figure 16: old vs new miss-type breakdown on the simulator.
+pub fn fig16(args: &Args) {
+    let base = args.base_or(160);
+    let procs = args.procs_or(&[2, 4, 8, 16, 32]);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let pf = Platform::ideal_dsm();
+    let mut rows = Vec::new();
+    for alg in [Alg::Old, Alg::New] {
+        let mut cap = AlgCapture::capture(alg, &enc, args.angle, &capture_cfg(args));
+        for &p in &procs {
+            let r = breakdown_at(&mut cap, &pf, p, args.warmup);
+            let mut row = vec![alg.name().to_string(), p.to_string()];
+            row.extend(miss_row(&r.misses, r.accesses));
+            rows.push(row);
+        }
+    }
+    print_table(
+        &format!("Figure 16 — old vs new misses per 1000 refs, simulator ({base} base) (paper: new greatly cuts true sharing)"),
+        &["alg", "procs", "total", "cold", "repl", "true-sh", "false-sh"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 17: old vs new spatial locality (miss rate vs line size).
+pub fn fig17(args: &Args) {
+    let base = args.base_or(160);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let lines = [16usize, 32, 64, 128, 256, 512];
+    let mut rows = Vec::new();
+    for alg in [Alg::Old, Alg::New] {
+        let mut cap = AlgCapture::capture(alg, &enc, args.angle, &capture_cfg(args));
+        let curve = line_size_curve(&mut cap, &Platform::ideal_dsm(), 32, &lines, args.warmup);
+        for (l, m, a) in curve {
+            let mut row = vec![alg.name().to_string(), l.to_string()];
+            row.extend(miss_row(&m, a));
+            rows.push(row);
+        }
+    }
+    print_table(
+        &format!("Figure 17 — spatial locality: misses per 1000 refs vs line size, 32 procs ({base} base) (paper: new benefits even more from long lines)"),
+        &["alg", "line B", "total", "cold", "repl", "true-sh", "false-sh"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 18: new-algorithm working sets: (a) vs processors, (b) vs dataset.
+pub fn fig18(args: &Args) {
+    let sizes: Vec<usize> = (0..11).map(|i| 1024usize << i).collect();
+    let base = args.base_or(160);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    // (a) Different processor counts, one dataset.
+    let procs = args.procs_or(&[8, 16, 32]);
+    let mut cols = Vec::new();
+    for &p in &procs {
+        let mut cap = AlgCapture::capture(Alg::New, &enc, args.angle, &capture_cfg(args));
+        cols.push(cache_size_curve(&mut cap, &Platform::ideal_dsm(), p, &sizes, args.warmup));
+    }
+    let names: Vec<String> = procs.iter().map(|p| format!("{p}proc")).collect();
+    let mut header = vec!["cache"];
+    header.extend(names.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut r = vec![format!("{}K", s / 1024)];
+            for c in &cols {
+                let (_, m, a) = &c[i];
+                r.push(per_k(m.total() as f64 / (*a).max(1) as f64));
+            }
+            r
+        })
+        .collect();
+    print_table(
+        &format!("Figure 18a — new algorithm miss rate vs cache size per processor count ({base} base) (paper: working set *shrinks* with more procs)"),
+        &header,
+        &rows,
+        args.csv,
+    );
+    // (b) Different datasets at 32 processors.
+    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let mut cols = Vec::new();
+    for &b in &tiers {
+        let e = build_dataset(Phantom::MriBrain, b);
+        let mut cap = AlgCapture::capture(Alg::New, &e, args.angle, &capture_cfg(args));
+        cols.push(cache_size_curve(&mut cap, &Platform::ideal_dsm(), 32, &sizes, args.warmup));
+    }
+    let names: Vec<String> = tiers.iter().map(|b| format!("base{b}")).collect();
+    let mut header = vec!["cache"];
+    header.extend(names.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut r = vec![format!("{}K", s / 1024)];
+            for c in &cols {
+                let (_, m, a) = &c[i];
+                r.push(per_k(m.total() as f64 / (*a).max(1) as f64));
+            }
+            r
+        })
+        .collect();
+    print_table(
+        "Figure 18b — new algorithm miss rate vs cache size per dataset, 32 procs (paper: even 512³ fits ~64KB)",
+        &header,
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 19: old vs new speedups on the Origin2000 model.
+pub fn fig19(args: &Args) {
+    let base = args.base_or(160);
+    let procs = args.procs_or(&[1, 2, 4, 8, 16]);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let pf = Platform::origin2000();
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    for alg in [Alg::Old, Alg::New] {
+        let mut cap = AlgCapture::capture(alg, &enc, args.angle, &capture_cfg(args));
+        cols.push(speedup_series(&mut cap, &pf, &procs, args.warmup));
+    }
+    for (i, &p) in procs.iter().enumerate() {
+        rows.push(vec![p.to_string(), f2(cols[0][i].speedup), f2(cols[1][i].speedup)]);
+    }
+    print_table(
+        &format!("Figure 19 — old vs new speedups on Origin2000, MRI large ({base} base)"),
+        &["procs", "old", "new"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Figure 20: old vs new speedups on the SVM platform.
+pub fn fig20(args: &Args) {
+    let procs = args.procs_or(&[1, 2, 4, 8, 16]);
+    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let cfg = SvmConfig::paper();
+    let mut cols = Vec::new();
+    let mut names = Vec::new();
+    for &base in &tiers {
+        let enc = build_dataset(Phantom::MriBrain, base);
+        for alg in [Alg::Old, Alg::New] {
+            let mut cap = AlgCapture::capture(alg, &enc, args.angle, &capture_cfg(args));
+            cols.push(svm_speedup_series(&mut cap, &cfg, &procs, args.warmup));
+            names.push(format!("{}-{}", alg.name(), base));
+        }
+    }
+    let mut header = vec!["procs"];
+    header.extend(names.iter().map(|s| s.as_str()));
+    let rows: Vec<Vec<String>> = procs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let mut r = vec![p.to_string()];
+            for c in &cols {
+                r.push(f2(c[i].speedup));
+            }
+            r
+        })
+        .collect();
+    print_table(
+        "Figure 20 — old vs new speedups on the SVM (HLRC, 4KB pages) platform (paper: new vastly better)",
+        &header,
+        &rows,
+        args.csv,
+    );
+}
+
+fn svm_breakdown_fig(title: &str, alg: Alg, args: &Args) {
+    let base = args.base_or(160);
+    let procs = args.procs_or(&[4, 8, 16]);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let cfg = SvmConfig::paper();
+    let mut cap = AlgCapture::capture(alg, &enc, args.angle, &capture_cfg(args));
+    let mut rows = Vec::new();
+    for &p in &procs {
+        let r = svm_breakdown_at(&mut cap, &cfg, p, args.warmup);
+        let f = svm_fracs(&r);
+        rows.push(vec![
+            p.to_string(),
+            pct(f[0]),
+            pct(f[1]),
+            pct(f[2]),
+            pct(f[3]),
+            pct(f[4]),
+            r.faults.to_string(),
+            r.diffs.to_string(),
+        ]);
+    }
+    print_table(
+        title,
+        &["procs", "compute", "data wait", "barrier", "lock", "protocol", "faults", "diffs"],
+        &rows,
+        args.csv,
+    );
+    let _ = base;
+}
+
+/// Figure 21: old-algorithm SVM time breakdown.
+pub fn fig21(args: &Args) {
+    svm_breakdown_fig(
+        "Figure 21 — OLD algorithm on SVM: execution-time breakdown (paper: data + barrier wait dominate)",
+        Alg::Old,
+        args,
+    );
+}
+
+/// Figure 22: new-algorithm SVM time breakdown.
+pub fn fig22(args: &Args) {
+    svm_breakdown_fig(
+        "Figure 22 — NEW algorithm on SVM: execution-time breakdown (paper: data/barrier wait collapse; lock slightly up)",
+        Alg::New,
+        args,
+    );
+}
+
+/// Bonus exhibit: a simulated animation sequence with the new algorithm —
+/// per-frame cycles over a rotation, with the §4.2 profiling cadence
+/// (re-profile every 15°, i.e. every 5th frame at 3°/frame). Shows the
+/// profiled-frame instruction overhead and the stability of stale profiles
+/// in between, on one machine whose caches stay warm across frames.
+pub fn bonus_animation(args: &Args) {
+    let base = args.base_or(80);
+    let p = 16;
+    let nframes = 15;
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let cfg = capture_cfg(args);
+    let mut machine = swr_memsim::Machine::new(Platform::ideal_dsm(), p);
+    let mut prev_profile: Option<Vec<u64>> = None;
+    let mut rows = Vec::new();
+    for f in 0..nframes {
+        let angle = args.angle + f as f64 * crate::FRAME_STEP_DEG;
+        let profiled = f % 5 == 0;
+        let mut cap = capture_frame(&enc, &view_at(enc.dims(), angle), &cfg, true, profiled);
+        let h = cap.factorization().inter_h;
+        let profile = match &prev_profile {
+            Some(prev) => fit_profile(prev, h),
+            None => cap.profile.clone(), // first frame: self-profile
+        };
+        let wl = cap.new_workload(p, &profile);
+        let r = machine.run_frame(&wl);
+        rows.push(vec![
+            f.to_string(),
+            format!("{angle:.0}"),
+            if profiled { "yes" } else { "" }.to_string(),
+            r.total_cycles.to_string(),
+            r.busy_total().to_string(),
+            r.steals.to_string(),
+            per_k(r.miss_rate()),
+        ]);
+        prev_profile = Some(cap.profile.clone());
+    }
+    print_table(
+        &format!("Bonus — simulated animation, new algorithm, {p} procs ({base} base): profiled frames carry the §4.2 overhead; caches stay warm across frames"),
+        &["frame", "deg", "profiled", "cycles", "busy", "steals", "miss/1k"],
+        &rows,
+        args.csv,
+    );
+}
+
+/// Ablations called out in DESIGN.md: task size, steal unit, profile
+/// staleness and overhead, profiled vs equal partitions, clipping, and the
+/// serial coherence optimizations.
+pub fn ablations(args: &Args) {
+    let base = args.base_or(80);
+    let enc = build_dataset(Phantom::MriBrain, base);
+    let pf = Platform::ideal_dsm();
+    let p = 16;
+
+    // (a) Old algorithm task-size sweep ("determined empirically").
+    let mut rows = Vec::new();
+    for chunk in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = CaptureConfig { chunk_rows: chunk, ..Default::default() };
+        let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &cfg);
+        let r = replay_steady(&pf, &cap.workload(p), args.warmup);
+        rows.push(vec![
+            chunk.to_string(),
+            r.total_cycles.to_string(),
+            r.steals.to_string(),
+            per_k(r.miss_rate()),
+        ]);
+    }
+    print_table(
+        &format!("Ablation (a) — old algorithm chunk size at {p} procs ({base} base): locality vs balance"),
+        &["chunk rows", "cycles", "steals", "miss/1k"],
+        &rows,
+        args.csv,
+    );
+
+    // (b) New algorithm steal unit: 1 scanline vs chunks (§4.4's 10x lock
+    // overhead observation).
+    let mut rows = Vec::new();
+    for chunk in [1usize, 4, 8] {
+        let cfg = CaptureConfig { chunk_rows: chunk, ..Default::default() };
+        let mut cap = AlgCapture::capture(Alg::New, &enc, args.angle, &cfg);
+        let r = replay_steady(&pf, &cap.workload(p), args.warmup);
+        rows.push(vec![
+            chunk.to_string(),
+            r.total_cycles.to_string(),
+            r.steals.to_string(),
+            r.lock_total().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation (b) — new algorithm steal unit: single scanlines inflate lock overhead",
+        &["steal rows", "cycles", "steals", "lock cycles"],
+        &rows,
+        args.csv,
+    );
+
+    // (c) Profile staleness: predict with profiles from increasingly distant
+    // frames (the paper re-profiles every ~15 degrees).
+    let mut rows = Vec::new();
+    for delta in [3.0f64, 9.0, 15.0, 30.0, 60.0] {
+        let cfg = capture_cfg(args);
+        let prev = capture_frame(&enc, &view_at(enc.dims(), args.angle - delta), &cfg, true, false);
+        let mut frame = capture_frame(&enc, &view_at(enc.dims(), args.angle), &cfg, true, false);
+        let profile = fit_profile(&prev.profile, frame.factorization().inter_h);
+        let wl = frame.new_workload(p, &profile);
+        let r = replay_steady(&pf, &wl, args.warmup);
+        rows.push(vec![
+            format!("{delta}"),
+            r.total_cycles.to_string(),
+            r.steals.to_string(),
+            pct(r.sync_total() as f64 / (r.busy_total() + r.mem_total() + r.sync_total()).max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Ablation (c) — profile staleness (degrees of rotation since profiling)",
+        &["Δ deg", "cycles", "steals", "sync frac"],
+        &rows,
+        args.csv,
+    );
+
+    // (d) Profiling instruction overhead on a profiled frame (10-15% in the
+    // paper).
+    let cfg = capture_cfg(args);
+    let plain = capture_frame(&enc, &view_at(enc.dims(), args.angle), &cfg, true, false);
+    let profiled = capture_frame(&enc, &view_at(enc.dims(), args.angle), &cfg, true, true);
+    let w0: u64 = plain.profile.iter().sum();
+    let w1: u64 = profiled.profile.iter().sum();
+    println!(
+        "\nAblation (d) — profiling overhead on compositing work: {:.1}% (paper: 10-15%)",
+        (w1 as f64 / w0.max(1) as f64 - 1.0) * 100.0
+    );
+
+    // (e) Profiled vs equal-count contiguous partitions.
+    let mut rows = Vec::new();
+    for profiled in [true, false] {
+        let cfg = CaptureConfig { profiled_partition: profiled, ..capture_cfg(args) };
+        let mut cap = AlgCapture::capture(Alg::New, &enc, args.angle, &cfg);
+        let r = replay_steady(&pf, &cap.workload(p), args.warmup);
+        rows.push(vec![
+            if profiled { "profiled" } else { "equal-count" }.to_string(),
+            r.total_cycles.to_string(),
+            r.steals.to_string(),
+            r.sync_total().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation (e) — profiled vs equal-count contiguous partitions",
+        &["partitioning", "cycles", "steals", "sync cycles"],
+        &rows,
+        args.csv,
+    );
+
+    // (f) Empty-region clipping on/off.
+    let mut rows = Vec::new();
+    for clip in [true, false] {
+        let cfg = capture_cfg(args);
+        let prev = capture_frame(&enc, &view_at(enc.dims(), args.angle - 3.0), &cfg, clip, false);
+        let mut frame = capture_frame(&enc, &view_at(enc.dims(), args.angle), &cfg, clip, false);
+        let profile = fit_profile(&prev.profile, frame.factorization().inter_h);
+        let wl = frame.new_workload(p, &profile);
+        let r = replay_steady(&pf, &wl, args.warmup);
+        rows.push(vec![
+            if clip { "clipped" } else { "full image" }.to_string(),
+            r.total_cycles.to_string(),
+            r.busy_total().to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation (f) — §4.2 empty-region clipping",
+        &["region", "cycles", "busy total"],
+        &rows,
+        args.csv,
+    );
+
+    // (h) Capacity vs conflict split — "we cannot determine whether the
+    // misses are ... due to capacity, conflict or cold misses" (§3.4.1);
+    // the shadow fully-associative cache answers it.
+    let mut rows = Vec::new();
+    for assoc in [1usize, 2, 4] {
+        let platform = Platform {
+            cache: swr_memsim::CacheConfig::new(64 << 10, 64, assoc),
+            ..Platform::ideal_dsm()
+        };
+        let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
+        let r = replay_steady(&platform, &cap.workload(8), args.warmup);
+        rows.push(vec![
+            assoc.to_string(),
+            r.misses.capacity.to_string(),
+            r.misses.conflict.to_string(),
+            pct(r.misses.conflict as f64 / r.misses.replacement().max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Ablation (h) — capacity vs conflict misses by associativity (64KB caches, 8 procs): the split the paper's tools couldn't provide",
+        &["assoc", "capacity", "conflict", "conflict share"],
+        &rows,
+        args.csv,
+    );
+
+    // (g) Serial coherence optimizations: early ray termination on/off.
+    let view = view_at(enc.dims(), args.angle);
+    let mut rows = Vec::new();
+    for et in [true, false] {
+        let mut r = SerialRenderer::new();
+        r.opts.early_termination = et;
+        let mut t = CountingTracer::default();
+        let _ = r.render_traced(&enc, &view, &mut t);
+        rows.push(vec![
+            if et { "on" } else { "off" }.to_string(),
+            format!("{:.2}", t.total_cycles() as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "Ablation (g) — early ray termination (serial compositing cost)",
+        &["early term.", "Mcycles"],
+        &rows,
+        args.csv,
+    );
+}

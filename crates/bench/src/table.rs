@@ -1,0 +1,77 @@
+//! Plain-text table output for the figure harnesses.
+
+/// Prints an aligned table (or CSV) with a title.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>], csv: bool) {
+    println!("\n== {title} ==");
+    if csv {
+        println!("{}", header.join(","));
+        for r in rows {
+            println!("{}", r.join(","));
+        }
+        return;
+    }
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for r in rows {
+        line(r.clone());
+    }
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a fraction as a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a per-mille miss rate style value (misses per 1000 references).
+pub fn per_k(x: f64) -> String {
+    format!("{:.2}", x * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.1234), "12.3%");
+        assert_eq!(per_k(0.0123), "12.30");
+    }
+
+    #[test]
+    fn table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "x".into()]],
+            false,
+        );
+        print_table("demo-csv", &["a", "b"], &[vec!["1".into(), "2".into()]], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_checks_widths() {
+        print_table("bad", &["a", "b"], &[vec!["1".into()]], false);
+    }
+}

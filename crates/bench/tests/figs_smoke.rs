@@ -1,0 +1,50 @@
+//! Smoke tests: every figure harness runs end-to-end at a tiny size.
+//!
+//! These guard the experiment code itself — a figure function that panics or
+//! prints garbage would silently rot otherwise. Sizes are minimal; shapes are
+//! asserted by `tests/simulation.rs` and recorded in `EXPERIMENTS.md`.
+
+use swr_bench::{Args, *};
+
+fn tiny_args() -> Args {
+    Args {
+        base: Some(24),
+        procs: Some(vec![1, 2, 4]),
+        warmup: 0,
+        ..Args::default()
+    }
+}
+
+macro_rules! smoke {
+    ($name:ident, $f:path) => {
+        #[test]
+        fn $name() {
+            $f(&tiny_args());
+        }
+    };
+}
+
+smoke!(fig02_smoke, fig02);
+smoke!(fig04_smoke, fig04);
+smoke!(fig05_smoke, fig05);
+smoke!(fig07_smoke, fig07);
+smoke!(fig08_smoke, fig08);
+smoke!(fig10_smoke, fig10);
+smoke!(fig14_smoke, fig14);
+smoke!(fig16_smoke, fig16);
+smoke!(fig17_smoke, fig17);
+smoke!(fig19_smoke, fig19);
+smoke!(fig20_smoke, fig20);
+smoke!(fig21_smoke, fig21);
+smoke!(fig22_smoke, fig22);
+smoke!(bonus_animation_smoke, bonus_animation);
+
+// The dataset-sweep figures accept a single-tier override via --base, which
+// the tiny args already provide.
+smoke!(fig06_smoke, fig06);
+smoke!(fig09_smoke, fig09);
+smoke!(fig12_smoke, fig12);
+smoke!(fig13_smoke, fig13);
+smoke!(fig15_smoke, fig15);
+smoke!(fig18_smoke, fig18);
+smoke!(ablations_smoke, ablations);

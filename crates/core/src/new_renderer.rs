@@ -1,0 +1,380 @@
+//! The *new* parallel shear-warp renderer (§4), native threaded execution.
+//!
+//! Frame structure:
+//!
+//! 1. **Partition** — from the last collected per-scanline work profile,
+//!    compute contiguous, predictively balanced partitions of the occupied
+//!    band of the intermediate image (cumulative profile via prefix sum +
+//!    equal-area boundaries, §4.3). Without a valid profile (first frame, or
+//!    the intermediate image changed size) equal-count partitions are used.
+//! 2. **Composite** — each processor works through its own partition from
+//!    the front, in chunks (the steal unit); idle processors steal chunks
+//!    from the *back* of the fullest victim (§4.4). Every `k` frames the
+//!    compositor also collects the per-scanline work profile (§4.2),
+//!    including its modeled instruction overhead.
+//! 3. **Warp, without a barrier** (§4.5) — each processor warps exactly the
+//!    final-image pixels owned by its partition band. Readiness is tracked
+//!    with per-scanline completion flags, so a processor starts warping as
+//!    soon as the rows its band reads (its own plus the first row of the
+//!    next band) are composited — the global barrier is gone.
+
+use crate::partition::{balanced_contiguous, equal_contiguous, partition_chunks};
+use crate::prefix::parallel_prefix_sum;
+use crate::{ParallelConfig, RenderStats};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use swr_geom::{Factorization, ViewSpec};
+use swr_render::{
+    composite::occupied_y_bounds, composite_scanline_slice, warp_row_band, CompositeOpts,
+    FinalImage, IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
+};
+use swr_volume::EncodedVolume;
+
+/// The new parallel renderer. Holds the work profile across frames, as an
+/// animation loop would.
+#[derive(Debug, Default)]
+pub struct NewParallelRenderer {
+    /// Configuration (processor count, steal chunk, profile period).
+    pub cfg: ParallelConfig,
+    /// Compositing options (early termination, depth cueing).
+    pub composite_opts: CompositeOpts,
+    inter: Option<IntermediateImage>,
+    profile: Vec<u64>,
+    profile_valid: bool,
+    frames_since_profile: usize,
+    /// Model matrix of the last profiled frame (for the angle-based
+    /// staleness policy).
+    last_profile_model: Option<swr_geom::Mat4>,
+}
+
+impl NewParallelRenderer {
+    /// Creates a renderer with the given configuration.
+    pub fn new(cfg: ParallelConfig) -> Self {
+        NewParallelRenderer { cfg, ..Default::default() }
+    }
+
+    /// The per-scanline profile from the last profiled frame, if any.
+    pub fn profile(&self) -> Option<&[u64]> {
+        self.profile_valid.then_some(self.profile.as_slice())
+    }
+
+    /// Forces the next frame to collect a fresh profile.
+    pub fn invalidate_profile(&mut self) {
+        self.profile_valid = false;
+    }
+
+    /// Renders one frame.
+    pub fn render(&mut self, enc: &EncodedVolume, view: &ViewSpec) -> FinalImage {
+        self.render_with_stats(enc, view).0
+    }
+
+    /// Renders one frame, returning execution statistics.
+    pub fn render_with_stats(
+        &mut self,
+        enc: &EncodedVolume,
+        view: &ViewSpec,
+    ) -> (FinalImage, RenderStats) {
+        let fact = Factorization::from_view(view);
+        let rle = enc.for_axis(fact.principal);
+        let nprocs = self.cfg.nprocs.max(1);
+        let h = fact.inter_h;
+
+        let inter = match &mut self.inter {
+            Some(img) if img.width() == fact.inter_w && img.height() == h => {
+                img.clear();
+                self.inter.as_mut().expect("checked above")
+            }
+            slot => {
+                *slot = Some(IntermediateImage::new(fact.inter_w, h));
+                slot.as_mut().expect("just set")
+            }
+        };
+        let mut out = FinalImage::new(fact.final_w, fact.final_h);
+        let mut stats = RenderStats::default();
+
+        // §4.2: composite only the occupied band of the intermediate image.
+        let region: Range<usize> = if self.cfg.empty_region_clip {
+            match occupied_y_bounds(rle, &fact) {
+                Some((lo, hi)) => lo..hi + 1,
+                None => return (out, stats), // empty volume: nothing to draw
+            }
+        } else {
+            0..h
+        };
+
+        // Profile staleness policy: refresh on startup, whenever the
+        // intermediate image geometry changed, and then either every k
+        // frames or — the paper's own choice — once the viewpoint has
+        // rotated far enough since the last profiled frame (§4.2).
+        let have_profile = self.profile_valid && self.profile.len() == h;
+        let stale = match (self.cfg.profile_every_degrees, &self.last_profile_model) {
+            (Some(deg), Some(last)) => {
+                last.rotation_angle_to(&view.model).to_degrees() >= deg
+            }
+            (Some(_), None) => true,
+            (None, _) => self.frames_since_profile + 1 >= self.cfg.profile_every,
+        };
+        let profiling = self.cfg.profiled_partition && (!have_profile || stale);
+        stats.profiled = profiling;
+
+        // §4.3: contiguous, predictively balanced partitions.
+        let t0 = std::time::Instant::now();
+        let partitions: Vec<Range<usize>> = if self.cfg.profiled_partition && have_profile {
+            let cum_profile: Vec<u64> = self.profile[region.clone()].to_vec();
+            // The cumulative curve itself is computed with the parallel
+            // prefix (its result equals the serial scan; balanced_contiguous
+            // re-derives boundaries from the same values).
+            let _cum = parallel_prefix_sum(&cum_profile, nprocs);
+            balanced_contiguous(region.clone(), &cum_profile, nprocs)
+        } else {
+            equal_contiguous(region.clone(), nprocs)
+        };
+        let chunk_rows = self.cfg.effective_chunk_rows(region.len().max(1));
+        let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+            partition_chunks(&partitions, chunk_rows)
+                .into_iter()
+                .map(|v| Mutex::new(v.into()))
+                .collect();
+
+        // Per-row completion flags; rows outside the composited region are
+        // ready immediately.
+        let rows_done: Vec<AtomicBool> = (0..h)
+            .map(|y| AtomicBool::new(!region.contains(&y)))
+            .collect();
+        // Profile collection target (relaxed adds; sums are deterministic).
+        let new_profile: Vec<AtomicU64> = if profiling {
+            (0..h).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+
+        let steals = AtomicU64::new(0);
+        let composited = AtomicU64::new(0);
+        let opts = CompositeOpts { profile: profiling, ..self.composite_opts };
+        {
+            let shared = SharedIntermediate::new(inter);
+            let shared_out = SharedFinal::new(&mut out);
+            let fact = &fact;
+            let partitions = &partitions;
+            let region = &region;
+            crossbeam::scope(|s| {
+                #[allow(clippy::needless_range_loop)]
+                for p in 0..nprocs {
+                    let queues = &queues;
+                    let rows_done = &rows_done;
+                    let new_profile = &new_profile;
+                    let steals = &steals;
+                    let composited = &composited;
+                    let shared = &shared;
+                    let shared_out = &shared_out;
+                    let steal = self.cfg.steal;
+                    s.spawn(move |_| {
+                        let mut tracer = NullTracer;
+                        let mut local_pixels = 0u64;
+                        while let Some(rows) =
+                            crate::old_renderer::pop_or_steal(p, queues, steal, steals)
+                        {
+                            for m in 0..fact.slice_count() {
+                                let k = fact.slice_for_step(m);
+                                for y in rows.clone() {
+                                    // SAFETY: row ownership moves only
+                                    // through the queues; each row is in
+                                    // exactly one chunk.
+                                    let mut row = unsafe { shared.row_view(y) };
+                                    let st = composite_scanline_slice(
+                                        rle, fact, &mut row, k, &opts, &mut tracer,
+                                    );
+                                    local_pixels += st.composited;
+                                    if profiling {
+                                        new_profile[y]
+                                            .fetch_add(st.work, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            for y in rows {
+                                rows_done[y].store(true, Ordering::Release);
+                            }
+                        }
+                        composited.fetch_add(local_pixels, Ordering::Relaxed);
+
+                        // §4.5: warp the own band as soon as the rows it
+                        // reads are composited — no global barrier. The first
+                        // band extends one row below the clipped region:
+                        // final pixels just under it bilinearly read the
+                        // region's first composited row.
+                        let mut band = partitions[p].clone();
+                        if band.is_empty() {
+                            return;
+                        }
+                        if band.start == region.start {
+                            band.start = band.start.saturating_sub(1);
+                        }
+                        let wait_hi = band.end.min(h - 1);
+                        #[allow(clippy::needless_range_loop)]
+                        for y in band.start..=wait_hi {
+                            while !rows_done[y].load(Ordering::Acquire) {
+                                std::hint::spin_loop();
+                                std::thread::yield_now();
+                            }
+                        }
+                        // The band warp only reads rows [start, end], all of
+                        // which are now quiescent.
+                        warp_row_band(
+                            shared,
+                            fact,
+                            shared_out,
+                            (band.start, band.end),
+                            &mut tracer,
+                        );
+                        let _ = region;
+                    });
+                }
+            })
+            .expect("render workers must not panic");
+        }
+        let total = t0.elapsed().as_secs_f64();
+        // The phases overlap (that is the point); report the frame total as
+        // composite time and leave warp at zero unless callers time phases
+        // via the capture path.
+        stats.composite_secs = total;
+        stats.steals = steals.load(Ordering::Relaxed);
+        stats.composited_pixels = composited.load(Ordering::Relaxed);
+
+        if profiling {
+            self.profile = new_profile.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+            self.profile_valid = true;
+            self.frames_since_profile = 0;
+            self.last_profile_model = Some(view.model);
+        } else {
+            self.frames_since_profile += 1;
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swr_render::SerialRenderer;
+    use swr_volume::{classify, Phantom};
+
+    fn scene() -> (EncodedVolume, ViewSpec) {
+        let vol = Phantom::MriBrain.generate([24, 24, 16], 11);
+        let c = classify(&vol, &Phantom::MriBrain.default_transfer());
+        (EncodedVolume::encode(&c), ViewSpec::new([24, 24, 16]).rotate_y(0.5).rotate_x(0.2))
+    }
+
+    #[test]
+    fn matches_serial_bit_exactly() {
+        let (enc, view) = scene();
+        let serial = SerialRenderer::new().render(&enc, &view);
+        for procs in [1, 2, 3, 5] {
+            let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(procs));
+            // First frame profiles and uses equal partitions; second frame
+            // uses the profile. Both must match the serial image.
+            assert_eq!(r.render(&enc, &view), serial, "frame 1, procs = {procs}");
+            assert_eq!(r.render(&enc, &view), serial, "frame 2, procs = {procs}");
+        }
+    }
+
+    #[test]
+    fn profile_is_collected_then_reused() {
+        let (enc, view) = scene();
+        let mut r = NewParallelRenderer::new(ParallelConfig {
+            profile_every: 3,
+            ..ParallelConfig::with_procs(2)
+        });
+        let (_, s1) = r.render_with_stats(&enc, &view);
+        assert!(s1.profiled, "first frame must profile");
+        assert!(r.profile().is_some());
+        let (_, s2) = r.render_with_stats(&enc, &view);
+        assert!(!s2.profiled);
+        let (_, s3) = r.render_with_stats(&enc, &view);
+        assert!(!s3.profiled);
+        let (_, s4) = r.render_with_stats(&enc, &view);
+        assert!(s4.profiled, "k = 3 frames elapsed");
+    }
+
+    #[test]
+    fn angle_policy_reprofiles_every_15_degrees() {
+        let (enc, _) = scene();
+        let mut r = NewParallelRenderer::new(ParallelConfig {
+            profile_every_degrees: Some(15.0),
+            ..ParallelConfig::with_procs(2)
+        });
+        // 3 degrees per frame: profiled frames at 0°, 15°, 30°, ...
+        let mut profiled_frames = Vec::new();
+        for frame in 0..12 {
+            let view = ViewSpec::new([24, 24, 16])
+                .rotate_y((frame as f64 * 3.0).to_radians());
+            let (_, stats) = r.render_with_stats(&enc, &view);
+            if stats.profiled {
+                profiled_frames.push(frame);
+            }
+        }
+        assert_eq!(profiled_frames, vec![0, 5, 10], "profile every 15° at 3°/frame");
+    }
+
+    #[test]
+    fn profile_concentrates_on_occupied_rows() {
+        let (enc, view) = scene();
+        let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(2));
+        r.render(&enc, &view);
+        let profile = r.profile().expect("profiled on first frame");
+        let fact = Factorization::from_view(&view);
+        assert_eq!(profile.len(), fact.inter_h);
+        assert!(profile[0] == 0, "clipped empty rows are never composited");
+        assert!(profile.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn ablations_still_render_correctly() {
+        let (enc, view) = scene();
+        let serial = SerialRenderer::new().render(&enc, &view);
+        for (clip, prof, steal) in
+            [(false, true, true), (true, false, true), (false, false, false)]
+        {
+            let cfg = ParallelConfig {
+                empty_region_clip: clip,
+                profiled_partition: prof,
+                steal,
+                ..ParallelConfig::with_procs(3)
+            };
+            let mut r = NewParallelRenderer::new(cfg);
+            assert_eq!(r.render(&enc, &view), serial, "clip={clip} prof={prof} steal={steal}");
+            assert_eq!(r.render(&enc, &view), serial);
+        }
+    }
+
+    #[test]
+    fn empty_volume_renders_black() {
+        let c = classify(
+            &swr_volume::Volume::zeros([16, 16, 16]),
+            &Phantom::MriBrain.default_transfer(),
+        );
+        let enc = EncodedVolume::encode(&c);
+        let view = ViewSpec::new([16, 16, 16]).rotate_y(0.3);
+        let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(2));
+        let img = r.render(&enc, &view);
+        assert_eq!(img.mean_luma(), 0.0);
+        // Serial output for the empty volume is all-zero too.
+        assert_eq!(img, SerialRenderer::new().render(&enc, &view));
+    }
+
+    #[test]
+    fn view_changes_keep_rendering_consistent() {
+        let (enc, _) = scene();
+        let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(3));
+        for deg in [0.0f64, 20.0, 95.0, 180.0, 275.0] {
+            let view = ViewSpec::new([24, 24, 16]).rotate_y(deg.to_radians());
+            let img = r.render(&enc, &view);
+            assert_eq!(
+                img,
+                SerialRenderer::new().render(&enc, &view),
+                "angle {deg}"
+            );
+        }
+    }
+}

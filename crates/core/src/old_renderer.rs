@@ -1,0 +1,239 @@
+//! The *old* parallel shear-warp renderer (§3.1), native threaded execution.
+//!
+//! Compositing: interleaved chunks of intermediate-image scanlines in
+//! per-processor queues, with dynamic stealing from the back of the
+//! fullest victim. A global barrier separates the phases. Warp: square
+//! tiles of the final image, statically assigned round-robin (no stealing —
+//! "there is little computation in the warp phase").
+
+use crate::partition::{interleaved_chunks, make_tiles};
+use crate::{ParallelConfig, RenderStats};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+use swr_geom::{Factorization, ViewSpec};
+use swr_render::{
+    composite_scanline_slice, warp_tile, CompositeOpts, FinalImage, IntermediateImage,
+    NullTracer, SharedFinal, SharedIntermediate,
+};
+use swr_volume::EncodedVolume;
+
+/// Pops the caller's queue, or steals from the back of the fullest victim.
+pub(crate) fn pop_or_steal(
+    me: usize,
+    queues: &[Mutex<VecDeque<Range<usize>>>],
+    steal: bool,
+    steals: &AtomicU64,
+) -> Option<Range<usize>> {
+    if let Some(r) = queues[me].lock().pop_front() {
+        return Some(r);
+    }
+    if !steal {
+        return None;
+    }
+    loop {
+        // Victim selection: the queue with the most remaining chunks.
+        let mut best: Option<(usize, usize)> = None;
+        for (v, q) in queues.iter().enumerate() {
+            if v == me {
+                continue;
+            }
+            let len = q.lock().len();
+            if len > 0 && best.is_none_or(|(_, l)| len > l) {
+                best = Some((v, len));
+            }
+        }
+        let (v, _) = best?;
+        if let Some(r) = queues[v].lock().pop_back() {
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(r);
+        }
+        // Raced with the victim finishing its queue; rescan.
+    }
+}
+
+/// The old parallel renderer.
+#[derive(Debug, Default)]
+pub struct OldParallelRenderer {
+    /// Configuration (processor count, chunk/tile sizes, stealing).
+    pub cfg: ParallelConfig,
+    /// Compositing options (early termination, depth cueing).
+    pub composite_opts: CompositeOpts,
+    inter: Option<IntermediateImage>,
+}
+
+impl OldParallelRenderer {
+    /// Creates a renderer with the given configuration.
+    pub fn new(cfg: ParallelConfig) -> Self {
+        OldParallelRenderer { cfg, ..Default::default() }
+    }
+
+    /// Renders one frame.
+    pub fn render(&mut self, enc: &EncodedVolume, view: &ViewSpec) -> FinalImage {
+        self.render_with_stats(enc, view).0
+    }
+
+    /// Renders one frame, returning execution statistics.
+    pub fn render_with_stats(
+        &mut self,
+        enc: &EncodedVolume,
+        view: &ViewSpec,
+    ) -> (FinalImage, RenderStats) {
+        let fact = Factorization::from_view(view);
+        let rle = enc.for_axis(fact.principal);
+        let nprocs = self.cfg.nprocs.max(1);
+
+        // Reuse the intermediate buffer across frames.
+        let (w, h) = (fact.inter_w, fact.inter_h);
+        let inter = match &mut self.inter {
+            Some(img) if img.width() == w && img.height() == h => {
+                img.clear();
+                self.inter.as_mut().expect("checked above")
+            }
+            slot => {
+                *slot = Some(IntermediateImage::new(w, h));
+                slot.as_mut().expect("just set")
+            }
+        };
+
+        // The old algorithm "blindly composites the intermediate image from
+        // the very beginning to the end": chunks cover every scanline.
+        let chunk_rows = self.cfg.effective_chunk_rows(h);
+        let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+            interleaved_chunks(0..h, chunk_rows, nprocs)
+                .into_iter()
+                .map(|v| Mutex::new(v.into()))
+                .collect();
+        let tile_lists = make_tiles(fact.final_w, fact.final_h, self.cfg.tile_size, nprocs);
+
+        let mut out = FinalImage::new(fact.final_w, fact.final_h);
+        let mut stats = RenderStats::default();
+        let steals = AtomicU64::new(0);
+        let composited = AtomicU64::new(0);
+        let barrier = Barrier::new(nprocs);
+        let composite_secs = Mutex::new(0f64);
+        let opts = self.composite_opts;
+        let t0 = std::time::Instant::now();
+        {
+            let shared = SharedIntermediate::new(inter);
+            let shared_out = SharedFinal::new(&mut out);
+            let fact = &fact;
+            crossbeam::scope(|s| {
+                #[allow(clippy::needless_range_loop)]
+                for p in 0..nprocs {
+                    let queues = &queues;
+                    let steals = &steals;
+                    let composited = &composited;
+                    let barrier = &barrier;
+                    let shared = &shared;
+                    let shared_out = &shared_out;
+                    let tiles = &tile_lists[p];
+                    let composite_secs = &composite_secs;
+                    let steal = self.cfg.steal;
+                    s.spawn(move |_| {
+                        let mut tracer = NullTracer;
+                        let mut local_pixels = 0u64;
+                        while let Some(rows) = pop_or_steal(p, queues, steal, steals) {
+                            // Slice-outer traversal within the chunk keeps
+                            // the volume streaming in storage order.
+                            for m in 0..fact.slice_count() {
+                                let k = fact.slice_for_step(m);
+                                for y in rows.clone() {
+                                    // SAFETY: each scanline belongs to exactly
+                                    // one chunk and each chunk is popped once.
+                                    let mut row = unsafe { shared.row_view(y) };
+                                    let st = composite_scanline_slice(
+                                        rle, fact, &mut row, k, &opts, &mut tracer,
+                                    );
+                                    local_pixels += st.composited;
+                                }
+                            }
+                        }
+                        composited.fetch_add(local_pixels, Ordering::Relaxed);
+                        if barrier.wait().is_leader() {
+                            *composite_secs.lock() = t0.elapsed().as_secs_f64();
+                        }
+
+                        // Warp phase: static tiles; all compositing is done.
+                        // SAFETY: every worker passed the barrier, so no row
+                        // is being mutated any more.
+                        let inter_ref = unsafe { shared.image() };
+                        for tile in tiles {
+                            // Tiles are disjoint rectangles, so final-image
+                            // writes never collide.
+                            warp_tile(inter_ref, fact, shared_out, *tile, &mut tracer);
+                        }
+                    });
+                }
+            })
+            .expect("render workers must not panic");
+        }
+        let total = t0.elapsed().as_secs_f64();
+        stats.composite_secs = *composite_secs.lock();
+        stats.warp_secs = total - stats.composite_secs;
+        stats.steals = steals.load(Ordering::Relaxed);
+        stats.composited_pixels = composited.load(Ordering::Relaxed);
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swr_render::SerialRenderer;
+    use swr_volume::{classify, Phantom};
+
+    fn scene() -> (EncodedVolume, ViewSpec) {
+        let vol = Phantom::MriBrain.generate([24, 24, 16], 11);
+        let c = classify(&vol, &Phantom::MriBrain.default_transfer());
+        (EncodedVolume::encode(&c), ViewSpec::new([24, 24, 16]).rotate_y(0.5).rotate_x(0.2))
+    }
+
+    #[test]
+    fn matches_serial_bit_exactly() {
+        let (enc, view) = scene();
+        let serial = SerialRenderer::new().render(&enc, &view);
+        for procs in [1, 2, 3, 5] {
+            let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(procs));
+            let (img, stats) = r.render_with_stats(&enc, &view);
+            assert_eq!(img, serial, "procs = {procs}");
+            assert!(stats.composited_pixels > 0);
+        }
+    }
+
+    #[test]
+    fn stealing_can_be_disabled() {
+        let (enc, view) = scene();
+        let cfg = ParallelConfig { steal: false, ..ParallelConfig::with_procs(3) };
+        let mut r = OldParallelRenderer::new(cfg);
+        let (img, stats) = r.render_with_stats(&enc, &view);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(img, SerialRenderer::new().render(&enc, &view));
+    }
+
+    #[test]
+    fn buffer_reuse_across_frames_and_views() {
+        let (enc, view) = scene();
+        let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(2));
+        let a = r.render(&enc, &view);
+        let b = r.render(&enc, &view);
+        assert_eq!(a, b);
+        let view2 = ViewSpec::new([24, 24, 16]).rotate_y(1.9);
+        let c = r.render(&enc, &view2);
+        assert_eq!(c, SerialRenderer::new().render(&enc, &view2));
+    }
+
+    #[test]
+    fn tiny_tiles_and_chunks_still_correct() {
+        let (enc, view) = scene();
+        let cfg = ParallelConfig {
+            chunk_rows: 1,
+            tile_size: 3,
+            ..ParallelConfig::with_procs(4)
+        };
+        let mut r = OldParallelRenderer::new(cfg);
+        assert_eq!(r.render(&enc, &view), SerialRenderer::new().render(&enc, &view));
+    }
+}

@@ -1,0 +1,237 @@
+//! Work partitioning: the old algorithm's interleaved chunks and warp tiles,
+//! and the new algorithm's profile-balanced contiguous partitions.
+
+use crate::prefix::prefix_sum;
+use std::ops::Range;
+use swr_render::Tile;
+
+/// Splits `rows` into chunks of `chunk_rows` scanlines and deals them
+/// round-robin to `nprocs` queues, preserving order within each queue —
+/// the old algorithm's initial compositing assignment (§3.1).
+pub fn interleaved_chunks(
+    rows: Range<usize>,
+    chunk_rows: usize,
+    nprocs: usize,
+) -> Vec<Vec<Range<usize>>> {
+    assert!(chunk_rows > 0 && nprocs > 0);
+    let mut queues = vec![Vec::new(); nprocs];
+    for (i, start) in rows.clone().step_by(chunk_rows).enumerate() {
+        let end = (start + chunk_rows).min(rows.end);
+        queues[i % nprocs].push(start..end);
+    }
+    queues
+}
+
+/// Splits a `w × h` final image into `tile × tile` square tiles (clipped at
+/// the edges) and deals them round-robin to `nprocs` lists — the old
+/// algorithm's warp assignment (§3.1, Figure 3).
+pub fn make_tiles(w: usize, h: usize, tile: usize, nprocs: usize) -> Vec<Vec<Tile>> {
+    assert!(tile > 0 && nprocs > 0);
+    let mut lists = vec![Vec::new(); nprocs];
+    let mut i = 0;
+    for v0 in (0..h).step_by(tile) {
+        for u0 in (0..w).step_by(tile) {
+            lists[i % nprocs].push(Tile {
+                u0,
+                v0,
+                u1: (u0 + tile).min(w),
+                v1: (v0 + tile).min(h),
+            });
+            i += 1;
+        }
+    }
+    lists
+}
+
+/// Equal-scanline-count contiguous partitions of `rows` (the fallback when
+/// no profile exists yet, and the ablation baseline).
+pub fn equal_contiguous(rows: Range<usize>, nprocs: usize) -> Vec<Range<usize>> {
+    assert!(nprocs > 0);
+    let n = rows.len();
+    let mut parts = Vec::with_capacity(nprocs);
+    let mut start = rows.start;
+    for p in 0..nprocs {
+        let end = rows.start + n * (p + 1) / nprocs;
+        parts.push(start..end);
+        start = end;
+    }
+    parts
+}
+
+/// Profile-balanced contiguous partitions (§4.3).
+///
+/// `profile[i]` is the measured cost of scanline `rows.start + i`. The
+/// cumulative cost curve is divided into `nprocs` equal areas; each boundary
+/// is located with binary search and snapped to the nearest scanline. Every
+/// partition is non-empty-compatible: partitions may be empty only when
+/// there are fewer scanlines than processors.
+pub fn balanced_contiguous(
+    rows: Range<usize>,
+    profile: &[u64],
+    nprocs: usize,
+) -> Vec<Range<usize>> {
+    assert_eq!(profile.len(), rows.len(), "profile must cover the row range");
+    assert!(nprocs > 0);
+    if rows.is_empty() {
+        return vec![rows; nprocs];
+    }
+    let cum = prefix_sum(profile);
+    let total = *cum.last().expect("non-empty profile");
+    if total == 0 {
+        return equal_contiguous(rows, nprocs);
+    }
+    let mut parts = Vec::with_capacity(nprocs);
+    let mut start_idx = 0usize;
+    for p in 0..nprocs {
+        let target = total as u128 * (p as u128 + 1) / nprocs as u128;
+        // First index whose cumulative cost reaches the target.
+        let end_idx = if p + 1 == nprocs {
+            rows.len()
+        } else {
+            let found = cum.partition_point(|&c| (c as u128) < target);
+            // Half-open end is one past the boundary scanline.
+            (found + 1).clamp(start_idx, rows.len())
+        };
+        parts.push(rows.start + start_idx..rows.start + end_idx);
+        start_idx = end_idx;
+    }
+    parts
+}
+
+/// Splits each partition into chunks of at most `chunk_rows` scanlines (the
+/// steal units of §4.4), keeping order.
+pub fn partition_chunks(parts: &[Range<usize>], chunk_rows: usize) -> Vec<Vec<Range<usize>>> {
+    assert!(chunk_rows > 0);
+    parts
+        .iter()
+        .map(|part| {
+            let mut chunks = Vec::new();
+            let mut s = part.start;
+            while s < part.end {
+                let e = (s + chunk_rows).min(part.end);
+                chunks.push(s..e);
+                s = e;
+            }
+            chunks
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_tiles_range(parts: &[Range<usize>], rows: Range<usize>) {
+        assert_eq!(parts.first().unwrap().start, rows.start);
+        assert_eq!(parts.last().unwrap().end, rows.end);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "partitions must be contiguous");
+        }
+    }
+
+    #[test]
+    fn interleaved_covers_everything_once() {
+        let qs = interleaved_chunks(0..103, 4, 3);
+        let mut seen = [false; 103];
+        for q in &qs {
+            for r in q {
+                for y in r.clone() {
+                    assert!(!seen[y], "row {y} assigned twice");
+                    seen[y] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Round-robin: queue 0 holds chunks 0, 3, 6, ...
+        assert_eq!(qs[0][0], 0..4);
+        assert_eq!(qs[1][0], 4..8);
+        assert_eq!(qs[0][1], 12..16);
+    }
+
+    #[test]
+    fn tiles_cover_final_image() {
+        let lists = make_tiles(100, 70, 32, 4);
+        let mut area = 0;
+        for l in &lists {
+            for t in l {
+                area += t.area();
+                assert!(t.u1 <= 100 && t.v1 <= 70);
+            }
+        }
+        assert_eq!(area, 100 * 70);
+    }
+
+    #[test]
+    fn equal_contiguous_tiles_range() {
+        let parts = equal_contiguous(10..110, 7);
+        assert_tiles_range(&parts, 10..110);
+        for p in &parts {
+            let len = p.len();
+            assert!((14..=15).contains(&len), "len = {len}");
+        }
+    }
+
+    #[test]
+    fn balanced_uniform_profile_is_nearly_equal() {
+        let profile = vec![10u64; 100];
+        let parts = balanced_contiguous(0..100, &profile, 4);
+        assert_tiles_range(&parts, 0..100);
+        for p in &parts {
+            assert!((24..=26).contains(&p.len()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_skewed_profile_equalizes_cost() {
+        // All the cost in the first 10 scanlines.
+        let mut profile = vec![1u64; 100];
+        for p in profile.iter_mut().take(10) {
+            *p = 1000;
+        }
+        let parts = balanced_contiguous(0..100, &profile, 4);
+        assert_tiles_range(&parts, 0..100);
+        let cost =
+            |r: &Range<usize>| r.clone().map(|i| profile[i]).sum::<u64>();
+        let costs: Vec<u64> = parts.iter().map(cost).collect();
+        let max = *costs.iter().max().unwrap();
+        let min = *costs.iter().min().unwrap();
+        // Perfect balance is impossible (scanline granularity), but the
+        // heavy region must be split across processors.
+        assert!(
+            max < 2 * (min + 1000),
+            "costs too imbalanced: {costs:?}"
+        );
+        assert!(parts[0].len() < 10, "first partition must be small: {parts:?}");
+    }
+
+    #[test]
+    fn balanced_with_zero_profile_falls_back_to_equal() {
+        let parts = balanced_contiguous(5..25, &[0; 20], 4);
+        assert_eq!(parts, equal_contiguous(5..25, 4));
+    }
+
+    #[test]
+    fn balanced_with_offset_rows() {
+        let profile = vec![1u64; 50];
+        let parts = balanced_contiguous(100..150, &profile, 5);
+        assert_tiles_range(&parts, 100..150);
+    }
+
+    #[test]
+    fn more_procs_than_rows() {
+        let parts = balanced_contiguous(0..3, &[5, 5, 5], 8);
+        assert_eq!(parts.len(), 8);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 3);
+        assert_tiles_range(&parts, 0..3);
+    }
+
+    #[test]
+    fn partition_chunks_respects_boundaries() {
+        let parts = vec![0..10, 10..11, 11..25];
+        let chunks = partition_chunks(&parts, 4);
+        assert_eq!(chunks[0], vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunks[1], vec![10..11]);
+        assert_eq!(chunks[2], vec![11..15, 15..19, 19..23, 23..25]);
+    }
+}

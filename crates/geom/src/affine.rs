@@ -1,0 +1,228 @@
+//! 2-D affine transforms — the "warp" half of shear-warp.
+//!
+//! After compositing, the intermediate image differs from the final image by a
+//! 2-D affine transformation (for parallel projections). `Affine2` represents
+//! that mapping and provides the inverse needed by the warp loop, plus
+//! bounding-box and scanline-intersection helpers used to drive both the
+//! old (tile-partitioned) and new (scanline-partitioned) parallel warps.
+
+/// A 2-D affine map `(x, y) -> (a·x + b·y + c, d·x + e·y + f)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine2 {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    pub d: f64,
+    pub e: f64,
+    pub f: f64,
+}
+
+impl Default for Affine2 {
+    fn default() -> Self {
+        Affine2::IDENTITY
+    }
+}
+
+impl Affine2 {
+    /// The identity transform.
+    pub const IDENTITY: Affine2 = Affine2 {
+        a: 1.0,
+        b: 0.0,
+        c: 0.0,
+        d: 0.0,
+        e: 1.0,
+        f: 0.0,
+    };
+
+    /// Builds a transform from the row-major 2×3 coefficient array.
+    pub const fn from_coeffs(a: f64, b: f64, c: f64, d: f64, e: f64, f: f64) -> Self {
+        Affine2 { a, b, c, d, e, f }
+    }
+
+    /// Applies the transform to a point.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        (
+            self.a * x + self.b * y + self.c,
+            self.d * x + self.e * y + self.f,
+        )
+    }
+
+    /// Determinant of the linear part.
+    pub fn det(&self) -> f64 {
+        self.a * self.e - self.b * self.d
+    }
+
+    /// Inverse transform; `None` if the transform is singular.
+    pub fn inverse(&self) -> Option<Affine2> {
+        let det = self.det();
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let ia = self.e / det;
+        let ib = -self.b / det;
+        let id = -self.d / det;
+        let ie = self.a / det;
+        // Solve for the translation so that inv(apply(0,0)) == (0,0).
+        let ic = -(ia * self.c + ib * self.f);
+        let if_ = -(id * self.c + ie * self.f);
+        Some(Affine2::from_coeffs(ia, ib, ic, id, ie, if_))
+    }
+
+    /// Composition: `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Affine2) -> Affine2 {
+        Affine2::from_coeffs(
+            self.a * other.a + self.b * other.d,
+            self.a * other.b + self.b * other.e,
+            self.a * other.c + self.b * other.f + self.c,
+            self.d * other.a + self.e * other.d,
+            self.d * other.b + self.e * other.e,
+            self.d * other.c + self.e * other.f + self.f,
+        )
+    }
+
+    /// Axis-aligned bounding box of the image of the rectangle
+    /// `[0, w] × [0, h]`, as `(min_x, min_y, max_x, max_y)`.
+    pub fn bounds_of_rect(&self, w: f64, h: f64) -> (f64, f64, f64, f64) {
+        let corners = [
+            self.apply(0.0, 0.0),
+            self.apply(w, 0.0),
+            self.apply(0.0, h),
+            self.apply(w, h),
+        ];
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for (x, y) in corners {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        (min_x, min_y, max_x, max_y)
+    }
+
+    /// For the *inverse-warp* scanline loop: given an inverse transform (final
+    /// image → intermediate image) and a final-image scanline `v`, returns the
+    /// half-open interval of `u` (as real numbers) whose source row coordinate
+    /// `y(u, v) = d·u + e·v + f` falls in `[y_lo, y_hi)`.
+    ///
+    /// Because the map is affine, the set is always a single interval (or
+    /// empty, or unbounded when `d == 0` and the row constraint holds for all
+    /// `u` — the caller clamps to the image width). Returns `None` when empty.
+    pub fn u_interval_for_row_band(
+        &self,
+        v: f64,
+        y_lo: f64,
+        y_hi: f64,
+    ) -> Option<(f64, f64)> {
+        debug_assert!(y_lo <= y_hi);
+        let base = self.e * v + self.f;
+        if self.d.abs() < 1e-12 {
+            // y does not depend on u: the whole scanline is in or out.
+            if base >= y_lo && base < y_hi {
+                Some((f64::NEG_INFINITY, f64::INFINITY))
+            } else {
+                None
+            }
+        } else {
+            let u0 = (y_lo - base) / self.d;
+            let u1 = (y_hi - base) / self.d;
+            let (lo, hi) = if u0 <= u1 { (u0, u1) } else { (u1, u0) };
+            if lo >= hi {
+                None
+            } else {
+                Some((lo, hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let p = Affine2::IDENTITY.apply(3.5, -2.0);
+        assert_eq!(p, (3.5, -2.0));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let t = Affine2::from_coeffs(0.8, -0.6, 10.0, 0.6, 0.8, -3.0); // rotation + translation
+        let inv = t.inverse().unwrap();
+        for &(x, y) in &[(0.0, 0.0), (5.0, 7.0), (-3.0, 2.5)] {
+            let (u, v) = t.apply(x, y);
+            let (bx, by) = inv.apply(u, v);
+            assert!((bx - x).abs() < 1e-10 && (by - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let t = Affine2::from_coeffs(1.0, 2.0, 0.0, 2.0, 4.0, 0.0);
+        assert!(t.inverse().is_none());
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let t1 = Affine2::from_coeffs(2.0, 0.0, 1.0, 0.0, 2.0, -1.0);
+        let t2 = Affine2::from_coeffs(0.0, -1.0, 0.0, 1.0, 0.0, 0.0); // 90 degree rotation
+        let c = t2.compose(&t1);
+        let p = (3.0, 4.0);
+        let step = t1.apply(p.0, p.1);
+        let seq = t2.apply(step.0, step.1);
+        let direct = c.apply(p.0, p.1);
+        assert!((seq.0 - direct.0).abs() < 1e-12 && (seq.1 - direct.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_of_rect_covers_all_corners() {
+        let t = Affine2::from_coeffs(0.0, -1.0, 0.0, 1.0, 0.0, 0.0); // rotate 90°
+        let (min_x, min_y, max_x, max_y) = t.bounds_of_rect(10.0, 4.0);
+        assert_eq!((min_x, min_y, max_x, max_y), (-4.0, 0.0, 0.0, 10.0));
+    }
+
+    #[test]
+    fn u_interval_band_simple() {
+        // inverse map y = 0.5*u + 0*v + 0  ->  band y in [1, 2) means u in [2, 4).
+        let inv = Affine2::from_coeffs(1.0, 0.0, 0.0, 0.5, 0.0, 0.0);
+        let (lo, hi) = inv.u_interval_for_row_band(0.0, 1.0, 2.0).unwrap();
+        assert_eq!((lo, hi), (2.0, 4.0));
+    }
+
+    #[test]
+    fn u_interval_band_negative_slope() {
+        let inv = Affine2::from_coeffs(1.0, 0.0, 0.0, -0.5, 0.0, 10.0);
+        // y = 10 - 0.5u; y in [8, 9)  => u in (2, 4].
+        let (lo, hi) = inv.u_interval_for_row_band(0.0, 8.0, 9.0).unwrap();
+        assert!((lo - 2.0).abs() < 1e-12 && (hi - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u_interval_band_constant_row() {
+        let inv = Affine2::from_coeffs(1.0, 0.0, 0.0, 0.0, 1.0, 0.0);
+        // y == v: scanline v=5 lies in band [5,6) entirely, not in [6,7).
+        assert!(inv.u_interval_for_row_band(5.0, 5.0, 6.0).is_some());
+        assert!(inv.u_interval_for_row_band(5.0, 6.0, 7.0).is_none());
+    }
+
+    #[test]
+    fn row_bands_partition_scanline() {
+        // Whatever the affine map, consecutive bands must produce disjoint,
+        // exhaustive u-intervals along any scanline (up to measure-zero ends).
+        let inv = Affine2::from_coeffs(0.9, 0.1, -3.0, 0.4, 0.8, 2.0);
+        let v = 12.0;
+        let bands = [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0)];
+        let mut intervals: Vec<(f64, f64)> = bands
+            .iter()
+            .filter_map(|&(lo, hi)| inv.u_interval_for_row_band(v, lo, hi))
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            assert!((w[0].1 - w[1].0).abs() < 1e-9, "bands must tile: {w:?}");
+        }
+    }
+}

@@ -1,0 +1,879 @@
+//! The shear-warp factorization of a parallel-projection viewing transform.
+//!
+//! Given a viewing transformation `M_view` (object voxel coordinates → final
+//! image pixel coordinates), the factorization chooses the volume axis most
+//! parallel to the viewing direction (the *principal axis*), permutes the
+//! volume so that axis becomes the slice axis `k`, and computes per-slice
+//! shear offsets such that all viewing rays become perpendicular to the
+//! slices. Compositing the sheared slices front-to-back produces the
+//! *intermediate image*; a 2-D affine *warp* then maps it to the final image:
+//!
+//! ```text
+//!   M_view = M_warp · M_shear · P
+//! ```
+//!
+//! The key property, asserted by this module's tests, is that for every voxel
+//! `p`: `warp(shear_project(P·p)) == M_view · p` (up to floating-point error).
+
+use crate::affine::Affine2;
+use crate::homography::Homography2;
+use crate::mat::Mat4;
+use crate::vec::Vec3;
+
+/// Projection type of a view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Projection {
+    /// Orthographic rays (the paper's renderers).
+    Parallel,
+    /// Perspective rays converging at an eye `distance` voxel units in
+    /// front of the volume center (Lacroute's perspective factorization:
+    /// per-slice *scale and translation*, projective warp).
+    Perspective {
+        /// Eye distance from the volume center, in voxel units. Must place
+        /// the eye outside the volume slab along the principal axis.
+        distance: f64,
+    },
+}
+
+/// Principal viewing axis in *object* space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    X,
+    Y,
+    Z,
+}
+
+impl Axis {
+    /// The cyclic permutation `object axis index of standard axis (i, j, k)`.
+    ///
+    /// `k` (the slice axis) is the principal axis; the other two follow
+    /// cyclically so handedness is preserved (as in Lacroute's VolPack):
+    /// `X → (y, z, x)`, `Y → (z, x, y)`, `Z → (x, y, z)`.
+    pub fn permutation(self) -> [usize; 3] {
+        match self {
+            Axis::X => [1, 2, 0],
+            Axis::Y => [2, 0, 1],
+            Axis::Z => [0, 1, 2],
+        }
+    }
+
+    /// Axis from its object-space index (0 = X, 1 = Y, 2 = Z).
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {i}"),
+        }
+    }
+
+    /// Object-space index of this axis.
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+}
+
+/// Order in which volume slices must be composited for front-to-back
+/// traversal (required for early ray termination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceOrder {
+    /// Slice `k = 0` is nearest the viewer; composite `k` ascending.
+    Ascending,
+    /// Slice `k = n_k - 1` is nearest the viewer; composite `k` descending.
+    Descending,
+}
+
+/// A parallel-projection view of a volume: model rotation about the volume
+/// center, uniform zoom, and the final image framing.
+///
+/// `ViewSpec` is a convenience builder; the factorization itself works from
+/// the composed `Mat4` and would accept any affine parallel projection.
+#[derive(Debug, Clone)]
+pub struct ViewSpec {
+    /// Volume dimensions in voxels, `(nx, ny, nz)`.
+    pub dims: [usize; 3],
+    /// Model transform (typically a rotation), applied about the volume center.
+    pub model: Mat4,
+    /// Uniform zoom from voxel units to final-image pixels.
+    pub zoom: f64,
+    /// Final image size override; when `None` a square image large enough for
+    /// any rotation of the volume is used.
+    pub image_size: Option<(usize, usize)>,
+    /// Parallel (default) or perspective projection.
+    pub projection: Projection,
+}
+
+impl ViewSpec {
+    /// A head-on view of a volume (identity rotation, zoom 1).
+    pub fn new(dims: [usize; 3]) -> Self {
+        ViewSpec {
+            dims,
+            model: Mat4::identity(),
+            zoom: 1.0,
+            image_size: None,
+            projection: Projection::Parallel,
+        }
+    }
+
+    /// Switches to a perspective projection with the eye `distance` voxel
+    /// units in front of the volume center.
+    pub fn with_perspective(mut self, distance: f64) -> Self {
+        assert!(distance > 0.0, "eye distance must be positive");
+        self.projection = Projection::Perspective { distance };
+        self
+    }
+
+    /// The eye position in object space, if the projection is perspective.
+    pub fn eye_object(&self) -> Option<Vec3> {
+        let Projection::Perspective { distance } = self.projection else {
+            return None;
+        };
+        let [nx, ny, nz] = self.dims;
+        let center = Vec3::new(
+            (nx as f64 - 1.0) / 2.0,
+            (ny as f64 - 1.0) / 2.0,
+            (nz as f64 - 1.0) / 2.0,
+        );
+        let r_inv = self.model.inverse().expect("model must be invertible");
+        Some(center + r_inv.transform_dir(Vec3::new(0.0, 0.0, -distance)))
+    }
+
+    /// Composes an additional rotation about the X axis (radians).
+    pub fn rotate_x(mut self, a: f64) -> Self {
+        self.model = Mat4::rotation_x(a) * self.model;
+        self
+    }
+
+    /// Composes an additional rotation about the Y axis (radians).
+    pub fn rotate_y(mut self, a: f64) -> Self {
+        self.model = Mat4::rotation_y(a) * self.model;
+        self
+    }
+
+    /// Composes an additional rotation about the Z axis (radians).
+    pub fn rotate_z(mut self, a: f64) -> Self {
+        self.model = Mat4::rotation_z(a) * self.model;
+        self
+    }
+
+    /// Sets the zoom factor.
+    pub fn with_zoom(mut self, zoom: f64) -> Self {
+        assert!(zoom > 0.0, "zoom must be positive");
+        self.zoom = zoom;
+        self
+    }
+
+    /// Sets an explicit final image size.
+    pub fn with_image_size(mut self, w: usize, h: usize) -> Self {
+        self.image_size = Some((w, h));
+        self
+    }
+
+    /// Final image size: the explicit override, or a square image that any
+    /// rotation of the volume fits into (ceil of the zoomed diagonal, with
+    /// perspective magnification of the near half accounted for).
+    pub fn final_image_size(&self) -> (usize, usize) {
+        if let Some(s) = self.image_size {
+            return s;
+        }
+        let [nx, ny, nz] = self.dims;
+        let diag = ((nx * nx + ny * ny + nz * nz) as f64).sqrt() * self.zoom;
+        let mag = match self.projection {
+            Projection::Parallel => 1.0,
+            Projection::Perspective { distance } => {
+                let half = ((nx * nx + ny * ny + nz * nz) as f64).sqrt() / 2.0;
+                assert!(
+                    distance > half,
+                    "perspective eye distance {distance} must exceed the half-diagonal {half}"
+                );
+                distance / (distance - half)
+            }
+        };
+        let side = (diag * mag).ceil() as usize + 2;
+        (side, side)
+    }
+
+    /// The composed viewing matrix: object voxel coordinates → final image
+    /// pixel coordinates.
+    ///
+    /// For perspective views the matrix is projective:
+    /// [`Mat4::transform_point`]'s homogeneous divide performs the
+    /// perspective division, and the third output component carries inverse
+    /// camera depth.
+    pub fn view_matrix(&self) -> Mat4 {
+        let [nx, ny, nz] = self.dims;
+        let center = Vec3::new(
+            (nx as f64 - 1.0) / 2.0,
+            (ny as f64 - 1.0) / 2.0,
+            (nz as f64 - 1.0) / 2.0,
+        );
+        let (fw, fh) = self.final_image_size();
+        match self.projection {
+            Projection::Parallel => {
+                Mat4::translation(Vec3::new(fw as f64 / 2.0, fh as f64 / 2.0, 0.0))
+                    * Mat4::scaling(Vec3::new(self.zoom, self.zoom, self.zoom))
+                    * self.model
+                    * Mat4::translation(-center)
+            }
+            Projection::Perspective { distance } => {
+                // Camera space: pc = model·(p − center) + (0, 0, distance);
+                // pixel = (f·pc.x/pc.z + cx, f·pc.y/pc.z + cy) with focal
+                // length f = zoom·distance (unit magnification at the
+                // center plane).
+                let f = self.zoom * distance;
+                let (cx, cy) = (fw as f64 / 2.0, fh as f64 / 2.0);
+                let cam = Mat4::translation(Vec3::new(0.0, 0.0, distance))
+                    * self.model
+                    * Mat4::translation(-center);
+                // Projective rows: x_h = f·X + cx·Z, y_h = f·Y + cy·Z,
+                // z_h = 1 (→ inverse depth after the divide), w = Z.
+                let proj = Mat4::from_rows([
+                    [f, 0.0, cx, 0.0],
+                    [0.0, f, cy, 0.0],
+                    [0.0, 0.0, 0.0, 1.0],
+                    [0.0, 0.0, 1.0, 0.0],
+                ]);
+                proj * cam
+            }
+        }
+    }
+}
+
+/// Perspective-specific factorization data (Lacroute, thesis §3.4): every
+/// slice is uniformly *scaled* toward the eye axis as well as translated,
+/// and the warp becomes a plane homography.
+#[derive(Debug, Clone)]
+pub struct PerspectiveFact {
+    /// Eye position in standard (permuted) voxel coordinates.
+    pub eye_std: Vec3,
+    /// Slice coordinate of the front (projection) plane.
+    pub k0: f64,
+    /// Global translation keeping intermediate coordinates non-negative.
+    pub off_u: f64,
+    /// Global translation keeping intermediate coordinates non-negative.
+    pub off_v: f64,
+    /// Projective warp: intermediate → final image.
+    pub warp: Homography2,
+    /// Inverse projective warp: final → intermediate image.
+    pub warp_inv: Homography2,
+}
+
+/// The per-slice resampling transform: voxel `(i, j)` of slice `k` projects
+/// to intermediate position `(scale·i + off_u, scale·j + off_v)`.
+/// Parallel projections always have `scale == 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceXform {
+    pub scale: f64,
+    pub off_u: f64,
+    pub off_v: f64,
+}
+
+/// The factored viewing transformation, ready to drive compositing and warp.
+#[derive(Debug, Clone)]
+pub struct Factorization {
+    /// Principal (slice) axis in object space.
+    pub principal: Axis,
+    /// Permutation: `standard axis i` reads `object axis perm[i]`.
+    pub perm: [usize; 3],
+    /// Volume dimensions in standard (permuted) order `(n_i, n_j, n_k)`.
+    pub std_dims: [usize; 3],
+    /// Shear per slice along standard `i`.
+    pub shear_i: f64,
+    /// Shear per slice along standard `j`.
+    pub shear_j: f64,
+    /// Translation making all slice offsets non-negative (standard `i`).
+    pub trans_i: f64,
+    /// Translation making all slice offsets non-negative (standard `j`).
+    pub trans_j: f64,
+    /// Front-to-back slice traversal order.
+    pub order: SliceOrder,
+    /// Intermediate image width (covers all sheared slices).
+    pub inter_w: usize,
+    /// Intermediate image height.
+    pub inter_h: usize,
+    /// 2-D warp: intermediate image coordinates → final image coordinates.
+    pub warp: Affine2,
+    /// Inverse warp: final image coordinates → intermediate image coordinates.
+    pub warp_inv: Affine2,
+    /// Final image width.
+    pub final_w: usize,
+    /// Final image height.
+    pub final_h: usize,
+    /// The full viewing matrix this factorization was derived from.
+    pub view_matrix: Mat4,
+    /// Perspective factorization data; `None` for parallel projections.
+    pub persp: Option<PerspectiveFact>,
+}
+
+impl Factorization {
+    /// Factors the viewing transform described by `view`.
+    ///
+    /// # Panics
+    /// Panics if the view matrix is singular (degenerate view specification).
+    pub fn from_view(view: &ViewSpec) -> Factorization {
+        match view.projection {
+            Projection::Parallel => {
+                let m_view = view.view_matrix();
+                Self::from_matrix(&m_view, view.dims, view.final_image_size())
+            }
+            Projection::Perspective { .. } => Self::from_perspective_view(view),
+        }
+    }
+
+    /// Factors an arbitrary affine parallel-projection matrix.
+    ///
+    /// `m_view` maps object voxel coordinates to final-image pixel
+    /// coordinates; rays travel along +Z in image space.
+    pub fn from_matrix(
+        m_view: &Mat4,
+        dims: [usize; 3],
+        (final_w, final_h): (usize, usize),
+    ) -> Factorization {
+        let m_inv = m_view
+            .inverse()
+            .expect("viewing matrix must be invertible");
+
+        // Viewing direction in object space: the preimage of the image-space
+        // ray direction (0, 0, 1).
+        let vd_obj = m_inv.transform_dir(Vec3::Z);
+        let (principal_idx, _) = vd_obj.max_abs_component();
+        let principal = Axis::from_index(principal_idx);
+        let perm = principal.permutation();
+
+        let std_dims = [dims[perm[0]], dims[perm[1]], dims[perm[2]]];
+        let p_mat = Mat4::permutation(perm);
+        let vd_std = p_mat.transform_dir(vd_obj);
+
+        let vz = vd_std.z;
+        assert!(
+            vz != 0.0,
+            "principal-axis component of viewing direction cannot be zero"
+        );
+        let shear_i = -vd_std.x / vz;
+        let shear_j = -vd_std.y / vz;
+        debug_assert!(shear_i.abs() <= 1.0 + 1e-9 && shear_j.abs() <= 1.0 + 1e-9);
+
+        let order = if vz > 0.0 {
+            SliceOrder::Ascending
+        } else {
+            SliceOrder::Descending
+        };
+
+        let n_k = std_dims[2];
+        let span = (n_k.max(1) - 1) as f64;
+        let trans_i = if shear_i >= 0.0 { 0.0 } else { -shear_i * span };
+        let trans_j = if shear_j >= 0.0 { 0.0 } else { -shear_j * span };
+
+        let inter_w = std_dims[0] + (shear_i.abs() * span).ceil() as usize + 1;
+        let inter_h = std_dims[1] + (shear_j.abs() * span).ceil() as usize + 1;
+
+        // Shear matrix: standard coords -> sheared (intermediate) coords.
+        let shear = Mat4::from_rows([
+            [1.0, 0.0, shear_i, trans_i],
+            [0.0, 1.0, shear_j, trans_j],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        // Warp = M_view · P⁻¹ · S⁻¹ restricted to the intermediate plane.
+        let w4 = *m_view
+            * p_mat.inverse().expect("permutation is invertible")
+            * shear.inverse().expect("shear is invertible");
+        // Along-ray components must vanish: the warp is 2-D.
+        debug_assert!(w4.m[0][2].abs() < 1e-6 && w4.m[1][2].abs() < 1e-6);
+        let warp = Affine2::from_coeffs(
+            w4.m[0][0], w4.m[0][1], w4.m[0][3], w4.m[1][0], w4.m[1][1], w4.m[1][3],
+        );
+        let warp_inv = warp
+            .inverse()
+            .expect("warp of a non-degenerate view is invertible");
+
+        Factorization {
+            principal,
+            perm,
+            std_dims,
+            shear_i,
+            shear_j,
+            trans_i,
+            trans_j,
+            order,
+            inter_w,
+            inter_h,
+            warp,
+            warp_inv,
+            final_w,
+            final_h,
+            view_matrix: *m_view,
+            persp: None,
+        }
+    }
+
+    /// Factors a perspective view (per-slice scale + translation, projective
+    /// warp).
+    ///
+    /// # Panics
+    /// Panics if the eye lies inside the volume slab along the principal
+    /// axis (the factorization needs all slices on one side of the eye).
+    fn from_perspective_view(view: &ViewSpec) -> Factorization {
+        let m_view = view.view_matrix();
+        let (final_w, final_h) = view.final_image_size();
+        let dims = view.dims;
+
+        // Principal axis from the central viewing ray.
+        let r_inv = view.model.inverse().expect("model must be invertible");
+        let d_obj = r_inv.transform_dir(Vec3::Z);
+        let (principal_idx, _) = d_obj.max_abs_component();
+        let principal = Axis::from_index(principal_idx);
+        let perm = principal.permutation();
+        let std_dims = [dims[perm[0]], dims[perm[1]], dims[perm[2]]];
+        let [n_i, n_j, n_k] = std_dims;
+
+        let eye_obj = view.eye_object().expect("perspective view has an eye");
+        let ea = eye_obj.to_array();
+        let eye_std = Vec3::new(ea[perm[0]], ea[perm[1]], ea[perm[2]]);
+
+        // Front plane: the slice nearest the eye; the eye must be outside
+        // the slab.
+        let (k0, order) = if eye_std.z <= -1.0 {
+            (0.0, SliceOrder::Ascending)
+        } else if eye_std.z >= n_k as f64 {
+            ((n_k - 1) as f64, SliceOrder::Descending)
+        } else {
+            panic!(
+                "perspective eye (k = {:.1}) lies inside the volume slab [0, {}]; \
+                 increase the eye distance",
+                eye_std.z,
+                n_k - 1
+            );
+        };
+
+        // Per-slice scale s(k) = (k0 − e_k)/(k − e_k); extremes at the two
+        // end slices bound the intermediate image.
+        let scale_at = |k: f64| (k0 - eye_std.z) / (k - eye_std.z);
+        let k_far = if k0 == 0.0 { (n_k - 1) as f64 } else { 0.0 };
+        let s_far = scale_at(k_far);
+        debug_assert!(s_far > 0.0 && s_far <= 1.0 + 1e-12);
+        let mut u_min = f64::INFINITY;
+        let mut u_max = f64::NEG_INFINITY;
+        let mut v_min = f64::INFINITY;
+        let mut v_max = f64::NEG_INFINITY;
+        for s in [1.0, s_far] {
+            for i in [0.0, (n_i - 1) as f64] {
+                let u = s * i + (1.0 - s) * eye_std.x;
+                u_min = u_min.min(u);
+                u_max = u_max.max(u);
+            }
+            for j in [0.0, (n_j - 1) as f64] {
+                let v = s * j + (1.0 - s) * eye_std.y;
+                v_min = v_min.min(v);
+                v_max = v_max.max(v);
+            }
+        }
+        let off_u = 1.0 - u_min;
+        let off_v = 1.0 - v_min;
+        let inter_w = (u_max + off_u).ceil() as usize + 2;
+        let inter_h = (v_max + off_v).ceil() as usize + 2;
+
+        // Warp homography: intermediate (u', v') → front-plane standard
+        // point (u'−off_u, v'−off_v, k0) → object → perspective image.
+        let p_inv = Mat4::permutation(perm).inverse().expect("permutation invertible");
+        let m = m_view * p_inv;
+        // Columns of the 4×3 matrix applied to (u', v', 1).
+        let col = |r: usize, c: usize| m.m[r][c];
+        let mut h = [[0.0f64; 3]; 3];
+        for (hr, mr) in [(0usize, 0usize), (1, 1), (2, 3)] {
+            h[hr][0] = col(mr, 0);
+            h[hr][1] = col(mr, 1);
+            h[hr][2] = -col(mr, 0) * off_u - col(mr, 1) * off_v
+                + col(mr, 2) * k0
+                + col(mr, 3);
+        }
+        let warp = Homography2::from_matrix(h);
+        let warp_inv = warp.inverse().expect("perspective warp must be invertible");
+
+        Factorization {
+            principal,
+            perm,
+            std_dims,
+            shear_i: 0.0,
+            shear_j: 0.0,
+            trans_i: 0.0,
+            trans_j: 0.0,
+            order,
+            inter_w,
+            inter_h,
+            warp: Affine2::IDENTITY,
+            warp_inv: Affine2::IDENTITY,
+            final_w,
+            final_h,
+            view_matrix: m_view,
+            persp: Some(PerspectiveFact {
+                eye_std,
+                k0,
+                off_u,
+                off_v,
+                warp,
+                warp_inv,
+            }),
+        }
+    }
+
+    /// The per-slice resampling transform of slice `k`.
+    #[inline]
+    pub fn slice_xform(&self, k: usize) -> SliceXform {
+        match &self.persp {
+            None => {
+                let (off_u, off_v) = self.slice_offsets(k);
+                SliceXform { scale: 1.0, off_u, off_v }
+            }
+            Some(p) => {
+                let kf = k as f64;
+                let s = (p.k0 - p.eye_std.z) / (kf - p.eye_std.z);
+                SliceXform {
+                    scale: s,
+                    off_u: (1.0 - s) * p.eye_std.x + p.off_u,
+                    off_v: (1.0 - s) * p.eye_std.y + p.off_v,
+                }
+            }
+        }
+    }
+
+    /// Maps intermediate-image coordinates to final-image coordinates.
+    #[inline]
+    pub fn map_inter_to_final(&self, u: f64, v: f64) -> (f64, f64) {
+        match &self.persp {
+            None => self.warp.apply(u, v),
+            Some(p) => p.warp.apply(u, v),
+        }
+    }
+
+    /// Maps final-image coordinates to intermediate-image coordinates.
+    #[inline]
+    pub fn map_final_to_inter(&self, u: f64, v: f64) -> (f64, f64) {
+        match &self.persp {
+            None => self.warp_inv.apply(u, v),
+            Some(p) => p.warp_inv.apply(u, v),
+        }
+    }
+
+    /// The `u` interval of final scanline `v` whose inverse-mapped row falls
+    /// in `[y_lo, y_hi)`. Exact for parallel projections; perspective warps
+    /// conservatively return the full line (the caller's per-pixel ownership
+    /// test is exact either way). `None` means no pixel of the scanline maps
+    /// into the band.
+    #[inline]
+    pub fn band_u_interval(&self, v: f64, y_lo: f64, y_hi: f64) -> Option<(f64, f64)> {
+        match &self.persp {
+            None => self.warp_inv.u_interval_for_row_band(v, y_lo, y_hi),
+            Some(_) => Some((f64::NEG_INFINITY, f64::INFINITY)),
+        }
+    }
+
+    /// Number of slices along the principal axis.
+    pub fn slice_count(&self) -> usize {
+        self.std_dims[2]
+    }
+
+    /// Intermediate image width.
+    pub fn intermediate_width(&self) -> usize {
+        self.inter_w
+    }
+
+    /// Intermediate image height.
+    pub fn intermediate_height(&self) -> usize {
+        self.inter_h
+    }
+
+    /// Slice index for the `m`-th compositing step, front-to-back.
+    #[inline]
+    pub fn slice_for_step(&self, m: usize) -> usize {
+        debug_assert!(m < self.slice_count());
+        match self.order {
+            SliceOrder::Ascending => m,
+            SliceOrder::Descending => self.slice_count() - 1 - m,
+        }
+    }
+
+    /// Front-to-back depth (step index) of slice `k` — the inverse of
+    /// [`Self::slice_for_step`]. Drives depth cueing.
+    #[inline]
+    pub fn depth_of_slice(&self, k: usize) -> usize {
+        debug_assert!(k < self.slice_count());
+        match self.order {
+            SliceOrder::Ascending => k,
+            SliceOrder::Descending => self.slice_count() - 1 - k,
+        }
+    }
+
+    /// Sheared translation `(offset_u, offset_v)` of slice `k` in the
+    /// intermediate image: voxel `(i, j)` of slice `k` projects to
+    /// intermediate position `(i + offset_u, j + offset_v)`.
+    #[inline]
+    pub fn slice_offsets(&self, k: usize) -> (f64, f64) {
+        let kf = k as f64;
+        (
+            self.shear_i * kf + self.trans_i,
+            self.shear_j * kf + self.trans_j,
+        )
+    }
+
+    /// Projects a point given in *standard* (permuted) object coordinates to
+    /// intermediate-image coordinates.
+    pub fn project_std(&self, p: Vec3) -> (f64, f64) {
+        let (ou, ov) = self.slice_offsets_f(p.z);
+        (p.x + ou, p.y + ov)
+    }
+
+    /// [`Self::slice_offsets`] for a fractional slice coordinate.
+    pub fn slice_offsets_f(&self, k: f64) -> (f64, f64) {
+        (self.shear_i * k + self.trans_i, self.shear_j * k + self.trans_j)
+    }
+
+    /// Maps object voxel coordinates to standard (permuted) coordinates.
+    pub fn object_to_std(&self, p: Vec3) -> Vec3 {
+        let a = p.to_array();
+        Vec3::new(a[self.perm[0]], a[self.perm[1]], a[self.perm[2]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_factorization_identity(view: &ViewSpec) {
+        let f = Factorization::from_view(view);
+        let m = view.view_matrix();
+        // For a grid of voxels, projecting through the shear then the warp
+        // must equal the direct viewing transform.
+        let [nx, ny, nz] = view.dims;
+        for &x in &[0usize, nx / 3, nx - 1] {
+            for &y in &[0usize, ny / 2, ny - 1] {
+                for &z in &[0usize, nz / 4, nz - 1] {
+                    let p = Vec3::new(x as f64, y as f64, z as f64);
+                    let ps = f.object_to_std(p);
+                    let (u, v) = f.project_std(ps);
+                    let (wx, wy) = f.warp.apply(u, v);
+                    let direct = m.transform_point(p);
+                    assert!(
+                        (wx - direct.x).abs() < 1e-6 && (wy - direct.y).abs() < 1e-6,
+                        "voxel {p:?}: warp({u},{v}) = ({wx},{wy}) vs direct ({},{})",
+                        direct.x,
+                        direct.y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn head_on_view_is_trivial() {
+        let view = ViewSpec::new([32, 32, 32]);
+        let f = Factorization::from_view(&view);
+        assert_eq!(f.principal, Axis::Z);
+        assert_eq!(f.shear_i, 0.0);
+        assert_eq!(f.shear_j, 0.0);
+        assert_eq!(f.order, SliceOrder::Ascending);
+        assert_eq!(f.std_dims, [32, 32, 32]);
+        check_factorization_identity(&view);
+    }
+
+    #[test]
+    fn factorization_identity_across_rotations() {
+        for deg in [0.0f64, 10.0, 30.0, 45.0, 60.0, 85.0, 120.0, 200.0, 300.0] {
+            let a = deg.to_radians();
+            check_factorization_identity(&ViewSpec::new([40, 30, 20]).rotate_y(a));
+            check_factorization_identity(&ViewSpec::new([40, 30, 20]).rotate_x(a));
+            check_factorization_identity(
+                &ViewSpec::new([25, 35, 45]).rotate_x(a * 0.5).rotate_y(a).rotate_z(0.3),
+            );
+        }
+    }
+
+    #[test]
+    fn principal_axis_tracks_rotation() {
+        // Rotating 90 degrees about Y points the viewing direction along X.
+        let f = Factorization::from_view(
+            &ViewSpec::new([16, 16, 16]).rotate_y(90f64.to_radians()),
+        );
+        assert_eq!(f.principal, Axis::X);
+        let f = Factorization::from_view(
+            &ViewSpec::new([16, 16, 16]).rotate_x(90f64.to_radians()),
+        );
+        assert_eq!(f.principal, Axis::Y);
+    }
+
+    #[test]
+    fn shear_magnitude_at_most_one() {
+        for deg in (0..360).step_by(7) {
+            let a = (deg as f64).to_radians();
+            let f = Factorization::from_view(
+                &ViewSpec::new([20, 20, 20]).rotate_y(a).rotate_x(a * 0.37),
+            );
+            assert!(f.shear_i.abs() <= 1.0 + 1e-9, "shear_i = {}", f.shear_i);
+            assert!(f.shear_j.abs() <= 1.0 + 1e-9, "shear_j = {}", f.shear_j);
+        }
+    }
+
+    #[test]
+    fn slice_offsets_are_nonnegative_and_fit() {
+        for deg in (0..360).step_by(11) {
+            let a = (deg as f64).to_radians();
+            let f = Factorization::from_view(
+                &ViewSpec::new([24, 18, 30]).rotate_y(a).rotate_z(a * 0.7),
+            );
+            for k in 0..f.slice_count() {
+                let (ou, ov) = f.slice_offsets(k);
+                assert!(ou >= -1e-9 && ov >= -1e-9);
+                // The whole slice footprint fits in the intermediate image.
+                assert!(ou + (f.std_dims[0] - 1) as f64 <= (f.inter_w - 1) as f64 + 1e-9);
+                assert!(ov + (f.std_dims[1] - 1) as f64 <= (f.inter_h - 1) as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn front_to_back_order_puts_nearer_slices_first() {
+        for deg in [20.0_f64, 100.0, 170.0, 250.0, 340.0] {
+            let view = ViewSpec::new([16, 16, 16]).rotate_y(deg.to_radians());
+            let f = Factorization::from_view(&view);
+            let m = view.view_matrix();
+            // Image-space depth (z) of the first composited slice must not
+            // exceed that of the last composited slice.
+            let first_k = f.slice_for_step(0);
+            let last_k = f.slice_for_step(f.slice_count() - 1);
+            let mid = |k: usize| {
+                // Center of slice k in object coordinates.
+                let mut a = [7.5, 7.5, 7.5];
+                a[f.perm[2]] = k as f64;
+                m.transform_point(Vec3::from_array(a)).z
+            };
+            assert!(
+                mid(first_k) <= mid(last_k) + 1e-9,
+                "angle {deg}: slice order not front-to-back"
+            );
+        }
+    }
+
+    #[test]
+    fn warped_intermediate_fits_final_image() {
+        let view = ViewSpec::new([32, 32, 32]).rotate_y(0.6).rotate_x(0.4);
+        let f = Factorization::from_view(&view);
+        let (min_x, min_y, max_x, max_y) = f
+            .warp
+            .bounds_of_rect(f.inter_w as f64, f.inter_h as f64);
+        // Projected *volume* fits; the intermediate image rectangle may
+        // slightly exceed the final frame, but not wildly.
+        let slack = 4.0 + (f.inter_w + f.inter_h) as f64; // loose sanity bound
+        assert!(min_x > -slack && min_y > -slack);
+        assert!(max_x < f.final_w as f64 + slack && max_y < f.final_h as f64 + slack);
+        // And the volume's own corners land inside the final image.
+        let m = view.view_matrix();
+        for &x in &[0.0, 31.0] {
+            for &y in &[0.0, 31.0] {
+                for &z in &[0.0, 31.0] {
+                    let p = m.transform_point(Vec3::new(x, y, z));
+                    assert!(p.x >= 0.0 && p.x <= f.final_w as f64);
+                    assert!(p.y >= 0.0 && p.y <= f.final_h as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_image_size_is_respected() {
+        let view = ViewSpec::new([16, 16, 16]).with_image_size(100, 80);
+        let f = Factorization::from_view(&view);
+        assert_eq!((f.final_w, f.final_h), (100, 80));
+    }
+
+    #[test]
+    fn zoom_scales_projection() {
+        let v1 = ViewSpec::new([16, 16, 16]).with_zoom(2.0);
+        let m = v1.view_matrix();
+        let a = m.transform_point(Vec3::new(0.0, 0.0, 0.0));
+        let b = m.transform_point(Vec3::new(1.0, 0.0, 0.0));
+        assert!(((b.x - a.x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perspective_factorization_identity() {
+        // Every voxel projected through slice-xform + homography warp must
+        // land where the perspective view matrix puts it.
+        for deg in [0.0f64, 25.0, 80.0, 160.0, 290.0] {
+            let view = ViewSpec::new([20, 24, 16])
+                .rotate_x(0.25)
+                .rotate_y(deg.to_radians())
+                .with_perspective(60.0);
+            let f = Factorization::from_view(&view);
+            assert!(f.persp.is_some());
+            let m = view.view_matrix();
+            for &(x, y, z) in &[(0usize, 0usize, 0usize), (10, 12, 8), (19, 23, 15), (3, 20, 2)] {
+                let p = Vec3::new(x as f64, y as f64, z as f64);
+                let ps = f.object_to_std(p);
+                let xf = f.slice_xform(ps.z.round() as usize);
+                let (u, v) = (xf.scale * ps.x + xf.off_u, xf.scale * ps.y + xf.off_v);
+                let (wx, wy) = f.map_inter_to_final(u, v);
+                let direct = m.transform_point(p);
+                assert!(
+                    (wx - direct.x).abs() < 1e-6 && (wy - direct.y).abs() < 1e-6,
+                    "deg {deg}, voxel {p:?}: warp ({wx:.4},{wy:.4}) vs direct ({:.4},{:.4})",
+                    direct.x,
+                    direct.y
+                );
+                // The voxel stays inside the intermediate image.
+                assert!(u >= 0.0 && u <= (f.inter_w - 1) as f64, "u = {u}");
+                assert!(v >= 0.0 && v <= (f.inter_h - 1) as f64, "v = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn perspective_scales_shrink_away_from_eye() {
+        let view = ViewSpec::new([16, 16, 16]).with_perspective(50.0);
+        let f = Factorization::from_view(&view);
+        let front = f.slice_for_step(0);
+        let back = f.slice_for_step(f.slice_count() - 1);
+        let s_front = f.slice_xform(front).scale;
+        let s_back = f.slice_xform(back).scale;
+        assert!((s_front - 1.0).abs() < 1e-12, "front slice is the projection plane");
+        assert!(s_back < s_front && s_back > 0.0, "farther slices shrink: {s_back}");
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the volume slab")]
+    fn perspective_eye_inside_slab_rejected() {
+        // The image-size assertion is bypassed with an explicit size, so the
+        // factorization itself must catch the eye-in-slab case.
+        let view = ViewSpec::new([64, 64, 64])
+            .with_image_size(256, 256)
+            .with_perspective(10.0);
+        let _ = Factorization::from_view(&view);
+    }
+
+    #[test]
+    fn parallel_views_have_unit_slice_scale() {
+        let view = ViewSpec::new([16, 16, 16]).rotate_y(0.5);
+        let f = Factorization::from_view(&view);
+        assert!(f.persp.is_none());
+        for k in 0..16 {
+            let xf = f.slice_xform(k);
+            assert_eq!(xf.scale, 1.0);
+            let (ou, ov) = f.slice_offsets(k);
+            assert_eq!((xf.off_u, xf.off_v), (ou, ov));
+        }
+    }
+
+    #[test]
+    fn axis_permutations_are_cyclic() {
+        assert_eq!(Axis::X.permutation(), [1, 2, 0]);
+        assert_eq!(Axis::Y.permutation(), [2, 0, 1]);
+        assert_eq!(Axis::Z.permutation(), [0, 1, 2]);
+        for ax in [Axis::X, Axis::Y, Axis::Z] {
+            assert_eq!(ax.permutation()[2], ax.index(), "k must be principal");
+            assert_eq!(Axis::from_index(ax.index()), ax);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! 2-D projective transforms (homographies) — the warp of the *perspective*
+//! shear-warp factorization.
+//!
+//! For parallel projections the intermediate→final warp is affine
+//! ([`crate::Affine2`]); under perspective it becomes a general plane
+//! projective map. Affine maps embed as homographies with last row
+//! `[0, 0, 1]`, so renderers can treat both uniformly.
+
+use crate::affine::Affine2;
+
+/// A 2-D homography `(x, y) ↦ ((a·x + b·y + c) / w, (d·x + e·y + f) / w)`
+/// with `w = g·x + h·y + i`, stored as a row-major 3×3 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Homography2 {
+    /// `m[row][col]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Default for Homography2 {
+    fn default() -> Self {
+        Homography2::IDENTITY
+    }
+}
+
+impl Homography2 {
+    /// The identity map.
+    pub const IDENTITY: Homography2 = Homography2 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Builds a homography from a row-major 3×3 matrix.
+    pub const fn from_matrix(m: [[f64; 3]; 3]) -> Self {
+        Homography2 { m }
+    }
+
+    /// Embeds an affine map.
+    pub fn from_affine(a: &Affine2) -> Self {
+        Homography2 {
+            m: [[a.a, a.b, a.c], [a.d, a.e, a.f], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    /// Whether the map is (numerically) affine.
+    pub fn is_affine(&self) -> bool {
+        self.m[2][0].abs() < 1e-12 && self.m[2][1].abs() < 1e-12 && (self.m[2][2] - 1.0).abs() < 1e-9
+    }
+
+    /// Applies the map, performing the projective divide.
+    #[inline]
+    pub fn apply(&self, x: f64, y: f64) -> (f64, f64) {
+        let m = &self.m;
+        let w = m[2][0] * x + m[2][1] * y + m[2][2];
+        debug_assert!(w.abs() > 1e-300, "point on the line at infinity");
+        (
+            (m[0][0] * x + m[0][1] * y + m[0][2]) / w,
+            (m[1][0] * x + m[1][1] * y + m[1][2]) / w,
+        )
+    }
+
+    /// Inverse homography via the adjugate; `None` when singular.
+    pub fn inverse(&self) -> Option<Homography2> {
+        let m = &self.m;
+        let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+        if det.abs() < 1e-14 {
+            return None;
+        }
+        let adj = [
+            [
+                m[1][1] * m[2][2] - m[1][2] * m[2][1],
+                m[0][2] * m[2][1] - m[0][1] * m[2][2],
+                m[0][1] * m[1][2] - m[0][2] * m[1][1],
+            ],
+            [
+                m[1][2] * m[2][0] - m[1][0] * m[2][2],
+                m[0][0] * m[2][2] - m[0][2] * m[2][0],
+                m[0][2] * m[1][0] - m[0][0] * m[1][2],
+            ],
+            [
+                m[1][0] * m[2][1] - m[1][1] * m[2][0],
+                m[0][1] * m[2][0] - m[0][0] * m[2][1],
+                m[0][0] * m[1][1] - m[0][1] * m[1][0],
+            ],
+        ];
+        let mut out = [[0.0; 3]; 3];
+        for r in 0..3 {
+            for c in 0..3 {
+                out[r][c] = adj[r][c] / det;
+            }
+        }
+        Some(Homography2 { m: out })
+    }
+
+    /// Composition `self ∘ other` (apply `other` first).
+    pub fn compose(&self, other: &Homography2) -> Homography2 {
+        let mut out = [[0.0; 3]; 3];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.m[r][k] * other.m[k][c]).sum();
+            }
+        }
+        Homography2 { m: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_affine_embedding() {
+        assert_eq!(Homography2::IDENTITY.apply(3.0, -2.0), (3.0, -2.0));
+        let a = Affine2::from_coeffs(2.0, 0.5, 1.0, -0.5, 2.0, 3.0);
+        let h = Homography2::from_affine(&a);
+        assert!(h.is_affine());
+        for &(x, y) in &[(0.0, 0.0), (1.5, -2.0), (10.0, 4.0)] {
+            assert_eq!(h.apply(x, y), a.apply(x, y));
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let h = Homography2::from_matrix([
+            [1.2, 0.1, 3.0],
+            [-0.2, 0.9, -1.0],
+            [0.001, 0.002, 1.0],
+        ]);
+        assert!(!h.is_affine());
+        let inv = h.inverse().expect("invertible");
+        for &(x, y) in &[(0.0, 0.0), (50.0, 70.0), (-20.0, 15.0)] {
+            let (u, v) = h.apply(x, y);
+            let (bx, by) = inv.apply(u, v);
+            assert!((bx - x).abs() < 1e-9 && (by - y).abs() < 1e-9, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let h = Homography2::from_matrix([[1.0, 2.0, 0.0], [2.0, 4.0, 0.0], [0.0, 0.0, 1.0]]);
+        assert!(h.inverse().is_none());
+    }
+
+    #[test]
+    fn composition_matches_sequential() {
+        let h1 = Homography2::from_matrix([[1.0, 0.0, 5.0], [0.0, 1.0, -2.0], [0.0, 0.001, 1.0]]);
+        let h2 = Homography2::from_matrix([[0.8, 0.1, 0.0], [0.0, 1.1, 0.0], [0.002, 0.0, 1.0]]);
+        let c = h2.compose(&h1);
+        let p = (7.0, 3.0);
+        let step = h1.apply(p.0, p.1);
+        let seq = h2.apply(step.0, step.1);
+        let direct = c.apply(p.0, p.1);
+        assert!((seq.0 - direct.0).abs() < 1e-9 && (seq.1 - direct.1).abs() < 1e-9);
+    }
+}

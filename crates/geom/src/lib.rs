@@ -1,0 +1,51 @@
+//! Geometry kernel for shear-warp volume rendering.
+//!
+//! This crate provides the small amount of linear algebra the renderer needs —
+//! 3-vectors, 4×4 homogeneous matrices, 2-D affine transforms — plus the heart
+//! of the shear-warp method: the *factorization* of an arbitrary
+//! parallel-projection viewing transformation into
+//!
+//! ```text
+//!   M_view = M_warp · M_shear · P
+//! ```
+//!
+//! where `P` permutes the volume axes so the axis most parallel to the viewing
+//! direction becomes the slice axis, `M_shear` shears (and translates) each
+//! volume slice so that all viewing rays become perpendicular to the slices,
+//! and `M_warp` is a 2-D affine transformation that maps the distorted
+//! *intermediate image* produced by compositing the sheared slices into the
+//! final image.
+//!
+//! The factorization logic follows Lacroute's thesis ("Fast Volume Rendering
+//! Using a Shear-Warp Factorization of the Viewing Transformation", Stanford,
+//! 1995), which is the serial algorithm the PPoPP'97 paper parallelizes.
+//!
+//! # Example
+//!
+//! ```
+//! use swr_geom::{ViewSpec, Factorization};
+//!
+//! // A 64^3 volume viewed after a 30 degree rotation about the Y axis.
+//! let view = ViewSpec::new([64, 64, 64]).rotate_y(30.0_f64.to_radians());
+//! let f = Factorization::from_view(&view);
+//!
+//! // Every viewing ray pierces all slices at the same intermediate-image
+//! // pixel; the warp then straightens the sheared projection out.
+//! assert!(f.intermediate_width() >= 64);
+//! assert!(f.slice_count() == 64);
+//! ```
+
+pub mod affine;
+pub mod factor;
+pub mod homography;
+pub mod mat;
+pub mod vec;
+
+pub use affine::Affine2;
+pub use homography::Homography2;
+pub use factor::{Axis, Factorization, PerspectiveFact, Projection, SliceOrder, SliceXform, ViewSpec};
+pub use mat::Mat4;
+pub use vec::Vec3;
+
+/// Tolerance used by the geometric tests in this crate.
+pub const EPS: f64 = 1e-9;

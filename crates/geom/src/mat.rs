@@ -1,0 +1,317 @@
+//! 4×4 homogeneous matrices for viewing-transform construction.
+//!
+//! Row-major storage; points transform as column vectors (`M · p`). Only the
+//! operations the factorization needs are provided: composition, inversion
+//! (Gauss–Jordan with partial pivoting), and point/direction transforms.
+
+use crate::vec::Vec3;
+use std::ops::Mul;
+
+/// A 4×4 double-precision matrix, row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// `m[row][col]`.
+    pub m: [[f64; 4]; 4],
+}
+
+impl Default for Mat4 {
+    fn default() -> Self {
+        Mat4::identity()
+    }
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const fn identity() -> Self {
+        let mut m = [[0.0; 4]; 4];
+        m[0][0] = 1.0;
+        m[1][1] = 1.0;
+        m[2][2] = 1.0;
+        m[3][3] = 1.0;
+        Mat4 { m }
+    }
+
+    /// Builds a matrix from rows.
+    pub const fn from_rows(m: [[f64; 4]; 4]) -> Self {
+        Mat4 { m }
+    }
+
+    /// Translation by `(x, y, z)`.
+    pub fn translation(t: Vec3) -> Self {
+        let mut r = Mat4::identity();
+        r.m[0][3] = t.x;
+        r.m[1][3] = t.y;
+        r.m[2][3] = t.z;
+        r
+    }
+
+    /// Uniform or per-axis scaling.
+    pub fn scaling(s: Vec3) -> Self {
+        let mut r = Mat4::identity();
+        r.m[0][0] = s.x;
+        r.m[1][1] = s.y;
+        r.m[2][2] = s.z;
+        r
+    }
+
+    /// Rotation about the X axis by `a` radians (right-handed).
+    pub fn rotation_x(a: f64) -> Self {
+        let (s, c) = a.sin_cos();
+        Mat4::from_rows([
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, c, -s, 0.0],
+            [0.0, s, c, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Rotation about the Y axis by `a` radians (right-handed).
+    pub fn rotation_y(a: f64) -> Self {
+        let (s, c) = a.sin_cos();
+        Mat4::from_rows([
+            [c, 0.0, s, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [-s, 0.0, c, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Rotation about the Z axis by `a` radians (right-handed).
+    pub fn rotation_z(a: f64) -> Self {
+        let (s, c) = a.sin_cos();
+        Mat4::from_rows([
+            [c, -s, 0.0, 0.0],
+            [s, c, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Permutation matrix mapping object axes to "standard" (permuted) axes:
+    /// `standard[i] = object[perm[i]]`.
+    pub fn permutation(perm: [usize; 3]) -> Self {
+        let mut m = [[0.0; 4]; 4];
+        for (row, &src) in perm.iter().enumerate() {
+            assert!(src < 3, "permutation index out of range");
+            m[row][src] = 1.0;
+        }
+        m[3][3] = 1.0;
+        Mat4 { m }
+    }
+
+    /// Transforms a point (w = 1), performing the homogeneous divide.
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        let m = &self.m;
+        let x = m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + m[0][3];
+        let y = m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + m[1][3];
+        let z = m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + m[2][3];
+        let w = m[3][0] * p.x + m[3][1] * p.y + m[3][2] * p.z + m[3][3];
+        debug_assert!(w.abs() > 1e-300, "degenerate homogeneous coordinate");
+        Vec3::new(x / w, y / w, z / w)
+    }
+
+    /// Transforms a direction (w = 0); translation has no effect.
+    pub fn transform_dir(&self, d: Vec3) -> Vec3 {
+        let m = &self.m;
+        Vec3::new(
+            m[0][0] * d.x + m[0][1] * d.y + m[0][2] * d.z,
+            m[1][0] * d.x + m[1][1] * d.y + m[1][2] * d.z,
+            m[2][0] * d.x + m[2][1] * d.y + m[2][2] * d.z,
+        )
+    }
+
+    /// Matrix inverse by Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is singular (pivot below `1e-12` after
+    /// scaling), which for viewing transforms indicates a degenerate view.
+    pub fn inverse(&self) -> Option<Mat4> {
+        // Augment [A | I] and reduce A to I.
+        let mut a = self.m;
+        let mut inv = Mat4::identity().m;
+        for col in 0..4 {
+            // Partial pivot: find the largest |entry| in this column at or
+            // below the diagonal.
+            let mut pivot_row = col;
+            let mut best = a[col][col].abs();
+            for (r, row) in a.iter().enumerate().skip(col + 1) {
+                if row[col].abs() > best {
+                    best = row[col].abs();
+                    pivot_row = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            a.swap(col, pivot_row);
+            inv.swap(col, pivot_row);
+
+            let pivot = a[col][col];
+            for j in 0..4 {
+                a[col][j] /= pivot;
+                inv[col][j] /= pivot;
+            }
+            for r in 0..4 {
+                if r == col {
+                    continue;
+                }
+                let f = a[r][col];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..4 {
+                    a[r][j] -= f * a[col][j];
+                    inv[r][j] -= f * inv[col][j];
+                }
+            }
+        }
+        Some(Mat4 { m: inv })
+    }
+
+    /// Rotation angle (radians) between the orthonormal upper-left 3×3
+    /// blocks of two matrices: `acos((trace(R1ᵀ·R2) − 1) / 2)`.
+    ///
+    /// Used by the animation-aware profiling policy: the paper re-profiles
+    /// "once every 15 degrees of rotation" (§4.2). Returns 0 for identical
+    /// rotations; meaningless if either block is not a rotation.
+    pub fn rotation_angle_to(&self, o: &Mat4) -> f64 {
+        // trace(R1ᵀR2) equals the Frobenius inner product of the blocks.
+        let mut trace = 0.0;
+        for k in 0..3 {
+            for i in 0..3 {
+                trace += self.m[k][i] * o.m[k][i];
+            }
+        }
+        ((trace - 1.0) / 2.0).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, o: &Mat4) -> f64 {
+        let mut d: f64 = 0.0;
+        for r in 0..4 {
+            for c in 0..4 {
+                d = d.max((self.m[r][c] - o.m[r][c]).abs());
+            }
+        }
+        d
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Mat4;
+    fn mul(self, o: Mat4) -> Mat4 {
+        let mut r = [[0.0; 4]; 4];
+        for (i, row) in r.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for k in 0..4 {
+                    s += self.m[i][k] * o.m[k][j];
+                }
+                *cell = s;
+            }
+        }
+        Mat4 { m: r }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Mat4, b: &Mat4) {
+        assert!(
+            a.max_abs_diff(b) < 1e-10,
+            "matrices differ:\n{a:?}\nvs\n{b:?}"
+        );
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let r = Mat4::rotation_y(0.7) * Mat4::translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_close(&(Mat4::identity() * r), &r);
+        assert_close(&(r * Mat4::identity()), &r);
+    }
+
+    #[test]
+    fn translation_moves_points_not_directions() {
+        let t = Mat4::translation(Vec3::new(5.0, -1.0, 2.0));
+        assert_eq!(t.transform_point(Vec3::ZERO), Vec3::new(5.0, -1.0, 2.0));
+        assert_eq!(t.transform_dir(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn rotations_are_orthonormal() {
+        for m in [
+            Mat4::rotation_x(0.3),
+            Mat4::rotation_y(-1.2),
+            Mat4::rotation_z(2.8),
+        ] {
+            let x = m.transform_dir(Vec3::X);
+            let y = m.transform_dir(Vec3::Y);
+            assert!((x.length() - 1.0).abs() < 1e-12);
+            assert!(x.dot(y).abs() < 1e-12);
+            // Right-handedness preserved.
+            let z = m.transform_dir(Vec3::Z);
+            assert!((x.cross(y) - z).length() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_z_quarter_turn() {
+        let m = Mat4::rotation_z(std::f64::consts::FRAC_PI_2);
+        let p = m.transform_point(Vec3::X);
+        assert!((p - Vec3::Y).length() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Mat4::translation(Vec3::new(3.0, -2.0, 0.5))
+            * Mat4::rotation_x(0.4)
+            * Mat4::rotation_y(1.1)
+            * Mat4::scaling(Vec3::new(2.0, 1.0, 0.5));
+        let inv = m.inverse().expect("invertible");
+        assert_close(&(m * inv), &Mat4::identity());
+        assert_close(&(inv * m), &Mat4::identity());
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let z = Mat4::scaling(Vec3::new(1.0, 1.0, 0.0));
+        assert!(z.inverse().is_none());
+    }
+
+    #[test]
+    fn permutation_matrices() {
+        // Cyclic permutation for principal axis X: (i,j,k) = (y,z,x).
+        let p = Mat4::permutation([1, 2, 0]);
+        let v = p.transform_point(Vec3::new(10.0, 20.0, 30.0));
+        assert_eq!(v, Vec3::new(20.0, 30.0, 10.0));
+        // Permutation matrices are orthogonal: inverse == transpose.
+        let inv = p.inverse().unwrap();
+        let back = inv.transform_point(v);
+        assert_eq!(back, Vec3::new(10.0, 20.0, 30.0));
+    }
+
+    #[test]
+    fn rotation_angle_between_matrices() {
+        let a = Mat4::rotation_y(0.3);
+        let b = Mat4::rotation_y(0.3 + 0.25);
+        assert!((a.rotation_angle_to(&b) - 0.25).abs() < 1e-9);
+        assert!(a.rotation_angle_to(&a) < 1e-7);
+        // Composed rotations about different axes still give a sane angle.
+        let c = Mat4::rotation_x(0.2) * Mat4::rotation_y(0.3);
+        let d = Mat4::rotation_x(0.2) * Mat4::rotation_y(0.3 + 0.1);
+        assert!((c.rotation_angle_to(&d) - 0.1).abs() < 1e-9);
+        // Angle is symmetric.
+        assert!((c.rotation_angle_to(&d) - d.rotation_angle_to(&c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_applies_right_to_left() {
+        let m = Mat4::translation(Vec3::X) * Mat4::scaling(Vec3::new(2.0, 2.0, 2.0));
+        // Scale first, then translate.
+        assert_eq!(
+            m.transform_point(Vec3::new(1.0, 0.0, 0.0)),
+            Vec3::new(3.0, 0.0, 0.0)
+        );
+    }
+}

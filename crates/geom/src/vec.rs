@@ -1,0 +1,210 @@
+//! Minimal 3-component vector used by the viewing-transform code.
+//!
+//! The renderer proper works in fixed-point / integer pixel coordinates; the
+//! `f64` vector type here is only used while setting up a frame (building the
+//! view matrix and factoring it), so simplicity beats micro-optimization.
+
+use std::ops::{Add, Div, Index, Mul, Neg, Sub};
+
+/// A 3-component double-precision vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+    /// The +X unit vector.
+    pub const X: Vec3 = Vec3::new(1.0, 0.0, 0.0);
+    /// The +Y unit vector.
+    pub const Y: Vec3 = Vec3::new(0.0, 1.0, 0.0);
+    /// The +Z unit vector.
+    pub const Z: Vec3 = Vec3::new(0.0, 0.0, 1.0);
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    /// Panics if the vector is (numerically) zero — normalizing a degenerate
+    /// viewing direction is always a caller bug.
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        assert!(len > 1e-300, "cannot normalize a zero vector");
+        self / len
+    }
+
+    /// Component with the largest absolute value, as `(index, value)`.
+    ///
+    /// Used to select the principal viewing axis; ties resolve to the
+    /// lowest index so the choice is deterministic.
+    pub fn max_abs_component(self) -> (usize, f64) {
+        let ax = self.x.abs();
+        let ay = self.y.abs();
+        let az = self.z.abs();
+        if ax >= ay && ax >= az {
+            (0, self.x)
+        } else if ay >= az {
+            (1, self.y)
+        } else {
+            (2, self.z)
+        }
+    }
+
+    /// Component-wise absolute value.
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Returns the components as an array `[x, y, z]`.
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array `[x, y, z]`.
+    pub fn from_array(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 5.0, 0.5);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        // Cross product is perpendicular to both operands.
+        let c = a.cross(Vec3::new(4.0, -1.0, 2.0));
+        assert!(c.dot(a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.length(), 5.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let _ = Vec3::ZERO.normalized();
+    }
+
+    #[test]
+    fn max_abs_component_ties_are_deterministic() {
+        assert_eq!(Vec3::new(1.0, -1.0, 1.0).max_abs_component().0, 0);
+        assert_eq!(Vec3::new(0.0, -2.0, 2.0).max_abs_component().0, 1);
+        assert_eq!(Vec3::new(0.0, 1.0, -3.0).max_abs_component(), (2, -3.0));
+    }
+
+    #[test]
+    fn indexing() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let v = Vec3::new(1.5, -2.5, 3.5);
+        assert_eq!(Vec3::from_array(v.to_array()), v);
+    }
+}

@@ -1,0 +1,291 @@
+//! Set-associative LRU caches.
+//!
+//! One cache per simulated processor (the paper's simulator models a single
+//! cache level per node; multi-level real machines are represented by their
+//! second-level cache, which dominates miss behaviour).
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Associativity (ways per set); use `usize::MAX` for fully associative.
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// A config with the given parameters.
+    pub fn new(size: usize, line: usize, assoc: usize) -> Self {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(size.is_multiple_of(line), "size must be a multiple of the line size");
+        let lines = size / line;
+        let assoc = assoc.min(lines).max(1);
+        assert!(
+            lines.is_multiple_of(assoc),
+            "line count {lines} must be divisible by associativity {assoc}"
+        );
+        CacheConfig { size, line, assoc }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size / self.line) / self.assoc
+    }
+
+    /// Line index of a byte address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.line as u64
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was filled; `evicted` is the line that was displaced.
+    Miss { evicted: Option<u64> },
+}
+
+/// A set-associative cache with true-LRU replacement over line numbers.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `ways[set * assoc + way]` — line number or `u64::MAX` for empty, kept
+    /// in LRU order within each set (index 0 = most recently used).
+    ways: Vec<u64>,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Cache {
+            cfg,
+            ways: vec![EMPTY; cfg.sets() * cfg.assoc],
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accesses `line` (already divided by line size), filling on miss.
+    pub fn access_line(&mut self, line: u64) -> Access {
+        let sets = self.cfg.sets() as u64;
+        let set = (line % sets) as usize;
+        let a = self.cfg.assoc;
+        let ways = &mut self.ways[set * a..(set + 1) * a];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            // Move to MRU.
+            ways[..=pos].rotate_right(1);
+            return Access::Hit;
+        }
+        // Miss: evict LRU (last slot), insert at MRU.
+        let victim = ways[a - 1];
+        ways.rotate_right(1);
+        ways[0] = line;
+        Access::Miss {
+            evicted: (victim != EMPTY).then_some(victim),
+        }
+    }
+
+    /// Removes `line` if present (coherence invalidation). Returns whether it
+    /// was present.
+    pub fn invalidate_line(&mut self, line: u64) -> bool {
+        let sets = self.cfg.sets() as u64;
+        let set = (line % sets) as usize;
+        let a = self.cfg.assoc;
+        let ways = &mut self.ways[set * a..(set + 1) * a];
+        if let Some(pos) = ways.iter().position(|&l| l == line) {
+            // Shift the remainder up; empty slot becomes LRU.
+            ways[pos..].rotate_left(1);
+            ways[a - 1] = EMPTY;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `line` is currently cached.
+    pub fn contains_line(&self, line: u64) -> bool {
+        let sets = self.cfg.sets() as u64;
+        let set = (line % sets) as usize;
+        let a = self.cfg.assoc;
+        self.ways[set * a..(set + 1) * a].contains(&line)
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.ways.iter().filter(|&&l| l != EMPTY).count()
+    }
+}
+
+/// A fully-associative LRU shadow cache with O(log n) operations.
+///
+/// Used to split replacement misses into **capacity** (the fully-associative
+/// cache of the same size also misses) and **conflict** (it would have hit) —
+/// the distinction the paper's tools could not provide (§3.4, §5.5.1).
+#[derive(Debug, Default)]
+pub struct LruShadow {
+    cap: usize,
+    tick: u64,
+    stamp_of: std::collections::HashMap<u64, u64>,
+    by_stamp: std::collections::BTreeMap<u64, u64>,
+}
+
+impl LruShadow {
+    /// A shadow holding at most `lines` lines.
+    pub fn new(lines: usize) -> Self {
+        assert!(lines > 0);
+        LruShadow { cap: lines, ..Default::default() }
+    }
+
+    /// Touches `line`; returns whether it was present (a fully-associative
+    /// hit). Evicts the least recently used line when over capacity.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.tick += 1;
+        let hit = if let Some(old) = self.stamp_of.insert(line, self.tick) {
+            self.by_stamp.remove(&old);
+            true
+        } else {
+            false
+        };
+        self.by_stamp.insert(self.tick, line);
+        if self.stamp_of.len() > self.cap {
+            let (&stamp, &victim) = self.by_stamp.iter().next().expect("non-empty over cap");
+            self.by_stamp.remove(&stamp);
+            self.stamp_of.remove(&victim);
+        }
+        hit
+    }
+
+    /// Drops `line` (coherence invalidation).
+    pub fn invalidate(&mut self, line: u64) {
+        if let Some(stamp) = self.stamp_of.remove(&line) {
+            self.by_stamp.remove(&stamp);
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.stamp_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct_mapped(lines: usize, line: usize) -> Cache {
+        Cache::new(CacheConfig::new(lines * line, line, 1))
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = direct_mapped(4, 64);
+        assert!(matches!(c.access_line(10), Access::Miss { evicted: None }));
+        assert_eq!(c.access_line(10), Access::Hit);
+        assert!(c.contains_line(10));
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = direct_mapped(4, 64);
+        // Lines 0 and 4 map to the same set.
+        c.access_line(0);
+        assert!(matches!(c.access_line(4), Access::Miss { evicted: Some(0) }));
+        assert!(!c.contains_line(0));
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 2-way, 1 set.
+        let mut c = Cache::new(CacheConfig::new(128, 64, 2));
+        c.access_line(1);
+        c.access_line(2);
+        c.access_line(1); // 1 becomes MRU, 2 is LRU
+        assert!(matches!(c.access_line(3), Access::Miss { evicted: Some(2) }));
+        assert!(c.contains_line(1));
+        assert!(c.contains_line(3));
+    }
+
+    #[test]
+    fn invalidate_frees_slot_as_lru() {
+        let mut c = Cache::new(CacheConfig::new(128, 64, 2));
+        c.access_line(1);
+        c.access_line(2);
+        assert!(c.invalidate_line(1));
+        assert!(!c.contains_line(1));
+        // The freed slot is reused without evicting line 2.
+        assert!(matches!(c.access_line(3), Access::Miss { evicted: None }));
+        assert!(c.contains_line(2));
+        assert!(!c.invalidate_line(99), "absent line is not invalidated");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = Cache::new(CacheConfig::new(8 * 64, 64, 4));
+        for l in 0..100 {
+            c.access_line(l);
+        }
+        assert!(c.resident() <= 8);
+    }
+
+    #[test]
+    fn fully_associative_uses_whole_capacity() {
+        let mut c = Cache::new(CacheConfig::new(8 * 64, 64, usize::MAX));
+        for l in 0..8 {
+            c.access_line(l);
+        }
+        assert_eq!(c.resident(), 8);
+        for l in 0..8 {
+            assert_eq!(c.access_line(l), Access::Hit);
+        }
+        // The 9th line evicts the least recently used (line 0).
+        assert!(matches!(c.access_line(8), Access::Miss { evicted: Some(0) }));
+    }
+
+    #[test]
+    fn shadow_lru_semantics() {
+        let mut s = LruShadow::new(3);
+        assert!(!s.access(1));
+        assert!(!s.access(2));
+        assert!(!s.access(3));
+        assert!(s.access(1)); // 1 becomes MRU; LRU order now 2,3,1
+        assert!(!s.access(4)); // evicts 2
+        assert!(!s.access(2), "2 was evicted");
+        assert!(s.resident() <= 3);
+    }
+
+    #[test]
+    fn shadow_invalidate() {
+        let mut s = LruShadow::new(4);
+        s.access(7);
+        assert!(s.access(7));
+        s.invalidate(7);
+        assert!(!s.access(7));
+        s.invalidate(999); // absent: no-op
+    }
+
+    #[test]
+    fn shadow_never_exceeds_capacity() {
+        let mut s = LruShadow::new(5);
+        for i in 0..100 {
+            s.access(i % 13);
+            assert!(s.resident() <= 5);
+        }
+    }
+
+    #[test]
+    fn sets_computed_correctly() {
+        let cfg = CacheConfig::new(1 << 20, 64, 4);
+        assert_eq!(cfg.sets(), (1 << 20) / 64 / 4);
+        assert_eq!(cfg.line_of(0x12345), 0x12345 / 64);
+    }
+}

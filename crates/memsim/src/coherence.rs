@@ -1,0 +1,446 @@
+//! Invalidation-based sharing and miss classification.
+//!
+//! Misses are classified following the SPLASH-2 methodology the paper uses
+//! (Woo et al., ISCA'95 / Dubois et al.):
+//!
+//! * **cold** — the processor has never referenced the line;
+//! * **true sharing** — a word the processor touches was written by another
+//!   processor since this processor last referenced the line;
+//! * **false sharing** — some *other* word of the line was written by another
+//!   processor since the last reference, but none of the touched words;
+//! * **replacement** — everything else: the line was displaced by capacity or
+//!   conflict and nobody else modified it.
+//!
+//! Word-granularity writer/epoch tracking makes the true/false distinction
+//! exact. The key observation that keeps bookkeeping cheap: while a processor
+//! holds a valid copy, any other processor's write invalidates that copy, so
+//! "written since last reference" is equivalent to "written since the copy
+//! was lost" — one map update per invalidation/eviction instead of one per
+//! access.
+
+use std::collections::HashMap;
+
+/// Classification of a cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    Cold,
+    Replacement,
+    TrueSharing,
+    FalseSharing,
+}
+
+/// Counters per miss class, with the stall cycles attributed to each.
+///
+/// Replacement misses are split into **capacity** and **conflict** by a
+/// fully-associative shadow cache in the replay — the distinction the paper
+/// says its tools could not provide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MissCounts {
+    pub cold: u64,
+    pub capacity: u64,
+    pub conflict: u64,
+    pub true_sharing: u64,
+    pub false_sharing: u64,
+    pub cold_cycles: u64,
+    pub capacity_cycles: u64,
+    pub conflict_cycles: u64,
+    pub true_sharing_cycles: u64,
+    pub false_sharing_cycles: u64,
+}
+
+impl MissCounts {
+    /// Records one miss of class `c` costing `cycles`. A bare
+    /// [`MissClass::Replacement`] counts as capacity; use
+    /// [`Self::record_replacement`] when a shadow cache has made the
+    /// capacity/conflict call.
+    pub fn record(&mut self, c: MissClass, cycles: u64) {
+        match c {
+            MissClass::Cold => {
+                self.cold += 1;
+                self.cold_cycles += cycles;
+            }
+            MissClass::Replacement => {
+                self.capacity += 1;
+                self.capacity_cycles += cycles;
+            }
+            MissClass::TrueSharing => {
+                self.true_sharing += 1;
+                self.true_sharing_cycles += cycles;
+            }
+            MissClass::FalseSharing => {
+                self.false_sharing += 1;
+                self.false_sharing_cycles += cycles;
+            }
+        }
+    }
+
+    /// Records a replacement miss with the shadow-cache verdict: `conflict`
+    /// means the fully-associative cache of the same size would have hit.
+    pub fn record_replacement(&mut self, cycles: u64, conflict: bool) {
+        if conflict {
+            self.conflict += 1;
+            self.conflict_cycles += cycles;
+        } else {
+            self.capacity += 1;
+            self.capacity_cycles += cycles;
+        }
+    }
+
+    /// Replacement misses (capacity + conflict).
+    pub fn replacement(&self) -> u64 {
+        self.capacity + self.conflict
+    }
+
+    /// Replacement stall cycles (capacity + conflict).
+    pub fn replacement_cycles(&self) -> u64 {
+        self.capacity_cycles + self.conflict_cycles
+    }
+
+    /// Total misses.
+    pub fn total(&self) -> u64 {
+        self.cold + self.replacement() + self.true_sharing + self.false_sharing
+    }
+
+    /// Total stall cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.cold_cycles + self.replacement_cycles() + self.true_sharing_cycles
+            + self.false_sharing_cycles
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, o: &MissCounts) {
+        self.cold += o.cold;
+        self.capacity += o.capacity;
+        self.conflict += o.conflict;
+        self.true_sharing += o.true_sharing;
+        self.false_sharing += o.false_sharing;
+        self.cold_cycles += o.cold_cycles;
+        self.capacity_cycles += o.capacity_cycles;
+        self.conflict_cycles += o.conflict_cycles;
+        self.true_sharing_cycles += o.true_sharing_cycles;
+        self.false_sharing_cycles += o.false_sharing_cycles;
+    }
+}
+
+/// Per-line write history at word (4-byte) granularity.
+struct WordInfo {
+    /// Epoch of the last write to each word (0 = never).
+    epoch: Box<[u64]>,
+    /// Writer of the last write to each word.
+    writer: Box<[u8]>,
+}
+
+/// What the directory knows about a line's holders.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bitmask of processors with a valid copy.
+    holders: u64,
+    /// Processor holding the line modified, if any.
+    dirty: Option<u8>,
+}
+
+/// Global sharing state across all processors.
+pub struct CoherenceState {
+    nprocs: usize,
+    words_per_line: usize,
+    line_bytes: u64,
+    dir: HashMap<u64, DirEntry>,
+    writes: HashMap<u64, WordInfo>,
+    /// Per processor: epoch at which it last lost each line (invalidation or
+    /// eviction). Presence in the map doubles as "referenced before".
+    loss: Vec<HashMap<u64, u64>>,
+    epoch: u64,
+}
+
+/// Information needed to price a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillInfo {
+    pub class: MissClass,
+    /// Whether a third party held the line dirty (3-hop service).
+    pub dirty_elsewhere: bool,
+}
+
+impl CoherenceState {
+    /// Creates coherence state for `nprocs` processors and a line size.
+    pub fn new(nprocs: usize, line_bytes: usize) -> Self {
+        assert!(nprocs <= 64, "holder bitmask limits the model to 64 procs");
+        CoherenceState {
+            nprocs,
+            words_per_line: (line_bytes / 4).max(1),
+            line_bytes: line_bytes as u64,
+            dir: HashMap::new(),
+            writes: HashMap::new(),
+            loss: (0..nprocs).map(|_| HashMap::new()).collect(),
+            epoch: 1,
+        }
+    }
+
+    /// Advances the global epoch (call once per replayed event).
+    #[inline]
+    pub fn tick(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Word index range `[lo, hi]` within the line for a byte span.
+    #[inline]
+    fn word_span(&self, addr: u64, size: u32) -> (usize, usize) {
+        let off = (addr % self.line_bytes) as usize;
+        let lo = off / 4;
+        let hi = ((off + size as usize - 1) / 4).min(self.words_per_line - 1);
+        (lo, hi)
+    }
+
+    /// Classifies a miss by processor `p` on `line` touching the byte span.
+    fn classify(&self, p: usize, line: u64, addr: u64, size: u32) -> MissClass {
+        let Some(&theta) = self.loss[p].get(&line) else {
+            return MissClass::Cold;
+        };
+        let Some(info) = self.writes.get(&line) else {
+            return MissClass::Replacement;
+        };
+        let (lo, hi) = self.word_span(addr, size);
+        let mut false_sharing = false;
+        for w in 0..self.words_per_line {
+            if info.epoch[w] > theta && info.writer[w] as usize != p {
+                if w >= lo && w <= hi {
+                    return MissClass::TrueSharing;
+                }
+                false_sharing = true;
+            }
+        }
+        if false_sharing {
+            MissClass::FalseSharing
+        } else {
+            MissClass::Replacement
+        }
+    }
+
+    /// Handles a *miss* fill for a read by `p`. The caller has already
+    /// consulted `p`'s cache.
+    pub fn fill_read(&mut self, p: usize, line: u64, addr: u64, size: u32) -> FillInfo {
+        let class = self.classify(p, line, addr, size);
+        let entry = self.dir.entry(line).or_default();
+        let dirty_elsewhere = matches!(entry.dirty, Some(q) if q as usize != p);
+        if dirty_elsewhere {
+            entry.dirty = None; // downgrade to shared
+        }
+        entry.holders |= 1 << p;
+        FillInfo { class, dirty_elsewhere }
+    }
+
+    /// Handles a write by `p` (hit or miss). Returns the fill info (only
+    /// meaningful when `was_miss`), whether other holders had to be
+    /// invalidated (an upgrade when it was a hit), and the list of
+    /// processors whose cached copies must be dropped.
+    pub fn write(
+        &mut self,
+        p: usize,
+        line: u64,
+        addr: u64,
+        size: u32,
+        was_miss: bool,
+    ) -> (FillInfo, Vec<usize>) {
+        let class = if was_miss {
+            self.classify(p, line, addr, size)
+        } else {
+            MissClass::Replacement // unused
+        };
+        let entry = self.dir.entry(line).or_default();
+        let dirty_elsewhere = matches!(entry.dirty, Some(q) if q as usize != p);
+        let mut invalidated = Vec::new();
+        let others = entry.holders & !(1u64 << p);
+        if others != 0 {
+            for q in 0..self.nprocs {
+                if others & (1 << q) != 0 {
+                    invalidated.push(q);
+                }
+            }
+        }
+        entry.holders = 1 << p;
+        entry.dirty = Some(p as u8);
+
+        // Record the written words.
+        let (lo, hi) = self.word_span(addr, size);
+        let epoch = self.epoch;
+        let wpl = self.words_per_line;
+        let info = self.writes.entry(line).or_insert_with(|| WordInfo {
+            epoch: vec![0; wpl].into_boxed_slice(),
+            writer: vec![u8::MAX; wpl].into_boxed_slice(),
+        });
+        for w in lo..=hi {
+            info.epoch[w] = epoch;
+            info.writer[w] = p as u8;
+        }
+        // Losers record the loss epoch — just *before* this write, so the
+        // invalidating write itself counts as "written since last reference".
+        for &q in &invalidated {
+            self.loss[q].insert(line, epoch.saturating_sub(1));
+        }
+        (FillInfo { class, dirty_elsewhere }, invalidated)
+    }
+
+    /// Records that `p` evicted `line` (capacity/conflict displacement).
+    pub fn evict(&mut self, p: usize, line: u64) {
+        if let Some(entry) = self.dir.get_mut(&line) {
+            entry.holders &= !(1u64 << p);
+            if entry.dirty == Some(p as u8) {
+                entry.dirty = None;
+            }
+        }
+        self.loss[p].insert(line, self.epoch);
+    }
+
+    /// Whether some processor other than `p` currently holds the line.
+    pub fn held_by_others(&self, p: usize, line: u64) -> bool {
+        self.dir
+            .get(&line)
+            .is_some_and(|e| e.holders & !(1u64 << p) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_is_cold() {
+        let mut c = CoherenceState::new(2, 64);
+        let info = c.fill_read(0, 10, 640, 4);
+        assert_eq!(info.class, MissClass::Cold);
+        assert!(!info.dirty_elsewhere);
+    }
+
+    #[test]
+    fn eviction_then_refill_is_replacement() {
+        let mut c = CoherenceState::new(2, 64);
+        c.fill_read(0, 10, 640, 4);
+        c.tick();
+        c.evict(0, 10);
+        c.tick();
+        let info = c.fill_read(0, 10, 640, 4);
+        assert_eq!(info.class, MissClass::Replacement);
+    }
+
+    #[test]
+    fn true_sharing_on_written_word() {
+        let mut c = CoherenceState::new(2, 64);
+        // P0 reads word 0 of line 10 (addr 640).
+        c.fill_read(0, 10, 640, 4);
+        c.tick();
+        // P1 writes the same word; P0 is invalidated.
+        let (_, inv) = c.write(1, 10, 640, 4, true);
+        assert_eq!(inv, vec![0]);
+        c.tick();
+        // P0 re-reads that word: true sharing.
+        let info = c.fill_read(0, 10, 640, 4);
+        assert_eq!(info.class, MissClass::TrueSharing);
+        assert!(info.dirty_elsewhere, "P1 holds the line dirty");
+    }
+
+    #[test]
+    fn false_sharing_on_other_word() {
+        let mut c = CoherenceState::new(2, 64);
+        c.fill_read(0, 10, 640, 4); // P0 touches word 0
+        c.tick();
+        c.write(1, 10, 640 + 32, 4, true); // P1 writes word 8
+        c.tick();
+        let info = c.fill_read(0, 10, 640, 4); // P0 re-reads word 0
+        assert_eq!(info.class, MissClass::FalseSharing);
+    }
+
+    #[test]
+    fn own_writes_do_not_count_as_sharing() {
+        let mut c = CoherenceState::new(2, 64);
+        c.fill_read(0, 10, 640, 4);
+        c.tick();
+        c.write(0, 10, 640, 4, false); // own write (hit)
+        c.tick();
+        c.evict(0, 10);
+        c.tick();
+        let info = c.fill_read(0, 10, 640, 4);
+        assert_eq!(info.class, MissClass::Replacement);
+    }
+
+    #[test]
+    fn write_hit_invalidates_other_holders() {
+        let mut c = CoherenceState::new(3, 64);
+        c.fill_read(0, 10, 640, 4);
+        c.fill_read(1, 10, 644, 4);
+        c.fill_read(2, 10, 648, 4);
+        c.tick();
+        assert!(c.held_by_others(0, 10));
+        let (_, inv) = c.write(0, 10, 640, 4, false);
+        assert_eq!(inv, vec![1, 2]);
+        assert!(!c.held_by_others(0, 10));
+    }
+
+    #[test]
+    fn read_after_remote_dirty_downgrades() {
+        let mut c = CoherenceState::new(2, 64);
+        c.write(1, 10, 640, 4, true);
+        c.tick();
+        let info = c.fill_read(0, 10, 640, 4);
+        assert!(info.dirty_elsewhere);
+        c.tick();
+        // Second reader: the line is now shared, no 3-hop.
+        c.evict(0, 10);
+        c.tick();
+        let info2 = c.fill_read(0, 10, 640, 4);
+        assert!(!info2.dirty_elsewhere);
+    }
+
+    #[test]
+    fn miss_counts_bookkeeping() {
+        let mut m = MissCounts::default();
+        m.record(MissClass::Cold, 70);
+        m.record(MissClass::TrueSharing, 210);
+        m.record(MissClass::TrueSharing, 280);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.total_cycles(), 560);
+        let mut n = MissCounts::default();
+        n.record(MissClass::FalseSharing, 100);
+        m.merge(&n);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.false_sharing_cycles, 100);
+    }
+
+    #[test]
+    fn classification_with_16_byte_lines() {
+        // DASH-sized lines: 4 words per line. False sharing when the write
+        // hit a different word of the small line...
+        let mut c = CoherenceState::new(2, 16);
+        c.fill_read(0, 40, 640, 4); // line 40 = addrs 640..656, word 0
+        c.tick();
+        c.write(1, 40, 652, 4, true); // last word
+        c.tick();
+        let info = c.fill_read(0, 40, 640, 4);
+        assert_eq!(info.class, MissClass::FalseSharing);
+
+        // ...and true sharing when the victim comes back for the written
+        // word itself (fresh state so the earlier refill doesn't mask it).
+        let mut c = CoherenceState::new(2, 16);
+        c.fill_read(0, 40, 652, 4);
+        c.tick();
+        c.write(1, 40, 652, 4, true);
+        c.tick();
+        let info = c.fill_read(0, 40, 652, 4);
+        assert_eq!(info.class, MissClass::TrueSharing);
+    }
+
+    #[test]
+    fn refill_resets_the_reference_point() {
+        // Line-granularity classification: once the victim re-references the
+        // line, older remote writes no longer count against later misses.
+        let mut c = CoherenceState::new(2, 64);
+        c.fill_read(0, 10, 640, 4);
+        c.tick();
+        c.write(1, 10, 660, 4, true);
+        c.tick();
+        assert_eq!(c.fill_read(0, 10, 640, 4).class, MissClass::FalseSharing);
+        c.tick();
+        c.evict(0, 10);
+        c.tick();
+        // The remote write predates the refill, so this is a replacement.
+        assert_eq!(c.fill_read(0, 10, 660, 4).class, MissClass::Replacement);
+    }
+}

@@ -1,0 +1,283 @@
+//! Shared-address-space platform cost models.
+//!
+//! Each platform is a cache geometry plus a miss-cost model. Presets mirror
+//! the machines in the paper (§3.2, §5.5); all costs are in processor clock
+//! cycles of the respective machine, taken from the paper where given and
+//! from the cited machine papers otherwise. Only cost *ratios* shape the
+//! results, so round numbers are used.
+
+use crate::cache::CacheConfig;
+
+/// Miss-cost model for a platform.
+#[derive(Debug, Clone, Copy)]
+pub struct MemCosts {
+    /// Uncontended cost of a miss satisfied in local memory.
+    pub local_miss: u64,
+    /// Uncontended cost of a clean remote miss (two protocol hops).
+    pub remote_2hop: u64,
+    /// Uncontended cost of a remote miss serviced by a dirty third party
+    /// (three protocol hops).
+    pub remote_3hop: u64,
+    /// Cost of an ownership upgrade (write hit on a shared line).
+    pub upgrade: u64,
+    /// Occupancy of the home memory/directory per miss — the source of
+    /// contention-induced queueing.
+    pub home_occupancy: u64,
+    /// Occupancy of the shared bus per transaction, if the machine has one
+    /// (bus-based machines serialize all misses through it).
+    pub bus_occupancy: Option<u64>,
+    /// Extra cycles per 2-D-mesh network hop between the requesting node and
+    /// the home node (DASH's mesh interconnect); `None` models a
+    /// distance-oblivious network.
+    pub mesh_hop: Option<u64>,
+}
+
+/// A simulated shared-address-space machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    /// Display name.
+    pub name: &'static str,
+    /// Per-processor cache.
+    pub cache: CacheConfig,
+    /// Miss costs.
+    pub costs: MemCosts,
+    /// Processors per node (DASH and Origin group processors; misses between
+    /// nodes are remote, within a node local).
+    pub procs_per_node: usize,
+    /// Page size used for round-robin home assignment (the paper distributes
+    /// pages round-robin because view-dependent placement is impossible).
+    pub page_bytes: u64,
+    /// Centralized memory (bus-based SMP): every miss is "local" but
+    /// serializes on the bus.
+    pub centralized: bool,
+}
+
+impl Platform {
+    /// SGI Challenge: bus-based, centralized memory, 1 MB second-level
+    /// caches with 128-byte lines (§3.2).
+    pub fn challenge() -> Platform {
+        Platform {
+            name: "Challenge",
+            cache: CacheConfig::new(1 << 20, 128, 4),
+            costs: MemCosts {
+                local_miss: 60,
+                remote_2hop: 60,
+                remote_3hop: 80,
+                upgrade: 25,
+                home_occupancy: 10,
+                bus_occupancy: Some(16),
+                mesh_hop: None,
+            },
+            procs_per_node: 16,
+            page_bytes: 4096,
+            centralized: true,
+        }
+    }
+
+    /// Stanford DASH: 4-processor nodes, 256 KB caches with **16-byte**
+    /// lines, distributed directory (§3.2). The small line size is the
+    /// platform's defining handicap in the paper.
+    pub fn dash() -> Platform {
+        Platform {
+            name: "DASH",
+            cache: CacheConfig::new(256 << 10, 16, 4),
+            costs: MemCosts {
+                local_miss: 30,
+                remote_2hop: 100,
+                remote_3hop: 130,
+                upgrade: 40,
+                home_occupancy: 8,
+                bus_occupancy: None,
+                // DASH's 2-D mesh: latency grows with hop distance.
+                mesh_hop: Some(6),
+            },
+            procs_per_node: 4,
+            page_bytes: 4096,
+            centralized: false,
+        }
+    }
+
+    /// The paper's execution-driven simulator: a "pure" modern DSM machine —
+    /// one processor per node, 1 MB 4-way caches, 64-byte lines, 70-cycle
+    /// local / 210- or 280-cycle remote misses (§3.2).
+    pub fn ideal_dsm() -> Platform {
+        Platform {
+            name: "Simulator",
+            cache: CacheConfig::new(1 << 20, 64, 4),
+            costs: MemCosts {
+                local_miss: 70,
+                remote_2hop: 210,
+                remote_3hop: 280,
+                upgrade: 80,
+                home_occupancy: 20,
+                bus_occupancy: None,
+                mesh_hop: None,
+            },
+            procs_per_node: 1,
+            page_bytes: 4096,
+            centralized: false,
+        }
+    }
+
+    /// SGI Origin2000: 2-processor nodes, 4 MB 2-way caches with 128-byte
+    /// lines, directory protocol (§5.5.1).
+    pub fn origin2000() -> Platform {
+        Platform {
+            name: "Origin2000",
+            cache: CacheConfig::new(4 << 20, 128, 2),
+            costs: MemCosts {
+                local_miss: 80,
+                remote_2hop: 200,
+                remote_3hop: 260,
+                upgrade: 70,
+                home_occupancy: 14,
+                bus_occupancy: None,
+                mesh_hop: None,
+            },
+            procs_per_node: 2,
+            page_bytes: 4096,
+            centralized: false,
+        }
+    }
+
+    /// Same platform with a different cache size (working-set studies).
+    pub fn with_cache_size(mut self, size: usize) -> Platform {
+        self.cache = CacheConfig::new(size, self.cache.line, self.cache.assoc);
+        self
+    }
+
+    /// Same platform with a different line size (spatial-locality studies).
+    pub fn with_line_size(mut self, line: usize) -> Platform {
+        let assoc = self.cache.assoc.min(self.cache.size / line);
+        self.cache = CacheConfig::new(self.cache.size, line, assoc);
+        self
+    }
+
+    /// Number of nodes for a given processor count.
+    pub fn nodes(&self, nprocs: usize) -> usize {
+        nprocs.div_ceil(self.procs_per_node)
+    }
+
+    /// Node a processor belongs to.
+    pub fn node_of(&self, proc: usize) -> usize {
+        proc / self.procs_per_node
+    }
+
+    /// Home node of an address: pages round-robin across nodes.
+    pub fn home_node(&self, addr: u64, nprocs: usize) -> usize {
+        if self.centralized {
+            0
+        } else {
+            ((addr / self.page_bytes) % self.nodes(nprocs) as u64) as usize
+        }
+    }
+
+    /// Manhattan hop distance between two nodes on a (near-)square 2-D mesh.
+    pub fn mesh_hops(&self, a: usize, b: usize, nnodes: usize) -> u64 {
+        if a == b || nnodes <= 1 {
+            return 0;
+        }
+        let side = (nnodes as f64).sqrt().ceil() as usize;
+        let (ax, ay) = (a % side, a / side);
+        let (bx, by) = (b % side, b / side);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Uncontended service cost of a miss by `proc` whose home is
+    /// `home_node`, optionally 3-hop.
+    pub fn miss_cost(&self, proc: usize, home: usize, dirty_elsewhere: bool, nprocs: usize) -> u64 {
+        if self.centralized {
+            return if dirty_elsewhere {
+                self.costs.remote_3hop
+            } else {
+                self.costs.local_miss
+            };
+        }
+        let my_node = self.node_of(proc);
+        let base = if dirty_elsewhere {
+            self.costs.remote_3hop
+        } else if my_node == home {
+            return self.costs.local_miss;
+        } else {
+            self.costs.remote_2hop
+        };
+        match self.costs.mesh_hop {
+            Some(per_hop) => {
+                base + per_hop * self.mesh_hops(my_node, home, self.nodes(nprocs))
+            }
+            None => base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_geometries_match_the_paper() {
+        assert_eq!(Platform::dash().cache.line, 16);
+        assert_eq!(Platform::dash().cache.size, 256 << 10);
+        assert_eq!(Platform::dash().procs_per_node, 4);
+        assert_eq!(Platform::ideal_dsm().cache.line, 64);
+        assert_eq!(Platform::ideal_dsm().cache.size, 1 << 20);
+        assert_eq!(Platform::ideal_dsm().cache.assoc, 4);
+        assert_eq!(Platform::ideal_dsm().costs.local_miss, 70);
+        assert_eq!(Platform::ideal_dsm().costs.remote_2hop, 210);
+        assert_eq!(Platform::ideal_dsm().costs.remote_3hop, 280);
+        assert_eq!(Platform::origin2000().cache.size, 4 << 20);
+        assert_eq!(Platform::origin2000().cache.assoc, 2);
+        assert_eq!(Platform::challenge().cache.line, 128);
+        assert!(Platform::challenge().centralized);
+    }
+
+    #[test]
+    fn node_and_home_assignment() {
+        let p = Platform::dash();
+        assert_eq!(p.nodes(32), 8);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(5), 1);
+        // Pages are striped round-robin across nodes.
+        assert_eq!(p.home_node(0, 32), 0);
+        assert_eq!(p.home_node(4096, 32), 1);
+        assert_eq!(p.home_node(8 * 4096, 32), 0);
+    }
+
+    #[test]
+    fn centralized_memory_is_always_local() {
+        let p = Platform::challenge();
+        assert_eq!(p.home_node(123 << 20, 16), 0);
+        assert_eq!(p.miss_cost(7, 0, false, 16), p.costs.local_miss);
+    }
+
+    #[test]
+    fn remote_misses_cost_more() {
+        let p = Platform::ideal_dsm();
+        let local = p.miss_cost(0, 0, false, 8);
+        let remote = p.miss_cost(0, 3, false, 8);
+        let dirty = p.miss_cost(0, 3, true, 8);
+        assert!(local < remote && remote < dirty);
+    }
+
+    #[test]
+    fn mesh_distance_scales_remote_cost() {
+        let p = Platform::dash(); // 2-D mesh with per-hop latency
+        // 32 procs = 8 nodes → 3×3 mesh (last row partial).
+        let near = p.miss_cost(0, 1, false, 32); // node 0 → node 1: 1 hop
+        let far = p.miss_cost(0, 7, false, 32); // node 0 → node 7 (2,1): 3 hops
+        assert!(far > near, "far {far} vs near {near}");
+        assert_eq!(far - near, 2 * p.costs.mesh_hop.unwrap());
+        // Local misses never pay the network.
+        assert_eq!(p.miss_cost(0, 0, false, 32), p.costs.local_miss);
+        // Distance is symmetric and zero to self.
+        assert_eq!(p.mesh_hops(3, 3, 8), 0);
+        assert_eq!(p.mesh_hops(2, 6, 8), p.mesh_hops(6, 2, 8));
+    }
+
+    #[test]
+    fn line_size_override_fixes_assoc() {
+        let p = Platform::dash().with_line_size(512);
+        assert_eq!(p.cache.line, 512);
+        assert_eq!(p.cache.size, 256 << 10);
+    }
+}

@@ -1,0 +1,250 @@
+//! Compact memory-reference traces.
+//!
+//! Each event packs into one `u64`:
+//!
+//! ```text
+//!   [63:62] tag   (0 = read, 1 = write, 2 = work)
+//!   reads/writes: [61:56] size in bytes (1–63), [55:0] address
+//!   work:         [55:0] cycles
+//! ```
+//!
+//! Consecutive `work` events are coalesced at capture time, which shrinks
+//! traces by an order of magnitude without changing replay semantics.
+
+use swr_render::{Tracer, WorkKind};
+
+const TAG_SHIFT: u32 = 62;
+const TAG_READ: u64 = 0;
+const TAG_WRITE: u64 = 1;
+const TAG_WORK: u64 = 2;
+const SIZE_SHIFT: u32 = 56;
+const ADDR_MASK: u64 = (1 << 56) - 1;
+
+/// One decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Load of `size` bytes at `addr`.
+    Read { addr: u64, size: u32 },
+    /// Store of `size` bytes at `addr`.
+    Write { addr: u64, size: u32 },
+    /// `cycles` of computation.
+    Work { cycles: u64 },
+}
+
+impl TraceEvent {
+    /// Packs the event into its `u64` representation.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        match self {
+            TraceEvent::Read { addr, size } => {
+                debug_assert!(size > 0 && size < 64 && addr <= ADDR_MASK);
+                (TAG_READ << TAG_SHIFT) | ((size as u64) << SIZE_SHIFT) | addr
+            }
+            TraceEvent::Write { addr, size } => {
+                debug_assert!(size > 0 && size < 64 && addr <= ADDR_MASK);
+                (TAG_WRITE << TAG_SHIFT) | ((size as u64) << SIZE_SHIFT) | addr
+            }
+            TraceEvent::Work { cycles } => {
+                debug_assert!(cycles <= ADDR_MASK);
+                (TAG_WORK << TAG_SHIFT) | cycles
+            }
+        }
+    }
+
+    /// Unpacks an event from its `u64` representation.
+    #[inline]
+    pub fn unpack(v: u64) -> TraceEvent {
+        let tag = v >> TAG_SHIFT;
+        match tag {
+            TAG_READ => TraceEvent::Read {
+                addr: v & ADDR_MASK,
+                size: ((v >> SIZE_SHIFT) & 0x3f) as u32,
+            },
+            TAG_WRITE => TraceEvent::Write {
+                addr: v & ADDR_MASK,
+                size: ((v >> SIZE_SHIFT) & 0x3f) as u32,
+            },
+            TAG_WORK => TraceEvent::Work { cycles: v & ADDR_MASK },
+            _ => panic!("corrupt trace event tag {tag}"),
+        }
+    }
+}
+
+/// The packed event stream of one task.
+///
+/// Event storage is shared on clone (`Arc`), so the same captured traces can
+/// be assembled into many per-processor-count workloads without copying.
+#[derive(Debug, Clone)]
+pub struct TaskTrace {
+    events: std::sync::Arc<Vec<u64>>,
+    work_cycles: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl Default for TaskTrace {
+    fn default() -> Self {
+        TaskTrace {
+            events: std::sync::Arc::new(Vec::new()),
+            work_cycles: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+}
+
+impl TaskTrace {
+    /// Number of packed events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total busy cycles recorded.
+    pub fn work_cycles(&self) -> u64 {
+        self.work_cycles
+    }
+
+    /// Number of loads recorded.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of stores recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Iterates decoded events.
+    pub fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.events.iter().map(|&v| TraceEvent::unpack(v))
+    }
+
+    /// Raw packed events (for the replay inner loop).
+    pub fn packed(&self) -> &[u64] {
+        &self.events
+    }
+}
+
+/// A [`Tracer`] that captures a [`TaskTrace`], coalescing consecutive work
+/// events.
+#[derive(Debug, Default)]
+pub struct CollectingTracer {
+    events: Vec<u64>,
+    work_cycles: u64,
+    reads: u64,
+    writes: u64,
+    pending_work: u64,
+}
+
+impl CollectingTracer {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes collection and returns the trace.
+    pub fn finish(mut self) -> TaskTrace {
+        self.flush_work();
+        TaskTrace {
+            events: std::sync::Arc::new(self.events),
+            work_cycles: self.work_cycles,
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+
+    #[inline]
+    fn flush_work(&mut self) {
+        if self.pending_work > 0 {
+            self.events
+                .push(TraceEvent::Work { cycles: self.pending_work }.pack());
+            self.pending_work = 0;
+        }
+    }
+}
+
+impl Tracer for CollectingTracer {
+    #[inline]
+    fn read(&mut self, addr: usize, bytes: u32) {
+        self.flush_work();
+        self.reads += 1;
+        self.events
+            .push(TraceEvent::Read { addr: addr as u64 & ADDR_MASK, size: bytes.clamp(1, 63) }.pack());
+    }
+
+    #[inline]
+    fn write(&mut self, addr: usize, bytes: u32) {
+        self.flush_work();
+        self.writes += 1;
+        self.events
+            .push(TraceEvent::Write { addr: addr as u64 & ADDR_MASK, size: bytes.clamp(1, 63) }.pack());
+    }
+
+    #[inline]
+    fn work(&mut self, _kind: WorkKind, cycles: u32) {
+        self.pending_work += cycles as u64;
+        self.work_cycles += cycles as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trip() {
+        for ev in [
+            TraceEvent::Read { addr: 0x7fff_1234_5678, size: 4 },
+            TraceEvent::Write { addr: 0x1, size: 16 },
+            TraceEvent::Work { cycles: 12345 },
+            TraceEvent::Read { addr: ADDR_MASK, size: 63 },
+            TraceEvent::Work { cycles: 0 },
+        ] {
+            assert_eq!(TraceEvent::unpack(ev.pack()), ev);
+        }
+    }
+
+    #[test]
+    fn collector_coalesces_work() {
+        let mut c = CollectingTracer::new();
+        c.work(WorkKind::Composite, 10);
+        c.work(WorkKind::Traverse, 5);
+        c.read(0x1000, 4);
+        c.work(WorkKind::Composite, 7);
+        c.write(0x2000, 8);
+        let t = c.finish();
+        let evs: Vec<_> = t.iter().collect();
+        assert_eq!(
+            evs,
+            vec![
+                TraceEvent::Work { cycles: 15 },
+                TraceEvent::Read { addr: 0x1000, size: 4 },
+                TraceEvent::Work { cycles: 7 },
+                TraceEvent::Write { addr: 0x2000, size: 8 },
+            ]
+        );
+        assert_eq!(t.work_cycles(), 22);
+        assert_eq!(t.reads(), 1);
+        assert_eq!(t.writes(), 1);
+    }
+
+    #[test]
+    fn trailing_work_is_flushed() {
+        let mut c = CollectingTracer::new();
+        c.work(WorkKind::Other, 3);
+        let t = c.finish();
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![TraceEvent::Work { cycles: 3 }]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = CollectingTracer::new().finish();
+        assert!(t.is_empty());
+        assert_eq!(t.work_cycles(), 0);
+    }
+}

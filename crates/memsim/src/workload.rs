@@ -1,0 +1,168 @@
+//! Workload description: tasks, queues, stealing and synchronization
+//! structure of one rendered frame.
+//!
+//! `swr-core` captures each task's memory trace once (tasks are independent
+//! — scanline ownership is exclusive and the volume is read-only), and the
+//! replay scheduler then *schedules* them onto simulated processors in
+//! virtual time. Load balance, stealing, sharing and contention therefore
+//! emerge from the platform model, the same way they would on a real
+//! machine.
+
+use crate::trace::TaskTrace;
+
+/// What a task does — used for phase-level reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskLabel {
+    /// Computing the balanced partition (parallel prefix over the profile).
+    Partition,
+    /// Compositing a set of intermediate-image scanlines across all slices.
+    Composite,
+    /// Warping (a tile of the final image, or a band of intermediate rows).
+    Warp,
+}
+
+/// One schedulable task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// The task's captured memory/work trace.
+    pub trace: TaskTrace,
+    /// Phase index; with [`FrameWorkload::barrier_between_phases`] a global
+    /// barrier separates phases.
+    pub phase: u8,
+    /// Tasks that must complete before this one starts (used by the new
+    /// algorithm in place of the inter-phase barrier).
+    pub deps: Vec<u32>,
+    /// Whether an idle processor may steal this task.
+    pub stealable: bool,
+    /// Reporting label.
+    pub label: TaskLabel,
+}
+
+/// Dynamic task-stealing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StealPolicy {
+    /// No stealing: static assignment only.
+    None,
+    /// Idle processors steal from the *back* of the victim with the most
+    /// remaining tasks.
+    FromBack {
+        /// Cycles to acquire/release the victim's queue lock per steal.
+        steal_cycles: u64,
+        /// Cycles for a processor to pop its own queue.
+        pop_cycles: u64,
+    },
+}
+
+impl StealPolicy {
+    /// Whether stealing is enabled.
+    pub fn enabled(&self) -> bool {
+        matches!(self, StealPolicy::FromBack { .. })
+    }
+}
+
+/// A complete frame workload for the replay scheduler.
+#[derive(Debug, Clone)]
+pub struct FrameWorkload {
+    /// All tasks; indices are task ids.
+    pub tasks: Vec<TaskSpec>,
+    /// Initial per-processor queues (front = next to run).
+    pub queues: Vec<Vec<u32>>,
+    /// Stealing policy.
+    pub steal: StealPolicy,
+    /// Global barrier between phases (the old algorithm); when `false`,
+    /// ordering comes only from `deps` (the new algorithm).
+    pub barrier_between_phases: bool,
+}
+
+impl FrameWorkload {
+    /// Number of processors the workload was built for.
+    pub fn nprocs(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total busy cycles across all tasks (the T1 lower bound).
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.trace.work_cycles()).sum()
+    }
+
+    /// Validates internal consistency (every task queued exactly once, deps
+    /// in range). Panics with a description on inconsistency; used by tests
+    /// and debug assertions in the capture path.
+    pub fn validate(&self) {
+        let mut seen = vec![false; self.tasks.len()];
+        for q in &self.queues {
+            for &t in q {
+                let t = t as usize;
+                assert!(t < self.tasks.len(), "task id {t} out of range");
+                assert!(!seen[t], "task {t} queued twice");
+                seen[t] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every task must be queued somewhere"
+        );
+        for (i, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                assert!((d as usize) < self.tasks.len(), "dep {d} of task {i} out of range");
+                assert!(d as usize != i, "task {i} depends on itself");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CollectingTracer;
+    use swr_render::{Tracer, WorkKind};
+
+    pub(crate) fn work_task(cycles: u32, phase: u8) -> TaskSpec {
+        let mut c = CollectingTracer::new();
+        c.work(WorkKind::Composite, cycles);
+        TaskSpec {
+            trace: c.finish(),
+            phase,
+            deps: vec![],
+            stealable: true,
+            label: TaskLabel::Composite,
+        }
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_workloads() {
+        let wl = FrameWorkload {
+            tasks: vec![work_task(10, 0), work_task(20, 0)],
+            queues: vec![vec![0], vec![1]],
+            steal: StealPolicy::None,
+            barrier_between_phases: true,
+        };
+        wl.validate();
+        assert_eq!(wl.nprocs(), 2);
+        assert_eq!(wl.total_work(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "queued twice")]
+    fn validation_rejects_duplicates() {
+        let wl = FrameWorkload {
+            tasks: vec![work_task(10, 0)],
+            queues: vec![vec![0], vec![0]],
+            steal: StealPolicy::None,
+            barrier_between_phases: true,
+        };
+        wl.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "queued somewhere")]
+    fn validation_rejects_orphans() {
+        let wl = FrameWorkload {
+            tasks: vec![work_task(10, 0), work_task(5, 0)],
+            queues: vec![vec![0], vec![]],
+            steal: StealPolicy::None,
+            barrier_between_phases: true,
+        };
+        wl.validate();
+    }
+}

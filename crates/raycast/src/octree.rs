@@ -1,0 +1,273 @@
+//! Min-max octree over classified opacity.
+//!
+//! Ray casters accelerate traversal with a spatial hierarchy: each octree
+//! cell stores the maximum opacity beneath it, so a ray can leap over
+//! transparent regions instead of sampling them. This is the coherence
+//! structure the paper contrasts with shear-warp's run-length encoding —
+//! it must be *re-traversed for every ray*, which is exactly the "looping
+//! time" overhead Figure 2 shows dominating the ray caster.
+
+use swr_volume::ClassifiedVolume;
+
+/// A complete octree of maximum opacities with power-of-two cells.
+///
+/// Level 0 cells are single voxels (stored implicitly in the volume); stored
+/// levels start at cell edge 2 and double up to the root.
+#[derive(Debug, Clone)]
+pub struct MaxOctree {
+    dims: [usize; 3],
+    /// `levels[l]` covers cells of edge `2^(l+1)`.
+    levels: Vec<Level>,
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    /// Cells per axis.
+    n: [usize; 3],
+    /// Cell edge length in voxels.
+    edge: usize,
+    max_alpha: Vec<u8>,
+}
+
+impl Level {
+    #[inline]
+    fn idx(&self, cx: usize, cy: usize, cz: usize) -> usize {
+        (cz * self.n[1] + cy) * self.n[0] + cx
+    }
+
+    #[inline]
+    fn get(&self, x: usize, y: usize, z: usize) -> u8 {
+        let cx = (x / self.edge).min(self.n[0] - 1);
+        let cy = (y / self.edge).min(self.n[1] - 1);
+        let cz = (z / self.edge).min(self.n[2] - 1);
+        self.max_alpha[self.idx(cx, cy, cz)]
+    }
+}
+
+impl MaxOctree {
+    /// Builds the octree from a classified volume.
+    ///
+    /// Cell maxima are taken over the cell *dilated by one voxel*, so that a
+    /// "transparent" cell guarantees every trilinear sample whose base voxel
+    /// lies in the cell is fully transparent — skipping is then exact, not
+    /// just approximate.
+    pub fn build(vol: &ClassifiedVolume) -> Self {
+        let dims = vol.dims();
+        let dilated = dilate_alpha(vol);
+        let max_dim = dims.iter().copied().max().unwrap();
+        let mut levels = Vec::new();
+        let mut edge = 2usize;
+        while edge <= max_dim.next_power_of_two() {
+            let n = [dims[0].div_ceil(edge), dims[1].div_ceil(edge), dims[2].div_ceil(edge)];
+            let mut max_alpha = vec![0u8; n[0] * n[1] * n[2]];
+            if edge == 2 {
+                // Aggregate dilated voxel opacities directly.
+                let mut idx = 0;
+                for z in 0..dims[2] {
+                    for y in 0..dims[1] {
+                        for x in 0..dims[0] {
+                            let a = dilated[idx];
+                            idx += 1;
+                            let i = ((z / 2) * n[1] + y / 2) * n[0] + x / 2;
+                            if a > max_alpha[i] {
+                                max_alpha[i] = a;
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Aggregate the previous level's cells.
+                let prev: &Level = levels.last().unwrap();
+                for cz in 0..prev.n[2] {
+                    for cy in 0..prev.n[1] {
+                        for cx in 0..prev.n[0] {
+                            let a = prev.max_alpha[prev.idx(cx, cy, cz)];
+                            let i = ((cz / 2) * n[1] + cy / 2) * n[0] + cx / 2;
+                            if a > max_alpha[i] {
+                                max_alpha[i] = a;
+                            }
+                        }
+                    }
+                }
+            }
+            levels.push(Level { n, edge, max_alpha });
+            if n == [1, 1, 1] {
+                break;
+            }
+            edge *= 2;
+        }
+        MaxOctree { dims, levels }
+    }
+
+    /// Number of stored levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Volume dimensions this octree covers.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Returns the edge length of the largest cell containing voxel
+    /// `(x, y, z)` whose max opacity is below `threshold` — i.e. how far the
+    /// region around this voxel is known-transparent — or `None` if even the
+    /// 2-cell is (possibly) non-transparent. Also reports how many levels
+    /// were examined (traversal work).
+    #[inline]
+    pub fn transparent_cell_edge(
+        &self,
+        x: usize,
+        y: usize,
+        z: usize,
+        threshold: u8,
+    ) -> (Option<usize>, u32) {
+        debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
+        // Walk from the root down to the smallest transparent cell; a real
+        // ray caster descends the tree, so we count visited levels.
+        let mut best = None;
+        let mut visited = 0u32;
+        for level in self.levels.iter().rev() {
+            visited += 1;
+            if level.get(x, y, z) < threshold {
+                best = Some(level.edge);
+                break; // largest transparent cell found
+            }
+        }
+        (best, visited)
+    }
+
+    /// Address of the octree node covering `(x, y, z)` at the coarsest level
+    /// — used for memory tracing of octree reads.
+    #[inline]
+    pub fn node_addr(&self, level: usize, x: usize, y: usize, z: usize) -> usize {
+        let l = &self.levels[level];
+        let cx = (x / l.edge).min(l.n[0] - 1);
+        let cy = (y / l.edge).min(l.n[1] - 1);
+        let cz = (z / l.edge).min(l.n[2] - 1);
+        &l.max_alpha[l.idx(cx, cy, cz)] as *const u8 as usize
+    }
+}
+
+/// Per-voxel opacity, dilated by a 1-voxel max filter along each axis (the
+/// trilinear interpolation footprint).
+fn dilate_alpha(vol: &ClassifiedVolume) -> Vec<u8> {
+    let [nx, ny, nz] = vol.dims();
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut a: Vec<u8> = vol.voxels().iter().map(|v| v.a).collect();
+    let mut b = a.clone();
+    // X pass.
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut m = a[idx(x, y, z)];
+                if x > 0 {
+                    m = m.max(a[idx(x - 1, y, z)]);
+                }
+                if x + 1 < nx {
+                    m = m.max(a[idx(x + 1, y, z)]);
+                }
+                b[idx(x, y, z)] = m;
+            }
+        }
+    }
+    // Y pass.
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut m = b[idx(x, y, z)];
+                if y > 0 {
+                    m = m.max(b[idx(x, y - 1, z)]);
+                }
+                if y + 1 < ny {
+                    m = m.max(b[idx(x, y + 1, z)]);
+                }
+                a[idx(x, y, z)] = m;
+            }
+        }
+    }
+    // Z pass.
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut m = a[idx(x, y, z)];
+                if z > 0 {
+                    m = m.max(a[idx(x, y, z - 1)]);
+                }
+                if z + 1 < nz {
+                    m = m.max(a[idx(x, y, z + 1)]);
+                }
+                b[idx(x, y, z)] = m;
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swr_volume::{ClassifiedVolume, RgbaVoxel};
+
+    fn vol_from(dims: [usize; 3], f: impl Fn(usize, usize, usize) -> u8) -> ClassifiedVolume {
+        let mut v = Vec::new();
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    let a = f(x, y, z);
+                    v.push(RgbaVoxel { r: a, g: a, b: a, a });
+                }
+            }
+        }
+        ClassifiedVolume::from_raw(dims, v)
+    }
+
+    #[test]
+    fn empty_volume_is_transparent_at_the_root() {
+        let v = vol_from([16, 16, 16], |_, _, _| 0);
+        let o = MaxOctree::build(&v);
+        let (edge, visited) = o.transparent_cell_edge(5, 5, 5, 1);
+        assert_eq!(edge, Some(16));
+        assert_eq!(visited, 1, "root alone suffices");
+    }
+
+    #[test]
+    fn solid_volume_has_no_transparent_cell() {
+        let v = vol_from([8, 8, 8], |_, _, _| 255);
+        let o = MaxOctree::build(&v);
+        let (edge, visited) = o.transparent_cell_edge(3, 3, 3, 1);
+        assert_eq!(edge, None);
+        assert_eq!(visited as usize, o.depth(), "must descend the whole tree");
+    }
+
+    #[test]
+    fn single_voxel_taints_its_ancestors_only() {
+        let v = vol_from([16, 16, 16], |x, y, z| (x == 1 && y == 1 && z == 1) as u8 * 255);
+        let o = MaxOctree::build(&v);
+        // Near the voxel: no transparent cell at any level containing it.
+        assert_eq!(o.transparent_cell_edge(0, 0, 0, 1).0, None);
+        // Far corner: the opposite half of the volume is clean at edge 8.
+        let (edge, _) = o.transparent_cell_edge(15, 15, 15, 1);
+        assert_eq!(edge, Some(8));
+    }
+
+    #[test]
+    fn non_power_of_two_dims_are_covered() {
+        let v = vol_from([12, 10, 6], |x, _, _| (x == 11) as u8 * 200);
+        let o = MaxOctree::build(&v);
+        // Every voxel is queryable.
+        for &(x, y, z) in &[(0, 0, 0), (11, 9, 5), (6, 5, 3)] {
+            let _ = o.transparent_cell_edge(x, y, z, 1);
+        }
+        // The opaque column is found.
+        assert_eq!(o.transparent_cell_edge(11, 0, 0, 1).0, None);
+    }
+
+    #[test]
+    fn threshold_is_respected() {
+        let v = vol_from([8, 8, 8], |_, _, _| 10);
+        let o = MaxOctree::build(&v);
+        assert_eq!(o.transparent_cell_edge(4, 4, 4, 11).0, Some(8));
+        assert_eq!(o.transparent_cell_edge(4, 4, 4, 10).0, None);
+    }
+}

@@ -1,0 +1,756 @@
+//! The compositing inner loop: resampling sheared RLE voxel scanlines into
+//! the intermediate image, front-to-back, with both coherence optimizations.
+//!
+//! The unit of work is *(intermediate scanline `y`, slice `k`)*: this is the
+//! granularity at which both parallel algorithms partition the compositing
+//! phase (tasks are sets of scanlines; each task loops over slices). For a
+//! fixed pixel, contributions always arrive in front-to-back slice order no
+//! matter how scanlines are grouped into tasks, so serial and parallel
+//! renderers produce bit-identical images.
+//!
+//! For slice `k` with sheared offsets `(u_off, v_off)`, intermediate pixel
+//! `(x, y)` resamples the four voxels around standard-object position
+//! `(x - u_off, y - v_off)` with bilinear weights — two voxels from scanline
+//! `j0 = floor(y - v_off)` and two from `j0 + 1` (this is why adjacent image
+//! scanlines *read-share* volume scanlines, one of the sharing sources the
+//! paper discusses). Transparent voxel runs are skipped via the RLE;
+//! opacity-saturated pixels are skipped via the image skip links.
+
+use crate::costs;
+use crate::image::RowView;
+use crate::tracer::{Tracer, WorkKind};
+use swr_geom::Factorization;
+use swr_volume::{RgbaVoxel, RleEncoding, RleScanline};
+
+/// Depth cueing (VolPack feature): colors are attenuated exponentially with
+/// front-to-back slice depth, giving cheap atmospheric depth perception.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthCue {
+    /// Brightness factor at the front slice (usually 1.0).
+    pub front: f32,
+    /// Fractional attenuation per slice (e.g. 0.005 = 0.5 %/slice).
+    pub per_slice: f32,
+}
+
+impl DepthCue {
+    /// Color factor at front-to-back slice step `depth`.
+    #[inline]
+    pub fn factor(&self, depth: usize) -> f32 {
+        (self.front * (1.0 - self.per_slice).powi(depth as i32)).clamp(0.05, 1.0)
+    }
+}
+
+/// Options controlling the compositing loop.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositeOpts {
+    /// Accumulated opacity at which a pixel is marked opaque and skipped.
+    pub opaque_threshold: f32,
+    /// Enables early ray termination (pixel skip links).
+    pub early_termination: bool,
+    /// Models the instruction overhead of per-scanline work profiling.
+    pub profile: bool,
+    /// Optional depth cueing.
+    pub depth_cue: Option<DepthCue>,
+}
+
+impl Default for CompositeOpts {
+    fn default() -> Self {
+        CompositeOpts {
+            opaque_threshold: swr_volume::OPAQUE_THRESHOLD as f32 / 255.0,
+            early_termination: true,
+            profile: false,
+            depth_cue: None,
+        }
+    }
+}
+
+/// Statistics for one `(scanline, slice)` compositing step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanlineSliceStats {
+    /// Modeled busy cycles spent (the per-scanline work profile entry).
+    pub work: u64,
+    /// Pixels actually resampled and blended.
+    pub composited: u64,
+    /// Voxels fetched from the RLE voxel stream.
+    pub voxels_fetched: u64,
+}
+
+impl ScanlineSliceStats {
+    /// Accumulates another step's statistics.
+    pub fn merge(&mut self, o: &ScanlineSliceStats) {
+        self.work += o.work;
+        self.composited += o.composited;
+        self.voxels_fetched += o.voxels_fetched;
+    }
+}
+
+/// A cursor walking one RLE voxel scanline in storage order.
+///
+/// Supports monotonically non-decreasing `query(i)` (voxel at index `i`, or
+/// `None` in a transparent run) and `next_opaque_at_or_after(i)` (first
+/// stored voxel index ≥ `i`). Emits run-byte and voxel loads to the tracer.
+struct RunCursor<'a> {
+    runs: &'a [u8],
+    voxels: &'a [RgbaVoxel],
+    run_pos: usize,
+    /// Index into `voxels` of the first voxel of the current segment (valid
+    /// when the current segment is opaque).
+    vox_pos: usize,
+    seg_lo: i64,
+    seg_hi: i64,
+    opaque: bool,
+    n_i: i64,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(scan: RleScanline<'a>, n_i: i64) -> Self {
+        // Start in a zero-length "opaque" segment so the first advance reads
+        // the leading transparent run and flips the phase correctly.
+        RunCursor {
+            runs: scan.runs,
+            voxels: scan.voxels,
+            run_pos: 0,
+            vox_pos: 0,
+            seg_lo: 0,
+            seg_hi: 0,
+            opaque: true,
+            n_i,
+        }
+    }
+
+    #[inline]
+    fn exhausted(&self) -> bool {
+        self.run_pos >= self.runs.len()
+    }
+
+    /// Moves to the next run segment.
+    #[inline]
+    fn advance<T: Tracer>(&mut self, tracer: &mut T) {
+        debug_assert!(!self.exhausted());
+        if self.opaque {
+            self.vox_pos += (self.seg_hi - self.seg_lo) as usize;
+        }
+        let len = self.runs[self.run_pos];
+        tracer.read(&self.runs[self.run_pos] as *const u8 as usize, 1);
+        tracer.work(WorkKind::Traverse, costs::RUN_ADVANCE);
+        self.run_pos += 1;
+        self.seg_lo = self.seg_hi;
+        self.seg_hi = self.seg_lo + len as i64;
+        self.opaque = !self.opaque;
+    }
+
+    /// Voxel at index `i`, or `None` if `i` lies in a transparent run or
+    /// outside the scanline. `i` must not decrease across calls by more than
+    /// the current segment's extent (the compositing loop queries `i0` then
+    /// `i0 + 1`, both non-decreasing).
+    #[inline]
+    fn query<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> Option<RgbaVoxel> {
+        if i < 0 || i >= self.n_i {
+            return None;
+        }
+        while self.seg_hi <= i {
+            if self.exhausted() {
+                return None;
+            }
+            self.advance(tracer);
+        }
+        if self.opaque && i >= self.seg_lo {
+            let v = self.voxels[self.vox_pos + (i - self.seg_lo) as usize];
+            tracer.read(
+                &self.voxels[self.vox_pos + (i - self.seg_lo) as usize] as *const RgbaVoxel
+                    as usize,
+                4,
+            );
+            tracer.work(WorkKind::Composite, costs::VOXEL_FETCH);
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// First stored (non-transparent) voxel index ≥ `i`, or `n_i` if none.
+    /// Advances past transparent and fully-passed segments only.
+    #[inline]
+    fn next_opaque_at_or_after<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> i64 {
+        loop {
+            if self.opaque && self.seg_hi > i {
+                return self.seg_lo.max(i);
+            }
+            if self.exhausted() {
+                return self.n_i;
+            }
+            self.advance(tracer);
+        }
+    }
+}
+
+/// Composites slice `k` into intermediate scanline `row` (at image row
+/// `row.y`). Returns per-step statistics; `stats.work` is what the new
+/// algorithm's scanline profile accumulates.
+pub fn composite_scanline_slice<T: Tracer>(
+    enc: &RleEncoding,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+    tracer: &mut T,
+) -> ScanlineSliceStats {
+    let mut stats = ScanlineSliceStats::default();
+    let [n_i, n_j, _] = enc.std_dims();
+    let xf = fact.slice_xform(k);
+    if (xf.scale - 1.0).abs() > 1e-12 {
+        // Perspective slices scale as well as translate; take the
+        // general-resampling path.
+        return composite_scaled(enc, fact, row, k, xf, opts, tracer);
+    }
+    let (u_off, v_off) = (xf.off_u, xf.off_v);
+    let cue = opts.depth_cue.map(|c| c.factor(fact.depth_of_slice(k)));
+
+    // Which two voxel scanlines feed this image scanline?
+    let jf = row.y as f64 - v_off;
+    let j0 = jf.floor();
+    let wj = (jf - j0) as f32;
+    let j0 = j0 as i64;
+    let row_a = (j0 >= 0 && j0 < n_j as i64).then_some(j0 as usize);
+    let row_b = {
+        let jb = j0 + 1;
+        (jb >= 0 && jb < n_j as i64 && wj > 0.0).then_some(jb as usize)
+    };
+    if row_a.is_none() && row_b.is_none() {
+        return stats; // slice does not touch this scanline
+    }
+
+    tracer.work(WorkKind::Other, costs::SCANLINE_SETUP);
+    stats.work += costs::SCANLINE_SETUP as u64;
+
+    let make_cursor = |j: Option<usize>, tracer: &mut T| -> Option<RunCursor<'_>> {
+        let j = j?;
+        let (ra, va) = enc.scanline_index_addrs(k, j);
+        tracer.read(ra, 4);
+        tracer.read(va, 4);
+        Some(RunCursor::new(enc.scanline(k, j), n_i as i64))
+    };
+    let mut cur_a = make_cursor(row_a, tracer);
+    let mut cur_b = make_cursor(row_b, tracer);
+
+    // Pixel range whose bilinear footprint {i0, i0+1} intersects [0, n_i).
+    let w = row.width() as i64;
+    let x_min = (u_off - 1.0).ceil().max(0.0) as i64;
+    let x_max = ((u_off + n_i as f64).ceil() as i64 - 1).min(w - 1);
+    if x_min > x_max {
+        return stats;
+    }
+    // Constant fractional resampling weight along the scanline.
+    let i_float0 = x_min as f64 - u_off;
+    let i0_base = i_float0.floor() as i64;
+    let fx = (i_float0 - i_float0.floor()) as f32;
+    let w_a = 1.0 - wj;
+    let w_b = wj;
+    let wx0 = 1.0 - fx;
+    let wx1 = fx;
+    let n_i = n_i as i64;
+
+    let mut x = x_min;
+    loop {
+        if x > x_max {
+            break;
+        }
+        // Early ray termination: hop over opaque pixels.
+        if opts.early_termination {
+            let nx = row.next_unopaque(x as usize, tracer) as i64;
+            stats.work += (costs::PIXEL_SKIP as u64).max(1);
+            if nx != x {
+                x = nx;
+                continue;
+            }
+        }
+        // Transparent-voxel skip: hop to the next pixel whose footprint
+        // touches a stored voxel.
+        let i0 = i0_base + (x - x_min);
+        let na = cur_a
+            .as_mut()
+            .map_or(n_i, |c| c.next_opaque_at_or_after(i0.max(0), tracer));
+        let nb = cur_b
+            .as_mut()
+            .map_or(n_i, |c| c.next_opaque_at_or_after(i0.max(0), tracer));
+        let next_vox = na.min(nb);
+        if next_vox >= n_i {
+            break; // no more stored voxels reachable in this slice scanline
+        }
+        // With a zero fractional weight the footprint is only {i0}.
+        let footprint_hi = if wx1 > 0.0 { i0 + 1 } else { i0 };
+        if next_vox > footprint_hi {
+            // First pixel whose footprint reaches next_vox.
+            x += next_vox - footprint_hi;
+            continue;
+        }
+
+        // Resample the 2×2 voxel footprint (premultiplied u8 → f32).
+        let mut r = 0f32;
+        let mut g = 0f32;
+        let mut b = 0f32;
+        let mut a = 0f32;
+        {
+            let mut tap = |vox: Option<RgbaVoxel>, wgt: f32| {
+                if let Some(v) = vox {
+                    r += wgt * v.r as f32;
+                    g += wgt * v.g as f32;
+                    b += wgt * v.b as f32;
+                    a += wgt * v.a as f32;
+                }
+            };
+            // Zero-weight taps are never fetched (VolPack special-cases the
+            // integer-aligned shear the same way).
+            if let Some(c) = cur_a.as_mut() {
+                if w_a * wx0 > 0.0 {
+                    tap(c.query(i0, tracer), w_a * wx0);
+                }
+                if w_a * wx1 > 0.0 {
+                    tap(c.query(i0 + 1, tracer), w_a * wx1);
+                }
+            }
+            if let Some(c) = cur_b.as_mut() {
+                if w_b * wx0 > 0.0 {
+                    tap(c.query(i0, tracer), w_b * wx0);
+                }
+                if w_b * wx1 > 0.0 {
+                    tap(c.query(i0 + 1, tracer), w_b * wx1);
+                }
+            }
+        }
+        let inv255 = 1.0 / 255.0;
+        let (mut r, mut g, mut b, a) =
+            (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
+        if let Some(f) = cue {
+            r *= f;
+            g *= f;
+            b *= f;
+        }
+
+        // Front-to-back blend under the premultiplied-alpha "over" operator.
+        let xi = x as usize;
+        let addr = &row.pix[xi] as *const crate::image::IPixel as usize;
+        tracer.read(addr, 16);
+        let p = &mut row.pix[xi];
+        let t = 1.0 - p.a;
+        p.r += t * r;
+        p.g += t * g;
+        p.b += t * b;
+        p.a += t * a;
+        tracer.write(addr, 16);
+        tracer.work(WorkKind::Composite, costs::COMPOSITE_PIXEL);
+        stats.work += costs::COMPOSITE_PIXEL as u64 + 4 * costs::VOXEL_FETCH as u64;
+        stats.composited += 1;
+        stats.voxels_fetched += 4;
+
+        if opts.early_termination && p.a >= opts.opaque_threshold {
+            row.mark_opaque(xi, tracer);
+        }
+        if opts.profile {
+            tracer.work(WorkKind::Other, costs::PROFILE_PER_PIXEL);
+            stats.work += costs::PROFILE_PER_PIXEL as u64;
+        }
+        x += 1;
+    }
+    stats
+}
+
+/// General (perspective) compositing of slice `k` into one scanline: voxel
+/// `(i, j)` projects to `(scale·i + off_u, scale·j + off_v)` with
+/// `scale ≤ 1`, so the fractional resampling weight varies per pixel and a
+/// pixel step may advance more than one voxel. Shares the run cursors and
+/// the coherence optimizations with the unit-scale fast path.
+fn composite_scaled<T: Tracer>(
+    enc: &RleEncoding,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    xf: swr_geom::SliceXform,
+    opts: &CompositeOpts,
+    tracer: &mut T,
+) -> ScanlineSliceStats {
+    let mut stats = ScanlineSliceStats::default();
+    let [n_i, n_j, _] = enc.std_dims();
+    let s = xf.scale;
+    debug_assert!(s > 0.0);
+    let inv_s = 1.0 / s;
+
+    // Source voxel row coordinates (constant along the scanline).
+    let jf = (row.y as f64 - xf.off_v) * inv_s;
+    let j0f = jf.floor();
+    let wj = (jf - j0f) as f32;
+    let j0 = j0f as i64;
+    let row_a = (j0 >= 0 && j0 < n_j as i64).then_some(j0 as usize);
+    let row_b = {
+        let jb = j0 + 1;
+        (jb >= 0 && jb < n_j as i64 && wj > 0.0).then_some(jb as usize)
+    };
+    if row_a.is_none() && row_b.is_none() {
+        return stats;
+    }
+
+    tracer.work(WorkKind::Other, costs::SCANLINE_SETUP);
+    stats.work += costs::SCANLINE_SETUP as u64;
+    let cue = opts.depth_cue.map(|c| c.factor(fact.depth_of_slice(k)));
+
+    let make_cursor = |j: Option<usize>, tracer: &mut T| -> Option<RunCursor<'_>> {
+        let j = j?;
+        let (ra, va) = enc.scanline_index_addrs(k, j);
+        tracer.read(ra, 4);
+        tracer.read(va, 4);
+        Some(RunCursor::new(enc.scanline(k, j), n_i as i64))
+    };
+    let mut cur_a = make_cursor(row_a, tracer);
+    let mut cur_b = make_cursor(row_b, tracer);
+
+    // Pixel range whose source coordinate i = (x − off_u)/s has footprint
+    // {i0, i0+1} intersecting [0, n_i).
+    let w = row.width() as i64;
+    let x_min = ((xf.off_u - s).ceil().max(0.0)) as i64;
+    let x_max = (((xf.off_u + s * n_i as f64).ceil() as i64) - 1).min(w - 1);
+    if x_min > x_max {
+        return stats;
+    }
+    let w_a = 1.0 - wj;
+    let w_b = wj;
+    let n_i = n_i as i64;
+
+    let mut x = x_min;
+    loop {
+        if x > x_max {
+            break;
+        }
+        if opts.early_termination {
+            let nx = row.next_unopaque(x as usize, tracer) as i64;
+            stats.work += costs::PIXEL_SKIP as u64;
+            if nx != x {
+                x = nx;
+                continue;
+            }
+        }
+        let i_f = (x as f64 - xf.off_u) * inv_s;
+        let i0 = i_f.floor() as i64;
+        let fx = (i_f - i_f.floor()) as f32;
+        let na = cur_a
+            .as_mut()
+            .map_or(n_i, |c| c.next_opaque_at_or_after(i0.max(0), tracer));
+        let nb = cur_b
+            .as_mut()
+            .map_or(n_i, |c| c.next_opaque_at_or_after(i0.max(0), tracer));
+        let next_vox = na.min(nb);
+        if next_vox >= n_i {
+            break;
+        }
+        let footprint_hi = if fx > 0.0 { i0 + 1 } else { i0 };
+        if next_vox > footprint_hi {
+            // First pixel whose source reaches next_vox: i(x) ≥ next_vox − 1.
+            let x_t = (xf.off_u + s * (next_vox as f64 - 1.0)).ceil() as i64;
+            x = x_t.max(x + 1);
+            continue;
+        }
+
+        let wx0 = 1.0 - fx;
+        let wx1 = fx;
+        let mut r = 0f32;
+        let mut g = 0f32;
+        let mut b = 0f32;
+        let mut a = 0f32;
+        {
+            let mut tap = |vox: Option<RgbaVoxel>, wgt: f32| {
+                if let Some(v) = vox {
+                    r += wgt * v.r as f32;
+                    g += wgt * v.g as f32;
+                    b += wgt * v.b as f32;
+                    a += wgt * v.a as f32;
+                }
+            };
+            if let Some(c) = cur_a.as_mut() {
+                if w_a * wx0 > 0.0 {
+                    tap(c.query(i0, tracer), w_a * wx0);
+                }
+                if w_a * wx1 > 0.0 {
+                    tap(c.query(i0 + 1, tracer), w_a * wx1);
+                }
+            }
+            if let Some(c) = cur_b.as_mut() {
+                if w_b * wx0 > 0.0 {
+                    tap(c.query(i0, tracer), w_b * wx0);
+                }
+                if w_b * wx1 > 0.0 {
+                    tap(c.query(i0 + 1, tracer), w_b * wx1);
+                }
+            }
+        }
+        let inv255 = 1.0 / 255.0;
+        let (mut r, mut g, mut b, a) =
+            (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
+        if let Some(f) = cue {
+            r *= f;
+            g *= f;
+            b *= f;
+        }
+
+        let xi = x as usize;
+        let addr = &row.pix[xi] as *const crate::image::IPixel as usize;
+        tracer.read(addr, 16);
+        let p = &mut row.pix[xi];
+        let t = 1.0 - p.a;
+        p.r += t * r;
+        p.g += t * g;
+        p.b += t * b;
+        p.a += t * a;
+        tracer.write(addr, 16);
+        tracer.work(WorkKind::Composite, costs::COMPOSITE_PIXEL);
+        stats.work += costs::COMPOSITE_PIXEL as u64 + 4 * costs::VOXEL_FETCH as u64;
+        stats.composited += 1;
+        stats.voxels_fetched += 4;
+
+        if opts.early_termination && p.a >= opts.opaque_threshold {
+            row.mark_opaque(xi, tracer);
+        }
+        if opts.profile {
+            tracer.work(WorkKind::Other, costs::PROFILE_PER_PIXEL);
+            stats.work += costs::PROFILE_PER_PIXEL as u64;
+        }
+        x += 1;
+    }
+    stats
+}
+
+/// Occupied scanline band of the intermediate image for a whole frame: the
+/// smallest `y` range outside which no slice deposits any voxel. The new
+/// parallel algorithm composites (and profiles) only this band.
+pub fn occupied_y_bounds(enc: &RleEncoding, fact: &Factorization) -> Option<(usize, usize)> {
+    let n_k = enc.std_dims()[2];
+    let h = fact.inter_h as f64;
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for k in 0..n_k {
+        if let Some((j_lo, j_hi)) = enc.slice_nonempty_bounds(k) {
+            let xf = fact.slice_xform(k);
+            lo = lo.min(xf.off_v + xf.scale * j_lo as f64 - 1.0);
+            hi = hi.max(xf.off_v + xf.scale * j_hi as f64 + 1.0);
+        }
+    }
+    if lo.is_infinite() {
+        return None;
+    }
+    let y_lo = lo.ceil().max(0.0) as usize;
+    let y_hi = (hi.floor().min(h - 1.0)) as usize;
+    (y_lo <= y_hi).then_some((y_lo, y_hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::IntermediateImage;
+    use crate::tracer::{CountingTracer, NullTracer};
+    use swr_geom::{Axis, ViewSpec};
+    use swr_volume::{ClassifiedVolume, RgbaVoxel};
+
+    fn vol_from(dims: [usize; 3], f: impl Fn(usize, usize, usize) -> u8) -> ClassifiedVolume {
+        let mut v = Vec::new();
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    let a = f(x, y, z);
+                    v.push(RgbaVoxel { r: a, g: a, b: a, a });
+                }
+            }
+        }
+        ClassifiedVolume::from_raw(dims, v)
+    }
+
+    /// Head-on view: shear 0, intermediate pixel (x, y) == voxel (x, y).
+    fn head_on(dims: [usize; 3]) -> swr_geom::Factorization {
+        swr_geom::Factorization::from_view(&ViewSpec::new(dims))
+    }
+
+    #[test]
+    fn single_opaque_voxel_lands_where_expected() {
+        let dims = [8, 8, 4];
+        let c = vol_from(dims, |x, y, z| (x == 3 && y == 5 && z == 1) as u8 * 255);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let opts = CompositeOpts::default();
+        let mut t = NullTracer;
+        let mut total = ScanlineSliceStats::default();
+        for y in 0..fact.inter_h {
+            let mut row = img.row_view(y);
+            for k in 0..fact.slice_count() {
+                total.merge(&composite_scanline_slice(&enc, &fact, &mut row, k, &opts, &mut t));
+            }
+        }
+        // Head-on: u_off = v_off = 0, fx = wj = 0 → exactly one pixel hit.
+        assert_eq!(total.composited, 1);
+        assert!(img.get(3, 5).a > 0.99);
+        assert_eq!(img.get(4, 5).a, 0.0);
+        assert_eq!(img.get(3, 6).a, 0.0);
+    }
+
+    #[test]
+    fn front_to_back_blend_order() {
+        // Two voxels along the viewing axis: front (k=0) red-ish, back darker.
+        let dims = [4, 4, 4];
+        let c = {
+            let mut v = vec![RgbaVoxel::TRANSPARENT; 64];
+            // Front voxel: half-opaque, value 200.
+            v[(4 + 1) * 4 + 1] = RgbaVoxel { r: 200, g: 0, b: 0, a: 128 };
+            // Back voxel (z=2): fully opaque, value 100.
+            v[(2 * 4 + 1) * 4 + 1] = RgbaVoxel { r: 100, g: 0, b: 0, a: 255 };
+            ClassifiedVolume::from_raw(dims, v)
+        };
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let opts = CompositeOpts::default();
+        let mut t = NullTracer;
+        let mut row = img.row_view(1);
+        for k in 0..4 {
+            composite_scanline_slice(&enc, &fact, &mut row, k, &opts, &mut t);
+        }
+        let p = img.get(1, 1);
+        // over: front contributes fully, back attenuated by (1 - 128/255).
+        let front_a = 128.0 / 255.0;
+        let expect_r = (200.0 + (1.0 - front_a) * 100.0) / 255.0;
+        let expect_a = front_a + (1.0 - front_a) * 1.0;
+        assert!((p.r - expect_r).abs() < 1e-5, "r = {}, want {}", p.r, expect_r);
+        assert!((p.a - expect_a).abs() < 1e-5);
+    }
+
+    #[test]
+    fn early_termination_skips_saturated_pixels() {
+        // A fully opaque column: after the first slice the pixel saturates,
+        // so later slices must fetch no voxels for it.
+        let dims = [4, 4, 8];
+        let c = vol_from(dims, |x, y, _| (x == 2 && y == 2) as u8 * 255);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let opts = CompositeOpts::default();
+
+        let run = |early: bool| {
+            let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let mut t = CountingTracer::default();
+            let o = CompositeOpts { early_termination: early, ..opts };
+            let mut total = ScanlineSliceStats::default();
+            let mut row = img.row_view(2);
+            for k in 0..8 {
+                total.merge(&composite_scanline_slice(&enc, &fact, &mut row, k, &o, &mut t));
+            }
+            (total, img.get(2, 2))
+        };
+        let (with_et, p1) = run(true);
+        let (without_et, p2) = run(false);
+        assert_eq!(with_et.composited, 1, "only the first slice composites");
+        assert_eq!(without_et.composited, 8);
+        // Both produce a saturated pixel; early termination cannot change
+        // the (already opaque) result beyond float residue.
+        assert!((p1.a - 1.0).abs() < 1e-6);
+        assert!(p2.a >= p1.a - 1e-6);
+        assert!(with_et.work < without_et.work);
+    }
+
+    #[test]
+    fn transparent_runs_cost_no_voxel_fetches() {
+        // One opaque voxel at the far right of a long scanline: the cursor
+        // must hop over the transparent run, not walk it voxel by voxel.
+        let dims = [512, 4, 2];
+        let c = vol_from(dims, |x, y, z| (x == 500 && y == 1 && z == 0) as u8 * 255);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let mut t = CountingTracer::default();
+        let opts = CompositeOpts::default();
+        let mut row = img.row_view(1);
+        let stats = composite_scanline_slice(&enc, &fact, &mut row, 0, &opts, &mut t);
+        assert_eq!(stats.composited, 1);
+        // Voxel fetches bounded by the footprint, not the scanline length.
+        assert!(t.reads < 64, "reads = {}", t.reads);
+    }
+
+    #[test]
+    fn sheared_slice_offsets_are_applied() {
+        // Rotate so slices shear; verify energy lands at the projected spot.
+        let dims = [16, 16, 16];
+        let c = vol_from(dims, |x, y, z| (x == 8 && y == 8 && z == 12) as u8 * 255);
+        let enc_all = swr_volume::EncodedVolume::encode_with_threshold(&c, 1);
+        let view = ViewSpec::new(dims).rotate_y(0.3).rotate_x(0.2);
+        let fact = swr_geom::Factorization::from_view(&view);
+        let enc = enc_all.for_axis(fact.principal);
+        let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let opts = CompositeOpts::default();
+        let mut t = NullTracer;
+        for y in 0..fact.inter_h {
+            let mut row = img.row_view(y);
+            for m in 0..fact.slice_count() {
+                let k = fact.slice_for_step(m);
+                composite_scanline_slice(enc, &fact, &mut row, k, &opts, &mut t);
+            }
+        }
+        // Expected intermediate position of the voxel.
+        let ps = fact.object_to_std(swr_geom::Vec3::new(8.0, 8.0, 12.0));
+        let (u, v) = fact.project_std(ps);
+        // Total deposited opacity is 1 (bilinear weights sum to 1), centered
+        // around (u, v).
+        let mut mass = 0.0;
+        let mut cu = 0.0;
+        let mut cv = 0.0;
+        for y in 0..fact.inter_h {
+            for x in 0..fact.inter_w {
+                let a = img.get(x as isize, y as isize).a as f64;
+                mass += a;
+                cu += a * x as f64;
+                cv += a * y as f64;
+            }
+        }
+        assert!((mass - 1.0).abs() < 1e-4, "mass = {mass}");
+        assert!((cu / mass - u).abs() < 1e-3, "centroid u {} vs {}", cu / mass, u);
+        assert!((cv / mass - v).abs() < 1e-3);
+    }
+
+    #[test]
+    fn occupied_bounds_cover_content_only() {
+        let dims = [16, 16, 8];
+        // Content only in y ∈ [6, 9].
+        let c = vol_from(dims, |_, y, _| ((6..=9).contains(&y)) as u8 * 200);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let (lo, hi) = occupied_y_bounds(&enc, &fact).unwrap();
+        assert!((5..=6).contains(&lo), "lo = {lo}");
+        assert!((9..=10).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    fn occupied_bounds_of_empty_volume_is_none() {
+        let c = vol_from([8, 8, 8], |_, _, _| 0);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on([8, 8, 8]);
+        assert!(occupied_y_bounds(&enc, &fact).is_none());
+    }
+
+    #[test]
+    fn profile_flag_adds_modeled_overhead() {
+        let dims = [32, 32, 8];
+        let c = vol_from(dims, |x, y, _| ((x + y) % 2 == 0) as u8 * 120);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let run = |profile: bool| {
+            let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let opts = CompositeOpts { profile, ..Default::default() };
+            let mut t = NullTracer;
+            let mut total = ScanlineSliceStats::default();
+            for y in 0..fact.inter_h {
+                let mut row = img.row_view(y);
+                for k in 0..fact.slice_count() {
+                    total.merge(&composite_scanline_slice(&enc, &fact, &mut row, k, &opts, &mut t));
+                }
+            }
+            total.work
+        };
+        let base = run(false);
+        let prof = run(true);
+        let overhead = (prof - base) as f64 / base as f64;
+        assert!(overhead > 0.0 && overhead < 0.2, "overhead = {overhead}");
+    }
+}

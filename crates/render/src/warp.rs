@@ -1,0 +1,368 @@
+//! The warp phase: mapping the intermediate image to the final image.
+//!
+//! All three entry points perform the *identical* per-pixel computation —
+//! inverse-map the final pixel into the intermediate image, test which
+//! intermediate row band owns it, bilinearly sample, store — and differ only
+//! in which final pixels they visit and which row band they accept:
+//!
+//! * [`warp_full`] — every pixel, band `[0, inter_h)`: the serial warp.
+//! * [`warp_tile`] — pixels of one square tile, band `[0, inter_h)`: the task
+//!   of the *old* parallel algorithm's warp (final image partitioned into
+//!   round-robin tiles).
+//! * [`warp_row_band`] — pixels owned by one band of intermediate rows: the
+//!   *new* parallel algorithm's warp, where each processor warps exactly the
+//!   scanlines it composited. Bands are half-open and disjoint, so no final
+//!   pixel is written twice and no synchronization is needed; bilinear reads
+//!   may touch the first row of the next band — the only remaining
+//!   communication, exactly as the paper describes.
+//!
+//! Because ownership is decided by the same floating-point row coordinate in
+//! every variant, a full warp and any complete set of tiles or bands produce
+//! bit-identical final images.
+
+use crate::costs;
+use crate::image::{FinalImage, IntermediateImage, IPixel, Rgba8, SharedFinal, SharedIntermediate};
+use crate::tracer::{Tracer, WorkKind};
+use swr_geom::Factorization;
+
+/// Read access to a composited intermediate image.
+///
+/// Implemented by `&IntermediateImage` (serial / post-barrier warps) and by
+/// [`SharedIntermediate`] (the new algorithm's barrier-free warp, which reads
+/// rows whose completion flags are set while other rows may still be under
+/// composition by other threads).
+pub trait InterSource {
+    /// Image width.
+    fn width(&self) -> usize;
+    /// Image height.
+    fn height(&self) -> usize;
+    /// Pixel read; out-of-bounds coordinates return a cleared pixel.
+    fn get(&self, x: isize, y: isize) -> IPixel;
+    /// Address of an in-bounds pixel, for memory tracing.
+    fn pixel_addr(&self, x: usize, y: usize) -> usize;
+}
+
+impl InterSource for IntermediateImage {
+    fn width(&self) -> usize {
+        IntermediateImage::width(self)
+    }
+    fn height(&self) -> usize {
+        IntermediateImage::height(self)
+    }
+    #[inline]
+    fn get(&self, x: isize, y: isize) -> IPixel {
+        IntermediateImage::get(self, x, y)
+    }
+    #[inline]
+    fn pixel_addr(&self, x: usize, y: usize) -> usize {
+        IntermediateImage::pixel_addr(self, x, y)
+    }
+}
+
+impl InterSource for SharedIntermediate<'_> {
+    fn width(&self) -> usize {
+        SharedIntermediate::width(self)
+    }
+    fn height(&self) -> usize {
+        SharedIntermediate::height(self)
+    }
+    #[inline]
+    fn get(&self, x: isize, y: isize) -> IPixel {
+        // SAFETY: the warp protocol only samples rows whose compositing is
+        // complete (completion flags / dependencies), so the row is
+        // quiescent.
+        unsafe { self.get_pixel(x, y) }
+    }
+    #[inline]
+    fn pixel_addr(&self, x: usize, y: usize) -> usize {
+        self.shared_pixel_addr(x, y)
+    }
+}
+
+/// A rectangle of final-image pixels `[u0, u1) × [v0, v1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    pub u0: usize,
+    pub v0: usize,
+    pub u1: usize,
+    pub v1: usize,
+}
+
+impl Tile {
+    /// Number of pixels in the tile.
+    pub fn area(&self) -> usize {
+        (self.u1 - self.u0) * (self.v1 - self.v0)
+    }
+}
+
+/// Computes one final pixel: inverse warp, band-ownership test, bilinear
+/// sample of the intermediate image. Returns `None` when the pixel is not
+/// owned by `[band_lo, band_hi)`.
+#[inline]
+fn warp_pixel<S: InterSource, T: Tracer>(
+    inter: &S,
+    fact: &Factorization,
+    u: usize,
+    v: usize,
+    band_lo: f64,
+    band_hi: f64,
+    tracer: &mut T,
+) -> Option<Rgba8> {
+    let (x, y) = fact.map_final_to_inter(u as f64, v as f64);
+    if !(y >= band_lo && y < band_hi) {
+        return None;
+    }
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = (x - x0) as f32;
+    let fy = (y - y0) as f32;
+    let xi = x0 as isize;
+    let yi = y0 as isize;
+
+    let mut r = 0f32;
+    let mut g = 0f32;
+    let mut b = 0f32;
+    let mut a = 0f32;
+    for dy in 0..2isize {
+        for dx in 0..2isize {
+            let w = (if dx == 0 { 1.0 - fx } else { fx }) * (if dy == 0 { 1.0 - fy } else { fy });
+            if w == 0.0 {
+                continue;
+            }
+            let (px, py) = (xi + dx, yi + dy);
+            let p = inter.get(px, py);
+            if px >= 0 && py >= 0 && (px as usize) < inter.width() && (py as usize) < inter.height()
+            {
+                tracer.read(inter.pixel_addr(px as usize, py as usize), 16);
+            }
+            r += w * p.r;
+            g += w * p.g;
+            b += w * p.b;
+            a += w * p.a;
+        }
+    }
+    tracer.work(WorkKind::Warp, costs::WARP_PIXEL);
+    let q = |c: f32| (c.clamp(0.0, 1.0) * 255.0).round() as u8;
+    Some([q(r), q(g), q(b), q(a)])
+}
+
+/// Serial warp of the whole intermediate image into `out`.
+///
+/// `out` must have the factorization's final dimensions and be cleared.
+pub fn warp_full<S: InterSource, T: Tracer>(
+    inter: &S,
+    fact: &Factorization,
+    out: &mut FinalImage,
+    tracer: &mut T,
+) -> u64 {
+    assert_eq!((out.width(), out.height()), (fact.final_w, fact.final_h));
+    let band_hi = inter.height() as f64;
+    let mut written = 0;
+    for v in 0..out.height() {
+        tracer.work(WorkKind::Warp, costs::WARP_ROW_SETUP);
+        for u in 0..out.width() {
+            if let Some(p) = warp_pixel(inter, fact, u, v, 0.0, band_hi, tracer) {
+                out.set(u, v, p);
+                tracer.write(out.pixel_addr(u, v), 4);
+                written += 1;
+            }
+        }
+    }
+    written
+}
+
+/// Warp of one final-image tile (the old algorithm's warp task).
+///
+/// # Safety contract
+/// Callers pass non-overlapping tiles to concurrent workers; `SharedFinal`
+/// writes are then disjoint.
+pub fn warp_tile<S: InterSource, T: Tracer>(
+    inter: &S,
+    fact: &Factorization,
+    out: &SharedFinal<'_>,
+    tile: Tile,
+    tracer: &mut T,
+) -> u64 {
+    let band_hi = inter.height() as f64;
+    let mut written = 0;
+    for v in tile.v0..tile.v1 {
+        tracer.work(WorkKind::Warp, costs::WARP_ROW_SETUP);
+        for u in tile.u0..tile.u1 {
+            if let Some(p) = warp_pixel(inter, fact, u, v, 0.0, band_hi, tracer) {
+                // SAFETY: tiles are disjoint (caller contract).
+                let addr = unsafe { out.set(u, v, p) };
+                tracer.write(addr, 4);
+                written += 1;
+            }
+        }
+    }
+    written
+}
+
+/// Warp of the final pixels owned by the intermediate row band
+/// `[band.0, band.1)` (the new algorithm's warp task).
+///
+/// Uses the affine structure to visit only the `u` interval of each final
+/// scanline that can map into the band, then applies the exact per-pixel
+/// ownership test.
+pub fn warp_row_band<S: InterSource, T: Tracer>(
+    inter: &S,
+    fact: &Factorization,
+    out: &SharedFinal<'_>,
+    band: (usize, usize),
+    tracer: &mut T,
+) -> u64 {
+    let (lo, hi) = (band.0 as f64, band.1 as f64);
+    if band.0 >= band.1 {
+        return 0;
+    }
+    let w = out.width() as i64;
+    let mut written = 0;
+    for v in 0..out.height() {
+        tracer.work(WorkKind::Warp, costs::WARP_ROW_SETUP);
+        let Some((ul, uh)) = fact.band_u_interval(v as f64, lo, hi) else {
+            continue;
+        };
+        // Slack absorbs the open/closed ends; the per-pixel test is exact.
+        let u_start = if ul.is_finite() { (ul.floor() as i64 - 1).max(0) } else { 0 };
+        let u_end = if uh.is_finite() { (uh.ceil() as i64 + 1).min(w) } else { w };
+        for u in u_start..u_end {
+            if let Some(p) = warp_pixel(inter, fact, u as usize, v, lo, hi, tracer) {
+                // SAFETY: row bands are disjoint half-open intervals, and the
+                // ownership test assigns each final pixel to exactly one.
+                let addr = unsafe { out.set(u as usize, v, p) };
+                tracer.write(addr, 4);
+                written += 1;
+            }
+        }
+    }
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{IPixel, IntermediateImage};
+    use crate::tracer::NullTracer;
+    use swr_geom::{Factorization, ViewSpec};
+
+    fn setup(rot: f64) -> (IntermediateImage, Factorization) {
+        let view = ViewSpec::new([16, 16, 16]).rotate_y(rot).rotate_z(rot * 0.5);
+        let fact = Factorization::from_view(&view);
+        let mut inter = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        // Paint a deterministic pattern.
+        for y in 0..fact.inter_h {
+            let row = inter.row_view(y);
+            for x in 0..fact.inter_w {
+                row.pix[x] = IPixel {
+                    r: (x as f32 * 0.01).fract(),
+                    g: (y as f32 * 0.013).fract(),
+                    b: 0.25,
+                    a: ((x + y) as f32 * 0.007).fract(),
+                };
+            }
+        }
+        (inter, fact)
+    }
+
+    #[test]
+    fn full_warp_writes_content() {
+        let (inter, fact) = setup(0.4);
+        let mut out = FinalImage::new(fact.final_w, fact.final_h);
+        let mut t = NullTracer;
+        let written = warp_full(&inter, &fact, &mut out, &mut t);
+        assert!(written > 0);
+        assert!(out.mean_luma() > 0.0);
+    }
+
+    #[test]
+    fn tiles_reproduce_full_warp() {
+        let (inter, fact) = setup(0.7);
+        let mut full = FinalImage::new(fact.final_w, fact.final_h);
+        let mut t = NullTracer;
+        warp_full(&inter, &fact, &mut full, &mut t);
+
+        let mut tiled = FinalImage::new(fact.final_w, fact.final_h);
+        {
+            let shared = SharedFinal::new(&mut tiled);
+            let ts = 7; // deliberately not dividing evenly
+            for v0 in (0..fact.final_h).step_by(ts) {
+                for u0 in (0..fact.final_w).step_by(ts) {
+                    let tile = Tile {
+                        u0,
+                        v0,
+                        u1: (u0 + ts).min(fact.final_w),
+                        v1: (v0 + ts).min(fact.final_h),
+                    };
+                    warp_tile(&inter, &fact, &shared, tile, &mut t);
+                }
+            }
+        }
+        assert_eq!(full, tiled, "tiled warp must be bit-identical");
+    }
+
+    #[test]
+    fn row_bands_reproduce_full_warp() {
+        for rot in [0.0, 0.3, 1.1, 2.5] {
+            let (inter, fact) = setup(rot);
+            let mut full = FinalImage::new(fact.final_w, fact.final_h);
+            let mut t = NullTracer;
+            let w_full = warp_full(&inter, &fact, &mut full, &mut t);
+
+            let mut banded = FinalImage::new(fact.final_w, fact.final_h);
+            let mut w_bands = 0;
+            {
+                let shared = SharedFinal::new(&mut banded);
+                // Uneven bands covering [0, inter_h).
+                let cuts = [0, 3, fact.inter_h / 3, fact.inter_h / 2 + 1, fact.inter_h];
+                for wnd in cuts.windows(2) {
+                    if wnd[0] < wnd[1] {
+                        w_bands +=
+                            warp_row_band(&inter, &fact, &shared, (wnd[0], wnd[1]), &mut t);
+                    }
+                }
+            }
+            assert_eq!(w_full, w_bands, "rot {rot}: pixel counts differ");
+            assert_eq!(full, banded, "rot {rot}: banded warp must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn empty_band_writes_nothing() {
+        let (inter, fact) = setup(0.5);
+        let mut out = FinalImage::new(fact.final_w, fact.final_h);
+        let shared = SharedFinal::new(&mut out);
+        let mut t = NullTracer;
+        assert_eq!(warp_row_band(&inter, &fact, &shared, (5, 5), &mut t), 0);
+    }
+
+    #[test]
+    fn bands_partition_written_pixels() {
+        let (inter, fact) = setup(0.9);
+        // Write each band into its own image; assert no pixel is written by
+        // two bands (non-zero in both).
+        let h = fact.inter_h;
+        let mid = h / 2;
+        let mut imgs = Vec::new();
+        let mut t = NullTracer;
+        for band in [(0, mid), (mid, h)] {
+            let mut img = FinalImage::new(fact.final_w, fact.final_h);
+            {
+                let shared = SharedFinal::new(&mut img);
+                warp_row_band(&inter, &fact, &shared, band, &mut t);
+            }
+            imgs.push(img);
+        }
+        let mut overlap = 0;
+        for v in 0..fact.final_h {
+            for u in 0..fact.final_w {
+                let w0 = imgs[0].get(u, v) != [0, 0, 0, 0];
+                let w1 = imgs[1].get(u, v) != [0, 0, 0, 0];
+                if w0 && w1 {
+                    overlap += 1;
+                }
+            }
+        }
+        assert_eq!(overlap, 0, "bands must not both write a pixel");
+    }
+}

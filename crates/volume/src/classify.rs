@@ -1,0 +1,458 @@
+//! Classification and shading: raw samples → RGBA voxels.
+//!
+//! Classification happens once per transfer-function change (not per frame),
+//! exactly as in VolPack's pre-classified rendering mode that the paper's
+//! renderers use: each voxel's opacity and *shaded* color are precomputed, so
+//! the per-frame compositing loop only resamples and blends.
+
+use crate::gradient::{gradient_at, gradient_magnitude_u8};
+use crate::grid::Volume;
+use crate::transfer::TransferFunction;
+use swr_geom::Vec3;
+
+/// A classified voxel: color premultiplied by opacity, plus opacity, each
+/// quantized to 8 bits. 4 bytes per voxel, matching the compact layouts the
+/// paper's locality analysis depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(C)]
+pub struct RgbaVoxel {
+    /// Premultiplied red.
+    pub r: u8,
+    /// Premultiplied green.
+    pub g: u8,
+    /// Premultiplied blue.
+    pub b: u8,
+    /// Opacity.
+    pub a: u8,
+}
+
+impl RgbaVoxel {
+    /// Fully transparent voxel.
+    pub const TRANSPARENT: RgbaVoxel = RgbaVoxel { r: 0, g: 0, b: 0, a: 0 };
+
+    /// Whether the voxel is below the given opacity threshold.
+    #[inline]
+    pub fn is_transparent(&self, threshold: u8) -> bool {
+        self.a < threshold
+    }
+}
+
+/// A dense volume of classified voxels, same layout as [`Volume`]
+/// (x-fastest).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedVolume {
+    dims: [usize; 3],
+    voxels: Vec<RgbaVoxel>,
+}
+
+impl ClassifiedVolume {
+    /// Dimensions `[nx, ny, nz]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// All voxels, x-fastest.
+    #[inline]
+    pub fn voxels(&self) -> &[RgbaVoxel] {
+        &self.voxels
+    }
+
+    /// Voxel at `(x, y, z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> RgbaVoxel {
+        debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
+        self.voxels[(z * self.dims[1] + y) * self.dims[0] + x]
+    }
+
+    /// Builds a classified volume directly from voxels (mainly for tests).
+    pub fn from_raw(dims: [usize; 3], voxels: Vec<RgbaVoxel>) -> Self {
+        assert_eq!(voxels.len(), dims[0] * dims[1] * dims[2]);
+        ClassifiedVolume { dims, voxels }
+    }
+
+    /// Fraction of voxels whose opacity is below `threshold`.
+    pub fn transparent_fraction(&self, threshold: u8) -> f64 {
+        let t = self
+            .voxels
+            .iter()
+            .filter(|v| v.is_transparent(threshold))
+            .count();
+        t as f64 / self.voxels.len() as f64
+    }
+}
+
+/// The per-voxel classification pipeline with its precomputed tables.
+struct Classifier<'a> {
+    tf: &'a TransferFunction,
+    op_val: [f64; 256],
+    op_grad: [f64; 256],
+    red: [f64; 256],
+    green: [f64; 256],
+    blue: [f64; 256],
+    light: Vec3,
+    half: Vec3,
+}
+
+/// Opacities below this never get stored (matches the RLE threshold after
+/// quantization).
+const ALPHA_CUTOFF: f64 = 1.0 / 512.0;
+
+impl<'a> Classifier<'a> {
+    fn new(tf: &'a TransferFunction) -> Self {
+        let light = Vec3::from_array(tf.light_dir).normalized();
+        // Blinn-Phong halfway vector for a viewer along -z (the
+        // classification bakes shading; the paper's renderers re-classify
+        // only when the transfer function changes, not per frame).
+        let view = Vec3::new(0.0, 0.0, -1.0);
+        Classifier {
+            tf,
+            op_val: tf.opacity_value.to_table(),
+            op_grad: tf.opacity_gradient.to_table(),
+            red: tf.red.to_table(),
+            green: tf.green.to_table(),
+            blue: tf.blue.to_table(),
+            light,
+            half: (light + view).normalized(),
+        }
+    }
+
+    #[inline]
+    fn voxel(&self, vol: &Volume, x: usize, y: usize, z: usize) -> RgbaVoxel {
+        let s = vol.get(x, y, z);
+        let g = gradient_at(vol, x, y, z);
+        let gm = gradient_magnitude_u8(g);
+        let alpha = self.op_val[s as usize] * self.op_grad[gm as usize];
+        if alpha < ALPHA_CUTOFF {
+            return RgbaVoxel::TRANSPARENT;
+        }
+        let glen = g.length();
+        let (diff, spec) = if glen > 1e-9 {
+            let n = -g / glen;
+            let d = n.dot(self.light).max(0.0);
+            let sp = n.dot(self.half).max(0.0).powf(self.tf.shininess);
+            (d, sp)
+        } else {
+            (0.0, 0.0)
+        };
+        let lum = self.tf.ambient + self.tf.diffuse * diff;
+        let shade = |c: f64| -> u8 {
+            let v = (c * lum + self.tf.specular * spec) * alpha;
+            (v.clamp(0.0, 1.0) * 255.0).round() as u8
+        };
+        RgbaVoxel {
+            r: shade(self.red[s as usize]),
+            g: shade(self.green[s as usize]),
+            b: shade(self.blue[s as usize]),
+            a: (alpha.clamp(0.0, 1.0) * 255.0).round() as u8,
+        }
+    }
+}
+
+/// Classifies and shades a raw volume.
+///
+/// Opacity is `opacity_value(sample) * opacity_gradient(|∇sample|)`; color is
+/// the material ramp modulated by Phong shading against the transfer
+/// function's light direction (headlight-style specular), then premultiplied
+/// by opacity and quantized.
+pub fn classify(vol: &Volume, tf: &TransferFunction) -> ClassifiedVolume {
+    let [nx, ny, nz] = vol.dims();
+    let c = Classifier::new(tf);
+    let mut voxels = Vec::with_capacity(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                voxels.push(c.voxel(vol, x, y, z));
+            }
+        }
+    }
+    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+}
+
+/// Multithreaded [`classify`]: slabs of z-slices are classified by worker
+/// threads. The per-voxel pipeline is a pure function, so the result is
+/// identical to the serial version.
+pub fn classify_parallel(vol: &Volume, tf: &TransferFunction, nthreads: usize) -> ClassifiedVolume {
+    let [nx, ny, nz] = vol.dims();
+    let nthreads = nthreads.clamp(1, nz);
+    if nthreads == 1 {
+        return classify(vol, tf);
+    }
+    let c = Classifier::new(tf);
+    let mut voxels = vec![RgbaVoxel::TRANSPARENT; nx * ny * nz];
+    let slab = nz.div_ceil(nthreads);
+    crossbeam::scope(|s| {
+        for (t, chunk) in voxels.chunks_mut(nx * ny * slab).enumerate() {
+            let c = &c;
+            s.spawn(move |_| {
+                let z0 = t * slab;
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    let z = z0 + i / (nx * ny);
+                    let r = i % (nx * ny);
+                    *out = c.voxel(vol, r % nx, r / nx, z);
+                }
+            });
+        }
+    })
+    .expect("classification workers must not panic");
+    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+}
+
+/// Classification from a precomputed [`GradientField`] — VolPack's two-stage
+/// pipeline: gradients (the expensive part) are computed once per volume;
+/// changing the transfer function or the light direction then re-shades from
+/// the stored quantized normals without touching the raw data's neighbors.
+///
+/// Opacities match [`classify`] exactly (magnitudes are stored at the same
+/// quantization); colors differ by at most a few quantization steps from the
+/// 16-bit normal encoding.
+pub fn classify_with_field(
+    vol: &Volume,
+    field: &crate::gradient::GradientField,
+    tf: &TransferFunction,
+) -> ClassifiedVolume {
+    assert_eq!(field.dims(), vol.dims(), "field must match the volume");
+    let [nx, ny, nz] = vol.dims();
+    let c = Classifier::new(tf);
+    let mut voxels = Vec::with_capacity(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let s = vol.get(x, y, z);
+                let gm = field.magnitude(x, y, z);
+                let alpha = c.op_val[s as usize] * c.op_grad[gm as usize];
+                if alpha < ALPHA_CUTOFF {
+                    voxels.push(RgbaVoxel::TRANSPARENT);
+                    continue;
+                }
+                let (diff, spec) = match field.normal(x, y, z) {
+                    Some(n) => (
+                        n.dot(c.light).max(0.0),
+                        n.dot(c.half).max(0.0).powf(tf.shininess),
+                    ),
+                    None => (0.0, 0.0),
+                };
+                let lum = tf.ambient + tf.diffuse * diff;
+                let shade = |ch: f64| -> u8 {
+                    let v = (ch * lum + tf.specular * spec) * alpha;
+                    (v.clamp(0.0, 1.0) * 255.0).round() as u8
+                };
+                voxels.push(RgbaVoxel {
+                    r: shade(c.red[s as usize]),
+                    g: shade(c.green[s as usize]),
+                    b: shade(c.blue[s as usize]),
+                    a: (alpha.clamp(0.0, 1.0) * 255.0).round() as u8,
+                });
+            }
+        }
+    }
+    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+}
+
+/// Fast classification (VolPack's min-max acceleration): a coarse grid of
+/// raw-value min/max blocks is tested against the transfer function first;
+/// blocks whose value range provably maps to sub-threshold opacity are
+/// filled transparent without per-voxel work. On medical-style data 70–95 %
+/// of voxels skip the expensive gradient + shading path.
+///
+/// Produces output **identical** to [`classify`].
+pub fn classify_fast(vol: &Volume, tf: &TransferFunction) -> ClassifiedVolume {
+    const B: usize = 8;
+    let [nx, ny, nz] = vol.dims();
+    let c = Classifier::new(tf);
+    // The gradient ramp bounds how much a block's value-ramp maximum can be
+    // amplified.
+    let grad_max = tf.opacity_gradient.max_on(0, 255);
+    let mut voxels = vec![RgbaVoxel::TRANSPARENT; nx * ny * nz];
+
+    for bz in (0..nz).step_by(B) {
+        for by in (0..ny).step_by(B) {
+            for bx in (0..nx).step_by(B) {
+                let (x1, y1, z1) = ((bx + B).min(nx), (by + B).min(ny), (bz + B).min(nz));
+                // Min/max must include a one-voxel apron: gradients at the
+                // block border read neighbors, but only the *value* ramp is
+                // bounded here, so the block's own range suffices.
+                let mut lo = u8::MAX;
+                let mut hi = u8::MIN;
+                for z in bz..z1 {
+                    for y in by..y1 {
+                        for x in bx..x1 {
+                            let s = vol.get(x, y, z);
+                            lo = lo.min(s);
+                            hi = hi.max(s);
+                        }
+                    }
+                }
+                if tf.opacity_value.max_on(lo, hi) * grad_max < ALPHA_CUTOFF {
+                    continue; // provably transparent: leave the block empty
+                }
+                for z in bz..z1 {
+                    for y in by..y1 {
+                        for x in bx..x1 {
+                            voxels[(z * ny + y) * nx + x] = c.voxel(vol, x, y, z);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::TransferFunction;
+
+    #[test]
+    fn empty_volume_classifies_fully_transparent() {
+        let v = Volume::zeros([8, 8, 8]);
+        let c = classify(&v, &TransferFunction::mri_default());
+        assert_eq!(c.transparent_fraction(1), 1.0);
+    }
+
+    #[test]
+    fn solid_block_interior_and_surface() {
+        // A block of high-value material in air.
+        let v = Volume::from_fn([16, 16, 16], |x, y, z| {
+            if (4..12).contains(&x) && (4..12).contains(&y) && (4..12).contains(&z) {
+                200
+            } else {
+                0
+            }
+        });
+        let c = classify(&v, &TransferFunction::mri_default());
+        // Air stays transparent.
+        assert!(c.get(0, 0, 0).is_transparent(1));
+        // Boundary voxels (high value, high gradient) are strongly opaque.
+        assert!(c.get(4, 8, 8).a > 128, "surface voxel should be opaque");
+        // Premultiplication invariant: color channels never exceed alpha
+        // by more than shading can justify (specular can push them slightly,
+        // but a transparent voxel has zero color).
+        for vx in c.voxels() {
+            if vx.a == 0 {
+                assert_eq!((vx.r, vx.g, vx.b), (0, 0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn opacity_is_product_of_value_and_gradient_ramps() {
+        // Uniform interior => zero gradient => gradient ramp at 0 applies.
+        let v = Volume::from_fn([12, 12, 12], |_, _, _| 200);
+        let tf = TransferFunction::mri_default();
+        let c = classify(&v, &tf);
+        let interior = c.get(6, 6, 6);
+        let expected =
+            tf.opacity_value.eval(200) * tf.opacity_gradient.eval(0);
+        assert_eq!(interior.a, (expected * 255.0).round() as u8);
+    }
+
+    #[test]
+    fn classified_dims_match_input() {
+        let v = Volume::zeros([5, 6, 7]);
+        let c = classify(&v, &TransferFunction::ct_default());
+        assert_eq!(c.dims(), [5, 6, 7]);
+        assert_eq!(c.voxels().len(), 5 * 6 * 7);
+    }
+
+    #[test]
+    fn fast_classification_is_identical() {
+        use crate::phantom::Phantom;
+        for (ph, tf) in [
+            (Phantom::MriBrain, TransferFunction::mri_default()),
+            (Phantom::CtHead, TransferFunction::ct_default()),
+        ] {
+            // Deliberately non-multiple-of-8 dimensions.
+            let v = ph.generate([27, 21, 14], 9);
+            let slow = classify(&v, &tf);
+            let fast = classify_fast(&v, &tf);
+            assert_eq!(slow, fast, "{ph:?}");
+        }
+    }
+
+    #[test]
+    fn field_classification_matches_opacity_exactly_and_color_closely() {
+        use crate::gradient::GradientField;
+        use crate::phantom::Phantom;
+        let v = Phantom::MriBrain.generate([20, 20, 14], 7);
+        let tf = TransferFunction::mri_default();
+        let full = classify(&v, &tf);
+        let field = GradientField::compute(&v);
+        let fast = classify_with_field(&v, &field, &tf);
+        assert_eq!(full.dims(), fast.dims());
+        let mut max_col = 0i32;
+        for (a, b) in full.voxels().iter().zip(fast.voxels()) {
+            assert_eq!(a.a, b.a, "opacities must match exactly");
+            for (ca, cb) in [(a.r, b.r), (a.g, b.g), (a.b, b.b)] {
+                max_col = max_col.max((ca as i32 - cb as i32).abs());
+            }
+        }
+        assert!(max_col <= 6, "normal quantization shifted colors by {max_col}");
+    }
+
+    #[test]
+    fn relighting_changes_shading_not_opacity() {
+        use crate::gradient::GradientField;
+        use crate::phantom::Phantom;
+        let v = Phantom::MriBrain.generate([16, 16, 12], 5);
+        let field = GradientField::compute(&v);
+        let tf1 = TransferFunction::mri_default();
+        let mut tf2 = TransferFunction::mri_default();
+        tf2.light_dir = [-0.7, 0.5, 0.4]; // light moved
+        let a = classify_with_field(&v, &field, &tf1);
+        let b = classify_with_field(&v, &field, &tf2);
+        assert_ne!(a, b, "new light must change colors");
+        for (va, vb) in a.voxels().iter().zip(b.voxels()) {
+            assert_eq!(va.a, vb.a, "opacity is light-independent");
+        }
+    }
+
+    #[test]
+    fn fast_classification_skips_work_on_sparse_data() {
+        use crate::phantom::Phantom;
+        // Mostly-empty volume: the block test must fire (indirectly checked
+        // by identical output above; here we sanity-check the bound logic).
+        let v = Phantom::MriBrain.generate([32, 32, 24], 4);
+        let tf = TransferFunction::mri_default();
+        let fast = classify_fast(&v, &tf);
+        assert!(fast.transparent_fraction(1) > 0.5);
+    }
+
+    #[test]
+    fn shading_darkens_faces_away_from_light() {
+        // Light comes mostly from -y/-z (see mri_default): the face whose
+        // normal points toward the light should be brighter.
+        let v = Volume::from_fn([16, 16, 16], |x, y, z| {
+            if (4..12).contains(&x) && (4..12).contains(&y) && (4..12).contains(&z) {
+                220
+            } else {
+                0
+            }
+        });
+        let c = classify(&v, &TransferFunction::mri_default());
+        let lit = c.get(8, 4, 8); // -y face, normal (0,-1,0), light_dir.y < 0
+        let unlit = c.get(8, 11, 8); // +y face
+        assert!(
+            lit.r > unlit.r,
+            "lit face {lit:?} should be brighter than unlit {unlit:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::phantom::Phantom;
+    use crate::transfer::TransferFunction;
+
+    #[test]
+    fn parallel_classification_is_identical() {
+        let v = Phantom::CtHead.generate([19, 23, 13], 6);
+        let tf = TransferFunction::ct_default();
+        let serial = classify(&v, &tf);
+        for threads in [1, 2, 3, 7, 64] {
+            assert_eq!(classify_parallel(&v, &tf, threads), serial, "threads = {threads}");
+        }
+    }
+}

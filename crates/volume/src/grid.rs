@@ -1,0 +1,203 @@
+//! Raw scalar voxel grids.
+
+/// A dense 3-D grid of 8-bit scalar samples, stored x-fastest
+/// (`data[z][y][x]` linearized as `(z * ny + y) * nx + x`).
+///
+/// This is the input format for classification; medical scans in the paper
+/// (MRI brain, CT head) are 8-bit scalar volumes of exactly this shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Volume {
+    dims: [usize; 3],
+    data: Vec<u8>,
+}
+
+impl Volume {
+    /// Creates a zero-filled volume.
+    pub fn zeros(dims: [usize; 3]) -> Self {
+        let n = dims[0]
+            .checked_mul(dims[1])
+            .and_then(|v| v.checked_mul(dims[2]))
+            .expect("volume dimensions overflow");
+        assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
+        Volume {
+            dims,
+            data: vec![0; n],
+        }
+    }
+
+    /// Builds a volume by evaluating `f(x, y, z)` at every voxel.
+    pub fn from_fn(dims: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> u8) -> Self {
+        let mut v = Volume::zeros(dims);
+        let [nx, ny, nz] = dims;
+        let mut idx = 0;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    v.data[idx] = f(x, y, z);
+                    idx += 1;
+                }
+            }
+        }
+        v
+    }
+
+    /// Wraps an existing sample buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny * nz`.
+    pub fn from_raw(dims: [usize; 3], data: Vec<u8>) -> Self {
+        assert_eq!(
+            data.len(),
+            dims[0] * dims[1] * dims[2],
+            "sample buffer length must match dimensions"
+        );
+        Volume { dims, data }
+    }
+
+    /// Volume dimensions `[nx, ny, nz]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total number of voxels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the volume has no voxels (never true: dims are positive).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw sample buffer.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Linear index of voxel `(x, y, z)`.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.dims[0] && y < self.dims[1] && z < self.dims[2]);
+        (z * self.dims[1] + y) * self.dims[0] + x
+    }
+
+    /// Sample at voxel `(x, y, z)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize, z: usize) -> u8 {
+        self.data[self.index(x, y, z)]
+    }
+
+    /// Mutable sample at voxel `(x, y, z)`.
+    #[inline]
+    pub fn get_mut(&mut self, x: usize, y: usize, z: usize) -> &mut u8 {
+        let i = self.index(x, y, z);
+        &mut self.data[i]
+    }
+
+    /// Sample with coordinates clamped to the volume bounds — used by
+    /// gradient estimation and resampling at the borders.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize, z: isize) -> u8 {
+        let cx = x.clamp(0, self.dims[0] as isize - 1) as usize;
+        let cy = y.clamp(0, self.dims[1] as isize - 1) as usize;
+        let cz = z.clamp(0, self.dims[2] as isize - 1) as usize;
+        self.get(cx, cy, cz)
+    }
+
+    /// Trilinear interpolation at a fractional position (clamped to bounds).
+    pub fn sample_trilinear(&self, x: f64, y: f64, z: f64) -> f64 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let z0 = z.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let fz = z - z0;
+        let (xi, yi, zi) = (x0 as isize, y0 as isize, z0 as isize);
+        let mut acc = 0.0;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let w = (if dx == 0 { 1.0 - fx } else { fx })
+                        * (if dy == 0 { 1.0 - fy } else { fy })
+                        * (if dz == 0 { 1.0 - fz } else { fz });
+                    if w > 0.0 {
+                        acc += w * self.get_clamped(xi + dx, yi + dy, zi + dz) as f64;
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fraction of voxels with value zero.
+    pub fn zero_fraction(&self) -> f64 {
+        let zeros = self.data.iter().filter(|&&v| v == 0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&v| v as u64).sum::<u64>() as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_indexing_round_trip() {
+        let v = Volume::from_fn([4, 3, 2], |x, y, z| (x + 10 * y + 100 * z) as u8);
+        assert_eq!(v.get(0, 0, 0), 0);
+        assert_eq!(v.get(3, 0, 0), 3);
+        assert_eq!(v.get(0, 2, 0), 20);
+        assert_eq!(v.get(1, 1, 1), 111);
+        assert_eq!(v.len(), 24);
+    }
+
+    #[test]
+    fn x_is_fastest_varying() {
+        let v = Volume::from_fn([3, 2, 2], |x, _, _| x as u8);
+        assert_eq!(&v.data()[..3], &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn from_raw_checks_length() {
+        let _ = Volume::from_raw([2, 2, 2], vec![0; 7]);
+    }
+
+    #[test]
+    fn clamped_access_at_borders() {
+        let v = Volume::from_fn([2, 2, 2], |x, y, z| (x + y + z) as u8);
+        assert_eq!(v.get_clamped(-5, 0, 0), v.get(0, 0, 0));
+        assert_eq!(v.get_clamped(9, 1, 1), v.get(1, 1, 1));
+    }
+
+    #[test]
+    fn trilinear_matches_exact_at_lattice_points() {
+        let v = Volume::from_fn([4, 4, 4], |x, y, z| (x * 3 + y * 7 + z * 11) as u8);
+        for &(x, y, z) in &[(0usize, 0usize, 0usize), (1, 2, 3), (3, 3, 3)] {
+            let s = v.sample_trilinear(x as f64, y as f64, z as f64);
+            assert!((s - v.get(x, y, z) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trilinear_interpolates_linearly() {
+        // A volume linear in x interpolates exactly.
+        let v = Volume::from_fn([4, 2, 2], |x, _, _| (x * 20) as u8);
+        assert!((v.sample_trilinear(1.5, 0.0, 0.0) - 30.0).abs() < 1e-9);
+        assert!((v.sample_trilinear(0.25, 0.5, 0.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fraction_counts() {
+        let v = Volume::from_fn([2, 2, 2], |x, _, _| if x == 0 { 0 } else { 9 });
+        assert_eq!(v.zero_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Volume file I/O.
+//!
+//! Two formats:
+//!
+//! * **`.svol`** — this library's native format: a 24-byte header
+//!   (`magic "SWVOL1\0\0"`, then `nx, ny, nz` as little-endian `u32`, then a
+//!   4-byte reserved word) followed by the raw x-fastest `u8` samples.
+//! * **headerless `.raw`** — bare samples with dimensions supplied by the
+//!   caller, the de-facto exchange format for the classic volume datasets
+//!   (the paper's MRI brain and CT head circulated exactly like this).
+
+use crate::grid::Volume;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the native format.
+pub const MAGIC: [u8; 8] = *b"SWVOL1\0\0";
+
+/// Serializes a volume in the native format.
+pub fn write_svol<W: Write>(vol: &Volume, mut w: W) -> io::Result<()> {
+    let [nx, ny, nz] = vol.dims();
+    w.write_all(&MAGIC)?;
+    for d in [nx, ny, nz] {
+        let d32 = u32::try_from(d).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "dimension exceeds u32")
+        })?;
+        w.write_all(&d32.to_le_bytes())?;
+    }
+    w.write_all(&[0u8; 4])?; // reserved
+    w.write_all(vol.data())
+}
+
+/// Deserializes a volume in the native format.
+pub fn read_svol<R: Read>(mut r: R) -> io::Result<Volume> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SWVOL1 file"));
+    }
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *d = u32::from_le_bytes(b) as usize;
+        if *d == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dimension"));
+        }
+    }
+    let mut reserved = [0u8; 4];
+    r.read_exact(&mut reserved)?;
+    let n = dims[0]
+        .checked_mul(dims[1])
+        .and_then(|v| v.checked_mul(dims[2]))
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "dimension overflow"))?;
+    let mut data = vec![0u8; n];
+    r.read_exact(&mut data)?;
+    Ok(Volume::from_raw(dims, data))
+}
+
+/// Writes a volume to a native-format file.
+pub fn save_volume(vol: &Volume, path: impl AsRef<Path>) -> io::Result<()> {
+    write_svol(vol, std::io::BufWriter::new(std::fs::File::create(path)?))
+}
+
+/// Reads a volume from a native-format file.
+pub fn load_volume(path: impl AsRef<Path>) -> io::Result<Volume> {
+    read_svol(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Reads a headerless raw `u8` volume with caller-supplied dimensions.
+///
+/// Fails if the file size does not match `nx · ny · nz`.
+pub fn load_raw(path: impl AsRef<Path>, dims: [usize; 3]) -> io::Result<Volume> {
+    let data = std::fs::read(path)?;
+    let expect = dims[0] * dims[1] * dims[2];
+    if data.len() != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("raw volume is {} bytes, dims say {expect}", data.len()),
+        ));
+    }
+    Ok(Volume::from_raw(dims, data))
+}
+
+/// Writes the bare samples of a volume (headerless raw).
+pub fn save_raw(vol: &Volume, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, vol.data())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phantom::Phantom;
+
+    #[test]
+    fn svol_round_trip_in_memory() {
+        let vol = Phantom::MriBrain.generate([17, 13, 9], 3);
+        let mut buf = Vec::new();
+        write_svol(&vol, &mut buf).unwrap();
+        assert_eq!(&buf[..8], &MAGIC);
+        let back = read_svol(&buf[..]).unwrap();
+        assert_eq!(back, vol);
+    }
+
+    #[test]
+    fn svol_rejects_garbage() {
+        assert!(read_svol(&b"NOTAVOL\0rest"[..]).is_err());
+        // Truncated data section.
+        let vol = Phantom::SolidEllipsoid.generate([8, 8, 8], 0);
+        let mut buf = Vec::new();
+        write_svol(&vol, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(read_svol(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn svol_rejects_zero_dims() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        assert!(read_svol(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let dir = std::env::temp_dir();
+        let vol = Phantom::CtHead.generate([12, 10, 8], 5);
+
+        let p1 = dir.join("swr_io_test.svol");
+        save_volume(&vol, &p1).unwrap();
+        assert_eq!(load_volume(&p1).unwrap(), vol);
+
+        let p2 = dir.join("swr_io_test.raw");
+        save_raw(&vol, &p2).unwrap();
+        assert_eq!(load_raw(&p2, vol.dims()).unwrap(), vol);
+        // Wrong dims are rejected.
+        assert!(load_raw(&p2, [12, 10, 9]).is_err());
+
+        let _ = std::fs::remove_file(p1);
+        let _ = std::fs::remove_file(p2);
+    }
+}

@@ -1,0 +1,305 @@
+//! Synthetic volume datasets.
+//!
+//! The paper's inputs are MRI brain scans (128³, 256×256×167, 511×511×333,
+//! 640×640×417) and CT head scans (128³–511³). Those scans are not
+//! redistributable, so this module generates deterministic phantoms with the
+//! same *algorithmically relevant* structure:
+//!
+//! * a condensed central object surrounded by empty space, so 70–95 % of
+//!   voxels classify transparent (the regime the run-length coherence
+//!   structures are designed for);
+//! * a complicated boundary (value-noise "cortical folds" for MRI, a bony
+//!   shell for CT), so per-scanline compositing cost is strongly non-uniform
+//!   — the load-imbalance source the paper's profiled partitioning attacks;
+//! * smooth interior gradients so classification and shading behave like
+//!   medical data.
+
+use crate::grid::Volume;
+use crate::transfer::TransferFunction;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Families of synthetic volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phantom {
+    /// Brain-like object: soft-tissue ellipsoid with folded (noisy) cortex,
+    /// interior ventricles, no skull — mirrors a skull-stripped MRI.
+    MriBrain,
+    /// Head-like object: high-density skull shell around faint soft tissue —
+    /// mirrors a bone-windowed CT.
+    CtHead,
+    /// A plain solid ellipsoid — useful for tests needing predictable
+    /// geometry.
+    SolidEllipsoid,
+}
+
+impl Phantom {
+    /// Dimensions matching the aspect ratio the paper uses for this phantom
+    /// family at base resolution `n` (e.g. `n = 256` → `256×256×167` for the
+    /// MRI brain, `256³` for the CT head).
+    pub fn paper_dims(self, n: usize) -> [usize; 3] {
+        match self {
+            // 167/256 = 0.652, the paper's MRI aspect.
+            Phantom::MriBrain => [n, n, ((n as f64) * 0.652).round().max(1.0) as usize],
+            Phantom::CtHead => [n, n, n],
+            Phantom::SolidEllipsoid => [n, n, n],
+        }
+    }
+
+    /// The transfer function the experiments pair with this phantom.
+    pub fn default_transfer(self) -> TransferFunction {
+        match self {
+            Phantom::MriBrain => TransferFunction::mri_default(),
+            Phantom::CtHead => TransferFunction::ct_default(),
+            Phantom::SolidEllipsoid => TransferFunction::mri_default(),
+        }
+    }
+
+    /// Generates the phantom at the given dimensions. The same
+    /// `(phantom, dims, seed)` always produces the same volume.
+    pub fn generate(self, dims: [usize; 3], seed: u64) -> Volume {
+        let noise = ValueNoise3::new(seed, 16);
+        let fine = ValueNoise3::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), 16);
+        let [nx, ny, nz] = dims;
+        let inv = [
+            2.0 / nx as f64,
+            2.0 / ny as f64,
+            2.0 / nz as f64,
+        ];
+        Volume::from_fn(dims, |x, y, z| {
+            // Normalized coordinates in [-1, 1] per axis.
+            let px = (x as f64 + 0.5) * inv[0] - 1.0;
+            let py = (y as f64 + 0.5) * inv[1] - 1.0;
+            let pz = (z as f64 + 0.5) * inv[2] - 1.0;
+            match self {
+                Phantom::MriBrain => mri_value(px, py, pz, &noise, &fine),
+                Phantom::CtHead => ct_value(px, py, pz, &noise),
+                Phantom::SolidEllipsoid => {
+                    let r = (px * px + py * py + pz * pz).sqrt();
+                    if r < 0.8 {
+                        200
+                    } else {
+                        0
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// MRI-like brain: ellipsoidal soft tissue, sulci carved by noise near the
+/// surface, darker ventricles near the center.
+fn mri_value(px: f64, py: f64, pz: f64, noise: &ValueNoise3, fine: &ValueNoise3) -> u8 {
+    // Brain ellipsoid radii (fraction of the half-extent).
+    let r = ((px / 0.80).powi(2) + (py / 0.92).powi(2) + (pz / 0.82).powi(2)).sqrt();
+    if r >= 1.0 {
+        return 0; // air
+    }
+    // Cortical folding: carve sulci where high-frequency noise is high, but
+    // only in the outer shell.
+    let fold = noise.fbm(px * 2.2, py * 2.2, pz * 2.2, 3);
+    if r > 0.78 {
+        let depth = (r - 0.78) / 0.22; // 0 at fold onset, 1 at surface
+        if fold > 0.62 - 0.35 * (1.0 - depth) {
+            return 0; // sulcus
+        }
+    }
+    // Ventricles: two small ellipsoids beside the midline.
+    for sx in [-1.0, 1.0] {
+        let vr = (((px - sx * 0.16) / 0.13).powi(2)
+            + (py / 0.30).powi(2)
+            + ((pz - 0.05) / 0.16).powi(2))
+        .sqrt();
+        if vr < 1.0 {
+            return 28; // CSF: dark, classifies transparent-ish
+        }
+    }
+    // White/gray matter variation.
+    let tissue = 95.0 + 55.0 * fine.fbm(px * 3.0, py * 3.0, pz * 3.0, 2)
+        - 25.0 * (1.0 - r) // slightly darker deep tissue
+        + 10.0 * fold;
+    tissue.clamp(35.0, 200.0) as u8
+}
+
+/// CT-like head: bright bone shell, faint interior tissue, air outside.
+fn ct_value(px: f64, py: f64, pz: f64, noise: &ValueNoise3) -> u8 {
+    let r = ((px / 0.82).powi(2) + (py / 0.90).powi(2) + (pz / 0.86).powi(2)).sqrt();
+    // Skull thickness varies a little with direction.
+    let wob = 0.02 * noise.fbm(px * 1.5, py * 1.5, pz * 1.5, 2);
+    let outer = 0.97 + wob;
+    let inner = 0.86 + wob;
+    if r >= outer {
+        return 0; // air
+    }
+    if r >= inner {
+        // Bone, with trabecular variation.
+        let bone = 205.0 + 40.0 * noise.fbm(px * 5.0, py * 5.0, pz * 5.0, 2);
+        return bone.clamp(180.0, 255.0) as u8;
+    }
+    // Faint soft tissue interior — classifies (almost) transparent under the
+    // CT transfer function, like a bone-windowed scan.
+    let tissue = 55.0 + 12.0 * noise.fbm(px * 3.0, py * 3.0, pz * 3.0, 2);
+    tissue.clamp(35.0, 80.0) as u8
+}
+
+/// Periodic 3-D value noise: a seeded lattice of uniform values, trilinearly
+/// interpolated, combined as fractal Brownian motion. Small and fully
+/// deterministic — no external noise crate needed.
+pub struct ValueNoise3 {
+    lattice: Vec<f64>,
+    n: usize,
+}
+
+impl ValueNoise3 {
+    /// Creates a noise field with an `n³` lattice.
+    pub fn new(seed: u64, n: usize) -> Self {
+        assert!(n >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lattice = (0..n * n * n).map(|_| rng.random::<f64>()).collect();
+        ValueNoise3 { lattice, n }
+    }
+
+    #[inline]
+    fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        let n = self.n;
+        self.lattice[(z % n * n + y % n) * n + x % n]
+    }
+
+    /// Noise in `[0, 1]` at a point; the field tiles with period `n` in
+    /// lattice units and is continuous everywhere.
+    pub fn sample(&self, x: f64, y: f64, z: f64) -> f64 {
+        let n = self.n as f64;
+        // Wrap into [0, n).
+        let wrap = |v: f64| ((v % n) + n) % n;
+        let (x, y, z) = (wrap(x), wrap(y), wrap(z));
+        let (x0, y0, z0) = (x.floor(), y.floor(), z.floor());
+        let (fx, fy, fz) = (x - x0, y - y0, z - z0);
+        let (xi, yi, zi) = (x0 as usize, y0 as usize, z0 as usize);
+        let mut acc = 0.0;
+        for dz in 0..2usize {
+            for dy in 0..2usize {
+                for dx in 0..2usize {
+                    let w = (if dx == 0 { 1.0 - fx } else { fx })
+                        * (if dy == 0 { 1.0 - fy } else { fy })
+                        * (if dz == 0 { 1.0 - fz } else { fz });
+                    acc += w * self.at(xi + dx, yi + dy, zi + dz);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fractal Brownian motion: `octaves` octaves of [`Self::sample`], each
+    /// at double frequency and half amplitude, normalized back to `[0, 1]`.
+    pub fn fbm(&self, x: f64, y: f64, z: f64, octaves: u32) -> f64 {
+        let mut amp = 1.0;
+        let mut freq = 1.0;
+        let mut acc = 0.0;
+        let mut norm = 0.0;
+        for _ in 0..octaves {
+            acc += amp * self.sample(x * freq + 7.3, y * freq + 11.1, z * freq + 3.7);
+            norm += amp;
+            amp *= 0.5;
+            freq *= 2.0;
+        }
+        acc / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::rle::EncodedVolume;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Phantom::MriBrain.generate([24, 24, 16], 7);
+        let b = Phantom::MriBrain.generate([24, 24, 16], 7);
+        assert_eq!(a, b);
+        let c = Phantom::MriBrain.generate([24, 24, 16], 8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn paper_dims_aspect() {
+        assert_eq!(Phantom::MriBrain.paper_dims(256), [256, 256, 167]);
+        assert_eq!(Phantom::CtHead.paper_dims(128), [128, 128, 128]);
+    }
+
+    #[test]
+    fn corners_are_air() {
+        for ph in [Phantom::MriBrain, Phantom::CtHead, Phantom::SolidEllipsoid] {
+            let v = ph.generate([32, 32, 24], 3);
+            assert_eq!(v.get(0, 0, 0), 0);
+            assert_eq!(v.get(31, 31, 23), 0);
+        }
+    }
+
+    #[test]
+    fn mri_transparency_in_paper_regime() {
+        // "70% to 95% of the voxels are found to be transparent".
+        let v = Phantom::MriBrain.generate(Phantom::MriBrain.paper_dims(48), 42);
+        let c = classify(&v, &TransferFunction::mri_default());
+        let enc = EncodedVolume::encode(&c);
+        let t = enc.transparent_fraction();
+        assert!(
+            (0.70..=0.95).contains(&t),
+            "MRI transparent fraction {t} outside the paper's 70–95 % regime"
+        );
+    }
+
+    #[test]
+    fn ct_transparency_in_paper_regime() {
+        let v = Phantom::CtHead.generate([48, 48, 48], 42);
+        let c = classify(&v, &TransferFunction::ct_default());
+        let enc = EncodedVolume::encode(&c);
+        let t = enc.transparent_fraction();
+        assert!(
+            (0.70..=0.97).contains(&t),
+            "CT transparent fraction {t} outside expected regime"
+        );
+    }
+
+    #[test]
+    fn per_scanline_occupancy_is_nonuniform() {
+        // The motivation for profiled partitioning: scanline costs vary a lot.
+        let v = Phantom::MriBrain.generate([32, 32, 24], 1);
+        let mut per_y: Vec<usize> = vec![0; 32];
+        for (y, count) in per_y.iter_mut().enumerate() {
+            for z in 0..24 {
+                for x in 0..32 {
+                    if v.get(x, y, z) > 0 {
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        let max = *per_y.iter().max().unwrap();
+        let min = *per_y.iter().min().unwrap();
+        assert!(max > 0);
+        assert!(min * 4 < max, "expected strong nonuniformity: {per_y:?}");
+    }
+
+    #[test]
+    fn noise_is_smooth_and_bounded() {
+        let n = ValueNoise3::new(5, 8);
+        let mut prev = n.sample(0.0, 0.0, 0.0);
+        for i in 1..100 {
+            let x = i as f64 * 0.01;
+            let v = n.sample(x, 0.3, 0.7);
+            assert!((0.0..=1.0).contains(&v));
+            assert!((v - prev).abs() < 0.05, "noise should be continuous");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fbm_normalized() {
+        let n = ValueNoise3::new(11, 8);
+        for i in 0..50 {
+            let v = n.fbm(i as f64 * 0.17, 0.4, 0.9, 3);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Old vs new: verifies the two parallel renderers produce bit-identical
+//! images, then contrasts their simulated scaling on a distributed
+//! shared-memory machine — the paper's headline comparison in one program.
+//!
+//! ```text
+//! cargo run --release --example compare_algorithms [base]
+//! ```
+
+use shearwarp::core::{capture_frame, CaptureConfig};
+use shearwarp::memsim::{replay_steady, Platform};
+use shearwarp::prelude::*;
+
+fn main() {
+    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let dims = Phantom::MriBrain.paper_dims(base);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+    let encoded = EncodedVolume::encode(&classify(&raw, &TransferFunction::mri_default()));
+    let view = ViewSpec::new(dims)
+        .rotate_x(12f64.to_radians())
+        .rotate_y(30f64.to_radians());
+
+    // Correctness: every renderer draws the same pixels.
+    println!("checking serial == old parallel == new parallel (bit-exact)...");
+    let reference = SerialRenderer::new().render(&encoded, &view);
+    let old_img = OldParallelRenderer::new(ParallelConfig::with_procs(4)).render(&encoded, &view);
+    let new_img = NewParallelRenderer::new(ParallelConfig::with_procs(4)).render(&encoded, &view);
+    assert_eq!(reference, old_img, "old parallel must match serial");
+    assert_eq!(reference, new_img, "new parallel must match serial");
+    println!("ok — all three renderers agree exactly\n");
+
+    // Performance: simulated speedups on the paper's DSM simulator model.
+    let cfg = CaptureConfig::default();
+    let mut old_cap = capture_frame(&encoded, &view, &cfg, false, false);
+    let prev = capture_frame(&encoded, &view, &cfg, true, false);
+    let mut new_cap = capture_frame(&encoded, &view, &cfg, true, false);
+    let profile = prev.profile.clone();
+
+    let platform = Platform::ideal_dsm();
+    let t1_old = replay_steady(&platform, &old_cap.old_workload(1), 1).total_cycles;
+    let t1_new = replay_steady(&platform, &new_cap.new_workload(1, &profile), 1).total_cycles;
+
+    println!("simulated DSM speedups ({} base, steady-state frames):", base);
+    println!("{:>6} {:>8} {:>8} {:>12}", "procs", "old", "new", "new/old time");
+    for p in [1usize, 2, 4, 8, 16, 32] {
+        let to = replay_steady(&platform, &old_cap.old_workload(p), 1).total_cycles;
+        let tn = replay_steady(&platform, &new_cap.new_workload(p, &profile), 1).total_cycles;
+        println!(
+            "{p:>6} {:>8.2} {:>8.2} {:>11.2}x",
+            t1_old as f64 / to as f64,
+            t1_new as f64 / tn as f64,
+            to as f64 / tn as f64,
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Platform study: replay one frame's task traces on all four
+//! hardware-coherent platform models and the SVM platform, printing the
+//! per-platform time breakdown and miss classification — a miniature of the
+//! paper's whole methodology.
+//!
+//! ```text
+//! cargo run --release --example platform_study [base] [procs]
+//! ```
+
+use shearwarp::core::{capture_frame, CaptureConfig};
+use shearwarp::memsim::{replay_steady, replay_svm_steady, Platform, SvmConfig};
+use shearwarp::prelude::*;
+
+fn main() {
+    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let procs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let dims = Phantom::MriBrain.paper_dims(base);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+    let encoded = EncodedVolume::encode(&classify(&raw, &TransferFunction::mri_default()));
+    let view = ViewSpec::new(dims)
+        .rotate_x(12f64.to_radians())
+        .rotate_y(30f64.to_radians());
+
+    println!("capturing one frame of the NEW algorithm ({base} base, {procs} procs)...");
+    let cfg = CaptureConfig::default();
+    let prev = capture_frame(&encoded, &view, &cfg, true, false);
+    let mut frame = capture_frame(&encoded, &view, &cfg, true, false);
+    let profile = prev.profile.clone();
+    let workload = frame.new_workload(procs, &profile);
+
+    println!(
+        "\n{:<12} {:>10} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9}",
+        "platform", "cycles", "busy%", "mem%", "sync%", "true-sh", "false-sh", "remote%"
+    );
+    for platform in [
+        Platform::challenge(),
+        Platform::dash(),
+        Platform::ideal_dsm(),
+        Platform::origin2000(),
+    ] {
+        let r = replay_steady(&platform, &workload, 1);
+        let tot = (r.busy_total() + r.mem_total() + r.sync_total() + r.lock_total()).max(1) as f64;
+        println!(
+            "{:<12} {:>10} {:>6.1}% {:>6.1}% {:>6.1}% {:>9} {:>9} {:>8.1}%",
+            platform.name,
+            r.total_cycles,
+            r.busy_total() as f64 / tot * 100.0,
+            r.mem_total() as f64 / tot * 100.0,
+            r.sync_total() as f64 / tot * 100.0,
+            r.misses.true_sharing,
+            r.misses.false_sharing,
+            r.remote_fraction() * 100.0,
+        );
+    }
+
+    let svm = replay_svm_steady(&SvmConfig::paper(), &workload, 1);
+    let tot = (svm.compute_total()
+        + svm.data_wait_total()
+        + svm.barrier_total()
+        + svm.lock_total()
+        + svm.protocol_total())
+    .max(1) as f64;
+    println!(
+        "{:<12} {:>10} {:>6.1}% {:>6.1}%(data) {:>6.1}%(barrier)  {} faults, {} diffs",
+        "SVM/HLRC",
+        svm.total_cycles,
+        svm.compute_total() as f64 / tot * 100.0,
+        svm.data_wait_total() as f64 / tot * 100.0,
+        svm.barrier_total() as f64 / tot * 100.0,
+        svm.faults,
+        svm.diffs,
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: generate a synthetic MRI brain, classify and run-length
+//! encode it, render one frame with the serial shear-warp renderer, and
+//! write the image as a PPM.
+//!
+//! ```text
+//! cargo run --release --example quickstart [out.ppm]
+//! ```
+
+use shearwarp::prelude::*;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "quickstart.ppm".into());
+
+    // 1. A synthetic dataset (the paper's MRI brain aspect ratio at a small
+    //    base resolution; crank it up for bigger renders).
+    let dims = Phantom::MriBrain.paper_dims(96);
+    println!("generating {}x{}x{} MRI brain phantom...", dims[0], dims[1], dims[2]);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+
+    // 2. Classification: opacity + shaded color per voxel.
+    let classified = classify(&raw, &TransferFunction::mri_default());
+
+    // 3. Run-length encoding along all three principal axes.
+    let encoded = EncodedVolume::encode(&classified);
+    println!(
+        "encoded: {:.1}% transparent, {:.1}x compressed, {} KB total",
+        encoded.transparent_fraction() * 100.0,
+        encoded.compression_ratio(),
+        encoded.storage_bytes() / 1024
+    );
+
+    // 4. Render one frame.
+    let view = ViewSpec::new(dims)
+        .rotate_x(20f64.to_radians())
+        .rotate_y(35f64.to_radians());
+    let mut renderer = SerialRenderer::new();
+    let t0 = std::time::Instant::now();
+    let image = renderer.render(&encoded, &view);
+    println!(
+        "rendered {}x{} in {:.1} ms",
+        image.width(),
+        image.height(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    std::fs::write(&out_path, image.to_ppm()).expect("write PPM");
+    println!("wrote {out_path}");
+}

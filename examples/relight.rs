@@ -1,0 +1,59 @@
+//! Re-lighting: VolPack's two-stage classification. Gradients are computed
+//! once per volume; moving the light then re-shades from stored quantized
+//! normals (~3 bytes/voxel) without re-estimating gradients — the
+//! interactive "adjust the light" loop.
+//!
+//! ```text
+//! cargo run --release --example relight [base]
+//! ```
+
+use shearwarp::prelude::*;
+use shearwarp::volume::{classify_with_field, GradientField};
+
+fn main() {
+    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let dims = Phantom::MriBrain.paper_dims(base);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+
+    let t0 = std::time::Instant::now();
+    let field = GradientField::compute(&raw);
+    println!(
+        "gradient field: {:.1} ms, {} KB ({} B/voxel)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        field.storage_bytes() / 1024,
+        field.storage_bytes() / raw.len()
+    );
+
+    let view = ViewSpec::new(dims)
+        .rotate_x(15f64.to_radians())
+        .rotate_y(30f64.to_radians());
+    let mut renderer = SerialRenderer::new();
+
+    for (i, light) in [[0.4, -0.7, -0.6], [-0.8, -0.2, -0.6], [0.0, 0.9, -0.4]]
+        .iter()
+        .enumerate()
+    {
+        let mut tf = TransferFunction::mri_default();
+        tf.light_dir = *light;
+        let t = std::time::Instant::now();
+        let classified = classify_with_field(&raw, &field, &tf);
+        let reshade_ms = t.elapsed().as_secs_f64() * 1e3;
+        let enc = EncodedVolume::encode(&classified);
+        let img = renderer.render(&enc, &view);
+        let path = format!("relight{i}.ppm");
+        std::fs::write(&path, img.to_ppm()).expect("write PPM");
+        println!(
+            "light {light:?}: reshade {reshade_ms:.1} ms -> {path} (luma {:.1})",
+            img.mean_luma()
+        );
+    }
+
+    // Show the speedup over full classification.
+    let t = std::time::Instant::now();
+    let _ = classify(&raw, &TransferFunction::mri_default());
+    let full_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = std::time::Instant::now();
+    let _ = classify_with_field(&raw, &field, &TransferFunction::mri_default());
+    let fast_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("full classify {full_ms:.1} ms vs relight {fast_ms:.1} ms ({:.1}x)", full_ms / fast_ms);
+}

@@ -1,0 +1,58 @@
+//! # shearwarp
+//!
+//! A reproduction of *"Improving Parallel Shear-Warp Volume Rendering on
+//! Shared Address Space Multiprocessors"* (Jiang & Singh, PPoPP 1997) as a
+//! Rust library.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`geom`] — viewing transforms and the shear-warp factorization.
+//! * [`volume`] — voxel volumes, classification, run-length encoding, and
+//!   synthetic MRI/CT phantoms.
+//! * [`render`] — the serial shear-warp renderer (compositing + warp) with
+//!   per-scanline work profiling and memory-tracing hooks.
+//! * [`raycast`] — the baseline octree ray caster the paper compares against.
+//! * [`core`] — the paper's contribution: the *old* (interleaved chunks +
+//!   tiled warp) and *new* (profiled contiguous partitions, partition-
+//!   preserving warp) parallel algorithms, with native threaded executors
+//!   and task-level trace capture.
+//! * [`memsim`] — trace-driven multiprocessor memory-system simulation:
+//!   cache hierarchies with miss classification, platform cost models
+//!   (Challenge / DASH / ideal DSM / Origin2000), and a page-based
+//!   shared-virtual-memory (HLRC) model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use shearwarp::prelude::*;
+//!
+//! // A small synthetic MRI brain, classified and run-length encoded.
+//! let vol = Phantom::MriBrain.generate([32, 32, 24], 42);
+//! let classified = classify(&vol, &TransferFunction::mri_default());
+//! let encoded = EncodedVolume::encode(&classified);
+//!
+//! // Render one frame.
+//! let view = ViewSpec::new(vol.dims()).rotate_y(0.4);
+//! let mut renderer = SerialRenderer::new();
+//! let image = renderer.render(&encoded, &view);
+//! assert_eq!(image.width(), Factorization::from_view(&view).final_w);
+//! ```
+
+pub use swr_core as core;
+pub use swr_geom as geom;
+pub use swr_memsim as memsim;
+pub use swr_raycast as raycast;
+pub use swr_render as render;
+pub use swr_volume as volume;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use swr_core::{
+        NewParallelRenderer, OldParallelRenderer, ParallelConfig, RenderStats,
+    };
+    pub use swr_geom::{Affine2, Axis, Factorization, Mat4, Vec3, ViewSpec};
+    pub use swr_render::{FinalImage, SerialRenderer, Tracer};
+    pub use swr_volume::{
+        classify, ClassifiedVolume, EncodedVolume, Phantom, TransferFunction, Volume,
+    };
+}

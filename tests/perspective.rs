@@ -1,0 +1,130 @@
+//! Perspective-projection integration tests.
+//!
+//! Perspective is Lacroute's extension of the factorization: slices scale as
+//! well as translate, and the warp is a homography. The parallel algorithms
+//! are agnostic to the projection type, so everything — bit-exact parallel
+//! rendering, trace capture, simulation — must keep working.
+
+use shearwarp::core::{capture_frame, CaptureConfig};
+use shearwarp::memsim::{replay_steady, Platform};
+use shearwarp::prelude::*;
+
+fn scene(base: usize) -> (EncodedVolume, ClassifiedVolume, [usize; 3]) {
+    let dims = Phantom::MriBrain.paper_dims(base);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+    let classified = classify(&raw, &TransferFunction::mri_default());
+    (EncodedVolume::encode(&classified), classified, dims)
+}
+
+fn persp_view(dims: [usize; 3], deg: f64) -> ViewSpec {
+    let diag = dims.iter().map(|&d| (d * d) as f64).sum::<f64>().sqrt();
+    ViewSpec::new(dims)
+        .rotate_x(0.2)
+        .rotate_y(deg.to_radians())
+        .with_perspective(diag * 1.6)
+}
+
+#[test]
+fn perspective_renders_nonempty_and_larger_than_parallel_front() {
+    let (enc, _, dims) = scene(32);
+    let view = persp_view(dims, 30.0);
+    let img = SerialRenderer::new().render(&enc, &view);
+    assert!(img.mean_luma() > 0.1, "perspective render must not be blank");
+}
+
+#[test]
+fn perspective_parallel_renderers_stay_bit_exact() {
+    let (enc, _, dims) = scene(28);
+    for deg in [0.0, 40.0, 120.0, 250.0] {
+        let view = persp_view(dims, deg);
+        let reference = SerialRenderer::new().render(&enc, &view);
+        for procs in [2, 5] {
+            let old =
+                OldParallelRenderer::new(ParallelConfig::with_procs(procs)).render(&enc, &view);
+            assert_eq!(old, reference, "old, {deg}°, {procs} procs");
+            let mut nr = NewParallelRenderer::new(ParallelConfig::with_procs(procs));
+            assert_eq!(nr.render(&enc, &view), reference, "new, {deg}°, {procs} procs");
+            assert_eq!(nr.render(&enc, &view), reference, "new frame 2");
+        }
+    }
+}
+
+#[test]
+fn perspective_agrees_with_the_ray_caster() {
+    // The ray caster implements perspective independently (eye + per-pixel
+    // directions); silhouettes must coincide.
+    let (enc, classified, dims) = scene(32);
+    let view = persp_view(dims, 35.0);
+    let sw = SerialRenderer::new().render(&enc, &view);
+    let rc = shearwarp::raycast::RayCaster::new(&classified).render(&view);
+    assert_eq!((sw.width(), sw.height()), (rc.width(), rc.height()));
+    let (mut both, mut either) = (0u32, 0u32);
+    for v in 0..sw.height() {
+        for u in 0..sw.width() {
+            let a = sw.get(u, v)[3] > 64;
+            let b = rc.get(u, v)[3] > 64;
+            if a || b {
+                either += 1;
+            }
+            if a && b {
+                both += 1;
+            }
+        }
+    }
+    assert!(either > 0);
+    let overlap = both as f64 / either as f64;
+    assert!(overlap > 0.75, "perspective silhouette overlap {overlap:.2}");
+}
+
+#[test]
+fn perspective_magnifies_the_near_side() {
+    // A head-on perspective view must draw the object larger than the
+    // parallel view of the same scene (the near half magnifies).
+    let (enc, _, dims) = scene(32);
+    let par = ViewSpec::new(dims);
+    let diag = dims.iter().map(|&d| (d * d) as f64).sum::<f64>().sqrt();
+    let per = ViewSpec::new(dims)
+        .with_image_size(par.final_image_size().0, par.final_image_size().1)
+        .with_perspective(diag * 1.2);
+    let img_par = SerialRenderer::new().render(&enc, &par);
+    let img_per = SerialRenderer::new().render(&enc, &per);
+    let area = |img: &FinalImage| {
+        let mut n = 0u32;
+        for v in 0..img.height() {
+            for u in 0..img.width() {
+                if img.get(u, v)[3] > 32 {
+                    n += 1;
+                }
+            }
+        }
+        n
+    };
+    let a_par = area(&img_par);
+    let a_per = area(&img_per);
+    assert!(
+        a_per > a_par,
+        "perspective silhouette ({a_per}) should exceed parallel ({a_par})"
+    );
+}
+
+#[test]
+fn perspective_workloads_capture_and_replay() {
+    let (enc, _, dims) = scene(28);
+    let view = persp_view(dims, 30.0);
+    let cfg = CaptureConfig::default();
+    let mut old_cap = {
+        // capture_frame takes the ViewSpec directly — projection included.
+        capture_frame(&enc, &view, &cfg, false, false)
+    };
+    let prev = capture_frame(&enc, &view, &cfg, true, false);
+    let mut new_cap = capture_frame(&enc, &view, &cfg, true, false);
+    let profile = prev.profile.clone();
+    let pf = Platform::ideal_dsm();
+    let old = replay_steady(&pf, &old_cap.old_workload(8), 1);
+    let new = replay_steady(&pf, &new_cap.new_workload(8, &profile), 1);
+    assert!(old.total_cycles > 0 && new.total_cycles > 0);
+    assert!(
+        new.misses.true_sharing < old.misses.true_sharing,
+        "the new algorithm's communication win holds under perspective too"
+    );
+}

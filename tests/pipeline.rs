@@ -1,0 +1,131 @@
+//! End-to-end pipeline integration: phantom → classification → encoding →
+//! render → image, plus the supporting tools (resampling, PPM output).
+
+use shearwarp::prelude::*;
+use shearwarp::volume::resample;
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let dims = Phantom::MriBrain.paper_dims(32);
+        let raw = Phantom::MriBrain.generate(dims, 7);
+        let classified = classify(&raw, &TransferFunction::mri_default());
+        let enc = EncodedVolume::encode(&classified);
+        let view = ViewSpec::new(dims).rotate_y(0.7).rotate_x(0.3);
+        SerialRenderer::new().render(&enc, &view)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn encoded_volume_is_heavily_compressed() {
+    let dims = Phantom::MriBrain.paper_dims(40);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+    let classified = classify(&raw, &TransferFunction::mri_default());
+    let enc = EncodedVolume::encode(&classified);
+    // "70% to 95% of the voxels are found to be transparent" and the RLE
+    // volume is "greatly compressed".
+    let t = enc.transparent_fraction();
+    assert!((0.70..=0.95).contains(&t), "transparent fraction {t}");
+    assert!(enc.compression_ratio() > 2.0, "ratio {}", enc.compression_ratio());
+}
+
+#[test]
+fn paper_scale_upsampling_workflow() {
+    // §3.3: the 512³/640³ sets were made by up-sampling the 256³ raw data.
+    let small = Phantom::MriBrain.generate(Phantom::MriBrain.paper_dims(24), 42);
+    let up_dims = Phantom::MriBrain.paper_dims(48);
+    let up = resample(&small, up_dims);
+    assert_eq!(up.dims(), up_dims);
+    let classified = classify(&up, &TransferFunction::mri_default());
+    let enc = EncodedVolume::encode(&classified);
+    let view = ViewSpec::new(up_dims).rotate_y(0.4);
+    let img = SerialRenderer::new().render(&enc, &view);
+    assert!(img.mean_luma() > 0.1, "up-sampled volume renders");
+}
+
+#[test]
+fn ppm_export_shape() {
+    let dims = Phantom::SolidEllipsoid.paper_dims(16);
+    let raw = Phantom::SolidEllipsoid.generate(dims, 0);
+    let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::mri_default()));
+    let view = ViewSpec::new(dims);
+    let img = SerialRenderer::new().render(&enc, &view);
+    let ppm = img.to_ppm();
+    let header = format!("P6\n{} {}\n255\n", img.width(), img.height());
+    assert!(ppm.starts_with(header.as_bytes()));
+    assert_eq!(ppm.len(), header.len() + img.width() * img.height() * 3);
+}
+
+#[test]
+fn intermediate_image_larger_than_volume_face() {
+    // The sheared intermediate image must be big enough for every slice
+    // (e.g. the paper's 256×256×167 brain has a 326×326 intermediate image).
+    let dims = Phantom::MriBrain.paper_dims(64);
+    let view = ViewSpec::new(dims).rotate_y(0.6).rotate_x(0.4);
+    let f = Factorization::from_view(&view);
+    assert!(f.inter_w >= f.std_dims[0]);
+    assert!(f.inter_h >= f.std_dims[1]);
+    assert!(f.inter_w <= f.std_dims[0] + f.std_dims[2] + 1);
+}
+
+#[test]
+fn transfer_function_change_requires_no_reencode_of_raw_data() {
+    // Classification is a pure function of the raw volume; two transfer
+    // functions give different images from the same raw data.
+    let dims = Phantom::CtHead.paper_dims(28);
+    let raw = Phantom::CtHead.generate(dims, 42);
+    let view = ViewSpec::new(dims).rotate_y(0.5);
+    let a = SerialRenderer::new().render(
+        &EncodedVolume::encode(&classify(&raw, &TransferFunction::ct_default())),
+        &view,
+    );
+    let b = SerialRenderer::new().render(
+        &EncodedVolume::encode(&classify(&raw, &TransferFunction::opaque_nonzero())),
+        &view,
+    );
+    assert_ne!(a, b);
+}
+
+#[test]
+fn depth_cueing_darkens_far_slices_consistently() {
+    use shearwarp::render::{CompositeOpts, DepthCue};
+    let dims = Phantom::MriBrain.paper_dims(28);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+    let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::mri_default()));
+    let view = ViewSpec::new(dims).rotate_y(0.4);
+
+    let opts = CompositeOpts {
+        depth_cue: Some(DepthCue { front: 1.0, per_slice: 0.03 }),
+        ..Default::default()
+    };
+    let mut plain = SerialRenderer::new();
+    let mut cued = SerialRenderer::new();
+    cued.opts = opts;
+    let a = plain.render(&enc, &view);
+    let b = cued.render(&enc, &view);
+    // Cueing attenuates colors overall.
+    assert!(b.mean_luma() < a.mean_luma(), "{} !< {}", b.mean_luma(), a.mean_luma());
+
+    // Parallel renderers honor the same options bit-exactly.
+    let mut old = OldParallelRenderer::new(ParallelConfig::with_procs(3));
+    old.composite_opts = opts;
+    assert_eq!(old.render(&enc, &view), b);
+    let mut new = NewParallelRenderer::new(ParallelConfig::with_procs(3));
+    new.composite_opts = opts;
+    assert_eq!(new.render(&enc, &view), b);
+}
+
+#[test]
+fn depth_cue_factor_decays_monotonically() {
+    use shearwarp::render::DepthCue;
+    let c = DepthCue { front: 1.0, per_slice: 0.01 };
+    let mut prev = f32::INFINITY;
+    for d in [0usize, 1, 10, 100, 1000] {
+        let f = c.factor(d);
+        assert!(f <= prev && (0.05..=1.0).contains(&f), "factor({d}) = {f}");
+        prev = f;
+    }
+    assert_eq!(c.factor(0), 1.0);
+    assert_eq!(c.factor(100_000), 0.05, "clamps at the floor");
+}

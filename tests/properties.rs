@@ -1,0 +1,256 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+use shearwarp::core::{balanced_contiguous, equal_contiguous, interleaved_chunks, prefix_sum};
+use shearwarp::geom::{Factorization, Vec3, ViewSpec};
+use shearwarp::render::{warp_full, warp_row_band, FinalImage, IPixel, IntermediateImage,
+    NullTracer, SharedFinal};
+use shearwarp::volume::{ClassifiedVolume, EncodedVolume, RgbaVoxel, Volume};
+use swr_memsim_props::*;
+
+/// Helpers for the cache/coherence properties.
+mod swr_memsim_props {
+    pub use shearwarp::memsim::{Cache, CacheConfig};
+}
+
+fn arb_dims() -> impl Strategy<Value = [usize; 3]> {
+    (2usize..14, 2usize..14, 2usize..10).prop_map(|(x, y, z)| [x, y, z])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rle_roundtrips_every_axis(dims in arb_dims(), seed in 0u64..1000) {
+        // A pseudo-random classified volume with mixed opacity.
+        let mut s = seed;
+        let mut next = move || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (s >> 33) as u8 };
+        let voxels: Vec<RgbaVoxel> = (0..dims[0]*dims[1]*dims[2]).map(|_| {
+            let a = if next() % 4 == 0 { next() } else { 0 };
+            RgbaVoxel { r: a / 2, g: a / 3, b: a / 4, a }
+        }).collect();
+        let vol = ClassifiedVolume::from_raw(dims, voxels.clone());
+        let enc = EncodedVolume::encode_with_threshold(&vol, 1);
+        for axis in [shearwarp::geom::Axis::X, shearwarp::geom::Axis::Y, shearwarp::geom::Axis::Z] {
+            let rle = enc.for_axis(axis);
+            let [n_i, n_j, n_k] = rle.std_dims();
+            let perm = axis.permutation();
+            for k in 0..n_k {
+                for j in 0..n_j {
+                    let dec = rle.scanline(k, j).decode(n_i);
+                    for (i, got) in dec.iter().enumerate() {
+                        let mut obj = [0usize; 3];
+                        obj[perm[0]] = i;
+                        obj[perm[1]] = j;
+                        obj[perm[2]] = k;
+                        let orig = vol.get(obj[0], obj[1], obj[2]);
+                        if orig.a >= 1 {
+                            prop_assert_eq!(*got, orig);
+                        } else {
+                            prop_assert_eq!(got.a, 0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_identity_holds(deg_y in 0f64..360.0, deg_x in 0f64..89.0, dims in arb_dims()) {
+        let view = ViewSpec::new(dims).rotate_x(deg_x.to_radians()).rotate_y(deg_y.to_radians());
+        let f = Factorization::from_view(&view);
+        let m = view.view_matrix();
+        for &(fx, fy, fz) in &[(0.0, 0.0, 0.0), (0.5, 0.3, 0.9), (1.0, 1.0, 1.0)] {
+            let p = Vec3::new(
+                fx * (dims[0] - 1) as f64,
+                fy * (dims[1] - 1) as f64,
+                fz * (dims[2] - 1) as f64,
+            );
+            let ps = f.object_to_std(p);
+            let (u, v) = f.project_std(ps);
+            let (wx, wy) = f.warp.apply(u, v);
+            let direct = m.transform_point(p);
+            prop_assert!((wx - direct.x).abs() < 1e-6 && (wy - direct.y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn partitions_tile_exactly(n in 1usize..500, offset in 0usize..100, procs in 1usize..40) {
+        let rows = offset..offset + n;
+        for parts in [
+            equal_contiguous(rows.clone(), procs),
+            balanced_contiguous(rows.clone(), &vec![1u64; n], procs),
+        ] {
+            prop_assert_eq!(parts.len(), procs);
+            prop_assert_eq!(parts.first().unwrap().start, rows.start);
+            prop_assert_eq!(parts.last().unwrap().end, rows.end);
+            for w in parts.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_partitions_bound_cost(n in 2usize..300, procs in 1usize..16, seed in 0u64..500) {
+        let mut s = seed;
+        let profile: Vec<u64> = (0..n).map(|_| {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (s >> 48) % 1000
+        }).collect();
+        let parts = balanced_contiguous(0..n, &profile, procs);
+        let total: u64 = profile.iter().sum();
+        let max_single = profile.iter().copied().max().unwrap_or(0);
+        let target = total / procs as u64;
+        for part in &parts {
+            let cost: u64 = part.clone().map(|i| profile[i]).sum();
+            // No partition exceeds the ideal share by more than one scanline
+            // (the boundary scanline granularity bound).
+            prop_assert!(cost <= target + max_single + 1,
+                "cost {} > target {} + max {}", cost, target, max_single);
+        }
+    }
+
+    #[test]
+    fn interleaved_chunks_cover_once(n in 1usize..400, chunk in 1usize..20, procs in 1usize..10) {
+        let queues = interleaved_chunks(0..n, chunk, procs);
+        let mut seen = vec![0u8; n];
+        for q in &queues {
+            for r in q {
+                for y in r.clone() {
+                    seen[y] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn prefix_sum_matches_fold(v in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let ps = prefix_sum(&v);
+        let mut acc = 0;
+        for (i, &x) in v.iter().enumerate() {
+            acc += x;
+            prop_assert_eq!(ps[i], acc);
+        }
+    }
+
+    #[test]
+    fn warp_bands_reassemble_full_warp(
+        deg in 0f64..360.0,
+        cuts in proptest::collection::vec(1usize..60, 0..5),
+        seed in 0u64..100,
+    ) {
+        let dims = [12usize, 12, 10];
+        let view = ViewSpec::new(dims).rotate_y(deg.to_radians()).rotate_x(0.3);
+        let fact = Factorization::from_view(&view);
+        let mut inter = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let mut s = seed;
+        for y in 0..fact.inter_h {
+            let row = inter.row_view(y);
+            for x in 0..fact.inter_w {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(11);
+                row.pix[x] = IPixel {
+                    r: ((s >> 33) % 256) as f32 / 255.0,
+                    g: ((s >> 41) % 256) as f32 / 255.0,
+                    b: 0.5,
+                    a: ((s >> 49) % 256) as f32 / 255.0,
+                };
+            }
+        }
+        let mut full = FinalImage::new(fact.final_w, fact.final_h);
+        warp_full(&inter, &fact, &mut full, &mut NullTracer);
+
+        // Random band boundaries covering [0, inter_h).
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % fact.inter_h).collect();
+        bounds.push(0);
+        bounds.push(fact.inter_h);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut banded = FinalImage::new(fact.final_w, fact.final_h);
+        {
+            let shared = SharedFinal::new(&mut banded);
+            for w in bounds.windows(2) {
+                warp_row_band(&inter, &fact, &shared, (w[0], w[1]), &mut NullTracer);
+            }
+        }
+        prop_assert_eq!(banded, full);
+    }
+
+    #[test]
+    fn cache_never_exceeds_capacity(
+        accesses in proptest::collection::vec(0u64..4096, 1..400),
+        assoc_pow in 0u32..4,
+    ) {
+        let assoc = 1usize << assoc_pow;
+        let lines = 32usize;
+        let mut c = Cache::new(CacheConfig::new(lines * 64, 64, assoc));
+        for &l in &accesses {
+            c.access_line(l);
+            prop_assert!(c.resident() <= lines);
+        }
+        // Everything recently accessed within a set's associativity is
+        // still a hit: re-access the most recent line.
+        let last = *accesses.last().unwrap();
+        prop_assert_eq!(c.access_line(last), shearwarp::memsim::cache::Access::Hit);
+    }
+
+    #[test]
+    fn trilinear_sample_within_data_range(dims in arb_dims(), fx in 0f64..1.0, fy in 0f64..1.0, fz in 0f64..1.0) {
+        let vol = Volume::from_fn(dims, |x, y, z| ((x * 37 + y * 11 + z * 5) % 256) as u8);
+        let s = vol.sample_trilinear(
+            fx * (dims[0] - 1) as f64,
+            fy * (dims[1] - 1) as f64,
+            fz * (dims[2] - 1) as f64,
+        );
+        prop_assert!((0.0..=255.0).contains(&s));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn homography_inverse_round_trips(
+        a in 0.5f64..2.0, b in -0.3f64..0.3, c in -20.0f64..20.0,
+        d in -0.3f64..0.3, e in 0.5f64..2.0, f in -20.0f64..20.0,
+        g in -0.004f64..0.004, h in -0.004f64..0.004,
+        x in -50.0f64..50.0, y in -50.0f64..50.0,
+    ) {
+        use shearwarp::geom::Homography2;
+        let hm = Homography2::from_matrix([[a, b, c], [d, e, f], [g, h, 1.0]]);
+        if let Some(inv) = hm.inverse() {
+            let w = g * x + h * y + 1.0;
+            prop_assume!(w.abs() > 0.2); // stay away from the horizon line
+            let (u, v) = hm.apply(x, y);
+            let (bx, by) = inv.apply(u, v);
+            prop_assert!((bx - x).abs() < 1e-6 && (by - y).abs() < 1e-6,
+                "({x},{y}) -> ({u},{v}) -> ({bx},{by})");
+        }
+    }
+
+    #[test]
+    fn octahedral_normals_round_trip(theta in 0.0f64..std::f64::consts::PI, phi in 0.0f64..std::f64::consts::TAU) {
+        use shearwarp::geom::Vec3;
+        use shearwarp::volume::gradient::{decode_normal_oct16, encode_normal_oct16};
+        let n = Vec3::new(
+            theta.sin() * phi.cos(),
+            theta.sin() * phi.sin(),
+            theta.cos(),
+        );
+        prop_assume!(n.length() > 1e-6);
+        let n = n.normalized();
+        let back = decode_normal_oct16(encode_normal_oct16(n));
+        prop_assert!(n.dot(back) > 0.999, "{n:?} -> {back:?}");
+    }
+
+    #[test]
+    fn depth_cue_factor_is_bounded_and_monotone(per_slice in 0.0f32..0.2, depth in 0usize..500) {
+        use shearwarp::render::DepthCue;
+        let c = DepthCue { front: 1.0, per_slice };
+        let f = c.factor(depth);
+        prop_assert!((0.05..=1.0).contains(&f));
+        prop_assert!(c.factor(depth + 1) <= f + 1e-6);
+    }
+}

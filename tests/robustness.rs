@@ -1,0 +1,145 @@
+//! Failure-injection and misuse tests: malformed workloads, degenerate
+//! views, corrupt files, and scheduler deadlocks must fail loudly and
+//! precisely, not corrupt results.
+
+use shearwarp::memsim::{
+    replay, replay_svm, CollectingTracer, FrameWorkload, Platform, StealPolicy, SvmConfig,
+    TaskSpec,
+};
+use shearwarp::memsim::workload::TaskLabel;
+use shearwarp::prelude::*;
+
+
+fn work_task(cycles: u32, phase: u8, deps: Vec<u32>) -> TaskSpec {
+    let mut c = CollectingTracer::new();
+    c.work(swr_render::WorkKind::Composite, cycles);
+    TaskSpec {
+        trace: c.finish(),
+        phase,
+        deps,
+        stealable: false,
+        label: TaskLabel::Composite,
+    }
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn cyclic_dependencies_deadlock_loudly() {
+    // Task 0 on proc 0 depends on task 1 on proc 1 and vice versa: both
+    // processors block forever; the replay must detect and report it.
+    let wl = FrameWorkload {
+        tasks: vec![work_task(10, 0, vec![1]), work_task(10, 0, vec![0])],
+        queues: vec![vec![0], vec![1]],
+        steal: StealPolicy::None,
+        barrier_between_phases: false,
+    };
+    let _ = replay(&Platform::ideal_dsm(), &wl);
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn svm_replay_detects_deadlock_too() {
+    let wl = FrameWorkload {
+        tasks: vec![work_task(10, 0, vec![1]), work_task(10, 0, vec![0])],
+        queues: vec![vec![0], vec![1]],
+        steal: StealPolicy::None,
+        barrier_between_phases: false,
+    };
+    let _ = replay_svm(&SvmConfig::paper(), &wl);
+}
+
+#[test]
+#[should_panic(expected = "depends on itself")]
+fn self_dependency_rejected_by_validation() {
+    let wl = FrameWorkload {
+        tasks: vec![work_task(10, 0, vec![0])],
+        queues: vec![vec![0]],
+        steal: StealPolicy::None,
+        barrier_between_phases: false,
+    };
+    wl.validate();
+}
+
+#[test]
+#[should_panic(expected = "machine width mismatch")]
+fn machine_rejects_mismatched_workload() {
+    let wl = FrameWorkload {
+        tasks: vec![work_task(1, 0, vec![])],
+        queues: vec![vec![0], vec![]],
+        steal: StealPolicy::None,
+        barrier_between_phases: true,
+    };
+    let mut m = shearwarp::memsim::Machine::new(Platform::ideal_dsm(), 4);
+    let _ = m.run_frame(&wl);
+}
+
+#[test]
+#[should_panic(expected = "zoom must be positive")]
+fn degenerate_zoom_rejected() {
+    let _ = ViewSpec::new([8, 8, 8]).with_zoom(0.0);
+}
+
+#[test]
+#[should_panic(expected = "eye distance")]
+fn perspective_eye_too_close_rejected() {
+    // Default image sizing rejects an eye inside the volume's bounding
+    // sphere before the factorization even runs.
+    let v = ViewSpec::new([64, 64, 64]).with_perspective(5.0);
+    let _ = v.final_image_size();
+}
+
+#[test]
+fn corrupt_volume_files_are_rejected() {
+    use shearwarp::volume::io::{load_raw, read_svol};
+    assert!(read_svol(&b"garbage"[..]).is_err(), "short garbage");
+    assert!(read_svol(&b"SWVOL1\0\0tooshort"[..]).is_err(), "truncated header");
+    // Raw file with mismatched dims.
+    let dir = std::env::temp_dir().join("swr_robustness.raw");
+    std::fs::write(&dir, vec![0u8; 100]).unwrap();
+    assert!(load_raw(&dir, [10, 10, 10]).is_err());
+    let _ = std::fs::remove_file(dir);
+}
+
+#[test]
+fn renderers_handle_degenerate_volumes() {
+    // 1-voxel-thick slabs along every axis must render without panicking.
+    for dims in [[1usize, 16, 16], [16, 1, 16], [16, 16, 1], [1, 1, 1]] {
+        let raw = Volume::from_fn(dims, |_, _, _| 200);
+        let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::opaque_nonzero()));
+        for deg in [0.0f64, 30.0] {
+            let view = ViewSpec::new(dims).rotate_y(deg.to_radians());
+            let serial = SerialRenderer::new().render(&enc, &view);
+            let par = NewParallelRenderer::new(ParallelConfig::with_procs(2))
+                .render(&enc, &view);
+            assert_eq!(serial, par, "dims {dims:?} deg {deg}");
+        }
+    }
+}
+
+#[test]
+fn renderers_handle_fully_opaque_volumes() {
+    // 0% transparency stresses the RLE (no transparent runs at all) and
+    // early termination (every pixel saturates on the first slice).
+    let dims = [24usize, 24, 24];
+    let raw = Volume::from_fn(dims, |_, _, _| 255);
+    let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::opaque_nonzero()));
+    assert!(enc.transparent_fraction() < 0.01);
+    let view = ViewSpec::new(dims).rotate_y(0.4);
+    let serial = SerialRenderer::new().render(&enc, &view);
+    assert!(serial.mean_luma() > 10.0);
+    let old = OldParallelRenderer::new(ParallelConfig::with_procs(3)).render(&enc, &view);
+    assert_eq!(serial, old);
+}
+
+#[test]
+fn empty_workload_replays_to_zero() {
+    let wl = FrameWorkload {
+        tasks: vec![],
+        queues: vec![vec![], vec![]],
+        steal: StealPolicy::None,
+        barrier_between_phases: true,
+    };
+    let r = replay(&Platform::dash(), &wl);
+    assert_eq!(r.total_cycles, 0);
+    assert_eq!(r.misses.total(), 0);
+}

@@ -1,0 +1,173 @@
+//! Cross-crate integration: capture → replay reproduces the paper's
+//! qualitative results end-to-end.
+
+use shearwarp::core::{capture_frame, CaptureConfig};
+use shearwarp::memsim::{
+    replay, replay_steady, replay_svm_steady, Machine, Platform, SvmConfig,
+};
+use shearwarp::prelude::*;
+
+fn scene(base: usize) -> (EncodedVolume, ViewSpec) {
+    let dims = Phantom::MriBrain.paper_dims(base);
+    let raw = Phantom::MriBrain.generate(dims, 42);
+    let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::mri_default()));
+    let view = ViewSpec::new(dims)
+        .rotate_x(12f64.to_radians())
+        .rotate_y(30f64.to_radians());
+    (enc, view)
+}
+
+#[test]
+fn busy_cycles_are_conserved_across_processor_counts() {
+    // The same traces are executed no matter how many processors replay
+    // them, so total busy time is invariant (modulo the per-P partition
+    // tasks of the new algorithm).
+    let (enc, view) = scene(32);
+    let mut cap = capture_frame(&enc, &view, &CaptureConfig::default(), false, false);
+    let pf = Platform::ideal_dsm();
+    let b1 = replay(&pf, &cap.old_workload(1)).busy_total();
+    let b8 = replay(&pf, &cap.old_workload(8)).busy_total();
+    assert_eq!(b1, b8, "busy cycles must not depend on the schedule");
+}
+
+#[test]
+fn steady_state_has_no_cold_misses() {
+    let (enc, view) = scene(32);
+    let mut cap = capture_frame(&enc, &view, &CaptureConfig::default(), false, false);
+    let wl = cap.old_workload(4);
+    let mut m = Machine::new(Platform::ideal_dsm(), 4);
+    let first = m.run_frame(&wl);
+    assert!(first.misses.cold > 0, "first frame must have cold misses");
+    let steady = m.run_frame(&wl);
+    assert_eq!(steady.misses.cold, 0, "steady state re-references everything");
+    // And steady frames are cheaper than cold ones.
+    assert!(steady.total_cycles <= first.total_cycles);
+}
+
+#[test]
+fn new_algorithm_beats_old_on_dsm_and_svm() {
+    // SVM page granularity needs partitions thicker than a page for the new
+    // algorithm's advantage to materialize (the paper's datasets are 256³+);
+    // base 64 at 8 processors is comfortably inside that regime.
+    let (enc, view) = scene(64);
+    let cfg = CaptureConfig::default();
+    let mut old_cap = capture_frame(&enc, &view, &cfg, false, false);
+    let prev = capture_frame(&enc, &view, &cfg, true, false);
+    let mut new_cap = capture_frame(&enc, &view, &cfg, true, false);
+    let profile = prev.profile.clone();
+    let p = 8;
+
+    let pf = Platform::ideal_dsm();
+    let old = replay_steady(&pf, &old_cap.old_workload(p), 1);
+    let new = replay_steady(&pf, &new_cap.new_workload(p, &profile), 1);
+    assert!(
+        new.total_cycles < old.total_cycles,
+        "DSM: new {} vs old {}",
+        new.total_cycles,
+        old.total_cycles
+    );
+    assert!(new.misses.true_sharing < old.misses.true_sharing);
+
+    let svm = SvmConfig::paper();
+    let old_s = replay_svm_steady(&svm, &old_cap.old_workload(p), 1);
+    let new_s = replay_svm_steady(&svm, &new_cap.new_workload(p, &profile), 1);
+    assert!(
+        new_s.total_cycles < old_s.total_cycles,
+        "SVM: new {} vs old {}",
+        new_s.total_cycles,
+        old_s.total_cycles
+    );
+    assert!(new_s.faults < old_s.faults, "page-fault storm must shrink");
+}
+
+#[test]
+fn old_speedups_rank_platforms_like_the_paper() {
+    // Figure 4/6: the old algorithm scales worse on DASH (16-byte lines,
+    // remote misses) than on the centralized Challenge.
+    let (enc, view) = scene(48);
+    let mut cap = capture_frame(&enc, &view, &CaptureConfig::default(), false, false);
+    let p = 16;
+    let t = |pf: &Platform, cap: &mut shearwarp::core::CapturedFrame| {
+        let t1 = replay_steady(pf, &cap.old_workload(1), 1).total_cycles as f64;
+        let tp = replay_steady(pf, &cap.old_workload(p), 1).total_cycles as f64;
+        t1 / tp
+    };
+    let challenge = t(&Platform::challenge(), &mut cap);
+    let dash = t(&Platform::dash(), &mut cap);
+    assert!(
+        challenge > dash,
+        "Challenge speedup {challenge:.2} should beat DASH {dash:.2}"
+    );
+}
+
+#[test]
+fn dash_suffers_from_small_lines() {
+    // §3.4.3: DASH's 16-byte lines produce a much higher miss rate than the
+    // simulator's 64-byte lines on the same workload.
+    let (enc, view) = scene(32);
+    let mut cap = capture_frame(&enc, &view, &CaptureConfig::default(), false, false);
+    let wl = cap.old_workload(8);
+    let dash = replay_steady(&Platform::dash(), &wl, 1);
+    let sim = replay_steady(&Platform::ideal_dsm(), &wl, 1);
+    // The margin is kept below the typical ~2.1x because the simulator-side
+    // conflict-miss count wobbles a little with the host allocator's layout
+    // (traces carry real heap addresses).
+    assert!(
+        dash.miss_rate() > 1.6 * sim.miss_rate(),
+        "DASH miss rate {:.4} vs simulator {:.4}",
+        dash.miss_rate(),
+        sim.miss_rate()
+    );
+}
+
+#[test]
+fn working_set_shrinks_with_processors_for_new_algorithm() {
+    // Figure 18a: with contiguous partitions, a processor's share of the
+    // intermediate image shrinks as processors are added, so a small cache
+    // suffices at high processor counts.
+    let (enc, view) = scene(48);
+    let cfg = CaptureConfig::default();
+    let prev = capture_frame(&enc, &view, &cfg, true, false);
+    let mut cap = capture_frame(&enc, &view, &cfg, true, false);
+    let profile = prev.profile.clone();
+    let small_cache = Platform::ideal_dsm().with_cache_size(16 << 10);
+    let mr = |p: usize, cap: &mut shearwarp::core::CapturedFrame| {
+        let wl = cap.new_workload(p, &profile);
+        replay_steady(&small_cache, &wl, 1).miss_rate()
+    };
+    let at4 = mr(4, &mut cap);
+    let at32 = mr(32, &mut cap);
+    assert!(
+        at32 < at4,
+        "16KB cache: miss rate should fall with procs ({at4:.4} -> {at32:.4})"
+    );
+}
+
+#[test]
+fn profile_predicts_balance() {
+    // §4.3: profiled partitions balance better than equal-count ones —
+    // visible as less synchronization/imbalance wait at the same procs.
+    let (enc, view) = scene(64);
+    // Single-scanline atoms: partition boundaries can fall on any scanline,
+    // so the profiled partitioning has full freedom to balance.
+    let balanced_cfg = CaptureConfig { chunk_rows: 1, ..CaptureConfig::default() };
+    let equal_cfg = CaptureConfig { profiled_partition: false, ..balanced_cfg };
+    let prev = capture_frame(&enc, &view, &balanced_cfg, true, false);
+    let profile = prev.profile.clone();
+    let pf = Platform::ideal_dsm();
+    let p = 16;
+
+    // Disable stealing so imbalance is fully visible as wait time.
+    let no_steal = CaptureConfig { steal: false, ..balanced_cfg };
+    let no_steal_eq = CaptureConfig { steal: false, ..equal_cfg };
+    let mut cap_b = capture_frame(&enc, &view, &no_steal, true, false);
+    let mut cap_e = capture_frame(&enc, &view, &no_steal_eq, true, false);
+    let rb = replay_steady(&pf, &cap_b.new_workload(p, &profile), 1);
+    let re = replay_steady(&pf, &cap_e.new_workload(p, &profile), 1);
+    assert!(
+        rb.total_cycles < re.total_cycles,
+        "profiled {} vs equal-count {}",
+        rb.total_cycles,
+        re.total_cycles
+    );
+}
