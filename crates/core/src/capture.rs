@@ -114,7 +114,25 @@ pub fn capture_frame(
     clip: bool,
     profile_overhead: bool,
 ) -> CapturedFrame {
-    assert!(cfg.chunk_rows > 0);
+    try_capture_frame(enc, view, cfg, clip, profile_overhead)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`capture_frame`] returning a typed error instead of panicking on an
+/// invalid view or a degenerate capture configuration.
+pub fn try_capture_frame(
+    enc: &EncodedVolume,
+    view: &ViewSpec,
+    cfg: &CaptureConfig,
+    clip: bool,
+    profile_overhead: bool,
+) -> Result<CapturedFrame, crate::Error> {
+    view.try_validate()?;
+    if cfg.chunk_rows == 0 {
+        return Err(crate::Error::InvalidConfig {
+            reason: "capture chunk_rows must be >= 1".into(),
+        });
+    }
     let fact = Factorization::from_view(view);
     let rle = enc.for_axis(fact.principal);
     let h = fact.inter_h;
@@ -145,7 +163,7 @@ pub fn capture_frame(
         atoms.push((rows.clone(), tracer.finish()));
         start = rows.end;
     }
-    CapturedFrame {
+    Ok(CapturedFrame {
         fact,
         inter,
         atoms,
@@ -153,7 +171,7 @@ pub fn capture_frame(
         profile,
         cfg: *cfg,
         keepalive: Vec::new(),
-    }
+    })
 }
 
 impl CapturedFrame {
@@ -220,12 +238,14 @@ impl CapturedFrame {
         }
         self.keepalive.push(scratch);
 
-        FrameWorkload {
+        let wl = FrameWorkload {
             tasks,
             queues,
             steal: self.cfg.policy(),
             barrier_between_phases: true,
-        }
+        };
+        debug_assert!(wl.try_validate().is_ok(), "assembled old workload must validate");
+        wl
     }
 
     /// Assembles the **new** algorithm's workload for `nprocs` processors.
@@ -347,12 +367,14 @@ impl CapturedFrame {
         }
         self.keepalive.push(scratch);
 
-        FrameWorkload {
+        let wl = FrameWorkload {
             tasks,
             queues,
             steal: self.cfg.policy(),
             barrier_between_phases: false,
-        }
+        };
+        debug_assert!(wl.try_validate().is_ok(), "assembled new workload must validate");
+        wl
     }
 }
 

@@ -1,0 +1,149 @@
+//! Deterministic fault injection for the parallel renderers.
+//!
+//! A [`FaultPlan`] attached to a renderer (`renderer.fault = Some(plan)`)
+//! injects failures at precisely reproducible points:
+//!
+//! * **worker panics** — the plan counts compositing tasks (chunk pops)
+//!   globally across workers with a sequentially consistent counter and
+//!   panics inside the worker that claims the Nth task;
+//! * **corrupted / zeroed work profiles** — the per-scanline profile driving
+//!   the balanced partition (§4.3) is scrambled with a seeded generator or
+//!   zeroed before partitioning, exercising the degenerate-partition paths;
+//! * **truncated steal queues** — chunks are dropped from the back of a
+//!   worker's queue before rendering starts, so the rows they cover are
+//!   never composited and the scheduler watchdog must detect the loss.
+//!
+//! Every injection is deterministic given the plan (same seed, same task
+//! index), which is what lets the test suite assert that each fault yields
+//! either a bit-identical fallback image or a typed [`swr_error::Error`] —
+//! never a hang or a torn image.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic schedule of faults to inject into one or more frames.
+///
+/// The plan is shared immutably with every worker; the only mutable state is
+/// the global task counter, so a plan can be reused across frames by calling
+/// [`FaultPlan::reset`] between them.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the profile scrambler.
+    pub seed: u64,
+    /// Panic inside the worker that claims this (0-based) compositing task.
+    pub panic_at_task: Option<u64>,
+    /// Scramble the work profile with seeded pseudo-random values before
+    /// partitioning (models a stale or corrupted profile buffer).
+    pub corrupt_profile: bool,
+    /// Zero the work profile before partitioning (models a lost profile;
+    /// the partitioner must fall back to equal-count partitions).
+    pub zero_profile: bool,
+    /// Drop this many chunks from the back of worker 0's queue before the
+    /// frame starts (models lost work the watchdog must detect).
+    pub truncate_queue: Option<usize>,
+    tasks_seen: AtomicU64,
+}
+
+/// One step of the splitmix64 generator — small, seedable, and good enough
+/// to scramble a profile without pulling in an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults armed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// Arms a worker panic at the given 0-based global task index.
+    pub fn panic_at(mut self, task: u64) -> Self {
+        self.panic_at_task = Some(task);
+        self
+    }
+
+    /// Arms profile scrambling before partitioning.
+    pub fn corrupting_profile(mut self) -> Self {
+        self.corrupt_profile = true;
+        self
+    }
+
+    /// Arms profile zeroing before partitioning.
+    pub fn zeroing_profile(mut self) -> Self {
+        self.zero_profile = true;
+        self
+    }
+
+    /// Arms dropping `chunks` entries from the back of worker 0's queue.
+    pub fn truncating_queue(mut self, chunks: usize) -> Self {
+        self.truncate_queue = Some(chunks);
+        self
+    }
+
+    /// Called by a worker as it claims a compositing task. Panics with a
+    /// recognizable message when the armed task index is reached.
+    pub fn on_task(&self, worker: usize) {
+        let n = self.tasks_seen.fetch_add(1, Ordering::SeqCst);
+        if self.panic_at_task == Some(n) {
+            panic!("injected fault: worker {worker} panic at task {n}");
+        }
+    }
+
+    /// Number of tasks observed so far (diagnostic; also tells tests how
+    /// many injection points one frame offers).
+    pub fn tasks_seen(&self) -> u64 {
+        self.tasks_seen.load(Ordering::SeqCst)
+    }
+
+    /// Overwrites `profile` with seeded pseudo-random values. Values are
+    /// bounded below 2³² so even pathological profiles cannot overflow the
+    /// partitioner's prefix sums.
+    pub fn scramble(&self, profile: &mut [u64]) {
+        let mut state = self.seed;
+        for p in profile {
+            *p = splitmix64(&mut state) & 0xFFFF_FFFF;
+        }
+    }
+
+    /// Rearms the task counter for the next frame.
+    pub fn reset(&self) {
+        self.tasks_seen.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_is_deterministic_per_seed() {
+        let mut a = vec![0u64; 32];
+        let mut b = vec![0u64; 32];
+        FaultPlan::new(7).scramble(&mut a);
+        FaultPlan::new(7).scramble(&mut b);
+        assert_eq!(a, b);
+        FaultPlan::new(8).scramble(&mut b);
+        assert_ne!(a, b);
+        assert!(a.iter().all(|&v| v < 1 << 32));
+    }
+
+    #[test]
+    fn on_task_panics_exactly_once_at_the_armed_index() {
+        let plan = FaultPlan::new(0).panic_at(2);
+        plan.on_task(0);
+        plan.on_task(1);
+        let err = std::panic::catch_unwind(|| plan.on_task(1)).unwrap_err();
+        let msg = swr_error::panic_message(err.as_ref());
+        assert!(msg.contains("injected fault"), "{msg}");
+        assert!(msg.contains("task 2"), "{msg}");
+        // Counter keeps advancing; later tasks do not re-panic.
+        plan.on_task(0);
+        assert_eq!(plan.tasks_seen(), 4);
+        // Reset rearms the same plan for the next frame.
+        plan.reset();
+        assert_eq!(plan.tasks_seen(), 0);
+    }
+}

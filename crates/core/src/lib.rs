@@ -29,6 +29,40 @@
 //! ([`capture`]), which records per-task memory traces for the
 //! `swr-memsim` multiprocessor models that regenerate the paper's figures.
 //!
+//! # Failure model
+//!
+//! The renderers never hang and never return a torn image. Every fallible
+//! entry point has a `try_*` form returning `Result<_, `[`enum@Error`]`>`;
+//! the legacy panicking APIs are thin wrappers that panic with the error's
+//! `Display` text.
+//!
+//! * **Validation** — [`ParallelConfig::try_validate`] and
+//!   `ViewSpec::try_validate` reject degenerate inputs (`nprocs == 0`, zero
+//!   tile size, singular model matrices) with
+//!   [`Error::InvalidConfig`](swr_error::Error) /
+//!   [`Error::InvalidView`](swr_error::Error) before any thread starts.
+//! * **Worker-panic containment** — each worker runs its compositing and
+//!   warp under `catch_unwind`. A panicking worker marks its rows failed and
+//!   gets out of the way; survivors finish their own partitions (and, with
+//!   stealing enabled, most of the failed worker's queue too). The frame
+//!   then completes by serially re-compositing the lost scanlines and
+//!   re-warping the affected bands — the result is **bit-identical** to an
+//!   undisturbed render, with the degradation recorded in [`RenderStats`]
+//!   (`worker_panics`, `repaired_rows`, `degraded`). Setting
+//!   [`ParallelConfig::recover_panics`]` = false` turns the repair into a
+//!   typed [`Error::WorkerPanicked`](swr_error::Error) instead.
+//! * **Scheduler watchdog** — the new renderer's barrier-free warp waits on
+//!   per-row completion flags. A waiter that observes every compositor
+//!   retired while its row is still incomplete reports the lost row
+//!   immediately; [`ParallelConfig::watchdog_timeout`] bounds the wait in
+//!   all other cases. Lost work without a panic (e.g. a truncated queue)
+//!   yields [`Error::Stalled`](swr_error::Error) naming the row and the
+//!   worker that last claimed it — never an indefinite spin.
+//! * **Fault injection** — [`fault::FaultPlan`] deterministically injects
+//!   worker panics at the Nth task, corrupted or zeroed work profiles, and
+//!   truncated steal queues, so the containment paths above are exercised
+//!   by ordinary tests.
+//!
 //! # Example
 //!
 //! ```
@@ -50,17 +84,24 @@
 //! assert_eq!(serial, new);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod capture;
+pub mod fault;
 pub mod new_renderer;
 pub mod old_renderer;
 pub mod partition;
 pub mod prefix;
 
-pub use capture::{capture_frame, CaptureConfig, CapturedFrame};
+pub use capture::{capture_frame, try_capture_frame, CaptureConfig, CapturedFrame};
+pub use fault::FaultPlan;
 pub use new_renderer::NewParallelRenderer;
 pub use old_renderer::OldParallelRenderer;
 pub use partition::{balanced_contiguous, equal_contiguous, interleaved_chunks, make_tiles};
 pub use prefix::{parallel_prefix_sum, prefix_sum};
+pub use swr_error::Error;
+
+use std::time::Duration;
 
 /// Configuration shared by the parallel renderers.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +128,16 @@ pub struct ParallelConfig {
     /// New algorithm: use the work profile for partitioning; when `false`,
     /// fall back to equal-scanline-count contiguous partitions (ablation).
     pub profiled_partition: bool,
+    /// Upper bound on how long a worker may wait for a scanline completion
+    /// flag before the scheduler is declared stalled
+    /// ([`Error::Stalled`](swr_error::Error)). `None` disables the timeout;
+    /// lost work is still detected immediately once all compositors retire.
+    pub watchdog_timeout: Option<Duration>,
+    /// When a worker panics: `true` completes the frame by serial repair of
+    /// the lost scanlines (bit-identical output, degradation recorded in
+    /// [`RenderStats`]); `false` surfaces
+    /// [`Error::WorkerPanicked`](swr_error::Error) instead.
+    pub recover_panics: bool,
 }
 
 impl Default for ParallelConfig {
@@ -100,6 +151,8 @@ impl Default for ParallelConfig {
             steal: true,
             empty_region_clip: true,
             profiled_partition: true,
+            watchdog_timeout: Some(Duration::from_secs(10)),
+            recover_panics: true,
         }
     }
 }
@@ -110,6 +163,39 @@ impl ParallelConfig {
         ParallelConfig { nprocs, ..Default::default() }
     }
 
+    /// Checks the configuration, returning
+    /// [`Error::InvalidConfig`](swr_error::Error) on degenerate settings.
+    pub fn try_validate(&self) -> Result<(), Error> {
+        let invalid = |reason: String| Err(Error::InvalidConfig { reason });
+        if self.nprocs == 0 {
+            return invalid("nprocs must be >= 1".into());
+        }
+        if self.tile_size == 0 {
+            return invalid("tile_size must be >= 1".into());
+        }
+        if self.profile_every == 0 {
+            return invalid("profile_every must be >= 1".into());
+        }
+        if let Some(deg) = self.profile_every_degrees {
+            if !deg.is_finite() || deg <= 0.0 {
+                return invalid(format!(
+                    "profile_every_degrees must be finite and positive, got {deg}"
+                ));
+            }
+        }
+        if self.watchdog_timeout == Some(Duration::ZERO) {
+            return invalid("watchdog timeout must be nonzero (use None to disable)".into());
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`ParallelConfig::try_validate`].
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
     /// Effective chunk size for an intermediate image of `rows` scanlines:
     /// the explicit setting, or a heuristic giving each processor several
     /// chunks to keep stealing granular without destroying locality.
@@ -117,7 +203,7 @@ impl ParallelConfig {
         if self.chunk_rows > 0 {
             return self.chunk_rows;
         }
-        (rows / (self.nprocs * 8)).clamp(1, 16)
+        (rows / (self.nprocs.max(1) * 8)).clamp(1, 16)
     }
 }
 
@@ -134,6 +220,12 @@ pub struct RenderStats {
     pub profiled: bool,
     /// Total pixels composited across processors.
     pub composited_pixels: u64,
+    /// Worker threads that panicked during this frame (contained).
+    pub worker_panics: u64,
+    /// Scanlines re-composited serially after a worker failure.
+    pub repaired_rows: u64,
+    /// Whether any part of this frame ran on the serial fallback path.
+    pub degraded: bool,
 }
 
 #[cfg(test)]
@@ -151,5 +243,35 @@ mod tests {
         // Tiny images still get at least one row per chunk.
         let cfg = ParallelConfig::with_procs(32);
         assert_eq!(cfg.effective_chunk_rows(8), 1);
+    }
+
+    #[test]
+    fn chunk_heuristic_survives_zero_procs() {
+        // nprocs == 0 is rejected by try_validate, but the heuristic itself
+        // must not divide by zero if called on an unvalidated config.
+        let cfg = ParallelConfig::with_procs(0);
+        assert_eq!(cfg.effective_chunk_rows(512), 16);
+        assert_eq!(cfg.effective_chunk_rows(0), 1);
+    }
+
+    #[test]
+    fn config_validation_types_each_degenerate_setting() {
+        assert!(ParallelConfig::default().try_validate().is_ok());
+        let bad = [
+            ParallelConfig { nprocs: 0, ..Default::default() },
+            ParallelConfig { tile_size: 0, ..Default::default() },
+            ParallelConfig { profile_every: 0, ..Default::default() },
+            ParallelConfig { profile_every_degrees: Some(0.0), ..Default::default() },
+            ParallelConfig { profile_every_degrees: Some(f64::NAN), ..Default::default() },
+            ParallelConfig { watchdog_timeout: Some(Duration::ZERO), ..Default::default() },
+        ];
+        for cfg in bad {
+            let e = cfg.try_validate().expect_err("must be rejected");
+            assert!(matches!(e, Error::InvalidConfig { .. }), "{e}");
+            assert_eq!(e.exit_code(), 2);
+        }
+        // Disabling the watchdog entirely is allowed.
+        let cfg = ParallelConfig { watchdog_timeout: None, ..Default::default() };
+        assert!(cfg.try_validate().is_ok());
     }
 }

@@ -17,20 +17,49 @@
 //!    with per-scanline completion flags, so a processor starts warping as
 //!    soon as the rows its band reads (its own plus the first row of the
 //!    next band) are composited — the global barrier is gone.
+//!
+//! # Fault containment
+//!
+//! Each worker runs its compositing and warp under `catch_unwind`. A
+//! panicking worker records its payload, retires from the compositor count,
+//! and leaves its unfinished rows flagged incomplete; survivors keep
+//! working (with stealing enabled they usually drain most of the failed
+//! worker's queue). Waiters on the completion flags cannot spin forever:
+//! once every compositor has retired, an incomplete row is provably lost
+//! and the waiter reports it at once; a configurable watchdog timeout
+//! bounds every other wait. After the join, the frame is resolved — lost
+//! rows are re-composited serially (slice order per row matches the worker
+//! loop, so the repair is bit-identical) and unwarped bands re-warped, or a
+//! typed [`enum@Error`] is returned. See the crate docs' *Failure model*.
 
+use crate::fault::FaultPlan;
 use crate::partition::{balanced_contiguous, equal_contiguous, partition_chunks};
 use crate::prefix::parallel_prefix_sum;
-use crate::{ParallelConfig, RenderStats};
+use crate::{Error, ParallelConfig, RenderStats};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
     composite::occupied_y_bounds, composite_scanline_slice, warp_row_band, CompositeOpts,
     FinalImage, IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
 };
 use swr_volume::EncodedVolume;
+
+/// Row-claim sentinel: no worker ever claimed the row.
+const UNCLAIMED: usize = usize::MAX;
+
+/// What a worker's wait on the completion flags concluded.
+enum WaitOutcome {
+    /// All rows the band reads are composited.
+    Ready,
+    /// The row can never complete (all compositors retired) or the watchdog
+    /// timeout expired while waiting on it.
+    Stalled { row: usize, waited_ms: u64 },
+}
 
 /// The new parallel renderer. Holds the work profile across frames, as an
 /// animation loop would.
@@ -40,6 +69,8 @@ pub struct NewParallelRenderer {
     pub cfg: ParallelConfig,
     /// Compositing options (early termination, depth cueing).
     pub composite_opts: CompositeOpts,
+    /// Deterministic fault injection for the containment tests.
+    pub fault: Option<FaultPlan>,
     inter: Option<IntermediateImage>,
     profile: Vec<u64>,
     profile_valid: bool,
@@ -65,20 +96,43 @@ impl NewParallelRenderer {
         self.profile_valid = false;
     }
 
-    /// Renders one frame.
+    /// Renders one frame, panicking on any fault (legacy API).
     pub fn render(&mut self, enc: &EncodedVolume, view: &ViewSpec) -> FinalImage {
-        self.render_with_stats(enc, view).0
+        self.try_render(enc, view).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Renders one frame, returning execution statistics.
+    /// Renders one frame with statistics, panicking on any fault
+    /// (legacy API).
     pub fn render_with_stats(
         &mut self,
         enc: &EncodedVolume,
         view: &ViewSpec,
     ) -> (FinalImage, RenderStats) {
+        self.try_render_with_stats(enc, view).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Renders one frame, returning a typed error on invalid inputs,
+    /// unrecovered worker panics, or a stalled scheduler.
+    pub fn try_render(
+        &mut self,
+        enc: &EncodedVolume,
+        view: &ViewSpec,
+    ) -> Result<FinalImage, Error> {
+        self.try_render_with_stats(enc, view).map(|(img, _)| img)
+    }
+
+    /// Renders one frame, returning execution statistics (including any
+    /// recorded degradation) or a typed error.
+    pub fn try_render_with_stats(
+        &mut self,
+        enc: &EncodedVolume,
+        view: &ViewSpec,
+    ) -> Result<(FinalImage, RenderStats), Error> {
+        self.cfg.try_validate()?;
+        view.try_validate()?;
         let fact = Factorization::from_view(view);
         let rle = enc.for_axis(fact.principal);
-        let nprocs = self.cfg.nprocs.max(1);
+        let nprocs = self.cfg.nprocs;
         let h = fact.inter_h;
 
         let inter = match &mut self.inter {
@@ -98,7 +152,7 @@ impl NewParallelRenderer {
         let region: Range<usize> = if self.cfg.empty_region_clip {
             match occupied_y_bounds(rle, &fact) {
                 Some((lo, hi)) => lo..hi + 1,
-                None => return (out, stats), // empty volume: nothing to draw
+                None => return Ok((out, stats)), // empty volume: nothing to draw
             }
         } else {
             0..h
@@ -122,7 +176,15 @@ impl NewParallelRenderer {
         // §4.3: contiguous, predictively balanced partitions.
         let t0 = std::time::Instant::now();
         let partitions: Vec<Range<usize>> = if self.cfg.profiled_partition && have_profile {
-            let cum_profile: Vec<u64> = self.profile[region.clone()].to_vec();
+            let mut cum_profile: Vec<u64> = self.profile[region.clone()].to_vec();
+            if let Some(fp) = &self.fault {
+                if fp.zero_profile {
+                    cum_profile.fill(0);
+                }
+                if fp.corrupt_profile {
+                    fp.scramble(&mut cum_profile);
+                }
+            }
             // The cumulative curve itself is computed with the parallel
             // prefix (its result equals the serial scan; balanced_contiguous
             // re-derives boundaries from the same values).
@@ -137,12 +199,21 @@ impl NewParallelRenderer {
                 .into_iter()
                 .map(|v| Mutex::new(v.into()))
                 .collect();
+        if let Some(n) = self.fault.as_ref().and_then(|fp| fp.truncate_queue) {
+            let mut q = queues[0].lock();
+            for _ in 0..n {
+                q.pop_back();
+            }
+        }
 
         // Per-row completion flags; rows outside the composited region are
         // ready immediately.
         let rows_done: Vec<AtomicBool> = (0..h)
             .map(|y| AtomicBool::new(!region.contains(&y)))
             .collect();
+        // Which worker last claimed each row (stall diagnostics).
+        let row_claim: Vec<AtomicUsize> =
+            (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
         // Profile collection target (relaxed adds; sums are deterministic).
         let new_profile: Vec<AtomicU64> = if profiling {
             (0..h).map(|_| AtomicU64::new(0)).collect()
@@ -150,54 +221,87 @@ impl NewParallelRenderer {
             Vec::new()
         };
 
+        // Containment state: compositors still running (a waiter that sees 0
+        // with its row incomplete has proven the row lost), worker panic
+        // payloads, the first stall observed, and per-worker warp completion.
+        let active = AtomicUsize::new(nprocs);
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let stalled: Mutex<Option<(usize, u64)>> = Mutex::new(None);
+        let warp_done: Vec<AtomicBool> =
+            (0..nprocs).map(|_| AtomicBool::new(false)).collect();
+
         let steals = AtomicU64::new(0);
         let composited = AtomicU64::new(0);
         let opts = CompositeOpts { profile: profiling, ..self.composite_opts };
+        let watchdog = self.cfg.watchdog_timeout;
         {
             let shared = SharedIntermediate::new(inter);
             let shared_out = SharedFinal::new(&mut out);
             let fact = &fact;
             let partitions = &partitions;
             let region = &region;
+            let fault = self.fault.as_ref();
             crossbeam::scope(|s| {
                 #[allow(clippy::needless_range_loop)]
                 for p in 0..nprocs {
                     let queues = &queues;
                     let rows_done = &rows_done;
+                    let row_claim = &row_claim;
                     let new_profile = &new_profile;
                     let steals = &steals;
                     let composited = &composited;
                     let shared = &shared;
                     let shared_out = &shared_out;
+                    let active = &active;
+                    let panics = &panics;
+                    let stalled = &stalled;
+                    let warp_done = &warp_done;
                     let steal = self.cfg.steal;
                     s.spawn(move |_| {
-                        let mut tracer = NullTracer;
-                        let mut local_pixels = 0u64;
-                        while let Some(rows) =
-                            crate::old_renderer::pop_or_steal(p, queues, steal, steals)
-                        {
-                            for m in 0..fact.slice_count() {
-                                let k = fact.slice_for_step(m);
+                        let compose = catch_unwind(AssertUnwindSafe(|| {
+                            let mut tracer = NullTracer;
+                            let mut local_pixels = 0u64;
+                            while let Some(rows) =
+                                crate::old_renderer::pop_or_steal(p, queues, steal, steals)
+                            {
+                                if let Some(fp) = fault {
+                                    fp.on_task(p);
+                                }
                                 for y in rows.clone() {
-                                    // SAFETY: row ownership moves only
-                                    // through the queues; each row is in
-                                    // exactly one chunk.
-                                    let mut row = unsafe { shared.row_view(y) };
-                                    let st = composite_scanline_slice(
-                                        rle, fact, &mut row, k, &opts, &mut tracer,
-                                    );
-                                    local_pixels += st.composited;
-                                    if profiling {
-                                        new_profile[y]
-                                            .fetch_add(st.work, Ordering::Relaxed);
+                                    row_claim[y].store(p, Ordering::Relaxed);
+                                }
+                                for m in 0..fact.slice_count() {
+                                    let k = fact.slice_for_step(m);
+                                    for y in rows.clone() {
+                                        // SAFETY: row ownership moves only
+                                        // through the queues; each row is in
+                                        // exactly one chunk.
+                                        let mut row = unsafe { shared.row_view(y) };
+                                        let st = composite_scanline_slice(
+                                            rle, fact, &mut row, k, &opts, &mut tracer,
+                                        );
+                                        local_pixels += st.composited;
+                                        if profiling {
+                                            new_profile[y]
+                                                .fetch_add(st.work, Ordering::Relaxed);
+                                        }
                                     }
                                 }
+                                for y in rows {
+                                    rows_done[y].store(true, Ordering::Release);
+                                }
                             }
-                            for y in rows {
-                                rows_done[y].store(true, Ordering::Release);
-                            }
+                            composited.fetch_add(local_pixels, Ordering::Relaxed);
+                        }));
+                        // Retire from the compositor count whatever happened:
+                        // the waiters' lost-row proof depends on every worker
+                        // reaching zero. The Release RMW chain means a waiter
+                        // that loads 0 sees every row flag stored above.
+                        active.fetch_sub(1, Ordering::Release);
+                        if let Err(payload) = compose {
+                            panics.lock().push((p, panic_message(payload.as_ref())));
+                            return;
                         }
-                        composited.fetch_add(local_pixels, Ordering::Relaxed);
 
                         // §4.5: warp the own band as soon as the rows it
                         // reads are composited — no global barrier. The first
@@ -206,33 +310,48 @@ impl NewParallelRenderer {
                         // region's first composited row.
                         let mut band = partitions[p].clone();
                         if band.is_empty() {
+                            warp_done[p].store(true, Ordering::Release);
                             return;
                         }
                         if band.start == region.start {
                             band.start = band.start.saturating_sub(1);
                         }
                         let wait_hi = band.end.min(h - 1);
-                        #[allow(clippy::needless_range_loop)]
-                        for y in band.start..=wait_hi {
-                            while !rows_done[y].load(Ordering::Acquire) {
-                                std::hint::spin_loop();
-                                std::thread::yield_now();
+                        match wait_for_rows(
+                            rows_done,
+                            active,
+                            band.start..wait_hi + 1,
+                            watchdog,
+                            &t0,
+                        ) {
+                            WaitOutcome::Ready => {}
+                            WaitOutcome::Stalled { row, waited_ms } => {
+                                stalled.lock().get_or_insert((row, waited_ms));
+                                return; // leave warp_done[p] false for repair
                             }
                         }
                         // The band warp only reads rows [start, end], all of
                         // which are now quiescent.
-                        warp_row_band(
-                            shared,
-                            fact,
-                            shared_out,
-                            (band.start, band.end),
-                            &mut tracer,
-                        );
-                        let _ = region;
+                        let warp = catch_unwind(AssertUnwindSafe(|| {
+                            let mut tracer = NullTracer;
+                            warp_row_band(
+                                shared,
+                                fact,
+                                shared_out,
+                                (band.start, band.end),
+                                &mut tracer,
+                            );
+                        }));
+                        match warp {
+                            Ok(()) => warp_done[p].store(true, Ordering::Release),
+                            Err(payload) => {
+                                panics.lock().push((p, panic_message(payload.as_ref())));
+                            }
+                        }
                     });
                 }
             })
-            .expect("render workers must not panic");
+            .expect("worker panics are contained via catch_unwind");
         }
         let total = t0.elapsed().as_secs_f64();
         // The phases overlap (that is the point); report the frame total as
@@ -242,16 +361,133 @@ impl NewParallelRenderer {
         stats.steals = steals.load(Ordering::Relaxed);
         stats.composited_pixels = composited.load(Ordering::Relaxed);
 
-        if profiling {
+        // Resolve the frame: repair, typed error, or clean completion. The
+        // scope join ordered every worker's effects before this point.
+        let worker_panics = std::mem::take(&mut *panics.lock());
+        let first_stall = stalled.lock().take();
+        let lost: Vec<usize> = region
+            .clone()
+            .filter(|&y| !rows_done[y].load(Ordering::Acquire))
+            .collect();
+
+        if !worker_panics.is_empty() {
+            stats.worker_panics = worker_panics.len() as u64;
+            if !self.cfg.recover_panics {
+                let (worker, message) = worker_panics[0].clone();
+                return Err(Error::WorkerPanicked { worker, message });
+            }
+            stats.degraded = true;
+            stats.repaired_rows = lost.len() as u64;
+            // Serial repair: re-composite each lost row from scratch. Per
+            // row, slices are visited in the same ascending-m order as the
+            // worker loop, so the repaired row is bit-identical.
+            let mut tracer = NullTracer;
+            for &y in &lost {
+                inter.clear_row(y);
+                let mut row = inter.row_view(y);
+                for m in 0..fact.slice_count() {
+                    let k = fact.slice_for_step(m);
+                    composite_scanline_slice(rle, &fact, &mut row, k, &opts, &mut tracer);
+                }
+            }
+            // Re-warp every band whose warp did not complete, replicating
+            // the exact band-extension rule of the parallel path. The band
+            // warp writes each owned final pixel deterministically, so any
+            // partial writes from a failed attempt are overwritten.
+            let repaired_out = SharedFinal::new(&mut out);
+            for p in 0..nprocs {
+                if warp_done[p].load(Ordering::Acquire) {
+                    continue;
+                }
+                let mut band = partitions[p].clone();
+                if band.is_empty() {
+                    continue;
+                }
+                if band.start == region.start {
+                    band.start = band.start.saturating_sub(1);
+                }
+                warp_row_band(
+                    &*inter,
+                    &fact,
+                    &repaired_out,
+                    (band.start, band.end),
+                    &mut tracer,
+                );
+            }
+        } else if first_stall.is_some() || !lost.is_empty() {
+            // Lost work without a panic: nothing trustworthy to repair from
+            // (a queue was tampered with or a scheduler invariant broke) —
+            // surface the first missing row.
+            let (row, waited_ms) = first_stall.unwrap_or_else(|| {
+                (lost[0], t0.elapsed().as_millis() as u64)
+            });
+            let holder = match row_claim[row].load(Ordering::Relaxed) {
+                UNCLAIMED => None,
+                w => Some(w),
+            };
+            return Err(Error::Stalled { row, holder, waited_ms });
+        }
+
+        if profiling && !stats.degraded {
             self.profile = new_profile.iter().map(|a| a.load(Ordering::Relaxed)).collect();
             self.profile_valid = true;
             self.frames_since_profile = 0;
             self.last_profile_model = Some(view.model);
+        } else if profiling {
+            // A degraded profiling frame cannot harvest its counters — the
+            // panicked worker's contributions are partial. Keep the old
+            // profile (if any) and try again next frame.
+            stats.profiled = false;
         } else {
             self.frames_since_profile += 1;
         }
-        (out, stats)
+        Ok((out, stats))
     }
+}
+
+/// Spins until every row in `rows` is composited, proving a stall instead of
+/// waiting forever: a row still incomplete after the last compositor retires
+/// can never complete (the Release RMW chain on `active` publishes every
+/// completed row flag), and `watchdog` bounds the wait in all other cases.
+fn wait_for_rows(
+    rows_done: &[AtomicBool],
+    active: &AtomicUsize,
+    rows: Range<usize>,
+    watchdog: Option<std::time::Duration>,
+    t0: &std::time::Instant,
+) -> WaitOutcome {
+    for y in rows {
+        let mut spins = 0u32;
+        loop {
+            if rows_done[y].load(Ordering::Acquire) {
+                break;
+            }
+            if active.load(Ordering::Acquire) == 0 {
+                // Re-check after synchronizing with the final retirement.
+                if rows_done[y].load(Ordering::Acquire) {
+                    break;
+                }
+                return WaitOutcome::Stalled {
+                    row: y,
+                    waited_ms: t0.elapsed().as_millis() as u64,
+                };
+            }
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(1024) {
+                if let Some(limit) = watchdog {
+                    if t0.elapsed() >= limit {
+                        return WaitOutcome::Stalled {
+                            row: y,
+                            waited_ms: t0.elapsed().as_millis() as u64,
+                        };
+                    }
+                }
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+    WaitOutcome::Ready
 }
 
 #[cfg(test)]
@@ -376,5 +612,26 @@ mod tests {
                 "angle {deg}"
             );
         }
+    }
+
+    #[test]
+    fn invalid_config_is_typed_not_panicking() {
+        let (enc, view) = scene();
+        let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(0));
+        let e = r.try_render(&enc, &view).expect_err("nprocs = 0");
+        assert!(matches!(e, Error::InvalidConfig { .. }), "{e}");
+        assert!(e.to_string().contains("nprocs"), "{e}");
+    }
+
+    #[test]
+    fn contained_worker_panic_repairs_bit_identically() {
+        let (enc, view) = scene();
+        let serial = SerialRenderer::new().render(&enc, &view);
+        let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(3));
+        r.fault = Some(FaultPlan::new(1).panic_at(0));
+        let (img, stats) = r.try_render_with_stats(&enc, &view).expect("recovered");
+        assert_eq!(img, serial, "repaired frame must match serial bit-exactly");
+        assert_eq!(stats.worker_panics, 1);
+        assert!(stats.degraded);
     }
 }

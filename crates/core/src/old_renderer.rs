@@ -5,20 +5,36 @@
 //! fullest victim. A global barrier separates the phases. Warp: square
 //! tiles of the final image, statically assigned round-robin (no stealing —
 //! "there is little computation in the warp phase").
+//!
+//! # Fault containment
+//!
+//! The inter-phase barrier is an arrival counter rather than
+//! `std::sync::Barrier`: every worker — including one whose compositing
+//! panicked under `catch_unwind` — increments it before retiring, so the
+//! barrier wait terminates by construction and a single panic can never
+//! deadlock the survivors. After the join the frame is resolved exactly as
+//! in the new renderer: lost scanlines are re-composited serially and the
+//! whole image re-warped (bit-identical to an undisturbed render), or a
+//! typed [`enum@Error`] is returned. See the crate docs' *Failure model*.
 
+use crate::fault::FaultPlan;
 use crate::partition::{interleaved_chunks, make_tiles};
-use crate::{ParallelConfig, RenderStats};
+use crate::{Error, ParallelConfig, RenderStats};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
-    composite_scanline_slice, warp_tile, CompositeOpts, FinalImage, IntermediateImage,
-    NullTracer, SharedFinal, SharedIntermediate,
+    composite_scanline_slice, warp_full, warp_tile, CompositeOpts, FinalImage,
+    IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
 };
 use swr_volume::EncodedVolume;
+
+/// Row-claim sentinel: no worker ever claimed the row.
+const UNCLAIMED: usize = usize::MAX;
 
 /// Pops the caller's queue, or steals from the back of the fullest victim.
 pub(crate) fn pop_or_steal(
@@ -61,6 +77,8 @@ pub struct OldParallelRenderer {
     pub cfg: ParallelConfig,
     /// Compositing options (early termination, depth cueing).
     pub composite_opts: CompositeOpts,
+    /// Deterministic fault injection for the containment tests.
+    pub fault: Option<FaultPlan>,
     inter: Option<IntermediateImage>,
 }
 
@@ -70,20 +88,43 @@ impl OldParallelRenderer {
         OldParallelRenderer { cfg, ..Default::default() }
     }
 
-    /// Renders one frame.
+    /// Renders one frame, panicking on any fault (legacy API).
     pub fn render(&mut self, enc: &EncodedVolume, view: &ViewSpec) -> FinalImage {
-        self.render_with_stats(enc, view).0
+        self.try_render(enc, view).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Renders one frame, returning execution statistics.
+    /// Renders one frame with statistics, panicking on any fault
+    /// (legacy API).
     pub fn render_with_stats(
         &mut self,
         enc: &EncodedVolume,
         view: &ViewSpec,
     ) -> (FinalImage, RenderStats) {
+        self.try_render_with_stats(enc, view).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Renders one frame, returning a typed error on invalid inputs,
+    /// unrecovered worker panics, or lost work.
+    pub fn try_render(
+        &mut self,
+        enc: &EncodedVolume,
+        view: &ViewSpec,
+    ) -> Result<FinalImage, Error> {
+        self.try_render_with_stats(enc, view).map(|(img, _)| img)
+    }
+
+    /// Renders one frame, returning execution statistics (including any
+    /// recorded degradation) or a typed error.
+    pub fn try_render_with_stats(
+        &mut self,
+        enc: &EncodedVolume,
+        view: &ViewSpec,
+    ) -> Result<(FinalImage, RenderStats), Error> {
+        self.cfg.try_validate()?;
+        view.try_validate()?;
         let fact = Factorization::from_view(view);
         let rle = enc.for_axis(fact.principal);
-        let nprocs = self.cfg.nprocs.max(1);
+        let nprocs = self.cfg.nprocs;
 
         // Reuse the intermediate buffer across frames.
         let (w, h) = (fact.inter_w, fact.inter_h);
@@ -106,76 +147,187 @@ impl OldParallelRenderer {
                 .into_iter()
                 .map(|v| Mutex::new(v.into()))
                 .collect();
+        if let Some(n) = self.fault.as_ref().and_then(|fp| fp.truncate_queue) {
+            let mut q = queues[0].lock();
+            for _ in 0..n {
+                q.pop_back();
+            }
+        }
         let tile_lists = make_tiles(fact.final_w, fact.final_h, self.cfg.tile_size, nprocs);
 
         let mut out = FinalImage::new(fact.final_w, fact.final_h);
         let mut stats = RenderStats::default();
         let steals = AtomicU64::new(0);
         let composited = AtomicU64::new(0);
-        let barrier = Barrier::new(nprocs);
+        // Completion bookkeeping for the repair path.
+        let rows_done: Vec<AtomicBool> = (0..h).map(|_| AtomicBool::new(false)).collect();
+        let row_claim: Vec<AtomicUsize> =
+            (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
+        // Arrival-counter barrier: panicked workers arrive too, so the wait
+        // terminates even when a worker dies mid-composite.
+        let arrived = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         let composite_secs = Mutex::new(0f64);
         let opts = self.composite_opts;
+        let watchdog = self.cfg.watchdog_timeout;
         let t0 = std::time::Instant::now();
         {
             let shared = SharedIntermediate::new(inter);
             let shared_out = SharedFinal::new(&mut out);
             let fact = &fact;
+            let fault = self.fault.as_ref();
             crossbeam::scope(|s| {
                 #[allow(clippy::needless_range_loop)]
                 for p in 0..nprocs {
                     let queues = &queues;
                     let steals = &steals;
                     let composited = &composited;
-                    let barrier = &barrier;
+                    let rows_done = &rows_done;
+                    let row_claim = &row_claim;
+                    let arrived = &arrived;
+                    let abort = &abort;
+                    let panics = &panics;
                     let shared = &shared;
                     let shared_out = &shared_out;
                     let tiles = &tile_lists[p];
                     let composite_secs = &composite_secs;
                     let steal = self.cfg.steal;
                     s.spawn(move |_| {
-                        let mut tracer = NullTracer;
-                        let mut local_pixels = 0u64;
-                        while let Some(rows) = pop_or_steal(p, queues, steal, steals) {
-                            // Slice-outer traversal within the chunk keeps
-                            // the volume streaming in storage order.
-                            for m in 0..fact.slice_count() {
-                                let k = fact.slice_for_step(m);
+                        let compose = catch_unwind(AssertUnwindSafe(|| {
+                            let mut tracer = NullTracer;
+                            let mut local_pixels = 0u64;
+                            while let Some(rows) = pop_or_steal(p, queues, steal, steals) {
+                                if let Some(fp) = fault {
+                                    fp.on_task(p);
+                                }
                                 for y in rows.clone() {
-                                    // SAFETY: each scanline belongs to exactly
-                                    // one chunk and each chunk is popped once.
-                                    let mut row = unsafe { shared.row_view(y) };
-                                    let st = composite_scanline_slice(
-                                        rle, fact, &mut row, k, &opts, &mut tracer,
-                                    );
-                                    local_pixels += st.composited;
+                                    row_claim[y].store(p, Ordering::Relaxed);
+                                }
+                                // Slice-outer traversal within the chunk keeps
+                                // the volume streaming in storage order.
+                                for m in 0..fact.slice_count() {
+                                    let k = fact.slice_for_step(m);
+                                    for y in rows.clone() {
+                                        // SAFETY: each scanline belongs to exactly
+                                        // one chunk and each chunk is popped once.
+                                        let mut row = unsafe { shared.row_view(y) };
+                                        let st = composite_scanline_slice(
+                                            rle, fact, &mut row, k, &opts, &mut tracer,
+                                        );
+                                        local_pixels += st.composited;
+                                    }
+                                }
+                                for y in rows {
+                                    rows_done[y].store(true, Ordering::Release);
                                 }
                             }
+                            composited.fetch_add(local_pixels, Ordering::Relaxed);
+                        }));
+                        // Publish the failure *before* arriving so that any
+                        // worker released by our arrival already sees it.
+                        if compose.is_err() {
+                            abort.store(true, Ordering::Release);
                         }
-                        composited.fetch_add(local_pixels, Ordering::Relaxed);
-                        if barrier.wait().is_leader() {
+                        let n = arrived.fetch_add(1, Ordering::AcqRel) + 1;
+                        if n == nprocs {
                             *composite_secs.lock() = t0.elapsed().as_secs_f64();
+                        }
+                        if let Err(payload) = compose {
+                            panics.lock().push((p, panic_message(payload.as_ref())));
+                            return;
+                        }
+                        // Barrier wait. Terminates by construction (every
+                        // worker arrives); the watchdog is a pure backstop.
+                        let mut spins = 0u32;
+                        while arrived.load(Ordering::Acquire) < nprocs {
+                            spins = spins.wrapping_add(1);
+                            if spins.is_multiple_of(1024) {
+                                if let Some(limit) = watchdog {
+                                    if t0.elapsed() >= limit {
+                                        return;
+                                    }
+                                }
+                            }
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                        if abort.load(Ordering::Acquire) {
+                            // A sibling died: its rows may be torn, so a
+                            // tile warp would read garbage. Skip it — the
+                            // resolution below re-warps serially or errors.
+                            return;
                         }
 
                         // Warp phase: static tiles; all compositing is done.
                         // SAFETY: every worker passed the barrier, so no row
                         // is being mutated any more.
-                        let inter_ref = unsafe { shared.image() };
-                        for tile in tiles {
-                            // Tiles are disjoint rectangles, so final-image
-                            // writes never collide.
-                            warp_tile(inter_ref, fact, shared_out, *tile, &mut tracer);
+                        let warp = catch_unwind(AssertUnwindSafe(|| {
+                            let mut tracer = NullTracer;
+                            let inter_ref = unsafe { shared.image() };
+                            for tile in tiles {
+                                // Tiles are disjoint rectangles, so final-image
+                                // writes never collide.
+                                warp_tile(inter_ref, fact, shared_out, *tile, &mut tracer);
+                            }
+                        }));
+                        if let Err(payload) = warp {
+                            panics.lock().push((p, panic_message(payload.as_ref())));
                         }
                     });
                 }
             })
-            .expect("render workers must not panic");
+            .expect("worker panics are contained via catch_unwind");
         }
         let total = t0.elapsed().as_secs_f64();
         stats.composite_secs = *composite_secs.lock();
         stats.warp_secs = total - stats.composite_secs;
         stats.steals = steals.load(Ordering::Relaxed);
         stats.composited_pixels = composited.load(Ordering::Relaxed);
-        (out, stats)
+
+        // Resolve the frame: repair, typed error, or clean completion.
+        let worker_panics = std::mem::take(&mut *panics.lock());
+        let lost: Vec<usize> =
+            (0..h).filter(|&y| !rows_done[y].load(Ordering::Acquire)).collect();
+
+        if !worker_panics.is_empty() {
+            stats.worker_panics = worker_panics.len() as u64;
+            if !self.cfg.recover_panics {
+                let (worker, message) = worker_panics[0].clone();
+                return Err(Error::WorkerPanicked { worker, message });
+            }
+            stats.degraded = true;
+            stats.repaired_rows = lost.len() as u64;
+            let mut tracer = NullTracer;
+            // Re-composite each lost row; per row the slice order matches
+            // the worker loop, so the repair is bit-identical.
+            for &y in &lost {
+                inter.clear_row(y);
+                let mut row = inter.row_view(y);
+                for m in 0..fact.slice_count() {
+                    let k = fact.slice_for_step(m);
+                    composite_scanline_slice(rle, &fact, &mut row, k, &opts, &mut tracer);
+                }
+            }
+            // The tile warp was skipped on abort; redo it serially over the
+            // now-complete intermediate image.
+            warp_full(&*inter, &fact, &mut out, &mut tracer);
+        } else if !lost.is_empty() {
+            // Lost work without a panic (e.g. a truncated queue): the warp
+            // already ran over incomplete rows, so the image cannot be
+            // trusted — surface the first missing row.
+            let row = lost[0];
+            let holder = match row_claim[row].load(Ordering::Relaxed) {
+                UNCLAIMED => None,
+                w => Some(w),
+            };
+            return Err(Error::Stalled {
+                row,
+                holder,
+                waited_ms: t0.elapsed().as_millis() as u64,
+            });
+        }
+        Ok((out, stats))
     }
 }
 
@@ -235,5 +387,17 @@ mod tests {
         };
         let mut r = OldParallelRenderer::new(cfg);
         assert_eq!(r.render(&enc, &view), SerialRenderer::new().render(&enc, &view));
+    }
+
+    #[test]
+    fn contained_worker_panic_repairs_bit_identically() {
+        let (enc, view) = scene();
+        let serial = SerialRenderer::new().render(&enc, &view);
+        let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(3));
+        r.fault = Some(FaultPlan::new(2).panic_at(1));
+        let (img, stats) = r.try_render_with_stats(&enc, &view).expect("recovered");
+        assert_eq!(img, serial, "repaired frame must match serial bit-exactly");
+        assert_eq!(stats.worker_panics, 1);
+        assert!(stats.degraded);
     }
 }

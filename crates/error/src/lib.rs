@@ -1,0 +1,201 @@
+//! The workspace-wide typed error.
+//!
+//! Every fallible `try_*` API across the renderer crates returns
+//! [`enum@Error`]. The legacy panicking APIs are thin wrappers that panic
+//! with the error's `Display` text, so panic-message-matching callers keep
+//! working while new callers get a `Result` they can route on.
+//!
+//! Variants map onto process exit codes for the `swrender` CLI via
+//! [`Error::exit_code`]: `1` for I/O, `2` for usage/validation, `3` for
+//! render faults (worker panics, scheduler stalls, replay deadlocks,
+//! malformed workloads).
+
+use std::any::Any;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Convenience alias for results carrying [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Everything that can go wrong across the rendering pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// A volume file could not be read or written.
+    Io {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
+        /// The underlying OS error.
+        source: io::Error,
+    },
+    /// A [`ViewSpec`](https://docs.rs/swr-geom) failed validation
+    /// (degenerate dimensions, non-positive zoom, eye inside the volume,
+    /// singular model matrix).
+    InvalidView {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A `ParallelConfig` failed validation (zero processors, zero tile
+    /// size, zero-duration watchdog).
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A captured `FrameWorkload` is malformed (task queued twice, dangling
+    /// dependency, width mismatch with the simulated machine).
+    InvalidWorkload {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A render worker thread panicked and the renderer was configured not
+    /// to degrade gracefully (`ParallelConfig::recover_panics == false`).
+    WorkerPanicked {
+        /// Index of the first worker that panicked.
+        worker: usize,
+        /// Its panic payload, stringified.
+        message: String,
+    },
+    /// The scheduler watchdog found a scanline whose completion flag can
+    /// never be set (lost work) or was not set within the configured
+    /// timeout.
+    Stalled {
+        /// The intermediate-image row being waited on.
+        row: usize,
+        /// The worker that last claimed the row, if any ever did.
+        holder: Option<usize>,
+        /// How long the waiter had been spinning, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A memsim replay reached a state where no processor can make
+    /// progress (cyclic task dependencies, lost wake-ups).
+    Deadlock {
+        /// Which replay detected it and what was blocked.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path: Some(p), source } => {
+                write!(f, "I/O error on {}: {source}", p.display())
+            }
+            Error::Io { path: None, source } => write!(f, "I/O error: {source}"),
+            Error::InvalidView { reason } => write!(f, "invalid view: {reason}"),
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
+            Error::WorkerPanicked { worker, message } => {
+                write!(f, "render worker {worker} panicked: {message}")
+            }
+            Error::Stalled { row, holder: Some(hold), waited_ms } => write!(
+                f,
+                "scheduler stalled: row {row} never completed \
+                 (last claimed by worker {hold}, waited {waited_ms} ms)"
+            ),
+            Error::Stalled { row, holder: None, waited_ms } => write!(
+                f,
+                "scheduler stalled: row {row} never completed \
+                 (never claimed, waited {waited_ms} ms)"
+            ),
+            Error::Deadlock { detail } => write!(f, "replay deadlock: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(source: io::Error) -> Self {
+        Error::Io { path: None, source }
+    }
+}
+
+impl Error {
+    /// Attaches a file path to an I/O error (no-op for other variants).
+    pub fn with_path(self, path: impl Into<PathBuf>) -> Self {
+        match self {
+            Error::Io { source, .. } => Error::Io { path: Some(path.into()), source },
+            other => other,
+        }
+    }
+
+    /// The `swrender` CLI exit code for this error class:
+    /// 1 = I/O, 2 = usage/validation, 3 = render fault.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::Io { .. } => 1,
+            Error::InvalidView { .. } | Error::InvalidConfig { .. } => 2,
+            Error::InvalidWorkload { .. }
+            | Error::WorkerPanicked { .. }
+            | Error::Stalled { .. }
+            | Error::Deadlock { .. } => 3,
+        }
+    }
+}
+
+/// Renders a `catch_unwind` payload as text: the common `&str` / `String`
+/// payloads verbatim, anything else as a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_partition_the_variants() {
+        let io = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert_eq!(io.exit_code(), 1);
+        assert_eq!(Error::InvalidView { reason: "x".into() }.exit_code(), 2);
+        assert_eq!(Error::InvalidConfig { reason: "x".into() }.exit_code(), 2);
+        assert_eq!(Error::InvalidWorkload { reason: "x".into() }.exit_code(), 3);
+        assert_eq!(
+            Error::WorkerPanicked { worker: 0, message: "x".into() }.exit_code(),
+            3
+        );
+        assert_eq!(
+            Error::Stalled { row: 1, holder: None, waited_ms: 5 }.exit_code(),
+            3
+        );
+        assert_eq!(Error::Deadlock { detail: "x".into() }.exit_code(), 3);
+    }
+
+    #[test]
+    fn display_keeps_legacy_matchable_substrings() {
+        // Panicking wrappers format these; tests matching on the historic
+        // panic text must keep passing.
+        let d = Error::Deadlock { detail: "blocked = [0, 1]".into() }.to_string();
+        assert!(d.contains("deadlock"), "{d}");
+        let w = Error::InvalidWorkload {
+            reason: "workload/machine width mismatch: 2 queues, 4 processors".into(),
+        }
+        .to_string();
+        assert!(w.contains("machine width mismatch"), "{w}");
+    }
+
+    #[test]
+    fn with_path_and_panic_message() {
+        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"))
+            .with_path("/tmp/vol.svol");
+        assert!(e.to_string().contains("/tmp/vol.svol"), "{e}");
+        let p: Box<dyn Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let s: Box<dyn Any + Send> = Box::new(String::from("ouch"));
+        assert_eq!(panic_message(s.as_ref()), "ouch");
+        assert_eq!(panic_message(&42i32 as &(dyn Any + Send)), "non-string panic payload");
+    }
+}

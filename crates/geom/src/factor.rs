@@ -19,6 +19,7 @@ use crate::affine::Affine2;
 use crate::homography::Homography2;
 use crate::mat::Mat4;
 use crate::vec::Vec3;
+use swr_error::Error;
 
 /// Projection type of a view.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,6 +118,51 @@ impl ViewSpec {
             image_size: None,
             projection: Projection::Parallel,
         }
+    }
+
+    /// Validates the view, returning [`Error::InvalidView`] instead of
+    /// panicking: degenerate volume dimensions, non-positive or non-finite
+    /// zoom, a zero-sized image override, a singular model matrix, or a
+    /// perspective eye so close it enters the volume.
+    ///
+    /// The legacy builder methods ([`Self::with_zoom`],
+    /// [`Self::with_perspective`]) and [`Factorization::from_view`] keep
+    /// their panicking contracts; `try_render` entry points call this first
+    /// so a malformed view surfaces as a typed error.
+    pub fn try_validate(&self) -> Result<(), Error> {
+        let invalid = |reason: String| Err(Error::InvalidView { reason });
+        let [nx, ny, nz] = self.dims;
+        if nx == 0 || ny == 0 || nz == 0 {
+            return invalid(format!(
+                "volume dimensions must be positive, got {nx}x{ny}x{nz}"
+            ));
+        }
+        if !(self.zoom.is_finite() && self.zoom > 0.0) {
+            return invalid(format!("zoom must be positive and finite, got {}", self.zoom));
+        }
+        if let Some((w, h)) = self.image_size {
+            if w == 0 || h == 0 {
+                return invalid(format!("image size must be positive, got {w}x{h}"));
+            }
+        }
+        if self.model.inverse().is_none() {
+            return invalid("model matrix is singular".to_string());
+        }
+        if let Projection::Perspective { distance } = self.projection {
+            if !(distance.is_finite() && distance > 0.0) {
+                return invalid(format!(
+                    "perspective eye distance must be positive and finite, got {distance}"
+                ));
+            }
+            let half = ((nx * nx + ny * ny + nz * nz) as f64).sqrt() / 2.0;
+            if distance <= half {
+                return invalid(format!(
+                    "perspective eye distance {distance} must exceed the \
+                     half-diagonal {half}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Switches to a perspective projection with the eye `distance` voxel
@@ -864,6 +910,38 @@ mod tests {
             let (ou, ov) = f.slice_offsets(k);
             assert_eq!((xf.off_u, xf.off_v), (ou, ov));
         }
+    }
+
+    #[test]
+    fn try_validate_accepts_good_views_and_types_bad_ones() {
+        assert!(ViewSpec::new([32, 32, 32]).rotate_y(0.4).try_validate().is_ok());
+        assert!(ViewSpec::new([16, 16, 16]).with_perspective(60.0).try_validate().is_ok());
+
+        let bad_dims = ViewSpec::new([0, 16, 16]).try_validate();
+        assert!(matches!(bad_dims, Err(Error::InvalidView { .. })), "{bad_dims:?}");
+
+        let mut v = ViewSpec::new([16, 16, 16]);
+        v.zoom = 0.0; // bypasses the with_zoom assertion
+        assert!(v.try_validate().is_err());
+        v.zoom = f64::NAN;
+        assert!(v.try_validate().is_err());
+
+        let mut v = ViewSpec::new([16, 16, 16]);
+        v.image_size = Some((0, 128));
+        assert!(v.try_validate().is_err());
+
+        let mut v = ViewSpec::new([16, 16, 16]);
+        v.model = Mat4::scaling(Vec3::new(0.0, 1.0, 1.0));
+        assert!(
+            matches!(v.try_validate(), Err(Error::InvalidView { reason }) if reason.contains("singular"))
+        );
+
+        // Eye inside the volume: typed error instead of the panic from
+        // final_image_size / the factorization.
+        let mut v = ViewSpec::new([64, 64, 64]).with_image_size(256, 256);
+        v.projection = Projection::Perspective { distance: 5.0 };
+        let e = v.try_validate().expect_err("eye too close");
+        assert!(e.to_string().contains("eye distance"), "{e}");
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! assert!(f.slice_count() == 64);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod affine;
 pub mod factor;
 pub mod homography;

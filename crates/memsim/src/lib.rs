@@ -59,6 +59,8 @@
 //! assert!(r.total_cycles > 100);        // plus miss stalls and the barrier
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cache;
 pub mod coherence;
 pub mod platform;
@@ -70,7 +72,13 @@ pub mod workload;
 pub use cache::{Cache, CacheConfig};
 pub use coherence::{MissClass, MissCounts};
 pub use platform::{MemCosts, Platform};
-pub use replay::{replay, replay_steady, Machine, ProcBreakdown, SimResult};
-pub use svm::{replay_svm, replay_svm_steady, SvmConfig, SvmMachine, SvmProcBreakdown, SvmResult};
+pub use replay::{
+    replay, replay_steady, try_replay, try_replay_steady, Machine, ProcBreakdown, SimResult,
+};
+pub use svm::{
+    replay_svm, replay_svm_steady, try_replay_svm, try_replay_svm_steady, SvmConfig, SvmMachine,
+    SvmProcBreakdown, SvmResult,
+};
+pub use swr_error::Error;
 pub use trace::{CollectingTracer, TaskTrace, TraceEvent};
 pub use workload::{FrameWorkload, StealPolicy, TaskSpec};

@@ -19,6 +19,7 @@ use crate::platform::Platform;
 use crate::trace::TraceEvent;
 use crate::workload::{FrameWorkload, StealPolicy, TaskLabel};
 use std::collections::VecDeque;
+use swr_error::Error;
 
 /// Events processed per scheduling step; bounds how far one processor's
 /// clock can run ahead of the others between contention interactions.
@@ -175,8 +176,21 @@ impl Machine {
     }
 
     /// Runs one frame; caches and sharing state carry over to the next.
-    pub fn run_frame(&mut self, workload: &FrameWorkload) -> SimResult {
-        assert_eq!(workload.nprocs(), self.nprocs, "workload/machine width mismatch");
+    ///
+    /// Fails with [`Error::InvalidWorkload`] when the workload is malformed
+    /// or was built for a different processor count, and with
+    /// [`Error::Deadlock`] when no processor can make progress (cyclic task
+    /// dependencies).
+    pub fn try_run_frame(&mut self, workload: &FrameWorkload) -> Result<SimResult, Error> {
+        if workload.nprocs() != self.nprocs {
+            return Err(Error::InvalidWorkload {
+                reason: format!(
+                    "workload/machine width mismatch: {} queues, {} processors",
+                    workload.nprocs(),
+                    self.nprocs
+                ),
+            });
+        }
         run_frame_impl(
             &self.platform,
             &mut self.caches,
@@ -185,23 +199,55 @@ impl Machine {
             workload,
         )
     }
+
+    /// Panicking wrapper around [`Self::try_run_frame`].
+    ///
+    /// # Panics
+    /// Panics with the error's `Display` text on malformed workloads and
+    /// replay deadlocks.
+    pub fn run_frame(&mut self, workload: &FrameWorkload) -> SimResult {
+        self.try_run_frame(workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Replays `workload` once on a cold machine, reporting malformed workloads
+/// and deadlocks as typed errors.
+pub fn try_replay(platform: &Platform, workload: &FrameWorkload) -> Result<SimResult, Error> {
+    let mut m = Machine::new(*platform, workload.nprocs());
+    m.try_run_frame(workload)
 }
 
 /// Replays `workload` once on a cold machine.
+///
+/// # Panics
+/// Panics on malformed workloads and replay deadlocks; see [`try_replay`].
 pub fn replay(platform: &Platform, workload: &FrameWorkload) -> SimResult {
-    let mut m = Machine::new(*platform, workload.nprocs());
-    m.run_frame(workload)
+    try_replay(platform, workload).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Replays `workload` `warmup + 1` times on one machine and returns the
 /// final (steady-state) frame's result — the animation regime the paper
-/// measures.
-pub fn replay_steady(platform: &Platform, workload: &FrameWorkload, warmup: usize) -> SimResult {
+/// measures. Typed-error variant of [`replay_steady`].
+pub fn try_replay_steady(
+    platform: &Platform,
+    workload: &FrameWorkload,
+    warmup: usize,
+) -> Result<SimResult, Error> {
     let mut m = Machine::new(*platform, workload.nprocs());
     for _ in 0..warmup {
-        m.run_frame(workload);
+        m.try_run_frame(workload)?;
     }
-    m.run_frame(workload)
+    m.try_run_frame(workload)
+}
+
+/// Replays `workload` `warmup + 1` times on one machine and returns the
+/// final (steady-state) frame's result.
+///
+/// # Panics
+/// Panics on malformed workloads and replay deadlocks; see
+/// [`try_replay_steady`].
+pub fn replay_steady(platform: &Platform, workload: &FrameWorkload, warmup: usize) -> SimResult {
+    try_replay_steady(platform, workload, warmup).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn run_frame_impl(
@@ -210,8 +256,8 @@ fn run_frame_impl(
     shadows: &mut [LruShadow],
     coherence: &mut CoherenceState,
     workload: &FrameWorkload,
-) -> SimResult {
-    workload.validate();
+) -> Result<SimResult, Error> {
+    workload.try_validate()?;
     let nprocs = workload.nprocs();
     assert!(nprocs > 0);
 
@@ -284,15 +330,17 @@ fn run_frame_impl(
             if procs.iter().all(|p| p.finished) {
                 break;
             }
-            panic!(
-                "replay deadlock: blocked = {:?}",
-                procs
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, p)| p.blocked.is_some())
-                    .map(|(i, p)| (i, p.blocked))
-                    .collect::<Vec<_>>()
-            );
+            return Err(Error::Deadlock {
+                detail: format!(
+                    "blocked = {:?}",
+                    procs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.blocked.is_some())
+                        .map(|(i, p)| (i, p.blocked))
+                        .collect::<Vec<_>>()
+                ),
+            });
         };
 
         // Acquire a task if needed.
@@ -371,9 +419,9 @@ fn run_frame_impl(
                 if let Some(t) = stolen {
                     settle_deps(&mut procs, t, &task_finish);
                     procs[pid].current = Some((t, 0));
-                } else if let (Some(_), Some((_, false))) = (own, own_state) {
+                } else if let (Some(t), Some((_, false))) = (own, own_state) {
                     // Front task's dependency unmet and nothing to steal.
-                    let dep = workload.tasks[own.unwrap() as usize]
+                    let dep = workload.tasks[t as usize]
                         .deps
                         .iter()
                         .copied()
@@ -588,7 +636,7 @@ fn run_frame_impl(
         };
     }
     result.total_cycles = procs.iter().map(|p| p.time).max().unwrap_or(0);
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@
 use crate::trace::TraceEvent;
 use crate::workload::{FrameWorkload, TaskLabel};
 use std::collections::{HashMap, VecDeque};
+use swr_error::Error;
 
 /// SVM platform parameters, in processor cycles.
 #[derive(Debug, Clone, Copy)]
@@ -185,25 +186,69 @@ impl SvmMachine {
         }
     }
 
-    /// Runs one frame; page state carries over.
-    pub fn run_frame(&mut self, workload: &FrameWorkload) -> SvmResult {
-        assert_eq!(workload.nprocs(), self.nprocs);
+    /// Runs one frame; page state carries over. Typed-error variant of
+    /// [`Self::run_frame`]: malformed or mismatched workloads yield
+    /// [`Error::InvalidWorkload`], replay deadlocks yield
+    /// [`Error::Deadlock`].
+    pub fn try_run_frame(&mut self, workload: &FrameWorkload) -> Result<SvmResult, Error> {
+        if workload.nprocs() != self.nprocs {
+            return Err(Error::InvalidWorkload {
+                reason: format!(
+                    "workload/machine width mismatch: {} queues, {} processors",
+                    workload.nprocs(),
+                    self.nprocs
+                ),
+            });
+        }
         run_frame_impl(&self.cfg, &mut self.seen, &mut self.page_version, workload)
     }
+
+    /// Runs one frame; page state carries over.
+    ///
+    /// # Panics
+    /// Panics with the error's `Display` text on malformed workloads and
+    /// replay deadlocks; see [`Self::try_run_frame`].
+    pub fn run_frame(&mut self, workload: &FrameWorkload) -> SvmResult {
+        self.try_run_frame(workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+/// Replays `workload` once on a cold SVM machine, reporting malformed
+/// workloads and deadlocks as typed errors.
+pub fn try_replay_svm(cfg: &SvmConfig, workload: &FrameWorkload) -> Result<SvmResult, Error> {
+    SvmMachine::new(*cfg, workload.nprocs()).try_run_frame(workload)
 }
 
 /// Replays `workload` once on a cold SVM machine.
+///
+/// # Panics
+/// Panics on malformed workloads and replay deadlocks; see
+/// [`try_replay_svm`].
 pub fn replay_svm(cfg: &SvmConfig, workload: &FrameWorkload) -> SvmResult {
-    SvmMachine::new(*cfg, workload.nprocs()).run_frame(workload)
+    try_replay_svm(cfg, workload).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Replays `workload` `warmup + 1` times and returns the steady-state frame.
-pub fn replay_svm_steady(cfg: &SvmConfig, workload: &FrameWorkload, warmup: usize) -> SvmResult {
+/// Typed-error variant of [`replay_svm_steady`].
+pub fn try_replay_svm_steady(
+    cfg: &SvmConfig,
+    workload: &FrameWorkload,
+    warmup: usize,
+) -> Result<SvmResult, Error> {
     let mut m = SvmMachine::new(*cfg, workload.nprocs());
     for _ in 0..warmup {
-        m.run_frame(workload);
+        m.try_run_frame(workload)?;
     }
-    m.run_frame(workload)
+    m.try_run_frame(workload)
+}
+
+/// Replays `workload` `warmup + 1` times and returns the steady-state frame.
+///
+/// # Panics
+/// Panics on malformed workloads and replay deadlocks; see
+/// [`try_replay_svm_steady`].
+pub fn replay_svm_steady(cfg: &SvmConfig, workload: &FrameWorkload, warmup: usize) -> SvmResult {
+    try_replay_svm_steady(cfg, workload, warmup).unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn run_frame_impl(
@@ -211,8 +256,8 @@ fn run_frame_impl(
     seen: &mut [HashMap<u64, u64>],
     page_version: &mut HashMap<u64, u64>,
     workload: &FrameWorkload,
-) -> SvmResult {
-    workload.validate();
+) -> Result<SvmResult, Error> {
+    workload.try_validate()?;
     let nprocs = workload.nprocs();
     let nnodes = nprocs.div_ceil(cfg.procs_per_node);
     let mut procs: Vec<Proc> = workload
@@ -304,7 +349,17 @@ fn run_frame_impl(
             if procs.iter().all(|p| p.finished) {
                 break;
             }
-            panic!("SVM replay deadlock");
+            return Err(Error::Deadlock {
+                detail: format!(
+                    "SVM: blocked = {:?}",
+                    procs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.blocked.is_some())
+                        .map(|(i, p)| (i, p.blocked))
+                        .collect::<Vec<_>>()
+                ),
+            });
         };
 
         if procs[pid].current.is_none() {
@@ -505,7 +560,7 @@ fn run_frame_impl(
         };
     }
     result.total_cycles = procs.iter().map(|p| p.time).max().unwrap_or(0);
-    result
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! machine.
 
 use crate::trace::TaskTrace;
+use swr_error::Error;
 
 /// What a task does — used for phase-level reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,27 +87,49 @@ impl FrameWorkload {
     }
 
     /// Validates internal consistency (every task queued exactly once, deps
-    /// in range). Panics with a description on inconsistency; used by tests
-    /// and debug assertions in the capture path.
-    pub fn validate(&self) {
+    /// in range), returning [`Error::InvalidWorkload`] with a description of
+    /// the first inconsistency found.
+    pub fn try_validate(&self) -> Result<(), Error> {
+        let invalid = |reason: String| Err(Error::InvalidWorkload { reason });
         let mut seen = vec![false; self.tasks.len()];
         for q in &self.queues {
             for &t in q {
                 let t = t as usize;
-                assert!(t < self.tasks.len(), "task id {t} out of range");
-                assert!(!seen[t], "task {t} queued twice");
+                if t >= self.tasks.len() {
+                    return invalid(format!("task id {t} out of range"));
+                }
+                if seen[t] {
+                    return invalid(format!("task {t} queued twice"));
+                }
                 seen[t] = true;
             }
         }
-        assert!(
-            seen.iter().all(|&s| s),
-            "every task must be queued somewhere"
-        );
+        if let Some(t) = seen.iter().position(|&s| !s) {
+            return invalid(format!(
+                "every task must be queued somewhere (task {t} is not)"
+            ));
+        }
         for (i, t) in self.tasks.iter().enumerate() {
             for &d in &t.deps {
-                assert!((d as usize) < self.tasks.len(), "dep {d} of task {i} out of range");
-                assert!(d as usize != i, "task {i} depends on itself");
+                if d as usize >= self.tasks.len() {
+                    return invalid(format!("dep {d} of task {i} out of range"));
+                }
+                if d as usize == i {
+                    return invalid(format!("task {i} depends on itself"));
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper around [`Self::try_validate`]; used by tests and
+    /// debug assertions in the capture path.
+    ///
+    /// # Panics
+    /// Panics with the error's `Display` text on any inconsistency.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }

@@ -75,6 +75,18 @@ impl IntermediateImage {
         }
     }
 
+    /// Resets one scanline's pixels and skip links, leaving the rest of the
+    /// image untouched. The fault-recovery path uses this to recomposite a
+    /// scanline a panicked worker left in a partial state.
+    pub fn clear_row(&mut self, y: usize) {
+        assert!(y < self.h);
+        let w = self.w;
+        self.pix[y * w..(y + 1) * w].fill(IPixel::CLEAR);
+        for (x, s) in self.skip[y * w..(y + 1) * w].iter_mut().enumerate() {
+            *s = x as u32;
+        }
+    }
+
     /// Read-only pixel access; out-of-bounds coordinates return a cleared
     /// pixel (the warp samples slightly outside the image at its border).
     #[inline]
@@ -238,8 +250,10 @@ impl<'a> SharedIntermediate<'a> {
     pub unsafe fn row_view(&self, y: usize) -> RowView<'a> {
         assert!(y < self.h);
         let w = self.w;
-        let pix = std::slice::from_raw_parts_mut(self.pix.add(y * w), w);
-        let skip = std::slice::from_raw_parts_mut(self.skip.add(y * w), w);
+        // SAFETY: caller guarantees exclusive access to scanline `y`; the
+        // bounds assert above keeps the slice inside the allocation.
+        let pix = unsafe { std::slice::from_raw_parts_mut(self.pix.add(y * w), w) };
+        let skip = unsafe { std::slice::from_raw_parts_mut(self.skip.add(y * w), w) };
         RowView { pix, skip, y }
     }
 
@@ -249,7 +263,8 @@ impl<'a> SharedIntermediate<'a> {
     /// No thread may be mutating any scanline while the reference lives (all
     /// row views dropped, e.g. after the inter-phase barrier).
     pub unsafe fn image(&self) -> &'a IntermediateImage {
-        &*self.img
+        // SAFETY: caller guarantees no scanline is being mutated.
+        unsafe { &*self.img }
     }
 
     /// Reads pixel `(x, y)` through the raw buffer pointer (no reference to
@@ -263,7 +278,9 @@ impl<'a> SharedIntermediate<'a> {
         if x < 0 || y < 0 || x >= self.w as isize || y >= self.h as isize {
             IPixel::CLEAR
         } else {
-            std::ptr::read(self.pix.add(y as usize * self.w + x as usize))
+            // SAFETY: in-bounds per the check above; caller guarantees no
+            // concurrent writer of row `y`.
+            unsafe { std::ptr::read(self.pix.add(y as usize * self.w + x as usize)) }
         }
     }
 
@@ -398,8 +415,10 @@ impl<'a> SharedFinal<'a> {
     #[inline]
     pub unsafe fn set(&self, u: usize, v: usize, p: Rgba8) -> usize {
         debug_assert!(u < self.w && v < self.h);
-        let slot = self.pix.add(v * self.w + u);
-        std::ptr::write(slot, p);
+        // SAFETY: in-bounds per the debug_assert; caller guarantees no other
+        // thread writes this pixel concurrently.
+        let slot = unsafe { self.pix.add(v * self.w + u) };
+        unsafe { std::ptr::write(slot, p) };
         slot as usize
     }
 }

@@ -22,6 +22,8 @@
 //! The parallel algorithms themselves live in `swr-core`; this crate's
 //! scanline- and band-granularity entry points are their building blocks.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod composite;
 pub mod costs;
 pub mod image;

@@ -4,6 +4,7 @@ use crate::composite::{composite_scanline_slice, CompositeOpts, ScanlineSliceSta
 use crate::image::{FinalImage, IntermediateImage};
 use crate::tracer::{NullTracer, Tracer};
 use crate::warp::warp_full;
+use swr_error::Error;
 use swr_geom::{Factorization, ViewSpec};
 use swr_volume::EncodedVolume;
 
@@ -53,6 +54,27 @@ impl SerialRenderer {
     /// Renders one frame.
     pub fn render(&mut self, enc: &EncodedVolume, view: &ViewSpec) -> FinalImage {
         self.render_traced(enc, view, &mut NullTracer).0
+    }
+
+    /// Renders one frame after validating the view, returning
+    /// [`Error::InvalidView`] instead of panicking on degenerate view
+    /// specifications or a view built for a different volume.
+    pub fn try_render(
+        &mut self,
+        enc: &EncodedVolume,
+        view: &ViewSpec,
+    ) -> Result<FinalImage, Error> {
+        view.try_validate()?;
+        if enc.dims() != view.dims {
+            return Err(Error::InvalidView {
+                reason: format!(
+                    "view dims {:?} do not match the encoded volume dims {:?}",
+                    view.dims,
+                    enc.dims()
+                ),
+            });
+        }
+        Ok(self.render(enc, view))
     }
 
     /// Renders one frame, reporting every memory access and work unit to

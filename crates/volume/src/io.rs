@@ -12,6 +12,7 @@
 use crate::grid::Volume;
 use std::io::{self, Read, Write};
 use std::path::Path;
+use swr_error::Error;
 
 /// Magic bytes of the native format.
 pub const MAGIC: [u8; 8] = *b"SWVOL1\0\0";
@@ -87,6 +88,34 @@ pub fn save_raw(vol: &Volume, path: impl AsRef<Path>) -> io::Result<()> {
     std::fs::write(path, vol.data())
 }
 
+/// [`load_volume`] returning the workspace [`enum@Error`] with the file path
+/// attached (`Error::Io { path, .. }`, CLI exit code 1).
+pub fn try_load_volume(path: impl AsRef<Path>) -> Result<Volume, Error> {
+    let path = path.as_ref();
+    load_volume(path).map_err(|e| Error::from(e).with_path(path))
+}
+
+/// [`load_raw`] returning the workspace [`enum@Error`] with the file path
+/// attached.
+pub fn try_load_raw(path: impl AsRef<Path>, dims: [usize; 3]) -> Result<Volume, Error> {
+    let path = path.as_ref();
+    load_raw(path, dims).map_err(|e| Error::from(e).with_path(path))
+}
+
+/// [`save_volume`] returning the workspace [`enum@Error`] with the file path
+/// attached.
+pub fn try_save_volume(vol: &Volume, path: impl AsRef<Path>) -> Result<(), Error> {
+    let path = path.as_ref();
+    save_volume(vol, path).map_err(|e| Error::from(e).with_path(path))
+}
+
+/// [`save_raw`] returning the workspace [`enum@Error`] with the file path
+/// attached.
+pub fn try_save_raw(vol: &Volume, path: impl AsRef<Path>) -> Result<(), Error> {
+    let path = path.as_ref();
+    save_raw(vol, path).map_err(|e| Error::from(e).with_path(path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +170,18 @@ mod tests {
 
         let _ = std::fs::remove_file(p1);
         let _ = std::fs::remove_file(p2);
+    }
+
+    #[test]
+    fn try_loaders_attach_the_path() {
+        let missing = std::env::temp_dir().join(format!(
+            "swr_io_missing_{}.svol",
+            std::process::id()
+        ));
+        let e = try_load_volume(&missing).expect_err("file does not exist");
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.to_string().contains("swr_io_missing"), "{e}");
+        let e = try_load_raw(&missing, [4, 4, 4]).expect_err("file does not exist");
+        assert!(e.to_string().contains("swr_io_missing"), "{e}");
     }
 }

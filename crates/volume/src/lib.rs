@@ -20,6 +20,8 @@
 //! strongly non-uniform per-scanline cost), and [`resample`] reproduces the
 //! up-sampling tool the authors used to make the 512³/640³ datasets.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod classify;
 pub mod gradient;
 pub mod grid;

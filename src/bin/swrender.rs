@@ -9,8 +9,11 @@
 //!          --threads 8 --frames 24 --step 15 -o head_
 //! ```
 
+//! Exit codes: `0` success, `1` I/O failure, `2` usage / invalid arguments,
+//! `3` render fault (worker panic, scheduler stall).
+
 use shearwarp::prelude::*;
-use shearwarp::volume::io::{load_raw, load_volume};
+use shearwarp::volume::io::{try_load_raw, try_load_volume};
 
 struct Cli {
     phantom: Option<Phantom>,
@@ -106,7 +109,13 @@ fn parse() -> Cli {
                     }
                 })
             }
-            "--base" => cli.base = val("--base").parse().unwrap_or_else(|_| usage()),
+            "--base" => {
+                cli.base = val("--base").parse().unwrap_or_else(|_| usage());
+                if cli.base == 0 {
+                    eprintln!("--base must be >= 1");
+                    usage()
+                }
+            }
             "--seed" => cli.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--input" => {
                 cli.input = Some(val("--input"));
@@ -124,6 +133,10 @@ fn parse() -> Cli {
                 if v.len() != 3 {
                     usage()
                 }
+                if v.contains(&0) {
+                    eprintln!("--dims must all be >= 1, got {},{},{}", v[0], v[1], v[2]);
+                    usage()
+                }
                 cli.dims = Some([v[0], v[1], v[2]]);
             }
             "--transfer" => cli.transfer = val("--transfer"),
@@ -138,7 +151,13 @@ fn parse() -> Cli {
             }
             "--fast-classify" => cli.fast_classify = true,
             "--algorithm" => cli.algorithm = val("--algorithm"),
-            "--threads" => cli.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                cli.threads = val("--threads").parse().unwrap_or_else(|_| usage());
+                if cli.threads == 0 {
+                    eprintln!("--threads must be >= 1");
+                    usage()
+                }
+            }
             "--frames" => cli.frames = val("--frames").parse().unwrap_or_else(|_| usage()),
             "--step" => cli.step = val("--step").parse().unwrap_or_else(|_| usage()),
             "-o" | "--output" => cli.output = val("--output"),
@@ -156,20 +175,18 @@ fn main() {
     let cli = parse();
 
     // Load or generate the volume.
+    let fail = |e: Error| -> ! {
+        eprintln!("swrender: {e}");
+        std::process::exit(e.exit_code())
+    };
     let raw_vol = if let Some(path) = &cli.input {
-        load_volume(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1)
-        })
+        try_load_volume(path).unwrap_or_else(|e| fail(e))
     } else if let Some(path) = &cli.raw {
         let dims = cli.dims.unwrap_or_else(|| {
             eprintln!("--raw requires --dims X,Y,Z");
             usage()
         });
-        load_raw(path, dims).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1)
-        })
+        try_load_raw(path, dims).unwrap_or_else(|e| fail(e))
     } else {
         let ph = cli.phantom.expect("default phantom");
         let dims = ph.paper_dims(cli.base);
@@ -247,11 +264,14 @@ fn main() {
             view = view.with_perspective(d);
         }
         let t = std::time::Instant::now();
+        // Route faults by class: worker panics and scheduler stalls exit 3,
+        // bad views 2, rather than unwinding out of main.
         let image = match &mut renderer {
-            AnyRenderer::Serial(r) => r.render(&enc, &view),
-            AnyRenderer::Old(r) => r.render(&enc, &view),
-            AnyRenderer::New(r) => r.render(&enc, &view),
-        };
+            AnyRenderer::Serial(r) => r.try_render(&enc, &view),
+            AnyRenderer::Old(r) => r.try_render(&enc, &view),
+            AnyRenderer::New(r) => r.try_render(&enc, &view),
+        }
+        .unwrap_or_else(|e| fail(e));
         let path = if cli.frames > 1 {
             format!("{}{frame:04}.ppm", cli.output.trim_end_matches(".ppm"))
         } else {

@@ -45,11 +45,20 @@ pub use swr_raycast as raycast;
 pub use swr_render as render;
 pub use swr_volume as volume;
 
+pub use swr_error::{Error, Result};
+
+/// Deterministic fault injection for the parallel renderers (worker panics
+/// at the Nth task, corrupted/zeroed work profiles, truncated steal queues).
+pub mod fault {
+    pub use swr_core::fault::*;
+}
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use swr_core::{
-        NewParallelRenderer, OldParallelRenderer, ParallelConfig, RenderStats,
+        FaultPlan, NewParallelRenderer, OldParallelRenderer, ParallelConfig, RenderStats,
     };
+    pub use swr_error::{Error, Result};
     pub use swr_geom::{Affine2, Axis, Factorization, Mat4, Vec3, ViewSpec};
     pub use swr_render::{FinalImage, SerialRenderer, Tracer};
     pub use swr_volume::{

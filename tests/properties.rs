@@ -112,6 +112,62 @@ proptest! {
     }
 
     #[test]
+    fn more_procs_than_rows_still_tiles_exactly(
+        n in 1usize..8,
+        offset in 0usize..50,
+        extra in 1usize..40,
+    ) {
+        // Degenerate schedules: far more processors than scanlines. Every
+        // partition list must still tile the range (some partitions empty),
+        // for both the equal and the profiled splitter.
+        let procs = n + extra;
+        let rows = offset..offset + n;
+        let profile: Vec<u64> = (0..n as u64).map(|i| i * 37 + 1).collect();
+        for parts in [
+            equal_contiguous(rows.clone(), procs),
+            balanced_contiguous(rows.clone(), &profile, procs),
+        ] {
+            prop_assert_eq!(parts.len(), procs);
+            prop_assert_eq!(parts.first().unwrap().start, rows.start);
+            prop_assert_eq!(parts.last().unwrap().end, rows.end);
+            for w in parts.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start);
+            }
+            let covered: usize = parts.iter().map(|p| p.len()).sum();
+            prop_assert_eq!(covered, n);
+            prop_assert!(parts.iter().filter(|p| !p.is_empty()).count() <= n);
+        }
+    }
+
+    #[test]
+    fn all_zero_profile_partitions_like_equal(
+        n in 1usize..300,
+        offset in 0usize..100,
+        procs in 1usize..16,
+    ) {
+        // A zeroed profile (lost measurement, injected fault) must degrade
+        // to the equal-count split, not produce empty or lopsided bands.
+        let rows = offset..offset + n;
+        let parts = balanced_contiguous(rows.clone(), &vec![0u64; n], procs);
+        prop_assert_eq!(parts, equal_contiguous(rows, procs));
+    }
+
+    #[test]
+    fn single_scanline_image_is_schedulable(procs in 1usize..32, cost in 0u64..10_000) {
+        // One-scanline intermediate images (1-voxel slabs) must partition
+        // into exactly one non-empty band regardless of processor count.
+        let parts = balanced_contiguous(0..1, &[cost], procs);
+        prop_assert_eq!(parts.len(), procs);
+        let nonempty: Vec<_> = parts.iter().filter(|p| !p.is_empty()).collect();
+        prop_assert_eq!(nonempty.len(), 1);
+        prop_assert_eq!(nonempty[0].clone(), 0..1);
+        // And the chunking of such a partition is a single one-row chunk.
+        let chunks = shearwarp::core::partition::partition_chunks(&parts, 16);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, 1);
+    }
+
+    #[test]
     fn interleaved_chunks_cover_once(n in 1usize..400, chunk in 1usize..20, procs in 1usize..10) {
         let queues = interleaved_chunks(0..n, chunk, procs);
         let mut seen = vec![0u8; n];

@@ -88,16 +88,49 @@ fn perspective_eye_too_close_rejected() {
     let _ = v.final_image_size();
 }
 
+/// Deletes the wrapped file on drop, so a failing assertion between write
+/// and cleanup cannot leak the temp file into later runs.
+struct TempFile(std::path::PathBuf);
+
+impl TempFile {
+    fn new(tag: &str) -> Self {
+        // Process-unique name: parallel test runs (or concurrent CI jobs
+        // sharing a tmpdir) must not collide on a fixed filename.
+        TempFile(std::env::temp_dir().join(format!(
+            "swr_robustness_{tag}_{}.raw",
+            std::process::id()
+        )))
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
 #[test]
 fn corrupt_volume_files_are_rejected() {
     use shearwarp::volume::io::{load_raw, read_svol};
     assert!(read_svol(&b"garbage"[..]).is_err(), "short garbage");
     assert!(read_svol(&b"SWVOL1\0\0tooshort"[..]).is_err(), "truncated header");
     // Raw file with mismatched dims.
-    let dir = std::env::temp_dir().join("swr_robustness.raw");
-    std::fs::write(&dir, vec![0u8; 100]).unwrap();
-    assert!(load_raw(&dir, [10, 10, 10]).is_err());
-    let _ = std::fs::remove_file(dir);
+    let tmp = TempFile::new("mismatch");
+    std::fs::write(&tmp.0, vec![0u8; 100]).unwrap();
+    assert!(load_raw(&tmp.0, [10, 10, 10]).is_err());
+}
+
+#[test]
+fn typed_io_errors_name_the_file_and_exit_code() {
+    use shearwarp::volume::io::{try_load_raw, try_load_volume};
+    let tmp = TempFile::new("typed");
+    std::fs::write(&tmp.0, vec![0u8; 100]).unwrap();
+    let e = try_load_raw(&tmp.0, [10, 10, 10]).expect_err("dims mismatch");
+    assert_eq!(e.exit_code(), 1);
+    assert!(e.to_string().contains("swr_robustness_typed"), "{e}");
+    let missing = std::env::temp_dir().join("swr_robustness_does_not_exist.svol");
+    let e = try_load_volume(&missing).expect_err("missing file");
+    assert!(matches!(e, Error::Io { .. }), "{e}");
 }
 
 #[test]
@@ -129,6 +162,81 @@ fn renderers_handle_fully_opaque_volumes() {
     assert!(serial.mean_luma() > 10.0);
     let old = OldParallelRenderer::new(ParallelConfig::with_procs(3)).render(&enc, &view);
     assert_eq!(serial, old);
+}
+
+#[test]
+fn deadlock_is_a_typed_error_on_the_result_api() {
+    // The same cyclic workload as above, but through try_replay: the caller
+    // gets Error::Deadlock naming the blocked processors instead of a panic.
+    let wl = FrameWorkload {
+        tasks: vec![work_task(10, 0, vec![1]), work_task(10, 0, vec![0])],
+        queues: vec![vec![0], vec![1]],
+        steal: StealPolicy::None,
+        barrier_between_phases: false,
+    };
+    let e = shearwarp::memsim::try_replay(&Platform::ideal_dsm(), &wl)
+        .expect_err("cycle must deadlock");
+    assert!(matches!(e, Error::Deadlock { .. }), "{e}");
+    assert!(e.to_string().contains("deadlock"), "{e}");
+    assert_eq!(e.exit_code(), 3);
+    let e = shearwarp::memsim::try_replay_svm(&SvmConfig::paper(), &wl)
+        .expect_err("SVM replay sees the same cycle");
+    assert!(matches!(e, Error::Deadlock { .. }), "{e}");
+}
+
+#[test]
+fn workload_validation_is_typed_on_the_result_api() {
+    let wl = FrameWorkload {
+        tasks: vec![work_task(10, 0, vec![0])],
+        queues: vec![vec![0]],
+        steal: StealPolicy::None,
+        barrier_between_phases: false,
+    };
+    let e = wl.try_validate().expect_err("self-dependency");
+    assert!(matches!(e, Error::InvalidWorkload { .. }), "{e}");
+    assert!(e.to_string().contains("depends on itself"), "{e}");
+
+    let wl = FrameWorkload {
+        tasks: vec![work_task(1, 0, vec![])],
+        queues: vec![vec![0], vec![]],
+        steal: StealPolicy::None,
+        barrier_between_phases: true,
+    };
+    let mut m = shearwarp::memsim::Machine::new(Platform::ideal_dsm(), 4);
+    let e = m.try_run_frame(&wl).expect_err("width mismatch");
+    assert!(e.to_string().contains("machine width mismatch"), "{e}");
+}
+
+#[test]
+fn zero_procs_is_a_typed_config_error() {
+    let dims = [12usize, 12, 12];
+    let raw = Volume::from_fn(dims, |_, _, _| 180);
+    let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::opaque_nonzero()));
+    let view = ViewSpec::new(dims).rotate_y(0.3);
+    let cfg = ParallelConfig::with_procs(0);
+    let e = NewParallelRenderer::new(cfg).try_render(&enc, &view).expect_err("nprocs = 0");
+    assert!(matches!(e, Error::InvalidConfig { .. }), "{e}");
+    assert_eq!(e.exit_code(), 2);
+    let e = OldParallelRenderer::new(cfg).try_render(&enc, &view).expect_err("nprocs = 0");
+    assert!(matches!(e, Error::InvalidConfig { .. }), "{e}");
+    // The heuristic chunk sizing itself must not divide by zero either.
+    assert!(cfg.effective_chunk_rows(256) >= 1);
+}
+
+#[test]
+fn invalid_views_are_typed_on_the_serial_result_api() {
+    let dims = [12usize, 12, 12];
+    let raw = Volume::from_fn(dims, |_, _, _| 180);
+    let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::opaque_nonzero()));
+    // A view built for different dimensions is rejected before rendering.
+    let view = ViewSpec::new([16, 16, 16]).rotate_y(0.3);
+    let e = SerialRenderer::new().try_render(&enc, &view).expect_err("dims mismatch");
+    assert!(matches!(e, Error::InvalidView { .. }), "{e}");
+    assert_eq!(e.exit_code(), 2);
+    // The matching view succeeds through the same API.
+    let view = ViewSpec::new(dims).rotate_y(0.3);
+    let img = SerialRenderer::new().try_render(&enc, &view).expect("valid view");
+    assert!(img.mean_luma() > 0.0);
 }
 
 #[test]

@@ -1,0 +1,15 @@
+//! Vendored stand-in for the scoped-thread slice of `crossbeam`.
+//!
+//! The workspace builds offline, so instead of the real crate it vendors the
+//! tiny API surface it actually uses: [`scope`] / [`thread::Scope::spawn`],
+//! implemented over `std::thread::scope`. Semantics match what the renderers
+//! rely on:
+//!
+//! * all spawned threads are joined before `scope` returns;
+//! * each spawned closure runs under `catch_unwind`, and the first captured
+//!   panic payload is surfaced as the `Err` value of [`scope`] (the real
+//!   crate propagates unjoined child panics the same way).
+
+pub mod thread;
+
+pub use thread::{scope, Scope};

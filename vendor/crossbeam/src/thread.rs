@@ -1,0 +1,94 @@
+//! Scoped threads with panic capture, mirroring `crossbeam::thread`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Panic payload of a child thread.
+pub type Payload = Box<dyn Any + Send + 'static>;
+
+/// Scope result: `Err` carries the first child-thread panic payload.
+pub type Result<T> = std::result::Result<T, Payload>;
+
+/// A scope handle for spawning threads that may borrow from the enclosing
+/// stack frame. Created by [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panics: Arc<Mutex<Vec<Payload>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. The closure receives the scope
+    /// handle again (so it can spawn nested work, as the real crate allows).
+    /// A panicking closure is contained; its payload is reported through the
+    /// enclosing [`scope`] call's return value.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        let panics = Arc::clone(&self.panics);
+        inner.spawn(move || {
+            let scope = Scope { inner, panics: Arc::clone(&panics) };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                let _ = f(&scope);
+            })) {
+                panics.lock().unwrap_or_else(|e| e.into_inner()).push(p);
+            }
+        });
+    }
+}
+
+/// Creates a scope, runs `f` in it, joins every spawned thread, and returns
+/// `f`'s value — or `Err` with the first panic payload if any child thread
+/// (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
+    let body = std::thread::scope(|s| {
+        let scope = Scope { inner: s, panics: Arc::clone(&panics) };
+        catch_unwind(AssertUnwindSafe(|| f(&scope)))
+    });
+    let mut collected = std::mem::take(
+        &mut *panics.lock().unwrap_or_else(|e| e.into_inner()),
+    );
+    match body {
+        Err(p) => Err(p),
+        Ok(r) if collected.is_empty() => Ok(r),
+        Ok(_) => Err(collected.swap_remove(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns_value() {
+        let counter = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn child_panic_is_reported_not_aborted() {
+        let survivors = AtomicUsize::new(0);
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+            s.spawn(|_| survivors.fetch_add(1, Ordering::Relaxed));
+        });
+        let payload = r.expect_err("panic must surface");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+        assert_eq!(survivors.load(Ordering::Relaxed), 1);
+    }
+}
