@@ -112,8 +112,8 @@ mod tests {
     #[test]
     fn full_flags() {
         let a = Args::parse_from(s(&[
-            "--base", "96", "--procs", "1,2,4", "--angle", "45", "--warmup", "2", "--chunk",
-            "8", "--csv",
+            "--base", "96", "--procs", "1,2,4", "--angle", "45", "--warmup", "2", "--chunk", "8",
+            "--csv",
         ]));
         assert_eq!(a.base, Some(96));
         assert_eq!(a.procs, Some(vec![1, 2, 4]));

@@ -3,8 +3,8 @@
 use crate::{view_at, FRAME_STEP_DEG};
 use swr_core::{capture_frame, CaptureConfig, CapturedFrame};
 use swr_memsim::{
-    replay_steady, replay_svm_steady, FrameWorkload, MissCounts, Platform, SimResult,
-    SvmConfig, SvmResult,
+    replay_steady, replay_svm_steady, FrameWorkload, MissCounts, Platform, SimResult, SvmConfig,
+    SvmResult,
 };
 use swr_volume::EncodedVolume;
 
@@ -66,14 +66,27 @@ impl AlgCapture {
         match alg {
             Alg::Old => {
                 let frame = capture_frame(enc, &view_at(dims, angle), cfg, false, false);
-                AlgCapture { alg, frame, profile: Vec::new() }
+                AlgCapture {
+                    alg,
+                    frame,
+                    profile: Vec::new(),
+                }
             }
             Alg::New => {
-                let prev =
-                    capture_frame(enc, &view_at(dims, angle - FRAME_STEP_DEG), cfg, true, false);
+                let prev = capture_frame(
+                    enc,
+                    &view_at(dims, angle - FRAME_STEP_DEG),
+                    cfg,
+                    true,
+                    false,
+                );
                 let frame = capture_frame(enc, &view_at(dims, angle), cfg, true, false);
                 let profile = fit_profile(&prev.profile, frame.factorization().inter_h);
-                AlgCapture { alg, frame, profile }
+                AlgCapture {
+                    alg,
+                    frame,
+                    profile,
+                }
             }
         }
     }

@@ -88,7 +88,10 @@ pub fn fig02(args: &Args) {
         args.csv,
     );
     let ratio = rc_tracer.total_cycles() as f64 / sw_tracer.total_cycles().max(1) as f64;
-    println!("modeled cycle ratio r-c/s-w = {ratio:.2} (wall {:.2})", rc_wall / sw_wall.max(1e-9));
+    println!(
+        "modeled cycle ratio r-c/s-w = {ratio:.2} (wall {:.2})",
+        rc_wall / sw_wall.max(1e-9)
+    );
 }
 
 /// Figure 4: old-algorithm speedups on Challenge / DASH / the simulator.
@@ -96,7 +99,11 @@ pub fn fig04(args: &Args) {
     let base = args.base_or(160);
     let procs = args.procs_or(&PROC_COUNTS);
     let enc = build_dataset(Phantom::MriBrain, base);
-    let platforms = [Platform::challenge(), Platform::dash(), Platform::ideal_dsm()];
+    let platforms = [
+        Platform::challenge(),
+        Platform::dash(),
+        Platform::ideal_dsm(),
+    ];
     let mut series = Vec::new();
     for pf in &platforms {
         let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &capture_cfg(args));
@@ -154,7 +161,10 @@ pub fn fig05(args: &Args) {
 /// Challenge.
 pub fn fig06(args: &Args) {
     let procs = args.procs_or(&PROC_COUNTS);
-    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let tiers = args
+        .base
+        .map(|b| vec![b])
+        .unwrap_or_else(|| SIZE_TIERS.to_vec());
     for pf in [Platform::dash(), Platform::challenge()] {
         let mut cols = Vec::new();
         for &base in &tiers {
@@ -177,7 +187,10 @@ pub fn fig06(args: &Args) {
             })
             .collect();
         print_table(
-            &format!("Figure 6 — old algorithm speedups per dataset size, {} (tiers {TIER_NAMES:?})", pf.name),
+            &format!(
+                "Figure 6 — old algorithm speedups per dataset size, {} (tiers {TIER_NAMES:?})",
+                pf.name
+            ),
             &header,
             &rows,
             args.csv,
@@ -236,7 +249,10 @@ pub fn fig08(args: &Args) {
 /// sets).
 pub fn fig09(args: &Args) {
     let procs = 32;
-    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let tiers = args
+        .base
+        .map(|b| vec![b])
+        .unwrap_or_else(|| SIZE_TIERS.to_vec());
     let sizes: Vec<usize> = (0..11).map(|i| 1024usize << i).collect(); // 1KB..1MB
     let mut cols = Vec::new();
     for &base in &tiers {
@@ -295,17 +311,20 @@ pub fn fig10(args: &Args) {
         let bar = "#".repeat((w as f64 / peak * 50.0).round() as usize);
         rows.push(vec![y.to_string(), w.to_string(), bar]);
     }
-    print_table("scanline work (sampled)", &["y", "work", "profile"], &rows, args.csv);
+    print_table(
+        "scanline work (sampled)",
+        &["y", "work", "profile"],
+        &rows,
+        args.csv,
+    );
 }
 
-fn compare_speedups(
-    title: &str,
-    phantom: Phantom,
-    platform: &Platform,
-    args: &Args,
-) {
+fn compare_speedups(title: &str, phantom: Phantom, platform: &Platform, args: &Args) {
     let procs = args.procs_or(&PROC_COUNTS);
-    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let tiers = args
+        .base
+        .map(|b| vec![b])
+        .unwrap_or_else(|| SIZE_TIERS.to_vec());
     let mut cols = Vec::new();
     let mut names = Vec::new();
     for &base in &tiers {
@@ -457,7 +476,13 @@ pub fn fig18(args: &Args) {
     let mut cols = Vec::new();
     for &p in &procs {
         let mut cap = AlgCapture::capture(Alg::New, &enc, args.angle, &capture_cfg(args));
-        cols.push(cache_size_curve(&mut cap, &Platform::ideal_dsm(), p, &sizes, args.warmup));
+        cols.push(cache_size_curve(
+            &mut cap,
+            &Platform::ideal_dsm(),
+            p,
+            &sizes,
+            args.warmup,
+        ));
     }
     let names: Vec<String> = procs.iter().map(|p| format!("{p}proc")).collect();
     let mut header = vec!["cache"];
@@ -481,12 +506,21 @@ pub fn fig18(args: &Args) {
         args.csv,
     );
     // (b) Different datasets at 32 processors.
-    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let tiers = args
+        .base
+        .map(|b| vec![b])
+        .unwrap_or_else(|| SIZE_TIERS.to_vec());
     let mut cols = Vec::new();
     for &b in &tiers {
         let e = build_dataset(Phantom::MriBrain, b);
         let mut cap = AlgCapture::capture(Alg::New, &e, args.angle, &capture_cfg(args));
-        cols.push(cache_size_curve(&mut cap, &Platform::ideal_dsm(), 32, &sizes, args.warmup));
+        cols.push(cache_size_curve(
+            &mut cap,
+            &Platform::ideal_dsm(),
+            32,
+            &sizes,
+            args.warmup,
+        ));
     }
     let names: Vec<String> = tiers.iter().map(|b| format!("base{b}")).collect();
     let mut header = vec!["cache"];
@@ -524,7 +558,11 @@ pub fn fig19(args: &Args) {
         cols.push(speedup_series(&mut cap, &pf, &procs, args.warmup));
     }
     for (i, &p) in procs.iter().enumerate() {
-        rows.push(vec![p.to_string(), f2(cols[0][i].speedup), f2(cols[1][i].speedup)]);
+        rows.push(vec![
+            p.to_string(),
+            f2(cols[0][i].speedup),
+            f2(cols[1][i].speedup),
+        ]);
     }
     print_table(
         &format!("Figure 19 — old vs new speedups on Origin2000, MRI large ({base} base)"),
@@ -537,7 +575,10 @@ pub fn fig19(args: &Args) {
 /// Figure 20: old vs new speedups on the SVM platform.
 pub fn fig20(args: &Args) {
     let procs = args.procs_or(&[1, 2, 4, 8, 16]);
-    let tiers = args.base.map(|b| vec![b]).unwrap_or_else(|| SIZE_TIERS.to_vec());
+    let tiers = args
+        .base
+        .map(|b| vec![b])
+        .unwrap_or_else(|| SIZE_TIERS.to_vec());
     let cfg = SvmConfig::paper();
     let mut cols = Vec::new();
     let mut names = Vec::new();
@@ -593,7 +634,16 @@ fn svm_breakdown_fig(title: &str, alg: Alg, args: &Args) {
     }
     print_table(
         title,
-        &["procs", "compute", "data wait", "barrier", "lock", "protocol", "faults", "diffs"],
+        &[
+            "procs",
+            "compute",
+            "data wait",
+            "barrier",
+            "lock",
+            "protocol",
+            "faults",
+            "diffs",
+        ],
         &rows,
         args.csv,
     );
@@ -674,7 +724,10 @@ pub fn ablations(args: &Args) {
     // (a) Old algorithm task-size sweep ("determined empirically").
     let mut rows = Vec::new();
     for chunk in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = CaptureConfig { chunk_rows: chunk, ..Default::default() };
+        let cfg = CaptureConfig {
+            chunk_rows: chunk,
+            ..Default::default()
+        };
         let mut cap = AlgCapture::capture(Alg::Old, &enc, args.angle, &cfg);
         let r = replay_steady(&pf, &cap.workload(p), args.warmup);
         rows.push(vec![
@@ -695,7 +748,10 @@ pub fn ablations(args: &Args) {
     // overhead observation).
     let mut rows = Vec::new();
     for chunk in [1usize, 4, 8] {
-        let cfg = CaptureConfig { chunk_rows: chunk, ..Default::default() };
+        let cfg = CaptureConfig {
+            chunk_rows: chunk,
+            ..Default::default()
+        };
         let mut cap = AlgCapture::capture(Alg::New, &enc, args.angle, &cfg);
         let r = replay_steady(&pf, &cap.workload(p), args.warmup);
         rows.push(vec![
@@ -717,7 +773,13 @@ pub fn ablations(args: &Args) {
     let mut rows = Vec::new();
     for delta in [3.0f64, 9.0, 15.0, 30.0, 60.0] {
         let cfg = capture_cfg(args);
-        let prev = capture_frame(&enc, &view_at(enc.dims(), args.angle - delta), &cfg, true, false);
+        let prev = capture_frame(
+            &enc,
+            &view_at(enc.dims(), args.angle - delta),
+            &cfg,
+            true,
+            false,
+        );
         let mut frame = capture_frame(&enc, &view_at(enc.dims(), args.angle), &cfg, true, false);
         let profile = fit_profile(&prev.profile, frame.factorization().inter_h);
         let wl = frame.new_workload(p, &profile);
@@ -726,7 +788,8 @@ pub fn ablations(args: &Args) {
             format!("{delta}"),
             r.total_cycles.to_string(),
             r.steals.to_string(),
-            pct(r.sync_total() as f64 / (r.busy_total() + r.mem_total() + r.sync_total()).max(1) as f64),
+            pct(r.sync_total() as f64
+                / (r.busy_total() + r.mem_total() + r.sync_total()).max(1) as f64),
         ]);
     }
     print_table(
@@ -751,7 +814,10 @@ pub fn ablations(args: &Args) {
     // (e) Profiled vs equal-count contiguous partitions.
     let mut rows = Vec::new();
     for profiled in [true, false] {
-        let cfg = CaptureConfig { profiled_partition: profiled, ..capture_cfg(args) };
+        let cfg = CaptureConfig {
+            profiled_partition: profiled,
+            ..capture_cfg(args)
+        };
         let mut cap = AlgCapture::capture(Alg::New, &enc, args.angle, &cfg);
         let r = replay_steady(&pf, &cap.workload(p), args.warmup);
         rows.push(vec![
@@ -772,7 +838,13 @@ pub fn ablations(args: &Args) {
     let mut rows = Vec::new();
     for clip in [true, false] {
         let cfg = capture_cfg(args);
-        let prev = capture_frame(&enc, &view_at(enc.dims(), args.angle - 3.0), &cfg, clip, false);
+        let prev = capture_frame(
+            &enc,
+            &view_at(enc.dims(), args.angle - 3.0),
+            &cfg,
+            clip,
+            false,
+        );
         let mut frame = capture_frame(&enc, &view_at(enc.dims(), args.angle), &cfg, clip, false);
         let profile = fit_profile(&prev.profile, frame.factorization().inter_h);
         let wl = frame.new_workload(p, &profile);

@@ -20,8 +20,8 @@ pub mod figs;
 pub mod table;
 
 pub use args::Args;
-pub use figs::*;
 pub use exp::*;
+pub use figs::*;
 pub use table::*;
 
 use swr_geom::ViewSpec;

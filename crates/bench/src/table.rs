@@ -66,7 +66,12 @@ mod tests {
             &[vec!["1".into(), "2".into()], vec!["10".into(), "x".into()]],
             false,
         );
-        print_table("demo-csv", &["a", "b"], &[vec!["1".into(), "2".into()]], true);
+        print_table(
+            "demo-csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+            true,
+        );
     }
 
     #[test]

@@ -97,9 +97,36 @@ pub struct CapturedFrame {
     /// height) — usable as the *next* frame's prediction profile.
     pub profile: Vec<u64>,
     cfg: CaptureConfig,
-    /// Scratch buffers whose addresses appear in traces must stay allocated
-    /// so later allocations cannot alias them.
-    keepalive: Vec<Box<dyn std::any::Any>>,
+    /// Scratch buffers whose addresses appear in traces. They must stay
+    /// allocated (a later allocation at a freed address would alias the
+    /// traced one), so they are *reused in place* across assemblies — same
+    /// address, same size — instead of accumulating one copy per call.
+    scratch: TraceScratch,
+}
+
+/// Reusable trace scratch. The final-image and cumulative-profile buffers
+/// have sizes fixed by the captured factorization, so their slots are filled
+/// once and reused forever; only the per-processor totals buffer depends on
+/// `nprocs`, and a size change retires the old buffer into `retired` (kept
+/// alive, never freed) rather than dropping it. Memory held is therefore
+/// bounded by the number of *distinct* processor counts used, not by the
+/// number of workloads assembled.
+#[derive(Default)]
+struct TraceScratch {
+    final_img: Option<Box<FinalImage>>,
+    cum: Option<Vec<u64>>,
+    totals: Option<Vec<u64>>,
+    retired: Vec<Box<dyn std::any::Any>>,
+}
+
+impl TraceScratch {
+    /// Live scratch allocations: filled slots plus retired buffers.
+    fn allocations(&self) -> usize {
+        usize::from(self.final_img.is_some())
+            + usize::from(self.cum.is_some())
+            + usize::from(self.totals.is_some())
+            + self.retired.len()
+    }
 }
 
 /// Captures the compositing phase of one frame.
@@ -114,8 +141,7 @@ pub fn capture_frame(
     clip: bool,
     profile_overhead: bool,
 ) -> CapturedFrame {
-    try_capture_frame(enc, view, cfg, clip, profile_overhead)
-        .unwrap_or_else(|e| panic!("{e}"))
+    try_capture_frame(enc, view, cfg, clip, profile_overhead).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`capture_frame`] returning a typed error instead of panicking on an
@@ -145,7 +171,10 @@ pub fn try_capture_frame(
     } else {
         0..h
     };
-    let opts = CompositeOpts { profile: profile_overhead, ..Default::default() };
+    let opts = CompositeOpts {
+        profile: profile_overhead,
+        ..Default::default()
+    };
     let mut profile = vec![0u64; h];
     let mut atoms = Vec::new();
     let mut start = range.start;
@@ -170,7 +199,7 @@ pub fn try_capture_frame(
         range,
         profile,
         cfg: *cfg,
-        keepalive: Vec::new(),
+        scratch: TraceScratch::default(),
     })
 }
 
@@ -188,6 +217,23 @@ impl CapturedFrame {
     /// The composited scanline range.
     pub fn range(&self) -> Range<usize> {
         self.range.clone()
+    }
+
+    /// Scratch allocations currently held for trace-address stability.
+    /// Repeated workload assembly reuses buffers in place, so this stays
+    /// constant unless the processor count changes (which retires one
+    /// buffer) — the regression guard against unbounded keepalive growth.
+    pub fn scratch_allocations(&self) -> usize {
+        self.scratch.allocations()
+    }
+
+    /// Takes the final-image scratch (right size guaranteed: the
+    /// factorization is fixed for the life of the capture).
+    fn take_final_scratch(&mut self) -> Box<FinalImage> {
+        self.scratch
+            .final_img
+            .take()
+            .unwrap_or_else(|| Box::new(FinalImage::new(self.fact.final_w, self.fact.final_h)))
     }
 
     /// Assembles the **old** algorithm's workload for `nprocs` processors:
@@ -210,7 +256,7 @@ impl CapturedFrame {
         }
 
         // Trace the warp tiles against the composited intermediate image.
-        let mut scratch = Box::new(FinalImage::new(self.fact.final_w, self.fact.final_h));
+        let mut scratch = self.take_final_scratch();
         {
             let shared = SharedFinal::new(&mut scratch);
             let mut i = 0usize;
@@ -236,7 +282,7 @@ impl CapturedFrame {
                 }
             }
         }
-        self.keepalive.push(scratch);
+        self.scratch.final_img = Some(scratch);
 
         let wl = FrameWorkload {
             tasks,
@@ -244,7 +290,10 @@ impl CapturedFrame {
             steal: self.cfg.policy(),
             barrier_between_phases: true,
         };
-        debug_assert!(wl.try_validate().is_ok(), "assembled old workload must validate");
+        debug_assert!(
+            wl.try_validate().is_ok(),
+            "assembled old workload must validate"
+        );
         wl
     }
 
@@ -278,8 +327,24 @@ impl CapturedFrame {
         // Phase 0: partitioning (parallel prefix over the profile region).
         // Each processor scans its block of the profile and writes the
         // cumulative array; a small combine follows.
-        let cum = Box::new(vec![0u64; profile.len()]);
-        let totals = Box::new(vec![0u64; nprocs]);
+        let cum = match self.scratch.cum.take() {
+            Some(c) if c.len() == profile.len() => c,
+            stale => {
+                if let Some(c) = stale {
+                    self.scratch.retired.push(Box::new(c));
+                }
+                vec![0u64; profile.len()]
+            }
+        };
+        let totals = match self.scratch.totals.take() {
+            Some(t) if t.len() == nprocs => t,
+            stale => {
+                if let Some(t) = stale {
+                    self.scratch.retired.push(Box::new(t));
+                }
+                vec![0u64; nprocs]
+            }
+        };
         let region = self.range.clone();
         let blocks = equal_contiguous(region.clone(), nprocs);
         let mut partition_ids = Vec::with_capacity(nprocs);
@@ -310,8 +375,8 @@ impl CapturedFrame {
                 label: TaskLabel::Partition,
             });
         }
-        self.keepalive.push(cum);
-        self.keepalive.push(totals);
+        self.scratch.cum = Some(cum);
+        self.scratch.totals = Some(totals);
 
         // Phase 1: compositing chunks, contiguous per processor.
         // atom index → composite task id, for warp dependencies.
@@ -333,7 +398,7 @@ impl CapturedFrame {
         // Phase 2: per-band warps. Band rows = the partition's rows; the
         // bilinear footprint also reads the first row of the next band, so
         // that atom is a dependency too.
-        let mut scratch = Box::new(FinalImage::new(self.fact.final_w, self.fact.final_h));
+        let mut scratch = self.take_final_scratch();
         {
             let shared = SharedFinal::new(&mut scratch);
             for (p, part) in parts.iter().enumerate() {
@@ -350,7 +415,13 @@ impl CapturedFrame {
                 };
                 let band_hi = self.atoms[part.end - 1].0.end;
                 let mut tracer = CollectingTracer::new();
-                warp_row_band(&self.inter, &self.fact, &shared, (band_lo, band_hi), &mut tracer);
+                warp_row_band(
+                    &self.inter,
+                    &self.fact,
+                    &shared,
+                    (band_lo, band_hi),
+                    &mut tracer,
+                );
                 let mut deps: Vec<u32> = part.clone().map(|a| atom_task[a]).collect();
                 if part.end < natoms {
                     deps.push(atom_task[part.end]); // the boundary row's atom
@@ -365,7 +436,7 @@ impl CapturedFrame {
                 });
             }
         }
-        self.keepalive.push(scratch);
+        self.scratch.final_img = Some(scratch);
 
         let wl = FrameWorkload {
             tasks,
@@ -373,7 +444,10 @@ impl CapturedFrame {
             steal: self.cfg.policy(),
             barrier_between_phases: false,
         };
-        debug_assert!(wl.try_validate().is_ok(), "assembled new workload must validate");
+        debug_assert!(
+            wl.try_validate().is_ok(),
+            "assembled new workload must validate"
+        );
         wl
     }
 }
@@ -387,7 +461,10 @@ mod tests {
     fn scene() -> (EncodedVolume, ViewSpec) {
         let vol = Phantom::MriBrain.generate([20, 20, 14], 5);
         let c = classify(&vol, &Phantom::MriBrain.default_transfer());
-        (EncodedVolume::encode(&c), ViewSpec::new([20, 20, 14]).rotate_y(0.4))
+        (
+            EncodedVolume::encode(&c),
+            ViewSpec::new([20, 20, 14]).rotate_y(0.4),
+        )
     }
 
     #[test]
@@ -453,8 +530,16 @@ mod tests {
         let wl = cf.new_workload(3, &profile);
         wl.validate();
         assert!(!wl.barrier_between_phases);
-        let parts = wl.tasks.iter().filter(|t| t.label == TaskLabel::Partition).count();
-        let warps = wl.tasks.iter().filter(|t| t.label == TaskLabel::Warp).count();
+        let parts = wl
+            .tasks
+            .iter()
+            .filter(|t| t.label == TaskLabel::Partition)
+            .count();
+        let warps = wl
+            .tasks
+            .iter()
+            .filter(|t| t.label == TaskLabel::Warp)
+            .count();
         assert_eq!(parts, 3);
         assert!((1..=3).contains(&warps));
         // Every composite task depends on every partition task.
@@ -465,6 +550,46 @@ mod tests {
         for t in wl.tasks.iter().filter(|t| t.label == TaskLabel::Warp) {
             assert!(!t.deps.is_empty());
         }
+    }
+
+    #[test]
+    fn repeated_assembly_does_not_grow_scratch() {
+        let (enc, view) = scene();
+        let mut cf = capture_frame(&enc, &view, &CaptureConfig::default(), true, false);
+        let profile = cf.profile.clone();
+        assert_eq!(cf.scratch_allocations(), 0, "nothing held before assembly");
+        cf.old_workload(4);
+        cf.new_workload(4, &profile);
+        let baseline = cf.scratch_allocations();
+        // The old keepalive design leaked one buffer set per call; reuse
+        // must keep the count flat over many assemblies.
+        for _ in 0..16 {
+            cf.old_workload(4);
+            cf.new_workload(4, &profile);
+        }
+        assert_eq!(cf.scratch_allocations(), baseline);
+        // Changing the processor count retires the totals buffer once...
+        cf.new_workload(8, &profile);
+        let grown = cf.scratch_allocations();
+        assert_eq!(grown, baseline + 1);
+        // ...and then the new size is reused too.
+        for _ in 0..8 {
+            cf.new_workload(8, &profile);
+        }
+        assert_eq!(cf.scratch_allocations(), grown);
+    }
+
+    #[test]
+    fn reused_scratch_yields_identical_workloads() {
+        let (enc, view) = scene();
+        let mut cf = capture_frame(&enc, &view, &CaptureConfig::default(), true, false);
+        let profile = cf.profile.clone();
+        // Buffer reuse means the traced addresses are stable call-to-call:
+        // replaying two assemblies of the same workload must agree exactly.
+        let a = replay(&Platform::ideal_dsm(), &cf.new_workload(3, &profile));
+        let b = replay(&Platform::ideal_dsm(), &cf.new_workload(3, &profile));
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.misses.total(), b.misses.total());
     }
 
     #[test]

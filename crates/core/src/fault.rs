@@ -56,7 +56,10 @@ fn splitmix64(state: &mut u64) -> u64 {
 impl FaultPlan {
     /// A plan with the given seed and no faults armed.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, ..Default::default() }
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Arms a worker panic at the given 0-based global task index.

@@ -92,6 +92,7 @@ pub mod new_renderer;
 pub mod old_renderer;
 pub mod partition;
 pub mod prefix;
+pub(crate) mod telem;
 
 pub use capture::{capture_frame, try_capture_frame, CaptureConfig, CapturedFrame};
 pub use fault::FaultPlan;
@@ -100,6 +101,7 @@ pub use old_renderer::OldParallelRenderer;
 pub use partition::{balanced_contiguous, equal_contiguous, interleaved_chunks, make_tiles};
 pub use prefix::{parallel_prefix_sum, prefix_sum};
 pub use swr_error::Error;
+pub use swr_telemetry::{FrameTelemetry, Json, MetricsRegistry};
 
 use std::time::Duration;
 
@@ -160,7 +162,10 @@ impl Default for ParallelConfig {
 impl ParallelConfig {
     /// Config with a given processor count and defaults otherwise.
     pub fn with_procs(nprocs: usize) -> Self {
-        ParallelConfig { nprocs, ..Default::default() }
+        ParallelConfig {
+            nprocs,
+            ..Default::default()
+        }
     }
 
     /// Checks the configuration, returning
@@ -228,6 +233,57 @@ pub struct RenderStats {
     pub degraded: bool,
 }
 
+impl RenderStats {
+    /// Mirrors every field into a [`MetricsRegistry`]: seconds and flags as
+    /// gauges, monotonic quantities as counters. The registry names are the
+    /// stable export surface (`swrender --metrics`).
+    pub fn fill_metrics(&self, m: &mut MetricsRegistry) {
+        m.set_gauge("stats.composite_secs", self.composite_secs);
+        m.set_gauge("stats.warp_secs", self.warp_secs);
+        m.inc("stats.steals", self.steals);
+        m.set_gauge("stats.profiled", f64::from(u8::from(self.profiled)));
+        m.inc("stats.composited_pixels", self.composited_pixels);
+        m.inc("stats.worker_panics", self.worker_panics);
+        m.inc("stats.repaired_rows", self.repaired_rows);
+        m.set_gauge("stats.degraded", f64::from(u8::from(self.degraded)));
+    }
+
+    /// Machine-readable form of the stats, round-trippable through
+    /// [`RenderStats::from_json`].
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("composite_secs", Json::F64(self.composite_secs))
+            .with("warp_secs", Json::F64(self.warp_secs))
+            .with("steals", Json::U64(self.steals))
+            .with("profiled", Json::Bool(self.profiled))
+            .with("composited_pixels", Json::U64(self.composited_pixels))
+            .with("worker_panics", Json::U64(self.worker_panics))
+            .with("repaired_rows", Json::U64(self.repaired_rows))
+            .with("degraded", Json::Bool(self.degraded))
+    }
+
+    /// Parses the object produced by [`RenderStats::to_json`]. Missing keys
+    /// default to zero/false; a non-object is an error.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if v.as_obj().is_none() {
+            return Err("RenderStats: expected a JSON object".into());
+        }
+        let f = |k: &str| v.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        let u = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let b = |k: &str| matches!(v.get(k), Some(Json::Bool(true)));
+        Ok(RenderStats {
+            composite_secs: f("composite_secs"),
+            warp_secs: f("warp_secs"),
+            steals: u("steals"),
+            profiled: b("profiled"),
+            composited_pixels: u("composited_pixels"),
+            worker_panics: u("worker_panics"),
+            repaired_rows: u("repaired_rows"),
+            degraded: b("degraded"),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,7 +294,10 @@ mod tests {
         let c = cfg.effective_chunk_rows(512);
         assert!((1..=16).contains(&c));
         // Explicit setting wins.
-        let cfg = ParallelConfig { chunk_rows: 3, ..cfg };
+        let cfg = ParallelConfig {
+            chunk_rows: 3,
+            ..cfg
+        };
         assert_eq!(cfg.effective_chunk_rows(512), 3);
         // Tiny images still get at least one row per chunk.
         let cfg = ParallelConfig::with_procs(32);
@@ -258,12 +317,30 @@ mod tests {
     fn config_validation_types_each_degenerate_setting() {
         assert!(ParallelConfig::default().try_validate().is_ok());
         let bad = [
-            ParallelConfig { nprocs: 0, ..Default::default() },
-            ParallelConfig { tile_size: 0, ..Default::default() },
-            ParallelConfig { profile_every: 0, ..Default::default() },
-            ParallelConfig { profile_every_degrees: Some(0.0), ..Default::default() },
-            ParallelConfig { profile_every_degrees: Some(f64::NAN), ..Default::default() },
-            ParallelConfig { watchdog_timeout: Some(Duration::ZERO), ..Default::default() },
+            ParallelConfig {
+                nprocs: 0,
+                ..Default::default()
+            },
+            ParallelConfig {
+                tile_size: 0,
+                ..Default::default()
+            },
+            ParallelConfig {
+                profile_every: 0,
+                ..Default::default()
+            },
+            ParallelConfig {
+                profile_every_degrees: Some(0.0),
+                ..Default::default()
+            },
+            ParallelConfig {
+                profile_every_degrees: Some(f64::NAN),
+                ..Default::default()
+            },
+            ParallelConfig {
+                watchdog_timeout: Some(Duration::ZERO),
+                ..Default::default()
+            },
         ];
         for cfg in bad {
             let e = cfg.try_validate().expect_err("must be rejected");
@@ -271,7 +348,50 @@ mod tests {
             assert_eq!(e.exit_code(), 2);
         }
         // Disabling the watchdog entirely is allowed.
-        let cfg = ParallelConfig { watchdog_timeout: None, ..Default::default() };
+        let cfg = ParallelConfig {
+            watchdog_timeout: None,
+            ..Default::default()
+        };
         assert!(cfg.try_validate().is_ok());
+    }
+
+    #[test]
+    fn render_stats_round_trip_through_json() {
+        let stats = RenderStats {
+            composite_secs: 0.125,
+            warp_secs: 0.0625,
+            steals: 7,
+            profiled: true,
+            composited_pixels: 123_456,
+            worker_panics: 1,
+            repaired_rows: 42,
+            degraded: true,
+        };
+        let text = stats.to_json().to_string();
+        let back = RenderStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.composite_secs, stats.composite_secs);
+        assert_eq!(back.warp_secs, stats.warp_secs);
+        assert_eq!(back.steals, stats.steals);
+        assert_eq!(back.profiled, stats.profiled);
+        assert_eq!(back.composited_pixels, stats.composited_pixels);
+        assert_eq!(back.worker_panics, stats.worker_panics);
+        assert_eq!(back.repaired_rows, stats.repaired_rows);
+        assert_eq!(back.degraded, stats.degraded);
+        // Defaults fill in for absent keys; non-objects are rejected.
+        assert!(RenderStats::from_json(&Json::parse("{}").unwrap()).is_ok());
+        assert!(RenderStats::from_json(&Json::U64(3)).is_err());
+    }
+
+    #[test]
+    fn stats_metrics_names_are_stable() {
+        let mut m = MetricsRegistry::new();
+        RenderStats {
+            steals: 2,
+            ..Default::default()
+        }
+        .fill_metrics(&mut m);
+        assert_eq!(m.counter("stats.steals"), 2);
+        assert!(m.gauge("stats.composite_secs").is_some());
+        assert!(m.gauge("stats.degraded").is_some());
     }
 }

@@ -35,6 +35,7 @@
 use crate::fault::FaultPlan;
 use crate::partition::{balanced_contiguous, equal_contiguous, partition_chunks};
 use crate::prefix::parallel_prefix_sum;
+use crate::telem;
 use crate::{Error, ParallelConfig, RenderStats};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -47,6 +48,7 @@ use swr_render::{
     composite::occupied_y_bounds, composite_scanline_slice, warp_row_band, CompositeOpts,
     FinalImage, IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
 };
+use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind};
 use swr_volume::EncodedVolume;
 
 /// Row-claim sentinel: no worker ever claimed the row.
@@ -71,6 +73,11 @@ pub struct NewParallelRenderer {
     pub composite_opts: CompositeOpts,
     /// Deterministic fault injection for the containment tests.
     pub fault: Option<FaultPlan>,
+    /// Telemetry of the most recent frame: per-worker spans plus the
+    /// metrics registry. `None` until a frame completes. With the
+    /// `telemetry` feature off the spans are absent (recording compiles
+    /// away) but the metrics registry is still populated from the stats.
+    pub last_telemetry: Option<FrameTelemetry>,
     inter: Option<IntermediateImage>,
     profile: Vec<u64>,
     profile_valid: bool,
@@ -83,7 +90,10 @@ pub struct NewParallelRenderer {
 impl NewParallelRenderer {
     /// Creates a renderer with the given configuration.
     pub fn new(cfg: ParallelConfig) -> Self {
-        NewParallelRenderer { cfg, ..Default::default() }
+        NewParallelRenderer {
+            cfg,
+            ..Default::default()
+        }
     }
 
     /// The per-scanline profile from the last profiled frame, if any.
@@ -108,7 +118,8 @@ impl NewParallelRenderer {
         enc: &EncodedVolume,
         view: &ViewSpec,
     ) -> (FinalImage, RenderStats) {
-        self.try_render_with_stats(enc, view).unwrap_or_else(|e| panic!("{e}"))
+        self.try_render_with_stats(enc, view)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Renders one frame, returning a typed error on invalid inputs,
@@ -164,17 +175,20 @@ impl NewParallelRenderer {
         // rotated far enough since the last profiled frame (§4.2).
         let have_profile = self.profile_valid && self.profile.len() == h;
         let stale = match (self.cfg.profile_every_degrees, &self.last_profile_model) {
-            (Some(deg), Some(last)) => {
-                last.rotation_angle_to(&view.model).to_degrees() >= deg
-            }
+            (Some(deg), Some(last)) => last.rotation_angle_to(&view.model).to_degrees() >= deg,
             (Some(_), None) => true,
             (None, _) => self.frames_since_profile + 1 >= self.cfg.profile_every,
         };
         let profiling = self.cfg.profiled_partition && (!have_profile || stale);
         stats.profiled = profiling;
 
+        let collect = telem::collect();
+        let clock = FrameClock::new();
+        let mut driver = telem::driver_log();
+        let logs = telem::worker_logs(nprocs);
+
         // §4.3: contiguous, predictively balanced partitions.
-        let t0 = std::time::Instant::now();
+        let part_start = clock.now_us();
         let partitions: Vec<Range<usize>> = if self.cfg.profiled_partition && have_profile {
             let mut cum_profile: Vec<u64> = self.profile[region.clone()].to_vec();
             if let Some(fp) = &self.fault {
@@ -194,16 +208,24 @@ impl NewParallelRenderer {
             equal_contiguous(region.clone(), nprocs)
         };
         let chunk_rows = self.cfg.effective_chunk_rows(region.len().max(1));
-        let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
-            partition_chunks(&partitions, chunk_rows)
-                .into_iter()
-                .map(|v| Mutex::new(v.into()))
-                .collect();
+        let queues: Vec<Mutex<VecDeque<Range<usize>>>> = partition_chunks(&partitions, chunk_rows)
+            .into_iter()
+            .map(|v| Mutex::new(v.into()))
+            .collect();
         if let Some(n) = self.fault.as_ref().and_then(|fp| fp.truncate_queue) {
             let mut q = queues[0].lock();
             for _ in 0..n {
                 q.pop_back();
             }
+        }
+        if collect {
+            driver.record(
+                SpanKind::Partition,
+                part_start,
+                clock.now_us(),
+                region.start as u32,
+                region.len() as u32,
+            );
         }
 
         // Per-row completion flags; rows outside the composited region are
@@ -212,8 +234,7 @@ impl NewParallelRenderer {
             .map(|y| AtomicBool::new(!region.contains(&y)))
             .collect();
         // Which worker last claimed each row (stall diagnostics).
-        let row_claim: Vec<AtomicUsize> =
-            (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
+        let row_claim: Vec<AtomicUsize> = (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
         // Profile collection target (relaxed adds; sums are deterministic).
         let new_profile: Vec<AtomicU64> = if profiling {
             (0..h).map(|_| AtomicU64::new(0)).collect()
@@ -227,12 +248,17 @@ impl NewParallelRenderer {
         let active = AtomicUsize::new(nprocs);
         let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         let stalled: Mutex<Option<(usize, u64)>> = Mutex::new(None);
-        let warp_done: Vec<AtomicBool> =
-            (0..nprocs).map(|_| AtomicBool::new(false)).collect();
+        let warp_done: Vec<AtomicBool> = (0..nprocs).map(|_| AtomicBool::new(false)).collect();
 
         let steals = AtomicU64::new(0);
         let composited = AtomicU64::new(0);
-        let opts = CompositeOpts { profile: profiling, ..self.composite_opts };
+        // Waits entered with the watchdog timeout armed (a backstop metric:
+        // nonzero arms with zero stalls means the watchdog never fired).
+        let watchdog_arms = AtomicU64::new(0);
+        let opts = CompositeOpts {
+            profile: profiling,
+            ..self.composite_opts
+        };
         let watchdog = self.cfg.watchdog_timeout;
         {
             let shared = SharedIntermediate::new(inter);
@@ -256,14 +282,32 @@ impl NewParallelRenderer {
                     let panics = &panics;
                     let stalled = &stalled;
                     let warp_done = &warp_done;
+                    let watchdog_arms = &watchdog_arms;
+                    let logs = &logs;
+                    let clock = &clock;
                     let steal = self.cfg.steal;
                     s.spawn(move |_| {
+                        // Checked out once per frame; recording into it is
+                        // lock-free from here on.
+                        let mut wlog = logs[p].lock();
+                        let wlog = &mut *wlog;
                         let compose = catch_unwind(AssertUnwindSafe(|| {
                             let mut tracer = NullTracer;
                             let mut local_pixels = 0u64;
-                            while let Some(rows) =
+                            while let Some((rows, victim)) =
                                 crate::old_renderer::pop_or_steal(p, queues, steal, steals)
                             {
+                                let chunk_start = if collect { clock.now_us() } else { 0 };
+                                if let Some(v) = victim {
+                                    if collect {
+                                        wlog.mark(
+                                            SpanKind::Steal,
+                                            chunk_start,
+                                            v as u32,
+                                            rows.start as u32,
+                                        );
+                                    }
+                                }
                                 if let Some(fp) = fault {
                                     fp.on_task(p);
                                 }
@@ -278,14 +322,34 @@ impl NewParallelRenderer {
                                         // exactly one chunk.
                                         let mut row = unsafe { shared.row_view(y) };
                                         let st = composite_scanline_slice(
-                                            rle, fact, &mut row, k, &opts, &mut tracer,
+                                            rle,
+                                            fact,
+                                            &mut row,
+                                            k,
+                                            &opts,
+                                            &mut tracer,
                                         );
                                         local_pixels += st.composited;
                                         if profiling {
-                                            new_profile[y]
-                                                .fetch_add(st.work, Ordering::Relaxed);
+                                            new_profile[y].fetch_add(st.work, Ordering::Relaxed);
                                         }
                                     }
+                                }
+                                if collect {
+                                    // A profiling frame's compositing doubles
+                                    // as profile collection (§4.2) — label it
+                                    // so traces show the overhead.
+                                    wlog.record(
+                                        if profiling {
+                                            SpanKind::Profile
+                                        } else {
+                                            SpanKind::Composite
+                                        },
+                                        chunk_start,
+                                        clock.now_us(),
+                                        rows.start as u32,
+                                        rows.len() as u32,
+                                    );
                                 }
                                 for y in rows {
                                     rows_done[y].store(true, Ordering::Release);
@@ -317,13 +381,27 @@ impl NewParallelRenderer {
                             band.start = band.start.saturating_sub(1);
                         }
                         let wait_hi = band.end.min(h - 1);
-                        match wait_for_rows(
+                        if watchdog.is_some() {
+                            watchdog_arms.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let wait_start = if collect { clock.now_us() } else { 0 };
+                        let outcome = wait_for_rows(
                             rows_done,
                             active,
                             band.start..wait_hi + 1,
                             watchdog,
-                            &t0,
-                        ) {
+                            clock,
+                        );
+                        if collect {
+                            wlog.record(
+                                SpanKind::Wait,
+                                wait_start,
+                                clock.now_us(),
+                                band.start as u32,
+                                (wait_hi + 1 - band.start) as u32,
+                            );
+                        }
+                        match outcome {
                             WaitOutcome::Ready => {}
                             WaitOutcome::Stalled { row, waited_ms } => {
                                 stalled.lock().get_or_insert((row, waited_ms));
@@ -332,6 +410,7 @@ impl NewParallelRenderer {
                         }
                         // The band warp only reads rows [start, end], all of
                         // which are now quiescent.
+                        let warp_start = if collect { clock.now_us() } else { 0 };
                         let warp = catch_unwind(AssertUnwindSafe(|| {
                             let mut tracer = NullTracer;
                             warp_row_band(
@@ -342,6 +421,15 @@ impl NewParallelRenderer {
                                 &mut tracer,
                             );
                         }));
+                        if collect {
+                            wlog.record(
+                                SpanKind::Warp,
+                                warp_start,
+                                clock.now_us(),
+                                band.start as u32,
+                                (band.end - band.start) as u32,
+                            );
+                        }
                         match warp {
                             Ok(()) => warp_done[p].store(true, Ordering::Release),
                             Err(payload) => {
@@ -353,11 +441,10 @@ impl NewParallelRenderer {
             })
             .expect("worker panics are contained via catch_unwind");
         }
-        let total = t0.elapsed().as_secs_f64();
         // The phases overlap (that is the point); report the frame total as
         // composite time and leave warp at zero unless callers time phases
         // via the capture path.
-        stats.composite_secs = total;
+        stats.composite_secs = us_to_secs(clock.now_us());
         stats.steals = steals.load(Ordering::Relaxed);
         stats.composited_pixels = composited.load(Ordering::Relaxed);
 
@@ -378,6 +465,7 @@ impl NewParallelRenderer {
             }
             stats.degraded = true;
             stats.repaired_rows = lost.len() as u64;
+            let repair_start = clock.now_us();
             // Serial repair: re-composite each lost row from scratch. Per
             // row, slices are visited in the same ascending-m order as the
             // worker loop, so the repaired row is bit-identical.
@@ -414,22 +502,37 @@ impl NewParallelRenderer {
                     &mut tracer,
                 );
             }
+            if collect {
+                driver.record(
+                    SpanKind::Repair,
+                    repair_start,
+                    clock.now_us(),
+                    lost.len() as u32,
+                    stats.worker_panics as u32,
+                );
+            }
         } else if first_stall.is_some() || !lost.is_empty() {
             // Lost work without a panic: nothing trustworthy to repair from
             // (a queue was tampered with or a scheduler invariant broke) —
             // surface the first missing row.
-            let (row, waited_ms) = first_stall.unwrap_or_else(|| {
-                (lost[0], t0.elapsed().as_millis() as u64)
-            });
+            let (row, waited_ms) =
+                first_stall.unwrap_or_else(|| (lost[0], clock.elapsed().as_millis() as u64));
             let holder = match row_claim[row].load(Ordering::Relaxed) {
                 UNCLAIMED => None,
                 w => Some(w),
             };
-            return Err(Error::Stalled { row, holder, waited_ms });
+            return Err(Error::Stalled {
+                row,
+                holder,
+                waited_ms,
+            });
         }
 
         if profiling && !stats.degraded {
-            self.profile = new_profile.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+            self.profile = new_profile
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect();
             self.profile_valid = true;
             self.frames_since_profile = 0;
             self.last_profile_model = Some(view.model);
@@ -441,6 +544,18 @@ impl NewParallelRenderer {
         } else {
             self.frames_since_profile += 1;
         }
+        let frames_since_profile = self.frames_since_profile;
+        self.last_telemetry = Some(telem::finish_frame(
+            "new",
+            &clock,
+            driver,
+            logs,
+            &stats,
+            |m| {
+                m.inc("watchdog.arms", watchdog_arms.load(Ordering::Relaxed));
+                m.set_gauge("profile.frames_since", frames_since_profile as f64);
+            },
+        ));
         Ok((out, stats))
     }
 }
@@ -454,7 +569,7 @@ fn wait_for_rows(
     active: &AtomicUsize,
     rows: Range<usize>,
     watchdog: Option<std::time::Duration>,
-    t0: &std::time::Instant,
+    clock: &FrameClock,
 ) -> WaitOutcome {
     for y in rows {
         let mut spins = 0u32;
@@ -469,16 +584,16 @@ fn wait_for_rows(
                 }
                 return WaitOutcome::Stalled {
                     row: y,
-                    waited_ms: t0.elapsed().as_millis() as u64,
+                    waited_ms: clock.elapsed().as_millis() as u64,
                 };
             }
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(1024) {
                 if let Some(limit) = watchdog {
-                    if t0.elapsed() >= limit {
+                    if clock.elapsed() >= limit {
                         return WaitOutcome::Stalled {
                             row: y,
-                            waited_ms: t0.elapsed().as_millis() as u64,
+                            waited_ms: clock.elapsed().as_millis() as u64,
                         };
                     }
                 }
@@ -499,7 +614,10 @@ mod tests {
     fn scene() -> (EncodedVolume, ViewSpec) {
         let vol = Phantom::MriBrain.generate([24, 24, 16], 11);
         let c = classify(&vol, &Phantom::MriBrain.default_transfer());
-        (EncodedVolume::encode(&c), ViewSpec::new([24, 24, 16]).rotate_y(0.5).rotate_x(0.2))
+        (
+            EncodedVolume::encode(&c),
+            ViewSpec::new([24, 24, 16]).rotate_y(0.5).rotate_x(0.2),
+        )
     }
 
     #[test]
@@ -543,14 +661,17 @@ mod tests {
         // 3 degrees per frame: profiled frames at 0°, 15°, 30°, ...
         let mut profiled_frames = Vec::new();
         for frame in 0..12 {
-            let view = ViewSpec::new([24, 24, 16])
-                .rotate_y((frame as f64 * 3.0).to_radians());
+            let view = ViewSpec::new([24, 24, 16]).rotate_y((frame as f64 * 3.0).to_radians());
             let (_, stats) = r.render_with_stats(&enc, &view);
             if stats.profiled {
                 profiled_frames.push(frame);
             }
         }
-        assert_eq!(profiled_frames, vec![0, 5, 10], "profile every 15° at 3°/frame");
+        assert_eq!(
+            profiled_frames,
+            vec![0, 5, 10],
+            "profile every 15° at 3°/frame"
+        );
     }
 
     #[test]
@@ -569,9 +690,11 @@ mod tests {
     fn ablations_still_render_correctly() {
         let (enc, view) = scene();
         let serial = SerialRenderer::new().render(&enc, &view);
-        for (clip, prof, steal) in
-            [(false, true, true), (true, false, true), (false, false, false)]
-        {
+        for (clip, prof, steal) in [
+            (false, true, true),
+            (true, false, true),
+            (false, false, false),
+        ] {
             let cfg = ParallelConfig {
                 empty_region_clip: clip,
                 profiled_partition: prof,
@@ -579,7 +702,11 @@ mod tests {
                 ..ParallelConfig::with_procs(3)
             };
             let mut r = NewParallelRenderer::new(cfg);
-            assert_eq!(r.render(&enc, &view), serial, "clip={clip} prof={prof} steal={steal}");
+            assert_eq!(
+                r.render(&enc, &view),
+                serial,
+                "clip={clip} prof={prof} steal={steal}"
+            );
             assert_eq!(r.render(&enc, &view), serial);
         }
     }
@@ -633,5 +760,56 @@ mod tests {
         assert_eq!(img, serial, "repaired frame must match serial bit-exactly");
         assert_eq!(stats.worker_panics, 1);
         assert!(stats.degraded);
+    }
+
+    #[test]
+    fn telemetry_labels_profiling_waits_and_staleness() {
+        let (enc, view) = scene();
+        let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(3));
+        r.render(&enc, &view); // frame 1: profiles
+        let t1 = r.last_telemetry.clone().expect("telemetry after frame 1");
+        r.render(&enc, &view); // frame 2: reuses the profile
+        let t2 = r.last_telemetry.as_ref().expect("telemetry after frame 2");
+        assert_eq!(t2.label, "new");
+        assert_eq!(t2.workers.len(), 4, "driver lane + 3 workers");
+        assert_eq!(t2.metrics.gauge("profile.frames_since"), Some(1.0));
+        if cfg!(feature = "telemetry") {
+            // Frame 1 composites under the profiling label, frame 2 plain.
+            assert!(t1.span_count(SpanKind::Profile) > 0);
+            assert_eq!(t1.span_count(SpanKind::Composite), 0);
+            assert!(t2.span_count(SpanKind::Composite) > 0);
+            assert_eq!(t2.span_count(SpanKind::Profile), 0);
+            // Every worker with a nonempty band records exactly one wait on
+            // the completion flags, and the default watchdog armed each one.
+            let waits = t2.span_count(SpanKind::Wait) as u64;
+            assert!(waits > 0);
+            assert_eq!(t2.metrics.counter("watchdog.arms"), waits);
+            // No global barrier in the new algorithm.
+            assert_eq!(t2.span_count(SpanKind::Barrier), 0);
+        }
+    }
+
+    #[test]
+    fn panic_repair_is_visible_in_telemetry() {
+        let (enc, view) = scene();
+        let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(3));
+        r.fault = Some(FaultPlan::new(1).panic_at(0));
+        let (_, stats) = r.try_render_with_stats(&enc, &view).expect("recovered");
+        let t = r
+            .last_telemetry
+            .as_ref()
+            .expect("telemetry survives repair");
+        assert_eq!(
+            t.metrics.counter("stats.worker_panics"),
+            stats.worker_panics
+        );
+        assert_eq!(
+            t.metrics.counter("stats.repaired_rows"),
+            stats.repaired_rows
+        );
+        assert_eq!(t.metrics.gauge("stats.degraded"), Some(1.0));
+        if cfg!(feature = "telemetry") {
+            assert_eq!(t.workers[0].kind_count(SpanKind::Repair), 1);
+        }
     }
 }

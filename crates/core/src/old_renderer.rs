@@ -19,6 +19,7 @@
 
 use crate::fault::FaultPlan;
 use crate::partition::{interleaved_chunks, make_tiles};
+use crate::telem;
 use crate::{Error, ParallelConfig, RenderStats};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -28,23 +29,26 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
-    composite_scanline_slice, warp_full, warp_tile, CompositeOpts, FinalImage,
-    IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
+    composite_scanline_slice, warp_full, warp_tile, CompositeOpts, FinalImage, IntermediateImage,
+    NullTracer, SharedFinal, SharedIntermediate,
 };
+use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind};
 use swr_volume::EncodedVolume;
 
 /// Row-claim sentinel: no worker ever claimed the row.
 const UNCLAIMED: usize = usize::MAX;
 
 /// Pops the caller's queue, or steals from the back of the fullest victim.
+/// Returns the chunk plus the victim it was stolen from (`None` for the
+/// caller's own work), so callers can emit steal telemetry.
 pub(crate) fn pop_or_steal(
     me: usize,
     queues: &[Mutex<VecDeque<Range<usize>>>],
     steal: bool,
     steals: &AtomicU64,
-) -> Option<Range<usize>> {
+) -> Option<(Range<usize>, Option<usize>)> {
     if let Some(r) = queues[me].lock().pop_front() {
-        return Some(r);
+        return Some((r, None));
     }
     if !steal {
         return None;
@@ -64,7 +68,7 @@ pub(crate) fn pop_or_steal(
         let (v, _) = best?;
         if let Some(r) = queues[v].lock().pop_back() {
             steals.fetch_add(1, Ordering::Relaxed);
-            return Some(r);
+            return Some((r, Some(v)));
         }
         // Raced with the victim finishing its queue; rescan.
     }
@@ -79,13 +83,21 @@ pub struct OldParallelRenderer {
     pub composite_opts: CompositeOpts,
     /// Deterministic fault injection for the containment tests.
     pub fault: Option<FaultPlan>,
+    /// Telemetry of the most recent frame: per-worker spans plus the
+    /// metrics registry. `None` until a frame completes. With the
+    /// `telemetry` feature off the spans are absent (recording compiles
+    /// away) but the metrics registry is still populated from the stats.
+    pub last_telemetry: Option<FrameTelemetry>,
     inter: Option<IntermediateImage>,
 }
 
 impl OldParallelRenderer {
     /// Creates a renderer with the given configuration.
     pub fn new(cfg: ParallelConfig) -> Self {
-        OldParallelRenderer { cfg, ..Default::default() }
+        OldParallelRenderer {
+            cfg,
+            ..Default::default()
+        }
     }
 
     /// Renders one frame, panicking on any fault (legacy API).
@@ -100,7 +112,8 @@ impl OldParallelRenderer {
         enc: &EncodedVolume,
         view: &ViewSpec,
     ) -> (FinalImage, RenderStats) {
-        self.try_render_with_stats(enc, view).unwrap_or_else(|e| panic!("{e}"))
+        self.try_render_with_stats(enc, view)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Renders one frame, returning a typed error on invalid inputs,
@@ -139,8 +152,14 @@ impl OldParallelRenderer {
             }
         };
 
+        let collect = telem::collect();
+        let clock = FrameClock::new();
+        let mut driver = telem::driver_log();
+        let logs = telem::worker_logs(nprocs);
+
         // The old algorithm "blindly composites the intermediate image from
         // the very beginning to the end": chunks cover every scanline.
+        let part_start = clock.now_us();
         let chunk_rows = self.cfg.effective_chunk_rows(h);
         let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
             interleaved_chunks(0..h, chunk_rows, nprocs)
@@ -154,6 +173,15 @@ impl OldParallelRenderer {
             }
         }
         let tile_lists = make_tiles(fact.final_w, fact.final_h, self.cfg.tile_size, nprocs);
+        if collect {
+            driver.record(
+                SpanKind::Partition,
+                part_start,
+                clock.now_us(),
+                chunk_rows as u32,
+                h as u32,
+            );
+        }
 
         let mut out = FinalImage::new(fact.final_w, fact.final_h);
         let mut stats = RenderStats::default();
@@ -161,17 +189,15 @@ impl OldParallelRenderer {
         let composited = AtomicU64::new(0);
         // Completion bookkeeping for the repair path.
         let rows_done: Vec<AtomicBool> = (0..h).map(|_| AtomicBool::new(false)).collect();
-        let row_claim: Vec<AtomicUsize> =
-            (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
+        let row_claim: Vec<AtomicUsize> = (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
         // Arrival-counter barrier: panicked workers arrive too, so the wait
         // terminates even when a worker dies mid-composite.
         let arrived = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
-        let composite_secs = Mutex::new(0f64);
+        let composite_end_us = AtomicU64::new(0);
         let opts = self.composite_opts;
         let watchdog = self.cfg.watchdog_timeout;
-        let t0 = std::time::Instant::now();
         {
             let shared = SharedIntermediate::new(inter);
             let shared_out = SharedFinal::new(&mut out);
@@ -191,13 +217,31 @@ impl OldParallelRenderer {
                     let shared = &shared;
                     let shared_out = &shared_out;
                     let tiles = &tile_lists[p];
-                    let composite_secs = &composite_secs;
+                    let composite_end_us = &composite_end_us;
+                    let logs = &logs;
+                    let clock = &clock;
                     let steal = self.cfg.steal;
                     s.spawn(move |_| {
+                        // Checked out once per frame; recording into it is
+                        // lock-free from here on.
+                        let mut wlog = logs[p].lock();
+                        let wlog = &mut *wlog;
                         let compose = catch_unwind(AssertUnwindSafe(|| {
                             let mut tracer = NullTracer;
                             let mut local_pixels = 0u64;
-                            while let Some(rows) = pop_or_steal(p, queues, steal, steals) {
+                            while let Some((rows, victim)) = pop_or_steal(p, queues, steal, steals)
+                            {
+                                let chunk_start = if collect { clock.now_us() } else { 0 };
+                                if let Some(v) = victim {
+                                    if collect {
+                                        wlog.mark(
+                                            SpanKind::Steal,
+                                            chunk_start,
+                                            v as u32,
+                                            rows.start as u32,
+                                        );
+                                    }
+                                }
                                 if let Some(fp) = fault {
                                     fp.on_task(p);
                                 }
@@ -213,10 +257,24 @@ impl OldParallelRenderer {
                                         // one chunk and each chunk is popped once.
                                         let mut row = unsafe { shared.row_view(y) };
                                         let st = composite_scanline_slice(
-                                            rle, fact, &mut row, k, &opts, &mut tracer,
+                                            rle,
+                                            fact,
+                                            &mut row,
+                                            k,
+                                            &opts,
+                                            &mut tracer,
                                         );
                                         local_pixels += st.composited;
                                     }
+                                }
+                                if collect {
+                                    wlog.record(
+                                        SpanKind::Composite,
+                                        chunk_start,
+                                        clock.now_us(),
+                                        rows.start as u32,
+                                        rows.len() as u32,
+                                    );
                                 }
                                 for y in rows {
                                     rows_done[y].store(true, Ordering::Release);
@@ -231,7 +289,7 @@ impl OldParallelRenderer {
                         }
                         let n = arrived.fetch_add(1, Ordering::AcqRel) + 1;
                         if n == nprocs {
-                            *composite_secs.lock() = t0.elapsed().as_secs_f64();
+                            composite_end_us.store(clock.now_us(), Ordering::Relaxed);
                         }
                         if let Err(payload) = compose {
                             panics.lock().push((p, panic_message(payload.as_ref())));
@@ -239,18 +297,28 @@ impl OldParallelRenderer {
                         }
                         // Barrier wait. Terminates by construction (every
                         // worker arrives); the watchdog is a pure backstop.
+                        let barrier_start = if collect { clock.now_us() } else { 0 };
                         let mut spins = 0u32;
                         while arrived.load(Ordering::Acquire) < nprocs {
                             spins = spins.wrapping_add(1);
                             if spins.is_multiple_of(1024) {
                                 if let Some(limit) = watchdog {
-                                    if t0.elapsed() >= limit {
+                                    if clock.elapsed() >= limit {
                                         return;
                                     }
                                 }
                             }
                             std::hint::spin_loop();
                             std::thread::yield_now();
+                        }
+                        if collect {
+                            wlog.record(
+                                SpanKind::Barrier,
+                                barrier_start,
+                                clock.now_us(),
+                                nprocs as u32,
+                                0,
+                            );
                         }
                         if abort.load(Ordering::Acquire) {
                             // A sibling died: its rows may be torn, so a
@@ -265,10 +333,20 @@ impl OldParallelRenderer {
                         let warp = catch_unwind(AssertUnwindSafe(|| {
                             let mut tracer = NullTracer;
                             let inter_ref = unsafe { shared.image() };
-                            for tile in tiles {
+                            for (i, tile) in tiles.iter().enumerate() {
+                                let tile_start = if collect { clock.now_us() } else { 0 };
                                 // Tiles are disjoint rectangles, so final-image
                                 // writes never collide.
                                 warp_tile(inter_ref, fact, shared_out, *tile, &mut tracer);
+                                if collect {
+                                    wlog.record(
+                                        SpanKind::Warp,
+                                        tile_start,
+                                        clock.now_us(),
+                                        i as u32,
+                                        tiles.len() as u32,
+                                    );
+                                }
                             }
                         }));
                         if let Err(payload) = warp {
@@ -279,16 +357,18 @@ impl OldParallelRenderer {
             })
             .expect("worker panics are contained via catch_unwind");
         }
-        let total = t0.elapsed().as_secs_f64();
-        stats.composite_secs = *composite_secs.lock();
-        stats.warp_secs = total - stats.composite_secs;
+        let total_us = clock.now_us();
+        let composite_us = composite_end_us.load(Ordering::Relaxed);
+        stats.composite_secs = us_to_secs(composite_us);
+        stats.warp_secs = us_to_secs(total_us.saturating_sub(composite_us));
         stats.steals = steals.load(Ordering::Relaxed);
         stats.composited_pixels = composited.load(Ordering::Relaxed);
 
         // Resolve the frame: repair, typed error, or clean completion.
         let worker_panics = std::mem::take(&mut *panics.lock());
-        let lost: Vec<usize> =
-            (0..h).filter(|&y| !rows_done[y].load(Ordering::Acquire)).collect();
+        let lost: Vec<usize> = (0..h)
+            .filter(|&y| !rows_done[y].load(Ordering::Acquire))
+            .collect();
 
         if !worker_panics.is_empty() {
             stats.worker_panics = worker_panics.len() as u64;
@@ -298,6 +378,7 @@ impl OldParallelRenderer {
             }
             stats.degraded = true;
             stats.repaired_rows = lost.len() as u64;
+            let repair_start = clock.now_us();
             let mut tracer = NullTracer;
             // Re-composite each lost row; per row the slice order matches
             // the worker loop, so the repair is bit-identical.
@@ -312,6 +393,15 @@ impl OldParallelRenderer {
             // The tile warp was skipped on abort; redo it serially over the
             // now-complete intermediate image.
             warp_full(&*inter, &fact, &mut out, &mut tracer);
+            if collect {
+                driver.record(
+                    SpanKind::Repair,
+                    repair_start,
+                    clock.now_us(),
+                    lost.len() as u32,
+                    stats.worker_panics as u32,
+                );
+            }
         } else if !lost.is_empty() {
             // Lost work without a panic (e.g. a truncated queue): the warp
             // already ran over incomplete rows, so the image cannot be
@@ -324,9 +414,17 @@ impl OldParallelRenderer {
             return Err(Error::Stalled {
                 row,
                 holder,
-                waited_ms: t0.elapsed().as_millis() as u64,
+                waited_ms: clock.elapsed().as_millis() as u64,
             });
         }
+        self.last_telemetry = Some(telem::finish_frame(
+            "old",
+            &clock,
+            driver,
+            logs,
+            &stats,
+            |_| {},
+        ));
         Ok((out, stats))
     }
 }
@@ -340,7 +438,10 @@ mod tests {
     fn scene() -> (EncodedVolume, ViewSpec) {
         let vol = Phantom::MriBrain.generate([24, 24, 16], 11);
         let c = classify(&vol, &Phantom::MriBrain.default_transfer());
-        (EncodedVolume::encode(&c), ViewSpec::new([24, 24, 16]).rotate_y(0.5).rotate_x(0.2))
+        (
+            EncodedVolume::encode(&c),
+            ViewSpec::new([24, 24, 16]).rotate_y(0.5).rotate_x(0.2),
+        )
     }
 
     #[test]
@@ -358,7 +459,10 @@ mod tests {
     #[test]
     fn stealing_can_be_disabled() {
         let (enc, view) = scene();
-        let cfg = ParallelConfig { steal: false, ..ParallelConfig::with_procs(3) };
+        let cfg = ParallelConfig {
+            steal: false,
+            ..ParallelConfig::with_procs(3)
+        };
         let mut r = OldParallelRenderer::new(cfg);
         let (img, stats) = r.render_with_stats(&enc, &view);
         assert_eq!(stats.steals, 0);
@@ -386,7 +490,37 @@ mod tests {
             ..ParallelConfig::with_procs(4)
         };
         let mut r = OldParallelRenderer::new(cfg);
-        assert_eq!(r.render(&enc, &view), SerialRenderer::new().render(&enc, &view));
+        assert_eq!(
+            r.render(&enc, &view),
+            SerialRenderer::new().render(&enc, &view)
+        );
+    }
+
+    #[test]
+    fn telemetry_covers_both_phases_per_worker() {
+        let (enc, view) = scene();
+        let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(3));
+        let (_, stats) = r.render_with_stats(&enc, &view);
+        let t = r.last_telemetry.as_ref().expect("telemetry after a frame");
+        assert_eq!(t.label, "old");
+        assert_eq!(t.workers.len(), 4, "driver lane + 3 workers");
+        assert_eq!(
+            t.metrics.counter("stats.composited_pixels"),
+            stats.composited_pixels
+        );
+        if cfg!(feature = "telemetry") {
+            // Driver partitioned; every worker hit the barrier exactly once.
+            // (A worker can record zero composite spans if thieves drained
+            // its queue before it started, so only the totals are certain.)
+            assert_eq!(t.workers[0].kind_count(SpanKind::Partition), 1);
+            for w in &t.workers[1..] {
+                assert_eq!(w.kind_count(SpanKind::Barrier), 1, "worker {}", w.worker);
+            }
+            assert!(t.span_count(SpanKind::Composite) > 0);
+            assert!(t.span_count(SpanKind::Warp) > 0);
+            // Steal marks never outnumber the counted steals.
+            assert!(t.span_count(SpanKind::Steal) as u64 <= stats.steals);
+        }
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn balanced_contiguous(
     profile: &[u64],
     nprocs: usize,
 ) -> Vec<Range<usize>> {
-    assert_eq!(profile.len(), rows.len(), "profile must cover the row range");
+    assert_eq!(
+        profile.len(),
+        rows.len(),
+        "profile must cover the row range"
+    );
     assert!(nprocs > 0);
     if rows.is_empty() {
         return vec![rows; nprocs];
@@ -190,18 +194,17 @@ mod tests {
         }
         let parts = balanced_contiguous(0..100, &profile, 4);
         assert_tiles_range(&parts, 0..100);
-        let cost =
-            |r: &Range<usize>| r.clone().map(|i| profile[i]).sum::<u64>();
+        let cost = |r: &Range<usize>| r.clone().map(|i| profile[i]).sum::<u64>();
         let costs: Vec<u64> = parts.iter().map(cost).collect();
         let max = *costs.iter().max().unwrap();
         let min = *costs.iter().min().unwrap();
         // Perfect balance is impossible (scanline granularity), but the
         // heavy region must be split across processors.
+        assert!(max < 2 * (min + 1000), "costs too imbalanced: {costs:?}");
         assert!(
-            max < 2 * (min + 1000),
-            "costs too imbalanced: {costs:?}"
+            parts[0].len() < 10,
+            "first partition must be small: {parts:?}"
         );
-        assert!(parts[0].len() < 10, "first partition must be small: {parts:?}");
     }
 
     #[test]

@@ -95,7 +95,11 @@ mod tests {
     fn parallel_matches_serial() {
         let v: Vec<u64> = (0..10_000).map(|i| (i * 2654435761u64) % 1000).collect();
         for threads in [1, 2, 3, 4, 7, 16] {
-            assert_eq!(parallel_prefix_sum(&v, threads), prefix_sum(&v), "t={threads}");
+            assert_eq!(
+                parallel_prefix_sum(&v, threads),
+                prefix_sum(&v),
+                "t={threads}"
+            );
         }
     }
 

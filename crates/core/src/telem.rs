@@ -1,0 +1,60 @@
+//! Shared telemetry plumbing for the parallel renderers.
+//!
+//! Both renderers follow the same recipe: one [`FrameClock`] per frame (the
+//! single time source for stats seconds, watchdog deadlines, and spans), one
+//! bounded [`WorkerLog`] per worker handed to its thread through a mutex
+//! that is locked exactly twice per frame (checkout at spawn, return at
+//! retire — the recording itself is lock- and allocation-free), and a driver
+//! lane for partitioning/repair events. Recording sites are guarded by
+//! [`collect()`], a `cfg!`-constant, so building without the `telemetry`
+//! feature compiles every site away.
+
+use crate::RenderStats;
+use swr_telemetry::{FrameClock, FrameTelemetry, MetricsRegistry, TimeUnit, WorkerLog};
+
+/// Span-buffer capacity per worker lane per frame. At chunk/tile/band task
+/// granularity a frame records a few spans per task; overflow is counted,
+/// never grown.
+pub(crate) const SPAN_CAP: usize = 2048;
+
+/// Whether span recording is compiled in. A `const`-foldable guard: with the
+/// `telemetry` feature off every `if collect() { ... }` block is dead code.
+#[inline(always)]
+pub(crate) fn collect() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Per-worker logs parked in mutexes so scoped threads can check them out.
+/// Capacity is zero when recording is off, so the buffers cost nothing.
+pub(crate) fn worker_logs(nprocs: usize) -> Vec<parking_lot::Mutex<WorkerLog>> {
+    let cap = if collect() { SPAN_CAP } else { 0 };
+    (0..nprocs)
+        .map(|p| parking_lot::Mutex::new(WorkerLog::new(p, cap)))
+        .collect()
+}
+
+/// The driver lane's log (partitioning, repair, frame bookkeeping).
+pub(crate) fn driver_log() -> WorkerLog {
+    WorkerLog::new(WorkerLog::DRIVER, if collect() { 256 } else { 0 })
+}
+
+/// Assembles the frame's telemetry: driver lane first, then the worker
+/// lanes, with the stats mirrored into the metrics registry and `extra`
+/// applied before span histograms are derived.
+pub(crate) fn finish_frame(
+    label: &str,
+    clock: &FrameClock,
+    driver: WorkerLog,
+    workers: Vec<parking_lot::Mutex<WorkerLog>>,
+    stats: &RenderStats,
+    extra: impl FnOnce(&mut MetricsRegistry),
+) -> FrameTelemetry {
+    let mut t = FrameTelemetry::new(TimeUnit::Micros, label);
+    t.workers.push(driver);
+    t.workers
+        .extend(workers.into_iter().map(|m| m.into_inner()));
+    stats.fill_metrics(&mut t.metrics);
+    extra(&mut t.metrics);
+    t.finish(clock.now_us());
+    t
+}

@@ -77,7 +77,10 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::Io { path: Some(p), source } => {
+            Error::Io {
+                path: Some(p),
+                source,
+            } => {
                 write!(f, "I/O error on {}: {source}", p.display())
             }
             Error::Io { path: None, source } => write!(f, "I/O error: {source}"),
@@ -87,12 +90,20 @@ impl fmt::Display for Error {
             Error::WorkerPanicked { worker, message } => {
                 write!(f, "render worker {worker} panicked: {message}")
             }
-            Error::Stalled { row, holder: Some(hold), waited_ms } => write!(
+            Error::Stalled {
+                row,
+                holder: Some(hold),
+                waited_ms,
+            } => write!(
                 f,
                 "scheduler stalled: row {row} never completed \
                  (last claimed by worker {hold}, waited {waited_ms} ms)"
             ),
-            Error::Stalled { row, holder: None, waited_ms } => write!(
+            Error::Stalled {
+                row,
+                holder: None,
+                waited_ms,
+            } => write!(
                 f,
                 "scheduler stalled: row {row} never completed \
                  (never claimed, waited {waited_ms} ms)"
@@ -121,7 +132,10 @@ impl Error {
     /// Attaches a file path to an I/O error (no-op for other variants).
     pub fn with_path(self, path: impl Into<PathBuf>) -> Self {
         match self {
-            Error::Io { source, .. } => Error::Io { path: Some(path.into()), source },
+            Error::Io { source, .. } => Error::Io {
+                path: Some(path.into()),
+                source,
+            },
             other => other,
         }
     }
@@ -164,11 +178,20 @@ mod tests {
         assert_eq!(Error::InvalidConfig { reason: "x".into() }.exit_code(), 2);
         assert_eq!(Error::InvalidWorkload { reason: "x".into() }.exit_code(), 3);
         assert_eq!(
-            Error::WorkerPanicked { worker: 0, message: "x".into() }.exit_code(),
+            Error::WorkerPanicked {
+                worker: 0,
+                message: "x".into()
+            }
+            .exit_code(),
             3
         );
         assert_eq!(
-            Error::Stalled { row: 1, holder: None, waited_ms: 5 }.exit_code(),
+            Error::Stalled {
+                row: 1,
+                holder: None,
+                waited_ms: 5
+            }
+            .exit_code(),
             3
         );
         assert_eq!(Error::Deadlock { detail: "x".into() }.exit_code(), 3);
@@ -178,7 +201,10 @@ mod tests {
     fn display_keeps_legacy_matchable_substrings() {
         // Panicking wrappers format these; tests matching on the historic
         // panic text must keep passing.
-        let d = Error::Deadlock { detail: "blocked = [0, 1]".into() }.to_string();
+        let d = Error::Deadlock {
+            detail: "blocked = [0, 1]".into(),
+        }
+        .to_string();
         assert!(d.contains("deadlock"), "{d}");
         let w = Error::InvalidWorkload {
             reason: "workload/machine width mismatch: 2 queues, 4 processors".into(),
@@ -189,13 +215,16 @@ mod tests {
 
     #[test]
     fn with_path_and_panic_message() {
-        let e = Error::from(io::Error::new(io::ErrorKind::NotFound, "gone"))
-            .with_path("/tmp/vol.svol");
+        let e =
+            Error::from(io::Error::new(io::ErrorKind::NotFound, "gone")).with_path("/tmp/vol.svol");
         assert!(e.to_string().contains("/tmp/vol.svol"), "{e}");
         let p: Box<dyn Any + Send> = Box::new("boom");
         assert_eq!(panic_message(p.as_ref()), "boom");
         let s: Box<dyn Any + Send> = Box::new(String::from("ouch"));
         assert_eq!(panic_message(s.as_ref()), "ouch");
-        assert_eq!(panic_message(&42i32 as &(dyn Any + Send)), "non-string panic payload");
+        assert_eq!(
+            panic_message(&42i32 as &(dyn Any + Send)),
+            "non-string panic payload"
+        );
     }
 }

@@ -111,12 +111,7 @@ impl Affine2 {
     /// Because the map is affine, the set is always a single interval (or
     /// empty, or unbounded when `d == 0` and the row constraint holds for all
     /// `u` — the caller clamps to the image width). Returns `None` when empty.
-    pub fn u_interval_for_row_band(
-        &self,
-        v: f64,
-        y_lo: f64,
-        y_hi: f64,
-    ) -> Option<(f64, f64)> {
+    pub fn u_interval_for_row_band(&self, v: f64, y_lo: f64, y_hi: f64) -> Option<(f64, f64)> {
         debug_assert!(y_lo <= y_hi);
         let base = self.e * v + self.f;
         if self.d.abs() < 1e-12 {

@@ -138,7 +138,10 @@ impl ViewSpec {
             ));
         }
         if !(self.zoom.is_finite() && self.zoom > 0.0) {
-            return invalid(format!("zoom must be positive and finite, got {}", self.zoom));
+            return invalid(format!(
+                "zoom must be positive and finite, got {}",
+                self.zoom
+            ));
         }
         if let Some((w, h)) = self.image_size {
             if w == 0 || h == 0 {
@@ -379,9 +382,7 @@ impl Factorization {
         dims: [usize; 3],
         (final_w, final_h): (usize, usize),
     ) -> Factorization {
-        let m_inv = m_view
-            .inverse()
-            .expect("viewing matrix must be invertible");
+        let m_inv = m_view.inverse().expect("viewing matrix must be invertible");
 
         // Viewing direction in object space: the preimage of the image-space
         // ray direction (0, 0, 1).
@@ -525,7 +526,9 @@ impl Factorization {
 
         // Warp homography: intermediate (u', v') → front-plane standard
         // point (u'−off_u, v'−off_v, k0) → object → perspective image.
-        let p_inv = Mat4::permutation(perm).inverse().expect("permutation invertible");
+        let p_inv = Mat4::permutation(perm)
+            .inverse()
+            .expect("permutation invertible");
         let m = m_view * p_inv;
         // Columns of the 4×3 matrix applied to (u', v', 1).
         let col = |r: usize, c: usize| m.m[r][c];
@@ -533,9 +536,7 @@ impl Factorization {
         for (hr, mr) in [(0usize, 0usize), (1, 1), (2, 3)] {
             h[hr][0] = col(mr, 0);
             h[hr][1] = col(mr, 1);
-            h[hr][2] = -col(mr, 0) * off_u - col(mr, 1) * off_v
-                + col(mr, 2) * k0
-                + col(mr, 3);
+            h[hr][2] = -col(mr, 0) * off_u - col(mr, 1) * off_v + col(mr, 2) * k0 + col(mr, 3);
         }
         let warp = Homography2::from_matrix(h);
         let warp_inv = warp.inverse().expect("perspective warp must be invertible");
@@ -573,7 +574,11 @@ impl Factorization {
         match &self.persp {
             None => {
                 let (off_u, off_v) = self.slice_offsets(k);
-                SliceXform { scale: 1.0, off_u, off_v }
+                SliceXform {
+                    scale: 1.0,
+                    off_u,
+                    off_v,
+                }
             }
             Some(p) => {
                 let kf = k as f64;
@@ -675,7 +680,10 @@ impl Factorization {
 
     /// [`Self::slice_offsets`] for a fractional slice coordinate.
     pub fn slice_offsets_f(&self, k: f64) -> (f64, f64) {
-        (self.shear_i * k + self.trans_i, self.shear_j * k + self.trans_j)
+        (
+            self.shear_i * k + self.trans_i,
+            self.shear_j * k + self.trans_j,
+        )
     }
 
     /// Maps object voxel coordinates to standard (permuted) coordinates.
@@ -733,7 +741,10 @@ mod tests {
             check_factorization_identity(&ViewSpec::new([40, 30, 20]).rotate_y(a));
             check_factorization_identity(&ViewSpec::new([40, 30, 20]).rotate_x(a));
             check_factorization_identity(
-                &ViewSpec::new([25, 35, 45]).rotate_x(a * 0.5).rotate_y(a).rotate_z(0.3),
+                &ViewSpec::new([25, 35, 45])
+                    .rotate_x(a * 0.5)
+                    .rotate_y(a)
+                    .rotate_z(0.3),
             );
         }
     }
@@ -741,13 +752,9 @@ mod tests {
     #[test]
     fn principal_axis_tracks_rotation() {
         // Rotating 90 degrees about Y points the viewing direction along X.
-        let f = Factorization::from_view(
-            &ViewSpec::new([16, 16, 16]).rotate_y(90f64.to_radians()),
-        );
+        let f = Factorization::from_view(&ViewSpec::new([16, 16, 16]).rotate_y(90f64.to_radians()));
         assert_eq!(f.principal, Axis::X);
-        let f = Factorization::from_view(
-            &ViewSpec::new([16, 16, 16]).rotate_x(90f64.to_radians()),
-        );
+        let f = Factorization::from_view(&ViewSpec::new([16, 16, 16]).rotate_x(90f64.to_radians()));
         assert_eq!(f.principal, Axis::Y);
     }
 
@@ -807,9 +814,8 @@ mod tests {
     fn warped_intermediate_fits_final_image() {
         let view = ViewSpec::new([32, 32, 32]).rotate_y(0.6).rotate_x(0.4);
         let f = Factorization::from_view(&view);
-        let (min_x, min_y, max_x, max_y) = f
-            .warp
-            .bounds_of_rect(f.inter_w as f64, f.inter_h as f64);
+        let (min_x, min_y, max_x, max_y) =
+            f.warp.bounds_of_rect(f.inter_w as f64, f.inter_h as f64);
         // Projected *volume* fits; the intermediate image rectangle may
         // slightly exceed the final frame, but not wildly.
         let slack = 4.0 + (f.inter_w + f.inter_h) as f64; // loose sanity bound
@@ -856,7 +862,12 @@ mod tests {
             let f = Factorization::from_view(&view);
             assert!(f.persp.is_some());
             let m = view.view_matrix();
-            for &(x, y, z) in &[(0usize, 0usize, 0usize), (10, 12, 8), (19, 23, 15), (3, 20, 2)] {
+            for &(x, y, z) in &[
+                (0usize, 0usize, 0usize),
+                (10, 12, 8),
+                (19, 23, 15),
+                (3, 20, 2),
+            ] {
                 let p = Vec3::new(x as f64, y as f64, z as f64);
                 let ps = f.object_to_std(p);
                 let xf = f.slice_xform(ps.z.round() as usize);
@@ -884,8 +895,14 @@ mod tests {
         let back = f.slice_for_step(f.slice_count() - 1);
         let s_front = f.slice_xform(front).scale;
         let s_back = f.slice_xform(back).scale;
-        assert!((s_front - 1.0).abs() < 1e-12, "front slice is the projection plane");
-        assert!(s_back < s_front && s_back > 0.0, "farther slices shrink: {s_back}");
+        assert!(
+            (s_front - 1.0).abs() < 1e-12,
+            "front slice is the projection plane"
+        );
+        assert!(
+            s_back < s_front && s_back > 0.0,
+            "farther slices shrink: {s_back}"
+        );
     }
 
     #[test]
@@ -914,11 +931,20 @@ mod tests {
 
     #[test]
     fn try_validate_accepts_good_views_and_types_bad_ones() {
-        assert!(ViewSpec::new([32, 32, 32]).rotate_y(0.4).try_validate().is_ok());
-        assert!(ViewSpec::new([16, 16, 16]).with_perspective(60.0).try_validate().is_ok());
+        assert!(ViewSpec::new([32, 32, 32])
+            .rotate_y(0.4)
+            .try_validate()
+            .is_ok());
+        assert!(ViewSpec::new([16, 16, 16])
+            .with_perspective(60.0)
+            .try_validate()
+            .is_ok());
 
         let bad_dims = ViewSpec::new([0, 16, 16]).try_validate();
-        assert!(matches!(bad_dims, Err(Error::InvalidView { .. })), "{bad_dims:?}");
+        assert!(
+            matches!(bad_dims, Err(Error::InvalidView { .. })),
+            "{bad_dims:?}"
+        );
 
         let mut v = ViewSpec::new([16, 16, 16]);
         v.zoom = 0.0; // bypasses the with_zoom assertion

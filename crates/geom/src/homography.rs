@@ -42,7 +42,9 @@ impl Homography2 {
 
     /// Whether the map is (numerically) affine.
     pub fn is_affine(&self) -> bool {
-        self.m[2][0].abs() < 1e-12 && self.m[2][1].abs() < 1e-12 && (self.m[2][2] - 1.0).abs() < 1e-9
+        self.m[2][0].abs() < 1e-12
+            && self.m[2][1].abs() < 1e-12
+            && (self.m[2][2] - 1.0).abs() < 1e-9
     }
 
     /// Applies the map, performing the projective divide.
@@ -121,11 +123,7 @@ mod tests {
 
     #[test]
     fn inverse_round_trip() {
-        let h = Homography2::from_matrix([
-            [1.2, 0.1, 3.0],
-            [-0.2, 0.9, -1.0],
-            [0.001, 0.002, 1.0],
-        ]);
+        let h = Homography2::from_matrix([[1.2, 0.1, 3.0], [-0.2, 0.9, -1.0], [0.001, 0.002, 1.0]]);
         assert!(!h.is_affine());
         let inv = h.inverse().expect("invertible");
         for &(x, y) in &[(0.0, 0.0), (50.0, 70.0), (-20.0, 15.0)] {

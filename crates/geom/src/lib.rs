@@ -44,8 +44,10 @@ pub mod mat;
 pub mod vec;
 
 pub use affine::Affine2;
+pub use factor::{
+    Axis, Factorization, PerspectiveFact, Projection, SliceOrder, SliceXform, ViewSpec,
+};
 pub use homography::Homography2;
-pub use factor::{Axis, Factorization, PerspectiveFact, Projection, SliceOrder, SliceXform, ViewSpec};
 pub use mat::Mat4;
 pub use vec::Vec3;
 

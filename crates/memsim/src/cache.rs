@@ -19,7 +19,10 @@ impl CacheConfig {
     /// A config with the given parameters.
     pub fn new(size: usize, line: usize, assoc: usize) -> Self {
         assert!(line.is_power_of_two(), "line size must be a power of two");
-        assert!(size.is_multiple_of(line), "size must be a multiple of the line size");
+        assert!(
+            size.is_multiple_of(line),
+            "size must be a multiple of the line size"
+        );
         let lines = size / line;
         let assoc = assoc.min(lines).max(1);
         assert!(
@@ -143,7 +146,10 @@ impl LruShadow {
     /// A shadow holding at most `lines` lines.
     pub fn new(lines: usize) -> Self {
         assert!(lines > 0);
-        LruShadow { cap: lines, ..Default::default() }
+        LruShadow {
+            cap: lines,
+            ..Default::default()
+        }
     }
 
     /// Touches `line`; returns whether it was present (a fully-associative
@@ -199,7 +205,10 @@ mod tests {
         let mut c = direct_mapped(4, 64);
         // Lines 0 and 4 map to the same set.
         c.access_line(0);
-        assert!(matches!(c.access_line(4), Access::Miss { evicted: Some(0) }));
+        assert!(matches!(
+            c.access_line(4),
+            Access::Miss { evicted: Some(0) }
+        ));
         assert!(!c.contains_line(0));
     }
 
@@ -210,7 +219,10 @@ mod tests {
         c.access_line(1);
         c.access_line(2);
         c.access_line(1); // 1 becomes MRU, 2 is LRU
-        assert!(matches!(c.access_line(3), Access::Miss { evicted: Some(2) }));
+        assert!(matches!(
+            c.access_line(3),
+            Access::Miss { evicted: Some(2) }
+        ));
         assert!(c.contains_line(1));
         assert!(c.contains_line(3));
     }
@@ -248,7 +260,10 @@ mod tests {
             assert_eq!(c.access_line(l), Access::Hit);
         }
         // The 9th line evicts the least recently used (line 0).
-        assert!(matches!(c.access_line(8), Access::Miss { evicted: Some(0) }));
+        assert!(matches!(
+            c.access_line(8),
+            Access::Miss { evicted: Some(0) }
+        ));
     }
 
     #[test]

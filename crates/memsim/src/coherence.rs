@@ -103,7 +103,9 @@ impl MissCounts {
 
     /// Total stall cycles.
     pub fn total_cycles(&self) -> u64 {
-        self.cold_cycles + self.replacement_cycles() + self.true_sharing_cycles
+        self.cold_cycles
+            + self.replacement_cycles()
+            + self.true_sharing_cycles
             + self.false_sharing_cycles
     }
 
@@ -225,7 +227,10 @@ impl CoherenceState {
             entry.dirty = None; // downgrade to shared
         }
         entry.holders |= 1 << p;
-        FillInfo { class, dirty_elsewhere }
+        FillInfo {
+            class,
+            dirty_elsewhere,
+        }
     }
 
     /// Handles a write by `p` (hit or miss). Returns the fill info (only
@@ -276,7 +281,13 @@ impl CoherenceState {
         for &q in &invalidated {
             self.loss[q].insert(line, epoch.saturating_sub(1));
         }
-        (FillInfo { class, dirty_elsewhere }, invalidated)
+        (
+            FillInfo {
+                class,
+                dirty_elsewhere,
+            },
+            invalidated,
+        )
     }
 
     /// Records that `p` evicted `line` (capacity/conflict displacement).

@@ -73,7 +73,8 @@ pub use cache::{Cache, CacheConfig};
 pub use coherence::{MissClass, MissCounts};
 pub use platform::{MemCosts, Platform};
 pub use replay::{
-    replay, replay_steady, try_replay, try_replay_steady, Machine, ProcBreakdown, SimResult,
+    replay, replay_steady, try_replay, try_replay_steady, try_replay_steady_traced,
+    try_replay_traced, Machine, ProcBreakdown, SimResult,
 };
 pub use svm::{
     replay_svm, replay_svm_steady, try_replay_svm, try_replay_svm_steady, SvmConfig, SvmMachine,

@@ -202,9 +202,7 @@ impl Platform {
             self.costs.remote_2hop
         };
         match self.costs.mesh_hop {
-            Some(per_hop) => {
-                base + per_hop * self.mesh_hops(my_node, home, self.nodes(nprocs))
-            }
+            Some(per_hop) => base + per_hop * self.mesh_hops(my_node, home, self.nodes(nprocs)),
             None => base,
         }
     }
@@ -262,7 +260,7 @@ mod tests {
     #[test]
     fn mesh_distance_scales_remote_cost() {
         let p = Platform::dash(); // 2-D mesh with per-hop latency
-        // 32 procs = 8 nodes → 3×3 mesh (last row partial).
+                                  // 32 procs = 8 nodes → 3×3 mesh (last row partial).
         let near = p.miss_cost(0, 1, false, 32); // node 0 → node 1: 1 hop
         let far = p.miss_cost(0, 7, false, 32); // node 0 → node 7 (2,1): 3 hops
         assert!(far > near, "far {far} vs near {near}");

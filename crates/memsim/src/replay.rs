@@ -20,6 +20,7 @@ use crate::trace::TraceEvent;
 use crate::workload::{FrameWorkload, StealPolicy, TaskLabel};
 use std::collections::VecDeque;
 use swr_error::Error;
+use swr_telemetry::{FrameTelemetry, SpanKind, TimeUnit, WorkerLog};
 
 /// Events processed per scheduling step; bounds how far one processor's
 /// clock can run ahead of the others between contention interactions.
@@ -27,6 +28,10 @@ const BATCH: usize = 64;
 
 /// Cycles charged to every processor for participating in a global barrier.
 const BARRIER_OP_CYCLES: u64 = 200;
+
+/// Span capacity per simulated processor in a traced replay: one span per
+/// executed task plus waits, so generously above any captured workload.
+const REPLAY_SPAN_CAP: usize = 4096;
 
 /// Per-processor time breakdown, in cycles.
 #[derive(Debug, Clone, Copy, Default)]
@@ -134,8 +139,21 @@ struct Proc {
     lock: u64,
     queue: VecDeque<u32>,
     current: Option<(u32, usize)>,
+    /// Virtual time at which the current task started executing (traced
+    /// replays turn it into a task span at completion).
+    cur_start: u64,
     blocked: Option<(Block, u64)>,
     finished: bool,
+}
+
+/// Maps a task label to the shared span vocabulary, so simulated traces
+/// line up event-for-event with native renderer traces.
+fn label_span_kind(label: TaskLabel) -> SpanKind {
+    match label {
+        TaskLabel::Partition => SpanKind::Partition,
+        TaskLabel::Composite => SpanKind::Composite,
+        TaskLabel::Warp => SpanKind::Warp,
+    }
 }
 
 /// A simulated multiprocessor whose caches and sharing state persist across
@@ -197,7 +215,42 @@ impl Machine {
             &mut self.shadows,
             &mut self.coherence,
             workload,
+            None,
         )
+    }
+
+    /// [`Self::try_run_frame`] with span tracing: also returns the frame's
+    /// telemetry in **virtual time** ([`TimeUnit::Cycles`]) — one lane per
+    /// simulated processor with partition/composite/warp task spans, steal
+    /// marks, and dependency/barrier wait spans, plus the paper's
+    /// busy/mem_stall/sync_wait/lock breakdown as per-lane tallies. The
+    /// structure matches a native render's telemetry exactly, so the same
+    /// exporters (Perfetto trace, breakdown table, metrics JSON) apply.
+    pub fn try_run_frame_traced(
+        &mut self,
+        workload: &FrameWorkload,
+    ) -> Result<(SimResult, FrameTelemetry), Error> {
+        if workload.nprocs() != self.nprocs {
+            return Err(Error::InvalidWorkload {
+                reason: format!(
+                    "workload/machine width mismatch: {} queues, {} processors",
+                    workload.nprocs(),
+                    self.nprocs
+                ),
+            });
+        }
+        let mut logs: Vec<WorkerLog> = (0..self.nprocs)
+            .map(|p| WorkerLog::new(p, REPLAY_SPAN_CAP))
+            .collect();
+        let result = run_frame_impl(
+            &self.platform,
+            &mut self.caches,
+            &mut self.shadows,
+            &mut self.coherence,
+            workload,
+            Some(&mut logs),
+        )?;
+        Ok(build_replay_telemetry(result, logs))
     }
 
     /// Panicking wrapper around [`Self::try_run_frame`].
@@ -206,8 +259,34 @@ impl Machine {
     /// Panics with the error's `Display` text on malformed workloads and
     /// replay deadlocks.
     pub fn run_frame(&mut self, workload: &FrameWorkload) -> SimResult {
-        self.try_run_frame(workload).unwrap_or_else(|e| panic!("{e}"))
+        self.try_run_frame(workload)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
+}
+
+/// Assembles virtual-time telemetry from a traced replay: the per-processor
+/// span logs get the paper's cycle breakdown as tallies, and the headline
+/// simulation counters land in the metrics registry under `sim.*`.
+fn build_replay_telemetry(result: SimResult, logs: Vec<WorkerLog>) -> (SimResult, FrameTelemetry) {
+    let mut t = FrameTelemetry::new(TimeUnit::Cycles, "replay");
+    for (mut log, pb) in logs.into_iter().zip(&result.per_proc) {
+        log.tally("busy", pb.busy);
+        log.tally("mem_stall", pb.mem_stall);
+        log.tally("sync_wait", pb.sync_wait);
+        log.tally("lock", pb.lock);
+        t.workers.push(log);
+    }
+    t.metrics.inc("sim.steals", result.steals);
+    t.metrics.inc("sim.accesses", result.accesses);
+    t.metrics.inc("sim.hits", result.hits);
+    t.metrics.inc("sim.misses", result.misses.total());
+    t.metrics.inc("sim.local_misses", result.local_misses);
+    t.metrics.inc("sim.remote_misses", result.remote_misses);
+    t.metrics.inc("sim.upgrades", result.upgrades);
+    t.metrics.inc("sim.network_bytes", result.network_bytes());
+    t.metrics.set_gauge("sim.miss_rate", result.miss_rate());
+    t.finish(result.total_cycles);
+    (result, t)
 }
 
 /// Replays `workload` once on a cold machine, reporting malformed workloads
@@ -223,6 +302,30 @@ pub fn try_replay(platform: &Platform, workload: &FrameWorkload) -> Result<SimRe
 /// Panics on malformed workloads and replay deadlocks; see [`try_replay`].
 pub fn replay(platform: &Platform, workload: &FrameWorkload) -> SimResult {
     try_replay(platform, workload).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_replay`] with virtual-time span tracing; see
+/// [`Machine::try_run_frame_traced`].
+pub fn try_replay_traced(
+    platform: &Platform,
+    workload: &FrameWorkload,
+) -> Result<(SimResult, FrameTelemetry), Error> {
+    let mut m = Machine::new(*platform, workload.nprocs());
+    m.try_run_frame_traced(workload)
+}
+
+/// [`try_replay_steady`] with virtual-time span tracing of the final
+/// (steady-state) frame; warmup frames run untraced.
+pub fn try_replay_steady_traced(
+    platform: &Platform,
+    workload: &FrameWorkload,
+    warmup: usize,
+) -> Result<(SimResult, FrameTelemetry), Error> {
+    let mut m = Machine::new(*platform, workload.nprocs());
+    for _ in 0..warmup {
+        m.try_run_frame(workload)?;
+    }
+    m.try_run_frame_traced(workload)
 }
 
 /// Replays `workload` `warmup + 1` times on one machine and returns the
@@ -256,6 +359,7 @@ fn run_frame_impl(
     shadows: &mut [LruShadow],
     coherence: &mut CoherenceState,
     workload: &FrameWorkload,
+    mut logs: Option<&mut Vec<WorkerLog>>,
 ) -> Result<SimResult, Error> {
     workload.try_validate()?;
     let nprocs = workload.nprocs();
@@ -272,6 +376,7 @@ fn run_frame_impl(
             lock: 0,
             queue: q.iter().copied().collect(),
             current: None,
+            cur_start: 0,
             blocked: None,
             finished: false,
         })
@@ -300,16 +405,29 @@ fn run_frame_impl(
     };
     let line_bytes = platform.cache.line as u64;
 
-    // Releases processors blocked on `cause` at time `now`.
+    // Releases processors blocked on `cause` at time `now`, recording the
+    // blocked interval as a wait/barrier span in traced replays.
     #[allow(clippy::too_many_arguments)]
-    fn release(procs: &mut [Proc], now: u64, mut pred: impl FnMut(Block) -> bool) {
-        for p in procs.iter_mut() {
+    fn release(
+        procs: &mut [Proc],
+        now: u64,
+        mut pred: impl FnMut(Block) -> bool,
+        logs: &mut Option<&mut Vec<WorkerLog>>,
+    ) {
+        for (i, p) in procs.iter_mut().enumerate() {
             if let Some((b, since)) = p.blocked {
                 if pred(b) {
                     let resume = now.max(p.time);
                     p.sync += resume - since.min(resume);
                     p.time = resume;
                     p.blocked = None;
+                    if let Some(logs) = logs.as_deref_mut() {
+                        let (kind, arg0) = match b {
+                            Block::Dep(d) => (SpanKind::Wait, d),
+                            Block::Barrier => (SpanKind::Barrier, 0),
+                        };
+                        logs[i].record(kind, since.min(resume), resume, arg0, 0);
+                    }
                 }
             }
         }
@@ -355,15 +473,13 @@ fn run_frame_impl(
 
             // Own queue front, if eligible.
             let own = procs[pid].queue.front().copied();
-            let own_state = own.map(|t| {
-                (
-                    phase_ok(workload.tasks[t as usize].phase),
-                    deps_ok(t),
-                )
-            });
+            let own_state = own.map(|t| (phase_ok(workload.tasks[t as usize].phase), deps_ok(t)));
             // Advances a processor's clock to the simulated completion time
             // of a task's dependencies, charging the wait to sync.
-            let settle_deps = |procs: &mut Vec<Proc>, tid: u32, task_finish: &[u64]| {
+            let settle_deps = |procs: &mut Vec<Proc>,
+                               logs: &mut Option<&mut Vec<WorkerLog>>,
+                               tid: u32,
+                               task_finish: &[u64]| {
                 let ready = workload.tasks[tid as usize]
                     .deps
                     .iter()
@@ -371,8 +487,12 @@ fn run_frame_impl(
                     .max()
                     .unwrap_or(0);
                 if ready > procs[pid].time {
-                    procs[pid].sync += ready - procs[pid].time;
+                    let since = procs[pid].time;
+                    procs[pid].sync += ready - since;
                     procs[pid].time = ready;
+                    if let Some(logs) = logs.as_deref_mut() {
+                        logs[pid].record(SpanKind::Wait, since, ready, tid, 0);
+                    }
                 }
             };
             if let (Some(t), Some((true, true))) = (own, own_state) {
@@ -381,8 +501,9 @@ fn run_frame_impl(
                     procs[pid].time += pop_cycles;
                     procs[pid].lock += pop_cycles;
                 }
-                settle_deps(&mut procs, t, &task_finish);
+                settle_deps(&mut procs, &mut logs, t, &task_finish);
                 procs[pid].current = Some((t, 0));
+                procs[pid].cur_start = procs[pid].time;
             } else {
                 // Try to steal within the allowed phase.
                 let mut stolen = None;
@@ -395,7 +516,9 @@ fn run_frame_impl(
                         }
                         if let Some(&back) = procs[v].queue.back() {
                             let spec = &workload.tasks[back as usize];
-                            if spec.stealable && phase_ok(spec.phase) && deps_ok(back)
+                            if spec.stealable
+                                && phase_ok(spec.phase)
+                                && deps_ok(back)
                                 && best.is_none_or(|(_, l)| procs[v].queue.len() > l)
                             {
                                 best = Some((v, procs[v].queue.len()));
@@ -413,12 +536,16 @@ fn run_frame_impl(
                         procs[pid].time = start + steal_cycles;
                         procs[pid].lock += steal_cycles + waited;
                         result.steals += 1;
+                        if let Some(logs) = logs.as_deref_mut() {
+                            logs[pid].mark(SpanKind::Steal, procs[pid].time, v as u32, t);
+                        }
                         stolen = Some(t);
                     }
                 }
                 if let Some(t) = stolen {
-                    settle_deps(&mut procs, t, &task_finish);
+                    settle_deps(&mut procs, &mut logs, t, &task_finish);
                     procs[pid].current = Some((t, 0));
+                    procs[pid].cur_start = procs[pid].time;
                 } else if let (Some(t), Some((_, false))) = (own, own_state) {
                     // Front task's dependency unmet and nothing to steal.
                     let dep = workload.tasks[t as usize]
@@ -432,9 +559,7 @@ fn run_frame_impl(
                     // Next task belongs to a later phase: wait at the barrier.
                     procs[pid].blocked = Some((Block::Barrier, procs[pid].time));
                 } else if own.is_none() {
-                    if workload.barrier_between_phases
-                        && remaining[current_phase as usize] > 0
-                    {
+                    if workload.barrier_between_phases && remaining[current_phase as usize] > 0 {
                         // Help is impossible, wait for the phase to drain.
                         procs[pid].blocked = Some((Block::Barrier, procs[pid].time));
                     } else {
@@ -490,12 +615,8 @@ fn run_frame_impl(
                                     (sub_hi - sub_lo) as u32,
                                 );
                                 let home = platform.home_node(line * line_bytes, nprocs);
-                                let base = platform.miss_cost(
-                                    pid,
-                                    home,
-                                    info.dirty_elsewhere,
-                                    nprocs,
-                                );
+                                let base =
+                                    platform.miss_cost(pid, home, info.dirty_elsewhere, nprocs);
                                 let mut stall = base;
                                 let now = procs[pid].time;
                                 let hs = now.max(home_free[home]);
@@ -537,21 +658,15 @@ fn run_frame_impl(
                             coherence.evict(pid, e);
                         }
                         let had_others = coherence.held_by_others(pid, line);
-                        let (info, invalidated) = coherence.write(
-                            pid,
-                            line,
-                            sub_lo,
-                            (sub_hi - sub_lo) as u32,
-                            was_miss,
-                        );
+                        let (info, invalidated) =
+                            coherence.write(pid, line, sub_lo, (sub_hi - sub_lo) as u32, was_miss);
                         for &q in &invalidated {
                             caches[q].invalidate_line(line);
                             shadows[q].invalidate(line);
                         }
                         if was_miss {
                             let home = platform.home_node(line * line_bytes, nprocs);
-                            let base =
-                                platform.miss_cost(pid, home, info.dirty_elsewhere, nprocs);
+                            let base = platform.miss_cost(pid, home, info.dirty_elsewhere, nprocs);
                             let mut stall = base;
                             let now = procs[pid].time;
                             let hs = now.max(home_free[home]);
@@ -596,15 +711,22 @@ fn run_frame_impl(
             procs[pid].current = None;
             task_done[tid as usize] = true;
             task_finish[tid as usize] = procs[pid].time;
+            if let Some(logs) = logs.as_deref_mut() {
+                logs[pid].record(
+                    label_span_kind(spec.label),
+                    procs[pid].cur_start,
+                    procs[pid].time,
+                    tid,
+                    u32::from(spec.phase),
+                );
+            }
             let ph = spec.phase as usize;
             remaining[ph] -= 1;
             let now = procs[pid].time;
             // Wake dependency waiters.
-            release(&mut procs, now, |b| b == Block::Dep(tid));
+            release(&mut procs, now, |b| b == Block::Dep(tid), &mut logs);
             // Advance the phase and release the barrier when it drains.
-            if workload.barrier_between_phases
-                && ph == current_phase as usize
-                && remaining[ph] == 0
+            if workload.barrier_between_phases && ph == current_phase as usize && remaining[ph] == 0
             {
                 let crossing = (ph + 1) < nphases;
                 while (current_phase as usize) < nphases - 1
@@ -614,11 +736,16 @@ fn run_frame_impl(
                 }
                 if crossing {
                     // Everyone (including the finisher) pays the barrier op.
-                    release(&mut procs, now + BARRIER_OP_CYCLES, |b| b == Block::Barrier);
+                    release(
+                        &mut procs,
+                        now + BARRIER_OP_CYCLES,
+                        |b| b == Block::Barrier,
+                        &mut logs,
+                    );
                     procs[pid].time += BARRIER_OP_CYCLES;
                     procs[pid].sync += BARRIER_OP_CYCLES;
                 } else {
-                    release(&mut procs, now, |b| b == Block::Barrier);
+                    release(&mut procs, now, |b| b == Block::Barrier, &mut logs);
                 }
             }
         } else {
@@ -688,7 +815,11 @@ mod tests {
         );
         let r = replay(&Platform::ideal_dsm(), &w);
         // Proc 1 waits ~900 cycles at the barrier.
-        assert!(r.per_proc[1].sync_wait >= 900, "sync = {}", r.per_proc[1].sync_wait);
+        assert!(
+            r.per_proc[1].sync_wait >= 900,
+            "sync = {}",
+            r.per_proc[1].sync_wait
+        );
         assert!(r.total_cycles >= 1010);
     }
 
@@ -698,7 +829,10 @@ mod tests {
         let all_on_p0 = FrameWorkload {
             tasks: tasks.clone(),
             queues: vec![(0..8).collect(), vec![]],
-            steal: StealPolicy::FromBack { steal_cycles: 50, pop_cycles: 5 },
+            steal: StealPolicy::FromBack {
+                steal_cycles: 50,
+                pop_cycles: 5,
+            },
             barrier_between_phases: true,
         };
         let r = replay(&Platform::ideal_dsm(), &all_on_p0);
@@ -721,7 +855,10 @@ mod tests {
     fn dependencies_serialize_without_barriers() {
         // Task 1 on proc 1 depends on task 0 on proc 0.
         let w = FrameWorkload {
-            tasks: vec![work(500, 0), task(|c| c.work(WorkKind::Warp, 100), 1, vec![0])],
+            tasks: vec![
+                work(500, 0),
+                task(|c| c.work(WorkKind::Warp, 100), 1, vec![0]),
+            ],
             queues: vec![vec![0], vec![1]],
             steal: StealPolicy::None,
             barrier_between_phases: false,
@@ -775,9 +912,9 @@ mod tests {
         let base = 2 << 20;
         let w = FrameWorkload {
             tasks: vec![
-                task(|c| c.read(base, 4), 0, vec![]),          // P1 warms up
-                task(|c| c.write(base, 4), 1, vec![]),         // P0 writes
-                task(|c| c.read(base, 4), 2, vec![]),          // P1 re-reads
+                task(|c| c.read(base, 4), 0, vec![]),  // P1 warms up
+                task(|c| c.write(base, 4), 1, vec![]), // P0 writes
+                task(|c| c.read(base, 4), 2, vec![]),  // P1 re-reads
             ],
             queues: vec![vec![1], vec![0, 2]],
             steal: StealPolicy::None,
@@ -821,7 +958,10 @@ mod tests {
             vec![vec![0], vec![], vec![], vec![]],
         );
         let r = replay(&Platform::ideal_dsm(), &w);
-        assert!(r.remote_misses > 0, "round-robin pages must hit other homes");
+        assert!(
+            r.remote_misses > 0,
+            "round-robin pages must hit other homes"
+        );
         assert!(r.local_misses > 0);
     }
 
@@ -854,6 +994,83 @@ mod tests {
     }
 
     #[test]
+    fn traced_replay_matches_untraced_and_spans_cover_busy_time() {
+        let w = wl(
+            vec![work(1000, 0), work(100, 0), work(10, 1), work(10, 1)],
+            vec![vec![0, 2], vec![1, 3]],
+        );
+        let plain = replay(&Platform::ideal_dsm(), &w);
+        let (traced, t) = try_replay_traced(&Platform::ideal_dsm(), &w).unwrap();
+        // Tracing is observation only: the simulation is unchanged.
+        assert_eq!(plain.total_cycles, traced.total_cycles);
+        assert_eq!(plain.busy_total(), traced.busy_total());
+        // Virtual-time telemetry: cycles unit, one lane per processor,
+        // task spans summing to each lane's execution time.
+        assert_eq!(t.unit, swr_telemetry::TimeUnit::Cycles);
+        assert_eq!(t.workers.len(), 2);
+        assert_eq!(t.frame_span.end, traced.total_cycles);
+        for (p, log) in t.workers.iter().enumerate() {
+            let exec: u64 = log
+                .spans()
+                .iter()
+                .filter(|s| s.kind == SpanKind::Composite)
+                .map(|s| s.dur())
+                .sum();
+            let pb = traced.per_proc[p];
+            assert_eq!(exec, pb.busy + pb.mem_stall, "proc {p}");
+            // The paper's breakdown rides along as tallies.
+            assert!(log
+                .tallies
+                .iter()
+                .any(|&(n, v)| n == "busy" && v == pb.busy));
+        }
+        // Proc 1's barrier waits appear as barrier spans. (The finisher's
+        // own barrier-op payment is charged to sync without blocking, so
+        // span totals bound sync_wait from below.)
+        let barrier = t.workers[1].kind_total(SpanKind::Barrier);
+        assert!(barrier > 0);
+        assert!(barrier <= traced.per_proc[1].sync_wait);
+    }
+
+    #[test]
+    fn traced_replay_records_steals_and_dependency_waits() {
+        let tasks: Vec<TaskSpec> = (0..8).map(|_| work(1000, 0)).collect();
+        let w = FrameWorkload {
+            tasks,
+            queues: vec![(0..8).collect(), vec![]],
+            steal: StealPolicy::FromBack {
+                steal_cycles: 50,
+                pop_cycles: 5,
+            },
+            barrier_between_phases: true,
+        };
+        let (r, t) = try_replay_traced(&Platform::ideal_dsm(), &w).unwrap();
+        let marks: u64 = t
+            .workers
+            .iter()
+            .map(|l| l.kind_count(SpanKind::Steal) as u64)
+            .sum();
+        assert_eq!(marks, r.steals, "every steal leaves a mark");
+
+        // Dependency wait: task 1 (proc 1) depends on task 0 (proc 0).
+        let w = FrameWorkload {
+            tasks: vec![
+                work(500, 0),
+                task(|c| c.work(WorkKind::Warp, 100), 1, vec![0]),
+            ],
+            queues: vec![vec![0], vec![1]],
+            steal: StealPolicy::None,
+            barrier_between_phases: false,
+        };
+        let (r, t) = try_replay_traced(&Platform::ideal_dsm(), &w).unwrap();
+        assert!(t.workers[1].kind_total(SpanKind::Wait) >= 499);
+        assert_eq!(
+            t.workers[1].kind_total(SpanKind::Wait),
+            r.per_proc[1].sync_wait
+        );
+    }
+
+    #[test]
     fn deterministic_replay() {
         let tasks: Vec<TaskSpec> = (0..6)
             .map(|i| {
@@ -873,7 +1090,10 @@ mod tests {
         let w = FrameWorkload {
             tasks,
             queues: vec![vec![0, 1, 2, 3, 4, 5], vec![], vec![]],
-            steal: StealPolicy::FromBack { steal_cycles: 30, pop_cycles: 3 },
+            steal: StealPolicy::FromBack {
+                steal_cycles: 30,
+                pop_cycles: 3,
+            },
             barrier_between_phases: true,
         };
         let a = replay(&Platform::dash(), &w);
@@ -894,7 +1114,13 @@ mod label_tests {
     fn labeled(cycles: u32, phase: u8, label: TaskLabel) -> TaskSpec {
         let mut c = CollectingTracer::new();
         c.work(WorkKind::Composite, cycles);
-        TaskSpec { trace: c.finish(), phase, deps: vec![], stealable: false, label }
+        TaskSpec {
+            trace: c.finish(),
+            phase,
+            deps: vec![],
+            stealable: false,
+            label,
+        }
     }
 
     #[test]
@@ -921,14 +1147,19 @@ mod label_tests {
         let mk = |f: fn(&mut CollectingTracer), phase: u8| {
             let mut c = CollectingTracer::new();
             f(&mut c);
-            TaskSpec { trace: c.finish(), phase, deps: vec![], stealable: false,
-                       label: TaskLabel::Composite }
+            TaskSpec {
+                trace: c.finish(),
+                phase,
+                deps: vec![],
+                stealable: false,
+                label: TaskLabel::Composite,
+            }
         };
         let w = FrameWorkload {
             tasks: vec![
-                mk(|c| c.read(0x40000, 4), 0),       // P0 reads
-                mk(|c| c.read(0x40000, 4), 0),       // P1 reads
-                mk(|c| c.write(0x40000, 4), 1),      // P0 writes (hit, shared)
+                mk(|c| c.read(0x40000, 4), 0),  // P0 reads
+                mk(|c| c.read(0x40000, 4), 0),  // P1 reads
+                mk(|c| c.write(0x40000, 4), 1), // P0 writes (hit, shared)
             ],
             queues: vec![vec![0, 2], vec![1]],
             steal: StealPolicy::None,

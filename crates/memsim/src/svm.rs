@@ -209,7 +209,8 @@ impl SvmMachine {
     /// Panics with the error's `Display` text on malformed workloads and
     /// replay deadlocks; see [`Self::try_run_frame`].
     pub fn run_frame(&mut self, workload: &FrameWorkload) -> SvmResult {
-        self.try_run_frame(workload).unwrap_or_else(|e| panic!("{e}"))
+        self.try_run_frame(workload)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -371,8 +372,7 @@ fn run_frame_impl(
                     .all(|&d| task_done[d as usize])
             };
             let own = procs[pid].queue.front().copied();
-            let own_state =
-                own.map(|t| (phase_ok(workload.tasks[t as usize].phase), deps_ok(t)));
+            let own_state = own.map(|t| (phase_ok(workload.tasks[t as usize].phase), deps_ok(t)));
             // Dependency causality: a dependent may not start before its
             // dependency's simulated completion; the wait is barrier time
             // (it replaces the global barrier in the new algorithm).
@@ -441,21 +441,37 @@ fn run_frame_impl(
                     procs[pid].blocked = Some((Block::Dep(dep), procs[pid].time));
                 } else if let (Some(_), Some((false, _))) = (own, own_state) {
                     flush_dirty(
-                        &mut procs, seen, pid, cfg, nnodes, page_version, &mut io_free,
+                        &mut procs,
+                        seen,
+                        pid,
+                        cfg,
+                        nnodes,
+                        page_version,
+                        &mut io_free,
                         &mut result.diffs,
                     );
                     procs[pid].blocked = Some((Block::Barrier, procs[pid].time));
-                } else if workload.barrier_between_phases
-                    && remaining[current_phase as usize] > 0
-                {
+                } else if workload.barrier_between_phases && remaining[current_phase as usize] > 0 {
                     flush_dirty(
-                        &mut procs, seen, pid, cfg, nnodes, page_version, &mut io_free,
+                        &mut procs,
+                        seen,
+                        pid,
+                        cfg,
+                        nnodes,
+                        page_version,
+                        &mut io_free,
                         &mut result.diffs,
                     );
                     procs[pid].blocked = Some((Block::Barrier, procs[pid].time));
                 } else {
                     flush_dirty(
-                        &mut procs, seen, pid, cfg, nnodes, page_version, &mut io_free,
+                        &mut procs,
+                        seen,
+                        pid,
+                        cfg,
+                        nnodes,
+                        page_version,
+                        &mut io_free,
                         &mut result.diffs,
                     );
                     procs[pid].finished = true;
@@ -476,7 +492,8 @@ fn run_frame_impl(
                     procs[pid].compute += cycles;
                 }
                 TraceEvent::Read { addr, size } | TraceEvent::Write { addr, size } => {
-                    let is_write = matches!(TraceEvent::unpack(events[idx]), TraceEvent::Write { .. });
+                    let is_write =
+                        matches!(TraceEvent::unpack(events[idx]), TraceEvent::Write { .. });
                     let first = addr / cfg.page_bytes;
                     let last = (addr + size as u64 - 1) / cfg.page_bytes;
                     for page in first..=last {
@@ -519,7 +536,13 @@ fn run_frame_impl(
             // mode; cheap when nothing is dirty).
             if !workload.barrier_between_phases || spec.label != TaskLabel::Warp {
                 flush_dirty(
-                    &mut procs, seen, pid, cfg, nnodes, page_version, &mut io_free,
+                    &mut procs,
+                    seen,
+                    pid,
+                    cfg,
+                    nnodes,
+                    page_version,
+                    &mut io_free,
                     &mut result.diffs,
                 );
             }
@@ -612,11 +635,20 @@ mod tests {
         let page_addr = 100; // page 0 → home node 0
         let w = FrameWorkload {
             tasks: vec![
-                task(move |c| c.read(page_addr, 4), 0, vec![]),      // proc 5 warms
-                task(move |c| c.write(page_addr, 4), 1, vec![]),     // proc 4 writes
-                task(move |c| c.read(page_addr, 4), 2, vec![]),      // proc 5 re-reads
+                task(move |c| c.read(page_addr, 4), 0, vec![]), // proc 5 warms
+                task(move |c| c.write(page_addr, 4), 1, vec![]), // proc 4 writes
+                task(move |c| c.read(page_addr, 4), 2, vec![]), // proc 5 re-reads
             ],
-            queues: vec![vec![], vec![], vec![], vec![], vec![1], vec![0, 2], vec![], vec![]],
+            queues: vec![
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![1],
+                vec![0, 2],
+                vec![],
+                vec![],
+            ],
             steal: StealPolicy::None,
             barrier_between_phases: true,
         };
@@ -634,7 +666,16 @@ mod tests {
         // Page 0 homes on node 0 = procs 0..4.
         let w = FrameWorkload {
             tasks: vec![task(|c| c.read(100, 4), 0, vec![])],
-            queues: vec![vec![0], vec![], vec![], vec![], vec![], vec![], vec![], vec![]],
+            queues: vec![
+                vec![0],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            ],
             steal: StealPolicy::None,
             barrier_between_phases: true,
         };
@@ -682,7 +723,16 @@ mod tests {
         };
         let w = FrameWorkload {
             tasks: vec![mk(0, 0), mk(1, 0), mk(0, 1), mk(1, 1)],
-            queues: vec![vec![0, 2], vec![], vec![], vec![], vec![1, 3], vec![], vec![], vec![]],
+            queues: vec![
+                vec![0, 2],
+                vec![],
+                vec![],
+                vec![],
+                vec![1, 3],
+                vec![],
+                vec![],
+                vec![],
+            ],
             steal: StealPolicy::None,
             barrier_between_phases: true,
         };
@@ -711,7 +761,10 @@ mod tests {
                 })
                 .collect(),
             queues: vec![(0..6).collect(), vec![], vec![], vec![]],
-            steal: StealPolicy::FromBack { steal_cycles: 4000, pop_cycles: 1000 },
+            steal: StealPolicy::FromBack {
+                steal_cycles: 4000,
+                pop_cycles: 1000,
+            },
             barrier_between_phases: true,
         };
         let a = replay_svm(&SvmConfig::paper(), &w);

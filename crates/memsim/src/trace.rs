@@ -64,7 +64,9 @@ impl TraceEvent {
                 addr: v & ADDR_MASK,
                 size: ((v >> SIZE_SHIFT) & 0x3f) as u32,
             },
-            TAG_WORK => TraceEvent::Work { cycles: v & ADDR_MASK },
+            TAG_WORK => TraceEvent::Work {
+                cycles: v & ADDR_MASK,
+            },
             _ => panic!("corrupt trace event tag {tag}"),
         }
     }
@@ -161,8 +163,12 @@ impl CollectingTracer {
     #[inline]
     fn flush_work(&mut self) {
         if self.pending_work > 0 {
-            self.events
-                .push(TraceEvent::Work { cycles: self.pending_work }.pack());
+            self.events.push(
+                TraceEvent::Work {
+                    cycles: self.pending_work,
+                }
+                .pack(),
+            );
             self.pending_work = 0;
         }
     }
@@ -173,16 +179,26 @@ impl Tracer for CollectingTracer {
     fn read(&mut self, addr: usize, bytes: u32) {
         self.flush_work();
         self.reads += 1;
-        self.events
-            .push(TraceEvent::Read { addr: addr as u64 & ADDR_MASK, size: bytes.clamp(1, 63) }.pack());
+        self.events.push(
+            TraceEvent::Read {
+                addr: addr as u64 & ADDR_MASK,
+                size: bytes.clamp(1, 63),
+            }
+            .pack(),
+        );
     }
 
     #[inline]
     fn write(&mut self, addr: usize, bytes: u32) {
         self.flush_work();
         self.writes += 1;
-        self.events
-            .push(TraceEvent::Write { addr: addr as u64 & ADDR_MASK, size: bytes.clamp(1, 63) }.pack());
+        self.events.push(
+            TraceEvent::Write {
+                addr: addr as u64 & ADDR_MASK,
+                size: bytes.clamp(1, 63),
+            }
+            .pack(),
+        );
     }
 
     #[inline]
@@ -199,10 +215,19 @@ mod tests {
     #[test]
     fn pack_round_trip() {
         for ev in [
-            TraceEvent::Read { addr: 0x7fff_1234_5678, size: 4 },
-            TraceEvent::Write { addr: 0x1, size: 16 },
+            TraceEvent::Read {
+                addr: 0x7fff_1234_5678,
+                size: 4,
+            },
+            TraceEvent::Write {
+                addr: 0x1,
+                size: 16,
+            },
             TraceEvent::Work { cycles: 12345 },
-            TraceEvent::Read { addr: ADDR_MASK, size: 63 },
+            TraceEvent::Read {
+                addr: ADDR_MASK,
+                size: 63,
+            },
             TraceEvent::Work { cycles: 0 },
         ] {
             assert_eq!(TraceEvent::unpack(ev.pack()), ev);
@@ -223,9 +248,15 @@ mod tests {
             evs,
             vec![
                 TraceEvent::Work { cycles: 15 },
-                TraceEvent::Read { addr: 0x1000, size: 4 },
+                TraceEvent::Read {
+                    addr: 0x1000,
+                    size: 4
+                },
                 TraceEvent::Work { cycles: 7 },
-                TraceEvent::Write { addr: 0x2000, size: 8 },
+                TraceEvent::Write {
+                    addr: 0x2000,
+                    size: 8
+                },
             ]
         );
         assert_eq!(t.work_cycles(), 22);
@@ -238,7 +269,10 @@ mod tests {
         let mut c = CollectingTracer::new();
         c.work(WorkKind::Other, 3);
         let t = c.finish();
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![TraceEvent::Work { cycles: 3 }]);
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            vec![TraceEvent::Work { cycles: 3 }]
+        );
     }
 
     #[test]

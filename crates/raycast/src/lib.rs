@@ -108,8 +108,7 @@ impl<'a> RayCaster<'a> {
                 for v in 0..fh {
                     for u in 0..fw {
                         tracer.work(WorkKind::Traverse, costs::RAY_SETUP);
-                        let origin =
-                            m_inv.transform_point(Vec3::new(u as f64, v as f64, 0.0));
+                        let origin = m_inv.transform_point(Vec3::new(u as f64, v as f64, 0.0));
                         if let Some(p) = self.cast_ray(origin, dir, dims, tracer, &mut stats) {
                             out.set(u, v, p);
                             tracer.write(out.pixel_addr(u, v), 4);
@@ -126,8 +125,7 @@ impl<'a> RayCaster<'a> {
                 for v in 0..fh {
                     for u in 0..fw {
                         tracer.work(WorkKind::Traverse, costs::RAY_SETUP);
-                        let through =
-                            m_inv.transform_point(Vec3::new(u as f64, v as f64, inv_d));
+                        let through = m_inv.transform_point(Vec3::new(u as f64, v as f64, inv_d));
                         let dir = (through - eye).normalized();
                         if let Some(p) = self.cast_ray(eye, dir, dims, tracer, &mut stats) {
                             out.set(u, v, p);
@@ -171,12 +169,9 @@ impl<'a> RayCaster<'a> {
 
             if self.opts.use_octree {
                 let (xi, yi, zi) = (x as usize, y as usize, z as usize);
-                let (skip, visited) = self.octree.transparent_cell_edge(
-                    xi,
-                    yi,
-                    zi,
-                    self.opts.transparency_threshold,
-                );
+                let (skip, visited) =
+                    self.octree
+                        .transparent_cell_edge(xi, yi, zi, self.opts.transparency_threshold);
                 // The octree descent reads one node per visited level.
                 for lvl in 0..visited as usize {
                     let l = self.octree.depth() - 1 - lvl;

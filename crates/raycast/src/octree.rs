@@ -58,7 +58,11 @@ impl MaxOctree {
         let mut levels = Vec::new();
         let mut edge = 2usize;
         while edge <= max_dim.next_power_of_two() {
-            let n = [dims[0].div_ceil(edge), dims[1].div_ceil(edge), dims[2].div_ceil(edge)];
+            let n = [
+                dims[0].div_ceil(edge),
+                dims[1].div_ceil(edge),
+                dims[2].div_ceil(edge),
+            ];
             let mut max_alpha = vec![0u8; n[0] * n[1] * n[2]];
             if edge == 2 {
                 // Aggregate dilated voxel opacities directly.
@@ -215,7 +219,12 @@ mod tests {
             for y in 0..dims[1] {
                 for x in 0..dims[0] {
                     let a = f(x, y, z);
-                    v.push(RgbaVoxel { r: a, g: a, b: a, a });
+                    v.push(RgbaVoxel {
+                        r: a,
+                        g: a,
+                        b: a,
+                        a,
+                    });
                 }
             }
         }
@@ -242,7 +251,9 @@ mod tests {
 
     #[test]
     fn single_voxel_taints_its_ancestors_only() {
-        let v = vol_from([16, 16, 16], |x, y, z| (x == 1 && y == 1 && z == 1) as u8 * 255);
+        let v = vol_from([16, 16, 16], |x, y, z| {
+            (x == 1 && y == 1 && z == 1) as u8 * 255
+        });
         let o = MaxOctree::build(&v);
         // Near the voxel: no transparent cell at any level containing it.
         assert_eq!(o.transparent_cell_edge(0, 0, 0, 1).0, None);

@@ -319,8 +319,7 @@ pub fn composite_scanline_slice<T: Tracer>(
             }
         }
         let inv255 = 1.0 / 255.0;
-        let (mut r, mut g, mut b, a) =
-            (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
+        let (mut r, mut g, mut b, a) = (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
         if let Some(f) = cue {
             r *= f;
             g *= f;
@@ -482,8 +481,7 @@ fn composite_scaled<T: Tracer>(
             }
         }
         let inv255 = 1.0 / 255.0;
-        let (mut r, mut g, mut b, a) =
-            (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
+        let (mut r, mut g, mut b, a) = (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
         if let Some(f) = cue {
             r *= f;
             g *= f;
@@ -554,7 +552,12 @@ mod tests {
             for y in 0..dims[1] {
                 for x in 0..dims[0] {
                     let a = f(x, y, z);
-                    v.push(RgbaVoxel { r: a, g: a, b: a, a });
+                    v.push(RgbaVoxel {
+                        r: a,
+                        g: a,
+                        b: a,
+                        a,
+                    });
                 }
             }
         }
@@ -579,7 +582,9 @@ mod tests {
         for y in 0..fact.inter_h {
             let mut row = img.row_view(y);
             for k in 0..fact.slice_count() {
-                total.merge(&composite_scanline_slice(&enc, &fact, &mut row, k, &opts, &mut t));
+                total.merge(&composite_scanline_slice(
+                    &enc, &fact, &mut row, k, &opts, &mut t,
+                ));
             }
         }
         // Head-on: u_off = v_off = 0, fx = wj = 0 → exactly one pixel hit.
@@ -596,9 +601,19 @@ mod tests {
         let c = {
             let mut v = vec![RgbaVoxel::TRANSPARENT; 64];
             // Front voxel: half-opaque, value 200.
-            v[(4 + 1) * 4 + 1] = RgbaVoxel { r: 200, g: 0, b: 0, a: 128 };
+            v[(4 + 1) * 4 + 1] = RgbaVoxel {
+                r: 200,
+                g: 0,
+                b: 0,
+                a: 128,
+            };
             // Back voxel (z=2): fully opaque, value 100.
-            v[(2 * 4 + 1) * 4 + 1] = RgbaVoxel { r: 100, g: 0, b: 0, a: 255 };
+            v[(2 * 4 + 1) * 4 + 1] = RgbaVoxel {
+                r: 100,
+                g: 0,
+                b: 0,
+                a: 255,
+            };
             ClassifiedVolume::from_raw(dims, v)
         };
         let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
@@ -615,7 +630,12 @@ mod tests {
         let front_a = 128.0 / 255.0;
         let expect_r = (200.0 + (1.0 - front_a) * 100.0) / 255.0;
         let expect_a = front_a + (1.0 - front_a) * 1.0;
-        assert!((p.r - expect_r).abs() < 1e-5, "r = {}, want {}", p.r, expect_r);
+        assert!(
+            (p.r - expect_r).abs() < 1e-5,
+            "r = {}, want {}",
+            p.r,
+            expect_r
+        );
         assert!((p.a - expect_a).abs() < 1e-5);
     }
 
@@ -632,11 +652,16 @@ mod tests {
         let run = |early: bool| {
             let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
             let mut t = CountingTracer::default();
-            let o = CompositeOpts { early_termination: early, ..opts };
+            let o = CompositeOpts {
+                early_termination: early,
+                ..opts
+            };
             let mut total = ScanlineSliceStats::default();
             let mut row = img.row_view(2);
             for k in 0..8 {
-                total.merge(&composite_scanline_slice(&enc, &fact, &mut row, k, &o, &mut t));
+                total.merge(&composite_scanline_slice(
+                    &enc, &fact, &mut row, k, &o, &mut t,
+                ));
             }
             (total, img.get(2, 2))
         };
@@ -705,7 +730,12 @@ mod tests {
             }
         }
         assert!((mass - 1.0).abs() < 1e-4, "mass = {mass}");
-        assert!((cu / mass - u).abs() < 1e-3, "centroid u {} vs {}", cu / mass, u);
+        assert!(
+            (cu / mass - u).abs() < 1e-3,
+            "centroid u {} vs {}",
+            cu / mass,
+            u
+        );
         assert!((cv / mass - v).abs() < 1e-3);
     }
 
@@ -737,13 +767,18 @@ mod tests {
         let fact = head_on(dims);
         let run = |profile: bool| {
             let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
-            let opts = CompositeOpts { profile, ..Default::default() };
+            let opts = CompositeOpts {
+                profile,
+                ..Default::default()
+            };
             let mut t = NullTracer;
             let mut total = ScanlineSliceStats::default();
             for y in 0..fact.inter_h {
                 let mut row = img.row_view(y);
                 for k in 0..fact.slice_count() {
-                    total.merge(&composite_scanline_slice(&enc, &fact, &mut row, k, &opts, &mut t));
+                    total.merge(&composite_scanline_slice(
+                        &enc, &fact, &mut row, k, &opts, &mut t,
+                    ));
                 }
             }
             total.work

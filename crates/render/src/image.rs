@@ -25,7 +25,12 @@ pub struct IPixel {
 
 impl IPixel {
     /// A cleared pixel.
-    pub const CLEAR: IPixel = IPixel { r: 0.0, g: 0.0, b: 0.0, a: 0.0 };
+    pub const CLEAR: IPixel = IPixel {
+        r: 0.0,
+        g: 0.0,
+        b: 0.0,
+        a: 0.0,
+    };
 }
 
 /// The sheared, composited intermediate image.
@@ -474,7 +479,12 @@ mod tests {
         let mut t = NullTracer;
         {
             let mut row = img.row_view(1);
-            row.pix[3] = IPixel { r: 1.0, g: 0.5, b: 0.2, a: 0.9 };
+            row.pix[3] = IPixel {
+                r: 1.0,
+                g: 0.5,
+                b: 0.2,
+                a: 0.9,
+            };
             row.mark_opaque(3, &mut t);
         }
         assert!(img.opaque_fraction() > 0.0);
@@ -493,7 +503,7 @@ mod tests {
         r0.pix[0].r = 1.0;
         r2.pix[0].r = 2.0;
         let _ = (r0, r2); // views released before reading the whole image
-        // SAFETY: no views outstanding.
+                          // SAFETY: no views outstanding.
         let whole = unsafe { shared.image() };
         assert_eq!(whole.get(0, 0).r, 1.0);
         assert_eq!(whole.get(0, 2).r, 2.0);

@@ -32,7 +32,9 @@ pub mod tracer;
 pub mod warp;
 
 pub use composite::{composite_scanline_slice, CompositeOpts, DepthCue, ScanlineSliceStats};
-pub use image::{FinalImage, IntermediateImage, IPixel, Rgba8, RowView, SharedFinal, SharedIntermediate};
+pub use image::{
+    FinalImage, IPixel, IntermediateImage, Rgba8, RowView, SharedFinal, SharedIntermediate,
+};
 pub use serial::{SerialRenderer, SerialStats};
 pub use tracer::{CountingTracer, NullTracer, Tracer, WorkKind};
 pub use warp::{warp_full, warp_row_band, warp_tile, InterSource, Tile};

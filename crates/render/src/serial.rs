@@ -6,6 +6,7 @@ use crate::tracer::{NullTracer, Tracer};
 use crate::warp::warp_full;
 use swr_error::Error;
 use swr_geom::{Factorization, ViewSpec};
+use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind, TimeUnit, WorkerLog};
 use swr_volume::EncodedVolume;
 
 /// Statistics for one serially rendered frame.
@@ -31,6 +32,9 @@ pub struct SerialRenderer {
     inter: Option<IntermediateImage>,
     /// Compositing options (early termination, profiling model).
     pub opts: CompositeOpts,
+    /// Telemetry of the last rendered frame: one worker lane with
+    /// composite/warp (and profile) phase spans, plus the frame metrics.
+    pub last_telemetry: Option<FrameTelemetry>,
 }
 
 impl SerialRenderer {
@@ -119,9 +123,16 @@ impl SerialRenderer {
             p.resize(fact.inter_h, 0);
         }
 
+        // One clock and one span log time the whole frame; the phase
+        // seconds in `SerialStats` are derived from the same spans the
+        // telemetry exports, so the two can never disagree.
+        let clock = FrameClock::new();
+        let mut log = WorkerLog::new(0, 64);
+        let profiling = profile.is_some();
+
         let inter = self.prepare_intermediate(&fact);
         let mut stats = SerialStats::default();
-        let t0 = std::time::Instant::now();
+        let t0 = clock.now_us();
 
         // Slice-major traversal, front-to-back — the serial storage-order
         // streaming that gives shear-warp its uniprocessor speed.
@@ -132,8 +143,7 @@ impl SerialRenderer {
             let xf = fact.slice_xform(k);
             let n_j = rle.std_dims()[1] as f64;
             let y_lo = (xf.off_v - 1.0).ceil().max(0.0) as usize;
-            let y_hi =
-                (((xf.off_v + xf.scale * n_j).floor()) as usize).min(fact.inter_h - 1);
+            let y_hi = (((xf.off_v + xf.scale * n_j).floor()) as usize).min(fact.inter_h - 1);
             for y in y_lo..=y_hi {
                 let mut row = inter.row_view(y);
                 let s = composite_scanline_slice(rle, &fact, &mut row, k, &opts, tracer);
@@ -143,12 +153,41 @@ impl SerialRenderer {
                 stats.composite.merge(&s);
             }
         }
-        stats.composite_secs = t0.elapsed().as_secs_f64();
+        let t1 = clock.now_us();
+        log.record(
+            if profiling {
+                SpanKind::Profile
+            } else {
+                SpanKind::Composite
+            },
+            t0,
+            t1,
+            0,
+            fact.inter_h as u32,
+        );
+        stats.composite_secs = us_to_secs(t1 - t0);
 
-        let t1 = std::time::Instant::now();
         let mut out = FinalImage::new(fact.final_w, fact.final_h);
         stats.warped_pixels = warp_full(inter, &fact, &mut out, tracer);
-        stats.warp_secs = t1.elapsed().as_secs_f64();
+        let t2 = clock.now_us();
+        log.record(SpanKind::Warp, t1, t2, 0, fact.final_h as u32);
+        stats.warp_secs = us_to_secs(t2 - t1);
+
+        let mut telemetry = FrameTelemetry::new(TimeUnit::Micros, "serial");
+        telemetry.workers.push(log);
+        telemetry
+            .metrics
+            .inc("composited_pixels", stats.composite.composited);
+        telemetry.metrics.inc("warped_pixels", stats.warped_pixels);
+        if profiling {
+            telemetry.metrics.inc("profiled_frames", 1);
+        }
+        telemetry
+            .metrics
+            .set_gauge("composite_secs", stats.composite_secs);
+        telemetry.metrics.set_gauge("warp_secs", stats.warp_secs);
+        telemetry.finish(clock.now_us());
+        self.last_telemetry = Some(telemetry);
         (out, stats)
     }
 }
@@ -249,6 +288,30 @@ mod tests {
         with.render_traced(&enc, &view, &mut t1);
         without.render_traced(&enc, &view, &mut t2);
         assert!(t1.total_cycles() < t2.total_cycles());
+    }
+
+    #[test]
+    fn telemetry_spans_are_the_timing_source() {
+        let (enc, view) = small_scene();
+        let mut r = SerialRenderer::new();
+        let (_, stats) = r.render_traced(&enc, &view, &mut NullTracer);
+        let t = r.last_telemetry.as_ref().expect("telemetry recorded");
+        assert_eq!(t.unit, swr_telemetry::TimeUnit::Micros);
+        assert_eq!(t.label, "serial");
+        let composite = t.span_total(SpanKind::Composite);
+        let warp = t.span_total(SpanKind::Warp);
+        assert_eq!(t.span_count(SpanKind::Composite), 1);
+        assert_eq!(t.span_count(SpanKind::Warp), 1);
+        // Stats seconds are derived from the same spans.
+        assert!((us_to_secs(composite) - stats.composite_secs).abs() < 1e-9);
+        assert!((us_to_secs(warp) - stats.warp_secs).abs() < 1e-9);
+        assert!(t.metrics.counter("composited_pixels") > 0);
+        // A profiled render labels its compositing span as profiling.
+        let mut profile = Vec::new();
+        r.render_profiled(&enc, &view, &mut NullTracer, &mut profile);
+        let t = r.last_telemetry.as_ref().unwrap();
+        assert_eq!(t.span_count(SpanKind::Profile), 1);
+        assert_eq!(t.metrics.counter("profiled_frames"), 1);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! bit-identical final images.
 
 use crate::costs;
-use crate::image::{FinalImage, IntermediateImage, IPixel, Rgba8, SharedFinal, SharedIntermediate};
+use crate::image::{FinalImage, IPixel, IntermediateImage, Rgba8, SharedFinal, SharedIntermediate};
 use crate::tracer::{Tracer, WorkKind};
 use swr_geom::Factorization;
 
@@ -224,8 +224,16 @@ pub fn warp_row_band<S: InterSource, T: Tracer>(
             continue;
         };
         // Slack absorbs the open/closed ends; the per-pixel test is exact.
-        let u_start = if ul.is_finite() { (ul.floor() as i64 - 1).max(0) } else { 0 };
-        let u_end = if uh.is_finite() { (uh.ceil() as i64 + 1).min(w) } else { w };
+        let u_start = if ul.is_finite() {
+            (ul.floor() as i64 - 1).max(0)
+        } else {
+            0
+        };
+        let u_end = if uh.is_finite() {
+            (uh.ceil() as i64 + 1).min(w)
+        } else {
+            w
+        };
         for u in u_start..u_end {
             if let Some(p) = warp_pixel(inter, fact, u as usize, v, lo, hi, tracer) {
                 // SAFETY: row bands are disjoint half-open intervals, and the
@@ -247,7 +255,9 @@ mod tests {
     use swr_geom::{Factorization, ViewSpec};
 
     fn setup(rot: f64) -> (IntermediateImage, Factorization) {
-        let view = ViewSpec::new([16, 16, 16]).rotate_y(rot).rotate_z(rot * 0.5);
+        let view = ViewSpec::new([16, 16, 16])
+            .rotate_y(rot)
+            .rotate_z(rot * 0.5);
         let fact = Factorization::from_view(&view);
         let mut inter = IntermediateImage::new(fact.inter_w, fact.inter_h);
         // Paint a deterministic pattern.
@@ -317,8 +327,7 @@ mod tests {
                 let cuts = [0, 3, fact.inter_h / 3, fact.inter_h / 2 + 1, fact.inter_h];
                 for wnd in cuts.windows(2) {
                     if wnd[0] < wnd[1] {
-                        w_bands +=
-                            warp_row_band(&inter, &fact, &shared, (wnd[0], wnd[1]), &mut t);
+                        w_bands += warp_row_band(&inter, &fact, &shared, (wnd[0], wnd[1]), &mut t);
                     }
                 }
             }

@@ -1,0 +1,392 @@
+//! Exporters: Chrome/Perfetto trace-event JSON, machine-readable metrics
+//! JSON, and the paper-style per-worker breakdown table.
+//!
+//! The Chrome trace format is the *trace event format* consumed by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: an object with a
+//! `traceEvents` array of complete (`"ph":"X"`) events carrying `name`,
+//! `ts`, `dur`, `pid`, `tid`. Frames map to processes, worker lanes to
+//! threads, so a multi-frame run renders as one process row per frame with
+//! per-worker timelines inside. Virtual-time (cycle) frames export
+//! identically — timestamps are just cycles instead of microseconds, noted
+//! in `otherData.unit`.
+
+use crate::frame::FrameTelemetry;
+use crate::json::Json;
+use crate::metrics::{Histogram, MetricsRegistry};
+use crate::span::WorkerLog;
+
+fn lane_tid(worker: usize) -> u64 {
+    if worker == WorkerLog::DRIVER {
+        0
+    } else {
+        worker as u64 + 1
+    }
+}
+
+fn lane_name(worker: usize) -> String {
+    if worker == WorkerLog::DRIVER {
+        "driver".to_string()
+    } else {
+        format!("worker {worker}")
+    }
+}
+
+fn meta_event(name: &str, pid: u64, tid: u64, value: &str) -> Json {
+    Json::obj()
+        .with("name", Json::Str(name.into()))
+        .with("ph", Json::Str("M".into()))
+        .with("pid", Json::U64(pid))
+        .with("tid", Json::U64(tid))
+        .with("args", Json::obj().with("name", Json::Str(value.into())))
+}
+
+/// Builds a Chrome/Perfetto trace document from one or more frames. Each
+/// frame becomes one `pid` (named after its label), each worker lane one
+/// `tid` within it; the driver lane is `tid` 0.
+pub fn chrome_trace(frames: &[&FrameTelemetry]) -> Json {
+    let mut events = Vec::new();
+    let mut unit = None;
+    for (i, frame) in frames.iter().enumerate() {
+        let pid = i as u64;
+        unit.get_or_insert(frame.unit);
+        events.push(meta_event(
+            "process_name",
+            pid,
+            0,
+            &format!("frame {i} [{}]", frame.label),
+        ));
+        events.push(meta_event(
+            "thread_name",
+            pid,
+            0,
+            &lane_name(WorkerLog::DRIVER),
+        ));
+        let fs = frame.frame_span;
+        events.push(
+            Json::obj()
+                .with("name", Json::Str(fs.kind.as_str().into()))
+                .with("cat", Json::Str(fs.kind.as_str().into()))
+                .with("ph", Json::Str("X".into()))
+                .with("ts", Json::U64(fs.start))
+                .with("dur", Json::U64(fs.dur()))
+                .with("pid", Json::U64(pid))
+                .with("tid", Json::U64(0)),
+        );
+        for w in &frame.workers {
+            let tid = lane_tid(w.worker);
+            if tid != 0 {
+                events.push(meta_event("thread_name", pid, tid, &lane_name(w.worker)));
+            }
+            for s in w.spans() {
+                events.push(
+                    Json::obj()
+                        .with("name", Json::Str(s.kind.as_str().into()))
+                        .with("cat", Json::Str(s.kind.as_str().into()))
+                        .with("ph", Json::Str("X".into()))
+                        .with("ts", Json::U64(s.start))
+                        .with("dur", Json::U64(s.dur()))
+                        .with("pid", Json::U64(pid))
+                        .with("tid", Json::U64(tid))
+                        .with(
+                            "args",
+                            Json::obj()
+                                .with("arg0", Json::U64(s.arg0 as u64))
+                                .with("arg1", Json::U64(s.arg1 as u64)),
+                        ),
+                );
+            }
+        }
+    }
+    Json::obj()
+        .with("traceEvents", Json::Arr(events))
+        .with("displayTimeUnit", Json::Str("ms".into()))
+        .with(
+            "otherData",
+            Json::obj().with(
+                "unit",
+                Json::Str(unit.map(|u| u.as_str()).unwrap_or("us").into()),
+            ),
+        )
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    Json::obj()
+        .with("count", Json::U64(h.count))
+        .with("sum", Json::U64(h.sum))
+        .with("min", Json::U64(if h.count == 0 { 0 } else { h.min }))
+        .with("max", Json::U64(h.max))
+        .with("mean", Json::F64(h.mean()))
+}
+
+/// Serializes a metrics registry as a JSON object with `counters`,
+/// `gauges`, and `histograms` sub-objects.
+pub fn metrics_json(m: &MetricsRegistry) -> Json {
+    let mut counters = Json::obj();
+    for (name, v) in m.counters() {
+        counters.set(name, Json::U64(v));
+    }
+    let mut gauges = Json::obj();
+    for (name, v) in m.gauges() {
+        gauges.set(name, Json::F64(v));
+    }
+    let mut hists = Json::obj();
+    for (name, h) in m.histograms() {
+        hists.set(name, histogram_json(h));
+    }
+    Json::obj()
+        .with("counters", counters)
+        .with("gauges", gauges)
+        .with("histograms", hists)
+}
+
+/// Serializes a full run — per-frame telemetry plus the merged aggregate —
+/// as the machine-readable metrics document written by `--metrics`.
+pub fn run_metrics_json(frames: &[&FrameTelemetry]) -> Json {
+    let mut totals = MetricsRegistry::new();
+    let mut frame_objs = Vec::new();
+    for frame in frames {
+        totals.merge(&frame.metrics);
+        let mut workers = Vec::new();
+        for w in &frame.workers {
+            let mut tallies = Json::obj();
+            for (name, v) in &w.tallies {
+                tallies.set(name, Json::U64(*v));
+            }
+            workers.push(
+                Json::obj()
+                    .with("lane", Json::Str(lane_name(w.worker)))
+                    .with("spans", Json::U64(w.spans().len() as u64))
+                    .with("dropped", Json::U64(w.dropped))
+                    .with("tallies", tallies),
+            );
+        }
+        frame_objs.push(
+            Json::obj()
+                .with("label", Json::Str(frame.label.clone()))
+                .with("unit", Json::Str(frame.unit.as_str().into()))
+                .with("duration", Json::U64(frame.frame_span.dur()))
+                .with("metrics", metrics_json(&frame.metrics))
+                .with("workers", Json::Arr(workers)),
+        );
+    }
+    Json::obj()
+        .with("schema", Json::Str("swr-telemetry/v1".into()))
+        .with("frames", Json::Arr(frame_objs))
+        .with("totals", metrics_json(&totals))
+}
+
+/// Renders the per-worker breakdown table — the textual analogue of the
+/// paper's busy/stall/sync bar charts (Figures 5, 14, 21–22). Columns are
+/// the union of worker tallies, one row per lane, durations in the frame's
+/// unit.
+pub fn breakdown_table(frame: &FrameTelemetry) -> String {
+    let mut columns: Vec<&'static str> = Vec::new();
+    for w in &frame.workers {
+        for (name, _) in &w.tallies {
+            if !columns.contains(name) {
+                columns.push(name);
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "per-worker breakdown [{}] (unit: {}, frame: {})\n",
+        frame.label,
+        frame.unit.as_str(),
+        frame.frame_span.dur()
+    ));
+    out.push_str(&format!("{:<10}", "lane"));
+    for c in &columns {
+        out.push_str(&format!("{c:>14}"));
+    }
+    out.push('\n');
+    for w in &frame.workers {
+        out.push_str(&format!("{:<10}", lane_name(w.worker)));
+        for c in &columns {
+            let v = w
+                .tallies
+                .iter()
+                .find(|(n, _)| n == c)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            out.push_str(&format!("{v:>14}"));
+        }
+        out.push('\n');
+    }
+    let mut total_row = format!("{:<10}", "total");
+    for c in &columns {
+        let sum: u64 = frame
+            .workers
+            .iter()
+            .flat_map(|w| w.tallies.iter())
+            .filter(|(n, _)| n == c)
+            .map(|(_, v)| *v)
+            .sum();
+        total_row.push_str(&format!("{sum:>14}"));
+    }
+    out.push_str(&total_row);
+    out.push('\n');
+    out
+}
+
+/// Validates a parsed document against the Chrome trace-event schema the
+/// exporters promise: a `traceEvents` array whose entries carry `name`,
+/// `ph`, `pid`, `tid`, with `ts` + `dur` on every complete (`X`) event.
+/// Returns the number of complete events on success.
+pub fn validate_chrome_trace(doc: &Json) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    let mut complete = 0usize;
+    for (i, e) in events.iter().enumerate() {
+        let at = |field: &str| format!("event {i}: missing or mistyped `{field}`");
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("name"))?;
+        let ph = e.get("ph").and_then(Json::as_str).ok_or_else(|| at("ph"))?;
+        e.get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| at("pid"))?;
+        e.get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| at("tid"))?;
+        match ph {
+            "X" => {
+                e.get("ts").and_then(Json::as_u64).ok_or_else(|| at("ts"))?;
+                e.get("dur")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| at("dur"))?;
+                complete += 1;
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unexpected phase `{other}`")),
+        }
+    }
+    if complete == 0 {
+        return Err("no complete (ph=X) events".to_string());
+    }
+    Ok(complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::span::{SpanKind, TimeUnit};
+
+    fn sample_frame(unit: TimeUnit, label: &str) -> FrameTelemetry {
+        let mut t = FrameTelemetry::new(unit, label);
+        let mut driver = WorkerLog::new(WorkerLog::DRIVER, 8);
+        driver.record(SpanKind::Partition, 0, 5, 0, 0);
+        let mut w0 = WorkerLog::new(0, 8);
+        w0.record(SpanKind::Composite, 5, 60, 0, 8);
+        w0.mark(SpanKind::Steal, 61, 1, 3);
+        w0.record(SpanKind::Warp, 62, 90, 0, 0);
+        t.workers = vec![driver, w0];
+        t.metrics.inc("steals", 1);
+        t.finish(95);
+        t
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_round_trips() {
+        let f = sample_frame(TimeUnit::Micros, "new");
+        let doc = chrome_trace(&[&f]);
+        let text = doc.to_string();
+        let back = json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        let complete = validate_chrome_trace(&back).unwrap();
+        // frame span + 4 worker/driver spans.
+        assert_eq!(complete, 5);
+        assert_eq!(
+            back.get("otherData")
+                .and_then(|o| o.get("unit"))
+                .and_then(Json::as_str),
+            Some("us")
+        );
+    }
+
+    #[test]
+    fn virtual_time_traces_are_structurally_identical() {
+        let real = chrome_trace(&[&sample_frame(TimeUnit::Micros, "new")]);
+        let sim = chrome_trace(&[&sample_frame(TimeUnit::Cycles, "replay:dash")]);
+        let shape = |doc: &Json| -> Vec<(String, u64, u64)> {
+            doc.get("traceEvents")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+                .map(|e| {
+                    (
+                        e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                        e.get("pid").and_then(Json::as_u64).unwrap(),
+                        e.get("tid").and_then(Json::as_u64).unwrap(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(shape(&real), shape(&sim));
+    }
+
+    #[test]
+    fn multi_frame_trace_separates_pids() {
+        let a = sample_frame(TimeUnit::Micros, "new");
+        let b = sample_frame(TimeUnit::Micros, "new");
+        let doc = chrome_trace(&[&a, &b]);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let pids: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let f = sample_frame(TimeUnit::Micros, "old");
+        let doc = run_metrics_json(&[&f]);
+        let text = doc.to_string();
+        let back = json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("swr-telemetry/v1")
+        );
+        let frames = back.get("frames").and_then(Json::as_arr).unwrap();
+        assert_eq!(frames.len(), 1);
+        let counters = frames[0]
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .unwrap();
+        assert_eq!(counters.get("steals").and_then(Json::as_u64), Some(1));
+        // Totals mirror the single frame.
+        let totals = back.get("totals").and_then(|t| t.get("counters")).unwrap();
+        assert_eq!(totals.get("frames").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn breakdown_table_lists_every_lane() {
+        let f = sample_frame(TimeUnit::Micros, "new");
+        let table = breakdown_table(&f);
+        assert!(table.contains("driver"));
+        assert!(table.contains("worker 0"));
+        assert!(table.contains("composite"));
+        assert!(table.contains("total"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_traces() {
+        for bad in [
+            r#"{}"#,
+            r#"{"traceEvents": 3}"#,
+            r#"{"traceEvents": [{"ph": "X"}]}"#,
+            r#"{"traceEvents": [{"name":"x","ph":"X","pid":0,"tid":0}]}"#,
+            r#"{"traceEvents": []}"#,
+        ] {
+            let doc = json::parse(bad).unwrap();
+            assert!(validate_chrome_trace(&doc).is_err(), "{bad} must fail");
+        }
+    }
+}

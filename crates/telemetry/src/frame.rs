@@ -1,0 +1,115 @@
+//! One frame's complete telemetry: per-worker span logs plus its metrics.
+
+use crate::metrics::MetricsRegistry;
+use crate::span::{Span, SpanKind, TimeUnit, WorkerLog};
+
+/// Everything one rendered (or replayed) frame reports: a span log per
+/// worker lane, a driver lane for whole-frame events, and the frame's
+/// metrics registry. Real renders (microsecond spans) and memsim replays
+/// (cycle spans) produce the same structure, so one set of exporters serves
+/// both.
+#[derive(Debug, Clone)]
+pub struct FrameTelemetry {
+    /// Unit of every span timestamp in this frame.
+    pub unit: TimeUnit,
+    /// Which pipeline produced the frame (`serial`, `old`, `new`,
+    /// `replay:<platform>`).
+    pub label: String,
+    /// Per-worker span logs; the driver lane uses
+    /// [`WorkerLog::DRIVER`](crate::span::WorkerLog::DRIVER).
+    pub workers: Vec<WorkerLog>,
+    /// The frame's counters, gauges, and histograms.
+    pub metrics: MetricsRegistry,
+    /// The whole-frame interval (driver lane timeline).
+    pub frame_span: Span,
+}
+
+impl FrameTelemetry {
+    /// An empty frame with the given unit and label.
+    pub fn new(unit: TimeUnit, label: &str) -> Self {
+        FrameTelemetry {
+            unit,
+            label: label.to_string(),
+            workers: Vec::new(),
+            metrics: MetricsRegistry::new(),
+            frame_span: Span {
+                kind: SpanKind::Frame,
+                start: 0,
+                end: 0,
+                arg0: 0,
+                arg1: 0,
+            },
+        }
+    }
+
+    /// Closes the frame at `end` ticks and derives the span-level metrics:
+    /// per-kind duration histograms (`span.<kind>.<unit>`), span and drop
+    /// counters, and per-worker tallies for the breakdown table.
+    pub fn finish(&mut self, end: u64) {
+        self.frame_span.end = end;
+        let unit = self.unit.as_str();
+        let mut recorded = 0u64;
+        let mut dropped = 0u64;
+        for w in &mut self.workers {
+            if w.tallies.is_empty() {
+                w.tally_from_spans();
+            }
+            recorded += w.spans().len() as u64;
+            dropped += w.dropped;
+        }
+        for w in &self.workers {
+            for s in w.spans() {
+                self.metrics
+                    .observe(&format!("span.{}.{}", s.kind.as_str(), unit), s.dur());
+            }
+        }
+        self.metrics.inc("spans.recorded", recorded);
+        self.metrics.inc("spans.dropped", dropped);
+        self.metrics.inc("frames", 1);
+    }
+
+    /// Total duration of spans of `kind` across all workers.
+    pub fn span_total(&self, kind: SpanKind) -> u64 {
+        self.workers.iter().map(|w| w.kind_total(kind)).sum()
+    }
+
+    /// Number of spans of `kind` across all workers.
+    pub fn span_count(&self, kind: SpanKind) -> usize {
+        self.workers.iter().map(|w| w.kind_count(kind)).sum()
+    }
+
+    /// The log for a worker lane, if present.
+    pub fn worker(&self, worker: usize) -> Option<&WorkerLog> {
+        self.workers.iter().find(|w| w.worker == worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_derives_span_metrics() {
+        let mut t = FrameTelemetry::new(TimeUnit::Micros, "new");
+        let mut w0 = WorkerLog::new(0, 8);
+        w0.record(SpanKind::Composite, 0, 100, 0, 4);
+        w0.record(SpanKind::Warp, 100, 150, 0, 0);
+        let mut w1 = WorkerLog::new(1, 2);
+        w1.record(SpanKind::Composite, 0, 80, 4, 4);
+        w1.record(SpanKind::Wait, 80, 90, 0, 0);
+        w1.record(SpanKind::Warp, 90, 140, 0, 0); // dropped: cap = 2
+        t.workers = vec![w0, w1];
+        t.finish(160);
+
+        assert_eq!(t.frame_span.end, 160);
+        assert_eq!(t.metrics.counter("spans.recorded"), 4);
+        assert_eq!(t.metrics.counter("spans.dropped"), 1);
+        assert_eq!(t.span_total(SpanKind::Composite), 180);
+        assert_eq!(t.span_count(SpanKind::Wait), 1);
+        let h = t.metrics.histogram("span.composite.us").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 180);
+        // Tallies were derived for the table.
+        assert!(t.worker(0).unwrap().tallies.contains(&("composite", 100)));
+    }
+}

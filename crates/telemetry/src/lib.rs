@@ -1,0 +1,66 @@
+//! Frame telemetry for the shear-warp workspace.
+//!
+//! The paper's entire argument rests on *measured breakdowns* — busy /
+//! memory-stall / synchronization time per processor, miss-type
+//! decompositions, per-scanline work profiles (§5–§6). This crate is the
+//! instrumentation layer that makes every render (native or simulated) an
+//! inspectable timeline built from three pieces:
+//!
+//! * [`span`] — per-worker **span tracing** at frame → phase → task
+//!   granularity (partition / composite / warp / steal / wait / repair),
+//!   recorded into bounded per-thread buffers: no locks, no allocation, and
+//!   no unbounded growth on the hot path. One [`FrameClock`] per frame is
+//!   the single time source for spans *and* stats.
+//! * [`metrics`] — a **registry** of named counters, gauges, and log-scale
+//!   histograms that subsumes the renderers' flat stats structs and merges
+//!   across frames.
+//! * [`export`] — **exporters**: Chrome/Perfetto trace-event JSON (load the
+//!   file at <https://ui.perfetto.dev>), a machine-readable metrics
+//!   document, and the per-worker breakdown table mirroring the paper's
+//!   Figures 5/14/21–22. [`json`] is the self-contained JSON value /
+//!   writer / parser the exporters and the CI schema check share (the build
+//!   is offline; there is no serde).
+//!
+//! Native renders record wall-clock microseconds; memsim replays record
+//! *virtual-time cycles*. Both produce the same [`FrameTelemetry`]
+//! structure, so a simulated Challenge/DASH/Origin2000 run yields a trace
+//! structurally identical to a real one — the property that lets the same
+//! tooling attribute scaling loss in either regime.
+//!
+//! # Example
+//!
+//! ```
+//! use swr_telemetry::{
+//!     chrome_trace, validate_chrome_trace, FrameClock, FrameTelemetry, SpanKind,
+//!     TimeUnit, WorkerLog,
+//! };
+//!
+//! let clock = FrameClock::new();
+//! let mut log = WorkerLog::new(0, 1024);
+//! let t0 = clock.now_us();
+//! // ... composite rows 0..8 ...
+//! log.record(SpanKind::Composite, t0, clock.now_us(), 0, 8);
+//!
+//! let mut frame = FrameTelemetry::new(TimeUnit::Micros, "example");
+//! frame.workers.push(log);
+//! frame.finish(clock.now_us());
+//!
+//! let doc = chrome_trace(&[&frame]);
+//! assert!(validate_chrome_trace(&doc).is_ok());
+//! ```
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod export;
+pub mod frame;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{
+    breakdown_table, chrome_trace, metrics_json, run_metrics_json, validate_chrome_trace,
+};
+pub use frame::FrameTelemetry;
+pub use json::Json;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{us_to_secs, FrameClock, Span, SpanKind, TimeUnit, WorkerLog};

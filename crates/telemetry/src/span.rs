@@ -1,0 +1,304 @@
+//! Span tracing: what each worker did, and when.
+//!
+//! A [`Span`] is one half-open interval of a worker's timeline — a composited
+//! chunk, a warped band, a wait on the completion flags, a steal. Spans are
+//! recorded into per-worker [`WorkerLog`]s: fixed-capacity buffers allocated
+//! once per frame, so the hot path is a bounds check and a `Vec` push into
+//! reserved storage — no locks, no allocation, and overflow is *counted*
+//! (never reallocated) so a pathological frame degrades to dropped spans
+//! instead of unbounded memory.
+//!
+//! Timestamps are plain `u64` ticks in the frame's [`TimeUnit`]: microseconds
+//! since the frame's [`FrameClock`] origin for native renders, simulated
+//! cycles for memsim replays. Both produce structurally identical telemetry.
+
+use std::time::{Duration, Instant};
+
+/// The unit of span timestamps in one frame's telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeUnit {
+    /// Microseconds of wall-clock time since the frame started (native).
+    Micros,
+    /// Simulated processor cycles of virtual time (memsim replay).
+    Cycles,
+}
+
+impl TimeUnit {
+    /// Stable lowercase name used in exported JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TimeUnit::Micros => "us",
+            TimeUnit::Cycles => "cycles",
+        }
+    }
+}
+
+/// What a span covers. One vocabulary for every renderer and the replay, so
+/// real and simulated traces line up event-for-event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// The whole frame (driver lane).
+    Frame,
+    /// Computing the balanced partition / building the task queues.
+    Partition,
+    /// Compositing a chunk of intermediate-image scanlines.
+    Composite,
+    /// Warping (a tile of the final image, or a band of intermediate rows).
+    Warp,
+    /// A successful steal of a chunk from a victim's queue.
+    Steal,
+    /// Waiting on row-completion flags or task dependencies.
+    Wait,
+    /// Blocked at a global barrier.
+    Barrier,
+    /// Serially re-rendering work lost to a contained worker panic.
+    Repair,
+    /// Collecting the per-scanline work profile.
+    Profile,
+}
+
+impl SpanKind {
+    /// Every kind, in display order.
+    pub const ALL: [SpanKind; 9] = [
+        SpanKind::Frame,
+        SpanKind::Partition,
+        SpanKind::Composite,
+        SpanKind::Warp,
+        SpanKind::Steal,
+        SpanKind::Wait,
+        SpanKind::Barrier,
+        SpanKind::Repair,
+        SpanKind::Profile,
+    ];
+
+    /// Stable lowercase name used in exported traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Frame => "frame",
+            SpanKind::Partition => "partition",
+            SpanKind::Composite => "composite",
+            SpanKind::Warp => "warp",
+            SpanKind::Steal => "steal",
+            SpanKind::Wait => "wait",
+            SpanKind::Barrier => "barrier",
+            SpanKind::Repair => "repair",
+            SpanKind::Profile => "profile",
+        }
+    }
+}
+
+/// One recorded interval on a worker's timeline. `arg0`/`arg1` carry
+/// kind-specific detail (first row and row count of a composite chunk, task
+/// id of a replayed task, victim of a steal) without heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// What happened.
+    pub kind: SpanKind,
+    /// Start tick (frame-relative).
+    pub start: u64,
+    /// End tick; equal to `start` for instantaneous markers.
+    pub end: u64,
+    /// Kind-specific detail.
+    pub arg0: u32,
+    /// Kind-specific detail.
+    pub arg1: u32,
+}
+
+impl Span {
+    /// The span's duration in ticks.
+    pub fn dur(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// One worker's bounded span buffer plus its named time tallies.
+#[derive(Debug, Clone)]
+pub struct WorkerLog {
+    /// Worker index, or [`WorkerLog::DRIVER`] for the coordinating thread.
+    pub worker: usize,
+    spans: Vec<Span>,
+    cap: usize,
+    /// Spans that arrived after the buffer filled (counted, not stored).
+    pub dropped: u64,
+    /// Named per-worker totals (busy / mem_stall / sync cycles from a
+    /// replay, or per-kind span sums from a native render) — the rows of
+    /// the paper-style breakdown table.
+    pub tallies: Vec<(&'static str, u64)>,
+}
+
+impl WorkerLog {
+    /// Lane id of the coordinating (non-worker) thread.
+    pub const DRIVER: usize = usize::MAX;
+
+    /// A log for `worker` holding at most `cap` spans. All storage is
+    /// reserved up front; recording never allocates.
+    pub fn new(worker: usize, cap: usize) -> Self {
+        WorkerLog {
+            worker,
+            spans: Vec::with_capacity(cap),
+            cap,
+            dropped: 0,
+            tallies: Vec::new(),
+        }
+    }
+
+    /// Records an interval. Hot path: one branch and a push into reserved
+    /// storage; silently counted as dropped once the buffer is full.
+    #[inline]
+    pub fn record(&mut self, kind: SpanKind, start: u64, end: u64, arg0: u32, arg1: u32) {
+        if self.spans.len() < self.cap {
+            self.spans.push(Span {
+                kind,
+                start,
+                end,
+                arg0,
+                arg1,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records an instantaneous marker.
+    #[inline]
+    pub fn mark(&mut self, kind: SpanKind, at: u64, arg0: u32, arg1: u32) {
+        self.record(kind, at, at, arg0, arg1);
+    }
+
+    /// The recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Adds `value` to the named tally (creating it at zero).
+    pub fn tally(&mut self, name: &'static str, value: u64) {
+        if let Some(t) = self.tallies.iter_mut().find(|(n, _)| *n == name) {
+            t.1 += value;
+        } else {
+            self.tallies.push((name, value));
+        }
+    }
+
+    /// Total duration of all spans of `kind`.
+    pub fn kind_total(&self, kind: SpanKind) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(Span::dur)
+            .sum()
+    }
+
+    /// Number of spans of `kind`.
+    pub fn kind_count(&self, kind: SpanKind) -> usize {
+        self.spans.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// Derives the standard per-kind tallies from the recorded spans
+    /// (used by native renders; replays set cycle tallies directly).
+    pub fn tally_from_spans(&mut self) {
+        for kind in SpanKind::ALL {
+            let total = self.kind_total(kind);
+            if total > 0 || self.kind_count(kind) > 0 {
+                self.tally(kind.as_str(), total);
+            }
+        }
+    }
+}
+
+/// The frame's single time source: wall-clock microseconds since frame
+/// start. Every phase timing — `RenderStats` seconds, spans, watchdog
+/// deadlines — reads this one clock, so they can never disagree.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameClock {
+    origin: Instant,
+}
+
+impl FrameClock {
+    /// Starts the clock at the current instant.
+    pub fn new() -> Self {
+        FrameClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the frame started.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    /// Elapsed time as a `Duration` (watchdog comparisons).
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    /// Elapsed seconds as `f64` (stats reporting).
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for FrameClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Converts a microsecond tick count to seconds.
+pub fn us_to_secs(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_buffer_counts_drops_instead_of_growing() {
+        let mut log = WorkerLog::new(1, 4);
+        let base = log.spans.as_ptr();
+        for i in 0..10 {
+            log.record(SpanKind::Composite, i, i + 1, i as u32, 0);
+        }
+        assert_eq!(log.spans().len(), 4);
+        assert_eq!(log.dropped, 6);
+        // The buffer never reallocated.
+        assert_eq!(log.spans.as_ptr(), base);
+    }
+
+    #[test]
+    fn tallies_accumulate_by_name() {
+        let mut log = WorkerLog::new(0, 8);
+        log.tally("busy", 10);
+        log.tally("busy", 5);
+        log.tally("sync", 2);
+        assert_eq!(log.tallies, vec![("busy", 15), ("sync", 2)]);
+    }
+
+    #[test]
+    fn kind_totals_and_span_tallies() {
+        let mut log = WorkerLog::new(0, 8);
+        log.record(SpanKind::Composite, 0, 10, 0, 4);
+        log.record(SpanKind::Composite, 12, 20, 4, 4);
+        log.record(SpanKind::Warp, 20, 25, 0, 0);
+        log.mark(SpanKind::Steal, 11, 2, 0);
+        assert_eq!(log.kind_total(SpanKind::Composite), 18);
+        assert_eq!(log.kind_count(SpanKind::Steal), 1);
+        log.tally_from_spans();
+        assert!(log.tallies.contains(&("composite", 18)));
+        assert!(log.tallies.contains(&("warp", 5)));
+        // A zero-duration steal still shows up as a (zero) tally.
+        assert!(log.tallies.contains(&("steal", 0)));
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = FrameClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+        assert!(us_to_secs(1_500_000) > 1.49);
+    }
+}

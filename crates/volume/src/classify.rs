@@ -28,7 +28,12 @@ pub struct RgbaVoxel {
 
 impl RgbaVoxel {
     /// Fully transparent voxel.
-    pub const TRANSPARENT: RgbaVoxel = RgbaVoxel { r: 0, g: 0, b: 0, a: 0 };
+    pub const TRANSPARENT: RgbaVoxel = RgbaVoxel {
+        r: 0,
+        g: 0,
+        b: 0,
+        a: 0,
+    };
 
     /// Whether the voxel is below the given opacity threshold.
     #[inline]
@@ -166,7 +171,10 @@ pub fn classify(vol: &Volume, tf: &TransferFunction) -> ClassifiedVolume {
             }
         }
     }
-    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+    ClassifiedVolume {
+        dims: [nx, ny, nz],
+        voxels,
+    }
 }
 
 /// Multithreaded [`classify`]: slabs of z-slices are classified by worker
@@ -195,7 +203,10 @@ pub fn classify_parallel(vol: &Volume, tf: &TransferFunction, nthreads: usize) -
         }
     })
     .expect("classification workers must not panic");
-    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+    ClassifiedVolume {
+        dims: [nx, ny, nz],
+        voxels,
+    }
 }
 
 /// Classification from a precomputed [`GradientField`] — VolPack's two-stage
@@ -246,7 +257,10 @@ pub fn classify_with_field(
             }
         }
     }
-    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+    ClassifiedVolume {
+        dims: [nx, ny, nz],
+        voxels,
+    }
 }
 
 /// Fast classification (VolPack's min-max acceleration): a coarse grid of
@@ -296,7 +310,10 @@ pub fn classify_fast(vol: &Volume, tf: &TransferFunction) -> ClassifiedVolume {
             }
         }
     }
-    ClassifiedVolume { dims: [nx, ny, nz], voxels }
+    ClassifiedVolume {
+        dims: [nx, ny, nz],
+        voxels,
+    }
 }
 
 #[cfg(test)]
@@ -343,8 +360,7 @@ mod tests {
         let tf = TransferFunction::mri_default();
         let c = classify(&v, &tf);
         let interior = c.get(6, 6, 6);
-        let expected =
-            tf.opacity_value.eval(200) * tf.opacity_gradient.eval(0);
+        let expected = tf.opacity_value.eval(200) * tf.opacity_gradient.eval(0);
         assert_eq!(interior.a, (expected * 255.0).round() as u8);
     }
 
@@ -388,7 +404,10 @@ mod tests {
                 max_col = max_col.max((ca as i32 - cb as i32).abs());
             }
         }
-        assert!(max_col <= 6, "normal quantization shifted colors by {max_col}");
+        assert!(
+            max_col <= 6,
+            "normal quantization shifted colors by {max_col}"
+        );
     }
 
     #[test]
@@ -452,7 +471,11 @@ mod parallel_tests {
         let tf = TransferFunction::ct_default();
         let serial = classify(&v, &tf);
         for threads in [1, 2, 3, 7, 64] {
-            assert_eq!(classify_parallel(&v, &tf, threads), serial, "threads = {threads}");
+            assert_eq!(
+                classify_parallel(&v, &tf, threads),
+                serial,
+                "threads = {threads}"
+            );
         }
     }
 }

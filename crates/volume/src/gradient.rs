@@ -67,7 +67,10 @@ pub fn normal_at(vol: &Volume, x: usize, y: usize, z: usize) -> Option<Vec3> {
 /// that re-shading under a new light touches only lookup tables; this is the
 /// same idea with a modern octahedral parameterization.
 pub fn encode_normal_oct16(n: Vec3) -> u16 {
-    debug_assert!((n.length() - 1.0).abs() < 1e-6, "normal must be unit length");
+    debug_assert!(
+        (n.length() - 1.0).abs() < 1e-6,
+        "normal must be unit length"
+    );
     let inv_l1 = 1.0 / (n.x.abs() + n.y.abs() + n.z.abs());
     let (mut u, mut v) = (n.x * inv_l1, n.y * inv_l1);
     if n.z < 0.0 {
@@ -126,7 +129,11 @@ impl GradientField {
                 }
             }
         }
-        GradientField { dims: [nx, ny, nz], normals, magnitudes }
+        GradientField {
+            dims: [nx, ny, nz],
+            normals,
+            magnitudes,
+        }
     }
 
     /// Dimensions the field was computed for.
@@ -229,7 +236,10 @@ mod tests {
         let f = GradientField::compute(&v);
         assert_eq!(f.dims(), v.dims());
         for &(x, y, z) in &[(0usize, 0usize, 0usize), (6, 6, 5), (11, 11, 9)] {
-            assert_eq!(f.magnitude(x, y, z), gradient_magnitude_u8(gradient_at(&v, x, y, z)));
+            assert_eq!(
+                f.magnitude(x, y, z),
+                gradient_magnitude_u8(gradient_at(&v, x, y, z))
+            );
             match (f.normal(x, y, z), normal_at(&v, x, y, z)) {
                 (None, None) => {}
                 (Some(a), Some(b)) => {

@@ -22,9 +22,8 @@ pub fn write_svol<W: Write>(vol: &Volume, mut w: W) -> io::Result<()> {
     let [nx, ny, nz] = vol.dims();
     w.write_all(&MAGIC)?;
     for d in [nx, ny, nz] {
-        let d32 = u32::try_from(d).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidInput, "dimension exceeds u32")
-        })?;
+        let d32 = u32::try_from(d)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "dimension exceeds u32"))?;
         w.write_all(&d32.to_le_bytes())?;
     }
     w.write_all(&[0u8; 4])?; // reserved
@@ -36,7 +35,10 @@ pub fn read_svol<R: Read>(mut r: R) -> io::Result<Volume> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an SWVOL1 file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an SWVOL1 file",
+        ));
     }
     let mut dims = [0usize; 3];
     for d in &mut dims {
@@ -174,10 +176,8 @@ mod tests {
 
     #[test]
     fn try_loaders_attach_the_path() {
-        let missing = std::env::temp_dir().join(format!(
-            "swr_io_missing_{}.svol",
-            std::process::id()
-        ));
+        let missing =
+            std::env::temp_dir().join(format!("swr_io_missing_{}.svol", std::process::id()));
         let e = try_load_volume(&missing).expect_err("file does not exist");
         assert_eq!(e.exit_code(), 1);
         assert!(e.to_string().contains("swr_io_missing"), "{e}");

@@ -31,7 +31,9 @@ pub mod resample;
 pub mod rle;
 pub mod transfer;
 
-pub use classify::{classify, classify_fast, classify_parallel, classify_with_field, ClassifiedVolume, RgbaVoxel};
+pub use classify::{
+    classify, classify_fast, classify_parallel, classify_with_field, ClassifiedVolume, RgbaVoxel,
+};
 pub use gradient::GradientField;
 pub use grid::Volume;
 pub use phantom::Phantom;

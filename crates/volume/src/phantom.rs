@@ -61,11 +61,7 @@ impl Phantom {
         let noise = ValueNoise3::new(seed, 16);
         let fine = ValueNoise3::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), 16);
         let [nx, ny, nz] = dims;
-        let inv = [
-            2.0 / nx as f64,
-            2.0 / ny as f64,
-            2.0 / nz as f64,
-        ];
+        let inv = [2.0 / nx as f64, 2.0 / ny as f64, 2.0 / nz as f64];
         Volume::from_fn(dims, |x, y, z| {
             // Normalized coordinates in [-1, 1] per axis.
             let px = (x as f64 + 0.5) * inv[0] - 1.0;

@@ -373,7 +373,12 @@ mod tests {
     use crate::classify::ClassifiedVolume;
 
     fn vox(a: u8) -> RgbaVoxel {
-        RgbaVoxel { r: a, g: a, b: a, a }
+        RgbaVoxel {
+            r: a,
+            g: a,
+            b: a,
+            a,
+        }
     }
 
     /// Builds a classified volume from an opacity function.
@@ -413,11 +418,21 @@ mod tests {
 
     #[test]
     fn decode_round_trip_mixed_scanline() {
-        let v = vol_from([16, 1, 1], |x, _, _| if (4..7).contains(&x) || x == 12 { 99 } else { 0 });
+        let v = vol_from([16, 1, 1], |x, _, _| {
+            if (4..7).contains(&x) || x == 12 {
+                99
+            } else {
+                0
+            }
+        });
         let e = RleEncoding::encode(&v, Axis::Z, 1);
         let dec = e.scanline(0, 0).decode(16);
         for (x, d) in dec.iter().enumerate() {
-            let expect = if (4..7).contains(&x) || x == 12 { 99 } else { 0 };
+            let expect = if (4..7).contains(&x) || x == 12 {
+                99
+            } else {
+                0
+            };
             assert_eq!(d.a, expect, "at {x}");
         }
     }
@@ -425,7 +440,10 @@ mod tests {
     #[test]
     fn long_runs_are_split_and_merged_back() {
         // 600 transparent, 300 opaque, 100 transparent.
-        let v = vol_from([1000, 1, 1], |x, _, _| if (600..900).contains(&x) { 50 } else { 0 });
+        let v = vol_from(
+            [1000, 1, 1],
+            |x, _, _| if (600..900).contains(&x) { 50 } else { 0 },
+        );
         let e = RleEncoding::encode(&v, Axis::Z, 1);
         let sl = e.scanline(0, 0);
         // The split convention shows up as multiple run entries.
@@ -442,12 +460,18 @@ mod tests {
         let lo = RleEncoding::encode(&v, Axis::Z, 1);
         let hi = RleEncoding::encode(&v, Axis::Z, 100);
         assert!(hi.stored_voxels() < lo.stored_voxels());
-        assert_eq!(hi.stored_voxels(), (0..10).filter(|&x| x * 20 >= 100).count());
+        assert_eq!(
+            hi.stored_voxels(),
+            (0..10).filter(|&x| x * 20 >= 100).count()
+        );
     }
 
     #[test]
     fn three_axis_encodings_agree_on_totals() {
-        let v = vol_from([6, 5, 4], |x, y, z| if (x + y + z) % 3 == 0 { 77 } else { 0 });
+        let v = vol_from(
+            [6, 5, 4],
+            |x, y, z| if (x + y + z) % 3 == 0 { 77 } else { 0 },
+        );
         let enc = EncodedVolume::encode_with_threshold(&v, 1);
         let n = enc.for_axis(Axis::X).stored_voxels();
         assert_eq!(enc.for_axis(Axis::Y).stored_voxels(), n);

@@ -115,7 +115,13 @@ impl TransferFunction {
     /// fully transparent. Yields ~75–90 % transparent voxels on the phantom.
     pub fn mri_default() -> Self {
         TransferFunction {
-            opacity_value: Ramp::new(vec![(0, 0.0), (24, 0.0), (60, 0.35), (130, 0.8), (255, 1.0)]),
+            opacity_value: Ramp::new(vec![
+                (0, 0.0),
+                (24, 0.0),
+                (60, 0.35),
+                (130, 0.8),
+                (255, 1.0),
+            ]),
             opacity_gradient: Ramp::new(vec![(0, 0.05), (12, 0.3), (60, 1.0)]),
             red: Ramp::new(vec![(0, 0.2), (80, 0.8), (255, 1.0)]),
             green: Ramp::new(vec![(0, 0.15), (80, 0.55), (255, 0.9)]),
@@ -210,8 +216,15 @@ mod tests {
 
     #[test]
     fn presets_are_transparent_for_air() {
-        for tf in [TransferFunction::mri_default(), TransferFunction::ct_default()] {
-            assert_eq!(tf.opacity_value.eval(0), 0.0, "air must classify transparent");
+        for tf in [
+            TransferFunction::mri_default(),
+            TransferFunction::ct_default(),
+        ] {
+            assert_eq!(
+                tf.opacity_value.eval(0),
+                0.0,
+                "air must classify transparent"
+            );
             assert!(tf.opacity_value.eval(255) > 0.9);
         }
     }

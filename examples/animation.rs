@@ -9,8 +9,14 @@
 use shearwarp::prelude::*;
 
 fn main() {
-    let n_frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
-    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let n_frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
 
     let dims = Phantom::MriBrain.paper_dims(64);
     let raw = Phantom::MriBrain.generate(dims, 42);
@@ -39,7 +45,11 @@ fn main() {
             "frame {frame:>3} @ {angle:>5.1}°  {:>6.1} ms  {}{}",
             dt * 1e3,
             if stats.profiled { "[profiled] " } else { "" },
-            if stats.steals > 0 { format!("[{} steals]", stats.steals) } else { String::new() },
+            if stats.steals > 0 {
+                format!("[{} steals]", stats.steals)
+            } else {
+                String::new()
+            },
         );
         // Spot-check against the serial renderer now and then.
         if frame % 8 == 0 {

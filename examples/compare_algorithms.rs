@@ -11,7 +11,10 @@ use shearwarp::memsim::{replay_steady, Platform};
 use shearwarp::prelude::*;
 
 fn main() {
-    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let base: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
     let dims = Phantom::MriBrain.paper_dims(base);
     let raw = Phantom::MriBrain.generate(dims, 42);
     let encoded = EncodedVolume::encode(&classify(&raw, &TransferFunction::mri_default()));
@@ -39,8 +42,14 @@ fn main() {
     let t1_old = replay_steady(&platform, &old_cap.old_workload(1), 1).total_cycles;
     let t1_new = replay_steady(&platform, &new_cap.new_workload(1, &profile), 1).total_cycles;
 
-    println!("simulated DSM speedups ({} base, steady-state frames):", base);
-    println!("{:>6} {:>8} {:>8} {:>12}", "procs", "old", "new", "new/old time");
+    println!(
+        "simulated DSM speedups ({} base, steady-state frames):",
+        base
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>12}",
+        "procs", "old", "new", "new/old time"
+    );
     for p in [1usize, 2, 4, 8, 16, 32] {
         let to = replay_steady(&platform, &old_cap.old_workload(p), 1).total_cycles;
         let tn = replay_steady(&platform, &new_cap.new_workload(p, &profile), 1).total_cycles;

@@ -11,7 +11,10 @@
 use shearwarp::prelude::*;
 
 fn main() {
-    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let base: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let dims = Phantom::CtHead.paper_dims(base);
     let raw = Phantom::CtHead.generate(dims, 42);
     let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::ct_default()));
@@ -24,7 +27,11 @@ fn main() {
     let base_view = ViewSpec::new(dims).rotate_x(0.25).rotate_y(0.6);
     let img = serial.render(&enc, &base_view);
     std::fs::write("persp_parallel.ppm", img.to_ppm()).expect("write PPM");
-    println!("parallel projection   -> persp_parallel.ppm ({}x{})", img.width(), img.height());
+    println!(
+        "parallel projection   -> persp_parallel.ppm ({}x{})",
+        img.width(),
+        img.height()
+    );
 
     // Dolly the eye in: stronger foreshortening at smaller distances.
     for (i, factor) in [4.0, 2.0, 1.2].iter().enumerate() {

@@ -12,8 +12,14 @@ use shearwarp::memsim::{replay_steady, replay_svm_steady, Platform, SvmConfig};
 use shearwarp::prelude::*;
 
 fn main() {
-    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
-    let procs: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let base: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
+    let procs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
 
     let dims = Phantom::MriBrain.paper_dims(base);
     let raw = Phantom::MriBrain.generate(dims, 42);

@@ -9,12 +9,17 @@
 use shearwarp::prelude::*;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "quickstart.ppm".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "quickstart.ppm".into());
 
     // 1. A synthetic dataset (the paper's MRI brain aspect ratio at a small
     //    base resolution; crank it up for bigger renders).
     let dims = Phantom::MriBrain.paper_dims(96);
-    println!("generating {}x{}x{} MRI brain phantom...", dims[0], dims[1], dims[2]);
+    println!(
+        "generating {}x{}x{} MRI brain phantom...",
+        dims[0], dims[1], dims[2]
+    );
     let raw = Phantom::MriBrain.generate(dims, 42);
 
     // 2. Classification: opacity + shaded color per voxel.

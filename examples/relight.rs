@@ -11,7 +11,10 @@ use shearwarp::prelude::*;
 use shearwarp::volume::{classify_with_field, GradientField};
 
 fn main() {
-    let base: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let base: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let dims = Phantom::MriBrain.paper_dims(base);
     let raw = Phantom::MriBrain.generate(dims, 42);
 
@@ -55,5 +58,8 @@ fn main() {
     let t = std::time::Instant::now();
     let _ = classify_with_field(&raw, &field, &TransferFunction::mri_default());
     let fast_ms = t.elapsed().as_secs_f64() * 1e3;
-    println!("full classify {full_ms:.1} ms vs relight {fast_ms:.1} ms ({:.1}x)", full_ms / fast_ms);
+    println!(
+        "full classify {full_ms:.1} ms vs relight {fast_ms:.1} ms ({:.1}x)",
+        full_ms / fast_ms
+    );
 }

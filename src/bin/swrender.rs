@@ -34,6 +34,10 @@ struct Cli {
     frames: usize,
     step: f64,
     output: String,
+    metrics: Option<String>,
+    trace: Option<String>,
+    breakdown: bool,
+    simulate: Option<String>,
 }
 
 impl Default for Cli {
@@ -57,6 +61,10 @@ impl Default for Cli {
             frames: 1,
             step: 3.0,
             output: "render.ppm".into(),
+            metrics: None,
+            trace: None,
+            breakdown: false,
+            simulate: None,
         }
     }
 }
@@ -82,7 +90,18 @@ rendering:
   --algorithm serial|old|new   renderer (default new)
   --threads T                  worker threads for parallel renderers
   --frames N --step D          rotation animation (N frames, D deg/frame)
-  -o, --output PATH            output PPM (prefix when --frames > 1)"
+  -o, --output PATH            output PPM (prefix when --frames > 1)
+
+telemetry:
+  --metrics PATH               write per-frame metrics + totals JSON
+  --trace PATH                 write Chrome/Perfetto trace-event JSON
+                               (load at https://ui.perfetto.dev)
+  --breakdown                  print the per-worker busy/stall/sync table
+  --simulate challenge|dash|dsm|origin
+                               replay the frame's task traces on a simulated
+                               machine instead of rendering natively; spans
+                               are in virtual cycles, no PPM is written
+                               (requires --algorithm old|new)"
     );
     std::process::exit(2)
 }
@@ -160,6 +179,10 @@ fn parse() -> Cli {
             }
             "--frames" => cli.frames = val("--frames").parse().unwrap_or_else(|_| usage()),
             "--step" => cli.step = val("--step").parse().unwrap_or_else(|_| usage()),
+            "--metrics" => cli.metrics = Some(val("--metrics")),
+            "--trace" => cli.trace = Some(val("--trace")),
+            "--breakdown" => cli.breakdown = true,
+            "--simulate" => cli.simulate = Some(val("--simulate")),
             "-o" | "--output" => cli.output = val("--output"),
             "-h" | "--help" => usage(),
             other => {
@@ -190,7 +213,10 @@ fn main() {
     } else {
         let ph = cli.phantom.expect("default phantom");
         let dims = ph.paper_dims(cli.base);
-        eprintln!("generating {:?} phantom {}x{}x{}", ph, dims[0], dims[1], dims[2]);
+        eprintln!(
+            "generating {:?} phantom {}x{}x{}",
+            ph, dims[0], dims[1], dims[2]
+        );
         ph.generate(dims, cli.seed)
     };
 
@@ -220,7 +246,7 @@ fn main() {
     );
 
     enum AnyRenderer {
-        Serial(SerialRenderer),
+        Serial(Box<SerialRenderer>),
         Old(Box<OldParallelRenderer>),
         New(Box<NewParallelRenderer>),
     }
@@ -235,7 +261,7 @@ fn main() {
         "serial" => {
             let mut r = SerialRenderer::new();
             r.opts = composite_opts;
-            AnyRenderer::Serial(r)
+            AnyRenderer::Serial(Box::new(r))
         }
         "old" => {
             let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(cli.threads));
@@ -254,7 +280,7 @@ fn main() {
     };
 
     let dims = raw_vol.dims();
-    for frame in 0..cli.frames.max(1) {
+    let view_at = |frame: usize| {
         let ay = cli.angle_y + frame as f64 * cli.step;
         let mut view = ViewSpec::new(dims)
             .rotate_x(cli.angle_x.to_radians())
@@ -263,29 +289,159 @@ fn main() {
         if let Some(d) = cli.perspective {
             view = view.with_perspective(d);
         }
-        let t = std::time::Instant::now();
-        // Route faults by class: worker panics and scheduler stalls exit 3,
-        // bad views 2, rather than unwinding out of main.
-        let image = match &mut renderer {
-            AnyRenderer::Serial(r) => r.try_render(&enc, &view),
-            AnyRenderer::Old(r) => r.try_render(&enc, &view),
-            AnyRenderer::New(r) => r.try_render(&enc, &view),
+        (view, ay)
+    };
+
+    let mut telemetry: Vec<FrameTelemetry> = Vec::new();
+    if let Some(platform) = &cli.simulate {
+        simulate(&cli, platform, &enc, &view_at, &mut telemetry).unwrap_or_else(|e| fail(e));
+    } else {
+        for frame in 0..cli.frames.max(1) {
+            let (view, ay) = view_at(frame);
+            let t = std::time::Instant::now();
+            // Route faults by class: worker panics and scheduler stalls exit 3,
+            // bad views 2, rather than unwinding out of main.
+            let image = match &mut renderer {
+                AnyRenderer::Serial(r) => r.try_render(&enc, &view),
+                AnyRenderer::Old(r) => r.try_render(&enc, &view),
+                AnyRenderer::New(r) => r.try_render(&enc, &view),
+            }
+            .unwrap_or_else(|e| fail(e));
+            if let Some(t) = match &mut renderer {
+                AnyRenderer::Serial(r) => r.last_telemetry.take(),
+                AnyRenderer::Old(r) => r.last_telemetry.take(),
+                AnyRenderer::New(r) => r.last_telemetry.take(),
+            } {
+                telemetry.push(t);
+            }
+            let path = if cli.frames > 1 {
+                format!("{}{frame:04}.ppm", cli.output.trim_end_matches(".ppm"))
+            } else {
+                cli.output.clone()
+            };
+            std::fs::write(&path, image.to_ppm()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            });
+            eprintln!(
+                "frame {frame} @ {ay:.1}°: {}x{} in {:.1} ms -> {path}",
+                image.width(),
+                image.height(),
+                t.elapsed().as_secs_f64() * 1e3
+            );
         }
-        .unwrap_or_else(|e| fail(e));
-        let path = if cli.frames > 1 {
-            format!("{}{frame:04}.ppm", cli.output.trim_end_matches(".ppm"))
+    }
+
+    write_telemetry(&cli, &telemetry);
+}
+
+/// Replays the frame's captured task traces on a simulated shared-address-
+/// space machine (virtual time, cycle-unit spans) instead of rendering
+/// natively. The machine persists across animation frames so caches stay
+/// warm, as in the paper's steady-state measurements; for the new algorithm
+/// each frame is partitioned with the previous frame's measured work
+/// profile, exactly as the animation loop would.
+fn simulate(
+    cli: &Cli,
+    platform: &str,
+    enc: &EncodedVolume,
+    view_at: &dyn Fn(usize) -> (ViewSpec, f64),
+    telemetry: &mut Vec<FrameTelemetry>,
+) -> Result<()> {
+    use shearwarp::core::{try_capture_frame, CaptureConfig};
+    use shearwarp::memsim::{Machine, Platform};
+
+    let platform = match platform {
+        "challenge" => Platform::challenge(),
+        "dash" => Platform::dash(),
+        "dsm" => Platform::ideal_dsm(),
+        "origin" => Platform::origin2000(),
+        other => {
+            eprintln!("unknown platform {other} (want challenge|dash|dsm|origin)");
+            usage()
+        }
+    };
+    let new_alg = match cli.algorithm.as_str() {
+        "new" => true,
+        "old" => false,
+        other => {
+            eprintln!("--simulate requires --algorithm old|new, got {other}");
+            usage()
+        }
+    };
+    let pcfg = ParallelConfig::with_procs(cli.threads);
+    let mut machine = Machine::new(platform, cli.threads);
+    let mut prev_profile: Option<Vec<u64>> = None;
+    for frame in 0..cli.frames.max(1) {
+        let (view, ay) = view_at(frame);
+        let inter_rows = shearwarp::geom::Factorization::from_view(&view).inter_h;
+        let cfg = CaptureConfig::from_parallel(&pcfg, inter_rows);
+        let mut cap = try_capture_frame(enc, &view, &cfg, true, new_alg)?;
+        let workload = if new_alg {
+            let h = cap.factorization().inter_h;
+            let profile = match &prev_profile {
+                Some(prev) => fit_profile(prev, h),
+                None => cap.profile.clone(), // first frame: self-profile
+            };
+            prev_profile = Some(cap.profile.clone());
+            cap.new_workload(cli.threads, &profile)
         } else {
-            cli.output.clone()
+            cap.old_workload(cli.threads)
         };
-        std::fs::write(&path, image.to_ppm()).unwrap_or_else(|e| {
+        let (r, t) = machine.try_run_frame_traced(&workload)?;
+        eprintln!(
+            "frame {frame} @ {ay:.1}°: {} cycles on {} procs (busy {}, steals {}, miss/1k {:.1})",
+            r.total_cycles,
+            cli.threads,
+            r.busy_total(),
+            r.steals,
+            r.miss_rate() * 1000.0
+        );
+        telemetry.push(t);
+    }
+    Ok(())
+}
+
+/// Rescales the previous frame's per-scanline work profile to this frame's
+/// intermediate height (nearest-sample), mirroring the §4.2 prediction step.
+fn fit_profile(prev: &[u64], h: usize) -> Vec<u64> {
+    if prev.is_empty() || h == 0 {
+        return vec![0; h];
+    }
+    (0..h).map(|i| prev[i * prev.len() / h]).collect()
+}
+
+/// Writes `--metrics` / `--trace` documents and prints `--breakdown` tables
+/// for every frame that produced telemetry.
+fn write_telemetry(cli: &Cli, telemetry: &[FrameTelemetry]) {
+    let needs = cli.metrics.is_some() || cli.trace.is_some() || cli.breakdown;
+    if !needs {
+        return;
+    }
+    if telemetry.is_empty() {
+        eprintln!("swrender: no telemetry was collected (nothing rendered?)");
+        std::process::exit(1);
+    }
+    let refs: Vec<&FrameTelemetry> = telemetry.iter().collect();
+    if let Some(path) = &cli.metrics {
+        let doc = run_metrics_json(&refs);
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1)
         });
-        eprintln!(
-            "frame {frame} @ {ay:.1}°: {}x{} in {:.1} ms -> {path}",
-            image.width(),
-            image.height(),
-            t.elapsed().as_secs_f64() * 1e3
-        );
+        eprintln!("metrics -> {path}");
+    }
+    if let Some(path) = &cli.trace {
+        let doc = chrome_trace(&refs);
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("trace -> {path} (load at https://ui.perfetto.dev)");
+    }
+    if cli.breakdown {
+        for t in telemetry {
+            print!("{}", breakdown_table(t));
+        }
     }
 }

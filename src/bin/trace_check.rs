@@ -1,0 +1,58 @@
+//! `trace_check` — validates a Chrome/Perfetto trace-event JSON document
+//! produced by `swrender --trace` (or any telemetry exporter) against the
+//! schema the exporters promise: a `traceEvents` array whose entries carry
+//! `name`/`ph`/`pid`/`tid`, with `ts` + `dur` on every complete event.
+//!
+//! ```text
+//! trace_check out.trace.json           # exit 0 iff valid, prints a summary
+//! swrender ... --trace - | trace_check # reads stdin when no path is given
+//! ```
+//!
+//! Exit codes: `0` valid, `1` invalid or unreadable, `2` usage.
+
+use shearwarp::telemetry::{validate_chrome_trace, Json};
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (source, text) = match args.as_slice() {
+        [] | [_] if args.first().map(String::as_str) == Some("-") || args.is_empty() => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("trace_check: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
+            ("<stdin>".to_string(), buf)
+        }
+        [path] => match std::fs::read_to_string(path) {
+            Ok(text) => (path.clone(), text),
+            Err(e) => {
+                eprintln!("trace_check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: trace_check [FILE.trace.json | -]");
+            std::process::exit(2);
+        }
+    };
+
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("trace_check: {source}: not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    match validate_chrome_trace(&doc) {
+        Ok(complete) => {
+            let unit = doc
+                .get("otherData")
+                .and_then(|o| o.get("unit"))
+                .and_then(Json::as_str)
+                .unwrap_or("?");
+            println!("{source}: ok — {complete} complete events (unit: {unit})");
+        }
+        Err(e) => {
+            eprintln!("trace_check: {source}: invalid trace: {e}");
+            std::process::exit(1);
+        }
+    }
+}

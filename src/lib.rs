@@ -20,6 +20,10 @@
 //!   cache hierarchies with miss classification, platform cost models
 //!   (Challenge / DASH / ideal DSM / Origin2000), and a page-based
 //!   shared-virtual-memory (HLRC) model.
+//! * [`telemetry`] — per-worker span tracing, a metrics registry, and
+//!   exporters (Chrome/Perfetto trace-event JSON, per-worker breakdown
+//!   tables, metrics JSON) shared by the native renderers and the memsim
+//!   replay scheduler.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +47,7 @@ pub use swr_geom as geom;
 pub use swr_memsim as memsim;
 pub use swr_raycast as raycast;
 pub use swr_render as render;
+pub use swr_telemetry as telemetry;
 pub use swr_volume as volume;
 
 pub use swr_error::{Error, Result};
@@ -61,6 +66,10 @@ pub mod prelude {
     pub use swr_error::{Error, Result};
     pub use swr_geom::{Affine2, Axis, Factorization, Mat4, Vec3, ViewSpec};
     pub use swr_render::{FinalImage, SerialRenderer, Tracer};
+    pub use swr_telemetry::{
+        breakdown_table, chrome_trace, metrics_json, run_metrics_json, validate_chrome_trace,
+        FrameTelemetry, Json, MetricsRegistry,
+    };
     pub use swr_volume::{
         classify, ClassifiedVolume, EncodedVolume, Phantom, TransferFunction, Volume,
     };

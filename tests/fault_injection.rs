@@ -46,7 +46,10 @@ fn new_renderer_panic_at_every_task_repairs_bit_identically() {
     let (enc, view) = scene();
     let serial = SerialRenderer::new().render(&enc, &view);
     let tasks = count_tasks_new(&enc, &view, 3);
-    assert!(tasks > 2, "scene too small to be interesting: {tasks} tasks");
+    assert!(
+        tasks > 2,
+        "scene too small to be interesting: {tasks} tasks"
+    );
     for n in 0..tasks {
         let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(3));
         r.fault = Some(FaultPlan::new(n).panic_at(n));
@@ -65,7 +68,10 @@ fn old_renderer_panic_at_every_task_repairs_bit_identically() {
     let (enc, view) = scene();
     let serial = SerialRenderer::new().render(&enc, &view);
     let tasks = count_tasks_old(&enc, &view, 3);
-    assert!(tasks > 2, "scene too small to be interesting: {tasks} tasks");
+    assert!(
+        tasks > 2,
+        "scene too small to be interesting: {tasks} tasks"
+    );
     for n in 0..tasks {
         let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(3));
         r.fault = Some(FaultPlan::new(n).panic_at(n));
@@ -82,7 +88,10 @@ fn old_renderer_panic_at_every_task_repairs_bit_identically() {
 fn unrecovered_panic_is_a_typed_error() {
     quiet_panics();
     let (enc, view) = scene();
-    let cfg = ParallelConfig { recover_panics: false, ..ParallelConfig::with_procs(3) };
+    let cfg = ParallelConfig {
+        recover_panics: false,
+        ..ParallelConfig::with_procs(3)
+    };
 
     let mut r = NewParallelRenderer::new(cfg);
     r.fault = Some(FaultPlan::new(1).panic_at(0));
@@ -138,7 +147,9 @@ fn truncated_queue_stalls_with_typed_error_not_a_hang() {
     let mut r = NewParallelRenderer::new(cfg);
     r.fault = Some(FaultPlan::new(0).truncating_queue(1000));
     let t0 = std::time::Instant::now();
-    let e = r.try_render(&enc, &view).expect_err("lost rows must be detected");
+    let e = r
+        .try_render(&enc, &view)
+        .expect_err("lost rows must be detected");
     let elapsed = t0.elapsed();
     assert!(matches!(e, Error::Stalled { .. }), "{e}");
     assert!(e.to_string().contains("stalled"), "{e}");
@@ -157,10 +168,15 @@ fn truncated_queue_stalls_with_typed_error_not_a_hang() {
 #[test]
 fn old_renderer_truncated_queue_is_detected() {
     let (enc, view) = scene();
-    let cfg = ParallelConfig { steal: false, ..ParallelConfig::with_procs(3) };
+    let cfg = ParallelConfig {
+        steal: false,
+        ..ParallelConfig::with_procs(3)
+    };
     let mut r = OldParallelRenderer::new(cfg);
     r.fault = Some(FaultPlan::new(0).truncating_queue(1000));
-    let e = r.try_render(&enc, &view).expect_err("lost rows must be detected");
+    let e = r
+        .try_render(&enc, &view)
+        .expect_err("lost rows must be detected");
     assert!(matches!(e, Error::Stalled { holder: None, .. }), "{e}");
 }
 
@@ -186,7 +202,10 @@ fn rendering_recovers_across_frames_after_a_fault() {
     let (img, stats) = r.try_render_with_stats(&enc, &view).expect("clean frame");
     assert_eq!(img, serial);
     assert!(!stats.degraded);
-    assert!(stats.profiled, "the profile is re-collected after the fault");
+    assert!(
+        stats.profiled,
+        "the profile is re-collected after the fault"
+    );
 
     // Frame 3 uses the recovered profile.
     let (img, stats) = r.try_render_with_stats(&enc, &view).expect("steady state");
@@ -202,8 +221,9 @@ fn reused_plan_rearms_with_reset() {
     let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(2));
     r.fault = Some(FaultPlan::new(0).panic_at(1));
     for frame in 0..3 {
-        let (img, stats) =
-            r.try_render_with_stats(&enc, &view).expect("every frame recovers");
+        let (img, stats) = r
+            .try_render_with_stats(&enc, &view)
+            .expect("every frame recovers");
         assert_eq!(img, serial, "frame {frame}");
         assert_eq!(stats.worker_panics, 1, "frame {frame}");
         r.fault.as_ref().expect("attached").reset();

@@ -29,7 +29,10 @@ fn perspective_renders_nonempty_and_larger_than_parallel_front() {
     let (enc, _, dims) = scene(32);
     let view = persp_view(dims, 30.0);
     let img = SerialRenderer::new().render(&enc, &view);
-    assert!(img.mean_luma() > 0.1, "perspective render must not be blank");
+    assert!(
+        img.mean_luma() > 0.1,
+        "perspective render must not be blank"
+    );
 }
 
 #[test]
@@ -43,7 +46,11 @@ fn perspective_parallel_renderers_stay_bit_exact() {
                 OldParallelRenderer::new(ParallelConfig::with_procs(procs)).render(&enc, &view);
             assert_eq!(old, reference, "old, {deg}°, {procs} procs");
             let mut nr = NewParallelRenderer::new(ParallelConfig::with_procs(procs));
-            assert_eq!(nr.render(&enc, &view), reference, "new, {deg}°, {procs} procs");
+            assert_eq!(
+                nr.render(&enc, &view),
+                reference,
+                "new, {deg}°, {procs} procs"
+            );
             assert_eq!(nr.render(&enc, &view), reference, "new frame 2");
         }
     }
@@ -73,7 +80,10 @@ fn perspective_agrees_with_the_ray_caster() {
     }
     assert!(either > 0);
     let overlap = both as f64 / either as f64;
-    assert!(overlap > 0.75, "perspective silhouette overlap {overlap:.2}");
+    assert!(
+        overlap > 0.75,
+        "perspective silhouette overlap {overlap:.2}"
+    );
 }
 
 #[test]

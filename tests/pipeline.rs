@@ -27,7 +27,11 @@ fn encoded_volume_is_heavily_compressed() {
     // volume is "greatly compressed".
     let t = enc.transparent_fraction();
     assert!((0.70..=0.95).contains(&t), "transparent fraction {t}");
-    assert!(enc.compression_ratio() > 2.0, "ratio {}", enc.compression_ratio());
+    assert!(
+        enc.compression_ratio() > 2.0,
+        "ratio {}",
+        enc.compression_ratio()
+    );
 }
 
 #[test]
@@ -96,7 +100,10 @@ fn depth_cueing_darkens_far_slices_consistently() {
     let view = ViewSpec::new(dims).rotate_y(0.4);
 
     let opts = CompositeOpts {
-        depth_cue: Some(DepthCue { front: 1.0, per_slice: 0.03 }),
+        depth_cue: Some(DepthCue {
+            front: 1.0,
+            per_slice: 0.03,
+        }),
         ..Default::default()
     };
     let mut plain = SerialRenderer::new();
@@ -105,7 +112,12 @@ fn depth_cueing_darkens_far_slices_consistently() {
     let a = plain.render(&enc, &view);
     let b = cued.render(&enc, &view);
     // Cueing attenuates colors overall.
-    assert!(b.mean_luma() < a.mean_luma(), "{} !< {}", b.mean_luma(), a.mean_luma());
+    assert!(
+        b.mean_luma() < a.mean_luma(),
+        "{} !< {}",
+        b.mean_luma(),
+        a.mean_luma()
+    );
 
     // Parallel renderers honor the same options bit-exactly.
     let mut old = OldParallelRenderer::new(ParallelConfig::with_procs(3));
@@ -119,7 +131,10 @@ fn depth_cueing_darkens_far_slices_consistently() {
 #[test]
 fn depth_cue_factor_decays_monotonically() {
     use shearwarp::render::DepthCue;
-    let c = DepthCue { front: 1.0, per_slice: 0.01 };
+    let c = DepthCue {
+        front: 1.0,
+        per_slice: 0.01,
+    };
     let mut prev = f32::INFINITY;
     for d in [0usize, 1, 10, 100, 1000] {
         let f = c.factor(d);

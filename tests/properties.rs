@@ -1,11 +1,14 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants, spanning crates.
 
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use shearwarp::core::{balanced_contiguous, equal_contiguous, interleaved_chunks, prefix_sum};
 use shearwarp::geom::{Factorization, Vec3, ViewSpec};
-use shearwarp::render::{warp_full, warp_row_band, FinalImage, IPixel, IntermediateImage,
-    NullTracer, SharedFinal};
+use shearwarp::render::{
+    warp_full, warp_row_band, FinalImage, IPixel, IntermediateImage, NullTracer, SharedFinal,
+};
 use shearwarp::volume::{ClassifiedVolume, EncodedVolume, RgbaVoxel, Volume};
 use swr_memsim_props::*;
 

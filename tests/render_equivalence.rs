@@ -22,13 +22,16 @@ fn all_renderers_agree_across_angles_and_threads() {
             .rotate_x(11f64.to_radians())
             .rotate_y(angle_deg.to_radians());
         let reference = SerialRenderer::new().render(&enc, &view);
-        assert!(reference.mean_luma() > 0.1, "angle {angle_deg}: blank render");
+        assert!(
+            reference.mean_luma() > 0.1,
+            "angle {angle_deg}: blank render"
+        );
         for procs in [1, 2, 5] {
-            let old = OldParallelRenderer::new(ParallelConfig::with_procs(procs))
-                .render(&enc, &view);
+            let old =
+                OldParallelRenderer::new(ParallelConfig::with_procs(procs)).render(&enc, &view);
             assert_eq!(old, reference, "old, angle {angle_deg}, {procs} procs");
-            let new = NewParallelRenderer::new(ParallelConfig::with_procs(procs))
-                .render(&enc, &view);
+            let new =
+                NewParallelRenderer::new(ParallelConfig::with_procs(procs)).render(&enc, &view);
             assert_eq!(new, reference, "new, angle {angle_deg}, {procs} procs");
         }
     }

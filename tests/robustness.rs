@@ -2,13 +2,13 @@
 //! views, corrupt files, and scheduler deadlocks must fail loudly and
 //! precisely, not corrupt results.
 
-use shearwarp::memsim::{
-    replay, replay_svm, CollectingTracer, FrameWorkload, Platform, StealPolicy, SvmConfig,
-    TaskSpec,
-};
-use shearwarp::memsim::workload::TaskLabel;
-use shearwarp::prelude::*;
+#![allow(clippy::unwrap_used)]
 
+use shearwarp::memsim::workload::TaskLabel;
+use shearwarp::memsim::{
+    replay, replay_svm, CollectingTracer, FrameWorkload, Platform, StealPolicy, SvmConfig, TaskSpec,
+};
+use shearwarp::prelude::*;
 
 fn work_task(cycles: u32, phase: u8, deps: Vec<u32>) -> TaskSpec {
     let mut c = CollectingTracer::new();
@@ -96,10 +96,9 @@ impl TempFile {
     fn new(tag: &str) -> Self {
         // Process-unique name: parallel test runs (or concurrent CI jobs
         // sharing a tmpdir) must not collide on a fixed filename.
-        TempFile(std::env::temp_dir().join(format!(
-            "swr_robustness_{tag}_{}.raw",
-            std::process::id()
-        )))
+        TempFile(
+            std::env::temp_dir().join(format!("swr_robustness_{tag}_{}.raw", std::process::id())),
+        )
     }
 }
 
@@ -113,7 +112,10 @@ impl Drop for TempFile {
 fn corrupt_volume_files_are_rejected() {
     use shearwarp::volume::io::{load_raw, read_svol};
     assert!(read_svol(&b"garbage"[..]).is_err(), "short garbage");
-    assert!(read_svol(&b"SWVOL1\0\0tooshort"[..]).is_err(), "truncated header");
+    assert!(
+        read_svol(&b"SWVOL1\0\0tooshort"[..]).is_err(),
+        "truncated header"
+    );
     // Raw file with mismatched dims.
     let tmp = TempFile::new("mismatch");
     std::fs::write(&tmp.0, vec![0u8; 100]).unwrap();
@@ -142,8 +144,7 @@ fn renderers_handle_degenerate_volumes() {
         for deg in [0.0f64, 30.0] {
             let view = ViewSpec::new(dims).rotate_y(deg.to_radians());
             let serial = SerialRenderer::new().render(&enc, &view);
-            let par = NewParallelRenderer::new(ParallelConfig::with_procs(2))
-                .render(&enc, &view);
+            let par = NewParallelRenderer::new(ParallelConfig::with_procs(2)).render(&enc, &view);
             assert_eq!(serial, par, "dims {dims:?} deg {deg}");
         }
     }
@@ -214,10 +215,14 @@ fn zero_procs_is_a_typed_config_error() {
     let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::opaque_nonzero()));
     let view = ViewSpec::new(dims).rotate_y(0.3);
     let cfg = ParallelConfig::with_procs(0);
-    let e = NewParallelRenderer::new(cfg).try_render(&enc, &view).expect_err("nprocs = 0");
+    let e = NewParallelRenderer::new(cfg)
+        .try_render(&enc, &view)
+        .expect_err("nprocs = 0");
     assert!(matches!(e, Error::InvalidConfig { .. }), "{e}");
     assert_eq!(e.exit_code(), 2);
-    let e = OldParallelRenderer::new(cfg).try_render(&enc, &view).expect_err("nprocs = 0");
+    let e = OldParallelRenderer::new(cfg)
+        .try_render(&enc, &view)
+        .expect_err("nprocs = 0");
     assert!(matches!(e, Error::InvalidConfig { .. }), "{e}");
     // The heuristic chunk sizing itself must not divide by zero either.
     assert!(cfg.effective_chunk_rows(256) >= 1);
@@ -230,12 +235,16 @@ fn invalid_views_are_typed_on_the_serial_result_api() {
     let enc = EncodedVolume::encode(&classify(&raw, &TransferFunction::opaque_nonzero()));
     // A view built for different dimensions is rejected before rendering.
     let view = ViewSpec::new([16, 16, 16]).rotate_y(0.3);
-    let e = SerialRenderer::new().try_render(&enc, &view).expect_err("dims mismatch");
+    let e = SerialRenderer::new()
+        .try_render(&enc, &view)
+        .expect_err("dims mismatch");
     assert!(matches!(e, Error::InvalidView { .. }), "{e}");
     assert_eq!(e.exit_code(), 2);
     // The matching view succeeds through the same API.
     let view = ViewSpec::new(dims).rotate_y(0.3);
-    let img = SerialRenderer::new().try_render(&enc, &view).expect("valid view");
+    let img = SerialRenderer::new()
+        .try_render(&enc, &view)
+        .expect("valid view");
     assert!(img.mean_luma() > 0.0);
 }
 

@@ -2,9 +2,7 @@
 //! qualitative results end-to-end.
 
 use shearwarp::core::{capture_frame, CaptureConfig};
-use shearwarp::memsim::{
-    replay, replay_steady, replay_svm_steady, Machine, Platform, SvmConfig,
-};
+use shearwarp::memsim::{replay, replay_steady, replay_svm_steady, Machine, Platform, SvmConfig};
 use shearwarp::prelude::*;
 
 fn scene(base: usize) -> (EncodedVolume, ViewSpec) {
@@ -39,7 +37,10 @@ fn steady_state_has_no_cold_misses() {
     let first = m.run_frame(&wl);
     assert!(first.misses.cold > 0, "first frame must have cold misses");
     let steady = m.run_frame(&wl);
-    assert_eq!(steady.misses.cold, 0, "steady state re-references everything");
+    assert_eq!(
+        steady.misses.cold, 0,
+        "steady state re-references everything"
+    );
     // And steady frames are cheaper than cold ones.
     assert!(steady.total_cycles <= first.total_cycles);
 }
@@ -150,16 +151,28 @@ fn profile_predicts_balance() {
     let (enc, view) = scene(64);
     // Single-scanline atoms: partition boundaries can fall on any scanline,
     // so the profiled partitioning has full freedom to balance.
-    let balanced_cfg = CaptureConfig { chunk_rows: 1, ..CaptureConfig::default() };
-    let equal_cfg = CaptureConfig { profiled_partition: false, ..balanced_cfg };
+    let balanced_cfg = CaptureConfig {
+        chunk_rows: 1,
+        ..CaptureConfig::default()
+    };
+    let equal_cfg = CaptureConfig {
+        profiled_partition: false,
+        ..balanced_cfg
+    };
     let prev = capture_frame(&enc, &view, &balanced_cfg, true, false);
     let profile = prev.profile.clone();
     let pf = Platform::ideal_dsm();
     let p = 16;
 
     // Disable stealing so imbalance is fully visible as wait time.
-    let no_steal = CaptureConfig { steal: false, ..balanced_cfg };
-    let no_steal_eq = CaptureConfig { steal: false, ..equal_cfg };
+    let no_steal = CaptureConfig {
+        steal: false,
+        ..balanced_cfg
+    };
+    let no_steal_eq = CaptureConfig {
+        steal: false,
+        ..equal_cfg
+    };
     let mut cap_b = capture_frame(&enc, &view, &no_steal, true, false);
     let mut cap_e = capture_frame(&enc, &view, &no_steal_eq, true, false);
     let rb = replay_steady(&pf, &cap_b.new_workload(p, &profile), 1);

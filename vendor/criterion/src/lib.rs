@@ -18,12 +18,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter value.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     /// An id made of a parameter value alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -76,7 +80,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -89,7 +96,11 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
-        run_one(&format!("{}/{}", self.name, id), self.criterion.sample_size, f);
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.sample_size,
+            f,
+        );
     }
 
     /// Runs one benchmark parameterized by `input`.
@@ -100,7 +111,10 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         let name = format!("{}/{}", self.name, id);
-        let mut b = Bencher { samples: self.criterion.sample_size, mean: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            mean: Duration::ZERO,
+        };
         f(&mut b, input);
         report(&name, b.mean);
     }
@@ -110,7 +124,10 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
-    let mut b = Bencher { samples, mean: Duration::ZERO };
+    let mut b = Bencher {
+        samples,
+        mean: Duration::ZERO,
+    };
     f(&mut b);
     report(name, b.mean);
 }

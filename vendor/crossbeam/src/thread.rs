@@ -30,7 +30,10 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let inner = self.inner;
         let panics = Arc::clone(&self.panics);
         inner.spawn(move || {
-            let scope = Scope { inner, panics: Arc::clone(&panics) };
+            let scope = Scope {
+                inner,
+                panics: Arc::clone(&panics),
+            };
             if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
                 let _ = f(&scope);
             })) {
@@ -49,12 +52,13 @@ where
 {
     let panics: Arc<Mutex<Vec<Payload>>> = Arc::new(Mutex::new(Vec::new()));
     let body = std::thread::scope(|s| {
-        let scope = Scope { inner: s, panics: Arc::clone(&panics) };
+        let scope = Scope {
+            inner: s,
+            panics: Arc::clone(&panics),
+        };
         catch_unwind(AssertUnwindSafe(|| f(&scope)))
     });
-    let mut collected = std::mem::take(
-        &mut *panics.lock().unwrap_or_else(|e| e.into_inner()),
-    );
+    let mut collected = std::mem::take(&mut *panics.lock().unwrap_or_else(|e| e.into_inner()));
     match body {
         Err(p) => Err(p),
         Ok(r) if collected.is_empty() => Ok(r),

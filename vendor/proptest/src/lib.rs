@@ -29,7 +29,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Map { source: self, map: f, _out: PhantomData }
+            Map {
+                source: self,
+                map: f,
+                _out: PhantomData,
+            }
         }
     }
 
@@ -330,7 +334,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }
