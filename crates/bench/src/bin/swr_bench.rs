@@ -1,0 +1,89 @@
+//! Wall-clock benchmark entry point: times the serial, old-parallel, and
+//! new-parallel renderers and writes `BENCH_<host>.json`.
+//!
+//! ```text
+//! swr-bench [--base N] [--threads a,b,c] [--frames N] [--warmup N] [--out PATH]
+//! swr-bench --validate PATH     # CI: schema-check an emitted document
+//! ```
+
+use swr_bench::wall::{host_name, run_wall_bench, validate_bench_json, WallBenchConfig};
+use swr_telemetry::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: swr-bench [--base N] [--threads a,b,c] [--frames N] [--warmup N] \
+         [--out PATH] [--smoke]\n       swr-bench --validate PATH"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = WallBenchConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut validate_path: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("flag {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--base" => cfg.base = value("--base").parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                cfg.threads = value("--threads")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--frames" => cfg.frames = value("--frames").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => cfg.warmup = value("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = Some(value("--out")),
+            "--smoke" => {
+                let keep_out = out_path.take();
+                cfg = WallBenchConfig::smoke();
+                out_path = keep_out;
+            }
+            "--validate" => validate_path = Some(value("--validate")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("swr-bench: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("swr-bench: {path}: invalid JSON: {e}");
+            std::process::exit(1);
+        });
+        match validate_bench_json(&doc) {
+            Ok(()) => {
+                println!("{path}: valid {} document", swr_bench::wall::BENCH_SCHEMA);
+                return;
+            }
+            Err(e) => {
+                eprintln!("swr-bench: {path}: schema violation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if cfg.frames == 0 || cfg.threads.is_empty() {
+        eprintln!("swr-bench: need at least one measured frame and one thread count");
+        usage();
+    }
+    let doc = run_wall_bench(&cfg, |line| eprintln!("{line}"));
+    let path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", host_name()));
+    if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
+        eprintln!("swr-bench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}

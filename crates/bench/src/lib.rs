@@ -18,11 +18,13 @@ pub mod args;
 pub mod exp;
 pub mod figs;
 pub mod table;
+pub mod wall;
 
 pub use args::Args;
 pub use exp::*;
 pub use figs::*;
 pub use table::*;
+pub use wall::{run_wall_bench, validate_bench_json, WallBenchConfig};
 
 use swr_geom::ViewSpec;
 use swr_volume::{classify, EncodedVolume, Phantom};

@@ -1,0 +1,369 @@
+//! Wall-clock benchmark harness: `BENCH_<host>.json`.
+//!
+//! Unlike the figure harnesses (which replay *modeled* cycles through the
+//! memory simulator), this module times the real renderers on the host —
+//! the measured-execution-time discipline the paper itself follows. It runs
+//! the serial, old-parallel, and new-parallel renderers over a rotation
+//! animation (warmup frames discarded, then N measured frames), across
+//! thread counts and volumes, and emits one machine-readable JSON document
+//! whose schema is validated in CI so the perf trajectory stays comparable
+//! PR over PR.
+//!
+//! Regenerate with `cargo run --release -p swr-bench --bin swr-bench` or
+//! `swrender --bench` (see the README's *Performance* section).
+
+use crate::{build_dataset, view_at, FRAME_STEP_DEG};
+use std::time::Instant;
+use swr_core::{NewParallelRenderer, OldParallelRenderer, ParallelConfig};
+use swr_render::SerialRenderer;
+use swr_telemetry::Json;
+use swr_volume::Phantom;
+
+/// Schema tag of the emitted document; bump on breaking layout changes.
+pub const BENCH_SCHEMA: &str = "swr-bench-wall/1";
+
+/// Configuration of one wall-clock benchmark run.
+#[derive(Debug, Clone)]
+pub struct WallBenchConfig {
+    /// Base resolution fed to [`Phantom::paper_dims`].
+    pub base: usize,
+    /// Thread counts for the parallel renderers.
+    pub threads: Vec<usize>,
+    /// Measured frames per renderer configuration.
+    pub frames: usize,
+    /// Discarded warmup frames (page in the volume, settle the profile).
+    pub warmup: usize,
+    /// Datasets to render.
+    pub phantoms: Vec<Phantom>,
+}
+
+impl Default for WallBenchConfig {
+    fn default() -> Self {
+        WallBenchConfig {
+            base: 40,
+            threads: vec![1, 2, 4, 8],
+            frames: 10,
+            warmup: 3,
+            phantoms: vec![Phantom::MriBrain],
+        }
+    }
+}
+
+impl WallBenchConfig {
+    /// A tiny configuration for CI smoke runs: one small volume, two
+    /// threads, three measured frames.
+    pub fn smoke() -> Self {
+        WallBenchConfig {
+            base: 24,
+            threads: vec![2],
+            frames: 3,
+            warmup: 1,
+            phantoms: vec![Phantom::MriBrain],
+        }
+    }
+}
+
+/// Wall-clock measurements of one renderer configuration over the animation.
+struct Series {
+    frame_ms: Vec<f64>,
+    composite_ms: Vec<f64>,
+    warp_ms: Vec<f64>,
+    composited_pixels: u64,
+}
+
+impl Series {
+    fn mean_frame_ms(&self) -> f64 {
+        self.frame_ms.iter().sum::<f64>() / self.frame_ms.len() as f64
+    }
+
+    fn min_frame_ms(&self) -> f64 {
+        self.frame_ms.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn mean_of(v: &[f64]) -> f64 {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+
+    fn to_json(&self, renderer: &str, threads: usize, serial_mean_ms: Option<f64>) -> Json {
+        let mean = self.mean_frame_ms();
+        let frames = self.frame_ms.len() as u64;
+        let pixels_per_frame = self.composited_pixels as f64 / frames as f64;
+        let mut row = Json::obj()
+            .with("renderer", Json::Str(renderer.into()))
+            .with("threads", Json::U64(threads as u64))
+            .with("frames", Json::U64(frames))
+            .with("mean_frame_ms", Json::F64(mean))
+            .with("min_frame_ms", Json::F64(self.min_frame_ms()))
+            .with("fps", Json::F64(1000.0 / mean))
+            .with("composite_ms", Json::F64(Self::mean_of(&self.composite_ms)))
+            .with("warp_ms", Json::F64(Self::mean_of(&self.warp_ms)))
+            .with("composited_pixels_per_frame", Json::F64(pixels_per_frame))
+            .with(
+                "composited_mpixels_per_sec",
+                Json::F64(pixels_per_frame / mean / 1000.0),
+            );
+        if let Some(serial) = serial_mean_ms {
+            row.set("speedup_vs_serial", Json::F64(serial / mean));
+        }
+        row
+    }
+}
+
+/// Times `frames` measured frames of `render` (after `warmup` discarded
+/// ones), advancing the view each frame. `render` returns the per-frame
+/// `(composite_secs, warp_secs, composited_pixels)` triple.
+fn time_series(
+    dims: [usize; 3],
+    warmup: usize,
+    frames: usize,
+    mut render: impl FnMut(&swr_geom::ViewSpec) -> (f64, f64, u64),
+) -> Series {
+    let mut series = Series {
+        frame_ms: Vec::with_capacity(frames),
+        composite_ms: Vec::with_capacity(frames),
+        warp_ms: Vec::with_capacity(frames),
+        composited_pixels: 0,
+    };
+    for i in 0..warmup + frames {
+        let view = view_at(dims, i as f64 * FRAME_STEP_DEG);
+        let start = Instant::now();
+        let (comp_s, warp_s, pixels) = render(&view);
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+        if i >= warmup {
+            series.frame_ms.push(elapsed_ms);
+            series.composite_ms.push(comp_s * 1000.0);
+            series.warp_ms.push(warp_s * 1000.0);
+            series.composited_pixels += pixels;
+        }
+    }
+    series
+}
+
+/// The benchmark host name: `/proc/sys/kernel/hostname`, the `HOSTNAME`
+/// environment variable, or `"unknown"`.
+pub fn host_name() -> String {
+    if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let h = h.trim();
+        if !h.is_empty() {
+            return h.to_string();
+        }
+    }
+    match std::env::var("HOSTNAME") {
+        Ok(h) if !h.trim().is_empty() => h.trim().to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Runs the full benchmark matrix and returns the `BENCH_*.json` document.
+/// `progress` receives one human-readable line per completed series (pass
+/// `|_| {}` to silence it).
+pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> Json {
+    let mut results = Vec::new();
+    for &phantom in &cfg.phantoms {
+        let dims = phantom.paper_dims(cfg.base);
+        let enc = build_dataset(phantom, cfg.base);
+        let label = format!("{phantom:?}");
+
+        // Serial baseline.
+        let mut serial = SerialRenderer::new();
+        let s = time_series(dims, cfg.warmup, cfg.frames, |view| {
+            let (_, st) = serial.render_traced(&enc, view, &mut swr_render::NullTracer);
+            (st.composite_secs, st.warp_secs, st.composite.composited)
+        });
+        let serial_mean = s.mean_frame_ms();
+        progress(&format!(
+            "{label} {dims:?} serial: {:.2} ms/frame",
+            serial_mean
+        ));
+        let mut rows = vec![s
+            .to_json("serial", 1, None)
+            .with("phantom", Json::Str(label.clone()))];
+
+        for &threads in &cfg.threads {
+            let mut old = OldParallelRenderer::new(ParallelConfig::with_procs(threads));
+            let s = time_series(dims, cfg.warmup, cfg.frames, |view| {
+                let (_, st) = old.render_with_stats(&enc, view);
+                (st.composite_secs, st.warp_secs, st.composited_pixels)
+            });
+            progress(&format!(
+                "{label} {dims:?} old x{threads}: {:.2} ms/frame ({:.2}x)",
+                s.mean_frame_ms(),
+                serial_mean / s.mean_frame_ms()
+            ));
+            rows.push(
+                s.to_json("old", threads, Some(serial_mean))
+                    .with("phantom", Json::Str(label.clone())),
+            );
+
+            let mut new = NewParallelRenderer::new(ParallelConfig::with_procs(threads));
+            let s = time_series(dims, cfg.warmup, cfg.frames, |view| {
+                let (_, st) = new.render_with_stats(&enc, view);
+                // The new algorithm's phases overlap; composite_secs is the
+                // whole frame and warp_secs stays zero by construction.
+                (st.composite_secs, st.warp_secs, st.composited_pixels)
+            });
+            progress(&format!(
+                "{label} {dims:?} new x{threads}: {:.2} ms/frame ({:.2}x)",
+                s.mean_frame_ms(),
+                serial_mean / s.mean_frame_ms()
+            ));
+            rows.push(
+                s.to_json("new", threads, Some(serial_mean))
+                    .with("phantom", Json::Str(label.clone())),
+            );
+        }
+        results.extend(rows.into_iter().map(|r| {
+            r.with(
+                "dims",
+                Json::Arr(dims.iter().map(|&d| Json::U64(d as u64)).collect()),
+            )
+        }));
+    }
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    // Thread counts above the host's parallelism still run (the schedulers
+    // must not degrade), but their speedups only mean anything relative to
+    // this figure — record it so readers can tell a 1-core container's
+    // numbers from a 32-way machine's.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    Json::obj()
+        .with("schema", Json::Str(BENCH_SCHEMA.into()))
+        .with("host", Json::Str(host_name()))
+        .with("host_cpus", Json::U64(host_cpus))
+        .with("unix_secs", Json::U64(unix_secs))
+        .with(
+            "config",
+            Json::obj()
+                .with("base", Json::U64(cfg.base as u64))
+                .with("warmup", Json::U64(cfg.warmup as u64))
+                .with("frames", Json::U64(cfg.frames as u64)),
+        )
+        .with("results", Json::Arr(results))
+}
+
+/// Validates the schema of a `BENCH_*.json` document: the CI smoke job
+/// gates on structure, never on absolute numbers. Returns a description of
+/// the first violation.
+pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing schema tag")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BENCH_SCHEMA:?}"));
+    }
+    if doc.get("host").and_then(Json::as_str).is_none() {
+        return Err("missing host".into());
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results array")?;
+    if results.is_empty() {
+        return Err("results array is empty".into());
+    }
+    let mut saw_serial = false;
+    let mut saw_new = false;
+    for (i, row) in results.iter().enumerate() {
+        let renderer = row
+            .get("renderer")
+            .and_then(Json::as_str)
+            .ok_or(format!("results[{i}]: missing renderer"))?;
+        match renderer {
+            "serial" => saw_serial = true,
+            "new" => saw_new = true,
+            "old" => {}
+            other => return Err(format!("results[{i}]: unknown renderer {other:?}")),
+        }
+        for key in ["threads", "frames"] {
+            if row.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("results[{i}]: missing {key}"));
+            }
+        }
+        for key in [
+            "mean_frame_ms",
+            "min_frame_ms",
+            "fps",
+            "composited_mpixels_per_sec",
+        ] {
+            let v = row
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("results[{i}]: missing {key}"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("results[{i}]: {key} = {v} not positive/finite"));
+            }
+        }
+        if renderer != "serial" {
+            let v = row
+                .get("speedup_vs_serial")
+                .and_then(Json::as_f64)
+                .ok_or(format!(
+                    "results[{i}]: parallel row missing speedup_vs_serial"
+                ))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("results[{i}]: bad speedup {v}"));
+            }
+        }
+        if row.get("dims").and_then(Json::as_arr).map(<[Json]>::len) != Some(3) {
+            return Err(format!("results[{i}]: dims must be a 3-array"));
+        }
+    }
+    if !saw_serial {
+        return Err("no serial baseline row".into());
+    }
+    if !saw_new {
+        return Err("no new-parallel row".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_emits_a_valid_document() {
+        let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
+        validate_bench_json(&doc).expect("smoke document validates");
+        // Round-trips through the hand-rolled parser.
+        let text = doc.to_string();
+        let back = Json::parse(&text).expect("parses");
+        validate_bench_json(&back).expect("round-tripped document validates");
+        // 1 serial + (old + new) per thread count.
+        let rows = back
+            .get("results")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len);
+        assert_eq!(rows, Some(1 + 2 * WallBenchConfig::smoke().threads.len()));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_bench_json(&Json::obj()).is_err());
+        let bad_schema = Json::obj().with("schema", Json::Str("nope/9".into()));
+        assert!(validate_bench_json(&bad_schema).is_err());
+        let empty = Json::obj()
+            .with("schema", Json::Str(BENCH_SCHEMA.into()))
+            .with("host", Json::Str("h".into()))
+            .with("results", Json::Arr(vec![]));
+        assert_eq!(
+            validate_bench_json(&empty),
+            Err("results array is empty".into())
+        );
+    }
+
+    #[test]
+    fn host_name_is_nonempty() {
+        assert!(!host_name().is_empty());
+    }
+}

@@ -90,6 +90,7 @@ pub mod capture;
 pub mod fault;
 pub mod new_renderer;
 pub mod old_renderer;
+pub mod pad;
 pub mod partition;
 pub mod prefix;
 pub(crate) mod telem;
@@ -98,6 +99,7 @@ pub use capture::{capture_frame, try_capture_frame, CaptureConfig, CapturedFrame
 pub use fault::FaultPlan;
 pub use new_renderer::NewParallelRenderer;
 pub use old_renderer::OldParallelRenderer;
+pub use pad::CachePadded;
 pub use partition::{balanced_contiguous, equal_contiguous, interleaved_chunks, make_tiles};
 pub use prefix::{parallel_prefix_sum, prefix_sum};
 pub use swr_error::Error;

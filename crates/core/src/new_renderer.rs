@@ -33,26 +33,72 @@
 //! typed [`enum@Error`] is returned. See the crate docs' *Failure model*.
 
 use crate::fault::FaultPlan;
+use crate::old_renderer::StealQueue;
+use crate::pad::CachePadded;
 use crate::partition::{balanced_contiguous, equal_contiguous, partition_chunks};
 use crate::prefix::parallel_prefix_sum;
 use crate::telem;
 use crate::{Error, ParallelConfig, RenderStats};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
-    composite::occupied_y_bounds, composite_scanline_slice, warp_row_band, CompositeOpts,
-    FinalImage, IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
+    composite::occupied_y_bounds, composite_scanline_slice, composite_scanline_slice_untraced,
+    warp_row_band, CompositeOpts, FinalImage, IntermediateImage, NullTracer, SharedFinal,
+    SharedIntermediate,
 };
 use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind};
 use swr_volume::EncodedVolume;
 
 /// Row-claim sentinel: no worker ever claimed the row.
 const UNCLAIMED: usize = usize::MAX;
+
+/// Per-frame shared scheduler state, owned by the renderer and reused across
+/// frames so an animation loop allocates nothing per frame once the image
+/// size settles. The row-claim slots and steal queues are cache-line padded:
+/// they are the hottest cross-worker state, and packing them densely would
+/// reintroduce exactly the false sharing §5 of the paper measures.
+#[derive(Debug, Default)]
+struct FrameScratch {
+    /// Per-row completion flags (the new algorithm's barrier replacement).
+    rows_done: Vec<AtomicBool>,
+    /// Which worker last claimed each row (stall diagnostics).
+    row_claim: Vec<CachePadded<AtomicUsize>>,
+    /// Profile collection target on profiling frames; empty otherwise.
+    new_profile: Vec<AtomicU64>,
+    /// Per-worker warp completion (repair bookkeeping).
+    warp_done: Vec<AtomicBool>,
+    /// Per-worker steal queues.
+    queues: Vec<StealQueue>,
+}
+
+impl FrameScratch {
+    /// Resets for a frame of `h` intermediate rows and `nprocs` workers.
+    /// Rows outside `region` are marked complete immediately.
+    fn reset(&mut self, h: usize, nprocs: usize, region: &Range<usize>, profiling: bool) {
+        self.rows_done.resize_with(h, AtomicBool::default);
+        for (y, flag) in self.rows_done.iter_mut().enumerate() {
+            *flag.get_mut() = !region.contains(&y);
+        }
+        self.row_claim
+            .resize_with(h, || CachePadded::new(AtomicUsize::new(UNCLAIMED)));
+        for claim in self.row_claim.iter_mut() {
+            *claim.get_mut() = UNCLAIMED;
+        }
+        self.new_profile.clear();
+        if profiling {
+            self.new_profile.resize_with(h, AtomicU64::default);
+        }
+        self.warp_done.resize_with(nprocs, AtomicBool::default);
+        for done in self.warp_done.iter_mut() {
+            *done.get_mut() = false;
+        }
+        self.queues.resize_with(nprocs, StealQueue::default);
+    }
+}
 
 /// What a worker's wait on the completion flags concluded.
 enum WaitOutcome {
@@ -79,6 +125,10 @@ pub struct NewParallelRenderer {
     /// away) but the metrics registry is still populated from the stats.
     pub last_telemetry: Option<FrameTelemetry>,
     inter: Option<IntermediateImage>,
+    scratch: FrameScratch,
+    /// Partition staging buffer (the profile slice fed to the prefix sum),
+    /// reused across frames.
+    cum_profile: Vec<u64>,
     profile: Vec<u64>,
     profile_valid: bool,
     frames_since_profile: usize,
@@ -190,34 +240,54 @@ impl NewParallelRenderer {
         // §4.3: contiguous, predictively balanced partitions.
         let part_start = clock.now_us();
         let partitions: Vec<Range<usize>> = if self.cfg.profiled_partition && have_profile {
-            let mut cum_profile: Vec<u64> = self.profile[region.clone()].to_vec();
+            self.cum_profile.clear();
+            self.cum_profile
+                .extend_from_slice(&self.profile[region.clone()]);
+            let cum_profile = &mut self.cum_profile;
             if let Some(fp) = &self.fault {
                 if fp.zero_profile {
                     cum_profile.fill(0);
                 }
                 if fp.corrupt_profile {
-                    fp.scramble(&mut cum_profile);
+                    fp.scramble(cum_profile);
                 }
             }
             // The cumulative curve itself is computed with the parallel
             // prefix (its result equals the serial scan; balanced_contiguous
             // re-derives boundaries from the same values).
-            let _cum = parallel_prefix_sum(&cum_profile, nprocs);
-            balanced_contiguous(region.clone(), &cum_profile, nprocs)
+            let _cum = parallel_prefix_sum(cum_profile, nprocs);
+            balanced_contiguous(region.clone(), cum_profile, nprocs)
         } else {
             equal_contiguous(region.clone(), nprocs)
         };
         let chunk_rows = self.cfg.effective_chunk_rows(region.len().max(1));
-        let queues: Vec<Mutex<VecDeque<Range<usize>>>> = partition_chunks(&partitions, chunk_rows)
-            .into_iter()
-            .map(|v| Mutex::new(v.into()))
-            .collect();
+
+        // Per-frame shared state: completion flags, claim slots, profile
+        // counters, warp flags, steal queues — all reused from last frame.
+        self.scratch.reset(h, nprocs, &region, profiling);
+        for (queue, chunks) in self
+            .scratch
+            .queues
+            .iter_mut()
+            .zip(partition_chunks(&partitions, chunk_rows))
+        {
+            let q = queue.get_mut();
+            q.clear();
+            q.extend(chunks);
+        }
         if let Some(n) = self.fault.as_ref().and_then(|fp| fp.truncate_queue) {
-            let mut q = queues[0].lock();
+            let q = self.scratch.queues[0].get_mut();
             for _ in 0..n {
                 q.pop_back();
             }
         }
+        let FrameScratch {
+            rows_done,
+            row_claim,
+            new_profile,
+            warp_done,
+            queues,
+        } = &self.scratch;
         if collect {
             driver.record(
                 SpanKind::Partition,
@@ -228,33 +298,19 @@ impl NewParallelRenderer {
             );
         }
 
-        // Per-row completion flags; rows outside the composited region are
-        // ready immediately.
-        let rows_done: Vec<AtomicBool> = (0..h)
-            .map(|y| AtomicBool::new(!region.contains(&y)))
-            .collect();
-        // Which worker last claimed each row (stall diagnostics).
-        let row_claim: Vec<AtomicUsize> = (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
-        // Profile collection target (relaxed adds; sums are deterministic).
-        let new_profile: Vec<AtomicU64> = if profiling {
-            (0..h).map(|_| AtomicU64::new(0)).collect()
-        } else {
-            Vec::new()
-        };
-
         // Containment state: compositors still running (a waiter that sees 0
         // with its row incomplete has proven the row lost), worker panic
-        // payloads, the first stall observed, and per-worker warp completion.
-        let active = AtomicUsize::new(nprocs);
+        // payloads, and the first stall observed. The hot shared counters
+        // each own their cache line.
+        let active = CachePadded::new(AtomicUsize::new(nprocs));
         let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         let stalled: Mutex<Option<(usize, u64)>> = Mutex::new(None);
-        let warp_done: Vec<AtomicBool> = (0..nprocs).map(|_| AtomicBool::new(false)).collect();
 
-        let steals = AtomicU64::new(0);
-        let composited = AtomicU64::new(0);
+        let steals = CachePadded::new(AtomicU64::new(0));
+        let composited = CachePadded::new(AtomicU64::new(0));
         // Waits entered with the watchdog timeout armed (a backstop metric:
         // nonzero arms with zero stalls means the watchdog never fired).
-        let watchdog_arms = AtomicU64::new(0);
+        let watchdog_arms = CachePadded::new(AtomicU64::new(0));
         let opts = CompositeOpts {
             profile: profiling,
             ..self.composite_opts
@@ -270,19 +326,14 @@ impl NewParallelRenderer {
             crossbeam::scope(|s| {
                 #[allow(clippy::needless_range_loop)]
                 for p in 0..nprocs {
-                    let queues = &queues;
-                    let rows_done = &rows_done;
-                    let row_claim = &row_claim;
-                    let new_profile = &new_profile;
-                    let steals = &steals;
-                    let composited = &composited;
+                    let steals: &AtomicU64 = &steals;
+                    let composited: &AtomicU64 = &composited;
                     let shared = &shared;
                     let shared_out = &shared_out;
-                    let active = &active;
+                    let active: &AtomicUsize = &active;
                     let panics = &panics;
                     let stalled = &stalled;
-                    let warp_done = &warp_done;
-                    let watchdog_arms = &watchdog_arms;
+                    let watchdog_arms: &AtomicU64 = &watchdog_arms;
                     let logs = &logs;
                     let clock = &clock;
                     let steal = self.cfg.steal;
@@ -292,7 +343,6 @@ impl NewParallelRenderer {
                         let mut wlog = logs[p].lock();
                         let wlog = &mut *wlog;
                         let compose = catch_unwind(AssertUnwindSafe(|| {
-                            let mut tracer = NullTracer;
                             let mut local_pixels = 0u64;
                             while let Some((rows, victim)) =
                                 crate::old_renderer::pop_or_steal(p, queues, steal, steals)
@@ -321,17 +371,21 @@ impl NewParallelRenderer {
                                         // through the queues; each row is in
                                         // exactly one chunk.
                                         let mut row = unsafe { shared.row_view(y) };
-                                        let st = composite_scanline_slice(
-                                            rle,
-                                            fact,
-                                            &mut row,
-                                            k,
-                                            &opts,
-                                            &mut tracer,
-                                        );
-                                        local_pixels += st.composited;
                                         if profiling {
+                                            let st = composite_scanline_slice(
+                                                rle,
+                                                fact,
+                                                &mut row,
+                                                k,
+                                                &opts,
+                                                &mut NullTracer,
+                                            );
+                                            local_pixels += st.composited;
                                             new_profile[y].fetch_add(st.work, Ordering::Relaxed);
+                                        } else {
+                                            local_pixels += composite_scanline_slice_untraced(
+                                                rle, fact, &mut row, k, &opts,
+                                            );
                                         }
                                     }
                                 }

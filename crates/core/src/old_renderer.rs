@@ -18,6 +18,7 @@
 //! typed [`enum@Error`] is returned. See the crate docs' *Failure model*.
 
 use crate::fault::FaultPlan;
+use crate::pad::CachePadded;
 use crate::partition::{interleaved_chunks, make_tiles};
 use crate::telem;
 use crate::{Error, ParallelConfig, RenderStats};
@@ -29,8 +30,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
-    composite_scanline_slice, warp_full, warp_tile, CompositeOpts, FinalImage, IntermediateImage,
-    NullTracer, SharedFinal, SharedIntermediate,
+    composite_scanline_slice, composite_scanline_slice_untraced, warp_full, warp_tile,
+    CompositeOpts, FinalImage, IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
 };
 use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind};
 use swr_volume::EncodedVolume;
@@ -38,12 +39,16 @@ use swr_volume::EncodedVolume;
 /// Row-claim sentinel: no worker ever claimed the row.
 const UNCLAIMED: usize = usize::MAX;
 
+/// Per-worker steal queue, padded so neighbouring workers' queue locks never
+/// share a cache line (§5's false-sharing remedy).
+pub(crate) type StealQueue = CachePadded<Mutex<VecDeque<Range<usize>>>>;
+
 /// Pops the caller's queue, or steals from the back of the fullest victim.
 /// Returns the chunk plus the victim it was stolen from (`None` for the
 /// caller's own work), so callers can emit steal telemetry.
 pub(crate) fn pop_or_steal(
     me: usize,
-    queues: &[Mutex<VecDeque<Range<usize>>>],
+    queues: &[StealQueue],
     steal: bool,
     steals: &AtomicU64,
 ) -> Option<(Range<usize>, Option<usize>)> {
@@ -161,11 +166,10 @@ impl OldParallelRenderer {
         // the very beginning to the end": chunks cover every scanline.
         let part_start = clock.now_us();
         let chunk_rows = self.cfg.effective_chunk_rows(h);
-        let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
-            interleaved_chunks(0..h, chunk_rows, nprocs)
-                .into_iter()
-                .map(|v| Mutex::new(v.into()))
-                .collect();
+        let queues: Vec<StealQueue> = interleaved_chunks(0..h, chunk_rows, nprocs)
+            .into_iter()
+            .map(|v| CachePadded::new(Mutex::new(v.into())))
+            .collect();
         if let Some(n) = self.fault.as_ref().and_then(|fp| fp.truncate_queue) {
             let mut q = queues[0].lock();
             for _ in 0..n {
@@ -185,8 +189,10 @@ impl OldParallelRenderer {
 
         let mut out = FinalImage::new(fact.final_w, fact.final_h);
         let mut stats = RenderStats::default();
-        let steals = AtomicU64::new(0);
-        let composited = AtomicU64::new(0);
+        // Hot shared counters each own their cache line: workers bump them
+        // from every chunk, and sharing a line would ping-pong it.
+        let steals = CachePadded::new(AtomicU64::new(0));
+        let composited = CachePadded::new(AtomicU64::new(0));
         // Completion bookkeeping for the repair path.
         let rows_done: Vec<AtomicBool> = (0..h).map(|_| AtomicBool::new(false)).collect();
         let row_claim: Vec<AtomicUsize> = (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
@@ -207,8 +213,8 @@ impl OldParallelRenderer {
                 #[allow(clippy::needless_range_loop)]
                 for p in 0..nprocs {
                     let queues = &queues;
-                    let steals = &steals;
-                    let composited = &composited;
+                    let steals: &AtomicU64 = &steals;
+                    let composited: &AtomicU64 = &composited;
                     let rows_done = &rows_done;
                     let row_claim = &row_claim;
                     let arrived = &arrived;
@@ -227,7 +233,6 @@ impl OldParallelRenderer {
                         let mut wlog = logs[p].lock();
                         let wlog = &mut *wlog;
                         let compose = catch_unwind(AssertUnwindSafe(|| {
-                            let mut tracer = NullTracer;
                             let mut local_pixels = 0u64;
                             while let Some((rows, victim)) = pop_or_steal(p, queues, steal, steals)
                             {
@@ -256,15 +261,9 @@ impl OldParallelRenderer {
                                         // SAFETY: each scanline belongs to exactly
                                         // one chunk and each chunk is popped once.
                                         let mut row = unsafe { shared.row_view(y) };
-                                        let st = composite_scanline_slice(
-                                            rle,
-                                            fact,
-                                            &mut row,
-                                            k,
-                                            &opts,
-                                            &mut tracer,
+                                        local_pixels += composite_scanline_slice_untraced(
+                                            rle, fact, &mut row, k, &opts,
                                         );
-                                        local_pixels += st.composited;
                                     }
                                 }
                                 if collect {

@@ -1,0 +1,82 @@
+//! Cache-line padding for hot shared state.
+//!
+//! The paper's §5 analysis attributes part of the old algorithm's poor
+//! scaling to false sharing of per-processor data packed into common cache
+//! lines. [`CachePadded`] aligns a value to 128 bytes (two 64-byte lines, to
+//! also defeat adjacent-line prefetchers), so per-worker steal queues and
+//! shared claim counters each own their lines outright.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes so neighbouring values in an array never
+/// share a cache line.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn padded_values_do_not_share_lines() {
+        assert!(std::mem::align_of::<CachePadded<AtomicU64>>() >= 128);
+        assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 128);
+        let arr: [CachePadded<u64>; 2] = [CachePadded::new(1), CachePadded::new(2)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn deref_round_trip() {
+        let mut p = CachePadded::new(41u32);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+}

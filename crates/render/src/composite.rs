@@ -17,8 +17,8 @@
 //! opacity-saturated pixels are skipped via the image skip links.
 
 use crate::costs;
-use crate::image::RowView;
-use crate::tracer::{Tracer, WorkKind};
+use crate::image::{IPixel, RowView};
+use crate::tracer::{NullTracer, Tracer, WorkKind};
 use swr_geom::Factorization;
 use swr_volume::{RgbaVoxel, RleEncoding, RleScanline};
 
@@ -131,7 +131,9 @@ impl<'a> RunCursor<'a> {
             self.vox_pos += (self.seg_hi - self.seg_lo) as usize;
         }
         let len = self.runs[self.run_pos];
-        tracer.read(&self.runs[self.run_pos] as *const u8 as usize, 1);
+        if T::TRACING {
+            tracer.read(&self.runs[self.run_pos] as *const u8 as usize, 1);
+        }
         tracer.work(WorkKind::Traverse, costs::RUN_ADVANCE);
         self.run_pos += 1;
         self.seg_lo = self.seg_hi;
@@ -156,11 +158,13 @@ impl<'a> RunCursor<'a> {
         }
         if self.opaque && i >= self.seg_lo {
             let v = self.voxels[self.vox_pos + (i - self.seg_lo) as usize];
-            tracer.read(
-                &self.voxels[self.vox_pos + (i - self.seg_lo) as usize] as *const RgbaVoxel
-                    as usize,
-                4,
-            );
+            if T::TRACING {
+                tracer.read(
+                    &self.voxels[self.vox_pos + (i - self.seg_lo) as usize] as *const RgbaVoxel
+                        as usize,
+                    4,
+                );
+            }
             tracer.work(WorkKind::Composite, costs::VOXEL_FETCH);
             Some(v)
         } else {
@@ -184,10 +188,195 @@ impl<'a> RunCursor<'a> {
     }
 }
 
+/// Source voxel rows feeding the image scanline at fractional row
+/// coordinate `jf`: the floor row, its fractional weight, and the two
+/// in-bounds row indices (the `+1` row participates only with a nonzero
+/// weight). Shared by the unit-scale and perspective paths.
+#[inline]
+fn select_rows(jf: f64, n_j: i64) -> (f32, Option<usize>, Option<usize>) {
+    let j0f = jf.floor();
+    let wj = (jf - j0f) as f32;
+    let j0 = j0f as i64;
+    let row_a = (j0 >= 0 && j0 < n_j).then_some(j0 as usize);
+    let jb = j0 + 1;
+    let row_b = (jb >= 0 && jb < n_j && wj > 0.0).then_some(jb as usize);
+    (wj, row_a, row_b)
+}
+
+/// Opens run cursors on the two source voxel scanlines (emitting the
+/// scanline-index loads to the tracer). Shared by both compositing paths.
+#[inline]
+fn make_cursors<'e, T: Tracer>(
+    enc: &'e RleEncoding,
+    k: usize,
+    rows: (Option<usize>, Option<usize>),
+    n_i: i64,
+    tracer: &mut T,
+) -> (Option<RunCursor<'e>>, Option<RunCursor<'e>>) {
+    let mk = |j: Option<usize>, tracer: &mut T| -> Option<RunCursor<'e>> {
+        let j = j?;
+        if T::TRACING {
+            let (ra, va) = enc.scanline_index_addrs(k, j);
+            tracer.read(ra, 4);
+            tracer.read(va, 4);
+        }
+        Some(RunCursor::new(enc.scanline(k, j), n_i))
+    };
+    (mk(rows.0, tracer), mk(rows.1, tracer))
+}
+
+/// Early-ray-termination hop from pixel `x`, charging the modeled
+/// link-follow cost. Both compositing paths charge through this one
+/// expression, so they model early termination identically.
+#[inline(always)]
+fn skip_opaque<T: Tracer, const STATS: bool>(
+    row: &mut RowView<'_>,
+    x: usize,
+    stats: &mut ScanlineSliceStats,
+    tracer: &mut T,
+) -> i64 {
+    let nx = row.next_unopaque(x, tracer) as i64;
+    if STATS {
+        stats.work += costs::PIXEL_SKIP as u64;
+    }
+    nx
+}
+
+/// The shared per-pixel epilogue of both compositing paths: resample the
+/// 2×2 voxel footprint at `i0` with weights `wgts = [a·x0, a·x1, b·x0,
+/// b·x1]`, blend front-to-back into pixel `x`, update the early-termination
+/// links, and charge the modeled cost. Keeping this in one place means the
+/// unit-scale and perspective paths cannot drift in how they model a pixel:
+/// `COMPOSITE_PIXEL` plus `VOXEL_FETCH` per voxel *actually fetched* — a
+/// zero-weight tap or a tap landing in a transparent run fetches nothing
+/// (a head-on view fetches one voxel per pixel, not four), matching the
+/// loads and work the tracer observes exactly.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn blend_footprint<'v, T: Tracer, const STATS: bool>(
+    cur_a: &mut Option<RunCursor<'v>>,
+    cur_b: &mut Option<RunCursor<'v>>,
+    i0: i64,
+    wgts: [f32; 4],
+    cue: Option<f32>,
+    row: &mut RowView<'_>,
+    x: usize,
+    opts: &CompositeOpts,
+    stats: &mut ScanlineSliceStats,
+    tracer: &mut T,
+) {
+    // Resample the 2×2 voxel footprint (premultiplied u8 → f32).
+    let mut r = 0f32;
+    let mut g = 0f32;
+    let mut b = 0f32;
+    let mut a = 0f32;
+    let mut fetched = 0u64;
+    {
+        let mut tap = |vox: Option<RgbaVoxel>, wgt: f32| {
+            if let Some(v) = vox {
+                fetched += 1;
+                r += wgt * v.r as f32;
+                g += wgt * v.g as f32;
+                b += wgt * v.b as f32;
+                a += wgt * v.a as f32;
+            }
+        };
+        // Zero-weight taps are never fetched (VolPack special-cases the
+        // integer-aligned shear the same way).
+        if let Some(c) = cur_a.as_mut() {
+            if wgts[0] > 0.0 {
+                tap(c.query(i0, tracer), wgts[0]);
+            }
+            if wgts[1] > 0.0 {
+                tap(c.query(i0 + 1, tracer), wgts[1]);
+            }
+        }
+        if let Some(c) = cur_b.as_mut() {
+            if wgts[2] > 0.0 {
+                tap(c.query(i0, tracer), wgts[2]);
+            }
+            if wgts[3] > 0.0 {
+                tap(c.query(i0 + 1, tracer), wgts[3]);
+            }
+        }
+    }
+    let inv255 = 1.0 / 255.0;
+    let (mut r, mut g, mut b, a) = (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
+    if let Some(f) = cue {
+        r *= f;
+        g *= f;
+        b *= f;
+    }
+
+    // Front-to-back blend under the premultiplied-alpha "over" operator.
+    let addr = if T::TRACING {
+        &row.pix[x] as *const IPixel as usize
+    } else {
+        0
+    };
+    if T::TRACING {
+        tracer.read(addr, 16);
+    }
+    let p = &mut row.pix[x];
+    let t = 1.0 - p.a;
+    p.r += t * r;
+    p.g += t * g;
+    p.b += t * b;
+    p.a += t * a;
+    let pa = p.a;
+    if T::TRACING {
+        tracer.write(addr, 16);
+    }
+    tracer.work(WorkKind::Composite, costs::COMPOSITE_PIXEL);
+    if STATS {
+        stats.work += costs::COMPOSITE_PIXEL as u64 + fetched * costs::VOXEL_FETCH as u64;
+        stats.voxels_fetched += fetched;
+    }
+    stats.composited += 1;
+
+    if opts.early_termination && pa >= opts.opaque_threshold {
+        row.mark_opaque(x, tracer);
+    }
+    if STATS && opts.profile {
+        tracer.work(WorkKind::Other, costs::PROFILE_PER_PIXEL);
+        stats.work += costs::PROFILE_PER_PIXEL as u64;
+    }
+}
+
 /// Composites slice `k` into intermediate scanline `row` (at image row
 /// `row.y`). Returns per-step statistics; `stats.work` is what the new
 /// algorithm's scanline profile accumulates.
 pub fn composite_scanline_slice<T: Tracer>(
+    enc: &RleEncoding,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+    tracer: &mut T,
+) -> ScanlineSliceStats {
+    composite_kernel::<T, true>(enc, fact, row, k, opts, tracer)
+}
+
+/// The untraced fast path: identical traversal and pixel arithmetic as
+/// [`composite_scanline_slice`] (output is bit-identical), but monomorphized
+/// with [`NullTracer`] and with the modeled-cost bookkeeping compiled out —
+/// the per-voxel work is only the resample/blend itself. Returns the number
+/// of pixels composited. The native renderers use this on every frame that
+/// is neither traced nor profiled.
+pub fn composite_scanline_slice_untraced(
+    enc: &RleEncoding,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+) -> u64 {
+    composite_kernel::<NullTracer, false>(enc, fact, row, k, opts, &mut NullTracer).composited
+}
+
+/// The compositing kernel, monomorphized over the tracer and over whether
+/// modeled-cost statistics are collected (`STATS = false` compiles the
+/// bookkeeping away; only `composited` is counted).
+fn composite_kernel<T: Tracer, const STATS: bool>(
     enc: &RleEncoding,
     fact: &Factorization,
     row: &mut RowView<'_>,
@@ -201,37 +390,23 @@ pub fn composite_scanline_slice<T: Tracer>(
     if (xf.scale - 1.0).abs() > 1e-12 {
         // Perspective slices scale as well as translate; take the
         // general-resampling path.
-        return composite_scaled(enc, fact, row, k, xf, opts, tracer);
+        return composite_scaled::<T, STATS>(enc, fact, row, k, xf, opts, tracer);
     }
     let (u_off, v_off) = (xf.off_u, xf.off_v);
     let cue = opts.depth_cue.map(|c| c.factor(fact.depth_of_slice(k)));
 
     // Which two voxel scanlines feed this image scanline?
-    let jf = row.y as f64 - v_off;
-    let j0 = jf.floor();
-    let wj = (jf - j0) as f32;
-    let j0 = j0 as i64;
-    let row_a = (j0 >= 0 && j0 < n_j as i64).then_some(j0 as usize);
-    let row_b = {
-        let jb = j0 + 1;
-        (jb >= 0 && jb < n_j as i64 && wj > 0.0).then_some(jb as usize)
-    };
+    let (wj, row_a, row_b) = select_rows(row.y as f64 - v_off, n_j as i64);
     if row_a.is_none() && row_b.is_none() {
         return stats; // slice does not touch this scanline
     }
 
     tracer.work(WorkKind::Other, costs::SCANLINE_SETUP);
-    stats.work += costs::SCANLINE_SETUP as u64;
+    if STATS {
+        stats.work += costs::SCANLINE_SETUP as u64;
+    }
 
-    let make_cursor = |j: Option<usize>, tracer: &mut T| -> Option<RunCursor<'_>> {
-        let j = j?;
-        let (ra, va) = enc.scanline_index_addrs(k, j);
-        tracer.read(ra, 4);
-        tracer.read(va, 4);
-        Some(RunCursor::new(enc.scanline(k, j), n_i as i64))
-    };
-    let mut cur_a = make_cursor(row_a, tracer);
-    let mut cur_b = make_cursor(row_b, tracer);
+    let (mut cur_a, mut cur_b) = make_cursors(enc, k, (row_a, row_b), n_i as i64, tracer);
 
     // Pixel range whose bilinear footprint {i0, i0+1} intersects [0, n_i).
     let w = row.width() as i64;
@@ -248,6 +423,7 @@ pub fn composite_scanline_slice<T: Tracer>(
     let w_b = wj;
     let wx0 = 1.0 - fx;
     let wx1 = fx;
+    let wgts = [w_a * wx0, w_a * wx1, w_b * wx0, w_b * wx1];
     let n_i = n_i as i64;
 
     let mut x = x_min;
@@ -257,8 +433,7 @@ pub fn composite_scanline_slice<T: Tracer>(
         }
         // Early ray termination: hop over opaque pixels.
         if opts.early_termination {
-            let nx = row.next_unopaque(x as usize, tracer) as i64;
-            stats.work += (costs::PIXEL_SKIP as u64).max(1);
+            let nx = skip_opaque::<T, STATS>(row, x as usize, &mut stats, tracer);
             if nx != x {
                 x = nx;
                 continue;
@@ -285,70 +460,9 @@ pub fn composite_scanline_slice<T: Tracer>(
             continue;
         }
 
-        // Resample the 2×2 voxel footprint (premultiplied u8 → f32).
-        let mut r = 0f32;
-        let mut g = 0f32;
-        let mut b = 0f32;
-        let mut a = 0f32;
-        {
-            let mut tap = |vox: Option<RgbaVoxel>, wgt: f32| {
-                if let Some(v) = vox {
-                    r += wgt * v.r as f32;
-                    g += wgt * v.g as f32;
-                    b += wgt * v.b as f32;
-                    a += wgt * v.a as f32;
-                }
-            };
-            // Zero-weight taps are never fetched (VolPack special-cases the
-            // integer-aligned shear the same way).
-            if let Some(c) = cur_a.as_mut() {
-                if w_a * wx0 > 0.0 {
-                    tap(c.query(i0, tracer), w_a * wx0);
-                }
-                if w_a * wx1 > 0.0 {
-                    tap(c.query(i0 + 1, tracer), w_a * wx1);
-                }
-            }
-            if let Some(c) = cur_b.as_mut() {
-                if w_b * wx0 > 0.0 {
-                    tap(c.query(i0, tracer), w_b * wx0);
-                }
-                if w_b * wx1 > 0.0 {
-                    tap(c.query(i0 + 1, tracer), w_b * wx1);
-                }
-            }
-        }
-        let inv255 = 1.0 / 255.0;
-        let (mut r, mut g, mut b, a) = (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
-        if let Some(f) = cue {
-            r *= f;
-            g *= f;
-            b *= f;
-        }
-
-        // Front-to-back blend under the premultiplied-alpha "over" operator.
-        let xi = x as usize;
-        let addr = &row.pix[xi] as *const crate::image::IPixel as usize;
-        tracer.read(addr, 16);
-        let p = &mut row.pix[xi];
-        let t = 1.0 - p.a;
-        p.r += t * r;
-        p.g += t * g;
-        p.b += t * b;
-        p.a += t * a;
-        tracer.write(addr, 16);
-        tracer.work(WorkKind::Composite, costs::COMPOSITE_PIXEL);
-        stats.work += costs::COMPOSITE_PIXEL as u64 + 4 * costs::VOXEL_FETCH as u64;
-        stats.composited += 1;
-        stats.voxels_fetched += 4;
-
-        if opts.early_termination && p.a >= opts.opaque_threshold {
-            row.mark_opaque(xi, tracer);
-        }
-        if opts.profile {
-            tracer.work(WorkKind::Other, costs::PROFILE_PER_PIXEL);
-            stats.work += costs::PROFILE_PER_PIXEL as u64;
-        }
+        blend_footprint::<T, STATS>(
+            &mut cur_a, &mut cur_b, i0, wgts, cue, row, x as usize, opts, &mut stats, tracer,
+        );
         x += 1;
     }
     stats
@@ -357,9 +471,10 @@ pub fn composite_scanline_slice<T: Tracer>(
 /// General (perspective) compositing of slice `k` into one scanline: voxel
 /// `(i, j)` projects to `(scale·i + off_u, scale·j + off_v)` with
 /// `scale ≤ 1`, so the fractional resampling weight varies per pixel and a
-/// pixel step may advance more than one voxel. Shares the run cursors and
-/// the coherence optimizations with the unit-scale fast path.
-fn composite_scaled<T: Tracer>(
+/// pixel step may advance more than one voxel. Shares the run cursors, the
+/// per-pixel epilogue, and the coherence optimizations with the unit-scale
+/// fast path.
+fn composite_scaled<T: Tracer, const STATS: bool>(
     enc: &RleEncoding,
     fact: &Factorization,
     row: &mut RowView<'_>,
@@ -375,32 +490,18 @@ fn composite_scaled<T: Tracer>(
     let inv_s = 1.0 / s;
 
     // Source voxel row coordinates (constant along the scanline).
-    let jf = (row.y as f64 - xf.off_v) * inv_s;
-    let j0f = jf.floor();
-    let wj = (jf - j0f) as f32;
-    let j0 = j0f as i64;
-    let row_a = (j0 >= 0 && j0 < n_j as i64).then_some(j0 as usize);
-    let row_b = {
-        let jb = j0 + 1;
-        (jb >= 0 && jb < n_j as i64 && wj > 0.0).then_some(jb as usize)
-    };
+    let (wj, row_a, row_b) = select_rows((row.y as f64 - xf.off_v) * inv_s, n_j as i64);
     if row_a.is_none() && row_b.is_none() {
         return stats;
     }
 
     tracer.work(WorkKind::Other, costs::SCANLINE_SETUP);
-    stats.work += costs::SCANLINE_SETUP as u64;
+    if STATS {
+        stats.work += costs::SCANLINE_SETUP as u64;
+    }
     let cue = opts.depth_cue.map(|c| c.factor(fact.depth_of_slice(k)));
 
-    let make_cursor = |j: Option<usize>, tracer: &mut T| -> Option<RunCursor<'_>> {
-        let j = j?;
-        let (ra, va) = enc.scanline_index_addrs(k, j);
-        tracer.read(ra, 4);
-        tracer.read(va, 4);
-        Some(RunCursor::new(enc.scanline(k, j), n_i as i64))
-    };
-    let mut cur_a = make_cursor(row_a, tracer);
-    let mut cur_b = make_cursor(row_b, tracer);
+    let (mut cur_a, mut cur_b) = make_cursors(enc, k, (row_a, row_b), n_i as i64, tracer);
 
     // Pixel range whose source coordinate i = (x − off_u)/s has footprint
     // {i0, i0+1} intersecting [0, n_i).
@@ -420,8 +521,7 @@ fn composite_scaled<T: Tracer>(
             break;
         }
         if opts.early_termination {
-            let nx = row.next_unopaque(x as usize, tracer) as i64;
-            stats.work += costs::PIXEL_SKIP as u64;
+            let nx = skip_opaque::<T, STATS>(row, x as usize, &mut stats, tracer);
             if nx != x {
                 x = nx;
                 continue;
@@ -450,66 +550,10 @@ fn composite_scaled<T: Tracer>(
 
         let wx0 = 1.0 - fx;
         let wx1 = fx;
-        let mut r = 0f32;
-        let mut g = 0f32;
-        let mut b = 0f32;
-        let mut a = 0f32;
-        {
-            let mut tap = |vox: Option<RgbaVoxel>, wgt: f32| {
-                if let Some(v) = vox {
-                    r += wgt * v.r as f32;
-                    g += wgt * v.g as f32;
-                    b += wgt * v.b as f32;
-                    a += wgt * v.a as f32;
-                }
-            };
-            if let Some(c) = cur_a.as_mut() {
-                if w_a * wx0 > 0.0 {
-                    tap(c.query(i0, tracer), w_a * wx0);
-                }
-                if w_a * wx1 > 0.0 {
-                    tap(c.query(i0 + 1, tracer), w_a * wx1);
-                }
-            }
-            if let Some(c) = cur_b.as_mut() {
-                if w_b * wx0 > 0.0 {
-                    tap(c.query(i0, tracer), w_b * wx0);
-                }
-                if w_b * wx1 > 0.0 {
-                    tap(c.query(i0 + 1, tracer), w_b * wx1);
-                }
-            }
-        }
-        let inv255 = 1.0 / 255.0;
-        let (mut r, mut g, mut b, a) = (r * inv255, g * inv255, b * inv255, (a * inv255).min(1.0));
-        if let Some(f) = cue {
-            r *= f;
-            g *= f;
-            b *= f;
-        }
-
-        let xi = x as usize;
-        let addr = &row.pix[xi] as *const crate::image::IPixel as usize;
-        tracer.read(addr, 16);
-        let p = &mut row.pix[xi];
-        let t = 1.0 - p.a;
-        p.r += t * r;
-        p.g += t * g;
-        p.b += t * b;
-        p.a += t * a;
-        tracer.write(addr, 16);
-        tracer.work(WorkKind::Composite, costs::COMPOSITE_PIXEL);
-        stats.work += costs::COMPOSITE_PIXEL as u64 + 4 * costs::VOXEL_FETCH as u64;
-        stats.composited += 1;
-        stats.voxels_fetched += 4;
-
-        if opts.early_termination && p.a >= opts.opaque_threshold {
-            row.mark_opaque(xi, tracer);
-        }
-        if opts.profile {
-            tracer.work(WorkKind::Other, costs::PROFILE_PER_PIXEL);
-            stats.work += costs::PROFILE_PER_PIXEL as u64;
-        }
+        let wgts = [w_a * wx0, w_a * wx1, w_b * wx0, w_b * wx1];
+        blend_footprint::<T, STATS>(
+            &mut cur_a, &mut cur_b, i0, wgts, cue, row, x as usize, opts, &mut stats, tracer,
+        );
         x += 1;
     }
     stats
@@ -787,5 +831,169 @@ mod tests {
         let prof = run(true);
         let overhead = (prof - base) as f64 / base as f64;
         assert!(overhead > 0.0 && overhead < 0.2, "overhead = {overhead}");
+    }
+
+    #[test]
+    fn head_on_view_fetches_one_voxel_per_pixel() {
+        // Integer-aligned shear: fx = wj = 0, so only one of the four
+        // bilinear taps has nonzero weight. The stats must charge one fetch
+        // per composited pixel, not four — and must agree exactly with the
+        // work the tracer observes (the only Composite-kind charges are
+        // COMPOSITE_PIXEL per pixel and VOXEL_FETCH per actual fetch).
+        let dims = [16, 16, 4];
+        let c = vol_from(dims, |x, y, _| ((x + y) % 3 == 0) as u8 * 150);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let opts = CompositeOpts {
+            early_termination: false,
+            ..Default::default()
+        };
+        let mut t = CountingTracer::default();
+        let mut total = ScanlineSliceStats::default();
+        for y in 0..fact.inter_h {
+            let mut row = img.row_view(y);
+            for k in 0..fact.slice_count() {
+                total.merge(&composite_scanline_slice(
+                    &enc, &fact, &mut row, k, &opts, &mut t,
+                ));
+            }
+        }
+        assert!(total.composited > 0);
+        assert_eq!(
+            total.voxels_fetched, total.composited,
+            "head-on view must fetch exactly one voxel per pixel"
+        );
+        let traced_fetches = (t.composite_cycles
+            - total.composited * costs::COMPOSITE_PIXEL as u64)
+            / costs::VOXEL_FETCH as u64;
+        assert_eq!(total.voxels_fetched, traced_fetches);
+    }
+
+    #[test]
+    fn fractional_shear_fetches_match_tracer() {
+        // Off-axis view: fractional weights, multiple taps per pixel — but
+        // never more taps than voxels actually present under the footprint.
+        let dims = [16, 16, 16];
+        let c = vol_from(dims, |x, y, z| ((x * 7 + y * 3 + z) % 5 < 2) as u8 * 130);
+        let enc_all = swr_volume::EncodedVolume::encode_with_threshold(&c, 1);
+        let view = ViewSpec::new(dims).rotate_y(0.37).rotate_x(0.21);
+        let fact = swr_geom::Factorization::from_view(&view);
+        let enc = enc_all.for_axis(fact.principal);
+        let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let opts = CompositeOpts::default();
+        let mut t = CountingTracer::default();
+        let mut total = ScanlineSliceStats::default();
+        for y in 0..fact.inter_h {
+            let mut row = img.row_view(y);
+            for m in 0..fact.slice_count() {
+                let k = fact.slice_for_step(m);
+                total.merge(&composite_scanline_slice(
+                    enc, &fact, &mut row, k, &opts, &mut t,
+                ));
+            }
+        }
+        assert!(total.composited > 0);
+        assert!(total.voxels_fetched <= 4 * total.composited);
+        let traced_fetches = (t.composite_cycles
+            - total.composited * costs::COMPOSITE_PIXEL as u64)
+            / costs::VOXEL_FETCH as u64;
+        assert_eq!(total.voxels_fetched, traced_fetches);
+    }
+
+    #[test]
+    fn unit_and_scaled_paths_model_the_same_scene_identically() {
+        // Regression for the PIXEL_SKIP charging drift: drive the general
+        // (perspective) path with a unit-scale transform — where its float
+        // math is exact and must agree with the fast path — and require the
+        // *entire* modeled profile to match, early-termination skips
+        // included. The volume is dense (no transparent runs) because the
+        // scaled path's conservative transparent-run jump legitimately
+        // visits extra pixels; with every voxel stored, both paths traverse
+        // the same pixels and any work difference is a charging bug.
+        let dims = [24, 24, 8];
+        let c = vol_from(dims, |x, y, z| 100 + (((x + y + z) % 3) as u8) * 40);
+        let enc = swr_volume::RleEncoding::encode(&c, Axis::Z, 1);
+        let fact = head_on(dims);
+        let opts = CompositeOpts::default(); // early termination on
+        for y in 0..fact.inter_h {
+            let mut img_u = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let mut img_s = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let mut t_u = CountingTracer::default();
+            let mut t_s = CountingTracer::default();
+            let mut st_u = ScanlineSliceStats::default();
+            let mut st_s = ScanlineSliceStats::default();
+            for k in 0..fact.slice_count() {
+                let xf = fact.slice_xform(k);
+                assert!((xf.scale - 1.0).abs() < 1e-12);
+                let mut row = img_u.row_view(y);
+                st_u.merge(&composite_scanline_slice(
+                    &enc, &fact, &mut row, k, &opts, &mut t_u,
+                ));
+                let mut row = img_s.row_view(y);
+                st_s.merge(&composite_scaled::<_, true>(
+                    &enc, &fact, &mut row, k, xf, &opts, &mut t_s,
+                ));
+            }
+            assert_eq!(st_u.work, st_s.work, "row {y}: modeled work differs");
+            assert_eq!(st_u.composited, st_s.composited, "row {y}");
+            assert_eq!(st_u.voxels_fetched, st_s.voxels_fetched, "row {y}");
+            assert_eq!(t_u.composite_cycles, t_s.composite_cycles, "row {y}");
+            assert_eq!(t_u.traverse_cycles, t_s.traverse_cycles, "row {y}");
+            for x in 0..fact.inter_w {
+                assert_eq!(
+                    img_u.get(x as isize, y as isize),
+                    img_s.get(x as isize, y as isize),
+                    "pixel ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_kernel_is_bit_identical_and_counts_pixels() {
+        let dims = [20, 20, 12];
+        let c = vol_from(dims, |x, y, z| ((x * y + z) % 4 == 1) as u8 * 180);
+        let enc_all = swr_volume::EncodedVolume::encode_with_threshold(&c, 1);
+        for view in [
+            ViewSpec::new(dims).rotate_y(0.45).rotate_x(0.15),
+            ViewSpec::new(dims).rotate_y(0.3).with_perspective(80.0),
+        ] {
+            let fact = swr_geom::Factorization::from_view(&view);
+            let enc = enc_all.for_axis(fact.principal);
+            let mut img_t = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let mut img_u = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let opts = CompositeOpts::default();
+            let mut traced = 0u64;
+            let mut untraced = 0u64;
+            for y in 0..fact.inter_h {
+                for m in 0..fact.slice_count() {
+                    let k = fact.slice_for_step(m);
+                    let mut row = img_t.row_view(y);
+                    traced += composite_scanline_slice(
+                        enc,
+                        &fact,
+                        &mut row,
+                        k,
+                        &opts,
+                        &mut CountingTracer::default(),
+                    )
+                    .composited;
+                    let mut row = img_u.row_view(y);
+                    untraced += composite_scanline_slice_untraced(enc, &fact, &mut row, k, &opts);
+                }
+            }
+            assert!(traced > 0);
+            assert_eq!(traced, untraced);
+            for y in 0..fact.inter_h {
+                for x in 0..fact.inter_w {
+                    assert_eq!(
+                        img_t.get(x as isize, y as isize),
+                        img_u.get(x as isize, y as isize),
+                        "pixel ({x}, {y})"
+                    );
+                }
+            }
+        }
     }
 }

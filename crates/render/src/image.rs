@@ -163,7 +163,9 @@ impl RowView<'_> {
             if cur >= w {
                 break;
             }
-            tracer.read(&self.skip[cur] as *const u32 as usize, 4);
+            if T::TRACING {
+                tracer.read(&self.skip[cur] as *const u32 as usize, 4);
+            }
             tracer.work(WorkKind::Traverse, costs::PIXEL_SKIP);
             let nxt = self.skip[cur] as usize;
             if nxt == cur {
@@ -180,7 +182,9 @@ impl RowView<'_> {
             }
             if nxt != cur && cur <= u32::MAX as usize {
                 self.skip[p] = cur.min(w) as u32;
-                tracer.write(&self.skip[p] as *const u32 as usize, 4);
+                if T::TRACING {
+                    tracer.write(&self.skip[p] as *const u32 as usize, 4);
+                }
             }
             p = nxt;
         }
@@ -192,7 +196,9 @@ impl RowView<'_> {
     pub fn mark_opaque<T: Tracer>(&mut self, x: usize, tracer: &mut T) {
         debug_assert!(x < self.width());
         self.skip[x] = (x + 1).min(self.width()) as u32;
-        tracer.write(&self.skip[x] as *const u32 as usize, 4);
+        if T::TRACING {
+            tracer.write(&self.skip[x] as *const u32 as usize, 4);
+        }
         tracer.work(WorkKind::Traverse, costs::OPAQUE_UPDATE);
     }
 

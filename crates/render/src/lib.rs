@@ -31,7 +31,10 @@ pub mod serial;
 pub mod tracer;
 pub mod warp;
 
-pub use composite::{composite_scanline_slice, CompositeOpts, DepthCue, ScanlineSliceStats};
+pub use composite::{
+    composite_scanline_slice, composite_scanline_slice_untraced, CompositeOpts, DepthCue,
+    ScanlineSliceStats,
+};
 pub use image::{
     FinalImage, IPixel, IntermediateImage, Rgba8, RowView, SharedFinal, SharedIntermediate,
 };

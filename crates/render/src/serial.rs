@@ -1,6 +1,8 @@
 //! The complete serial shear-warp renderer.
 
-use crate::composite::{composite_scanline_slice, CompositeOpts, ScanlineSliceStats};
+use crate::composite::{
+    composite_scanline_slice, composite_scanline_slice_untraced, CompositeOpts, ScanlineSliceStats,
+};
 use crate::image::{FinalImage, IntermediateImage};
 use crate::tracer::{NullTracer, Tracer};
 use crate::warp::warp_full;
@@ -129,6 +131,10 @@ impl SerialRenderer {
         let clock = FrameClock::new();
         let mut log = WorkerLog::new(0, 64);
         let profiling = profile.is_some();
+        // Untraced, unprofiled frames take the fast kernel: same traversal
+        // and pixel arithmetic (bit-identical image), no modeled-cost
+        // bookkeeping. Frame-level telemetry is still recorded.
+        let fast = !T::TRACING && !profiling && !opts.profile;
 
         let inter = self.prepare_intermediate(&fact);
         let mut stats = SerialStats::default();
@@ -146,11 +152,16 @@ impl SerialRenderer {
             let y_hi = (((xf.off_v + xf.scale * n_j).floor()) as usize).min(fact.inter_h - 1);
             for y in y_lo..=y_hi {
                 let mut row = inter.row_view(y);
-                let s = composite_scanline_slice(rle, &fact, &mut row, k, &opts, tracer);
-                if let Some(p) = profile.as_deref_mut() {
-                    p[y] += s.work;
+                if fast {
+                    stats.composite.composited +=
+                        composite_scanline_slice_untraced(rle, &fact, &mut row, k, &opts);
+                } else {
+                    let s = composite_scanline_slice(rle, &fact, &mut row, k, &opts, tracer);
+                    if let Some(p) = profile.as_deref_mut() {
+                        p[y] += s.work;
+                    }
+                    stats.composite.merge(&s);
                 }
-                stats.composite.merge(&s);
             }
         }
         let t1 = clock.now_us();

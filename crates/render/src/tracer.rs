@@ -27,6 +27,14 @@ pub enum WorkKind {
 /// `addr` is the real address of the datum; `bytes` its size. Implementations
 /// must be cheap: they are invoked per voxel / per pixel.
 pub trait Tracer {
+    /// Whether this tracer observes anything. The renderer's kernels branch
+    /// on this monomorphized constant to skip the *address computations*
+    /// feeding the hooks, so the untraced fast path
+    /// ([`NullTracer`], `TRACING = false`) carries zero per-voxel/per-pixel
+    /// instrumentation cost by construction instead of by optimizer grace.
+    /// Implementations that record events must leave this `true`.
+    const TRACING: bool = true;
+
     /// A load of `bytes` at `addr`.
     #[inline(always)]
     fn read(&mut self, addr: usize, bytes: u32) {
@@ -50,7 +58,9 @@ pub trait Tracer {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullTracer;
 
-impl Tracer for NullTracer {}
+impl Tracer for NullTracer {
+    const TRACING: bool = false;
+}
 
 /// A tracer that counts events — used by tests and the Figure 2 breakdown.
 #[derive(Debug, Default, Clone)]

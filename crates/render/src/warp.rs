@@ -131,7 +131,11 @@ fn warp_pixel<S: InterSource, T: Tracer>(
             }
             let (px, py) = (xi + dx, yi + dy);
             let p = inter.get(px, py);
-            if px >= 0 && py >= 0 && (px as usize) < inter.width() && (py as usize) < inter.height()
+            if T::TRACING
+                && px >= 0
+                && py >= 0
+                && (px as usize) < inter.width()
+                && (py as usize) < inter.height()
             {
                 tracer.read(inter.pixel_addr(px as usize, py as usize), 16);
             }
@@ -163,7 +167,9 @@ pub fn warp_full<S: InterSource, T: Tracer>(
         for u in 0..out.width() {
             if let Some(p) = warp_pixel(inter, fact, u, v, 0.0, band_hi, tracer) {
                 out.set(u, v, p);
-                tracer.write(out.pixel_addr(u, v), 4);
+                if T::TRACING {
+                    tracer.write(out.pixel_addr(u, v), 4);
+                }
                 written += 1;
             }
         }

@@ -38,6 +38,7 @@ struct Cli {
     trace: Option<String>,
     breakdown: bool,
     simulate: Option<String>,
+    bench: bool,
 }
 
 impl Default for Cli {
@@ -65,6 +66,7 @@ impl Default for Cli {
             trace: None,
             breakdown: false,
             simulate: None,
+            bench: false,
         }
     }
 }
@@ -101,7 +103,14 @@ telemetry:
                                replay the frame's task traces on a simulated
                                machine instead of rendering natively; spans
                                are in virtual cycles, no PPM is written
-                               (requires --algorithm old|new)"
+                               (requires --algorithm old|new)
+
+benchmarking:
+  --bench                      run the wall-clock benchmark sweep (serial vs
+                               old vs new across thread counts) and write
+                               BENCH_<host>.json; ignores the options above.
+                               For flag-level control use the swr-bench binary:
+                               cargo run --release -p swr-bench --bin swr-bench"
     );
     std::process::exit(2)
 }
@@ -183,6 +192,7 @@ fn parse() -> Cli {
             "--trace" => cli.trace = Some(val("--trace")),
             "--breakdown" => cli.breakdown = true,
             "--simulate" => cli.simulate = Some(val("--simulate")),
+            "--bench" => cli.bench = true,
             "-o" | "--output" => cli.output = val("--output"),
             "-h" | "--help" => usage(),
             other => {
@@ -194,8 +204,38 @@ fn parse() -> Cli {
     cli
 }
 
+/// Runs the default wall-clock sweep and writes `BENCH_<host>.json` to the
+/// current directory. The dedicated `swr-bench` binary exposes the full set
+/// of knobs (base size, thread list, frame counts, output path).
+#[cfg(feature = "bench")]
+fn run_bench() -> ! {
+    use swr_bench::wall::{host_name, run_wall_bench, WallBenchConfig};
+    let cfg = WallBenchConfig::default();
+    let doc = run_wall_bench(&cfg, |line| eprintln!("{line}"));
+    let path = format!("BENCH_{}.json", host_name());
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            std::process::exit(0)
+        }
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        }
+    }
+}
+
+#[cfg(not(feature = "bench"))]
+fn run_bench() -> ! {
+    eprintln!("swrender: built without the `bench` feature; rebuild with default features");
+    std::process::exit(2)
+}
+
 fn main() {
     let cli = parse();
+    if cli.bench {
+        run_bench();
+    }
 
     // Load or generate the volume.
     let fail = |e: Error| -> ! {

@@ -103,6 +103,124 @@ fn config_ablations_do_not_change_pixels() {
     }
 }
 
+/// The untraced fast-path kernel must be invisible in the output: for both
+/// orthographic and perspective projections, compositing every (scanline,
+/// slice) pair with the traced kernel and the untraced kernel produces
+/// bit-identical intermediate images, and warping each produces bit-identical
+/// final images.
+#[test]
+fn untraced_kernels_match_traced_kernels_in_both_projections() {
+    use shearwarp::render::{
+        composite_scanline_slice, composite_scanline_slice_untraced, warp_full, CompositeOpts,
+        CountingTracer, IntermediateImage, NullTracer,
+    };
+    let (enc, dims) = dataset(Phantom::MriBrain, 28);
+    let ortho = ViewSpec::new(dims).rotate_x(0.15).rotate_y(0.45);
+    let persp = ViewSpec::new(dims)
+        .rotate_y(0.3)
+        .with_perspective(dims[0] as f64 * 2.5);
+    for (label, view) in [("ortho", ortho), ("perspective", persp)] {
+        let fact = Factorization::from_view(&view);
+        let rle = enc.for_axis(fact.principal);
+        let opts = CompositeOpts::default();
+        let mut traced = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let mut untraced = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let mut tracer = CountingTracer::default();
+        for m in 0..fact.slice_count() {
+            let k = fact.slice_for_step(m);
+            let xf = fact.slice_xform(k);
+            let n_j = rle.std_dims()[1] as f64;
+            let y_lo = (xf.off_v - 1.0).ceil().max(0.0) as usize;
+            let y_hi = (((xf.off_v + xf.scale * n_j).floor()) as usize).min(fact.inter_h - 1);
+            for y in y_lo..=y_hi {
+                composite_scanline_slice(
+                    rle,
+                    &fact,
+                    &mut traced.row_view(y),
+                    k,
+                    &opts,
+                    &mut tracer,
+                );
+                composite_scanline_slice_untraced(rle, &fact, &mut untraced.row_view(y), k, &opts);
+            }
+        }
+        for y in 0..fact.inter_h as isize {
+            for x in 0..fact.inter_w as isize {
+                assert_eq!(
+                    traced.get(x, y),
+                    untraced.get(x, y),
+                    "{label}: intermediate pixel ({x},{y})"
+                );
+            }
+        }
+        let mut final_traced = FinalImage::new(fact.final_w, fact.final_h);
+        let mut final_untraced = FinalImage::new(fact.final_w, fact.final_h);
+        warp_full(&traced, &fact, &mut final_traced, &mut tracer);
+        warp_full(&untraced, &fact, &mut final_untraced, &mut NullTracer);
+        assert_eq!(final_traced, final_untraced, "{label}: final image");
+        assert!(final_untraced.mean_luma() > 0.05, "{label}: blank render");
+    }
+}
+
+/// Same property one level up: `SerialRenderer::render` (which takes the
+/// untraced fast path) and `render_traced` with a real tracer return the
+/// same pixels for both projections.
+#[test]
+fn serial_fast_path_matches_traced_rendering() {
+    use shearwarp::render::CountingTracer;
+    let (enc, dims) = dataset(Phantom::CtHead, 24);
+    let ortho = ViewSpec::new(dims).rotate_x(0.2).rotate_y(0.7);
+    let persp = ViewSpec::new(dims)
+        .rotate_y(0.5)
+        .with_perspective(dims[0] as f64 * 3.0);
+    for (label, view) in [("ortho", ortho), ("perspective", persp)] {
+        let fast = SerialRenderer::new().render(&enc, &view);
+        let (slow, _) =
+            SerialRenderer::new().render_traced(&enc, &view, &mut CountingTracer::default());
+        assert_eq!(fast, slow, "{label}");
+    }
+}
+
+/// `ScanlineSliceStats::voxels_fetched` must count exactly the voxel reads
+/// the compositor performs. The tracer sees one `VOXEL_FETCH` work event per
+/// resample tap that actually hits a stored voxel, so over a whole frame
+/// `composite_cycles = composited·COMPOSITE_PIXEL + fetches·VOXEL_FETCH`
+/// — solve for fetches and compare against the modeled counter.
+#[test]
+fn frame_level_voxel_fetch_counts_match_the_tracer() {
+    use shearwarp::render::{costs, CountingTracer};
+    let scenes = [
+        ("ortho mri", Phantom::MriBrain, None),
+        ("perspective ct", Phantom::CtHead, Some(3.0)),
+    ];
+    for (label, phantom, persp) in scenes {
+        let (enc, dims) = dataset(phantom, 24);
+        let mut view = ViewSpec::new(dims).rotate_x(0.15).rotate_y(0.4);
+        if let Some(mult) = persp {
+            view = view.with_perspective(dims[0] as f64 * mult);
+        }
+        let mut tracer = CountingTracer::default();
+        let (_, st) = SerialRenderer::new().render_traced(&enc, &view, &mut tracer);
+        assert!(st.composite.composited > 0, "{label}: nothing composited");
+        let pixel_cycles = st.composite.composited * costs::COMPOSITE_PIXEL as u64;
+        assert!(
+            tracer.composite_cycles >= pixel_cycles,
+            "{label}: composite cycles below the per-pixel floor"
+        );
+        let extra = tracer.composite_cycles - pixel_cycles;
+        assert_eq!(
+            extra % costs::VOXEL_FETCH as u64,
+            0,
+            "{label}: non-fetch work charged to the composite kind"
+        );
+        assert_eq!(
+            st.composite.voxels_fetched,
+            extra / costs::VOXEL_FETCH as u64,
+            "{label}: modeled fetch count disagrees with the tracer"
+        );
+    }
+}
+
 #[test]
 fn raycaster_and_shearwarp_see_the_same_object() {
     // The two renderers differ in resampling (2-D sheared bilinear vs true
