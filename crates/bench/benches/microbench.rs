@@ -74,6 +74,103 @@ fn bench_classification(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_blend_kernels(c: &mut Criterion) {
+    use swr_render::{
+        composite_scanline_slice_untraced_with, CompositeOpts, IntermediateImage, SimdKernel,
+    };
+    use swr_volume::{ClassifiedVolume, RgbaVoxel};
+    // Synthetic low-alpha volume: every voxel is stored and no pixel ever
+    // saturates, so every scanline is one long non-opaque run — the blend
+    // epilogue dominates, lanes stay full, and the scalar-vs-SIMD gap is
+    // visible without the full-frame harness's traversal noise.
+    let dims = [96usize, 96, 32];
+    let vox: Vec<RgbaVoxel> = (0..dims[0] * dims[1] * dims[2])
+        .map(|i| {
+            let v = (i % 97) as u8;
+            RgbaVoxel {
+                r: v,
+                g: v / 2,
+                b: 96 - v,
+                a: 3,
+            }
+        })
+        .collect();
+    let classified = ClassifiedVolume::from_raw(dims, vox);
+    let enc = EncodedVolume::encode_with_threshold(&classified, 1);
+    // An off-axis view so the bilinear footprint has all four taps live.
+    let view = view_at(dims, 30.0);
+    let fact = Factorization::from_view(&view);
+    let rle = enc.for_axis(fact.principal);
+    let opts = CompositeOpts::default();
+    let mut g = c.benchmark_group("blend_kernel");
+    for kernel in [
+        SimdKernel::Scalar,
+        SimdKernel::Sse2,
+        SimdKernel::Avx2,
+        SimdKernel::Neon,
+    ] {
+        if !kernel.available() {
+            continue;
+        }
+        let mut inter = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                inter.clear();
+                let mut n = 0u64;
+                for y in 0..fact.inter_h {
+                    let mut row = inter.row_view(y);
+                    for m in 0..fact.slice_count() {
+                        let k = fact.slice_for_step(m);
+                        n += composite_scanline_slice_untraced_with(
+                            kernel, rle, &fact, &mut row, k, &opts,
+                        );
+                    }
+                }
+                n
+            });
+        });
+    }
+    g.finish();
+
+    // The same sweep over the phantom the wall-clock harness times: sparse
+    // runs and early-terminating pixels mean a (scanline, slice) step
+    // batches only a handful of pixels, so this variant measures the
+    // kernels with mostly partial, padded groups rather than full ones.
+    let enc = build_dataset(Phantom::MriBrain, 80);
+    let view = view_at(enc.dims(), 30.0);
+    let fact = Factorization::from_view(&view);
+    let rle = enc.for_axis(fact.principal);
+    let mut g = c.benchmark_group("blend_kernel_sparse");
+    for kernel in [
+        SimdKernel::Scalar,
+        SimdKernel::Sse2,
+        SimdKernel::Avx2,
+        SimdKernel::Neon,
+    ] {
+        if !kernel.available() {
+            continue;
+        }
+        let mut inter = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                inter.clear();
+                let mut n = 0u64;
+                for y in 0..fact.inter_h {
+                    let mut row = inter.row_view(y);
+                    for m in 0..fact.slice_count() {
+                        let k = fact.slice_for_step(m);
+                        n += composite_scanline_slice_untraced_with(
+                            kernel, rle, &fact, &mut row, k, &opts,
+                        );
+                    }
+                }
+                n
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_prefix_sum(c: &mut Criterion) {
     let v: Vec<u64> = (0..100_000u64).map(|i| i % 977).collect();
     c.bench_function("prefix_sum_serial_100k", |b| b.iter(|| prefix_sum(&v)));
@@ -106,6 +203,7 @@ criterion_group!(
         bench_warp,
         bench_rle_encode,
         bench_classification,
+        bench_blend_kernels,
         bench_prefix_sum,
         bench_partition_search,
         bench_raycast

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! swr-bench [--base N] [--threads a,b,c] [--frames N] [--warmup N] [--out PATH]
+//!           [--force-scalar]
 //! swr-bench --validate PATH     # CI: schema-check an emitted document
 //! ```
 
@@ -12,7 +13,7 @@ use swr_telemetry::Json;
 fn usage() -> ! {
     eprintln!(
         "usage: swr-bench [--base N] [--threads a,b,c] [--frames N] [--warmup N] \
-         [--out PATH] [--smoke]\n       swr-bench --validate PATH"
+         [--out PATH] [--smoke] [--force-scalar]\n       swr-bench --validate PATH"
     );
     std::process::exit(2);
 }
@@ -42,9 +43,12 @@ fn main() {
             "--out" => out_path = Some(value("--out")),
             "--smoke" => {
                 let keep_out = out_path.take();
+                let keep_scalar = cfg.force_scalar;
                 cfg = WallBenchConfig::smoke();
+                cfg.force_scalar = keep_scalar;
                 out_path = keep_out;
             }
+            "--force-scalar" => cfg.force_scalar = true,
             "--validate" => validate_path = Some(value("--validate")),
             "--help" | "-h" => usage(),
             other => {

@@ -35,6 +35,9 @@ pub struct WallBenchConfig {
     pub warmup: usize,
     /// Datasets to render.
     pub phantoms: Vec<Phantom>,
+    /// Pins the compositing dispatch to the scalar reference kernel
+    /// (A/B comparison against the vector kernels).
+    pub force_scalar: bool,
 }
 
 impl Default for WallBenchConfig {
@@ -45,6 +48,7 @@ impl Default for WallBenchConfig {
             frames: 10,
             warmup: 3,
             phantoms: vec![Phantom::MriBrain],
+            force_scalar: false,
         }
     }
 }
@@ -59,6 +63,7 @@ impl WallBenchConfig {
             frames: 3,
             warmup: 1,
             phantoms: vec![Phantom::MriBrain],
+            force_scalar: false,
         }
     }
 }
@@ -113,6 +118,79 @@ impl Series {
     }
 }
 
+/// Times the compositing phase alone through every blend kernel the host
+/// can run, interleaved within one process: each frame of the rotation is
+/// composited once per kernel before the view advances, so a load burst on
+/// a shared host inflates every kernel's same-frame sample alike instead
+/// of corrupting one kernel's whole series. This is the noise-robust
+/// scalar-vs-vector comparison; the renderer rows measure end-to-end cost
+/// through whichever kernel dispatch selected.
+fn kernel_sweep(
+    cfg: &WallBenchConfig,
+    phantom: Phantom,
+    mut progress: impl FnMut(&str),
+) -> Vec<Json> {
+    use swr_render::{
+        composite_scanline_slice_untraced_with, CompositeOpts, IntermediateImage, SimdKernel,
+    };
+    let kernels: Vec<SimdKernel> = [
+        SimdKernel::Scalar,
+        SimdKernel::Sse2,
+        SimdKernel::Avx2,
+        SimdKernel::Neon,
+    ]
+    .into_iter()
+    .filter(|k| k.available())
+    .collect();
+    let dims = phantom.paper_dims(cfg.base);
+    let enc = build_dataset(phantom, cfg.base);
+    let opts = CompositeOpts::default();
+    let mut totals = vec![Vec::with_capacity(cfg.frames); kernels.len()];
+    for i in 0..cfg.warmup + cfg.frames {
+        let view = view_at(dims, i as f64 * FRAME_STEP_DEG);
+        let fact = swr_geom::Factorization::from_view(&view);
+        let rle = enc.for_axis(fact.principal);
+        for (ki, &kernel) in kernels.iter().enumerate() {
+            let mut inter = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let start = Instant::now();
+            for y in 0..fact.inter_h {
+                let mut row = inter.row_view(y);
+                for m in 0..fact.slice_count() {
+                    let k = fact.slice_for_step(m);
+                    composite_scanline_slice_untraced_with(kernel, rle, &fact, &mut row, k, &opts);
+                }
+            }
+            let ms = start.elapsed().as_secs_f64() * 1000.0;
+            if i >= cfg.warmup {
+                totals[ki].push(ms);
+            }
+        }
+    }
+    let scalar_mean = Series::mean_of(&totals[0]);
+    let mut rows = Vec::with_capacity(kernels.len());
+    let mut summary = format!("{phantom:?} {dims:?} kernel sweep:");
+    for (ki, &kernel) in kernels.iter().enumerate() {
+        let mean = Series::mean_of(&totals[ki]);
+        let min = totals[ki].iter().copied().fold(f64::INFINITY, f64::min);
+        summary.push_str(&format!(" {} {mean:.3} ms", kernel.name()));
+        rows.push(
+            Json::obj()
+                .with("kernel", Json::Str(kernel.name().into()))
+                .with("phantom", Json::Str(format!("{phantom:?}")))
+                .with(
+                    "dims",
+                    Json::Arr(dims.iter().map(|&d| Json::U64(d as u64)).collect()),
+                )
+                .with("frames", Json::U64(totals[ki].len() as u64))
+                .with("composite_ms", Json::F64(mean))
+                .with("min_composite_ms", Json::F64(min))
+                .with("speedup_vs_scalar", Json::F64(scalar_mean / mean)),
+        );
+    }
+    progress(&summary);
+    rows
+}
+
 /// Times `frames` measured frames of `render` (after `warmup` discarded
 /// ones), advancing the view each frame. `render` returns the per-frame
 /// `(composite_secs, warp_secs, composited_pixels)` triple.
@@ -162,7 +240,14 @@ pub fn host_name() -> String {
 /// `progress` receives one human-readable line per completed series (pass
 /// `|_| {}` to silence it).
 pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> Json {
+    swr_render::set_force_scalar(cfg.force_scalar);
+    // Resolved after the override so the document records what actually ran.
+    let kernel = swr_render::dispatched_kernel();
+    let mut sweep = Vec::new();
     let mut results = Vec::new();
+    for &phantom in &cfg.phantoms {
+        sweep.extend(kernel_sweep(cfg, phantom, &mut progress));
+    }
     for &phantom in &cfg.phantoms {
         let dims = phantom.paper_dims(cfg.base);
         let enc = build_dataset(phantom, cfg.base);
@@ -239,14 +324,18 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
         .with("schema", Json::Str(BENCH_SCHEMA.into()))
         .with("host", Json::Str(host_name()))
         .with("host_cpus", Json::U64(host_cpus))
+        .with("kernel", Json::Str(kernel.name().into()))
+        .with("simd_enabled", Json::Bool(kernel.lanes() > 1))
         .with("unix_secs", Json::U64(unix_secs))
         .with(
             "config",
             Json::obj()
                 .with("base", Json::U64(cfg.base as u64))
                 .with("warmup", Json::U64(cfg.warmup as u64))
-                .with("frames", Json::U64(cfg.frames as u64)),
+                .with("frames", Json::U64(cfg.frames as u64))
+                .with("force_scalar", Json::Bool(cfg.force_scalar)),
         )
+        .with("kernel_sweep", Json::Arr(sweep))
         .with("results", Json::Arr(results))
 }
 
@@ -263,6 +352,22 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     }
     if doc.get("host").and_then(Json::as_str).is_none() {
         return Err("missing host".into());
+    }
+    let kernel = doc
+        .get("kernel")
+        .and_then(Json::as_str)
+        .ok_or("missing kernel")?;
+    if !["scalar", "sse2", "avx2", "neon"].contains(&kernel) {
+        return Err(format!("unknown kernel {kernel:?}"));
+    }
+    let simd_enabled = doc
+        .get("simd_enabled")
+        .and_then(Json::as_bool)
+        .ok_or("missing simd_enabled")?;
+    if simd_enabled == (kernel == "scalar") {
+        return Err(format!(
+            "simd_enabled = {simd_enabled} inconsistent with kernel {kernel:?}"
+        ));
     }
     let results = doc
         .get("results")
@@ -324,6 +429,38 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     if !saw_new {
         return Err("no new-parallel row".into());
     }
+    let sweep = doc
+        .get("kernel_sweep")
+        .and_then(Json::as_arr)
+        .ok_or("missing kernel_sweep array")?;
+    if sweep.is_empty() {
+        return Err("kernel_sweep array is empty".into());
+    }
+    let mut saw_scalar_sweep = false;
+    for (i, row) in sweep.iter().enumerate() {
+        let kernel = row
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or(format!("kernel_sweep[{i}]: missing kernel"))?;
+        if !["scalar", "sse2", "avx2", "neon"].contains(&kernel) {
+            return Err(format!("kernel_sweep[{i}]: unknown kernel {kernel:?}"));
+        }
+        saw_scalar_sweep |= kernel == "scalar";
+        for key in ["composite_ms", "min_composite_ms", "speedup_vs_scalar"] {
+            let v = row
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("kernel_sweep[{i}]: missing {key}"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!(
+                    "kernel_sweep[{i}]: {key} = {v} not positive/finite"
+                ));
+            }
+        }
+    }
+    if !saw_scalar_sweep {
+        return Err("kernel_sweep has no scalar reference row".into());
+    }
     Ok(())
 }
 
@@ -331,14 +468,24 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    /// `run_wall_bench` pins the process-global kernel dispatch; tests that
+    /// exercise it must not interleave.
+    static DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn smoke_run_emits_a_valid_document() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
         let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
         validate_bench_json(&doc).expect("smoke document validates");
         // Round-trips through the hand-rolled parser.
         let text = doc.to_string();
         let back = Json::parse(&text).expect("parses");
         validate_bench_json(&back).expect("round-tripped document validates");
+        // The document records which kernel actually composited.
+        assert_eq!(
+            back.get("kernel").and_then(Json::as_str),
+            Some(swr_render::dispatched_kernel().name())
+        );
         // 1 serial + (old + new) per thread count.
         let rows = back
             .get("results")
@@ -348,18 +495,61 @@ mod tests {
     }
 
     #[test]
+    fn forced_scalar_run_records_the_scalar_kernel() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        let cfg = WallBenchConfig {
+            force_scalar: true,
+            ..WallBenchConfig::smoke()
+        };
+        let doc = run_wall_bench(&cfg, |_| {});
+        // Un-pin the process-global override for other tests.
+        swr_render::set_force_scalar(false);
+        validate_bench_json(&doc).expect("forced-scalar document validates");
+        assert_eq!(doc.get("kernel").and_then(Json::as_str), Some("scalar"));
+        assert_eq!(doc.get("simd_enabled").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("force_scalar"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
     fn validator_rejects_malformed_documents() {
         assert!(validate_bench_json(&Json::obj()).is_err());
         let bad_schema = Json::obj().with("schema", Json::Str("nope/9".into()));
         assert!(validate_bench_json(&bad_schema).is_err());
-        let empty = Json::obj()
+        let base = Json::obj()
             .with("schema", Json::Str(BENCH_SCHEMA.into()))
-            .with("host", Json::Str("h".into()))
-            .with("results", Json::Arr(vec![]));
+            .with("host", Json::Str("h".into()));
         assert_eq!(
-            validate_bench_json(&empty),
+            validate_bench_json(&base.clone().with("results", Json::Arr(vec![]))),
+            Err("missing kernel".into())
+        );
+        let with_kernel = base
+            .with("kernel", Json::Str("scalar".into()))
+            .with("simd_enabled", Json::Bool(false));
+        assert_eq!(
+            validate_bench_json(&with_kernel.with("results", Json::Arr(vec![]))),
             Err("results array is empty".into())
         );
+        // Inconsistent kernel/simd_enabled pairs are rejected.
+        let inconsistent = Json::obj()
+            .with("schema", Json::Str(BENCH_SCHEMA.into()))
+            .with("host", Json::Str("h".into()))
+            .with("kernel", Json::Str("scalar".into()))
+            .with("simd_enabled", Json::Bool(true));
+        assert!(validate_bench_json(&inconsistent)
+            .unwrap_err()
+            .contains("inconsistent"));
+        let unknown = Json::obj()
+            .with("schema", Json::Str(BENCH_SCHEMA.into()))
+            .with("host", Json::Str("h".into()))
+            .with("kernel", Json::Str("avx512".into()));
+        assert!(validate_bench_json(&unknown)
+            .unwrap_err()
+            .contains("unknown kernel"));
     }
 
     #[test]

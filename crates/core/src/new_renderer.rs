@@ -345,7 +345,7 @@ impl NewParallelRenderer {
                         let compose = catch_unwind(AssertUnwindSafe(|| {
                             let mut local_pixels = 0u64;
                             while let Some((rows, victim)) =
-                                crate::old_renderer::pop_or_steal(p, queues, steal, steals)
+                                crate::old_renderer::pop_or_steal(p, queues, steal, steals, None)
                             {
                                 let chunk_start = if collect { clock.now_us() } else { 0 };
                                 if let Some(v) = victim {

@@ -46,11 +46,21 @@ pub(crate) type StealQueue = CachePadded<Mutex<VecDeque<Range<usize>>>>;
 /// Pops the caller's queue, or steals from the back of the fullest victim.
 /// Returns the chunk plus the victim it was stolen from (`None` for the
 /// caller's own work), so callers can emit steal telemetry.
+///
+/// Steals are *adaptive*: once the victim's queue has dropped below one
+/// chunk per processor (`queues.len()`), a stolen chunk is halved — the
+/// thief takes the back half (floor one row) and the front half goes back
+/// to the victim. Late-frame steals therefore move ever smaller row counts,
+/// shrinking the end-of-frame straggler window where one worker churns
+/// through a large stolen chunk while the rest idle at the barrier. When
+/// `adapt` is given, the smallest chunk handed out is recorded into it
+/// (`fetch_min`), so telemetry can report the final granularity.
 pub(crate) fn pop_or_steal(
     me: usize,
     queues: &[StealQueue],
     steal: bool,
     steals: &AtomicU64,
+    adapt: Option<&AtomicU64>,
 ) -> Option<(Range<usize>, Option<usize>)> {
     if let Some(r) = queues[me].lock().pop_front() {
         return Some((r, None));
@@ -71,8 +81,22 @@ pub(crate) fn pop_or_steal(
             }
         }
         let (v, _) = best?;
-        if let Some(r) = queues[v].lock().pop_back() {
+        let stolen = {
+            let mut q = queues[v].lock();
+            match q.pop_back() {
+                Some(r) if q.len() < queues.len() && r.len() > 1 => {
+                    let mid = r.end - r.len() / 2;
+                    q.push_back(r.start..mid);
+                    Some(mid..r.end)
+                }
+                other => other,
+            }
+        };
+        if let Some(r) = stolen {
             steals.fetch_add(1, Ordering::Relaxed);
+            if let Some(a) = adapt {
+                a.fetch_min(r.len() as u64, Ordering::Relaxed);
+            }
             return Some((r, Some(v)));
         }
         // Raced with the victim finishing its queue; rescan.
@@ -193,6 +217,9 @@ impl OldParallelRenderer {
         // from every chunk, and sharing a line would ping-pong it.
         let steals = CachePadded::new(AtomicU64::new(0));
         let composited = CachePadded::new(AtomicU64::new(0));
+        // Smallest chunk the adaptive steal protocol handed out this frame
+        // (stays at the configured size when no steal was ever halved).
+        let min_chunk = CachePadded::new(AtomicU64::new(chunk_rows as u64));
         // Completion bookkeeping for the repair path.
         let rows_done: Vec<AtomicBool> = (0..h).map(|_| AtomicBool::new(false)).collect();
         let row_claim: Vec<AtomicUsize> = (0..h).map(|_| AtomicUsize::new(UNCLAIMED)).collect();
@@ -215,6 +242,7 @@ impl OldParallelRenderer {
                     let queues = &queues;
                     let steals: &AtomicU64 = &steals;
                     let composited: &AtomicU64 = &composited;
+                    let min_chunk: &AtomicU64 = &min_chunk;
                     let rows_done = &rows_done;
                     let row_claim = &row_claim;
                     let arrived = &arrived;
@@ -234,7 +262,8 @@ impl OldParallelRenderer {
                         let wlog = &mut *wlog;
                         let compose = catch_unwind(AssertUnwindSafe(|| {
                             let mut local_pixels = 0u64;
-                            while let Some((rows, victim)) = pop_or_steal(p, queues, steal, steals)
+                            while let Some((rows, victim)) =
+                                pop_or_steal(p, queues, steal, steals, Some(min_chunk))
                             {
                                 let chunk_start = if collect { clock.now_us() } else { 0 };
                                 if let Some(v) = victim {
@@ -416,13 +445,16 @@ impl OldParallelRenderer {
                 waited_ms: clock.elapsed().as_millis() as u64,
             });
         }
+        let final_chunk_rows = min_chunk.load(Ordering::Relaxed);
         self.last_telemetry = Some(telem::finish_frame(
             "old",
             &clock,
             driver,
             logs,
             &stats,
-            |_| {},
+            |m| {
+                m.set_gauge("old.final_chunk_rows", final_chunk_rows as f64);
+            },
         ));
         Ok((out, stats))
     }
@@ -520,6 +552,83 @@ mod tests {
             // Steal marks never outnumber the counted steals.
             assert!(t.span_count(SpanKind::Steal) as u64 <= stats.steals);
         }
+    }
+
+    fn queues_from(chunks: Vec<Vec<Range<usize>>>) -> Vec<StealQueue> {
+        chunks
+            .into_iter()
+            .map(|v| CachePadded::new(Mutex::new(v.into())))
+            .collect()
+    }
+
+    #[test]
+    fn steal_from_drained_victim_halves_the_chunk() {
+        // Victim holds a single 8-row chunk: below `nprocs` (= 2 queues)
+        // chunks remain after the pop, so the thief gets the back half and
+        // the victim keeps the front half.
+        let queues = queues_from(vec![vec![], vec![0..8]]);
+        let steals = AtomicU64::new(0);
+        let adapt = AtomicU64::new(8);
+        let (r, victim) =
+            pop_or_steal(0, &queues, true, &steals, Some(&adapt)).expect("steal succeeds");
+        assert_eq!(r, 4..8);
+        assert_eq!(victim, Some(1));
+        assert_eq!(queues[1].lock().front().cloned(), Some(0..4));
+        assert_eq!(adapt.load(Ordering::Relaxed), 4);
+        assert_eq!(steals.load(Ordering::Relaxed), 1);
+        // Stealing again halves again: 0..4 → thief takes 2..4.
+        let (r, _) = pop_or_steal(0, &queues, true, &steals, Some(&adapt)).expect("second steal");
+        assert_eq!(r, 2..4);
+        assert_eq!(adapt.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn steal_from_full_victim_takes_a_whole_chunk() {
+        // Two chunks remain after the pop — not below `nprocs` (= 2), so no
+        // halving happens.
+        let queues = queues_from(vec![vec![], vec![0..4, 4..8, 8..12]]);
+        let steals = AtomicU64::new(0);
+        let adapt = AtomicU64::new(4);
+        let (r, _) = pop_or_steal(0, &queues, true, &steals, Some(&adapt)).expect("steal");
+        assert_eq!(r, 8..12, "back chunk stolen whole");
+        assert_eq!(queues[1].lock().len(), 2);
+        assert_eq!(adapt.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn single_row_chunks_are_never_split() {
+        let queues = queues_from(vec![vec![], vec![5..6]]);
+        let steals = AtomicU64::new(0);
+        let adapt = AtomicU64::new(7);
+        let (r, _) = pop_or_steal(0, &queues, true, &steals, Some(&adapt)).expect("steal");
+        assert_eq!(r, 5..6);
+        assert!(queues[1].lock().is_empty());
+        assert_eq!(adapt.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn own_chunks_pop_without_adaptation() {
+        let queues = queues_from(vec![vec![0..4], vec![]]);
+        let steals = AtomicU64::new(0);
+        let adapt = AtomicU64::new(4);
+        let (r, victim) = pop_or_steal(0, &queues, true, &steals, Some(&adapt)).expect("own work");
+        assert_eq!(r, 0..4);
+        assert_eq!(victim, None);
+        assert_eq!(steals.load(Ordering::Relaxed), 0);
+        assert_eq!(adapt.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn final_chunk_rows_gauge_is_recorded() {
+        let (enc, view) = scene();
+        let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(3));
+        let (_, _) = r.render_with_stats(&enc, &view);
+        let t = r.last_telemetry.as_ref().expect("telemetry after a frame");
+        let g = t
+            .metrics
+            .gauge("old.final_chunk_rows")
+            .expect("gauge present");
+        assert!(g >= 1.0, "gauge = {g}");
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl ScanlineSliceStats {
 /// Supports monotonically non-decreasing `query(i)` (voxel at index `i`, or
 /// `None` in a transparent run) and `next_opaque_at_or_after(i)` (first
 /// stored voxel index ≥ `i`). Emits run-byte and voxel loads to the tracer.
-struct RunCursor<'a> {
+pub(crate) struct RunCursor<'a> {
     runs: &'a [u8],
     voxels: &'a [RgbaVoxel],
     run_pos: usize,
@@ -146,7 +146,7 @@ impl<'a> RunCursor<'a> {
     /// the current segment's extent (the compositing loop queries `i0` then
     /// `i0 + 1`, both non-decreasing).
     #[inline]
-    fn query<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> Option<RgbaVoxel> {
+    pub(crate) fn query<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> Option<RgbaVoxel> {
         if i < 0 || i >= self.n_i {
             return None;
         }
@@ -343,6 +343,67 @@ fn blend_footprint<'v, T: Tracer, const STATS: bool>(
     }
 }
 
+/// Where the compositing traversal delivers each composited pixel's 2×2
+/// footprint. There is exactly one traversal implementation
+/// ([`composite_kernel`] / [`composite_scaled`]); sinks only vary the blend
+/// *epilogue*, so the scalar and vector paths cannot drift in which pixels
+/// they composite or how they walk the RLE.
+///
+/// [`BlendNow`] resamples and blends immediately with the reference
+/// [`blend_footprint`]; [`crate::simd::BatchSink`] gathers lanes and flushes
+/// them through a vector kernel with bit-identical arithmetic.
+pub(crate) trait FootprintSink {
+    /// Delivers one composited pixel: cursors positioned for `query(i0)` /
+    /// `query(i0 + 1)`, bilinear weights, optional depth-cue factor, and the
+    /// destination pixel `x` in `row`. Must leave the cursors exactly as
+    /// [`blend_footprint`] would.
+    #[allow(clippy::too_many_arguments)]
+    fn footprint<'v, T: Tracer, const STATS: bool>(
+        &mut self,
+        cur_a: &mut Option<RunCursor<'v>>,
+        cur_b: &mut Option<RunCursor<'v>>,
+        i0: i64,
+        wgts: [f32; 4],
+        cue: Option<f32>,
+        row: &mut RowView<'_>,
+        x: usize,
+        opts: &CompositeOpts,
+        stats: &mut ScanlineSliceStats,
+        tracer: &mut T,
+    );
+
+    /// Completes any deferred work; called once when the traversal of a
+    /// `(scanline, slice)` step finishes.
+    fn flush(&mut self, row: &mut RowView<'_>, opts: &CompositeOpts);
+}
+
+/// The immediate (scalar) sink: every footprint blends on the spot via the
+/// reference [`blend_footprint`]. This is the only sink the traced and
+/// profiled paths may use — it models per-tap work exactly.
+pub(crate) struct BlendNow;
+
+impl FootprintSink for BlendNow {
+    #[inline(always)]
+    fn footprint<'v, T: Tracer, const STATS: bool>(
+        &mut self,
+        cur_a: &mut Option<RunCursor<'v>>,
+        cur_b: &mut Option<RunCursor<'v>>,
+        i0: i64,
+        wgts: [f32; 4],
+        cue: Option<f32>,
+        row: &mut RowView<'_>,
+        x: usize,
+        opts: &CompositeOpts,
+        stats: &mut ScanlineSliceStats,
+        tracer: &mut T,
+    ) {
+        blend_footprint::<T, STATS>(cur_a, cur_b, i0, wgts, cue, row, x, opts, stats, tracer);
+    }
+
+    #[inline(always)]
+    fn flush(&mut self, _row: &mut RowView<'_>, _opts: &CompositeOpts) {}
+}
+
 /// Composites slice `k` into intermediate scanline `row` (at image row
 /// `row.y`). Returns per-step statistics; `stats.work` is what the new
 /// algorithm's scanline profile accumulates.
@@ -354,15 +415,17 @@ pub fn composite_scanline_slice<T: Tracer>(
     opts: &CompositeOpts,
     tracer: &mut T,
 ) -> ScanlineSliceStats {
-    composite_kernel::<T, true>(enc, fact, row, k, opts, tracer)
+    composite_kernel::<T, BlendNow, true>(enc, fact, row, k, opts, tracer, &mut BlendNow)
 }
 
 /// The untraced fast path: identical traversal and pixel arithmetic as
 /// [`composite_scanline_slice`] (output is bit-identical), but monomorphized
 /// with [`NullTracer`] and with the modeled-cost bookkeeping compiled out —
-/// the per-voxel work is only the resample/blend itself. Returns the number
-/// of pixels composited. The native renderers use this on every frame that
-/// is neither traced nor profiled.
+/// the per-voxel work is only the resample/blend itself. Dispatches the
+/// blend epilogue to the widest vector kernel the host supports (see
+/// [`crate::simd`]); the image is bit-identical either way. Returns the
+/// number of pixels composited. The native renderers use this on every
+/// frame that is neither traced nor profiled.
 pub fn composite_scanline_slice_untraced(
     enc: &RleEncoding,
     fact: &Factorization,
@@ -370,19 +433,79 @@ pub fn composite_scanline_slice_untraced(
     k: usize,
     opts: &CompositeOpts,
 ) -> u64 {
-    composite_kernel::<NullTracer, false>(enc, fact, row, k, opts, &mut NullTracer).composited
+    composite_scanline_slice_untraced_with(
+        crate::simd::dispatched_kernel(),
+        enc,
+        fact,
+        row,
+        k,
+        opts,
+    )
 }
 
-/// The compositing kernel, monomorphized over the tracer and over whether
-/// modeled-cost statistics are collected (`STATS = false` compiles the
-/// bookkeeping away; only `composited` is counted).
-fn composite_kernel<T: Tracer, const STATS: bool>(
+/// [`composite_scanline_slice_untraced`] with an explicit kernel choice,
+/// for A/B benchmarking. A kernel the host cannot run falls back to the
+/// scalar reference.
+pub fn composite_scanline_slice_untraced_with(
+    kernel: crate::simd::SimdKernel,
+    enc: &RleEncoding,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+) -> u64 {
+    use crate::simd::SimdKernel;
+    let kernel = if kernel.available() {
+        kernel
+    } else {
+        SimdKernel::Scalar
+    };
+    // The vector sink lives on the stack, per call. A reused thread-local
+    // sink was tried and measured slower overall: the opaque TLS access
+    // forced this function apart into separately-compiled pieces, and the
+    // resulting code layout more than doubled the *scalar* path's time on
+    // the benchmark host, dwarfing the ~300 B of per-call zero-init the
+    // TLS saved. Keeping both kernels inlined here keeps both fast.
+    #[cfg(feature = "simd")]
+    if kernel.lanes() > 1 {
+        let mut sink = crate::simd::BatchSink::new(kernel);
+        return composite_kernel::<NullTracer, _, false>(
+            enc,
+            fact,
+            row,
+            k,
+            opts,
+            &mut NullTracer,
+            &mut sink,
+        )
+        .composited;
+    }
+    debug_assert_eq!(kernel, SimdKernel::Scalar);
+    composite_kernel::<NullTracer, BlendNow, false>(
+        enc,
+        fact,
+        row,
+        k,
+        opts,
+        &mut NullTracer,
+        &mut BlendNow,
+    )
+    .composited
+}
+
+/// The compositing kernel, monomorphized over the tracer, the footprint
+/// sink, and over whether modeled-cost statistics are collected
+/// (`STATS = false` compiles the bookkeeping away; only `composited` is
+/// counted).
+#[allow(clippy::too_many_arguments)]
+fn composite_kernel<T: Tracer, S: FootprintSink, const STATS: bool>(
     enc: &RleEncoding,
     fact: &Factorization,
     row: &mut RowView<'_>,
     k: usize,
     opts: &CompositeOpts,
     tracer: &mut T,
+    sink: &mut S,
 ) -> ScanlineSliceStats {
     let mut stats = ScanlineSliceStats::default();
     let [n_i, n_j, _] = enc.std_dims();
@@ -390,7 +513,7 @@ fn composite_kernel<T: Tracer, const STATS: bool>(
     if (xf.scale - 1.0).abs() > 1e-12 {
         // Perspective slices scale as well as translate; take the
         // general-resampling path.
-        return composite_scaled::<T, STATS>(enc, fact, row, k, xf, opts, tracer);
+        return composite_scaled::<T, S, STATS>(enc, fact, row, k, xf, opts, tracer, sink);
     }
     let (u_off, v_off) = (xf.off_u, xf.off_v);
     let cue = opts.depth_cue.map(|c| c.factor(fact.depth_of_slice(k)));
@@ -460,11 +583,12 @@ fn composite_kernel<T: Tracer, const STATS: bool>(
             continue;
         }
 
-        blend_footprint::<T, STATS>(
+        sink.footprint::<T, STATS>(
             &mut cur_a, &mut cur_b, i0, wgts, cue, row, x as usize, opts, &mut stats, tracer,
         );
         x += 1;
     }
+    sink.flush(row, opts);
     stats
 }
 
@@ -474,7 +598,8 @@ fn composite_kernel<T: Tracer, const STATS: bool>(
 /// pixel step may advance more than one voxel. Shares the run cursors, the
 /// per-pixel epilogue, and the coherence optimizations with the unit-scale
 /// fast path.
-fn composite_scaled<T: Tracer, const STATS: bool>(
+#[allow(clippy::too_many_arguments)]
+fn composite_scaled<T: Tracer, S: FootprintSink, const STATS: bool>(
     enc: &RleEncoding,
     fact: &Factorization,
     row: &mut RowView<'_>,
@@ -482,6 +607,7 @@ fn composite_scaled<T: Tracer, const STATS: bool>(
     xf: swr_geom::SliceXform,
     opts: &CompositeOpts,
     tracer: &mut T,
+    sink: &mut S,
 ) -> ScanlineSliceStats {
     let mut stats = ScanlineSliceStats::default();
     let [n_i, n_j, _] = enc.std_dims();
@@ -551,11 +677,12 @@ fn composite_scaled<T: Tracer, const STATS: bool>(
         let wx0 = 1.0 - fx;
         let wx1 = fx;
         let wgts = [w_a * wx0, w_a * wx1, w_b * wx0, w_b * wx1];
-        blend_footprint::<T, STATS>(
+        sink.footprint::<T, STATS>(
             &mut cur_a, &mut cur_b, i0, wgts, cue, row, x as usize, opts, &mut stats, tracer,
         );
         x += 1;
     }
+    sink.flush(row, opts);
     stats
 }
 
@@ -931,8 +1058,15 @@ mod tests {
                     &enc, &fact, &mut row, k, &opts, &mut t_u,
                 ));
                 let mut row = img_s.row_view(y);
-                st_s.merge(&composite_scaled::<_, true>(
-                    &enc, &fact, &mut row, k, xf, &opts, &mut t_s,
+                st_s.merge(&composite_scaled::<_, _, true>(
+                    &enc,
+                    &fact,
+                    &mut row,
+                    k,
+                    xf,
+                    &opts,
+                    &mut t_s,
+                    &mut BlendNow,
                 ));
             }
             assert_eq!(st_u.work, st_s.work, "row {y}: modeled work differs");

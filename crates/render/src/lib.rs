@@ -28,16 +28,18 @@ pub mod composite;
 pub mod costs;
 pub mod image;
 pub mod serial;
+pub mod simd;
 pub mod tracer;
 pub mod warp;
 
 pub use composite::{
-    composite_scanline_slice, composite_scanline_slice_untraced, CompositeOpts, DepthCue,
-    ScanlineSliceStats,
+    composite_scanline_slice, composite_scanline_slice_untraced,
+    composite_scanline_slice_untraced_with, CompositeOpts, DepthCue, ScanlineSliceStats,
 };
 pub use image::{
     FinalImage, IPixel, IntermediateImage, Rgba8, RowView, SharedFinal, SharedIntermediate,
 };
 pub use serial::{SerialRenderer, SerialStats};
+pub use simd::{dispatched_kernel, set_force_scalar, simd_compiled, SimdKernel};
 pub use tracer::{CountingTracer, NullTracer, Tracer, WorkKind};
 pub use warp::{warp_full, warp_row_band, warp_tile, InterSource, Tile};

@@ -221,6 +221,160 @@ fn frame_level_voxel_fetch_counts_match_the_tracer() {
     }
 }
 
+mod simd_sweep {
+    use super::*;
+    use shearwarp::render::{
+        composite_scanline_slice_untraced_with, warp_full, CompositeOpts, IntermediateImage,
+        NullTracer, SimdKernel,
+    };
+    use shearwarp::volume::RgbaVoxel;
+    use shearwarp::volume::{ClassifiedVolume, EncodedVolume};
+
+    /// The vector kernels the current build + host can actually run.
+    fn vector_kernels() -> Vec<SimdKernel> {
+        [SimdKernel::Sse2, SimdKernel::Avx2, SimdKernel::Neon]
+            .into_iter()
+            .filter(|k| k.available())
+            .collect()
+    }
+
+    /// Composites a whole frame through one explicit kernel.
+    fn composite_full(
+        kernel: SimdKernel,
+        enc: &EncodedVolume,
+        fact: &Factorization,
+        opts: &CompositeOpts,
+    ) -> (IntermediateImage, u64) {
+        let rle = enc.for_axis(fact.principal);
+        let mut img = IntermediateImage::new(fact.inter_w, fact.inter_h);
+        let mut composited = 0u64;
+        for y in 0..fact.inter_h {
+            for m in 0..fact.slice_count() {
+                let k = fact.slice_for_step(m);
+                let mut row = img.row_view(y);
+                composited +=
+                    composite_scanline_slice_untraced_with(kernel, rle, fact, &mut row, k, opts);
+            }
+        }
+        (img, composited)
+    }
+
+    /// Asserts a vector kernel reproduces the scalar frame bit for bit:
+    /// every intermediate pixel, the composited-pixel count, and the warped
+    /// final image.
+    fn assert_kernels_bit_identical(enc: &EncodedVolume, view: &ViewSpec, label: &str) {
+        let fact = Factorization::from_view(view);
+        let opts = CompositeOpts::default();
+        let (scalar_img, scalar_n) = composite_full(SimdKernel::Scalar, enc, &fact, &opts);
+        for kernel in vector_kernels() {
+            let (img, n) = composite_full(kernel, enc, &fact, &opts);
+            assert_eq!(
+                n,
+                scalar_n,
+                "{label}/{}: composited count diverged",
+                kernel.name()
+            );
+            for y in 0..fact.inter_h as isize {
+                for x in 0..fact.inter_w as isize {
+                    assert_eq!(
+                        img.get(x, y),
+                        scalar_img.get(x, y),
+                        "{label}/{}: intermediate pixel ({x},{y})",
+                        kernel.name()
+                    );
+                }
+            }
+            let mut final_scalar = FinalImage::new(fact.final_w, fact.final_h);
+            let mut final_simd = FinalImage::new(fact.final_w, fact.final_h);
+            warp_full(&scalar_img, &fact, &mut final_scalar, &mut NullTracer);
+            warp_full(&img, &fact, &mut final_simd, &mut NullTracer);
+            assert_eq!(
+                final_simd,
+                final_scalar,
+                "{label}/{}: final image",
+                kernel.name()
+            );
+        }
+    }
+
+    /// Tentpole gate: every available vector kernel is bit-identical to the
+    /// scalar reference over orthographic and perspective rotation
+    /// animations.
+    #[test]
+    fn simd_matches_scalar_over_rotation_animations() {
+        let (enc, dims) = dataset(Phantom::MriBrain, 28);
+        for frame in 0..5 {
+            let angle = 0.13 + frame as f64 * 23f64.to_radians();
+            let ortho = ViewSpec::new(dims).rotate_x(0.2).rotate_y(angle);
+            let persp = ViewSpec::new(dims)
+                .rotate_y(angle)
+                .with_perspective(dims[0] as f64 * 2.5);
+            assert_kernels_bit_identical(&enc, &ortho, &format!("ortho f{frame}"));
+            assert_kernels_bit_identical(&enc, &persp, &format!("persp f{frame}"));
+        }
+    }
+
+    /// Tail-handling edge cases: odd image widths (remainder lanes on every
+    /// scanline), stored runs of 1–3 voxels (batches shorter than the lane
+    /// width), and fully-opaque rows (early termination leaves nothing to
+    /// flush after the first slice).
+    #[test]
+    fn simd_matches_scalar_on_short_runs_odd_widths_and_opaque_rows() {
+        let dims = [17usize, 19, 13];
+        let mut vox = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    // Row 5: fully opaque → saturates after the front slice.
+                    // Elsewhere: isolated runs of one (x ≡ 0 mod 7) and two
+                    // (x ≡ 3, 4 mod 7) stored voxels between transparent gaps.
+                    let a: u8 = if y == 5 {
+                        255
+                    } else {
+                        match x % 7 {
+                            0 => 90,
+                            3 | 4 => 140,
+                            _ => 0,
+                        }
+                    };
+                    let c = (a / 2).saturating_add((x + y + z) as u8 % 60);
+                    vox.push(RgbaVoxel {
+                        r: c.min(a),
+                        g: (c / 2).min(a),
+                        b: a,
+                        a,
+                    });
+                }
+            }
+        }
+        let classified = ClassifiedVolume::from_raw(dims, vox);
+        let enc = EncodedVolume::encode_with_threshold(&classified, 1);
+        let ortho = ViewSpec::new(dims).rotate_x(0.31).rotate_y(0.47);
+        let persp = ViewSpec::new(dims)
+            .rotate_y(0.29)
+            .with_perspective(dims[0] as f64 * 3.0);
+        assert_kernels_bit_identical(&enc, &ortho, "edge ortho");
+        assert_kernels_bit_identical(&enc, &persp, "edge persp");
+        // Head-on: integer shear → single-tap footprints and a run layout
+        // that starts batches at lane-unaligned x positions.
+        assert_kernels_bit_identical(&enc, &ViewSpec::new(dims), "edge head-on");
+    }
+
+    /// The runtime override must swap kernels without changing a single
+    /// pixel of a full render.
+    #[test]
+    fn force_scalar_override_does_not_change_renders() {
+        use shearwarp::render::set_force_scalar;
+        let (enc, dims) = dataset(Phantom::CtHead, 24);
+        let view = ViewSpec::new(dims).rotate_y(0.7).rotate_x(0.1);
+        set_force_scalar(true);
+        let scalar = SerialRenderer::new().render(&enc, &view);
+        set_force_scalar(false);
+        let dispatched = SerialRenderer::new().render(&enc, &view);
+        assert_eq!(scalar, dispatched);
+    }
+}
+
 #[test]
 fn raycaster_and_shearwarp_see_the_same_object() {
     // The two renderers differ in resampling (2-D sheared bilinear vs true
