@@ -69,7 +69,13 @@ fn main() {
         });
         match validate_bench_json(&doc) {
             Ok(()) => {
-                println!("{path}: valid {} document", swr_bench::wall::BENCH_SCHEMA);
+                // v1 documents still validate; report the tag the file
+                // actually carries rather than the current schema.
+                let schema = doc
+                    .get("schema")
+                    .and_then(Json::as_str)
+                    .unwrap_or(swr_bench::wall::BENCH_SCHEMA);
+                println!("{path}: valid {schema} document");
                 return;
             }
             Err(e) => {

@@ -14,13 +14,19 @@
 
 use crate::{build_dataset, view_at, FRAME_STEP_DEG};
 use std::time::Instant;
-use swr_core::{NewParallelRenderer, OldParallelRenderer, ParallelConfig};
+use swr_core::{AnimationPipeline, NewParallelRenderer, OldParallelRenderer, ParallelConfig};
 use swr_render::SerialRenderer;
 use swr_telemetry::Json;
 use swr_volume::Phantom;
 
 /// Schema tag of the emitted document; bump on breaking layout changes.
-pub const BENCH_SCHEMA: &str = "swr-bench-wall/1";
+/// v2 added the `new_pipelined` renderer rows (multi-frame pipeline) and
+/// the `spawn_per_frame` metadata on parallel rows.
+pub const BENCH_SCHEMA: &str = "swr-bench-wall/2";
+
+/// The previous schema tag, still accepted by [`validate_bench_json`] so
+/// archived v1 documents keep validating.
+pub const BENCH_SCHEMA_V1: &str = "swr-bench-wall/1";
 
 /// Configuration of one wall-clock benchmark run.
 #[derive(Debug, Clone)]
@@ -221,6 +227,46 @@ fn time_series(
     series
 }
 
+/// Times the multi-frame pipeline over one animation. Unlike
+/// [`time_series`] there is no per-frame render call to clock: the pool
+/// renders two frames at a time and delivers them in order, so frame cost
+/// is the *delivery-to-delivery* gap on the consuming thread — exactly the
+/// frame rate an animation consumer observes. `composite_ms` records each
+/// frame's publish-to-completion latency (which spans the overlap with its
+/// neighbours, so per-frame latency can exceed the delivery gap).
+fn pipelined_series(
+    enc: &swr_volume::EncodedVolume,
+    dims: [usize; 3],
+    threads: usize,
+    warmup: usize,
+    frames: usize,
+) -> Series {
+    let mut pipe = AnimationPipeline::new(ParallelConfig::with_procs(threads));
+    let total = warmup + frames;
+    let views: Vec<swr_geom::ViewSpec> = (0..total)
+        .map(|i| view_at(dims, i as f64 * FRAME_STEP_DEG))
+        .collect();
+    let mut series = Series {
+        frame_ms: Vec::with_capacity(frames),
+        composite_ms: Vec::with_capacity(frames),
+        warp_ms: Vec::with_capacity(frames),
+        composited_pixels: 0,
+    };
+    let start = Instant::now();
+    let mut last = start;
+    pipe.try_render_animation(enc, &views, |frame, _img, st| {
+        let now = Instant::now();
+        if frame >= warmup {
+            series.frame_ms.push((now - last).as_secs_f64() * 1000.0);
+            series.composite_ms.push(st.composite_secs * 1000.0);
+            series.composited_pixels += st.composited_pixels;
+        }
+        last = now;
+    })
+    .expect("pipelined benchmark render");
+    series
+}
+
 /// The benchmark host name: `/proc/sys/kernel/hostname`, the `HOSTNAME`
 /// environment variable, or `"unknown"`.
 pub fn host_name() -> String {
@@ -269,6 +315,9 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
             .with("phantom", Json::Str(label.clone()))];
 
         for &threads in &cfg.threads {
+            // The old algorithm (and the single-frame new renderer below)
+            // spawns its worker threads afresh every frame — the contrast
+            // case for the pipelined series, recorded as `spawn_per_frame`.
             let mut old = OldParallelRenderer::new(ParallelConfig::with_procs(threads));
             let s = time_series(dims, cfg.warmup, cfg.frames, |view| {
                 let (_, st) = old.render_with_stats(&enc, view);
@@ -281,6 +330,7 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
             ));
             rows.push(
                 s.to_json("old", threads, Some(serial_mean))
+                    .with("spawn_per_frame", Json::Bool(true))
                     .with("phantom", Json::Str(label.clone())),
             );
 
@@ -291,13 +341,29 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
                 // whole frame and warp_secs stays zero by construction.
                 (st.composite_secs, st.warp_secs, st.composited_pixels)
             });
+            let new_mean = s.mean_frame_ms();
             progress(&format!(
                 "{label} {dims:?} new x{threads}: {:.2} ms/frame ({:.2}x)",
-                s.mean_frame_ms(),
-                serial_mean / s.mean_frame_ms()
+                new_mean,
+                serial_mean / new_mean
             ));
             rows.push(
                 s.to_json("new", threads, Some(serial_mean))
+                    .with("spawn_per_frame", Json::Bool(true))
+                    .with("phantom", Json::Str(label.clone())),
+            );
+
+            let s = pipelined_series(&enc, dims, threads, cfg.warmup, cfg.frames);
+            progress(&format!(
+                "{label} {dims:?} new_pipelined x{threads}: {:.2} ms/frame ({:.2}x serial, {:.2}x new)",
+                s.mean_frame_ms(),
+                serial_mean / s.mean_frame_ms(),
+                new_mean / s.mean_frame_ms()
+            ));
+            rows.push(
+                s.to_json("new_pipelined", threads, Some(serial_mean))
+                    .with("speedup_vs_new", Json::F64(new_mean / s.mean_frame_ms()))
+                    .with("spawn_per_frame", Json::Bool(false))
                     .with("phantom", Json::Str(label.clone())),
             );
         }
@@ -347,9 +413,12 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing schema tag")?;
-    if schema != BENCH_SCHEMA {
-        return Err(format!("schema {schema:?}, expected {BENCH_SCHEMA:?}"));
+    if schema != BENCH_SCHEMA && schema != BENCH_SCHEMA_V1 {
+        return Err(format!(
+            "schema {schema:?}, expected {BENCH_SCHEMA:?} (or legacy {BENCH_SCHEMA_V1:?})"
+        ));
     }
+    let v2 = schema == BENCH_SCHEMA;
     if doc.get("host").and_then(Json::as_str).is_none() {
         return Err("missing host".into());
     }
@@ -378,6 +447,7 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     }
     let mut saw_serial = false;
     let mut saw_new = false;
+    let mut saw_pipelined = false;
     for (i, row) in results.iter().enumerate() {
         let renderer = row
             .get("renderer")
@@ -387,7 +457,39 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             "serial" => saw_serial = true,
             "new" => saw_new = true,
             "old" => {}
+            "new_pipelined" => {
+                saw_pipelined = true;
+                let v = row
+                    .get("speedup_vs_new")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!(
+                        "results[{i}]: pipelined row missing speedup_vs_new"
+                    ))?;
+                // Structural gate only: on a single-CPU CI host the pipeline
+                // can legitimately run slower than the barriered loop (the
+                // `host_cpus` field makes that legible), so any positive
+                // finite ratio passes.
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(format!("results[{i}]: bad speedup_vs_new {v}"));
+                }
+            }
             other => return Err(format!("results[{i}]: unknown renderer {other:?}")),
+        }
+        if renderer != "serial" {
+            match row.get("spawn_per_frame").and_then(Json::as_bool) {
+                Some(spawns) if spawns == (renderer == "new_pipelined") => {
+                    return Err(format!(
+                        "results[{i}]: spawn_per_frame = {spawns} inconsistent with renderer {renderer:?}"
+                    ));
+                }
+                Some(_) => {}
+                None if v2 => {
+                    return Err(format!(
+                        "results[{i}]: parallel row missing spawn_per_frame"
+                    ))
+                }
+                None => {}
+            }
         }
         for key in ["threads", "frames"] {
             if row.get(key).and_then(Json::as_u64).is_none() {
@@ -428,6 +530,9 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     }
     if !saw_new {
         return Err("no new-parallel row".into());
+    }
+    if v2 && !saw_pipelined {
+        return Err("v2 document has no new_pipelined row".into());
     }
     let sweep = doc
         .get("kernel_sweep")
@@ -486,12 +591,60 @@ mod tests {
             back.get("kernel").and_then(Json::as_str),
             Some(swr_render::dispatched_kernel().name())
         );
-        // 1 serial + (old + new) per thread count.
+        // 1 serial + (old + new + new_pipelined) per thread count.
         let rows = back
             .get("results")
             .and_then(Json::as_arr)
             .map(<[Json]>::len);
-        assert_eq!(rows, Some(1 + 2 * WallBenchConfig::smoke().threads.len()));
+        assert_eq!(rows, Some(1 + 3 * WallBenchConfig::smoke().threads.len()));
+    }
+
+    #[test]
+    fn legacy_v1_documents_still_validate() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
+        // Rewrite as a v1 document: old schema tag, no pipelined rows, no
+        // spawn_per_frame metadata — what an archived BENCH file looks like.
+        let results: Vec<Json> = doc
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results")
+            .iter()
+            .filter(|r| r.get("renderer").and_then(Json::as_str) != Some("new_pipelined"))
+            .map(|r| {
+                let mut row = Json::obj();
+                for key in [
+                    "renderer",
+                    "threads",
+                    "frames",
+                    "mean_frame_ms",
+                    "min_frame_ms",
+                    "fps",
+                    "composited_mpixels_per_sec",
+                    "speedup_vs_serial",
+                    "dims",
+                ] {
+                    if let Some(v) = r.get(key) {
+                        row.set(key, v.clone());
+                    }
+                }
+                row
+            })
+            .collect();
+        // `Json::set` appends rather than replaces, so rebuild the document
+        // with the keys swapped out instead of mutating the original.
+        let rebuilt = |schema: &str| {
+            let mut d = Json::obj().with("schema", Json::Str(schema.into()));
+            for key in ["host", "kernel", "simd_enabled", "kernel_sweep"] {
+                d.set(key, doc.get(key).expect("present in v2 docs").clone());
+            }
+            d.with("results", Json::Arr(results.clone()))
+        };
+        validate_bench_json(&rebuilt(BENCH_SCHEMA_V1)).expect("v1 document validates");
+        // But a v2 document must carry the pipelined series.
+        assert!(validate_bench_json(&rebuilt(BENCH_SCHEMA))
+            .unwrap_err()
+            .contains("spawn_per_frame"));
     }
 
     #[test]

@@ -40,7 +40,12 @@ pub struct FaultPlan {
     /// Drop this many chunks from the back of worker 0's queue before the
     /// frame starts (models lost work the watchdog must detect).
     pub truncate_queue: Option<usize>,
+    /// Panic inside the worker performing this (0-based) warp-phase band.
+    /// Counted globally across workers like `panic_at_task`, so the fault
+    /// suite can hit the warp of either in-flight frame of the pipeline.
+    pub panic_warp_at: Option<u64>,
     tasks_seen: AtomicU64,
+    warps_seen: AtomicU64,
 }
 
 /// One step of the splitmix64 generator — small, seedable, and good enough
@@ -86,6 +91,12 @@ impl FaultPlan {
         self
     }
 
+    /// Arms a worker panic at the given 0-based global warp-band index.
+    pub fn panic_in_warp_at(mut self, band: u64) -> Self {
+        self.panic_warp_at = Some(band);
+        self
+    }
+
     /// Called by a worker as it claims a compositing task. Panics with a
     /// recognizable message when the armed task index is reached.
     pub fn on_task(&self, worker: usize) {
@@ -101,6 +112,20 @@ impl FaultPlan {
         self.tasks_seen.load(Ordering::SeqCst)
     }
 
+    /// Called by a worker as it begins warping its band. Panics with a
+    /// recognizable message when the armed band index is reached.
+    pub fn on_warp(&self, worker: usize) {
+        let n = self.warps_seen.fetch_add(1, Ordering::SeqCst);
+        if self.panic_warp_at == Some(n) {
+            panic!("injected fault: worker {worker} panic in warp band {n}");
+        }
+    }
+
+    /// Number of warp bands observed so far.
+    pub fn warps_seen(&self) -> u64 {
+        self.warps_seen.load(Ordering::SeqCst)
+    }
+
     /// Overwrites `profile` with seeded pseudo-random values. Values are
     /// bounded below 2³² so even pathological profiles cannot overflow the
     /// partitioner's prefix sums.
@@ -111,9 +136,10 @@ impl FaultPlan {
         }
     }
 
-    /// Rearms the task counter for the next frame.
+    /// Rearms the task and warp counters for the next frame.
     pub fn reset(&self) {
         self.tasks_seen.store(0, Ordering::SeqCst);
+        self.warps_seen.store(0, Ordering::SeqCst);
     }
 }
 

@@ -59,9 +59,17 @@
 //!   yields [`Error::Stalled`](swr_error::Error) naming the row and the
 //!   worker that last claimed it — never an indefinite spin.
 //! * **Fault injection** — [`fault::FaultPlan`] deterministically injects
-//!   worker panics at the Nth task, corrupted or zeroed work profiles, and
-//!   truncated steal queues, so the containment paths above are exercised
-//!   by ordinary tests.
+//!   worker panics at the Nth compositing task or Nth warp band, corrupted
+//!   or zeroed work profiles, and truncated steal queues, so the containment
+//!   paths above are exercised by ordinary tests.
+//!
+//! The multi-frame [`AnimationPipeline`] keeps **two frames in flight** on a
+//! persistent worker pool; the same failure model holds per frame. Panics in
+//! either phase of either in-flight frame are contained and repaired when
+//! that frame is resolved (the other frame is unaffected), stalls surface as
+//! the same typed [`Error::Stalled`](swr_error::Error), and the watchdog
+//! measures each wait from its own start so a frame simply queued behind its
+//! predecessor is never misreported as stalled.
 //!
 //! # Example
 //!
@@ -92,6 +100,7 @@ pub mod new_renderer;
 pub mod old_renderer;
 pub mod pad;
 pub mod partition;
+pub mod pipeline;
 pub mod prefix;
 pub(crate) mod telem;
 
@@ -101,6 +110,7 @@ pub use new_renderer::NewParallelRenderer;
 pub use old_renderer::OldParallelRenderer;
 pub use pad::CachePadded;
 pub use partition::{balanced_contiguous, equal_contiguous, interleaved_chunks, make_tiles};
+pub use pipeline::AnimationPipeline;
 pub use prefix::{parallel_prefix_sum, prefix_sum};
 pub use swr_error::Error;
 pub use swr_telemetry::{FrameTelemetry, Json, MetricsRegistry};

@@ -42,7 +42,8 @@ use crate::{Error, ParallelConfig, RenderStats};
 use parking_lot::Mutex;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
@@ -51,37 +52,56 @@ use swr_render::{
     SharedIntermediate,
 };
 use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind};
-use swr_volume::EncodedVolume;
+use swr_volume::{EncodedVolume, RleEncoding};
 
 /// Row-claim sentinel: no worker ever claimed the row.
-const UNCLAIMED: usize = usize::MAX;
+pub(crate) const UNCLAIMED: usize = usize::MAX;
 
 /// Per-frame shared scheduler state, owned by the renderer and reused across
 /// frames so an animation loop allocates nothing per frame once the image
 /// size settles. The row-claim slots and steal queues are cache-line padded:
 /// they are the hottest cross-worker state, and packing them densely would
 /// reintroduce exactly the false sharing §5 of the paper measures.
+///
+/// Completion flags are **epoch counters**, not booleans: a row (or a
+/// worker's warp) is complete for frame epoch `e` when its flag holds a
+/// value `>= e`. Epochs strictly increase across an animation, so a flag
+/// left over from an earlier frame in a reused scratch can never satisfy a
+/// later frame's wait — the invariant the pipelined renderer's two-frame
+/// in-flight window depends on.
 #[derive(Debug, Default)]
-struct FrameScratch {
-    /// Per-row completion flags (the new algorithm's barrier replacement).
-    rows_done: Vec<AtomicBool>,
+pub(crate) struct FrameScratch {
+    /// Per-row completion epochs (the new algorithm's barrier replacement).
+    pub(crate) rows_done: Vec<AtomicU64>,
     /// Which worker last claimed each row (stall diagnostics).
-    row_claim: Vec<CachePadded<AtomicUsize>>,
+    pub(crate) row_claim: Vec<CachePadded<AtomicUsize>>,
     /// Profile collection target on profiling frames; empty otherwise.
-    new_profile: Vec<AtomicU64>,
-    /// Per-worker warp completion (repair bookkeeping).
-    warp_done: Vec<AtomicBool>,
+    pub(crate) new_profile: Vec<AtomicU64>,
+    /// Per-worker warp completion epochs (repair bookkeeping).
+    pub(crate) warp_done: Vec<AtomicU64>,
     /// Per-worker steal queues.
-    queues: Vec<StealQueue>,
+    pub(crate) queues: Vec<StealQueue>,
 }
 
 impl FrameScratch {
-    /// Resets for a frame of `h` intermediate rows and `nprocs` workers.
-    /// Rows outside `region` are marked complete immediately.
-    fn reset(&mut self, h: usize, nprocs: usize, region: &Range<usize>, profiling: bool) {
-        self.rows_done.resize_with(h, AtomicBool::default);
+    /// Prepares for a frame of `h` intermediate rows and `nprocs` workers
+    /// at the given epoch. Rows outside `region` are marked complete at
+    /// `epoch` immediately; rows inside keep whatever older epoch they
+    /// carry (strictly smaller, since epochs only grow), so completion
+    /// state needs no per-row zeroing between frames.
+    pub(crate) fn prepare(
+        &mut self,
+        h: usize,
+        nprocs: usize,
+        region: &Range<usize>,
+        profiling: bool,
+        epoch: u64,
+    ) {
+        self.rows_done.resize_with(h, AtomicU64::default);
         for (y, flag) in self.rows_done.iter_mut().enumerate() {
-            *flag.get_mut() = !region.contains(&y);
+            if !region.contains(&y) {
+                *flag.get_mut() = epoch;
+            }
         }
         self.row_claim
             .resize_with(h, || CachePadded::new(AtomicUsize::new(UNCLAIMED)));
@@ -92,16 +112,13 @@ impl FrameScratch {
         if profiling {
             self.new_profile.resize_with(h, AtomicU64::default);
         }
-        self.warp_done.resize_with(nprocs, AtomicBool::default);
-        for done in self.warp_done.iter_mut() {
-            *done.get_mut() = false;
-        }
+        self.warp_done.resize_with(nprocs, AtomicU64::default);
         self.queues.resize_with(nprocs, StealQueue::default);
     }
 }
 
 /// What a worker's wait on the completion flags concluded.
-enum WaitOutcome {
+pub(crate) enum WaitOutcome {
     /// All rows the band reads are composited.
     Ready,
     /// The row can never complete (all compositors retired) or the watchdog
@@ -126,6 +143,8 @@ pub struct NewParallelRenderer {
     pub last_telemetry: Option<FrameTelemetry>,
     inter: Option<IntermediateImage>,
     scratch: FrameScratch,
+    /// Monotone frame counter tagging this renderer's completion epochs.
+    frame_epoch: u64,
     /// Partition staging buffer (the profile slice fed to the prefix sum),
     /// reused across frames.
     cum_profile: Vec<u64>,
@@ -196,9 +215,12 @@ impl NewParallelRenderer {
         let nprocs = self.cfg.nprocs;
         let h = fact.inter_h;
 
+        // The intermediate image is *not* cleared here: each worker zeroes
+        // the rows of a chunk the first time it touches them (see
+        // `composite_chunk_rows`), and the driver clears only the two guard
+        // rows the warp reads beyond the composited region.
         let inter = match &mut self.inter {
             Some(img) if img.width() == fact.inter_w && img.height() == h => {
-                img.clear();
                 self.inter.as_mut().expect("checked above")
             }
             slot => {
@@ -263,8 +285,21 @@ impl NewParallelRenderer {
         let chunk_rows = self.cfg.effective_chunk_rows(region.len().max(1));
 
         // Per-frame shared state: completion flags, claim slots, profile
-        // counters, warp flags, steal queues — all reused from last frame.
-        self.scratch.reset(h, nprocs, &region, profiling);
+        // counters, warp flags, steal queues — all reused from last frame,
+        // distinguished by this frame's epoch.
+        self.frame_epoch += 1;
+        let epoch = self.frame_epoch;
+        self.scratch.prepare(h, nprocs, &region, profiling, epoch);
+        // Guard rows: the extended first band bilinearly reads row
+        // `region.start - 1` and the last band reads row `region.end`;
+        // neither is composited, so both must be clear even when the image
+        // carries a previous frame's pixels.
+        if region.start > 0 {
+            inter.clear_row(region.start - 1);
+        }
+        if region.end < h {
+            inter.clear_row(region.end);
+        }
         for (queue, chunks) in self
             .scratch
             .queues
@@ -364,31 +399,15 @@ impl NewParallelRenderer {
                                 for y in rows.clone() {
                                     row_claim[y].store(p, Ordering::Relaxed);
                                 }
-                                for m in 0..fact.slice_count() {
-                                    let k = fact.slice_for_step(m);
-                                    for y in rows.clone() {
-                                        // SAFETY: row ownership moves only
-                                        // through the queues; each row is in
-                                        // exactly one chunk.
-                                        let mut row = unsafe { shared.row_view(y) };
-                                        if profiling {
-                                            let st = composite_scanline_slice(
-                                                rle,
-                                                fact,
-                                                &mut row,
-                                                k,
-                                                &opts,
-                                                &mut NullTracer,
-                                            );
-                                            local_pixels += st.composited;
-                                            new_profile[y].fetch_add(st.work, Ordering::Relaxed);
-                                        } else {
-                                            local_pixels += composite_scanline_slice_untraced(
-                                                rle, fact, &mut row, k, &opts,
-                                            );
-                                        }
-                                    }
-                                }
+                                local_pixels += composite_chunk_rows(
+                                    rle,
+                                    fact,
+                                    shared,
+                                    rows.clone(),
+                                    &opts,
+                                    profiling,
+                                    new_profile,
+                                );
                                 if collect {
                                     // A profiling frame's compositing doubles
                                     // as profile collection (§4.2) — label it
@@ -406,7 +425,7 @@ impl NewParallelRenderer {
                                     );
                                 }
                                 for y in rows {
-                                    rows_done[y].store(true, Ordering::Release);
+                                    rows_done[y].store(epoch, Ordering::Release);
                                 }
                             }
                             composited.fetch_add(local_pixels, Ordering::Relaxed);
@@ -428,23 +447,24 @@ impl NewParallelRenderer {
                         // region's first composited row.
                         let mut band = partitions[p].clone();
                         if band.is_empty() {
-                            warp_done[p].store(true, Ordering::Release);
+                            warp_done[p].store(epoch, Ordering::Release);
                             return;
                         }
-                        if band.start == region.start {
-                            band.start = band.start.saturating_sub(1);
-                        }
+                        extend_band(&mut band, region.start);
                         let wait_hi = band.end.min(h - 1);
                         if watchdog.is_some() {
                             watchdog_arms.fetch_add(1, Ordering::Relaxed);
                         }
+                        let wait_from = clock.elapsed();
                         let wait_start = if collect { clock.now_us() } else { 0 };
                         let outcome = wait_for_rows(
                             rows_done,
+                            epoch,
                             active,
                             band.start..wait_hi + 1,
                             watchdog,
                             clock,
+                            wait_from,
                         );
                         if collect {
                             wlog.record(
@@ -466,6 +486,9 @@ impl NewParallelRenderer {
                         // which are now quiescent.
                         let warp_start = if collect { clock.now_us() } else { 0 };
                         let warp = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(fp) = fault {
+                                fp.on_warp(p);
+                            }
                             let mut tracer = NullTracer;
                             warp_row_band(
                                 shared,
@@ -485,7 +508,7 @@ impl NewParallelRenderer {
                             );
                         }
                         match warp {
-                            Ok(()) => warp_done[p].store(true, Ordering::Release),
+                            Ok(()) => warp_done[p].store(epoch, Ordering::Release),
                             Err(payload) => {
                                 panics.lock().push((p, panic_message(payload.as_ref())));
                             }
@@ -508,7 +531,7 @@ impl NewParallelRenderer {
         let first_stall = stalled.lock().take();
         let lost: Vec<usize> = region
             .clone()
-            .filter(|&y| !rows_done[y].load(Ordering::Acquire))
+            .filter(|&y| rows_done[y].load(Ordering::Acquire) < epoch)
             .collect();
 
         if !worker_panics.is_empty() {
@@ -520,42 +543,27 @@ impl NewParallelRenderer {
             stats.degraded = true;
             stats.repaired_rows = lost.len() as u64;
             let repair_start = clock.now_us();
-            // Serial repair: re-composite each lost row from scratch. Per
-            // row, slices are visited in the same ascending-m order as the
-            // worker loop, so the repaired row is bit-identical.
-            let mut tracer = NullTracer;
+            // Serial repair: re-composite each lost row from scratch (same
+            // ascending-slice order as the worker loop, so the repaired row
+            // is bit-identical), then re-warp every band whose warp did not
+            // complete, replicating the exact band-extension rule of the
+            // parallel path. The band warp writes each owned final pixel
+            // deterministically, so any partial writes from a failed
+            // attempt are overwritten.
+            let repair_inter = SharedIntermediate::new(inter);
             for &y in &lost {
-                inter.clear_row(y);
-                let mut row = inter.row_view(y);
-                for m in 0..fact.slice_count() {
-                    let k = fact.slice_for_step(m);
-                    composite_scanline_slice(rle, &fact, &mut row, k, &opts, &mut tracer);
-                }
+                recomposite_row(rle, &fact, &repair_inter, y, &opts);
             }
-            // Re-warp every band whose warp did not complete, replicating
-            // the exact band-extension rule of the parallel path. The band
-            // warp writes each owned final pixel deterministically, so any
-            // partial writes from a failed attempt are overwritten.
             let repaired_out = SharedFinal::new(&mut out);
-            for p in 0..nprocs {
-                if warp_done[p].load(Ordering::Acquire) {
-                    continue;
-                }
-                let mut band = partitions[p].clone();
-                if band.is_empty() {
-                    continue;
-                }
-                if band.start == region.start {
-                    band.start = band.start.saturating_sub(1);
-                }
-                warp_row_band(
-                    &*inter,
-                    &fact,
-                    &repaired_out,
-                    (band.start, band.end),
-                    &mut tracer,
-                );
-            }
+            rewarp_unfinished_bands(
+                &repair_inter,
+                &fact,
+                &repaired_out,
+                &partitions,
+                &region,
+                warp_done,
+                epoch,
+            );
             if collect {
                 driver.record(
                     SpanKind::Repair,
@@ -614,40 +622,141 @@ impl NewParallelRenderer {
     }
 }
 
-/// Spins until every row in `rows` is composited, proving a stall instead of
-/// waiting forever: a row still incomplete after the last compositor retires
-/// can never complete (the Release RMW chain on `active` publishes every
-/// completed row flag), and `watchdog` bounds the wait in all other cases.
-fn wait_for_rows(
-    rows_done: &[AtomicBool],
+/// Composites every slice of the factorization through one chunk of
+/// scanlines, zeroing each row immediately before its first slice.
+///
+/// The first-touch zeroing replaces the driver's whole-image clear: the
+/// worker that will stream over a band every slice is also the thread that
+/// writes its pages first. On a NUMA machine that places each band on the
+/// compositing processor's node — the groundwork for the paper's §5
+/// observation that the intermediate image dominates the per-processor
+/// working set, so its capacity misses (and on ccNUMA, its page placement)
+/// decide the compositing phase's memory time.
+pub(crate) fn composite_chunk_rows(
+    rle: &RleEncoding,
+    fact: &Factorization,
+    shared: &SharedIntermediate<'_>,
+    rows: Range<usize>,
+    opts: &CompositeOpts,
+    profiling: bool,
+    new_profile: &[AtomicU64],
+) -> u64 {
+    for y in rows.clone() {
+        // SAFETY: row ownership moves only through the queues; each row is
+        // in exactly one chunk, so this worker has exclusive access.
+        unsafe { shared.clear_row(y) };
+    }
+    let mut pixels = 0u64;
+    for m in 0..fact.slice_count() {
+        let k = fact.slice_for_step(m);
+        for y in rows.clone() {
+            // SAFETY: as above — exclusive row access via chunk ownership.
+            let mut row = unsafe { shared.row_view(y) };
+            if profiling {
+                let st = composite_scanline_slice(rle, fact, &mut row, k, opts, &mut NullTracer);
+                pixels += st.composited;
+                new_profile[y].fetch_add(st.work, Ordering::Relaxed);
+            } else {
+                pixels += composite_scanline_slice_untraced(rle, fact, &mut row, k, opts);
+            }
+        }
+    }
+    pixels
+}
+
+/// Applies the warp's band-extension rule: the band that starts at the
+/// composited region's first row also owns the final pixels just under it,
+/// which bilinearly read one row below the region.
+pub(crate) fn extend_band(band: &mut Range<usize>, region_start: usize) {
+    if band.start == region_start {
+        band.start = band.start.saturating_sub(1);
+    }
+}
+
+/// Serially re-composites one lost row from scratch, visiting slices in the
+/// same ascending order as the worker loop so the repair is bit-identical.
+pub(crate) fn recomposite_row(
+    rle: &RleEncoding,
+    fact: &Factorization,
+    shared: &SharedIntermediate<'_>,
+    y: usize,
+    opts: &CompositeOpts,
+) {
+    // SAFETY: repair runs serially on the resolving thread after every
+    // worker has retired from the frame.
+    unsafe { shared.clear_row(y) };
+    let mut row = unsafe { shared.row_view(y) };
+    for m in 0..fact.slice_count() {
+        let k = fact.slice_for_step(m);
+        composite_scanline_slice(rle, fact, &mut row, k, opts, &mut NullTracer);
+    }
+}
+
+/// Serially re-warps every band whose warp never completed for `epoch`,
+/// replicating the parallel path's band-extension rule.
+pub(crate) fn rewarp_unfinished_bands(
+    inter: &SharedIntermediate<'_>,
+    fact: &Factorization,
+    out: &SharedFinal<'_>,
+    partitions: &[Range<usize>],
+    region: &Range<usize>,
+    warp_done: &[AtomicU64],
+    epoch: u64,
+) {
+    for (p, part) in partitions.iter().enumerate() {
+        if warp_done[p].load(Ordering::Acquire) >= epoch {
+            continue;
+        }
+        let mut band = part.clone();
+        if band.is_empty() {
+            continue;
+        }
+        extend_band(&mut band, region.start);
+        warp_row_band(inter, fact, out, (band.start, band.end), &mut NullTracer);
+    }
+}
+
+/// Spins until every row in `rows` is composited for frame `epoch`, proving
+/// a stall instead of waiting forever: a row still incomplete after the last
+/// compositor retires can never complete (the Release RMW chain on `active`
+/// publishes every completed row flag), and `watchdog` bounds the wait in
+/// all other cases. The watchdog deadline is measured from `wait_from` (this
+/// wait's start), not from the clock origin — under the pipeline's two-frame
+/// window a frame-N waiter may legitimately begin long after the shared
+/// animation clock started.
+pub(crate) fn wait_for_rows(
+    rows_done: &[AtomicU64],
+    epoch: u64,
     active: &AtomicUsize,
     rows: Range<usize>,
-    watchdog: Option<std::time::Duration>,
+    watchdog: Option<Duration>,
     clock: &FrameClock,
+    wait_from: Duration,
 ) -> WaitOutcome {
+    let waited = |clock: &FrameClock| clock.elapsed().saturating_sub(wait_from);
     for y in rows {
         let mut spins = 0u32;
         loop {
-            if rows_done[y].load(Ordering::Acquire) {
+            if rows_done[y].load(Ordering::Acquire) >= epoch {
                 break;
             }
             if active.load(Ordering::Acquire) == 0 {
                 // Re-check after synchronizing with the final retirement.
-                if rows_done[y].load(Ordering::Acquire) {
+                if rows_done[y].load(Ordering::Acquire) >= epoch {
                     break;
                 }
                 return WaitOutcome::Stalled {
                     row: y,
-                    waited_ms: clock.elapsed().as_millis() as u64,
+                    waited_ms: waited(clock).as_millis() as u64,
                 };
             }
             spins = spins.wrapping_add(1);
             if spins.is_multiple_of(1024) {
                 if let Some(limit) = watchdog {
-                    if clock.elapsed() >= limit {
+                    if waited(clock) >= limit {
                         return WaitOutcome::Stalled {
                             row: y,
-                            waited_ms: clock.elapsed().as_millis() as u64,
+                            waited_ms: waited(clock).as_millis() as u64,
                         };
                     }
                 }

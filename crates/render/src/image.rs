@@ -225,6 +225,11 @@ pub struct SharedIntermediate<'a> {
     skip: *mut u32,
     w: usize,
     h: usize,
+    /// Physical row pitch in pixels. Equal to `w` for a plain handle; a
+    /// [`window`](SharedIntermediate::window) keeps the backing image's pitch
+    /// while shrinking the logical dimensions, so a max-size double buffer
+    /// can present an exactly-sized image to the compositor and warp.
+    stride: usize,
     _lt: PhantomData<&'a mut IntermediateImage>,
 }
 
@@ -239,7 +244,32 @@ impl<'a> SharedIntermediate<'a> {
             skip: img.skip.as_mut_ptr(),
             w: img.w,
             h: img.h,
+            stride: img.w,
+            _lt: PhantomData,
             img: img as *mut IntermediateImage,
+        }
+    }
+
+    /// A logically `w × h` view of the same backing buffer. Reads outside
+    /// the logical bounds return [`IPixel::CLEAR`] and row views are sliced
+    /// to the logical width, so compositing and warping through a window are
+    /// bit-identical to using an exactly `w × h` image — provided the
+    /// logical region's rows hold the right data (the pipeline's first-touch
+    /// clearing protocol guarantees this).
+    pub fn window(&self, w: usize, h: usize) -> SharedIntermediate<'a> {
+        assert!(
+            w > 0 && h > 0 && w <= self.stride && h <= self.h,
+            "window {w}x{h} exceeds backing image {}x{}",
+            self.stride,
+            self.h
+        );
+        SharedIntermediate {
+            img: self.img,
+            pix: self.pix,
+            skip: self.skip,
+            w,
+            h,
+            stride: self.stride,
             _lt: PhantomData,
         }
     }
@@ -262,13 +292,34 @@ impl<'a> SharedIntermediate<'a> {
         assert!(y < self.h);
         let w = self.w;
         // SAFETY: caller guarantees exclusive access to scanline `y`; the
-        // bounds assert above keeps the slice inside the allocation.
-        let pix = unsafe { std::slice::from_raw_parts_mut(self.pix.add(y * w), w) };
-        let skip = unsafe { std::slice::from_raw_parts_mut(self.skip.add(y * w), w) };
+        // bounds assert above keeps the slice inside the allocation (a
+        // window's logical width never exceeds the physical stride).
+        let pix = unsafe { std::slice::from_raw_parts_mut(self.pix.add(y * self.stride), w) };
+        let skip = unsafe { std::slice::from_raw_parts_mut(self.skip.add(y * self.stride), w) };
         RowView { pix, skip, y }
     }
 
-    /// Read-only access to the whole image.
+    /// Resets scanline `y`'s logical pixels and skip links in place.
+    ///
+    /// The pipelined renderer's workers call this on each row the first time
+    /// they touch it in a frame (first-touch initialization: the thread that
+    /// will composite a band also pages and warms it, the NUMA groundwork
+    /// from the paper's capacity-miss discussion), and the driver uses it
+    /// for the warp's guard rows.
+    ///
+    /// # Safety
+    /// No other thread may access scanline `y` concurrently.
+    pub unsafe fn clear_row(&self, y: usize) {
+        let row = unsafe { self.row_view(y) };
+        row.pix.fill(IPixel::CLEAR);
+        for (x, s) in row.skip.iter_mut().enumerate() {
+            *s = x as u32;
+        }
+    }
+
+    /// Read-only access to the whole *backing* image (a window's logical
+    /// dimensions are not reflected here — windowed callers should read
+    /// through [`get_pixel`](SharedIntermediate::get_pixel) instead).
     ///
     /// # Safety
     /// No thread may be mutating any scanline while the reference lives (all
@@ -291,7 +342,7 @@ impl<'a> SharedIntermediate<'a> {
         } else {
             // SAFETY: in-bounds per the check above; caller guarantees no
             // concurrent writer of row `y`.
-            unsafe { std::ptr::read(self.pix.add(y as usize * self.w + x as usize)) }
+            unsafe { std::ptr::read(self.pix.add(y as usize * self.stride + x as usize)) }
         }
     }
 
@@ -300,7 +351,7 @@ impl<'a> SharedIntermediate<'a> {
     pub fn shared_pixel_addr(&self, x: usize, y: usize) -> usize {
         debug_assert!(x < self.w && y < self.h);
         // Address arithmetic only; nothing is dereferenced.
-        self.pix.wrapping_add(y * self.w + x) as usize
+        self.pix.wrapping_add(y * self.stride + x) as usize
     }
 }
 
@@ -392,6 +443,9 @@ pub struct SharedFinal<'a> {
     pix: *mut Rgba8,
     w: usize,
     h: usize,
+    /// Physical row pitch in pixels; `w` unless this is a
+    /// [`window`](SharedFinal::window) of a larger backing image.
+    stride: usize,
     _lt: PhantomData<&'a mut FinalImage>,
 }
 
@@ -405,6 +459,25 @@ impl<'a> SharedFinal<'a> {
             pix: img.pix.as_mut_ptr(),
             w: img.w,
             h: img.h,
+            stride: img.w,
+            _lt: PhantomData,
+        }
+    }
+
+    /// A logically `w × h` view of the same backing buffer (see
+    /// [`SharedIntermediate::window`]).
+    pub fn window(&self, w: usize, h: usize) -> SharedFinal<'a> {
+        assert!(
+            w > 0 && h > 0 && w <= self.stride && h <= self.h,
+            "window {w}x{h} exceeds backing image {}x{}",
+            self.stride,
+            self.h
+        );
+        SharedFinal {
+            pix: self.pix,
+            w,
+            h,
+            stride: self.stride,
             _lt: PhantomData,
         }
     }
@@ -428,9 +501,38 @@ impl<'a> SharedFinal<'a> {
         debug_assert!(u < self.w && v < self.h);
         // SAFETY: in-bounds per the debug_assert; caller guarantees no other
         // thread writes this pixel concurrently.
-        let slot = unsafe { self.pix.add(v * self.w + u) };
+        let slot = unsafe { self.pix.add(v * self.stride + u) };
         unsafe { std::ptr::write(slot, p) };
         slot as usize
+    }
+
+    /// Clears the logical area to transparent black.
+    ///
+    /// # Safety
+    /// No other thread may access the image concurrently.
+    pub unsafe fn fill_black(&self) {
+        for v in 0..self.h {
+            // SAFETY: each row's logical prefix is inside the allocation.
+            unsafe { std::ptr::write_bytes(self.pix.add(v * self.stride), 0, self.w) };
+        }
+    }
+
+    /// Copies the logical area out into an owned, exactly-sized image.
+    /// The pipeline uses this to hand a completed frame to the consumer
+    /// while the backing double buffer is immediately reused.
+    ///
+    /// # Safety
+    /// No other thread may be writing the image concurrently (the frame's
+    /// warp must be complete).
+    pub unsafe fn snapshot(&self) -> FinalImage {
+        let mut out = FinalImage::new(self.w, self.h);
+        for v in 0..self.h {
+            // SAFETY: logical row prefix is in bounds; destination row is
+            // exactly `w` pixels.
+            let src = unsafe { std::slice::from_raw_parts(self.pix.add(v * self.stride), self.w) };
+            out.pix[v * self.w..(v + 1) * self.w].copy_from_slice(src);
+        }
+        out
     }
 }
 
@@ -538,6 +640,60 @@ mod tests {
         }
         assert_eq!(img.get(1, 1), [1, 1, 1, 1]);
         assert_eq!(img.get(2, 3), [9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn intermediate_window_behaves_like_exact_image() {
+        // A 3x2 window over a 5x4 backing buffer: logical reads, row views,
+        // and out-of-bounds CLEAR must match an exactly-sized image.
+        let mut backing = IntermediateImage::new(5, 4);
+        backing.pix.fill(IPixel {
+            r: 9.0,
+            g: 9.0,
+            b: 9.0,
+            a: 9.0,
+        });
+        let shared = SharedIntermediate::new(&mut backing);
+        let win = shared.window(3, 2);
+        assert_eq!(win.width(), 3);
+        assert_eq!(win.height(), 2);
+        // SAFETY: single thread.
+        unsafe {
+            win.clear_row(0);
+            win.clear_row(1);
+            let mut row = win.row_view(1);
+            assert_eq!(row.width(), 3);
+            row.pix[2].r = 1.5;
+            row.mark_opaque(2, &mut NullTracer);
+            assert_eq!(win.get_pixel(2, 1).r, 1.5);
+            // Outside the logical bounds but inside the backing buffer:
+            // still CLEAR, exactly like an exactly-sized 3x2 image.
+            assert_eq!(win.get_pixel(3, 1), IPixel::CLEAR);
+            assert_eq!(win.get_pixel(0, 2), IPixel::CLEAR);
+        }
+        // The stale backing pixel beyond the window was untouched.
+        assert_eq!(backing.get(4, 3).r, 9.0);
+    }
+
+    #[test]
+    fn final_window_set_fill_and_snapshot() {
+        let mut backing = FinalImage::new(6, 5);
+        backing.pix.fill([7; 4]);
+        let shared = SharedFinal::new(&mut backing);
+        let win = shared.window(4, 3);
+        // SAFETY: single thread.
+        let snap = unsafe {
+            win.fill_black();
+            win.set(3, 2, [1, 2, 3, 4]);
+            win.snapshot()
+        };
+        assert_eq!(snap.width(), 4);
+        assert_eq!(snap.height(), 3);
+        assert_eq!(snap.get(3, 2), [1, 2, 3, 4]);
+        assert_eq!(snap.get(0, 0), [0, 0, 0, 0]);
+        // Backing pixels outside the window retain their old contents.
+        assert_eq!(backing.get(5, 4), [7; 4]);
+        assert_eq!(backing.get(4, 0), [7; 4]);
     }
 
     #[test]

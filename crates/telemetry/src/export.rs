@@ -91,7 +91,8 @@ pub fn chrome_trace(frames: &[&FrameTelemetry]) -> Json {
                             "args",
                             Json::obj()
                                 .with("arg0", Json::U64(s.arg0 as u64))
-                                .with("arg1", Json::U64(s.arg1 as u64)),
+                                .with("arg1", Json::U64(s.arg1 as u64))
+                                .with("frame", Json::U64(s.frame as u64)),
                         ),
                 );
             }

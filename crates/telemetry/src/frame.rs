@@ -38,6 +38,7 @@ impl FrameTelemetry {
                 end: 0,
                 arg0: 0,
                 arg1: 0,
+                frame: 0,
             },
         }
     }

@@ -102,6 +102,10 @@ pub struct Span {
     pub arg0: u32,
     /// Kind-specific detail.
     pub arg1: u32,
+    /// Animation frame index the span belongs to. Single-frame renders
+    /// record 0; the multi-frame pipeline stamps the real frame id so
+    /// overlapping frames stay distinguishable inside one shared timeline.
+    pub frame: u32,
 }
 
 impl Span {
@@ -146,6 +150,22 @@ impl WorkerLog {
     /// storage; silently counted as dropped once the buffer is full.
     #[inline]
     pub fn record(&mut self, kind: SpanKind, start: u64, end: u64, arg0: u32, arg1: u32) {
+        self.record_in_frame(kind, start, end, arg0, arg1, 0);
+    }
+
+    /// Records an interval tagged with an animation frame id. The pipeline
+    /// uses this so spans from two in-flight frames share one timeline but
+    /// stay attributable; everything else goes through [`WorkerLog::record`].
+    #[inline]
+    pub fn record_in_frame(
+        &mut self,
+        kind: SpanKind,
+        start: u64,
+        end: u64,
+        arg0: u32,
+        arg1: u32,
+        frame: u32,
+    ) {
         if self.spans.len() < self.cap {
             self.spans.push(Span {
                 kind,
@@ -153,6 +173,7 @@ impl WorkerLog {
                 end,
                 arg0,
                 arg1,
+                frame,
             });
         } else {
             self.dropped += 1;

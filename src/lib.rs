@@ -61,7 +61,8 @@ pub mod fault {
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use swr_core::{
-        FaultPlan, NewParallelRenderer, OldParallelRenderer, ParallelConfig, RenderStats,
+        AnimationPipeline, FaultPlan, NewParallelRenderer, OldParallelRenderer, ParallelConfig,
+        RenderStats,
     };
     pub use swr_error::{Error, Result};
     pub use swr_geom::{Affine2, Axis, Factorization, Mat4, Vec3, ViewSpec};

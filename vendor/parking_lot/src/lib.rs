@@ -36,16 +36,16 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: g }),
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: p.into_inner(),
+                inner: Some(p.into_inner()),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
@@ -64,20 +64,69 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 }
 
 /// RAII guard returned by [`Mutex::lock`].
+///
+/// The inner `std` guard lives in an `Option` only so [`Condvar::wait`] can
+/// move it through `std`'s by-value wait; it is `Some` at every other
+/// moment of the guard's life.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: std::sync::MutexGuard<'a, T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_deref().expect("guard holds the lock")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_deref_mut().expect("guard holds the lock")
+    }
+}
+
+/// A condition variable with `parking_lot`'s guard-in-place API: `wait`
+/// takes `&mut MutexGuard` instead of consuming and returning it, and a
+/// wait interrupted by a panicking notifier never observes poison.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard's mutex while parked and
+    /// reacquiring it before returning. Spurious wakeups are possible, as
+    /// with every condition variable: callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        guard.inner = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
     }
 }
 
