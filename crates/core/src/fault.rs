@@ -11,7 +11,11 @@
 //!   zeroed before partitioning, exercising the degenerate-partition paths;
 //! * **truncated steal queues** — chunks are dropped from the back of a
 //!   worker's queue before rendering starts, so the rows they cover are
-//!   never composited and the scheduler watchdog must detect the loss.
+//!   never composited and the scheduler watchdog must detect the loss;
+//! * **delivery-stage panics** — the consumer's sink panics as the Nth
+//!   completed frame is handed over, exercising the pipeline's condvar-ring
+//!   shutdown guard and (in `swr-serve`) the response path, which must
+//!   contain the unwind without deadlocking the worker pool.
 //!
 //! Every injection is deterministic given the plan (same seed, same task
 //! index), which is what lets the test suite assert that each fault yields
@@ -44,8 +48,14 @@ pub struct FaultPlan {
     /// Counted globally across workers like `panic_at_task`, so the fault
     /// suite can hit the warp of either in-flight frame of the pipeline.
     pub panic_warp_at: Option<u64>,
+    /// Panic in the delivery stage as this (0-based) completed frame is
+    /// handed to the consumer's sink. This exercises the paths *after*
+    /// rendering: the pipeline's condvar ring shutdown guard and a
+    /// service's response/serialization path.
+    pub panic_sink_at: Option<u64>,
     tasks_seen: AtomicU64,
     warps_seen: AtomicU64,
+    sinks_seen: AtomicU64,
 }
 
 /// One step of the splitmix64 generator — small, seedable, and good enough
@@ -97,6 +107,12 @@ impl FaultPlan {
         self
     }
 
+    /// Arms a delivery-stage panic at the given 0-based delivered frame.
+    pub fn panic_in_sink_at(mut self, frame: u64) -> Self {
+        self.panic_sink_at = Some(frame);
+        self
+    }
+
     /// Called by a worker as it claims a compositing task. Panics with a
     /// recognizable message when the armed task index is reached.
     pub fn on_task(&self, worker: usize) {
@@ -126,6 +142,30 @@ impl FaultPlan {
         self.warps_seen.load(Ordering::SeqCst)
     }
 
+    /// Called by the delivery stage as a completed frame reaches the sink.
+    /// Panics with a recognizable message when the armed frame is reached.
+    pub fn on_sink(&self) {
+        let n = self.sinks_seen.fetch_add(1, Ordering::SeqCst);
+        if self.panic_sink_at == Some(n) {
+            panic!("injected fault: sink panic delivering frame {n}");
+        }
+    }
+
+    /// Number of delivered frames observed so far.
+    pub fn sinks_seen(&self) -> u64 {
+        self.sinks_seen.load(Ordering::SeqCst)
+    }
+
+    /// Whether any fault is armed at all (a disarmed plan only counts).
+    pub fn is_armed(&self) -> bool {
+        self.panic_at_task.is_some()
+            || self.corrupt_profile
+            || self.zero_profile
+            || self.truncate_queue.is_some()
+            || self.panic_warp_at.is_some()
+            || self.panic_sink_at.is_some()
+    }
+
     /// Overwrites `profile` with seeded pseudo-random values. Values are
     /// bounded below 2³² so even pathological profiles cannot overflow the
     /// partitioner's prefix sums.
@@ -136,10 +176,11 @@ impl FaultPlan {
         }
     }
 
-    /// Rearms the task and warp counters for the next frame.
+    /// Rearms the task, warp, and sink counters for the next frame.
     pub fn reset(&self) {
         self.tasks_seen.store(0, Ordering::SeqCst);
         self.warps_seen.store(0, Ordering::SeqCst);
+        self.sinks_seen.store(0, Ordering::SeqCst);
     }
 }
 
@@ -157,6 +198,21 @@ mod tests {
         FaultPlan::new(8).scramble(&mut b);
         assert_ne!(a, b);
         assert!(a.iter().all(|&v| v < 1 << 32));
+    }
+
+    #[test]
+    fn on_sink_panics_exactly_once_at_the_armed_frame() {
+        let plan = FaultPlan::new(0).panic_in_sink_at(1);
+        assert!(plan.is_armed());
+        plan.on_sink();
+        let err = std::panic::catch_unwind(|| plan.on_sink()).unwrap_err();
+        let msg = swr_error::panic_message(err.as_ref());
+        assert!(msg.contains("sink panic delivering frame 1"), "{msg}");
+        plan.on_sink();
+        assert_eq!(plan.sinks_seen(), 3);
+        plan.reset();
+        assert_eq!(plan.sinks_seen(), 0);
+        assert!(!FaultPlan::new(9).is_armed());
     }
 
     #[test]

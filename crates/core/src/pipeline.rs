@@ -335,6 +335,27 @@ impl AnimationPipeline {
         self.state.valid.then_some(self.state.profile.as_slice())
     }
 
+    /// Restart hook for supervisors (`swr-serve`'s session supervisor and
+    /// anything else that reuses one pipeline across failures): drops the
+    /// cached cross-frame state (work profile + staleness clock), rearms
+    /// any attached fault plan's counters, and clears retained telemetry.
+    /// The pipeline behaves as freshly constructed on its next animation —
+    /// in particular the first frame re-profiles — without reallocating.
+    pub fn reset(&mut self) {
+        self.state = ProfileState::default();
+        if let Some(fp) = &self.fault {
+            fp.reset();
+        }
+        self.telemetry.clear();
+    }
+
+    /// Detaches the fault plan, returning it. The retry ladder in
+    /// `swr-serve` uses this to re-attempt a faulted request without the
+    /// deterministic fault re-firing on the retry.
+    pub fn take_fault(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
     /// Renders `views` in order, delivering each completed frame to `sink`
     /// as `(frame_index, image, stats)` while later frames are still
     /// rendering. Returns after every frame is delivered, or with the first
@@ -432,7 +453,13 @@ impl AnimationPipeline {
                 gate: &gate,
                 ring: &ring,
             };
+            let fault = self.fault.as_ref();
             while let Some((frame, img, stats)) = ring.pop() {
+                if let Some(fp) = fault {
+                    // Delivery-stage fault injection: a panic here unwinds
+                    // through the guard above exactly like a real sink bug.
+                    fp.on_sink();
+                }
                 sink(frame, img, &stats);
             }
         });
@@ -1072,6 +1099,47 @@ mod tests {
         }));
         let msg = panic_message(unwound.expect_err("sink panic propagates").as_ref());
         assert!(msg.contains("sink exploded"), "{msg}");
+    }
+
+    #[test]
+    fn injected_sink_fault_unwinds_without_deadlock() {
+        let (enc, views) = scene(4);
+        let mut pipe = AnimationPipeline::new(ParallelConfig::with_procs(2));
+        pipe.fault = Some(FaultPlan::new(0).panic_in_sink_at(1));
+        let mut delivered = Vec::new();
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pipe.try_render_animation(&enc, &views, |frame, _, _| delivered.push(frame))
+        }));
+        let msg = panic_message(unwound.expect_err("sink fault propagates").as_ref());
+        assert!(msg.contains("sink panic delivering frame 1"), "{msg}");
+        // Frame 0 reached the sink before the armed delivery; frame 1's
+        // delivery panicked before the sink saw it.
+        assert_eq!(delivered, vec![0]);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_pipeline_after_a_sink_fault() {
+        let (enc, views) = scene(3);
+        let mut reference = NewParallelRenderer::new(ParallelConfig::with_procs(2));
+        let mut pipe = AnimationPipeline::new(ParallelConfig::with_procs(2));
+        pipe.fault = Some(FaultPlan::new(0).panic_in_sink_at(0));
+        let unwound = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pipe.try_render_animation(&enc, &views, |_, _, _| {})
+        }));
+        assert!(unwound.is_err(), "armed sink fault must fire");
+        // Supervisor restart: detach the fault, reset, and the same
+        // pipeline renders the animation bit-identically to the
+        // single-frame renderer.
+        assert!(pipe.take_fault().is_some());
+        pipe.reset();
+        assert!(pipe.profile().is_none(), "profile state dropped");
+        assert!(pipe.telemetry.is_empty(), "telemetry cleared");
+        let frames = pipe
+            .try_render_all(&enc, &views)
+            .expect("clean after reset");
+        for (view, img) in views.iter().zip(&frames) {
+            assert_eq!(img, &reference.try_render(&enc, view).expect("reference"));
+        }
     }
 
     /// Satellite regression: a reused slot's completion flags from frame N

@@ -8,7 +8,9 @@
 //! Variants map onto process exit codes for the `swrender` CLI via
 //! [`Error::exit_code`]: `1` for I/O, `2` for usage/validation, `3` for
 //! render faults (worker panics, scheduler stalls, replay deadlocks,
-//! malformed workloads).
+//! malformed workloads), `4` for service/session errors (admission-control
+//! sheds, blown deadlines, malformed protocol lines, supervised session
+//! failures in `swr-serve`).
 
 use std::any::Any;
 use std::fmt;
@@ -72,6 +74,34 @@ pub enum Error {
         /// Which replay detected it and what was blocked.
         detail: String,
     },
+    /// The render service refused a request because the global worker
+    /// budget or a per-session queue is saturated (load shedding).
+    Overloaded {
+        /// What was saturated (budget, queue depth).
+        reason: String,
+    },
+    /// A request's deadline expired before its frame could be delivered
+    /// (either while queued or during rendering/retries).
+    DeadlineExceeded {
+        /// The budget the request carried, in milliseconds.
+        budget_ms: u64,
+        /// How long had elapsed when the deadline check fired.
+        elapsed_ms: u64,
+    },
+    /// A line on the service socket was not a well-formed request.
+    Protocol {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// A supervised session failed past the bottom of the retry ladder
+    /// (or its supervisor caught a panic outside any render call). The
+    /// session is restarted; only the in-flight request is lost.
+    SessionFailed {
+        /// The session's id.
+        session: u64,
+        /// What brought it down, stringified.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -109,6 +139,18 @@ impl fmt::Display for Error {
                  (never claimed, waited {waited_ms} ms)"
             ),
             Error::Deadlock { detail } => write!(f, "replay deadlock: {detail}"),
+            Error::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            Error::DeadlineExceeded {
+                budget_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed against a {budget_ms} ms budget"
+            ),
+            Error::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            Error::SessionFailed { session, message } => {
+                write!(f, "session {session} failed: {message}")
+            }
         }
     }
 }
@@ -141,7 +183,8 @@ impl Error {
     }
 
     /// The `swrender` CLI exit code for this error class:
-    /// 1 = I/O, 2 = usage/validation, 3 = render fault.
+    /// 1 = I/O, 2 = usage/validation, 3 = render fault,
+    /// 4 = service/session error.
     pub fn exit_code(&self) -> i32 {
         match self {
             Error::Io { .. } => 1,
@@ -150,7 +193,43 @@ impl Error {
             | Error::WorkerPanicked { .. }
             | Error::Stalled { .. }
             | Error::Deadlock { .. } => 3,
+            Error::Overloaded { .. }
+            | Error::DeadlineExceeded { .. }
+            | Error::Protocol { .. }
+            | Error::SessionFailed { .. } => 4,
         }
+    }
+
+    /// The stable wire name of this error class, used as the `code` field
+    /// of `swr-serve` error responses so clients can route without parsing
+    /// `Display` text.
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            Error::Io { .. } => "io",
+            Error::InvalidView { .. } => "invalid_view",
+            Error::InvalidConfig { .. } => "invalid_config",
+            Error::InvalidWorkload { .. } => "invalid_workload",
+            Error::WorkerPanicked { .. } => "worker_panicked",
+            Error::Stalled { .. } => "stalled",
+            Error::Deadlock { .. } => "deadlock",
+            Error::Overloaded { .. } => "overloaded",
+            Error::DeadlineExceeded { .. } => "deadline_exceeded",
+            Error::Protocol { .. } => "protocol",
+            Error::SessionFailed { .. } => "session_failed",
+        }
+    }
+}
+
+/// Exit code for a wire code received over the `swr-serve` protocol —
+/// the remote side of [`Error::exit_code`], so a client process can exit
+/// with the same class the server's error belongs to. Unknown codes map
+/// to `4` (the service class) rather than panicking on protocol skew.
+pub fn wire_exit_code(code: &str) -> i32 {
+    match code {
+        "io" => 1,
+        "invalid_view" | "invalid_config" => 2,
+        "invalid_workload" | "worker_panicked" | "stalled" | "deadlock" => 3,
+        _ => 4,
     }
 }
 
@@ -195,6 +274,70 @@ mod tests {
             3
         );
         assert_eq!(Error::Deadlock { detail: "x".into() }.exit_code(), 3);
+        // Service/session errors form their own class: exit code 4.
+        assert_eq!(Error::Overloaded { reason: "x".into() }.exit_code(), 4);
+        assert_eq!(
+            Error::DeadlineExceeded {
+                budget_ms: 10,
+                elapsed_ms: 20
+            }
+            .exit_code(),
+            4
+        );
+        assert_eq!(Error::Protocol { reason: "x".into() }.exit_code(), 4);
+        assert_eq!(
+            Error::SessionFailed {
+                session: 7,
+                message: "x".into()
+            }
+            .exit_code(),
+            4
+        );
+    }
+
+    #[test]
+    fn wire_codes_are_distinct_snake_case() {
+        let variants = [
+            Error::from(io::Error::new(io::ErrorKind::NotFound, "gone")),
+            Error::InvalidView { reason: "x".into() },
+            Error::InvalidConfig { reason: "x".into() },
+            Error::InvalidWorkload { reason: "x".into() },
+            Error::WorkerPanicked {
+                worker: 0,
+                message: "x".into(),
+            },
+            Error::Stalled {
+                row: 0,
+                holder: None,
+                waited_ms: 0,
+            },
+            Error::Deadlock { detail: "x".into() },
+            Error::Overloaded { reason: "x".into() },
+            Error::DeadlineExceeded {
+                budget_ms: 1,
+                elapsed_ms: 2,
+            },
+            Error::Protocol { reason: "x".into() },
+            Error::SessionFailed {
+                session: 0,
+                message: "x".into(),
+            },
+        ];
+        let mut codes: Vec<&str> = variants.iter().map(Error::wire_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), variants.len(), "wire codes must be unique");
+        for code in codes {
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{code}"
+            );
+        }
+        // The client-side mapping must agree with each variant's own class.
+        for v in &variants {
+            assert_eq!(wire_exit_code(v.wire_code()), v.exit_code(), "{v}");
+        }
+        assert_eq!(wire_exit_code("not_a_code"), 4);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! The global worker budget: admission control shared by every session.
+//!
+//! The budget is a counting semaphore over render workers. A session about
+//! to start a parallel render asks for its configured thread count and is
+//! granted *whatever is available up to that*, immediately — the service
+//! never blocks a session behind another session's render. Zero available
+//! permits is the load-shed signal: the caller answers the request with
+//! [`Overloaded`](swr_error::Error) instead of queueing unbounded work.
+//!
+//! Permits travel in a [`Lease`] that releases on drop, so a panicking
+//! render (contained by the session supervisor) can never leak budget.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A counting semaphore over render-worker slots.
+#[derive(Debug)]
+pub struct WorkerBudget {
+    total: usize,
+    available: Mutex<usize>,
+}
+
+impl WorkerBudget {
+    /// A budget of `total` worker slots (minimum 1).
+    pub fn new(total: usize) -> Arc<Self> {
+        let total = total.max(1);
+        Arc::new(WorkerBudget {
+            total,
+            available: Mutex::new(total),
+        })
+    }
+
+    /// The configured slot count.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Slots currently leased out.
+    pub fn in_use(&self) -> usize {
+        self.total - *self.available.lock()
+    }
+
+    /// Grants between 1 and `want` slots immediately, or `None` when the
+    /// budget is exhausted (the load-shed case). Never blocks.
+    pub fn acquire_up_to(self: &Arc<Self>, want: usize) -> Option<Lease> {
+        let want = want.max(1);
+        let mut avail = self.available.lock();
+        if *avail == 0 {
+            return None;
+        }
+        let granted = want.min(*avail);
+        *avail -= granted;
+        Some(Lease {
+            budget: Arc::clone(self),
+            granted,
+        })
+    }
+}
+
+/// Held worker slots; returned to the budget on drop.
+#[derive(Debug)]
+pub struct Lease {
+    budget: Arc<WorkerBudget>,
+    granted: usize,
+}
+
+impl Lease {
+    /// How many slots this lease holds.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        *self.budget.available.lock() += self.granted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_are_clamped_and_released_on_drop() {
+        let b = WorkerBudget::new(4);
+        assert_eq!(b.total(), 4);
+        let a = b.acquire_up_to(3).expect("grant");
+        assert_eq!(a.granted(), 3);
+        assert_eq!(b.in_use(), 3);
+        // Only one slot left: the next asker is clamped, not refused.
+        let c = b.acquire_up_to(8).expect("partial grant");
+        assert_eq!(c.granted(), 1);
+        // Now the budget is exhausted: shed.
+        assert!(b.acquire_up_to(1).is_none());
+        drop(a);
+        assert_eq!(b.in_use(), 1);
+        let d = b.acquire_up_to(2).expect("freed slots are reusable");
+        assert_eq!(d.granted(), 2);
+        drop(c);
+        drop(d);
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn zero_budget_still_holds_one_slot() {
+        let b = WorkerBudget::new(0);
+        assert_eq!(b.total(), 1);
+        let l = b.acquire_up_to(0).expect("want is clamped up to 1");
+        assert_eq!(l.granted(), 1);
+    }
+}

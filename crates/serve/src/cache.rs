@@ -1,0 +1,147 @@
+//! Session-level caching of classified, run-length-encoded volumes.
+//!
+//! Classification + encoding dominates session start-up, and concurrent
+//! sessions frequently view the same dataset (the MovieMaker shape: many
+//! clients, one simulation). The cache shares one [`EncodedVolume`] per
+//! distinct `(phantom, base, seed, transfer)` so N sessions pay for one
+//! encode; entries are `Arc`s, so an evicted-then-reinserted entry never
+//! invalidates a session already holding it.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use swr_error::Error;
+use swr_volume::{classify, EncodedVolume, Phantom, TransferFunction};
+
+/// Identity of one cacheable dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VolumeKey {
+    /// Phantom name (`mri`, `ct`, `ellipsoid`).
+    pub phantom: String,
+    /// Base resolution.
+    pub base: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Transfer preset name (empty = the phantom's default).
+    pub transfer: String,
+}
+
+/// A shared, encoded dataset: the RLE volume plus its voxel dimensions.
+pub type CachedVolume = Arc<(EncodedVolume, [usize; 3])>;
+
+/// Shared cache of encoded volumes, keyed by [`VolumeKey`].
+#[derive(Debug, Default)]
+pub struct VolumeCache {
+    entries: Mutex<HashMap<VolumeKey, CachedVolume>>,
+}
+
+/// Bound on cached datasets; oldest-insertion order is not tracked, so on
+/// overflow the cache is simply cleared (sessions keep their `Arc`s).
+const CACHE_CAP: usize = 16;
+
+impl VolumeCache {
+    /// An empty cache.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the encoded volume (and its dims) for `key`, generating and
+    /// classifying it on first use. Unknown phantom or transfer names are
+    /// typed protocol errors.
+    pub fn get(&self, key: &VolumeKey) -> Result<CachedVolume, Error> {
+        let mut entries = self.entries.lock();
+        if let Some(hit) = entries.get(key) {
+            return Ok(Arc::clone(hit));
+        }
+        let phantom = match key.phantom.as_str() {
+            "mri" => Phantom::MriBrain,
+            "ct" => Phantom::CtHead,
+            "ellipsoid" => Phantom::SolidEllipsoid,
+            other => {
+                return Err(Error::Protocol {
+                    reason: format!("unknown phantom {other:?} (want mri|ct|ellipsoid)"),
+                })
+            }
+        };
+        if key.base == 0 {
+            return Err(Error::Protocol {
+                reason: "phantom base must be >= 1".into(),
+            });
+        }
+        let tf = match key.transfer.as_str() {
+            "" => phantom.default_transfer(),
+            "mri" => TransferFunction::mri_default(),
+            "ct" => TransferFunction::ct_default(),
+            "opaque" => TransferFunction::opaque_nonzero(),
+            other => {
+                return Err(Error::Protocol {
+                    reason: format!("unknown transfer {other:?} (want mri|ct|opaque)"),
+                })
+            }
+        };
+        let dims = phantom.paper_dims(key.base);
+        let vol = phantom.generate(dims, key.seed);
+        let enc = EncodedVolume::encode(&classify(&vol, &tf));
+        let entry = Arc::new((enc, dims));
+        if entries.len() >= CACHE_CAP {
+            entries.clear();
+        }
+        entries.insert(key.clone(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Number of cached datasets.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_keys_share_one_encode() {
+        let cache = VolumeCache::new();
+        let key = VolumeKey {
+            phantom: "mri".into(),
+            base: 16,
+            seed: 7,
+            transfer: String::new(),
+        };
+        let a = cache.get(&key).expect("first get encodes");
+        let b = cache.get(&key).expect("second get hits");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.1, Phantom::MriBrain.paper_dims(16));
+    }
+
+    #[test]
+    fn bad_names_are_protocol_errors() {
+        let cache = VolumeCache::new();
+        let e = cache
+            .get(&VolumeKey {
+                phantom: "voxelzilla".into(),
+                base: 16,
+                seed: 0,
+                transfer: String::new(),
+            })
+            .expect_err("unknown phantom");
+        assert!(matches!(e, Error::Protocol { .. }), "{e}");
+        let e = cache
+            .get(&VolumeKey {
+                phantom: "mri".into(),
+                base: 16,
+                seed: 0,
+                transfer: "xray".into(),
+            })
+            .expect_err("unknown transfer");
+        assert!(matches!(e, Error::Protocol { .. }), "{e}");
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,572 @@
+//! `swr-serve`: a fault-isolated render service over the shear-warp
+//! pipeline.
+//!
+//! The daemon speaks a line-delimited JSON protocol
+//! ([`protocol`], `swr-serve/1`) over TCP. Each connection is one
+//! *session*: a `hello` names the scene (served from a shared
+//! [`VolumeCache`]) and the session gets its own
+//! [`AnimationPipeline`](swr_core::AnimationPipeline) plus a serial
+//! fallback renderer. Render requests then run under the supervision
+//! policy in [`session`]:
+//!
+//! * **deadlines** — per-request millisecond budgets, enforced while
+//!   queued and (via the scheduler watchdog) while rendering;
+//! * **admission control** — a global [`WorkerBudget`] shared by every
+//!   session, plus a bounded per-session request queue; saturation is
+//!   answered with a typed `overloaded` shed, never unbounded queueing;
+//! * **retry ladder** — parallel, parallel retry, bit-identical serial
+//!   fallback, typed error — in that order, per request;
+//! * **graceful degradation** — a per-session quality ladder
+//!   (`Full → Reduced → SerialOnly`) driven by consecutive outcomes,
+//!   stepping back up as health returns.
+//!
+//! Fault isolation is the point: a panic injected into one session's
+//! render (see [`FaultSpec`](protocol::FaultSpec)) is contained by that
+//! session's supervisor — the pipeline restarts, the request gets a typed
+//! error or a degraded frame, and every other session keeps producing
+//! frames bit-identical to the serial renderer.
+
+pub mod budget;
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod session;
+
+pub use budget::{Lease, WorkerBudget};
+pub use cache::{VolumeCache, VolumeKey};
+pub use metrics::ServeMetrics;
+pub use protocol::{FaultSpec, HelloReq, Quality, RenderReq, Request, PROTOCOL};
+pub use session::{Health, Level, Session};
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use swr_error::{panic_message, Error};
+use swr_telemetry::Json;
+
+/// Service configuration; [`Default`] gives test-friendly values.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Global worker budget shared across sessions.
+    pub budget: usize,
+    /// Per-session ceiling on parallel render workers.
+    pub max_threads_per_session: usize,
+    /// Bound on each session's pending-request queue; overflow is shed.
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry one.
+    pub default_deadline_ms: u64,
+    /// Scheduler watchdog ceiling (clamped per render to the remaining
+    /// deadline budget).
+    pub watchdog: Duration,
+    /// Consecutive faulted requests before a session steps down a quality
+    /// level.
+    pub degrade_after: u32,
+    /// Consecutive healthy requests before a session steps back up.
+    pub recover_after: u32,
+    /// Zoom multiplier at the `Reduced` quality level.
+    pub reduced_zoom: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            budget: 8,
+            max_threads_per_session: 4,
+            queue_depth: 16,
+            default_deadline_ms: 30_000,
+            watchdog: Duration::from_secs(10),
+            degrade_after: 3,
+            recover_after: 2,
+            reduced_zoom: 0.5,
+        }
+    }
+}
+
+/// A bounded MPSC queue of parsed requests, stamped with arrival time so
+/// queueing delay counts against the deadline. `None` is the reader's
+/// end-of-stream sentinel.
+struct RequestQueue {
+    items: Mutex<VecDeque<Option<(Request, Instant)>>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl RequestQueue {
+    fn new(depth: usize) -> Self {
+        RequestQueue {
+            items: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Enqueues unless the bound is hit; a refused push is the shed signal.
+    fn try_push(&self, req: Request, arrived: Instant) -> bool {
+        let mut q = self.items.lock();
+        if q.len() >= self.depth {
+            return false;
+        }
+        q.push_back(Some((req, arrived)));
+        self.ready.notify_one();
+        true
+    }
+
+    /// Sentinel push: always succeeds (never sheds the goodbye).
+    fn close(&self) {
+        self.items.lock().push_back(None);
+        self.ready.notify_one();
+    }
+
+    /// Pops the next entry, waking periodically so the caller can observe
+    /// a server-wide stop.
+    fn pop(&self, stop: &AtomicBool) -> Option<(Request, Instant)> {
+        let mut q = self.items.lock();
+        loop {
+            if let Some(entry) = q.pop_front() {
+                return entry;
+            }
+            if stop.load(Ordering::Acquire) {
+                return None;
+            }
+            self.ready.wait_for(&mut q, Duration::from_millis(50));
+        }
+    }
+}
+
+/// Line-oriented response writer shared by the reader (sheds, parse
+/// errors) and the session worker (everything else).
+#[derive(Clone)]
+struct ResponseWriter {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl ResponseWriter {
+    fn new(stream: TcpStream) -> Self {
+        ResponseWriter {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Writes one response line. A dead peer is not an error worth
+    /// propagating — the reader will see EOF and close the session.
+    fn send(&self, resp: &Json) {
+        let mut line = resp.to_string();
+        line.push('\n');
+        let mut s = self.stream.lock();
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.flush();
+    }
+}
+
+/// The daemon: accept loop, session threads, shared budget/cache/metrics.
+pub struct Server {
+    listener: TcpListener,
+    cfg: Arc<ServeConfig>,
+    budget: Arc<WorkerBudget>,
+    cache: Arc<VolumeCache>,
+    metrics: ServeMetrics,
+    stop: Arc<AtomicBool>,
+    next_session: AtomicU64,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl Server {
+    /// Binds the listen socket; the accept loop starts in [`Server::run`].
+    pub fn bind(cfg: ServeConfig) -> Result<Server, Error> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let metrics = ServeMetrics::new();
+        let budget = WorkerBudget::new(cfg.budget);
+        metrics.set_gauge("serve.budget_total", budget.total() as f64);
+        metrics.set_gauge("serve.budget_in_use", 0.0);
+        metrics.set_gauge("serve.sessions", 0.0);
+        metrics.set_gauge("serve.degraded", 0.0);
+        Ok(Server {
+            listener,
+            cfg: Arc::new(cfg),
+            budget,
+            cache: VolumeCache::new(),
+            metrics,
+            stop: Arc::new(AtomicBool::new(false)),
+            next_session: AtomicU64::new(1),
+            conns: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> Result<SocketAddr, Error> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Shared stop flag: setting it makes [`Server::run`] return after
+    /// closing every live connection. Signal handlers and test harnesses
+    /// both drive shutdown through this.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Service metrics handle (shared with every session).
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics.clone()
+    }
+
+    /// Runs the accept loop until the stop flag is raised, then shuts down
+    /// every live connection and joins the session threads.
+    pub fn run(&self) -> Result<(), Error> {
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        self.conns.lock().push(clone);
+                    }
+                    let conn = Connection {
+                        cfg: Arc::clone(&self.cfg),
+                        budget: Arc::clone(&self.budget),
+                        cache: Arc::clone(&self.cache),
+                        metrics: self.metrics.clone(),
+                        stop: Arc::clone(&self.stop),
+                    };
+                    workers.push(
+                        thread::Builder::new()
+                            .name(format!("swr-serve-session-{id}"))
+                            .spawn(move || conn.serve(id, stream))
+                            .map_err(Error::from)?,
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e.into()),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        // Graceful shutdown: close every live socket so readers see EOF,
+        // then wait for each session to finish its in-flight request.
+        for s in self.conns.lock().iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Everything one connection thread needs, cloned out of the server.
+struct Connection {
+    cfg: Arc<ServeConfig>,
+    budget: Arc<WorkerBudget>,
+    cache: Arc<VolumeCache>,
+    metrics: ServeMetrics,
+    stop: Arc<AtomicBool>,
+}
+
+impl Connection {
+    /// Runs one session to completion. Never panics outward: the daemon's
+    /// accept loop must outlive anything a session does.
+    fn serve(self, id: u64, stream: TcpStream) {
+        let writer = match stream.try_clone() {
+            Ok(w) => ResponseWriter::new(w),
+            Err(_) => return,
+        };
+        let queue = Arc::new(RequestQueue::new(self.cfg.queue_depth));
+        let reader = {
+            let queue = Arc::clone(&queue);
+            let writer = writer.clone();
+            let metrics = self.metrics.clone();
+            let stream = BufReader::new(stream);
+            thread::Builder::new()
+                .name(format!("swr-serve-reader-{id}"))
+                .spawn(move || read_loop(stream, &queue, &writer, &metrics))
+        };
+        self.metrics.adjust_gauge("serve.sessions", 1.0);
+        self.session_loop(id, &queue, &writer);
+        self.metrics.adjust_gauge("serve.sessions", -1.0);
+        // Unblock the reader if the session ended first (bye / stop), then
+        // reap it.
+        {
+            let s = writer.stream.lock();
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Ok(r) = reader {
+            let _ = r.join();
+        }
+    }
+
+    /// Dispatches queued requests until the stream closes, `bye` arrives,
+    /// or the server stops. The outer `catch_unwind` is the session
+    /// supervisor: a panic that escapes the retry ladder restarts the
+    /// pipeline and answers with a typed `session_failed`, keeping both
+    /// the session and the daemon alive.
+    fn session_loop(&self, id: u64, queue: &RequestQueue, writer: &ResponseWriter) {
+        let mut session: Option<Session> = None;
+        while let Some((req, arrived)) = queue.pop(&self.stop) {
+            match req {
+                Request::Ping => writer.send(&protocol::pong_response()),
+                Request::Stats => writer.send(&protocol::stats_response(self.metrics.to_json())),
+                Request::Bye => {
+                    writer.send(&protocol::bye_response());
+                    break;
+                }
+                Request::Hello(h) => match self.open_session(id, &h) {
+                    Ok(s) => {
+                        writer.send(&protocol::hello_response(
+                            id,
+                            s.threads(),
+                            self.budget.total(),
+                        ));
+                        if let Some(mut old) = session.replace(s) {
+                            old.close();
+                        }
+                    }
+                    Err(e) => {
+                        self.metrics.inc("serve.errors");
+                        writer.send(&protocol::error_response(None, &e));
+                    }
+                },
+                Request::Render(r) => {
+                    let Some(s) = session.as_mut() else {
+                        self.metrics.inc("serve.errors");
+                        writer.send(&protocol::error_response(
+                            Some(r.id),
+                            &Error::Protocol {
+                                reason: "render before hello".into(),
+                            },
+                        ));
+                        continue;
+                    };
+                    let mut out = Vec::new();
+                    let handled =
+                        catch_unwind(AssertUnwindSafe(|| s.handle_render(&r, arrived, &mut out)));
+                    if let Err(payload) = handled {
+                        // Supervisor rung: contain, restart, answer typed.
+                        s.restart_pipeline();
+                        self.metrics.inc("serve.errors");
+                        out.push(protocol::error_response(
+                            Some(r.id),
+                            &Error::SessionFailed {
+                                session: id,
+                                message: panic_message(payload.as_ref()),
+                            },
+                        ));
+                    }
+                    for resp in &out {
+                        writer.send(resp);
+                    }
+                }
+            }
+        }
+        if let Some(mut s) = session {
+            s.close();
+        }
+    }
+
+    fn open_session(&self, id: u64, h: &HelloReq) -> Result<Session, Error> {
+        let key = VolumeKey {
+            phantom: h.phantom.clone(),
+            base: h.base,
+            seed: h.seed,
+            transfer: h.transfer.clone().unwrap_or_default(),
+        };
+        let enc = self.cache.get(&key)?;
+        Ok(Session::new(
+            id,
+            enc,
+            h.threads.unwrap_or(self.cfg.max_threads_per_session),
+            Arc::clone(&self.cfg),
+            Arc::clone(&self.budget),
+            self.metrics.clone(),
+        ))
+    }
+}
+
+/// The per-connection reader: parses lines off the socket and enqueues
+/// them. Malformed lines and queue overflow are answered here, directly,
+/// so a wedged render can never stop the session from shedding load.
+fn read_loop(
+    mut stream: BufReader<TcpStream>,
+    queue: &RequestQueue,
+    writer: &ResponseWriter,
+    metrics: &ServeMetrics,
+) {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stream.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Ok(req) => {
+                let is_bye = req == Request::Bye;
+                if !queue.try_push(req, Instant::now()) {
+                    // Bounded queue full: shed at the door with a typed
+                    // refusal instead of buffering unbounded work.
+                    metrics.inc("serve.shed");
+                    metrics.inc("serve.errors");
+                    writer.send(&protocol::error_response(
+                        None,
+                        &Error::Overloaded {
+                            reason: "session queue full".into(),
+                        },
+                    ));
+                    continue;
+                }
+                if is_bye {
+                    break;
+                }
+            }
+            Err(e) => {
+                metrics.inc("serve.errors");
+                writer.send(&protocol::error_response(None, &e));
+            }
+        }
+    }
+    queue.close();
+}
+
+/// A running server on its own thread, for tests and the binary.
+pub struct ServerHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: ServeMetrics,
+    thread: thread::JoinHandle<Result<(), Error>>,
+}
+
+impl ServerHandle {
+    /// Service metrics handle.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics.clone()
+    }
+
+    /// The shared stop flag (what a SIGTERM handler raises).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Raises the stop flag and waits for the accept loop to drain.
+    pub fn shutdown(self) -> Result<(), Error> {
+        self.stop.store(true, Ordering::Release);
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(Error::SessionFailed {
+                session: 0,
+                message: "server thread panicked".into(),
+            }),
+        }
+    }
+}
+
+/// Binds and runs a server on a background thread.
+pub fn spawn(cfg: ServeConfig) -> Result<ServerHandle, Error> {
+    let server = Server::bind(cfg)?;
+    let addr = server.local_addr()?;
+    let stop = server.stop_flag();
+    let metrics = server.metrics();
+    let thread = thread::Builder::new()
+        .name("swr-serve-accept".into())
+        .spawn(move || server.run())?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        metrics,
+        thread,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn connect(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("timeout");
+        (BufReader::new(stream.try_clone().expect("clone")), stream)
+    }
+
+    fn send_line(stream: &mut TcpStream, line: &str) {
+        stream.write_all(line.as_bytes()).expect("write");
+        stream.write_all(b"\n").expect("write");
+    }
+
+    fn read_json(reader: &mut BufReader<TcpStream>) -> Json {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        Json::parse(line.trim()).expect("response is JSON")
+    }
+
+    #[test]
+    fn end_to_end_session_renders_and_shuts_down_cleanly() {
+        let handle = spawn(ServeConfig {
+            budget: 2,
+            ..ServeConfig::default()
+        })
+        .expect("spawn");
+        let (mut rx, mut tx) = connect(handle.addr);
+
+        send_line(&mut tx, r#"{"op":"ping"}"#);
+        assert_eq!(
+            read_json(&mut rx).get("type").and_then(Json::as_str),
+            Some("pong")
+        );
+
+        // Render before hello is a typed protocol error, not a hangup.
+        send_line(&mut tx, r#"{"op":"render","id":1}"#);
+        let v = read_json(&mut rx);
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("protocol"));
+
+        send_line(
+            &mut tx,
+            r#"{"op":"hello","phantom":"mri","base":20,"seed":11,"threads":2}"#,
+        );
+        let v = read_json(&mut rx);
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("hello"));
+        assert_eq!(v.get("protocol").and_then(Json::as_str), Some(PROTOCOL));
+
+        send_line(&mut tx, r#"{"op":"render","id":2,"angle_y":30.0}"#);
+        let v = read_json(&mut rx);
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("frame"), "{v:?}");
+        assert_eq!(v.get("quality").and_then(Json::as_str), Some("full"));
+        let hash = v
+            .get("hash")
+            .and_then(Json::as_str)
+            .expect("hash")
+            .to_string();
+        assert_eq!(hash.len(), 16);
+
+        // Malformed line: typed error, session still usable.
+        send_line(&mut tx, "not json at all");
+        let v = read_json(&mut rx);
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("protocol"));
+
+        send_line(&mut tx, r#"{"op":"stats"}"#);
+        let v = read_json(&mut rx);
+        let m = v.get("metrics").expect("metrics");
+        assert!(m.to_string().contains("serve.frames"), "{m:?}");
+
+        send_line(&mut tx, r#"{"op":"bye"}"#);
+        assert_eq!(
+            read_json(&mut rx).get("type").and_then(Json::as_str),
+            Some("bye")
+        );
+        handle.shutdown().expect("clean shutdown");
+    }
+}

@@ -1,0 +1,99 @@
+//! Service-wide observability: a shared [`MetricsRegistry`] behind a lock.
+//!
+//! Every stage of the supervision ladder leaves a trace here — admission
+//! sheds, retries, serial fallbacks, deadline misses, session restarts,
+//! degradation level changes — so the whole ladder is visible through one
+//! `{"op":"stats"}` request. Names are the stable ops surface:
+//!
+//! | metric                   | kind    | meaning                                   |
+//! |--------------------------|---------|-------------------------------------------|
+//! | `serve.sessions`         | gauge   | sessions currently open                   |
+//! | `serve.degraded`         | gauge   | sessions below full quality               |
+//! | `serve.budget_total`     | gauge   | configured global worker budget           |
+//! | `serve.budget_in_use`    | gauge   | worker slots currently leased             |
+//! | `serve.requests`         | counter | render requests accepted off the wire     |
+//! | `serve.frames`           | counter | frames delivered successfully             |
+//! | `serve.shed`             | counter | requests refused by admission control     |
+//! | `serve.retries`          | counter | parallel retries after a render fault     |
+//! | `serve.serial_fallbacks` | counter | requests completed on the serial rung     |
+//! | `serve.deadline_missed`  | counter | requests that blew their deadline         |
+//! | `serve.errors`           | counter | typed error responses sent                |
+//! | `serve.session_restarts` | counter | supervised pipeline restarts after panics |
+//! | `serve.faults_injected`  | counter | chaos faults armed via the wire           |
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use swr_telemetry::{metrics_json, Json, MetricsRegistry};
+
+/// Cheaply clonable handle to the service's shared metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics(Arc<Mutex<MetricsRegistry>>);
+
+impl ServeMetrics {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to a counter.
+    pub fn inc(&self, name: &str) {
+        self.0.lock().inc(name, 1);
+    }
+
+    /// Adds `by` to a counter.
+    pub fn add(&self, name: &str, by: u64) {
+        self.0.lock().inc(name, by);
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.0.lock().set_gauge(name, v);
+    }
+
+    /// Adjusts a gauge by a delta (absent gauges start at zero).
+    pub fn adjust_gauge(&self, name: &str, delta: f64) {
+        let mut m = self.0.lock();
+        let v = m.gauge(name).unwrap_or(0.0) + delta;
+        m.set_gauge(name, v);
+    }
+
+    /// Current counter value.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.0.lock().counter(name)
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.0.lock().gauge(name)
+    }
+
+    /// A point-in-time copy of the whole registry.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.0.lock().clone()
+    }
+
+    /// The registry as the exporters' metrics JSON document.
+    pub fn to_json(&self) -> Json {
+        metrics_json(&self.0.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_adjust_relative_and_counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.inc("serve.shed");
+        m.add("serve.shed", 2);
+        assert_eq!(m.counter("serve.shed"), 3);
+        m.adjust_gauge("serve.sessions", 1.0);
+        m.adjust_gauge("serve.sessions", 1.0);
+        m.adjust_gauge("serve.sessions", -1.0);
+        assert_eq!(m.gauge("serve.sessions"), Some(1.0));
+        let json = m.to_json().to_string();
+        assert!(json.contains("serve.shed"), "{json}");
+        assert_eq!(m.snapshot().counter("serve.shed"), 3);
+    }
+}

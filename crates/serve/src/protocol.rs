@@ -1,0 +1,452 @@
+//! The `swr-serve/1` wire protocol: one JSON object per line, both ways.
+//!
+//! Requests are parsed with the same hand-rolled [`Json`] the telemetry
+//! exporters emit, so the service has no serialization dependency. Every
+//! response carries `"ok"` and `"type"`; error responses carry the typed
+//! [`enum@Error`]'s stable [`wire code`](Error::wire_code) in `"code"` so
+//! clients route on a token, never on `Display` text.
+//!
+//! ```text
+//! -> {"op":"hello","phantom":"mri","base":24,"seed":11,"threads":2}
+//! <- {"ok":true,"type":"hello","session":1,"protocol":"swr-serve/1"}
+//! -> {"op":"render","id":7,"angle_y":30.0,"deadline_ms":5000}
+//! <- {"ok":true,"type":"frame","id":7,"frame":0,"width":40,"height":40,
+//!     "quality":"full","attempts":1,"hash":"184f1f8061ff92b4"}
+//! ```
+//!
+//! Frame payloads are hashed (and optionally shipped) as the raw RGBA
+//! byte stream of the final image, so "bit-identical to the serial
+//! renderer" is checkable across the socket.
+
+use swr_error::Error;
+use swr_render::FinalImage;
+use swr_telemetry::Json;
+
+/// Protocol identifier sent in the hello response.
+pub const PROTOCOL: &str = "swr-serve/1";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the session: names the scene and the desired worker count.
+    Hello(HelloReq),
+    /// Renders one or more frames.
+    Render(RenderReq),
+    /// Returns the service-wide metrics registry as JSON.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Closes the session cleanly.
+    Bye,
+}
+
+/// The session-opening request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelloReq {
+    /// Phantom name: `mri`, `ct`, or `ellipsoid`.
+    pub phantom: String,
+    /// Phantom base resolution.
+    pub base: usize,
+    /// Phantom seed.
+    pub seed: u64,
+    /// Transfer-function preset (`mri`, `ct`, `opaque`); defaults to the
+    /// phantom's own default when absent.
+    pub transfer: Option<String>,
+    /// Worker threads requested for this session's parallel renders
+    /// (clamped by the server; the global budget may grant fewer).
+    pub threads: Option<usize>,
+}
+
+/// A frame-render request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderReq {
+    /// Client-chosen id echoed on every response to this request.
+    pub id: u64,
+    /// View angles in degrees.
+    pub angle_x: f64,
+    /// View angles in degrees.
+    pub angle_y: f64,
+    /// Zoom factor (the quality ladder may scale it down).
+    pub zoom: f64,
+    /// Frames to render through the animation pipeline (default 1).
+    pub frames: usize,
+    /// Per-frame Y-rotation step in degrees for multi-frame requests.
+    pub step: f64,
+    /// Deadline budget in milliseconds, measured from arrival; the
+    /// server default applies when absent.
+    pub deadline_ms: Option<u64>,
+    /// Ship the full pixel payload (hex) with each frame, not just the
+    /// hash.
+    pub want_pixels: bool,
+    /// Chaos hook: a deterministic fault to inject into this request's
+    /// render.
+    pub fault: Option<FaultSpec>,
+}
+
+/// A wire-specified [`swr_core::FaultPlan`], for chaos-testing a live
+/// service end to end.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the profile scrambler.
+    pub seed: u64,
+    /// Panic the worker claiming this compositing task.
+    pub panic_at_task: Option<u64>,
+    /// Panic the worker warping this band.
+    pub panic_warp_at: Option<u64>,
+    /// Panic the delivery stage at this delivered frame.
+    pub panic_sink_at: Option<u64>,
+    /// Scramble the work profile before partitioning.
+    pub corrupt_profile: bool,
+    /// Zero the work profile before partitioning.
+    pub zero_profile: bool,
+    /// Drop this many chunks from worker 0's queue.
+    pub truncate_queue: Option<usize>,
+    /// Keep the fault armed across the retry ladder's parallel retry
+    /// (default: the fault is detached after the first attempt, modelling
+    /// a transient). A sticky fault forces the ladder down to serial.
+    pub sticky: bool,
+}
+
+impl FaultSpec {
+    /// Builds the core fault plan this spec describes.
+    pub fn to_plan(&self) -> swr_core::FaultPlan {
+        let mut plan = swr_core::FaultPlan::new(self.seed);
+        plan.panic_at_task = self.panic_at_task;
+        plan.panic_warp_at = self.panic_warp_at;
+        plan.panic_sink_at = self.panic_sink_at;
+        plan.corrupt_profile = self.corrupt_profile;
+        plan.zero_profile = self.zero_profile;
+        plan.truncate_queue = self.truncate_queue;
+        plan
+    }
+}
+
+fn proto_err(reason: impl Into<String>) -> Error {
+    Error::Protocol {
+        reason: reason.into(),
+    }
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<Option<u64>, Error> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| proto_err(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<Option<f64>, Error> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| proto_err(format!("field {key:?} must be a number"))),
+    }
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, Error> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(proto_err(format!("field {key:?} must be a boolean"))),
+    }
+}
+
+impl Request {
+    /// Parses one protocol line. Malformed lines are a typed
+    /// [`Error::Protocol`], which the server answers without dropping the
+    /// session.
+    pub fn parse(line: &str) -> Result<Request, Error> {
+        let v = Json::parse(line.trim()).map_err(|e| proto_err(format!("bad JSON: {e}")))?;
+        if v.as_obj().is_none() {
+            return Err(proto_err("request must be a JSON object"));
+        }
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| proto_err("missing string field \"op\""))?;
+        match op {
+            "hello" => Ok(Request::Hello(HelloReq {
+                phantom: v
+                    .get("phantom")
+                    .and_then(Json::as_str)
+                    .unwrap_or("mri")
+                    .to_string(),
+                base: get_u64(&v, "base")?.unwrap_or(24) as usize,
+                seed: get_u64(&v, "seed")?.unwrap_or(42),
+                transfer: v.get("transfer").and_then(Json::as_str).map(String::from),
+                threads: get_u64(&v, "threads")?.map(|t| t as usize),
+            })),
+            "render" => {
+                let fault = match v.get("fault") {
+                    None | Some(Json::Null) => None,
+                    Some(f) if f.as_obj().is_some() => Some(FaultSpec {
+                        seed: get_u64(f, "seed")?.unwrap_or(0),
+                        panic_at_task: get_u64(f, "panic_at_task")?,
+                        panic_warp_at: get_u64(f, "panic_warp_at")?,
+                        panic_sink_at: get_u64(f, "panic_sink_at")?,
+                        corrupt_profile: get_bool(f, "corrupt_profile")?,
+                        zero_profile: get_bool(f, "zero_profile")?,
+                        truncate_queue: get_u64(f, "truncate_queue")?.map(|n| n as usize),
+                        sticky: get_bool(f, "sticky")?,
+                    }),
+                    Some(_) => return Err(proto_err("field \"fault\" must be an object")),
+                };
+                Ok(Request::Render(RenderReq {
+                    id: get_u64(&v, "id")?.ok_or_else(|| proto_err("render needs an \"id\""))?,
+                    angle_x: get_f64(&v, "angle_x")?.unwrap_or(15.0),
+                    angle_y: get_f64(&v, "angle_y")?.unwrap_or(30.0),
+                    zoom: get_f64(&v, "zoom")?.unwrap_or(1.0),
+                    frames: get_u64(&v, "frames")?.unwrap_or(1).max(1) as usize,
+                    step: get_f64(&v, "step")?.unwrap_or(3.0),
+                    deadline_ms: get_u64(&v, "deadline_ms")?,
+                    want_pixels: get_bool(&v, "want_pixels")?,
+                    fault,
+                }))
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "bye" => Ok(Request::Bye),
+            other => Err(proto_err(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// The quality a frame response reports, mirroring the session's ladder
+/// level and the repair path the frame actually took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Parallel path, no repair, full output dimensions.
+    Full,
+    /// Parallel path, one or more worker panics repaired bit-identically.
+    Repaired,
+    /// Rendered at the ladder's reduced output dimensions.
+    Reduced,
+    /// Rendered on the serial fallback (bottom of the ladder).
+    Serial,
+}
+
+impl Quality {
+    /// Stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Quality::Full => "full",
+            Quality::Repaired => "repaired",
+            Quality::Reduced => "reduced",
+            Quality::Serial => "serial",
+        }
+    }
+}
+
+/// The row-major RGBA byte stream of the final image — the exact payload
+/// [`image_hash`] digests, so equality of these bytes is bit-identity of
+/// the image.
+pub fn image_bytes(img: &FinalImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(img.pixels().len() * 4);
+    for p in img.pixels() {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// FNV-1a 64 over [`image_bytes`], rendered as 16 hex digits.
+pub fn image_hash(img: &FinalImage) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in image_bytes(img) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Lowercase hex of [`image_bytes`] (the optional `pixels` field).
+pub fn image_hex(img: &FinalImage) -> String {
+    let bytes = image_bytes(img);
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        use std::fmt::Write;
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+/// `{"ok":true,"type":"hello",...}` — the session is open.
+pub fn hello_response(session: u64, granted_threads: usize, budget_total: usize) -> Json {
+    Json::obj()
+        .with("ok", Json::Bool(true))
+        .with("type", Json::Str("hello".into()))
+        .with("protocol", Json::Str(PROTOCOL.into()))
+        .with("session", Json::U64(session))
+        .with("threads", Json::U64(granted_threads as u64))
+        .with("budget_total", Json::U64(budget_total as u64))
+}
+
+/// `{"ok":true,"type":"frame",...}` — one delivered frame.
+#[allow(clippy::too_many_arguments)]
+pub fn frame_response(
+    id: u64,
+    frame: usize,
+    img: &FinalImage,
+    quality: Quality,
+    attempts: u32,
+    repaired: bool,
+    elapsed_ms: u64,
+    want_pixels: bool,
+) -> Json {
+    let mut resp = Json::obj()
+        .with("ok", Json::Bool(true))
+        .with("type", Json::Str("frame".into()))
+        .with("id", Json::U64(id))
+        .with("frame", Json::U64(frame as u64))
+        .with("width", Json::U64(img.width() as u64))
+        .with("height", Json::U64(img.height() as u64))
+        .with("quality", Json::Str(quality.as_str().into()))
+        .with("attempts", Json::U64(u64::from(attempts)))
+        .with("repaired", Json::Bool(repaired))
+        .with("elapsed_ms", Json::U64(elapsed_ms))
+        .with("hash", Json::Str(image_hash(img)));
+    if want_pixels {
+        resp.set("pixels", Json::Str(image_hex(img)));
+    }
+    resp
+}
+
+/// `{"ok":false,"type":"error",...}` — a typed refusal or failure. `id` is
+/// echoed when the error is attributable to one request.
+pub fn error_response(id: Option<u64>, e: &Error) -> Json {
+    let mut resp = Json::obj()
+        .with("ok", Json::Bool(false))
+        .with("type", Json::Str("error".into()));
+    if let Some(id) = id {
+        resp.set("id", Json::U64(id));
+    }
+    resp.with("code", Json::Str(e.wire_code().into()))
+        .with("error", Json::Str(e.to_string()))
+}
+
+/// `{"ok":true,"type":"pong"}`.
+pub fn pong_response() -> Json {
+    Json::obj()
+        .with("ok", Json::Bool(true))
+        .with("type", Json::Str("pong".into()))
+}
+
+/// `{"ok":true,"type":"bye"}`.
+pub fn bye_response() -> Json {
+    Json::obj()
+        .with("ok", Json::Bool(true))
+        .with("type", Json::Str("bye".into()))
+}
+
+/// `{"ok":true,"type":"stats","metrics":{...}}`.
+pub fn stats_response(metrics: Json) -> Json {
+    Json::obj()
+        .with("ok", Json::Bool(true))
+        .with("type", Json::Str("stats".into()))
+        .with("metrics", metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_from_wire_lines() {
+        let r = Request::parse(r#"{"op":"hello","phantom":"ct","base":32,"threads":2}"#)
+            .expect("hello parses");
+        match r {
+            Request::Hello(h) => {
+                assert_eq!(h.phantom, "ct");
+                assert_eq!(h.base, 32);
+                assert_eq!(h.threads, Some(2));
+                assert_eq!(h.seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = Request::parse(
+            r#"{"op":"render","id":9,"angle_y":10.5,"frames":3,"deadline_ms":250,
+                "fault":{"panic_at_task":1,"sticky":true}}"#,
+        )
+        .expect("render parses");
+        match r {
+            Request::Render(r) => {
+                assert_eq!(r.id, 9);
+                assert_eq!(r.frames, 3);
+                assert_eq!(r.deadline_ms, Some(250));
+                let f = r.fault.expect("fault attached");
+                assert_eq!(f.panic_at_task, Some(1));
+                assert!(f.sticky);
+                assert!(f.to_plan().is_armed());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            Request::parse(r#"{"op":"ping"}"#).expect("ping"),
+            Request::Ping
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"bye"}"#).expect("bye"),
+            Request::Bye
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"stats"}"#).expect("stats"),
+            Request::Stats
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_protocol_errors() {
+        for bad in [
+            "not json",
+            "[1,2]",
+            r#"{"no_op":1}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"render"}"#,
+            r#"{"op":"render","id":"seven"}"#,
+            r#"{"op":"render","id":1,"fault":7}"#,
+        ] {
+            let e = Request::parse(bad).expect_err(bad);
+            assert!(matches!(e, Error::Protocol { .. }), "{bad}: {e}");
+            assert_eq!(e.exit_code(), 4, "{bad}");
+        }
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let img = FinalImage::new(3, 2);
+        let frame = frame_response(4, 0, &img, Quality::Serial, 3, false, 12, true).to_string();
+        assert!(!frame.contains('\n'));
+        let v = Json::parse(&frame).expect("frame is JSON");
+        assert_eq!(v.get("quality").and_then(Json::as_str), Some("serial"));
+        assert_eq!(v.get("attempts").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("pixels").and_then(Json::as_str).map(str::len),
+            Some(3 * 2 * 4 * 2)
+        );
+        let err = error_response(
+            Some(4),
+            &Error::Overloaded {
+                reason: "budget".into(),
+            },
+        )
+        .to_string();
+        let v = Json::parse(&err).expect("error is JSON");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("overloaded"));
+    }
+
+    #[test]
+    fn image_hash_tracks_bit_identity() {
+        let a = FinalImage::new(4, 4);
+        let b = FinalImage::new(4, 4);
+        assert_eq!(image_hash(&a), image_hash(&b));
+        assert_eq!(image_bytes(&a), image_bytes(&b));
+        let mut c = FinalImage::new(4, 4);
+        c.set(1, 1, [64, 0, 0, 255]);
+        assert_ne!(image_hash(&a), image_hash(&c));
+        assert_eq!(image_hex(&a).len(), 4 * 4 * 4 * 2);
+    }
+}

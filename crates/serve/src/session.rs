@@ -1,0 +1,711 @@
+//! Per-session supervision: the deadline check, the retry ladder, and the
+//! quality ladder.
+//!
+//! Each client session owns an [`AnimationPipeline`] and a serial fallback
+//! renderer. A render request walks a fixed supervision policy:
+//!
+//! 1. **Deadline** — the request carries a millisecond budget measured
+//!    from arrival. An expired request is answered with
+//!    [`Error::DeadlineExceeded`] without rendering; a render in progress
+//!    is bounded by the scheduler watchdog, clamped to the remaining
+//!    budget, so a wedged frame cannot outlive its deadline.
+//! 2. **Admission** — the parallel path runs only under a [`Lease`] from
+//!    the global [`WorkerBudget`]. An exhausted budget is a load-shed
+//!    response ([`Error::Overloaded`]), never a queued-forever render.
+//! 3. **Retry ladder** — a render fault (worker panic the pipeline could
+//!    not repair, scheduler stall, delivery-stage panic) is retried once
+//!    on the parallel path, then falls to the bit-identical serial
+//!    renderer, and only then fails the request with a typed error. The
+//!    daemon and the session both survive every rung.
+//! 4. **Quality ladder** — consecutive faulted or shed requests step the
+//!    session down `Full → Reduced → SerialOnly` (reduced output
+//!    dimensions, then serial-only rendering); consecutive healthy
+//!    requests step it back up. Degradation is a response annotation, not
+//!    a disconnect.
+
+use crate::budget::{Lease, WorkerBudget};
+use crate::metrics::ServeMetrics;
+use crate::protocol::{error_response, frame_response, Quality, RenderReq};
+use crate::ServeConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swr_core::{AnimationPipeline, ParallelConfig};
+use swr_error::{panic_message, Error};
+use swr_geom::ViewSpec;
+use swr_render::SerialRenderer;
+use swr_telemetry::Json;
+use swr_volume::EncodedVolume;
+
+/// The graceful-degradation ladder, top to bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Full quality on the parallel pipeline.
+    Full,
+    /// Reduced output dimensions (zoom scaled down) on the parallel
+    /// pipeline.
+    Reduced,
+    /// Serial-only rendering; no budget lease needed, nothing to shed.
+    SerialOnly,
+}
+
+impl Level {
+    fn down(self) -> Level {
+        match self {
+            Level::Full => Level::Reduced,
+            _ => Level::SerialOnly,
+        }
+    }
+
+    fn up(self) -> Level {
+        match self {
+            Level::SerialOnly => Level::Reduced,
+            _ => Level::Full,
+        }
+    }
+}
+
+/// Consecutive-outcome health tracker driving [`Level`] transitions.
+#[derive(Debug)]
+pub struct Health {
+    /// Current ladder level.
+    pub level: Level,
+    faults: u32,
+    healthy: u32,
+    degrade_after: u32,
+    recover_after: u32,
+}
+
+impl Health {
+    fn new(cfg: &ServeConfig) -> Self {
+        Health {
+            level: Level::Full,
+            faults: 0,
+            healthy: 0,
+            degrade_after: cfg.degrade_after.max(1),
+            recover_after: cfg.recover_after.max(1),
+        }
+    }
+
+    /// Records one request outcome; steps the ladder after the configured
+    /// run of consecutive faults or healthy completions.
+    fn note(&mut self, fault: bool) {
+        if fault {
+            self.healthy = 0;
+            self.faults += 1;
+            if self.faults >= self.degrade_after {
+                self.faults = 0;
+                self.level = self.level.down();
+            }
+        } else {
+            self.faults = 0;
+            self.healthy += 1;
+            if self.healthy >= self.recover_after {
+                self.healthy = 0;
+                self.level = self.level.up();
+            }
+        }
+    }
+}
+
+/// One client session: scene, pipeline, fallback renderer, health.
+pub struct Session {
+    /// Session id (echoed in `session_failed` errors and logs).
+    pub id: u64,
+    enc: Arc<(EncodedVolume, [usize; 3])>,
+    threads: usize,
+    pipe: AnimationPipeline,
+    serial: SerialRenderer,
+    health: Health,
+    cfg: Arc<ServeConfig>,
+    budget: Arc<WorkerBudget>,
+    metrics: ServeMetrics,
+}
+
+/// Whether an error is worth walking further down the retry ladder for.
+fn retryable(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::WorkerPanicked { .. } | Error::Stalled { .. } | Error::SessionFailed { .. }
+    )
+}
+
+impl Session {
+    /// Opens a session over an encoded volume.
+    pub fn new(
+        id: u64,
+        enc: Arc<(EncodedVolume, [usize; 3])>,
+        threads: usize,
+        cfg: Arc<ServeConfig>,
+        budget: Arc<WorkerBudget>,
+        metrics: ServeMetrics,
+    ) -> Self {
+        let threads = threads.clamp(1, cfg.max_threads_per_session);
+        let mut pcfg = ParallelConfig::with_procs(threads);
+        pcfg.watchdog_timeout = Some(cfg.watchdog);
+        Session {
+            id,
+            enc,
+            threads,
+            pipe: AnimationPipeline::new(pcfg),
+            serial: SerialRenderer::new(),
+            health: Health::new(&cfg),
+            cfg: Arc::clone(&cfg),
+            budget,
+            metrics,
+        }
+    }
+
+    /// Worker threads this session renders with (post-clamp).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current degradation level.
+    pub fn level(&self) -> Level {
+        self.health.level
+    }
+
+    /// Supervisor restart hook: called after a contained panic escaped the
+    /// retry ladder. Drops poisoned cross-frame state so the next request
+    /// starts clean; the session (and daemon) stay up.
+    pub fn restart_pipeline(&mut self) {
+        self.pipe.fault = None;
+        self.pipe.reset();
+        self.metrics.inc("serve.session_restarts");
+    }
+
+    /// Applies one request outcome to the health ladder and keeps the
+    /// `serve.degraded` gauge in step with level transitions.
+    fn note_outcome(&mut self, fault: bool) {
+        let before = self.health.level;
+        self.health.note(fault);
+        let after = self.health.level;
+        if before == Level::Full && after != Level::Full {
+            self.metrics.adjust_gauge("serve.degraded", 1.0);
+        } else if before != Level::Full && after == Level::Full {
+            self.metrics.adjust_gauge("serve.degraded", -1.0);
+        }
+    }
+
+    /// Called when the session closes: settles the degraded gauge.
+    pub fn close(&mut self) {
+        if self.health.level != Level::Full {
+            self.metrics.adjust_gauge("serve.degraded", -1.0);
+            self.health.level = Level::Full;
+        }
+    }
+
+    /// Watchdog for a render starting now: the configured ceiling, clamped
+    /// to the remaining deadline budget (floored so it stays valid).
+    fn watchdog_until(&self, deadline: Instant) -> Duration {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        self.cfg
+            .watchdog
+            .min(remaining)
+            .max(Duration::from_millis(10))
+    }
+
+    /// Handles one render request end to end, pushing one response line
+    /// per frame (or per failure) onto `out`.
+    pub fn handle_render(&mut self, req: &RenderReq, arrived: Instant, out: &mut Vec<Json>) {
+        self.metrics.inc("serve.requests");
+        let budget_ms = req.deadline_ms.unwrap_or(self.cfg.default_deadline_ms);
+        let deadline = arrived + Duration::from_millis(budget_ms);
+        if req.fault.is_some() {
+            self.metrics.inc("serve.faults_injected");
+        }
+
+        // Already expired while queued: an overload symptom, answered
+        // without burning budget on a frame nobody can use.
+        if Instant::now() >= deadline {
+            self.push_deadline_error(req.id, budget_ms, arrived, out);
+            self.note_outcome(true);
+            return;
+        }
+
+        let level = self.health.level;
+        let zoom_scale = if level == Level::Reduced {
+            self.cfg.reduced_zoom
+        } else {
+            1.0
+        };
+        let [dx, dy, dz] = self.enc.1;
+        let views: Vec<ViewSpec> = (0..req.frames)
+            .map(|f| {
+                let mut view = ViewSpec::new([dx, dy, dz])
+                    .rotate_x(req.angle_x.to_radians())
+                    .rotate_y((req.angle_y + f as f64 * req.step).to_radians());
+                // Direct field write: the builder asserts on zoom <= 0, but a
+                // bad wire value must become a typed error, not a panic.
+                view.zoom = req.zoom * zoom_scale;
+                view
+            })
+            .collect();
+        for view in &views {
+            if let Err(e) = view.try_validate() {
+                // The client's view is degenerate: typed error, no health
+                // penalty — the session itself is fine.
+                out.push(error_response(Some(req.id), &e));
+                self.metrics.inc("serve.errors");
+                return;
+            }
+        }
+
+        if level == Level::SerialOnly {
+            // Bottom of the quality ladder: no lease, no sheddable work.
+            self.metrics.inc("serve.serial_fallbacks");
+            let ok = self.serial_frames(req, &views, 0, 1, budget_ms, arrived, deadline, out);
+            self.note_outcome(!ok);
+            return;
+        }
+
+        let Some(lease) = self.budget.acquire_up_to(self.threads) else {
+            // Admission control: the global budget is exhausted — shed.
+            self.metrics.inc("serve.shed");
+            self.metrics.inc("serve.errors");
+            out.push(error_response(
+                Some(req.id),
+                &Error::Overloaded {
+                    reason: format!(
+                        "worker budget exhausted ({} slots all leased)",
+                        self.budget.total()
+                    ),
+                },
+            ));
+            self.note_outcome(true);
+            return;
+        };
+        self.metrics
+            .set_gauge("serve.budget_in_use", self.budget.in_use() as f64);
+
+        // The retry ladder: parallel, parallel retry, serial, typed error.
+        let mut next = 0usize; // frames already answered
+        let mut fault_event = false;
+        let mut attempt = 1u32;
+        loop {
+            let outcome = self.parallel_attempt(
+                req, &views, &mut next, attempt, level, budget_ms, arrived, deadline, &lease, out,
+            );
+            match outcome {
+                Ok(clean) => {
+                    fault_event |= !clean || attempt > 1;
+                    break;
+                }
+                Err(e) if retryable(&e) && attempt == 1 => {
+                    self.metrics.inc("serve.retries");
+                    fault_event = true;
+                    attempt = 2;
+                }
+                Err(e) if retryable(&e) => {
+                    // Second parallel failure: fall to the serial rung for
+                    // the frames not yet answered.
+                    fault_event = true;
+                    self.metrics.inc("serve.serial_fallbacks");
+                    drop(e);
+                    self.serial_frames(req, &views, next, 3, budget_ms, arrived, deadline, out);
+                    break;
+                }
+                Err(e) => {
+                    out.push(error_response(Some(req.id), &e));
+                    self.metrics.inc("serve.errors");
+                    fault_event = true;
+                    break;
+                }
+            }
+        }
+        drop(lease);
+        self.metrics
+            .set_gauge("serve.budget_in_use", self.budget.in_use() as f64);
+        self.note_outcome(fault_event);
+    }
+
+    /// One parallel rung: renders `views[*next..]` through the pipeline,
+    /// answering each delivered frame. Returns `Ok(clean)` when every
+    /// remaining frame was answered (`clean` = no repair/deadline blemish),
+    /// or the typed error that interrupted the animation. A panic anywhere
+    /// in the attempt (injected sink faults included) is contained and
+    /// returned as [`Error::SessionFailed`]; the pipeline is reset so the
+    /// next rung starts from quiescent state.
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_attempt(
+        &mut self,
+        req: &RenderReq,
+        views: &[ViewSpec],
+        next: &mut usize,
+        attempt: u32,
+        level: Level,
+        budget_ms: u64,
+        arrived: Instant,
+        deadline: Instant,
+        lease: &Lease,
+        out: &mut Vec<Json>,
+    ) -> Result<bool, Error> {
+        if *next >= views.len() {
+            return Ok(true);
+        }
+        self.pipe.cfg.nprocs = lease.granted();
+        self.pipe.cfg.watchdog_timeout = Some(self.watchdog_until(deadline));
+        if let Some(spec) = &req.fault {
+            if attempt == 1 || spec.sticky {
+                self.pipe.fault = Some(spec.to_plan());
+            }
+        }
+        let base = *next;
+        let degraded_lease = lease.granted() < self.threads;
+        let mut blemish = degraded_lease && level == Level::Full;
+        let attempt_out = {
+            let enc = &self.enc.0;
+            let metrics = &self.metrics;
+            let pipe = &mut self.pipe;
+            let delivered = &mut *next;
+            let responses = &mut *out;
+            let blemish = &mut blemish;
+            catch_unwind(AssertUnwindSafe(move || {
+                pipe.try_render_animation(enc, &views[base..], |i, img, stats| {
+                    let idx = base + i;
+                    let elapsed_ms = arrived.elapsed().as_millis() as u64;
+                    if Instant::now() >= deadline {
+                        metrics.inc("serve.deadline_missed");
+                        metrics.inc("serve.errors");
+                        responses.push(error_response(
+                            Some(req.id),
+                            &Error::DeadlineExceeded {
+                                budget_ms,
+                                elapsed_ms,
+                            },
+                        ));
+                        *blemish = true;
+                    } else {
+                        let quality = if level == Level::Reduced {
+                            Quality::Reduced
+                        } else if stats.degraded {
+                            Quality::Repaired
+                        } else {
+                            Quality::Full
+                        };
+                        if stats.degraded {
+                            *blemish = true;
+                        }
+                        metrics.inc("serve.frames");
+                        responses.push(frame_response(
+                            req.id,
+                            idx,
+                            &img,
+                            quality,
+                            attempt,
+                            stats.degraded,
+                            elapsed_ms,
+                            req.want_pixels,
+                        ));
+                    }
+                    *delivered = idx + 1;
+                })
+            }))
+        };
+        // Detach the per-request fault so a non-sticky (transient) fault
+        // cannot re-fire on the retry rung.
+        self.pipe.take_fault();
+        match attempt_out {
+            Ok(Ok(())) => Ok(!blemish),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                // A panic past the pipeline's own containment (delivery
+                // stage, response path): reset to quiescent state and let
+                // the ladder continue.
+                self.restart_pipeline();
+                Err(Error::SessionFailed {
+                    session: self.id,
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// The serial rung (and the whole of `SerialOnly` mode): renders
+    /// `views[from..]` one frame at a time on the session thread, bounded
+    /// by the deadline. Returns whether every frame was answered cleanly.
+    #[allow(clippy::too_many_arguments)]
+    fn serial_frames(
+        &mut self,
+        req: &RenderReq,
+        views: &[ViewSpec],
+        from: usize,
+        attempt: u32,
+        budget_ms: u64,
+        arrived: Instant,
+        deadline: Instant,
+        out: &mut Vec<Json>,
+    ) -> bool {
+        let mut clean = true;
+        for (idx, view) in views.iter().enumerate().skip(from) {
+            if Instant::now() >= deadline {
+                self.push_deadline_error(req.id, budget_ms, arrived, out);
+                clean = false;
+                continue;
+            }
+            let rendered = {
+                let enc = &self.enc.0;
+                let serial = &mut self.serial;
+                catch_unwind(AssertUnwindSafe(move || serial.try_render(enc, view)))
+            };
+            let elapsed_ms = arrived.elapsed().as_millis() as u64;
+            match rendered {
+                Ok(Ok(img)) => {
+                    self.metrics.inc("serve.frames");
+                    out.push(frame_response(
+                        req.id,
+                        idx,
+                        &img,
+                        Quality::Serial,
+                        attempt,
+                        false,
+                        elapsed_ms,
+                        req.want_pixels,
+                    ));
+                }
+                Ok(Err(e)) => {
+                    self.metrics.inc("serve.errors");
+                    out.push(error_response(Some(req.id), &e));
+                    clean = false;
+                }
+                Err(payload) => {
+                    // Even the serial rung panicking must not take the
+                    // session down: typed error, supervisor counts it.
+                    self.metrics.inc("serve.errors");
+                    self.metrics.inc("serve.session_restarts");
+                    out.push(error_response(
+                        Some(req.id),
+                        &Error::SessionFailed {
+                            session: self.id,
+                            message: panic_message(payload.as_ref()),
+                        },
+                    ));
+                    clean = false;
+                }
+            }
+        }
+        clean
+    }
+
+    fn push_deadline_error(&self, id: u64, budget_ms: u64, arrived: Instant, out: &mut Vec<Json>) {
+        self.metrics.inc("serve.deadline_missed");
+        self.metrics.inc("serve.errors");
+        out.push(error_response(
+            Some(id),
+            &Error::DeadlineExceeded {
+                budget_ms,
+                elapsed_ms: arrived.elapsed().as_millis() as u64,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{VolumeCache, VolumeKey};
+    use crate::protocol::FaultSpec;
+    use std::sync::Once;
+
+    fn quiet_panics() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            std::panic::set_hook(Box::new(|_| {}));
+        });
+    }
+
+    fn test_session(budget: Arc<WorkerBudget>, metrics: ServeMetrics) -> Session {
+        let cache = VolumeCache::new();
+        let enc = cache
+            .get(&VolumeKey {
+                phantom: "mri".into(),
+                base: 20,
+                seed: 11,
+                transfer: String::new(),
+            })
+            .expect("phantom encodes");
+        let cfg = Arc::new(ServeConfig {
+            degrade_after: 2,
+            recover_after: 2,
+            ..ServeConfig::default()
+        });
+        Session::new(1, enc, 2, cfg, budget, metrics)
+    }
+
+    fn render_req(id: u64) -> RenderReq {
+        RenderReq {
+            id,
+            angle_x: 12.0,
+            angle_y: 30.0,
+            zoom: 1.0,
+            frames: 1,
+            step: 3.0,
+            deadline_ms: Some(60_000),
+            want_pixels: false,
+            fault: None,
+        }
+    }
+
+    fn first_type(out: &[Json]) -> &str {
+        out[0].get("type").and_then(Json::as_str).expect("typed")
+    }
+
+    #[test]
+    fn clean_request_renders_full_quality() {
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        let mut out = Vec::new();
+        s.handle_render(&render_req(1), Instant::now(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(first_type(&out), "frame");
+        assert_eq!(out[0].get("quality").and_then(Json::as_str), Some("full"));
+        assert_eq!(m.counter("serve.frames"), 1);
+        assert_eq!(s.level(), Level::Full);
+    }
+
+    #[test]
+    fn exhausted_budget_sheds_and_steps_the_ladder_down() {
+        let m = ServeMetrics::new();
+        let budget = WorkerBudget::new(2);
+        let hog = budget.acquire_up_to(2).expect("hog the whole budget");
+        let mut s = test_session(Arc::clone(&budget), m.clone());
+        // Two consecutive sheds step Full -> Reduced; two more step
+        // Reduced -> SerialOnly, where rendering succeeds without a lease.
+        for id in 0..4 {
+            let mut out = Vec::new();
+            s.handle_render(&render_req(id), Instant::now(), &mut out);
+            assert_eq!(first_type(&out), "error");
+            assert_eq!(
+                out[0].get("code").and_then(Json::as_str),
+                Some("overloaded")
+            );
+        }
+        assert_eq!(m.counter("serve.shed"), 4);
+        assert_eq!(s.level(), Level::SerialOnly);
+        assert_eq!(m.gauge("serve.degraded"), Some(1.0));
+        let mut out = Vec::new();
+        s.handle_render(&render_req(9), Instant::now(), &mut out);
+        assert_eq!(first_type(&out), "frame");
+        assert_eq!(out[0].get("quality").and_then(Json::as_str), Some("serial"));
+        // Load drops: consecutive healthy serial frames climb back to
+        // Full (2 to reach Reduced, 2 more to reach Full).
+        drop(hog);
+        for id in 10..13 {
+            let mut out = Vec::new();
+            s.handle_render(&render_req(id), Instant::now(), &mut out);
+            assert_eq!(first_type(&out), "frame");
+        }
+        assert_eq!(s.level(), Level::Full);
+        assert_eq!(m.gauge("serve.degraded"), Some(0.0));
+    }
+
+    #[test]
+    fn transient_fault_recovers_on_the_parallel_retry() {
+        quiet_panics();
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        let mut req = render_req(5);
+        // A truncated queue stalls the scheduler (no panic, rows provably
+        // lost); non-sticky, so the retry rung renders clean.
+        req.fault = Some(FaultSpec {
+            truncate_queue: Some(1000),
+            ..FaultSpec::default()
+        });
+        let mut out = Vec::new();
+        s.handle_render(&req, Instant::now(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(first_type(&out), "frame");
+        assert_eq!(out[0].get("attempts").and_then(Json::as_u64), Some(2));
+        assert_eq!(m.counter("serve.retries"), 1);
+        assert_eq!(m.counter("serve.serial_fallbacks"), 0);
+    }
+
+    #[test]
+    fn sticky_fault_walks_the_whole_ladder_to_serial() {
+        quiet_panics();
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        let mut req = render_req(6);
+        req.fault = Some(FaultSpec {
+            truncate_queue: Some(1000),
+            sticky: true,
+            ..FaultSpec::default()
+        });
+        let mut out = Vec::new();
+        s.handle_render(&req, Instant::now(), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(first_type(&out), "frame");
+        assert_eq!(out[0].get("quality").and_then(Json::as_str), Some("serial"));
+        assert_eq!(out[0].get("attempts").and_then(Json::as_u64), Some(3));
+        assert_eq!(m.counter("serve.retries"), 1);
+        assert_eq!(m.counter("serve.serial_fallbacks"), 1);
+    }
+
+    #[test]
+    fn sink_fault_is_contained_and_retried() {
+        quiet_panics();
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        let mut req = render_req(7);
+        req.fault = Some(FaultSpec {
+            panic_sink_at: Some(0),
+            ..FaultSpec::default()
+        });
+        let mut out = Vec::new();
+        s.handle_render(&req, Instant::now(), &mut out);
+        assert_eq!(first_type(&out), "frame");
+        assert_eq!(m.counter("serve.session_restarts"), 1);
+        assert_eq!(m.counter("serve.retries"), 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_refused_without_rendering() {
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        let mut req = render_req(8);
+        req.deadline_ms = Some(1);
+        let arrived = Instant::now() - Duration::from_millis(50);
+        let mut out = Vec::new();
+        s.handle_render(&req, arrived, &mut out);
+        assert_eq!(first_type(&out), "error");
+        assert_eq!(
+            out[0].get("code").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        assert_eq!(m.counter("serve.deadline_missed"), 1);
+        assert_eq!(m.counter("serve.frames"), 0);
+    }
+
+    #[test]
+    fn degenerate_view_is_a_typed_error_without_health_penalty() {
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        let mut req = render_req(9);
+        req.zoom = 0.0;
+        let mut out = Vec::new();
+        s.handle_render(&req, Instant::now(), &mut out);
+        assert_eq!(first_type(&out), "error");
+        assert_eq!(
+            out[0].get("code").and_then(Json::as_str),
+            Some("invalid_view")
+        );
+        assert_eq!(s.level(), Level::Full);
+    }
+
+    #[test]
+    fn multi_frame_request_answers_every_frame_in_order() {
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        let mut req = render_req(10);
+        req.frames = 3;
+        let mut out = Vec::new();
+        s.handle_render(&req, Instant::now(), &mut out);
+        assert_eq!(out.len(), 3);
+        for (i, resp) in out.iter().enumerate() {
+            assert_eq!(resp.get("frame").and_then(Json::as_u64), Some(i as u64));
+            assert_eq!(resp.get("id").and_then(Json::as_u64), Some(10));
+        }
+        assert_eq!(m.counter("serve.frames"), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! `swr-serve` — the fault-isolated shear-warp render daemon.
+//!
+//! Listens on a TCP socket speaking the line-delimited JSON protocol
+//! `swr-serve/1` (see `crates/serve`). Each connection is a supervised
+//! session with per-request deadlines, a retry ladder (parallel → parallel
+//! retry → bit-identical serial fallback → typed error), global worker
+//! admission control, and a graceful-degradation quality ladder. A fault
+//! in one session never takes down another session or the daemon.
+//!
+//! ```text
+//! swr-serve --addr 127.0.0.1:7421 --budget 8
+//! ```
+//!
+//! Exit codes: `0` clean shutdown (SIGTERM/SIGINT), `1` I/O failure,
+//! `2` usage, `4` service failure.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use swr_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "swr-serve — shear-warp render service (protocol swr-serve/1)
+
+  --addr HOST:PORT        listen address (default 127.0.0.1:0, port printed
+                          on stdout as `listening on ...`)
+  --budget N              global worker budget shared by all sessions
+                          (default 8); exhaustion sheds requests
+  --session-threads N     per-session worker ceiling (default 4)
+  --queue-depth N         per-session pending-request bound (default 16);
+                          overflow is shed with a typed `overloaded`
+  --deadline-ms MS        default per-request deadline (default 30000)
+  --watchdog-ms MS        scheduler watchdog ceiling, clamped per render to
+                          the remaining deadline (0 disables; env
+                          SWR_WATCHDOG_MS; default 10000)
+  --degrade-after N       consecutive faulted/shed requests before a session
+                          steps down the quality ladder (default 3)
+  --recover-after N       consecutive healthy requests before it steps back
+                          up (default 2)
+
+SIGTERM or SIGINT shuts the daemon down cleanly: live sockets are closed,
+in-flight requests finish, and the process exits 0."
+    );
+    std::process::exit(2)
+}
+
+/// Async-signal-safe shutdown flag, raised by the SIGTERM/SIGINT handler.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: anything more is off-limits in a handler.
+        STOP.store(true, Ordering::Release);
+    }
+
+    // The environment has no libc crate, so bind the one symbol needed
+    // directly. `sighandler_t` is pointer-sized on every Linux target.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `on_signal` is an `extern "C" fn(i32)` doing only an
+        // atomic store, which is async-signal-safe; the handler address
+        // stays valid for the life of the process.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
+
+fn parse() -> ServeConfig {
+    let mut cfg = ServeConfig::default();
+    if let Ok(ms) = std::env::var("SWR_WATCHDOG_MS") {
+        match ms.parse::<u64>() {
+            Ok(0) => cfg.watchdog = Duration::from_secs(3600),
+            Ok(ms) => cfg.watchdog = Duration::from_millis(ms),
+            Err(_) => {
+                eprintln!("SWR_WATCHDOG_MS must be an integer, got {ms:?}");
+                usage()
+            }
+        }
+    }
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("flag {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--budget" => cfg.budget = val("--budget").parse().unwrap_or_else(|_| usage()),
+            "--session-threads" => {
+                cfg.max_threads_per_session =
+                    val("--session-threads").parse().unwrap_or_else(|_| usage());
+                if cfg.max_threads_per_session == 0 {
+                    eprintln!("--session-threads must be >= 1");
+                    usage()
+                }
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = val("--queue-depth").parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms = val("--deadline-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--watchdog-ms" => {
+                let ms: u64 = val("--watchdog-ms").parse().unwrap_or_else(|_| usage());
+                // The service always needs *a* stall bound (deadlines depend
+                // on it); "disabled" maps to an hour, effectively off.
+                cfg.watchdog = if ms == 0 {
+                    Duration::from_secs(3600)
+                } else {
+                    Duration::from_millis(ms)
+                };
+            }
+            "--degrade-after" => {
+                cfg.degrade_after = val("--degrade-after").parse().unwrap_or_else(|_| usage())
+            }
+            "--recover-after" => {
+                cfg.recover_after = val("--recover-after").parse().unwrap_or_else(|_| usage())
+            }
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse();
+    // Worker panics are contained by the supervision ladder and answered
+    // with typed responses; log them as one line, not a backtrace per
+    // injected fault.
+    std::panic::set_hook(Box::new(|info| {
+        eprintln!("swr-serve: contained panic: {info}");
+    }));
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swr-serve: {e}");
+            std::process::exit(e.exit_code())
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swr-serve: {e}");
+            std::process::exit(e.exit_code())
+        }
+    };
+    // Announced on stdout so harnesses can scrape the ephemeral port.
+    println!("listening on {addr}");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    sig::install();
+    let stop = server.stop_flag();
+    std::thread::spawn(move || loop {
+        if sig::STOP.load(Ordering::Acquire) {
+            stop.store(true, Ordering::Release);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+
+    match server.run() {
+        Ok(()) => {
+            eprintln!("swr-serve: clean shutdown");
+        }
+        Err(e) => {
+            eprintln!("swr-serve: {e}");
+            std::process::exit(e.exit_code())
+        }
+    }
+}

@@ -10,7 +10,8 @@
 //! ```
 
 //! Exit codes: `0` success, `1` I/O failure, `2` usage / invalid arguments,
-//! `3` render fault (worker panic, scheduler stall).
+//! `3` render fault (worker panic, scheduler stall), `4` service/session
+//! error (client mode: shed, blown deadline, failed session).
 
 use shearwarp::prelude::*;
 use shearwarp::volume::io::{try_load_raw, try_load_volume};
@@ -31,6 +32,7 @@ struct Cli {
     fast_classify: bool,
     algorithm: String,
     threads: usize,
+    watchdog_ms: Option<u64>,
     frames: usize,
     step: f64,
     animate: Option<usize>,
@@ -41,6 +43,9 @@ struct Cli {
     breakdown: bool,
     simulate: Option<String>,
     bench: bool,
+    connect: Option<String>,
+    deadline_ms: Option<u64>,
+    fault_json: Option<String>,
 }
 
 impl Default for Cli {
@@ -61,6 +66,7 @@ impl Default for Cli {
             fast_classify: false,
             algorithm: "new".into(),
             threads: 4,
+            watchdog_ms: None,
             frames: 1,
             step: 3.0,
             animate: None,
@@ -71,7 +77,26 @@ impl Default for Cli {
             breakdown: false,
             simulate: None,
             bench: false,
+            connect: None,
+            deadline_ms: None,
+            fault_json: None,
         }
+    }
+}
+
+impl Cli {
+    /// Parallel-renderer configuration with the watchdog override applied
+    /// (`--watchdog-ms`, falling back to `SWR_WATCHDOG_MS`; `0` disables).
+    fn pcfg(&self) -> ParallelConfig {
+        let mut cfg = ParallelConfig::with_procs(self.threads);
+        if let Some(ms) = self.watchdog_ms {
+            cfg.watchdog_timeout = if ms == 0 {
+                None
+            } else {
+                Some(std::time::Duration::from_millis(ms))
+            };
+        }
+        cfg
     }
 }
 
@@ -95,6 +120,9 @@ rendering:
   --fast-classify              min-max accelerated classification
   --algorithm serial|old|new   renderer (default new)
   --threads T                  worker threads for parallel renderers
+  --watchdog-ms MS             scheduler stall watchdog for the parallel
+                               renderers (0 disables; env SWR_WATCHDOG_MS;
+                               default 10000)
   --frames N --step D          rotation animation (N frames, D deg/frame),
                                rendered one frame at a time
   --animate N                  render an N-frame rotation animation on the
@@ -116,6 +144,17 @@ telemetry:
                                machine instead of rendering natively; spans
                                are in virtual cycles, no PPM is written
                                (requires --algorithm old|new)
+
+render service (client mode):
+  --connect HOST:PORT          render through a running swr-serve daemon
+                               instead of locally: opens a session for the
+                               configured phantom and renders --frames
+                               frames remotely (writes PPMs, prints one
+                               `frame N quality=... hash=...` line each)
+  --deadline-ms MS             per-request deadline sent with the render
+  --fault-json JSON            chaos: attach a fault object to the render
+                               request, e.g. '{{\"panic_at_task\":1}}'
+                               (see crates/serve protocol docs)
 
 benchmarking:
   --bench                      run the wall-clock benchmark sweep (serial vs
@@ -198,6 +237,9 @@ fn parse() -> Cli {
                     usage()
                 }
             }
+            "--watchdog-ms" => {
+                cli.watchdog_ms = Some(val("--watchdog-ms").parse().unwrap_or_else(|_| usage()))
+            }
             "--frames" => cli.frames = val("--frames").parse().unwrap_or_else(|_| usage()),
             "--step" => cli.step = val("--step").parse().unwrap_or_else(|_| usage()),
             "--animate" => {
@@ -214,11 +256,27 @@ fn parse() -> Cli {
             "--breakdown" => cli.breakdown = true,
             "--simulate" => cli.simulate = Some(val("--simulate")),
             "--bench" => cli.bench = true,
+            "--connect" => cli.connect = Some(val("--connect")),
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(val("--deadline-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--fault-json" => cli.fault_json = Some(val("--fault-json")),
             "-o" | "--output" => cli.output = val("--output"),
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
+            }
+        }
+    }
+    if cli.watchdog_ms.is_none() {
+        if let Ok(ms) = std::env::var("SWR_WATCHDOG_MS") {
+            match ms.parse::<u64>() {
+                Ok(v) => cli.watchdog_ms = Some(v),
+                Err(_) => {
+                    eprintln!("SWR_WATCHDOG_MS must be an integer, got {ms:?}");
+                    usage()
+                }
             }
         }
     }
@@ -252,10 +310,194 @@ fn run_bench() -> ! {
     std::process::exit(2)
 }
 
+/// Client mode (`--connect`): renders through a running `swr-serve` daemon
+/// over the `swr-serve/1` line-delimited JSON protocol instead of locally.
+/// Writes the received frames as PPMs and prints one
+/// `frame N quality=... hash=...` line per frame on stdout. Exits with the
+/// class of the worst error response received (the same exit-code table as
+/// local rendering: 1 I/O, 2 usage, 3 render fault, 4 service error).
+fn run_client(cli: &Cli, addr: &str) -> ! {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use swr_error::wire_exit_code;
+
+    let die = |msg: String, code: i32| -> ! {
+        eprintln!("swrender: {msg}");
+        std::process::exit(code)
+    };
+    if cli.input.is_some() || cli.raw.is_some() {
+        die(
+            "--connect renders server-side phantoms; --input/--raw are local-only".into(),
+            2,
+        );
+    }
+    let phantom = match cli.phantom {
+        Some(Phantom::MriBrain) => "mri",
+        Some(Phantom::CtHead) => "ct",
+        Some(Phantom::SolidEllipsoid) => "ellipsoid",
+        None => "mri",
+    };
+    let fault = cli.fault_json.as_ref().map(|raw| {
+        Json::parse(raw).unwrap_or_else(|e| {
+            eprintln!("--fault-json is not valid JSON: {e}");
+            usage()
+        })
+    });
+
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| die(format!("cannot connect to {addr}: {e}"), 1));
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+        .unwrap_or_else(|e| die(format!("socket setup failed: {e}"), 1));
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .unwrap_or_else(|e| die(format!("socket setup failed: {e}"), 1)),
+    );
+    let mut tx = stream;
+    let mut send = |doc: &Json| {
+        let mut line = doc.to_string();
+        line.push('\n');
+        tx.write_all(line.as_bytes())
+            .unwrap_or_else(|e| die(format!("send failed: {e}"), 1));
+    };
+    let mut recv = || -> Json {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => die("server closed the connection".into(), 4),
+            Ok(_) => {}
+            Err(e) => die(format!("receive failed: {e}"), 1),
+        }
+        Json::parse(line.trim()).unwrap_or_else(|e| die(format!("malformed response line: {e}"), 4))
+    };
+
+    send(
+        &Json::obj()
+            .with("op", Json::Str("hello".into()))
+            .with("phantom", Json::Str(phantom.into()))
+            .with("base", Json::U64(cli.base as u64))
+            .with("seed", Json::U64(cli.seed))
+            .with("transfer", Json::Str(cli.transfer.clone()))
+            .with("threads", Json::U64(cli.threads as u64)),
+    );
+    let hello = recv();
+    if hello.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = hello
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("protocol");
+        let msg = hello
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("hello refused");
+        die(
+            format!("server error [{code}]: {msg}"),
+            wire_exit_code(code),
+        );
+    }
+    eprintln!(
+        "session {} open on {addr} ({} threads granted)",
+        hello.get("session").and_then(Json::as_u64).unwrap_or(0),
+        hello.get("threads").and_then(Json::as_u64).unwrap_or(0),
+    );
+
+    let frames = cli.frames.max(1);
+    let mut render = Json::obj()
+        .with("op", Json::Str("render".into()))
+        .with("id", Json::U64(1))
+        .with("angle_x", Json::F64(cli.angle_x))
+        .with("angle_y", Json::F64(cli.angle_y))
+        .with("zoom", Json::F64(cli.zoom))
+        .with("frames", Json::U64(frames as u64))
+        .with("step", Json::F64(cli.step))
+        .with("want_pixels", Json::Bool(true));
+    if let Some(ms) = cli.deadline_ms {
+        render.set("deadline_ms", Json::U64(ms));
+    }
+    if let Some(f) = fault {
+        render.set("fault", f);
+    }
+    send(&render);
+    // Responses stream back in order; `bye` marks the end of ours.
+    send(&Json::obj().with("op", Json::Str("bye".into())));
+
+    let mut worst = 0;
+    loop {
+        let resp = recv();
+        match resp.get("type").and_then(Json::as_str) {
+            Some("frame") => {
+                let n = resp.get("frame").and_then(Json::as_u64).unwrap_or(0);
+                let quality = resp.get("quality").and_then(Json::as_str).unwrap_or("?");
+                let attempts = resp.get("attempts").and_then(Json::as_u64).unwrap_or(1);
+                let hash = resp.get("hash").and_then(Json::as_str).unwrap_or("?");
+                if let Some(img) = decode_frame(&resp) {
+                    let path = if frames > 1 {
+                        format!("{}{n:04}.ppm", cli.output.trim_end_matches(".ppm"))
+                    } else {
+                        cli.output.clone()
+                    };
+                    std::fs::write(&path, img.to_ppm())
+                        .unwrap_or_else(|e| die(format!("cannot write {path}: {e}"), 1));
+                    eprintln!("frame {n}: {}x{} -> {path}", img.width(), img.height());
+                }
+                println!("frame {n} quality={quality} attempts={attempts} hash={hash}");
+            }
+            Some("error") => {
+                let code = resp
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("protocol");
+                let msg = resp
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown");
+                eprintln!("swrender: server error [{code}]: {msg}");
+                worst = worst.max(wire_exit_code(code));
+            }
+            Some("bye") => break,
+            other => die(format!("unexpected response type {other:?}"), 4),
+        }
+    }
+    std::process::exit(worst)
+}
+
+/// Rebuilds a [`FinalImage`] from a frame response's hex `pixels` payload
+/// (8 hex digits per RGBA pixel, row-major). `None` when pixels were not
+/// requested or the payload is inconsistent with the advertised size.
+fn decode_frame(resp: &Json) -> Option<FinalImage> {
+    let w = resp.get("width").and_then(Json::as_u64)? as usize;
+    let h = resp.get("height").and_then(Json::as_u64)? as usize;
+    let hex = resp.get("pixels").and_then(Json::as_str)?;
+    if hex.len() != w * h * 8 {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            _ => None,
+        }
+    };
+    let bytes = hex.as_bytes();
+    let mut img = FinalImage::new(w, h);
+    for i in 0..w * h {
+        let mut px = [0u8; 4];
+        for (c, slot) in px.iter_mut().enumerate() {
+            let j = i * 8 + c * 2;
+            *slot = nibble(bytes[j])? << 4 | nibble(bytes[j + 1])?;
+        }
+        img.set(i % w, i / w, px);
+    }
+    Some(img)
+}
+
 fn main() {
     let mut cli = parse();
     if cli.bench {
         run_bench();
+    }
+    if let Some(addr) = cli.connect.clone() {
+        run_client(&cli, &addr);
     }
     if cli.animate.is_some() {
         if cli.algorithm != "new" {
@@ -341,12 +583,12 @@ fn main() {
             AnyRenderer::Serial(Box::new(r))
         }
         "old" => {
-            let mut r = OldParallelRenderer::new(ParallelConfig::with_procs(cli.threads));
+            let mut r = OldParallelRenderer::new(cli.pcfg());
             r.composite_opts = composite_opts;
             AnyRenderer::Old(Box::new(r))
         }
         "new" => {
-            let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(cli.threads));
+            let mut r = NewParallelRenderer::new(cli.pcfg());
             r.composite_opts = composite_opts;
             AnyRenderer::New(Box::new(r))
         }
@@ -374,7 +616,7 @@ fn main() {
         // Pipelined animation: the pool persists across frames and frame
         // N+1's compositing overlaps frame N's warp. Frames arrive in
         // order on this thread while later frames are still rendering.
-        let mut pipe = AnimationPipeline::new(ParallelConfig::with_procs(cli.threads));
+        let mut pipe = AnimationPipeline::new(cli.pcfg());
         pipe.composite_opts = composite_opts;
         let views: Vec<ViewSpec> = (0..nframes).map(|f| view_at(f).0).collect();
         let t0 = std::time::Instant::now();
@@ -481,7 +723,7 @@ fn simulate(
             usage()
         }
     };
-    let pcfg = ParallelConfig::with_procs(cli.threads);
+    let pcfg = cli.pcfg();
     let mut machine = Machine::new(platform, cli.threads);
     let mut prev_profile: Option<Vec<u64>> = None;
     for frame in 0..cli.frames.max(1) {

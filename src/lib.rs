@@ -24,6 +24,10 @@
 //!   exporters (Chrome/Perfetto trace-event JSON, per-worker breakdown
 //!   tables, metrics JSON) shared by the native renderers and the memsim
 //!   replay scheduler.
+//! * [`serve`] — the fault-isolated render service: a line-delimited JSON
+//!   protocol, per-session supervision (deadlines, retry ladder, admission
+//!   control, graceful degradation), and the shared worker budget behind
+//!   the `swr-serve` daemon.
 //!
 //! ## Quickstart
 //!
@@ -47,10 +51,11 @@ pub use swr_geom as geom;
 pub use swr_memsim as memsim;
 pub use swr_raycast as raycast;
 pub use swr_render as render;
+pub use swr_serve as serve;
 pub use swr_telemetry as telemetry;
 pub use swr_volume as volume;
 
-pub use swr_error::{Error, Result};
+pub use swr_error::{wire_exit_code, Error, Result};
 
 /// Deterministic fault injection for the parallel renderers (worker panics
 /// at the Nth task, corrupted/zeroed work profiles, truncated steal queues).

@@ -231,6 +231,54 @@ fn reused_plan_rearms_with_reset() {
 }
 
 #[test]
+fn exit_code_table_matches_the_swrender_contract() {
+    // The CLI's documented table: 1 I/O, 2 usage, 3 render fault,
+    // 4 service/session. Every fault this suite injects must land in
+    // class 3; the service layer's refusals land in class 4; and the
+    // client-side wire mapping must agree with both.
+    let render_faults = [
+        Error::WorkerPanicked {
+            worker: 0,
+            message: "injected".into(),
+        },
+        Error::Stalled {
+            row: 3,
+            holder: None,
+            waited_ms: 1,
+        },
+    ];
+    for e in &render_faults {
+        assert_eq!(e.exit_code(), 3, "{e}");
+        assert_eq!(swr_error::wire_exit_code(e.wire_code()), 3, "{e}");
+    }
+    let service_faults = [
+        Error::Overloaded {
+            reason: "budget exhausted".into(),
+        },
+        Error::DeadlineExceeded {
+            budget_ms: 5,
+            elapsed_ms: 9,
+        },
+        Error::Protocol {
+            reason: "bad line".into(),
+        },
+        Error::SessionFailed {
+            session: 1,
+            message: "supervised".into(),
+        },
+    ];
+    for e in &service_faults {
+        assert_eq!(e.exit_code(), 4, "{e}");
+        assert_eq!(swr_error::wire_exit_code(e.wire_code()), 4, "{e}");
+    }
+    assert_eq!(
+        Error::InvalidView { reason: "x".into() }.exit_code(),
+        2,
+        "usage class unchanged"
+    );
+}
+
+#[test]
 fn clean_frames_report_no_degradation() {
     let (enc, view) = scene();
     let mut r = NewParallelRenderer::new(ParallelConfig::with_procs(3));

@@ -113,6 +113,25 @@ impl Condvar {
         );
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] exactly as the real crate does; spurious
+    /// wakeups remain possible, so callers still loop on their predicate.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard holds the lock");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes one parked waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -130,9 +149,31 @@ impl fmt::Debug for Condvar {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wait_for_times_out_without_notification() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
 
     #[test]
     fn lock_after_panicking_holder_succeeds() {
