@@ -58,7 +58,9 @@ use swr_render::{
     composite::occupied_y_bounds, warp_row_band, CompositeOpts, FinalImage, IntermediateImage,
     NullTracer, SharedFinal, SharedIntermediate,
 };
-use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind, WorkerLog};
+use swr_telemetry::{
+    us_to_secs, Correlation, FrameClock, FrameTelemetry, MetricsRegistry, SpanKind, WorkerLog,
+};
 use swr_volume::EncodedVolume;
 
 /// Completed frames buffered between the driver and the consumer. Two is
@@ -317,7 +319,14 @@ pub struct AnimationPipeline {
     /// Spans carry their frame id and all frames share one clock, so an
     /// exported trace shows frame N+1's composite spans overlapping frame
     /// N's warp spans. Capped at [`TELEMETRY_CAP`] frames (earliest kept).
+    /// A *failed* animation retains the frames resolved before the fault —
+    /// including a final partial frame harvested at the fault itself — so
+    /// a supervisor can feed a flight recorder with the spans of the frame
+    /// that died.
     pub telemetry: Vec<FrameTelemetry>,
+    /// Correlation ids stamped onto every frame's telemetry (the service
+    /// sets this per request; standalone renders leave it `None`).
+    pub correlation: Option<Correlation>,
     state: ProfileState,
 }
 
@@ -409,6 +418,7 @@ impl AnimationPipeline {
         let drive = DriverCtx {
             cfg: &self.cfg,
             composite_opts: self.composite_opts,
+            correlation: self.correlation,
             fault: self.fault.as_ref(),
             enc,
             views,
@@ -423,8 +433,10 @@ impl AnimationPipeline {
         };
 
         // The vendored scoped-thread shim has no join handles, so the
-        // driver parks its result here before the scope joins it.
-        type DriverOut = Result<(ProfileState, Vec<FrameTelemetry>), Error>;
+        // driver parks its result here before the scope joins it. The
+        // telemetry rides outside the Result so a faulted animation still
+        // hands back the frames it resolved before dying.
+        type DriverOut = (Result<ProfileState, Error>, Vec<FrameTelemetry>);
         let driver_out: Mutex<Option<DriverOut>> = Mutex::new(None);
         let scope_out = crossbeam::scope(|s| {
             for p in 0..nprocs {
@@ -465,16 +477,20 @@ impl AnimationPipeline {
         });
         if let Err(payload) = scope_out {
             // A panic in `sink` (workers and the driver contain theirs):
-            // re-raise it on the caller's thread.
+            // keep whatever telemetry the driver parked — a supervisor's
+            // flight recorder wants the dying frames — then re-raise it on
+            // the caller's thread.
+            if let Some((_, telemetry)) = driver_out.lock().take() {
+                self.telemetry = telemetry;
+            }
             std::panic::resume_unwind(payload);
         }
-        let out = driver_out
+        let (out, telemetry) = driver_out
             .lock()
             .take()
             .expect("the driver completes before the scope joins");
-        let (state, telemetry) = out?;
-        self.state = state;
         self.telemetry = telemetry;
+        self.state = out?;
         Ok(())
     }
 
@@ -674,6 +690,7 @@ impl WorkerCtx<'_, '_> {
 struct DriverCtx<'a, 'img> {
     cfg: &'a ParallelConfig,
     composite_opts: CompositeOpts,
+    correlation: Option<Correlation>,
     fault: Option<&'a FaultPlan>,
     enc: &'a EncodedVolume,
     views: &'a [ViewSpec],
@@ -691,16 +708,20 @@ impl DriverCtx<'_, '_> {
     /// The driver loop: publish frame N+1, then resolve frame N — the
     /// two-frame window falls straight out of this ordering. Always shuts
     /// the gate and closes the ring on the way out, error or not.
-    fn run(&self, state: ProfileState) -> Result<(ProfileState, Vec<FrameTelemetry>), Error> {
-        let out = self.drive(state);
+    fn run(&self, state: ProfileState) -> (Result<ProfileState, Error>, Vec<FrameTelemetry>) {
+        let mut telemetry = Vec::new();
+        let out = self.drive(state, &mut telemetry);
         self.gate.shutdown();
         self.ring.close();
-        out
+        (out, telemetry)
     }
 
-    fn drive(&self, mut state: ProfileState) -> Result<(ProfileState, Vec<FrameTelemetry>), Error> {
+    fn drive(
+        &self,
+        mut state: ProfileState,
+        telemetry: &mut Vec<FrameTelemetry>,
+    ) -> Result<ProfileState, Error> {
         let nframes = self.views.len();
-        let mut telemetry = Vec::new();
         let mut cum_profile: Vec<u64> = Vec::new();
         // The driver's own copies of each in-flight frame's parameters.
         let mut in_flight: [Option<Arc<SlotParams>>; 2] = [None, None];
@@ -709,12 +730,12 @@ impl DriverCtx<'_, '_> {
             in_flight[frame % 2] = Some(self.publish(frame, &mut state, &mut cum_profile));
             if frame >= 1 {
                 let params = in_flight[(frame - 1) % 2].take().expect("published");
-                self.resolve(params, &mut state, &mut telemetry, &mut last_completion_us)?;
+                self.resolve(params, &mut state, telemetry, &mut last_completion_us)?;
             }
         }
         let params = in_flight[(nframes - 1) % 2].take().expect("published");
-        self.resolve(params, &mut state, &mut telemetry, &mut last_completion_us)?;
-        Ok((state, telemetry))
+        self.resolve(params, &mut state, telemetry, &mut last_completion_us)?;
+        Ok(state)
     }
 
     /// Arms the parity slot for `frame` and releases the workers into it.
@@ -909,6 +930,7 @@ impl DriverCtx<'_, '_> {
             stats.worker_panics = worker_panics.len() as u64;
             if !self.cfg.recover_panics {
                 let (worker, message) = worker_panics[0].clone();
+                self.harvest_faulted(&params, &stats, telemetry, "worker_panic");
                 return Err(Error::WorkerPanicked { worker, message });
             }
             stats.degraded = true;
@@ -944,6 +966,7 @@ impl DriverCtx<'_, '_> {
                 UNCLAIMED => None,
                 w => Some(w),
             };
+            self.harvest_faulted(&params, &stats, telemetry, "stall");
             return Err(Error::Stalled {
                 row,
                 holder,
@@ -978,34 +1001,13 @@ impl DriverCtx<'_, '_> {
         *last_completion_us = completion_us;
 
         if telemetry.len() < TELEMETRY_CAP {
-            let cap = if telem::collect() { telem::SPAN_CAP } else { 0 };
-            let driver = std::mem::replace(
-                &mut *slot.driver_log.lock(),
-                WorkerLog::new(WorkerLog::DRIVER, if telem::collect() { 256 } else { 0 }),
-            );
-            let workers: Vec<parking_lot::Mutex<WorkerLog>> = slot
-                .logs
-                .iter()
-                .enumerate()
-                .map(|(p, log)| {
-                    parking_lot::Mutex::new(std::mem::replace(
-                        &mut *log.lock(),
-                        WorkerLog::new(p, cap),
-                    ))
-                })
-                .collect();
             let frames_since = state.frames_since;
-            let mut t = telem::finish_frame("pipeline", self.clock, driver, workers, &stats, |m| {
+            let t = self.harvest(&params, completion_us, &stats, |m| {
                 m.inc("watchdog.arms", slot.watchdog_arms.load(Ordering::Relaxed));
                 m.set_gauge("profile.frames_since", frames_since as f64);
                 m.set_gauge("pipeline.overlap_us", overlap_us as f64);
                 m.set_gauge("pipeline.in_flight_max", 2.0);
             });
-            // The animation shares one clock: scope this frame's span to
-            // its own publish→completion interval and tag it.
-            t.frame_span.start = params.publish_us;
-            t.frame_span.end = completion_us;
-            t.frame_span.frame = frame as u32;
             telemetry.push(t);
         }
 
@@ -1013,6 +1015,63 @@ impl DriverCtx<'_, '_> {
         let img = unsafe { out.snapshot() };
         self.ring.push((frame, img, stats));
         Ok(())
+    }
+
+    /// Swaps the slot's span logs out into one frame of telemetry (fresh
+    /// logs go back in), stamped with the pipeline's correlation ids and
+    /// scoped to the frame's publish→`end` interval. The animation shares
+    /// one clock, so spans of overlapping frames stay comparable.
+    fn harvest(
+        &self,
+        params: &SlotParams,
+        end: u64,
+        stats: &RenderStats,
+        extra: impl FnOnce(&mut MetricsRegistry),
+    ) -> FrameTelemetry {
+        let frame = params.frame;
+        let slot = &self.slots[frame % 2];
+        let cap = if telem::collect() { telem::SPAN_CAP } else { 0 };
+        let driver = std::mem::replace(
+            &mut *slot.driver_log.lock(),
+            WorkerLog::new(WorkerLog::DRIVER, if telem::collect() { 256 } else { 0 }),
+        );
+        let workers: Vec<parking_lot::Mutex<WorkerLog>> = slot
+            .logs
+            .iter()
+            .enumerate()
+            .map(|(p, log)| {
+                parking_lot::Mutex::new(std::mem::replace(&mut *log.lock(), WorkerLog::new(p, cap)))
+            })
+            .collect();
+        let mut t = telem::finish_frame("pipeline", self.clock, driver, workers, stats, extra);
+        t.frame_span.start = params.publish_us;
+        t.frame_span.end = end;
+        t.frame_span.frame = frame as u32;
+        t.correlation = self.correlation;
+        t
+    }
+
+    /// Dump hook for the fault paths: harvests the dying frame's spans
+    /// into the telemetry before `resolve` returns its typed error, so a
+    /// supervisor's flight recorder sees what every worker was doing when
+    /// the frame failed. The frame is tagged with a `frame.faulted`
+    /// counter and the fault kind.
+    fn harvest_faulted(
+        &self,
+        params: &SlotParams,
+        stats: &RenderStats,
+        telemetry: &mut Vec<FrameTelemetry>,
+        kind: &str,
+    ) {
+        if telemetry.len() >= TELEMETRY_CAP {
+            return;
+        }
+        let end = self.clock.now_us();
+        let t = self.harvest(params, end, stats, |m| {
+            m.inc("frame.faulted", 1);
+            m.inc(&format!("frame.faulted.{kind}"), 1);
+        });
+        telemetry.push(t);
     }
 }
 

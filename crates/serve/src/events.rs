@@ -1,0 +1,154 @@
+//! Structured operational event log.
+//!
+//! Every state transition the supervision ladder takes — session open and
+//! close, retry rungs, degrade/recover moves, shed decisions, deadline
+//! misses, flight-recorder dumps — emits one JSON object on its own line
+//! (JSONL), built on the workspace's own [`Json`] value. The log is
+//! append-only and grep-friendly: one `rg '"event":"degrade"' events.jsonl`
+//! reconstructs a session's quality history, and every line carries the
+//! `session`/`request` correlation ids, so events line up with metric
+//! increments and flight-recorder spans recorded for the same request.
+//!
+//! A bounded in-memory ring of the most recent events is always kept (for
+//! tests and post-mortem inspection via [`EventLog::recent`]); writing to a
+//! file is optional. Emitting never blocks the render path on disk: the
+//! file write happens under its own mutex, outside the ring's.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+use swr_error::Error;
+use swr_telemetry::Json;
+
+/// Events retained in the in-memory ring.
+pub const RECENT_CAP: usize = 256;
+
+#[derive(Debug)]
+struct Inner {
+    file: Option<Mutex<File>>,
+    recent: Mutex<VecDeque<Json>>,
+}
+
+/// Clonable handle to the service's JSONL event stream.
+#[derive(Debug, Clone)]
+pub struct EventLog(Arc<Inner>);
+
+impl EventLog {
+    /// An in-memory-only log (no file sink).
+    pub fn in_memory() -> Self {
+        EventLog(Arc::new(Inner {
+            file: None,
+            recent: Mutex::new(VecDeque::new()),
+        }))
+    }
+
+    /// A log that appends each event line to `path` as well.
+    pub fn to_file(path: &str) -> Result<Self, Error> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog(Arc::new(Inner {
+            file: Some(Mutex::new(file)),
+            recent: Mutex::new(VecDeque::new()),
+        })))
+    }
+
+    /// Records one event. `request` is absent for session-scoped events
+    /// (open/close); `fields` carries event-specific detail (reason codes,
+    /// ladder levels, file paths).
+    pub fn emit(&self, event: &str, session: u64, request: Option<u64>, fields: &[(&str, Json)]) {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut obj = vec![
+            ("ts_ms".to_string(), Json::U64(ts_ms)),
+            ("event".to_string(), Json::Str(event.to_string())),
+            ("session".to_string(), Json::U64(session)),
+        ];
+        if let Some(r) = request {
+            obj.push(("request".to_string(), Json::U64(r)));
+        }
+        for (k, v) in fields {
+            obj.push((k.to_string(), v.clone()));
+        }
+        let line = Json::Obj(obj);
+        if let Some(file) = &self.0.file {
+            let mut f = file.lock();
+            let _ = writeln!(f, "{line}");
+        }
+        let mut recent = self.0.recent.lock();
+        if recent.len() == RECENT_CAP {
+            recent.pop_front();
+        }
+        recent.push_back(line);
+    }
+
+    /// The most recent events, oldest first.
+    pub fn recent(&self) -> Vec<Json> {
+        self.0.recent.lock().iter().cloned().collect()
+    }
+
+    /// Events of one kind from the ring, oldest first.
+    pub fn recent_of(&self, event: &str) -> Vec<Json> {
+        self.recent()
+            .into_iter()
+            .filter(|e| e.get("event").and_then(Json::as_str) == Some(event))
+            .collect()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_correlation_and_custom_fields() {
+        let log = EventLog::in_memory();
+        log.emit("session_open", 7, None, &[]);
+        log.emit(
+            "degrade",
+            7,
+            Some(3),
+            &[("to", Json::Str("reduced".into()))],
+        );
+        let recent = log.recent();
+        assert_eq!(recent.len(), 2);
+        let d = &recent[1];
+        assert_eq!(d.get("event").and_then(Json::as_str), Some("degrade"));
+        assert_eq!(d.get("session").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(d.get("request").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(d.get("to").and_then(Json::as_str), Some("reduced"));
+        assert!(d.get("ts_ms").and_then(Json::as_f64).is_some());
+        assert_eq!(log.recent_of("degrade").len(), 1);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_file_sink_writes_jsonl() {
+        let dir = std::env::temp_dir().join(format!("swr-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("events.jsonl");
+        let log = EventLog::to_file(path.to_str().expect("utf-8 path")).expect("open sink");
+        for i in 0..RECENT_CAP + 10 {
+            log.emit("tick", 1, Some(i as u64), &[]);
+        }
+        let recent = log.recent();
+        assert_eq!(recent.len(), RECENT_CAP);
+        // Oldest retained event is #10: the first ten were evicted.
+        assert_eq!(recent[0].get("request").and_then(Json::as_f64), Some(10.0));
+        let text = std::fs::read_to_string(&path).expect("read sink");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), RECENT_CAP + 10);
+        for line in lines {
+            Json::parse(line).expect("each line is standalone JSON");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -28,12 +28,14 @@
 
 pub mod budget;
 pub mod cache;
+pub mod events;
 pub mod metrics;
 pub mod protocol;
 pub mod session;
 
 pub use budget::{Lease, WorkerBudget};
 pub use cache::{VolumeCache, VolumeKey};
+pub use events::EventLog;
 pub use metrics::ServeMetrics;
 pub use protocol::{FaultSpec, HelloReq, Quality, RenderReq, Request, PROTOCOL};
 pub use session::{Health, Level, Session};
@@ -73,6 +75,16 @@ pub struct ServeConfig {
     pub recover_after: u32,
     /// Zoom multiplier at the `Reduced` quality level.
     pub reduced_zoom: f64,
+    /// Sidecar scrape listener address (`--expose`); `None` disables it.
+    /// The sidecar speaks just enough HTTP for `curl`/Prometheus and
+    /// serves [`ServeMetrics::exposition`] without touching the protocol
+    /// port — a scraper can never occupy a session slot.
+    pub expose: Option<String>,
+    /// JSONL event-log path; `None` keeps events in memory only.
+    pub event_log: Option<String>,
+    /// Directory for flight-recorder forensics dumps; `None` disables
+    /// dumping. Defaults to `swr-flight` under the system temp dir.
+    pub flight_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +99,14 @@ impl Default for ServeConfig {
             degrade_after: 3,
             recover_after: 2,
             reduced_zoom: 0.5,
+            expose: None,
+            event_log: None,
+            flight_dir: Some(
+                std::env::temp_dir()
+                    .join("swr-flight")
+                    .to_string_lossy()
+                    .into_owned(),
+            ),
         }
     }
 }
@@ -170,20 +190,35 @@ impl ResponseWriter {
 /// The daemon: accept loop, session threads, shared budget/cache/metrics.
 pub struct Server {
     listener: TcpListener,
+    expose: Option<Arc<TcpListener>>,
     cfg: Arc<ServeConfig>,
     budget: Arc<WorkerBudget>,
     cache: Arc<VolumeCache>,
     metrics: ServeMetrics,
+    events: EventLog,
     stop: Arc<AtomicBool>,
     next_session: AtomicU64,
     conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl Server {
-    /// Binds the listen socket; the accept loop starts in [`Server::run`].
+    /// Binds the listen socket (and the `--expose` sidecar, when
+    /// configured); the accept loop starts in [`Server::run`].
     pub fn bind(cfg: ServeConfig) -> Result<Server, Error> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
+        let expose = match &cfg.expose {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(Arc::new(l))
+            }
+            None => None,
+        };
+        let events = match &cfg.event_log {
+            Some(path) => EventLog::to_file(path)?,
+            None => EventLog::in_memory(),
+        };
         let metrics = ServeMetrics::new();
         let budget = WorkerBudget::new(cfg.budget);
         metrics.set_gauge("serve.budget_total", budget.total() as f64);
@@ -192,10 +227,12 @@ impl Server {
         metrics.set_gauge("serve.degraded", 0.0);
         Ok(Server {
             listener,
+            expose,
             cfg: Arc::new(cfg),
             budget,
             cache: VolumeCache::new(),
             metrics,
+            events,
             stop: Arc::new(AtomicBool::new(false)),
             next_session: AtomicU64::new(1),
             conns: Arc::new(Mutex::new(Vec::new())),
@@ -205,6 +242,16 @@ impl Server {
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> Result<SocketAddr, Error> {
         Ok(self.listener.local_addr()?)
+    }
+
+    /// The sidecar scrape listener's bound address, when enabled.
+    pub fn expose_addr(&self) -> Option<SocketAddr> {
+        self.expose.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The structured event log (shared with every session).
+    pub fn events(&self) -> EventLog {
+        self.events.clone()
     }
 
     /// Shared stop flag: setting it makes [`Server::run`] return after
@@ -222,6 +269,19 @@ impl Server {
     /// Runs the accept loop until the stop flag is raised, then shuts down
     /// every live connection and joins the session threads.
     pub fn run(&self) -> Result<(), Error> {
+        let expose_thread = self.expose.as_ref().map(|l| {
+            let l = Arc::clone(l);
+            let metrics = self.metrics.clone();
+            let stop = Arc::clone(&self.stop);
+            thread::Builder::new()
+                .name("swr-serve-expose".into())
+                .spawn(move || expose_loop(&l, &metrics, &stop))
+                .map_err(Error::from)
+        });
+        let expose_thread = match expose_thread {
+            Some(t) => Some(t?),
+            None => None,
+        };
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
         while !self.stop.load(Ordering::Acquire) {
             match self.listener.accept() {
@@ -235,6 +295,7 @@ impl Server {
                         budget: Arc::clone(&self.budget),
                         cache: Arc::clone(&self.cache),
                         metrics: self.metrics.clone(),
+                        events: self.events.clone(),
                         stop: Arc::clone(&self.stop),
                     };
                     workers.push(
@@ -259,7 +320,43 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        if let Some(t) = expose_thread {
+            let _ = t.join();
+        }
         Ok(())
+    }
+}
+
+/// The `--expose` sidecar: answers every TCP connection with one
+/// HTTP/1.0 response carrying the current exposition, then closes. Just
+/// enough HTTP for `curl` and a Prometheus scrape job; renders are never
+/// blocked (see [`ServeMetrics::exposition`]) and a scraper never enters
+/// the protocol port's session machinery.
+fn expose_loop(listener: &TcpListener, metrics: &ServeMetrics, stop: &AtomicBool) {
+    use std::io::Read;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut s, _peer)) => {
+                let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+                // Drain (and ignore) the request head; any path scrapes.
+                let mut buf = [0u8; 1024];
+                let _ = s.read(&mut buf);
+                let body = metrics.exposition();
+                let head = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    swr_telemetry::EXPOSITION_CONTENT_TYPE,
+                    body.len()
+                );
+                let _ = s.write_all(head.as_bytes());
+                let _ = s.write_all(body.as_bytes());
+                let _ = s.flush();
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
     }
 }
 
@@ -269,6 +366,7 @@ struct Connection {
     budget: Arc<WorkerBudget>,
     cache: Arc<VolumeCache>,
     metrics: ServeMetrics,
+    events: EventLog,
     stop: Arc<AtomicBool>,
 }
 
@@ -291,8 +389,10 @@ impl Connection {
                 .spawn(move || read_loop(stream, &queue, &writer, &metrics))
         };
         self.metrics.adjust_gauge("serve.sessions", 1.0);
+        self.events.emit("session_open", id, None, &[]);
         self.session_loop(id, &queue, &writer);
         self.metrics.adjust_gauge("serve.sessions", -1.0);
+        self.events.emit("session_close", id, None, &[]);
         // Unblock the reader if the session ended first (bye / stop), then
         // reap it.
         {
@@ -315,6 +415,9 @@ impl Connection {
             match req {
                 Request::Ping => writer.send(&protocol::pong_response()),
                 Request::Stats => writer.send(&protocol::stats_response(self.metrics.to_json())),
+                Request::Metrics => {
+                    writer.send(&protocol::metrics_response(self.metrics.exposition()))
+                }
                 Request::Bye => {
                     writer.send(&protocol::bye_response());
                     break;
@@ -350,14 +453,24 @@ impl Connection {
                     let handled =
                         catch_unwind(AssertUnwindSafe(|| s.handle_render(&r, arrived, &mut out)));
                     if let Err(payload) = handled {
-                        // Supervisor rung: contain, restart, answer typed.
+                        // Supervisor rung: dump the flight recorder while
+                        // the dying attempt's spans are still in its rings,
+                        // then contain, restart, and answer typed.
+                        let message = panic_message(payload.as_ref());
+                        s.dump_flight(r.id, "session_failed");
+                        self.events.emit(
+                            "session_failed",
+                            id,
+                            Some(r.id),
+                            &[("message", Json::Str(message.clone()))],
+                        );
                         s.restart_pipeline();
                         self.metrics.inc("serve.errors");
                         out.push(protocol::error_response(
                             Some(r.id),
                             &Error::SessionFailed {
                                 session: id,
-                                message: panic_message(payload.as_ref()),
+                                message,
                             },
                         ));
                     }
@@ -387,6 +500,7 @@ impl Connection {
             Arc::clone(&self.cfg),
             Arc::clone(&self.budget),
             self.metrics.clone(),
+            self.events.clone(),
         ))
     }
 }
@@ -443,8 +557,11 @@ fn read_loop(
 pub struct ServerHandle {
     /// The bound address.
     pub addr: SocketAddr,
+    /// The sidecar scrape listener's address, when `--expose` is set.
+    pub expose_addr: Option<SocketAddr>,
     stop: Arc<AtomicBool>,
     metrics: ServeMetrics,
+    events: EventLog,
     thread: thread::JoinHandle<Result<(), Error>>,
 }
 
@@ -452,6 +569,11 @@ impl ServerHandle {
     /// Service metrics handle.
     pub fn metrics(&self) -> ServeMetrics {
         self.metrics.clone()
+    }
+
+    /// The structured event log.
+    pub fn events(&self) -> EventLog {
+        self.events.clone()
     }
 
     /// The shared stop flag (what a SIGTERM handler raises).
@@ -476,15 +598,19 @@ impl ServerHandle {
 pub fn spawn(cfg: ServeConfig) -> Result<ServerHandle, Error> {
     let server = Server::bind(cfg)?;
     let addr = server.local_addr()?;
+    let expose_addr = server.expose_addr();
     let stop = server.stop_flag();
     let metrics = server.metrics();
+    let events = server.events();
     let thread = thread::Builder::new()
         .name("swr-serve-accept".into())
         .spawn(move || server.run())?;
     Ok(ServerHandle {
         addr,
+        expose_addr,
         stop,
         metrics,
+        events,
         thread,
     })
 }
@@ -562,11 +688,77 @@ mod tests {
         let m = v.get("metrics").expect("metrics");
         assert!(m.to_string().contains("serve.frames"), "{m:?}");
 
+        // The metrics op ships a valid Prometheus exposition.
+        send_line(&mut tx, r#"{"op":"metrics"}"#);
+        let v = read_json(&mut rx);
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("metrics"));
+        let expo = v
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition text");
+        let stats = swr_telemetry::validate_exposition(expo).expect("exposition validates");
+        assert!(stats.counters["swr_serve_frames_total"] >= 1.0);
+
         send_line(&mut tx, r#"{"op":"bye"}"#);
         assert_eq!(
             read_json(&mut rx).get("type").and_then(Json::as_str),
             Some("bye")
         );
         handle.shutdown().expect("clean shutdown");
+    }
+
+    #[test]
+    fn expose_sidecar_serves_http_scrapes_and_logs_session_events() {
+        use std::io::Read;
+        let handle = spawn(ServeConfig {
+            expose: Some("127.0.0.1:0".into()),
+            ..ServeConfig::default()
+        })
+        .expect("spawn");
+        let events = handle.events();
+        // One quick protocol session so the scrape has something to show.
+        let (mut rx, mut tx) = connect(handle.addr);
+        send_line(
+            &mut tx,
+            r#"{"op":"hello","phantom":"mri","base":20,"seed":11,"threads":1}"#,
+        );
+        let _ = read_json(&mut rx);
+        send_line(&mut tx, r#"{"op":"render","id":1}"#);
+        let v = read_json(&mut rx);
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("frame"), "{v:?}");
+        send_line(&mut tx, r#"{"op":"bye"}"#);
+        let _ = read_json(&mut rx);
+
+        let addr = handle.expose_addr.expect("sidecar bound");
+        let scrape = |label: &str| -> String {
+            let mut s = TcpStream::connect(addr).expect(label);
+            s.set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("read timeout");
+            s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect(label);
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).expect(label);
+            assert!(buf.starts_with("HTTP/1.0 200 OK"), "{label}: {buf}");
+            assert!(
+                buf.contains(swr_telemetry::EXPOSITION_CONTENT_TYPE),
+                "{label}: {buf}"
+            );
+            buf.split("\r\n\r\n").nth(1).expect(label).to_string()
+        };
+        let first = swr_telemetry::validate_exposition(&scrape("first")).expect("first valid");
+        let second = swr_telemetry::validate_exposition(&scrape("second")).expect("second valid");
+        assert!(first.counters["swr_serve_frames_total"] >= 1.0);
+        // Counters are monotone across scrapes; the scrape counter proves
+        // both scrapes were really served.
+        assert!(
+            second.counters["swr_serve_scrapes_total"] > first.counters["swr_serve_scrapes_total"]
+        );
+        handle.shutdown().expect("clean shutdown");
+        let kinds: Vec<String> = events
+            .recent()
+            .iter()
+            .filter_map(|e| e.get("event").and_then(Json::as_str).map(String::from))
+            .collect();
+        assert!(kinds.contains(&"session_open".to_string()), "{kinds:?}");
+        assert!(kinds.contains(&"session_close".to_string()), "{kinds:?}");
     }
 }

@@ -34,6 +34,8 @@ pub enum Request {
     Render(RenderReq),
     /// Returns the service-wide metrics registry as JSON.
     Stats,
+    /// Returns the Prometheus text exposition of the service metrics.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Closes the session cleanly.
@@ -208,6 +210,7 @@ impl Request {
                 }))
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "bye" => Ok(Request::Bye),
             other => Err(proto_err(format!("unknown op {other:?}"))),
@@ -349,6 +352,20 @@ pub fn stats_response(metrics: Json) -> Json {
         .with("metrics", metrics)
 }
 
+/// `{"ok":true,"type":"metrics","content_type":...,"exposition":...}` —
+/// the Prometheus text exposition, shipped as one JSON string so it stays
+/// a single protocol line.
+pub fn metrics_response(exposition: String) -> Json {
+    Json::obj()
+        .with("ok", Json::Bool(true))
+        .with("type", Json::Str("metrics".into()))
+        .with(
+            "content_type",
+            Json::Str(swr_telemetry::EXPOSITION_CONTENT_TYPE.into()),
+        )
+        .with("exposition", Json::Str(exposition))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +412,28 @@ mod tests {
             Request::parse(r#"{"op":"stats"}"#).expect("stats"),
             Request::Stats
         );
+        assert_eq!(
+            Request::parse(r#"{"op":"metrics"}"#).expect("metrics"),
+            Request::Metrics
+        );
+    }
+
+    #[test]
+    fn metrics_response_ships_the_exposition_as_one_line() {
+        let resp = metrics_response("# TYPE swr_serve_frames counter\n".into());
+        let line = resp.to_string();
+        assert!(!line.contains('\n'));
+        let v = Json::parse(&line).expect("metrics response is JSON");
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(
+            v.get("content_type").and_then(Json::as_str),
+            Some(swr_telemetry::EXPOSITION_CONTENT_TYPE)
+        );
+        assert!(v
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition string")
+            .contains("swr_serve_frames"));
     }
 
     #[test]

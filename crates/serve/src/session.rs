@@ -24,7 +24,8 @@
 //!    a disconnect.
 
 use crate::budget::{Lease, WorkerBudget};
-use crate::metrics::ServeMetrics;
+use crate::events::EventLog;
+use crate::metrics::{correlate, ServeMetrics};
 use crate::protocol::{error_response, frame_response, Quality, RenderReq};
 use crate::ServeConfig;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,7 +35,7 @@ use swr_core::{AnimationPipeline, ParallelConfig};
 use swr_error::{panic_message, Error};
 use swr_geom::ViewSpec;
 use swr_render::SerialRenderer;
-use swr_telemetry::Json;
+use swr_telemetry::{FlightRecorder, FrameTelemetry, Json, SpanKind, WorkerLog};
 use swr_volume::EncodedVolume;
 
 /// The graceful-degradation ladder, top to bottom.
@@ -50,6 +51,24 @@ pub enum Level {
 }
 
 impl Level {
+    /// Stable name used in events and the live watch view.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Full => "full",
+            Level::Reduced => "reduced",
+            Level::SerialOnly => "serial_only",
+        }
+    }
+
+    /// Ladder depth as a gauge value (0 = full, 2 = serial-only).
+    pub fn rank(self) -> f64 {
+        match self {
+            Level::Full => 0.0,
+            Level::Reduced => 1.0,
+            Level::SerialOnly => 2.0,
+        }
+    }
+
     fn down(self) -> Level {
         match self {
             Level::Full => Level::Reduced,
@@ -120,6 +139,9 @@ pub struct Session {
     cfg: Arc<ServeConfig>,
     budget: Arc<WorkerBudget>,
     metrics: ServeMetrics,
+    events: EventLog,
+    recorder: FlightRecorder,
+    dump_seq: u32,
 }
 
 /// Whether an error is worth walking further down the retry ladder for.
@@ -139,10 +161,12 @@ impl Session {
         cfg: Arc<ServeConfig>,
         budget: Arc<WorkerBudget>,
         metrics: ServeMetrics,
+        events: EventLog,
     ) -> Self {
         let threads = threads.clamp(1, cfg.max_threads_per_session);
         let mut pcfg = ParallelConfig::with_procs(threads);
         pcfg.watchdog_timeout = Some(cfg.watchdog);
+        metrics.set_gauge(&format!("serve.session.{id}.level"), Level::Full.rank());
         Session {
             id,
             enc,
@@ -153,6 +177,9 @@ impl Session {
             cfg: Arc::clone(&cfg),
             budget,
             metrics,
+            events,
+            recorder: FlightRecorder::new(FlightRecorder::DEFAULT_CAP),
+            dump_seq: 0,
         }
     }
 
@@ -166,6 +193,11 @@ impl Session {
         self.health.level
     }
 
+    /// The session's always-on flight recorder (rings of recent spans).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
     /// Supervisor restart hook: called after a contained panic escaped the
     /// retry ladder. Drops poisoned cross-frame state so the next request
     /// starts clean; the session (and daemon) stay up.
@@ -175,12 +207,27 @@ impl Session {
         self.metrics.inc("serve.session_restarts");
     }
 
-    /// Applies one request outcome to the health ladder and keeps the
-    /// `serve.degraded` gauge in step with level transitions.
-    fn note_outcome(&mut self, fault: bool) {
+    /// Applies one request outcome to the health ladder, keeps the
+    /// `serve.degraded` and per-session level gauges in step with level
+    /// transitions, and emits a `degrade`/`recover` event on each one.
+    fn note_outcome(&mut self, fault: bool, request: u64) {
         let before = self.health.level;
         self.health.note(fault);
         let after = self.health.level;
+        if before != after {
+            let event = if after > before { "degrade" } else { "recover" };
+            self.events.emit(
+                event,
+                self.id,
+                Some(request),
+                &[
+                    ("from", Json::Str(before.as_str().into())),
+                    ("to", Json::Str(after.as_str().into())),
+                ],
+            );
+            self.metrics
+                .set_gauge(&format!("serve.session.{}.level", self.id), after.rank());
+        }
         if before == Level::Full && after != Level::Full {
             self.metrics.adjust_gauge("serve.degraded", 1.0);
         } else if before != Level::Full && after == Level::Full {
@@ -188,12 +235,15 @@ impl Session {
         }
     }
 
-    /// Called when the session closes: settles the degraded gauge.
+    /// Called when the session closes: settles the degraded gauge and
+    /// drops the per-session level gauge from the registry.
     pub fn close(&mut self) {
         if self.health.level != Level::Full {
             self.metrics.adjust_gauge("serve.degraded", -1.0);
             self.health.level = Level::Full;
         }
+        self.metrics
+            .remove_gauge(&format!("serve.session.{}.level", self.id));
     }
 
     /// Watchdog for a render starting now: the configured ceiling, clamped
@@ -210,6 +260,8 @@ impl Session {
     /// per frame (or per failure) onto `out`.
     pub fn handle_render(&mut self, req: &RenderReq, arrived: Instant, out: &mut Vec<Json>) {
         self.metrics.inc("serve.requests");
+        self.metrics
+            .observe("serve.queue_wait_ms", arrived.elapsed().as_millis() as u64);
         let budget_ms = req.deadline_ms.unwrap_or(self.cfg.default_deadline_ms);
         let deadline = arrived + Duration::from_millis(budget_ms);
         if req.fault.is_some() {
@@ -220,7 +272,7 @@ impl Session {
         // without burning budget on a frame nobody can use.
         if Instant::now() >= deadline {
             self.push_deadline_error(req.id, budget_ms, arrived, out);
-            self.note_outcome(true);
+            self.note_outcome(true, req.id);
             return;
         }
 
@@ -256,7 +308,7 @@ impl Session {
             // Bottom of the quality ladder: no lease, no sheddable work.
             self.metrics.inc("serve.serial_fallbacks");
             let ok = self.serial_frames(req, &views, 0, 1, budget_ms, arrived, deadline, out);
-            self.note_outcome(!ok);
+            self.note_outcome(!ok, req.id);
             return;
         }
 
@@ -264,6 +316,12 @@ impl Session {
             // Admission control: the global budget is exhausted — shed.
             self.metrics.inc("serve.shed");
             self.metrics.inc("serve.errors");
+            self.events.emit(
+                "shed",
+                self.id,
+                Some(req.id),
+                &[("budget_total", Json::U64(self.budget.total() as u64))],
+            );
             out.push(error_response(
                 Some(req.id),
                 &Error::Overloaded {
@@ -273,7 +331,7 @@ impl Session {
                     ),
                 },
             ));
-            self.note_outcome(true);
+            self.note_outcome(true, req.id);
             return;
         };
         self.metrics
@@ -294,6 +352,13 @@ impl Session {
                 }
                 Err(e) if retryable(&e) && attempt == 1 => {
                     self.metrics.inc("serve.retries");
+                    self.dump_flight(req.id, e.wire_code());
+                    self.events.emit(
+                        "retry",
+                        self.id,
+                        Some(req.id),
+                        &[("reason", Json::Str(e.wire_code().into()))],
+                    );
                     fault_event = true;
                     attempt = 2;
                 }
@@ -302,11 +367,19 @@ impl Session {
                     // the frames not yet answered.
                     fault_event = true;
                     self.metrics.inc("serve.serial_fallbacks");
+                    self.dump_flight(req.id, e.wire_code());
+                    self.events.emit(
+                        "serial_fallback",
+                        self.id,
+                        Some(req.id),
+                        &[("reason", Json::Str(e.wire_code().into()))],
+                    );
                     drop(e);
                     self.serial_frames(req, &views, next, 3, budget_ms, arrived, deadline, out);
                     break;
                 }
                 Err(e) => {
+                    self.dump_flight(req.id, e.wire_code());
                     out.push(error_response(Some(req.id), &e));
                     self.metrics.inc("serve.errors");
                     fault_event = true;
@@ -317,7 +390,7 @@ impl Session {
         drop(lease);
         self.metrics
             .set_gauge("serve.budget_in_use", self.budget.in_use() as f64);
-        self.note_outcome(fault_event);
+        self.note_outcome(fault_event, req.id);
     }
 
     /// One parallel rung: renders `views[*next..]` through the pipeline,
@@ -346,6 +419,9 @@ impl Session {
         }
         self.pipe.cfg.nprocs = lease.granted();
         self.pipe.cfg.watchdog_timeout = Some(self.watchdog_until(deadline));
+        // Correlation: every span, metric, and flight-recorder entry this
+        // attempt produces carries the session and request that caused it.
+        self.pipe.correlation = Some(correlate(self.id, req.id));
         if let Some(spec) = &req.fault {
             if attempt == 1 || spec.sticky {
                 self.pipe.fault = Some(spec.to_plan());
@@ -357,6 +433,8 @@ impl Session {
         let attempt_out = {
             let enc = &self.enc.0;
             let metrics = &self.metrics;
+            let events = &self.events;
+            let session = self.id;
             let pipe = &mut self.pipe;
             let delivered = &mut *next;
             let responses = &mut *out;
@@ -368,6 +446,12 @@ impl Session {
                     if Instant::now() >= deadline {
                         metrics.inc("serve.deadline_missed");
                         metrics.inc("serve.errors");
+                        events.emit(
+                            "deadline_missed",
+                            session,
+                            Some(req.id),
+                            &[("budget_ms", Json::U64(budget_ms))],
+                        );
                         responses.push(error_response(
                             Some(req.id),
                             &Error::DeadlineExceeded {
@@ -388,6 +472,8 @@ impl Session {
                             *blemish = true;
                         }
                         metrics.inc("serve.frames");
+                        metrics.inc(&format!("serve.quality.{}", quality.as_str()));
+                        metrics.observe("serve.frame_latency_ms", elapsed_ms);
                         responses.push(frame_response(
                             req.id,
                             idx,
@@ -406,6 +492,11 @@ impl Session {
         // Detach the per-request fault so a non-sticky (transient) fault
         // cannot re-fire on the retry rung.
         self.pipe.take_fault();
+        // Pull whatever telemetry the attempt produced — success, typed
+        // error, or contained panic — into the flight recorder *before*
+        // any restart clears it, so a post-mortem dump always has the
+        // final frames of a dying attempt.
+        self.ingest_telemetry(req.id);
         match attempt_out {
             Ok(Ok(())) => Ok(!blemish),
             Ok(Err(e)) => Err(e),
@@ -420,6 +511,69 @@ impl Session {
                 })
             }
         }
+    }
+
+    /// Drains the pipeline's harvested frame telemetry into the flight
+    /// recorder (stamped with this session and `request`), and derives the
+    /// steal-count histogram and per-worker utilization gauges from it.
+    fn ingest_telemetry(&mut self, request: u64) {
+        let frames = std::mem::take(&mut self.pipe.telemetry);
+        for t in &frames {
+            self.recorder.record_frame(t, self.id, request);
+            self.metrics
+                .observe("serve.frame_steals", t.span_count(SpanKind::Steal) as u64);
+            self.note_worker_util(t);
+        }
+    }
+
+    /// Publishes `serve.util.w<p>` gauges: the share of the last frame's
+    /// wall time each worker lane spent compositing or warping.
+    fn note_worker_util(&self, t: &FrameTelemetry) {
+        let dur = t.frame_span.dur();
+        if dur == 0 {
+            return;
+        }
+        for w in &t.workers {
+            if w.worker == WorkerLog::DRIVER {
+                continue;
+            }
+            let busy = w.kind_total(SpanKind::Composite) + w.kind_total(SpanKind::Warp);
+            let pct = (busy as f64 / dur as f64 * 100.0).min(100.0);
+            self.metrics
+                .set_gauge(&format!("serve.util.w{}", w.worker), pct);
+        }
+    }
+
+    /// Dumps the flight recorder as a Chrome-trace forensics file into the
+    /// configured flight directory, named after the session, request,
+    /// and failure reason. Returns the path, or `None` when dumps are
+    /// disabled (`flight_dir: None`) or the write failed.
+    pub fn dump_flight(&mut self, request: u64, reason: &str) -> Option<String> {
+        // Catch up on any telemetry not yet ingested (e.g. a panic path
+        // that bypassed the normal attempt tail).
+        self.ingest_telemetry(request);
+        let dir = self.cfg.flight_dir.clone()?;
+        std::fs::create_dir_all(&dir).ok()?;
+        self.dump_seq += 1;
+        let name = format!(
+            "flight-s{}-r{}-{}-{}.json",
+            self.id, request, self.dump_seq, reason
+        );
+        let path = std::path::Path::new(&dir).join(name);
+        let doc = self.recorder.chrome_trace(reason);
+        std::fs::write(&path, doc.to_string()).ok()?;
+        self.metrics.inc("serve.flight_dumps");
+        let shown = path.to_string_lossy().into_owned();
+        self.events.emit(
+            "flight_dump",
+            self.id,
+            Some(request),
+            &[
+                ("reason", Json::Str(reason.into())),
+                ("path", Json::Str(shown.clone())),
+            ],
+        );
+        Some(shown)
     }
 
     /// The serial rung (and the whole of `SerialOnly` mode): renders
@@ -453,6 +607,8 @@ impl Session {
             match rendered {
                 Ok(Ok(img)) => {
                     self.metrics.inc("serve.frames");
+                    self.metrics.inc("serve.quality.serial");
+                    self.metrics.observe("serve.frame_latency_ms", elapsed_ms);
                     out.push(frame_response(
                         req.id,
                         idx,
@@ -491,6 +647,12 @@ impl Session {
     fn push_deadline_error(&self, id: u64, budget_ms: u64, arrived: Instant, out: &mut Vec<Json>) {
         self.metrics.inc("serve.deadline_missed");
         self.metrics.inc("serve.errors");
+        self.events.emit(
+            "deadline_missed",
+            self.id,
+            Some(id),
+            &[("budget_ms", Json::U64(budget_ms))],
+        );
         out.push(error_response(
             Some(id),
             &Error::DeadlineExceeded {
@@ -528,9 +690,10 @@ mod tests {
         let cfg = Arc::new(ServeConfig {
             degrade_after: 2,
             recover_after: 2,
+            flight_dir: None,
             ..ServeConfig::default()
         });
-        Session::new(1, enc, 2, cfg, budget, metrics)
+        Session::new(1, enc, 2, cfg, budget, metrics, EventLog::in_memory())
     }
 
     fn render_req(id: u64) -> RenderReq {
@@ -691,6 +854,85 @@ mod tests {
             Some("invalid_view")
         );
         assert_eq!(s.level(), Level::Full);
+    }
+
+    #[test]
+    fn retry_rung_dumps_a_correlated_flight_trace_and_emits_events() {
+        quiet_panics();
+        let dir = std::env::temp_dir().join(format!("swr-flight-session-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let m = ServeMetrics::new();
+        let events = EventLog::in_memory();
+        let cache = VolumeCache::new();
+        let enc = cache
+            .get(&VolumeKey {
+                phantom: "mri".into(),
+                base: 20,
+                seed: 11,
+                transfer: String::new(),
+            })
+            .expect("phantom encodes");
+        let cfg = Arc::new(ServeConfig {
+            degrade_after: 2,
+            recover_after: 2,
+            flight_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServeConfig::default()
+        });
+        let mut s = Session::new(
+            3,
+            enc,
+            2,
+            cfg,
+            WorkerBudget::new(4),
+            m.clone(),
+            events.clone(),
+        );
+        let mut req = render_req(21);
+        req.fault = Some(FaultSpec {
+            truncate_queue: Some(1000),
+            ..FaultSpec::default()
+        });
+        let mut out = Vec::new();
+        s.handle_render(&req, Instant::now(), &mut out);
+        assert_eq!(first_type(&out), "frame");
+        assert_eq!(m.counter("serve.flight_dumps"), 1);
+
+        let retry = events.recent_of("retry");
+        assert_eq!(retry.len(), 1);
+        assert_eq!(
+            retry[0].get("reason").and_then(Json::as_str),
+            Some("stalled")
+        );
+        assert_eq!(retry[0].get("session").and_then(Json::as_u64), Some(3));
+        assert_eq!(retry[0].get("request").and_then(Json::as_u64), Some(21));
+
+        let dumps = events.recent_of("flight_dump");
+        assert_eq!(dumps.len(), 1);
+        let path = dumps[0].get("path").and_then(Json::as_str).expect("path");
+        let doc = Json::parse(&std::fs::read_to_string(path).expect("dump file exists"))
+            .expect("dump is JSON");
+        swr_telemetry::validate_chrome_trace(&doc).expect("dump is a valid chrome trace");
+        let trace_events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("events");
+        let x = trace_events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("at least one span recorded");
+        let args = x.get("args").expect("args");
+        assert_eq!(args.get("session").and_then(Json::as_u64), Some(3));
+        assert_eq!(args.get("request").and_then(Json::as_u64), Some(21));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_close_drops_the_per_session_level_gauge() {
+        let m = ServeMetrics::new();
+        let mut s = test_session(WorkerBudget::new(4), m.clone());
+        assert_eq!(m.gauge("serve.session.1.level"), Some(0.0));
+        s.close();
+        assert_eq!(m.gauge("serve.session.1.level"), None);
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Prometheus text exposition (format 0.0.4) of a [`MetricsRegistry`],
+//! plus the strict validator the CI scrape-smoke job runs against live
+//! scrapes.
+//!
+//! The encoder maps registry names (`serve.frames`) to metric names
+//! (`swr_serve_frames_total`): dots become underscores, everything is
+//! prefixed `swr_`, and counters gain the conventional `_total` suffix.
+//! Log2 histograms export as cumulative `_bucket{le="..."}` series (one
+//! bucket per populated log2 bin, closed by `le="+Inf"`) with `_sum` and
+//! `_count`, so rates and means are computable from the exposition alone.
+//! Rolling-window tails export as a summary family per histogram —
+//! `<name>_window{quantile="0.5|0.95|0.99"}` — which is how frame-latency
+//! p50/p95/p99 reach a scraper without it reconstructing quantiles from
+//! coarse buckets.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The exposition content type, as a scraper expects it in HTTP headers.
+pub const EXPOSITION_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Quantiles every summary family exports.
+pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+/// Maps a registry name to a legal Prometheus metric name: `swr_` prefix,
+/// `[a-zA-Z0-9_:]` alphabet, dots to underscores.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("swr_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn append_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cum}",
+            Histogram::bucket_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+fn append_summary(out: &mut String, name: &str, h: &Histogram) {
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for q in SUMMARY_QUANTILES {
+        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", h.quantile(q));
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Encodes a registry snapshot as Prometheus text. `windows` carries the
+/// rolling-window histograms (registry name, merged window); each exports
+/// as a `<name>_window` summary with p50/p95/p99.
+pub fn prometheus_text(m: &MetricsRegistry, windows: &[(&str, Histogram)]) -> String {
+    let mut out = String::new();
+    for (name, v) in m.counters() {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n}_total counter");
+        let _ = writeln!(out, "{n}_total {v}");
+    }
+    for (name, v) in m.gauges() {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", fmt_f64(v));
+    }
+    for (name, h) in m.histograms() {
+        append_histogram(&mut out, &metric_name(name), h);
+    }
+    for (name, h) in windows {
+        append_summary(&mut out, &format!("{}_window", metric_name(name)), h);
+    }
+    out
+}
+
+/// What [`validate_exposition`] learned about a scrape, for cross-scrape
+/// assertions (the CI job checks counters are monotone between scrapes).
+#[derive(Debug, Default)]
+pub struct ExpoStats {
+    /// `# TYPE` declarations seen.
+    pub families: usize,
+    /// Sample lines seen.
+    pub samples: usize,
+    /// Every sample of a `counter` family, by full sample name.
+    pub counters: BTreeMap<String, f64>,
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits a sample line into (name, labels, value). Labels stay raw — the
+/// validator only needs `le` ordering, parsed by the caller.
+fn split_sample(line: &str) -> Result<(&str, Option<&str>, f64), String> {
+    let (head, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("sample line without value: {line:?}"))?;
+    let value = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("unparseable sample value in {line:?}"))?
+    };
+    if let Some(open) = head.find('{') {
+        if !head.ends_with('}') {
+            return Err(format!("unterminated label set in {line:?}"));
+        }
+        Ok((&head[..open], Some(&head[open + 1..head.len() - 1]), value))
+    } else {
+        Ok((head, None, value))
+    }
+}
+
+fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    for pair in labels.split(',') {
+        let (k, v) = pair.split_once('=')?;
+        if k.trim() == key {
+            return Some(v.trim().trim_matches('"'));
+        }
+    }
+    None
+}
+
+/// Strips the component suffix a histogram/summary sample carries, giving
+/// the family name its `# TYPE` line declared.
+fn family_of(sample_name: &str, kind: &str) -> String {
+    let base = match kind {
+        "histogram" | "summary" => sample_name
+            .strip_suffix("_bucket")
+            .or_else(|| sample_name.strip_suffix("_sum"))
+            .or_else(|| sample_name.strip_suffix("_count"))
+            .unwrap_or(sample_name),
+        _ => sample_name,
+    };
+    base.to_string()
+}
+
+/// Validates Prometheus text exposition: line grammar, names, `# TYPE`
+/// before the family's samples, cumulative non-decreasing `_bucket` series
+/// per histogram closed by `le="+Inf"` that equals `_count`. Returns per-
+/// scrape stats (including every counter sample) on success.
+pub fn validate_exposition(text: &str) -> Result<ExpoStats, String> {
+    let mut stats = ExpoStats::default();
+    // family -> declared kind
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // histogram family -> (last le, last cumulative count, saw +Inf, inf value)
+    let mut buckets: BTreeMap<String, (f64, f64, Option<f64>)> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !valid_name(name) {
+                return Err(at(format!("bad family name {name:?}")));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(at(format!("bad family kind {kind:?}")));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(at(format!("duplicate # TYPE for {name}")));
+            }
+            stats.families += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and free comments
+        }
+        let (name, labels, value) = split_sample(line).map_err(at)?;
+        if !valid_name(name) {
+            return Err(at(format!("bad sample name {name:?}")));
+        }
+        stats.samples += 1;
+        // Which family does this sample belong to, and was it declared?
+        let kind_of = |family: &str| types.get(family).cloned();
+        let family = ["histogram", "summary", "counter", "gauge", "untyped"]
+            .iter()
+            .find_map(|k| {
+                let f = family_of(name, k);
+                kind_of(&f).map(|kind| (f, kind))
+            });
+        let Some((family, kind)) = family else {
+            return Err(at(format!("sample {name} precedes its # TYPE line")));
+        };
+        match kind.as_str() {
+            "counter" => {
+                if value < 0.0 {
+                    return Err(at(format!("negative counter {name}")));
+                }
+                stats.counters.insert(name.to_string(), value);
+            }
+            "histogram" => {
+                if name.ends_with("_bucket") {
+                    let le = labels
+                        .and_then(|l| label_value(l, "le"))
+                        .ok_or_else(|| at(format!("{name} without an le label")))?;
+                    let le = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse::<f64>()
+                            .map_err(|_| at(format!("bad le {le:?} on {name}")))?
+                    };
+                    let entry =
+                        buckets
+                            .entry(family.clone())
+                            .or_insert((f64::NEG_INFINITY, 0.0, None));
+                    if le <= entry.0 {
+                        return Err(at(format!("le not increasing on {family}")));
+                    }
+                    if value < entry.1 {
+                        return Err(at(format!("bucket counts not cumulative on {family}")));
+                    }
+                    *entry = (
+                        le,
+                        value,
+                        if le.is_infinite() {
+                            Some(value)
+                        } else {
+                            entry.2
+                        },
+                    );
+                } else if name.ends_with("_count") {
+                    counts.insert(family.clone(), value);
+                }
+            }
+            "summary" if !name.ends_with("_sum") && !name.ends_with("_count") => {
+                labels
+                    .and_then(|l| label_value(l, "quantile"))
+                    .ok_or_else(|| at(format!("summary sample {name} without quantile")))?;
+            }
+            _ => {}
+        }
+    }
+    for (family, (_, _, inf)) in &buckets {
+        let Some(inf) = inf else {
+            return Err(format!("histogram {family} has no le=\"+Inf\" bucket"));
+        };
+        match counts.get(family) {
+            Some(c) if c == inf => {}
+            Some(c) => {
+                return Err(format!(
+                    "histogram {family}: +Inf bucket {inf} != _count {c}"
+                ));
+            }
+            None => return Err(format!("histogram {family} has no _count")),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.inc("serve.frames", 7);
+        m.inc("serve.shed", 0);
+        m.set_gauge("serve.sessions", 2.0);
+        for v in [3u64, 9, 30, 200] {
+            m.observe("serve.frame_latency_ms", v);
+        }
+        m
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_validator() {
+        let m = sample_registry();
+        let mut w = Histogram::default();
+        for v in [5u64, 10, 50] {
+            w.observe(v);
+        }
+        let text = prometheus_text(&m, &[("serve.frame_latency_ms", w)]);
+        let stats = validate_exposition(&text).expect("valid exposition");
+        assert!(stats.families >= 4, "{stats:?}");
+        assert_eq!(stats.counters.get("swr_serve_frames_total"), Some(&7.0));
+        assert!(text.contains("# TYPE swr_serve_frame_latency_ms histogram"));
+        assert!(text.contains("swr_serve_frame_latency_ms_sum 242"));
+        assert!(text.contains("swr_serve_frame_latency_ms_count 4"));
+        assert!(text.contains("swr_serve_frame_latency_ms_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("swr_serve_frame_latency_ms_window{quantile=\"0.99\"}"));
+        assert!(text.contains("# TYPE swr_serve_sessions gauge"));
+    }
+
+    #[test]
+    fn bucket_bounds_are_cumulative_and_labelled() {
+        let m = sample_registry();
+        let text = prometheus_text(&m, &[]);
+        // 3 -> le=3, 9 -> le=15, 30 -> le=31, 200 -> le=255, cumulative.
+        assert!(text.contains("swr_serve_frame_latency_ms_bucket{le=\"3\"} 1"));
+        assert!(text.contains("swr_serve_frame_latency_ms_bucket{le=\"15\"} 2"));
+        assert!(text.contains("swr_serve_frame_latency_ms_bucket{le=\"31\"} 3"));
+        assert!(text.contains("swr_serve_frame_latency_ms_bucket{le=\"255\"} 4"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        for (bad, why) in [
+            ("swr_x_total 1\n", "sample before TYPE"),
+            ("# TYPE swr_x counter\nswr_x_total -1\n", "negative counter"),
+            (
+                "# TYPE x counter\n# TYPE x counter\nx_total 1\n",
+                "dup TYPE",
+            ),
+            ("# TYPE 9bad counter\n", "bad name"),
+            ("# TYPE x blob\n", "bad kind"),
+            ("# TYPE x gauge\nx\n", "no value"),
+            ("# TYPE x gauge\nx abc\n", "bad value"),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"8\"} 2\nx_bucket{le=\"4\"} 1\n",
+                "le out of order",
+            ),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"4\"} 2\nx_bucket{le=\"+Inf\"} 1\n",
+                "not cumulative",
+            ),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"+Inf\"} 2\nx_count 3\n",
+                "+Inf != count",
+            ),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"4\"} 2\nx_count 2\n",
+                "no +Inf bucket",
+            ),
+            ("# TYPE x summary\nx 3\n", "summary without quantile"),
+        ] {
+            assert!(validate_exposition(bad).is_err(), "{why}: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(metric_name("serve.frames"), "swr_serve_frames");
+        assert_eq!(metric_name("span.composite.us"), "swr_span_composite_us");
+        assert_eq!(metric_name("weird name!"), "swr_weird_name_");
+    }
+}

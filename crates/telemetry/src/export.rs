@@ -49,12 +49,11 @@ pub fn chrome_trace(frames: &[&FrameTelemetry]) -> Json {
     for (i, frame) in frames.iter().enumerate() {
         let pid = i as u64;
         unit.get_or_insert(frame.unit);
-        events.push(meta_event(
-            "process_name",
-            pid,
-            0,
-            &format!("frame {i} [{}]", frame.label),
-        ));
+        let proc_name = match frame.correlation {
+            Some(c) => format!("frame {i} [{}] s{} r{}", frame.label, c.session, c.request),
+            None => format!("frame {i} [{}]", frame.label),
+        };
+        events.push(meta_event("process_name", pid, 0, &proc_name));
         events.push(meta_event(
             "thread_name",
             pid,
@@ -78,6 +77,14 @@ pub fn chrome_trace(frames: &[&FrameTelemetry]) -> Json {
                 events.push(meta_event("thread_name", pid, tid, &lane_name(w.worker)));
             }
             for s in w.spans() {
+                let mut args = Json::obj()
+                    .with("arg0", Json::U64(s.arg0 as u64))
+                    .with("arg1", Json::U64(s.arg1 as u64))
+                    .with("frame", Json::U64(s.frame as u64));
+                if let Some(c) = frame.correlation {
+                    args.set("session", Json::U64(c.session));
+                    args.set("request", Json::U64(c.request));
+                }
                 events.push(
                     Json::obj()
                         .with("name", Json::Str(s.kind.as_str().into()))
@@ -87,13 +94,7 @@ pub fn chrome_trace(frames: &[&FrameTelemetry]) -> Json {
                         .with("dur", Json::U64(s.dur()))
                         .with("pid", Json::U64(pid))
                         .with("tid", Json::U64(tid))
-                        .with(
-                            "args",
-                            Json::obj()
-                                .with("arg0", Json::U64(s.arg0 as u64))
-                                .with("arg1", Json::U64(s.arg1 as u64))
-                                .with("frame", Json::U64(s.frame as u64)),
-                        ),
+                        .with("args", args),
                 );
             }
         }
@@ -111,12 +112,30 @@ pub fn chrome_trace(frames: &[&FrameTelemetry]) -> Json {
 }
 
 fn histogram_json(h: &Histogram) -> Json {
+    // Populated log2 buckets with their inclusive upper bounds, so a
+    // consumer can rebuild the distribution (and its mean, via sum/count)
+    // from the JSON alone.
+    let buckets: Vec<Json> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            Json::obj()
+                .with("le", Json::U64(Histogram::bucket_bound(i)))
+                .with("count", Json::U64(c))
+        })
+        .collect();
     Json::obj()
         .with("count", Json::U64(h.count))
         .with("sum", Json::U64(h.sum))
         .with("min", Json::U64(if h.count == 0 { 0 } else { h.min }))
         .with("max", Json::U64(h.max))
         .with("mean", Json::F64(h.mean()))
+        .with("p50", Json::U64(h.quantile(0.5)))
+        .with("p95", Json::U64(h.quantile(0.95)))
+        .with("p99", Json::U64(h.quantile(0.99)))
+        .with("buckets", Json::Arr(buckets))
 }
 
 /// Serializes a metrics registry as a JSON object with `counters`,

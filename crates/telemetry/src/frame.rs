@@ -3,6 +3,19 @@
 use crate::metrics::MetricsRegistry;
 use crate::span::{Span, SpanKind, TimeUnit, WorkerLog};
 
+/// Correlation ids threading a service request through the pipeline: which
+/// session and which client request produced a frame. Stamped onto
+/// [`FrameTelemetry`] by the renderer and propagated into every exported
+/// span's args, so a trace of a dying worker names the request that killed
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Correlation {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// Client-chosen request id.
+    pub request: u64,
+}
+
 /// Everything one rendered (or replayed) frame reports: a span log per
 /// worker lane, a driver lane for whole-frame events, and the frame's
 /// metrics registry. Real renders (microsecond spans) and memsim replays
@@ -22,6 +35,9 @@ pub struct FrameTelemetry {
     pub metrics: MetricsRegistry,
     /// The whole-frame interval (driver lane timeline).
     pub frame_span: Span,
+    /// Which service request produced this frame, when rendered under
+    /// `swr-serve` (standalone renders leave it `None`).
+    pub correlation: Option<Correlation>,
 }
 
 impl FrameTelemetry {
@@ -40,6 +56,7 @@ impl FrameTelemetry {
                 arg1: 0,
                 frame: 0,
             },
+            correlation: None,
         }
     }
 

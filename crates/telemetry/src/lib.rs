@@ -51,16 +51,22 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod expo;
 pub mod export;
 pub mod frame;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
 
+pub use expo::{
+    metric_name, prometheus_text, validate_exposition, ExpoStats, EXPOSITION_CONTENT_TYPE,
+};
 pub use export::{
     breakdown_table, chrome_trace, metrics_json, run_metrics_json, validate_chrome_trace,
 };
-pub use frame::FrameTelemetry;
+pub use frame::{Correlation, FrameTelemetry};
 pub use json::Json;
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricsRegistry, RollingHistogram};
+pub use recorder::{FlightRecorder, FlightSpan};
 pub use span::{us_to_secs, FrameClock, Span, SpanKind, TimeUnit, WorkerLog};

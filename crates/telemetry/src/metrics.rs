@@ -67,6 +67,51 @@ impl Histogram {
         }
     }
 
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the log2 buckets.
+    ///
+    /// The rank is located by cumulative bucket counts and the value is
+    /// interpolated linearly inside the owning bucket, so the estimate is
+    /// exact for point masses and within the bucket's width (a factor of
+    /// two) for spread distributions. The global min/max tighten the edge
+    /// buckets, which makes single-bucket histograms exact at both ends.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample the quantile falls on.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // All samples lie in [self.min, self.max], so both bucket
+                // edges can be tightened by the exact extremes.
+                let lo = Self::bucket_lo(i).max(self.min);
+                let hi = Self::bucket_bound(i).min(self.max);
+                if hi <= lo {
+                    return lo;
+                }
+                let into = (rank - seen) as f64 - 0.5;
+                let frac = (into / c as f64).clamp(0.0, 1.0);
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            seen += c;
+        }
+        self.max
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -79,6 +124,50 @@ impl Histogram {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *b += o;
         }
+    }
+}
+
+/// A rolling window of [`Histogram`]s: observations land in the current
+/// slot, [`RollingHistogram::rotate`] retires the oldest slot, and
+/// [`RollingHistogram::merged`] folds the live slots into one histogram.
+/// Quantiles over `merged()` therefore cover only the last `slots` rotation
+/// intervals — the service rotates once per metrics scrape, so tail
+/// latencies track *recent* behaviour instead of averaging over the whole
+/// process lifetime.
+#[derive(Debug, Clone)]
+pub struct RollingHistogram {
+    slots: Vec<Histogram>,
+    cur: usize,
+}
+
+impl RollingHistogram {
+    /// A window of `slots` rotation intervals (at least one).
+    pub fn new(slots: usize) -> Self {
+        RollingHistogram {
+            slots: vec![Histogram::default(); slots.max(1)],
+            cur: 0,
+        }
+    }
+
+    /// Records one sample into the current slot.
+    pub fn observe(&mut self, v: u64) {
+        self.slots[self.cur].observe(v);
+    }
+
+    /// Advances the window: the oldest slot is cleared and becomes the
+    /// current one.
+    pub fn rotate(&mut self) {
+        self.cur = (self.cur + 1) % self.slots.len();
+        self.slots[self.cur] = Histogram::default();
+    }
+
+    /// The union of every live slot.
+    pub fn merged(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for s in &self.slots {
+            h.merge(s);
+        }
+        h
     }
 }
 
@@ -104,6 +193,12 @@ impl MetricsRegistry {
     /// Sets the named gauge.
     pub fn set_gauge(&mut self, name: &str, v: f64) {
         self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Drops the named gauge (e.g. a per-session gauge when the session
+    /// closes, so a long-lived registry does not accrete dead names).
+    pub fn remove_gauge(&mut self, name: &str) {
+        self.gauges.remove(name);
     }
 
     /// Records a sample into the named histogram.
@@ -186,6 +281,75 @@ mod tests {
         assert!((h.mean() - 1010.0 / 6.0).abs() < 1e-9);
         assert_eq!(Histogram::bucket_bound(0), 0);
         assert_eq!(Histogram::bucket_bound(3), 7);
+    }
+
+    #[test]
+    fn quantiles_of_point_masses_are_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(42);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_distribution_land_within_bucket_error() {
+        // Uniform over 1..=1000: p50 = 500, p95 = 950, p99 = 990. The log2
+        // buckets bound the error by the owning bucket's width (2x), and
+        // linear interpolation does much better on a uniform fill.
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        for (q, expect) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let got = h.quantile(q);
+            let lo = Histogram::bucket_lo((64 - expect.leading_zeros()) as usize);
+            let hi = Histogram::bucket_bound((64 - expect.leading_zeros()) as usize);
+            assert!(
+                (lo..=hi).contains(&got),
+                "q={q}: got {got}, expected within bucket [{lo}, {hi}] of {expect}"
+            );
+        }
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantiles_of_a_bimodal_distribution_pick_the_right_mode() {
+        let mut h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(5000);
+        }
+        // p50 lands in the fast mode's bucket (values 8..=15).
+        assert!((8..=15).contains(&h.quantile(0.5)), "{}", h.quantile(0.5));
+        // p95+ must land in the slow mode's bucket.
+        for q in [0.95, 0.99] {
+            let got = h.quantile(q);
+            assert!((4096..=5000).contains(&got), "q={q}: got {got}");
+        }
+    }
+
+    #[test]
+    fn rolling_window_forgets_rotated_out_samples() {
+        let mut w = RollingHistogram::new(2);
+        w.observe(1_000_000);
+        w.rotate();
+        w.observe(10);
+        // Both slots still live: the old spike dominates the tail.
+        assert!(w.merged().quantile(0.99) >= 500_000);
+        w.rotate();
+        // The spike's slot has been retired; only the 10 remains.
+        let m = w.merged();
+        assert_eq!(m.count, 1);
+        assert_eq!(m.quantile(0.99), 10);
     }
 
     #[test]

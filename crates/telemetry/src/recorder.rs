@@ -1,0 +1,234 @@
+//! The flight recorder: a bounded per-worker ring of recent span
+//! boundaries, always on, dumped as a Chrome-trace forensics file when a
+//! supervisor rung fires.
+//!
+//! The recorder does *not* add tracing to the hot kernels — it rides on
+//! the span boundaries the pipeline already harvests per frame (and, in a
+//! build without the `telemetry` feature, on the whole-frame span alone,
+//! which always exists). Feeding it is O(spans in the frame) copies into
+//! fixed-capacity rings; old entries fall off the back, so at the moment a
+//! watchdog trip, worker panic, or `session_failed` fires, the dump is
+//! "the last [`FlightRecorder::DEFAULT_CAP`] spans on each worker when it
+//! died", each stamped with the session and request that caused it.
+
+use crate::frame::FrameTelemetry;
+use crate::json::Json;
+use crate::span::{Span, WorkerLog};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One recorded span boundary: where it ran and which request caused it.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightSpan {
+    /// The span itself (kind, interval, args, frame tag).
+    pub span: Span,
+    /// Session the span belongs to.
+    pub session: u64,
+    /// Request id the client chose for the render that produced it.
+    pub request: u64,
+}
+
+/// Bounded per-worker rings of recent spans.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    lanes: BTreeMap<usize, VecDeque<FlightSpan>>,
+    /// Frames fed since construction (dump metadata).
+    pub frames: u64,
+}
+
+impl FlightRecorder {
+    /// Spans retained per worker lane.
+    pub const DEFAULT_CAP: usize = 64;
+
+    /// A recorder keeping `cap` spans per worker lane.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            lanes: BTreeMap::new(),
+            frames: 0,
+        }
+    }
+
+    fn push(&mut self, lane: usize, fs: FlightSpan) {
+        let ring = self.lanes.entry(lane).or_default();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(fs);
+    }
+
+    /// Feeds one frame's telemetry: the whole-frame span lands on the
+    /// driver lane, each worker's spans on its own lane. The correlation
+    /// ids stamp every entry.
+    pub fn record_frame(&mut self, t: &FrameTelemetry, session: u64, request: u64) {
+        self.frames += 1;
+        self.push(
+            WorkerLog::DRIVER,
+            FlightSpan {
+                span: t.frame_span,
+                session,
+                request,
+            },
+        );
+        for w in &t.workers {
+            for &span in w.spans() {
+                self.push(
+                    w.worker,
+                    FlightSpan {
+                        span,
+                        session,
+                        request,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Total spans currently retained across all lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.values().map(VecDeque::len).sum()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the rings as a Chrome-trace document (one process, one
+    /// thread per lane; every event's args carry `session`, `request`,
+    /// `frame`), annotated with the dump `reason`. The output satisfies
+    /// [`validate_chrome_trace`](crate::export::validate_chrome_trace)
+    /// whenever at least one frame was recorded.
+    pub fn chrome_trace(&self, reason: &str) -> Json {
+        let mut events = Vec::new();
+        for (&lane, ring) in &self.lanes {
+            let tid = if lane == WorkerLog::DRIVER {
+                0
+            } else {
+                lane as u64 + 1
+            };
+            let name = if lane == WorkerLog::DRIVER {
+                "driver".to_string()
+            } else {
+                format!("worker {lane}")
+            };
+            events.push(
+                Json::obj()
+                    .with("name", Json::Str("thread_name".into()))
+                    .with("ph", Json::Str("M".into()))
+                    .with("pid", Json::U64(0))
+                    .with("tid", Json::U64(tid))
+                    .with("args", Json::obj().with("name", Json::Str(name))),
+            );
+            for fs in ring {
+                let s = fs.span;
+                events.push(
+                    Json::obj()
+                        .with("name", Json::Str(s.kind.as_str().into()))
+                        .with("cat", Json::Str(s.kind.as_str().into()))
+                        .with("ph", Json::Str("X".into()))
+                        .with("ts", Json::U64(s.start))
+                        .with("dur", Json::U64(s.dur()))
+                        .with("pid", Json::U64(0))
+                        .with("tid", Json::U64(tid))
+                        .with(
+                            "args",
+                            Json::obj()
+                                .with("session", Json::U64(fs.session))
+                                .with("request", Json::U64(fs.request))
+                                .with("frame", Json::U64(s.frame as u64))
+                                .with("arg0", Json::U64(s.arg0 as u64))
+                                .with("arg1", Json::U64(s.arg1 as u64)),
+                        ),
+                );
+            }
+        }
+        Json::obj()
+            .with("traceEvents", Json::Arr(events))
+            .with("displayTimeUnit", Json::Str("ms".into()))
+            .with(
+                "otherData",
+                Json::obj()
+                    .with("kind", Json::Str("swr-flight-recorder".into()))
+                    .with("unit", Json::Str("us".into()))
+                    .with("reason", Json::Str(reason.into()))
+                    .with("frames_seen", Json::U64(self.frames)),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_chrome_trace;
+    use crate::span::{SpanKind, TimeUnit};
+
+    fn frame(label: &str, n_spans: u32) -> FrameTelemetry {
+        let mut t = FrameTelemetry::new(TimeUnit::Micros, label);
+        let mut w = WorkerLog::new(0, 256);
+        for i in 0..n_spans {
+            let at = u64::from(i) * 10;
+            w.record(SpanKind::Composite, at, at + 8, i, 0);
+        }
+        t.workers.push(w);
+        t.finish(u64::from(n_spans) * 10);
+        t
+    }
+
+    #[test]
+    fn rings_are_bounded_and_keep_the_newest_spans() {
+        let mut r = FlightRecorder::new(4);
+        r.record_frame(&frame("pipeline", 10), 3, 7);
+        // Worker lane capped at 4, driver lane holds the frame span.
+        assert_eq!(r.len(), 5);
+        let doc = r.chrome_trace("test");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // The newest composite spans survived (arg0 6..=9).
+        let arg0s: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("composite"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("arg0"))
+                    .and_then(Json::as_u64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(arg0s, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn dumps_validate_and_carry_correlation_ids() {
+        let mut r = FlightRecorder::new(FlightRecorder::DEFAULT_CAP);
+        r.record_frame(&frame("pipeline", 3), 11, 42);
+        let doc = r.chrome_trace("watchdog");
+        validate_chrome_trace(&doc).expect("dump is a valid chrome trace");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        for e in events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        {
+            let args = e.get("args").expect("args");
+            assert_eq!(args.get("session").and_then(Json::as_u64), Some(11));
+            assert_eq!(args.get("request").and_then(Json::as_u64), Some(42));
+        }
+        assert_eq!(
+            doc.get("otherData")
+                .and_then(|o| o.get("reason"))
+                .and_then(Json::as_str),
+            Some("watchdog")
+        );
+    }
+
+    #[test]
+    fn spanless_frames_still_record_the_frame_boundary() {
+        // A no-telemetry build has no worker spans; the frame span alone
+        // must keep the recorder (and its dumps) non-empty.
+        let mut t = FrameTelemetry::new(TimeUnit::Micros, "pipeline");
+        t.finish(100);
+        let mut r = FlightRecorder::new(8);
+        r.record_frame(&t, 1, 2);
+        assert_eq!(r.len(), 1);
+        validate_chrome_trace(&r.chrome_trace("session_failed")).expect("valid");
+    }
+}

@@ -1,0 +1,100 @@
+//! `expo_check` — validates a Prometheus text-exposition scrape produced by
+//! `swr-serve` (the `metrics` protocol op or the `--expose` sidecar) against
+//! the format the exporter promises: `# HELP`/`# TYPE` headers, cumulative
+//! `_bucket{le=...}` series closed by `+Inf`, `_sum`/`_count` pairs, and
+//! `_window{quantile=...}` summaries.
+//!
+//! ```text
+//! expo_check scrape.prom              # exit 0 iff valid, prints a summary
+//! curl -s $URL/metrics | expo_check   # reads stdin when no path is given
+//! expo_check --monotone A.prom B.prom # additionally asserts every counter
+//!                                     # in A is <= its value in B
+//! ```
+//!
+//! Exit codes: `0` valid, `1` invalid or unreadable, `2` usage,
+//! `3` counter regression in `--monotone` mode.
+
+use shearwarp::telemetry::{validate_exposition, ExpoStats};
+use std::io::Read;
+
+fn read_source(path: &str) -> (String, String) {
+    if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("expo_check: cannot read stdin: {e}");
+            std::process::exit(1);
+        }
+        ("<stdin>".to_string(), buf)
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(text) => (path.to_string(), text),
+            Err(e) => {
+                eprintln!("expo_check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn check(path: &str) -> ExpoStats {
+    let (source, text) = read_source(path);
+    match validate_exposition(&text) {
+        Ok(stats) => {
+            println!(
+                "{source}: ok — {} families, {} samples, {} counter series",
+                stats.families,
+                stats.samples,
+                stats.counters.len()
+            );
+            stats
+        }
+        Err(e) => {
+            eprintln!("expo_check: {source}: invalid exposition: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            check("-");
+        }
+        [path] if path != "--monotone" => {
+            check(path);
+        }
+        [flag, first, second] if flag == "--monotone" => {
+            let a = check(first);
+            let b = check(second);
+            // Every counter present in the earlier scrape must still exist
+            // and must not have gone backwards — restarts reset to zero,
+            // which this deliberately flags.
+            let mut regressions = 0usize;
+            for (name, va) in &a.counters {
+                match b.counters.get(name) {
+                    Some(vb) if vb >= va => {}
+                    Some(vb) => {
+                        eprintln!("expo_check: counter {name} regressed: {va} -> {vb}");
+                        regressions += 1;
+                    }
+                    None => {
+                        eprintln!("expo_check: counter {name} vanished between scrapes");
+                        regressions += 1;
+                    }
+                }
+            }
+            if regressions > 0 {
+                std::process::exit(3);
+            }
+            println!(
+                "monotone: ok — {} counter series compared across scrapes",
+                a.counters.len()
+            );
+        }
+        _ => {
+            eprintln!("usage: expo_check [FILE.prom | -]\n       expo_check --monotone FIRST.prom SECOND.prom");
+            std::process::exit(2);
+        }
+    }
+}

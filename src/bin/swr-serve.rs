@@ -37,6 +37,17 @@ fn usage() -> ! {
                           steps down the quality ladder (default 3)
   --recover-after N       consecutive healthy requests before it steps back
                           up (default 2)
+  --expose HOST:PORT      sidecar HTTP listener serving the Prometheus text
+                          exposition (port printed as `exposing on ...`);
+                          scrapes never stall renders
+  --event-log PATH        append structured JSONL operational events
+                          (session open/close, retries, degrade/recover,
+                          sheds, flight dumps) to PATH
+  --flight-dir PATH|none  directory for flight-recorder forensics dumps
+                          (Chrome-trace JSON of the last spans per worker,
+                          written on watchdog trips, worker panics, and
+                          session failures; default <tmp>/swr-flight;
+                          `none` disables)
 
 SIGTERM or SIGINT shuts the daemon down cleanly: live sockets are closed,
 in-flight requests finish, and the process exits 0."
@@ -138,6 +149,12 @@ fn parse() -> ServeConfig {
             "--recover-after" => {
                 cfg.recover_after = val("--recover-after").parse().unwrap_or_else(|_| usage())
             }
+            "--expose" => cfg.expose = Some(val("--expose")),
+            "--event-log" => cfg.event_log = Some(val("--event-log")),
+            "--flight-dir" => {
+                let dir = val("--flight-dir");
+                cfg.flight_dir = if dir == "none" { None } else { Some(dir) };
+            }
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -172,6 +189,9 @@ fn main() {
     };
     // Announced on stdout so harnesses can scrape the ephemeral port.
     println!("listening on {addr}");
+    if let Some(ea) = server.expose_addr() {
+        println!("exposing on {ea}");
+    }
     use std::io::Write;
     let _ = std::io::stdout().flush();
 

@@ -46,6 +46,10 @@ struct Cli {
     connect: Option<String>,
     deadline_ms: Option<u64>,
     fault_json: Option<String>,
+    stats_json: Option<String>,
+    watch: bool,
+    watch_interval_ms: u64,
+    watch_iters: Option<u64>,
 }
 
 impl Default for Cli {
@@ -80,6 +84,10 @@ impl Default for Cli {
             connect: None,
             deadline_ms: None,
             fault_json: None,
+            stats_json: None,
+            watch: false,
+            watch_interval_ms: 1000,
+            watch_iters: None,
         }
     }
 }
@@ -155,6 +163,16 @@ render service (client mode):
   --fault-json JSON            chaos: attach a fault object to the render
                                request, e.g. '{{\"panic_at_task\":1}}'
                                (see crates/serve protocol docs)
+  --stats-json PATH            also request the server's stats + metrics and
+                               write both replies to PATH as one JSON
+                               document (machine-readable ops snapshot)
+  --watch                      live view instead of rendering: poll the
+                               metrics op and redraw a per-session /
+                               per-worker utilization and quality-ladder
+                               table until interrupted
+  --watch-interval-ms MS       polling period for --watch (default 1000)
+  --watch-iters N              stop --watch after N polls (testing/scripts;
+                               default: run until interrupted)
 
 benchmarking:
   --bench                      run the wall-clock benchmark sweep (serial vs
@@ -261,6 +279,16 @@ fn parse() -> Cli {
                 cli.deadline_ms = Some(val("--deadline-ms").parse().unwrap_or_else(|_| usage()))
             }
             "--fault-json" => cli.fault_json = Some(val("--fault-json")),
+            "--stats-json" => cli.stats_json = Some(val("--stats-json")),
+            "--watch" => cli.watch = true,
+            "--watch-interval-ms" => {
+                cli.watch_interval_ms = val("--watch-interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--watch-iters" => {
+                cli.watch_iters = Some(val("--watch-iters").parse().unwrap_or_else(|_| usage()))
+            }
             "-o" | "--output" => cli.output = val("--output"),
             "-h" | "--help" => usage(),
             other => {
@@ -325,6 +353,9 @@ fn run_client(cli: &Cli, addr: &str) -> ! {
         eprintln!("swrender: {msg}");
         std::process::exit(code)
     };
+    if cli.watch {
+        run_watch(cli, addr);
+    }
     if cli.input.is_some() || cli.raw.is_some() {
         die(
             "--connect renders server-side phantoms; --input/--raw are local-only".into(),
@@ -418,10 +449,17 @@ fn run_client(cli: &Cli, addr: &str) -> ! {
         render.set("fault", f);
     }
     send(&render);
+    if cli.stats_json.is_some() {
+        // The queue is FIFO, so these answer after the render frames.
+        send(&Json::obj().with("op", Json::Str("stats".into())));
+        send(&Json::obj().with("op", Json::Str("metrics".into())));
+    }
     // Responses stream back in order; `bye` marks the end of ours.
     send(&Json::obj().with("op", Json::Str("bye".into())));
 
     let mut worst = 0;
+    let mut stats_doc: Option<Json> = None;
+    let mut metrics_doc: Option<Json> = None;
     loop {
         let resp = recv();
         match resp.get("type").and_then(Json::as_str) {
@@ -454,11 +492,177 @@ fn run_client(cli: &Cli, addr: &str) -> ! {
                 eprintln!("swrender: server error [{code}]: {msg}");
                 worst = worst.max(wire_exit_code(code));
             }
+            Some("stats") => stats_doc = Some(resp),
+            Some("metrics") => metrics_doc = Some(resp),
             Some("bye") => break,
             other => die(format!("unexpected response type {other:?}"), 4),
         }
     }
+    if let Some(path) = &cli.stats_json {
+        let mut doc = Json::obj().with("server", Json::Str(addr.into()));
+        if let Some(s) = stats_doc {
+            doc.set("stats", s.get("metrics").cloned().unwrap_or_else(Json::obj));
+        }
+        if let Some(m) = metrics_doc {
+            doc.set(
+                "content_type",
+                m.get("content_type").cloned().unwrap_or(Json::Null),
+            );
+            doc.set(
+                "exposition",
+                m.get("exposition").cloned().unwrap_or(Json::Null),
+            );
+        }
+        std::fs::write(path, format!("{doc}\n"))
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}"), 1));
+        eprintln!("stats -> {path}");
+    }
     std::process::exit(worst)
+}
+
+/// `--connect --watch`: polls the `metrics` op and redraws a compact
+/// operational table — sessions, budget, rolling frame-latency quantiles,
+/// the quality ladder, per-worker utilization, and per-session degradation
+/// levels — parsed client-side from the Prometheus exposition text.
+fn run_watch(cli: &Cli, addr: &str) -> ! {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let die = |msg: String, code: i32| -> ! {
+        eprintln!("swrender: {msg}");
+        std::process::exit(code)
+    };
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| die(format!("cannot connect to {addr}: {e}"), 1));
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap_or_else(|e| die(format!("socket setup failed: {e}"), 1));
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .unwrap_or_else(|e| die(format!("socket setup failed: {e}"), 1)),
+    );
+    let mut tx = stream;
+    let mut scrape = 0u64;
+    loop {
+        scrape += 1;
+        let mut line = r#"{"op":"metrics"}"#.to_string();
+        line.push('\n');
+        tx.write_all(line.as_bytes())
+            .unwrap_or_else(|e| die(format!("send failed: {e}"), 1));
+        let mut resp_line = String::new();
+        match reader.read_line(&mut resp_line) {
+            Ok(0) => die("server closed the connection".into(), 4),
+            Ok(_) => {}
+            Err(e) => die(format!("receive failed: {e}"), 1),
+        }
+        let resp = Json::parse(resp_line.trim())
+            .unwrap_or_else(|e| die(format!("malformed response line: {e}"), 4));
+        if resp.get("type").and_then(Json::as_str) != Some("metrics") {
+            die(format!("unexpected response to metrics op: {resp}"), 4);
+        }
+        let expo = resp.get("exposition").and_then(Json::as_str).unwrap_or("");
+        let samples = parse_exposition_samples(expo);
+        if cli.watch_iters.is_none() {
+            // Interactive refresh: clear and repaint. With --watch-iters
+            // (scripts, tests) emit plain appended blocks instead.
+            print!("\x1b[2J\x1b[H");
+        }
+        print_watch_table(addr, scrape, &samples);
+        let _ = std::io::stdout().flush();
+        if let Some(n) = cli.watch_iters {
+            if scrape >= n {
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(
+            cli.watch_interval_ms.max(10),
+        ));
+    }
+    let _ = tx.write_all(b"{\"op\":\"bye\"}\n");
+    std::process::exit(0)
+}
+
+/// Flattens exposition text into `(sample_name_with_labels, value)` pairs.
+fn parse_exposition_samples(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, val) = l.rsplit_once(' ')?;
+            let v = if val == "+Inf" {
+                f64::INFINITY
+            } else {
+                val.parse().ok()?
+            };
+            Some((name.to_string(), v))
+        })
+        .collect()
+}
+
+fn print_watch_table(addr: &str, scrape: u64, samples: &[(String, f64)]) {
+    let g = |name: &str| -> f64 {
+        samples
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    println!("swr-serve @ {addr} — scrape #{scrape}");
+    println!(
+        "  sessions {:.0} (degraded {:.0})   budget {:.0}/{:.0}   frames {:.0}   errors {:.0}   shed {:.0}",
+        g("swr_serve_sessions"),
+        g("swr_serve_degraded"),
+        g("swr_serve_budget_in_use"),
+        g("swr_serve_budget_total"),
+        g("swr_serve_frames_total"),
+        g("swr_serve_errors_total"),
+        g("swr_serve_shed_total"),
+    );
+    println!(
+        "  frame latency ms (window): p50 {:.0} / p95 {:.0} / p99 {:.0}   queue wait p95 {:.0}   steals p95 {:.0}",
+        g("swr_serve_frame_latency_ms_window{quantile=\"0.5\"}"),
+        g("swr_serve_frame_latency_ms_window{quantile=\"0.95\"}"),
+        g("swr_serve_frame_latency_ms_window{quantile=\"0.99\"}"),
+        g("swr_serve_queue_wait_ms_window{quantile=\"0.95\"}"),
+        g("swr_serve_frame_steals_window{quantile=\"0.95\"}"),
+    );
+    println!(
+        "  quality ladder: full {:.0}  repaired {:.0}  reduced {:.0}  serial {:.0}   retries {:.0}  fallbacks {:.0}  flight dumps {:.0}",
+        g("swr_serve_quality_full_total"),
+        g("swr_serve_quality_repaired_total"),
+        g("swr_serve_quality_reduced_total"),
+        g("swr_serve_quality_serial_total"),
+        g("swr_serve_retries_total"),
+        g("swr_serve_serial_fallbacks_total"),
+        g("swr_serve_flight_dumps_total"),
+    );
+    let utils: Vec<String> = samples
+        .iter()
+        .filter_map(|(n, v)| {
+            let w = n.strip_prefix("swr_serve_util_")?;
+            Some(format!("{w} {v:.0}%"))
+        })
+        .collect();
+    if !utils.is_empty() {
+        println!("  worker util: {}", utils.join("  "));
+    }
+    let levels: Vec<String> = samples
+        .iter()
+        .filter_map(|(n, v)| {
+            let id = n
+                .strip_prefix("swr_serve_session_")?
+                .strip_suffix("_level")?;
+            let level = match *v as u64 {
+                0 => "full",
+                1 => "reduced",
+                _ => "serial_only",
+            };
+            Some(format!("s{id}={level}"))
+        })
+        .collect();
+    if !levels.is_empty() {
+        println!("  session levels: {}", levels.join("  "));
+    }
 }
 
 /// Rebuilds a [`FinalImage`] from a frame response's hex `pixels` payload

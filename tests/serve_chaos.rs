@@ -367,6 +367,166 @@ fn overload_sheds_degrades_and_recovers() {
 }
 
 #[test]
+fn exposition_stays_valid_under_chaos_load() {
+    quiet_panics();
+    let handle = spawn(ServeConfig::default()).expect("spawn server");
+    let mut render = Client::connect(&handle);
+    render.hello(2);
+    // A second connection scrapes via the `metrics` protocol op while the
+    // first alternates faulted and healthy renders — the scrape must stay
+    // parseable, complete, and monotone throughout.
+    let mut scraper = Client::connect(&handle);
+    let mut last_frames = 0.0;
+    let mut last_text = String::new();
+    for round in 0..4u64 {
+        let fault = (round % 2 == 0).then_some(r#"{"panic_at_task":1}"#);
+        render.send_render(300 + round, fault);
+        let v = render.recv();
+        assert!(
+            matches!(
+                v.get("type").and_then(Json::as_str),
+                Some("frame") | Some("error")
+            ),
+            "round {round}: {v:?}"
+        );
+
+        scraper.send(r#"{"op":"metrics"}"#);
+        let m = scraper.recv();
+        assert_eq!(
+            m.get("type").and_then(Json::as_str),
+            Some("metrics"),
+            "{m:?}"
+        );
+        assert_eq!(
+            m.get("content_type").and_then(Json::as_str),
+            Some(shearwarp::telemetry::EXPOSITION_CONTENT_TYPE)
+        );
+        let text = m
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition text");
+        let stats = shearwarp::telemetry::validate_exposition(text)
+            .unwrap_or_else(|e| panic!("round {round}: invalid exposition: {e}"));
+        assert!(stats.families > 0 && stats.samples > 0);
+        let frames = stats
+            .counters
+            .get("swr_serve_frames_total")
+            .copied()
+            .unwrap_or(0.0);
+        assert!(
+            frames >= last_frames,
+            "frames counter went backwards: {last_frames} -> {frames}"
+        );
+        last_frames = frames;
+        last_text = text.to_string();
+    }
+    assert!(last_frames >= 1.0, "healthy rounds produced frames");
+    // The scrape carries the full latency family: cumulative buckets with
+    // explicit upper bounds, the _sum/_count pair, and the rolling-window
+    // quantile summary the dashboards read.
+    for needle in [
+        "swr_serve_frame_latency_ms_bucket{le=",
+        "swr_serve_frame_latency_ms_sum",
+        "swr_serve_frame_latency_ms_count",
+        "swr_serve_frame_latency_ms_window{quantile=\"0.5\"}",
+        "swr_serve_frame_latency_ms_window{quantile=\"0.95\"}",
+        "swr_serve_frame_latency_ms_window{quantile=\"0.99\"}",
+    ] {
+        assert!(
+            last_text.contains(needle),
+            "exposition is missing {needle}:\n{last_text}"
+        );
+    }
+    render.send(r#"{"op":"bye"}"#);
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn faults_dump_correlated_flight_traces() {
+    quiet_panics();
+    let dir = std::env::temp_dir().join(format!("swr-flight-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = spawn(ServeConfig {
+        flight_dir: Some(dir.to_string_lossy().into_owned()),
+        ..ServeConfig::default()
+    })
+    .expect("spawn server");
+
+    // One session per fault class, each with a unique request id so the
+    // dumps can be matched back to the request that caused them. Worker
+    // panics are repaired *inside* the pipeline (band handoff) without
+    // failing the attempt, so they must NOT dump — forensics are for
+    // faults that escalate. A truncated queue stalls the scheduler and
+    // walks the retry ladder (one dump per rung); a sink panic escapes the
+    // ladder entirely and exercises the supervisor's `session_failed` dump.
+    let repaired: (u64, &str, &str) = (401, "task panic", r#"{"panic_at_task":1,"sticky":true}"#);
+    let escalating: [(u64, &str, &str); 2] = [
+        (
+            402,
+            "truncated queue",
+            r#"{"truncate_queue":1000,"sticky":true}"#,
+        ),
+        (403, "sink panic", r#"{"panic_sink_at":0,"sticky":true}"#),
+    ];
+    for (id, name, fault) in std::iter::once(repaired).chain(escalating) {
+        let mut c = Client::connect(&handle);
+        c.hello(2);
+        c.send_render(id, Some(fault));
+        let v = c.recv();
+        assert!(
+            matches!(
+                v.get("type").and_then(Json::as_str),
+                Some("frame") | Some("error")
+            ),
+            "{name}: {v:?}"
+        );
+        c.send(r#"{"op":"bye"}"#);
+        let v = c.recv();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("bye"), "{v:?}");
+    }
+
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("flight dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        !names.iter().any(|n| n.contains("-r401-")),
+        "a repaired-in-place fault must leave no forensics dump: {names:?}"
+    );
+    for (id, name, _) in escalating {
+        let file = names
+            .iter()
+            .find(|n| n.contains(&format!("-r{id}-")))
+            .unwrap_or_else(|| panic!("{name}: no flight dump for request {id} in {names:?}"));
+        let text = std::fs::read_to_string(dir.join(file)).expect("read dump");
+        let doc = Json::parse(&text).expect("dump is JSON");
+        shearwarp::telemetry::validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| panic!("{name}: invalid flight trace: {e}"));
+        // Correlation: the trace's spans carry the failing request's id.
+        let correlated = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents")
+            .iter()
+            .any(|ev| {
+                ev.get("args")
+                    .and_then(|a| a.get("request"))
+                    .and_then(Json::as_u64)
+                    == Some(id)
+            });
+        assert!(correlated, "{name}: no span correlated to request {id}");
+    }
+    assert!(
+        names.iter().any(|n| n.contains("session_failed")),
+        "the escaped sink panic produced a session_failed dump: {names:?}"
+    );
+    assert!(handle.metrics().counter("serve.flight_dumps") >= 2);
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn queue_overflow_sheds_at_the_door() {
     quiet_panics();
     // Queue depth 1: pipelining many requests at a busy session overflows
