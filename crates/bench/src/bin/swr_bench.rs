@@ -5,23 +5,156 @@
 //! swr-bench [--base N] [--threads a,b,c] [--frames N] [--warmup N] [--out PATH]
 //!           [--force-scalar]
 //! swr-bench --validate PATH     # CI: schema-check an emitted document
+//! swr-bench --replay TRACE [--renderer NAME|all] [--mode throughput|realtime]
+//!           [--check] [--out PATH]
+//!                               # drive a recorded workload trace
+//! swr-bench --gate FRESH --baseline PATH [--threshold PCT] [--out PATH]
+//!                               # fail (exit 1) on significant regressions
+//! swr-bench --gate-self-test PATH [--threshold PCT]
+//!                               # prove the gate fires on a doctored row
 //! ```
 
+use swr_bench::gate::{bench_gate, gate_self_test, GateConfig};
+use swr_bench::trace::{hash_chain, replay_trace, ReplayMode, WorkloadTrace, RENDERERS};
 use swr_bench::wall::{host_name, run_wall_bench, validate_bench_json, WallBenchConfig};
 use swr_telemetry::Json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: swr-bench [--base N] [--threads a,b,c] [--frames N] [--warmup N] \
-         [--out PATH] [--smoke] [--force-scalar]\n       swr-bench --validate PATH"
+         [--out PATH] [--smoke] [--force-scalar]\n       \
+         swr-bench --validate PATH\n       \
+         swr-bench --replay TRACE [--renderer NAME|all] [--mode throughput|realtime] \
+         [--check] [--out PATH]\n       \
+         swr-bench --gate FRESH --baseline PATH [--threshold PCT] [--out PATH]\n       \
+         swr-bench --gate-self-test PATH [--threshold PCT]"
     );
     std::process::exit(2);
+}
+
+fn read_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("swr-bench: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("swr-bench: {path}: invalid JSON: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn write_out(path: &str, doc: &Json) {
+    if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+        eprintln!("swr-bench: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}
+
+/// Replays `trace_path` through the selected renderer(s). With `check`,
+/// each renderer replays twice and every hash sequence must be
+/// bit-identical — across the two runs *and* across renderers.
+fn run_replay(
+    trace_path: &str,
+    renderer: &str,
+    mode: ReplayMode,
+    check: bool,
+    out_path: Option<String>,
+) -> ! {
+    let text = std::fs::read_to_string(trace_path).unwrap_or_else(|e| {
+        eprintln!("swr-bench: cannot read {trace_path}: {e}");
+        std::process::exit(1);
+    });
+    let trace = WorkloadTrace::parse(&text).unwrap_or_else(|e| {
+        eprintln!("swr-bench: {trace_path}: malformed trace: {e}");
+        std::process::exit(1);
+    });
+    let renderers: Vec<&str> = if renderer == "all" {
+        RENDERERS.to_vec()
+    } else if RENDERERS.contains(&renderer) {
+        vec![renderer]
+    } else {
+        eprintln!("swr-bench: unknown renderer {renderer:?} (want one of {RENDERERS:?} or all)");
+        std::process::exit(2);
+    };
+    let mut rows = Vec::new();
+    let mut reference: Option<(String, Vec<String>)> = None;
+    let mut failed = false;
+    for r in renderers {
+        let runs = if check { 2 } else { 1 };
+        let mut first: Option<Vec<String>> = None;
+        for run in 0..runs {
+            let out = replay_trace(&trace, r, mode, None, None).unwrap_or_else(|e| {
+                eprintln!("swr-bench: replay through {r} failed: {e}");
+                std::process::exit(1);
+            });
+            let mean = out.frame_ms.iter().sum::<f64>() / out.frame_ms.len().max(1) as f64;
+            println!(
+                "{r} x{} {}: {} frames, {:.2} ms/frame mean, chain {}{}",
+                out.threads,
+                mode.name(),
+                out.frame_ms.len(),
+                mean,
+                hash_chain(&out.hashes),
+                if mode == ReplayMode::Realtime {
+                    format!(", {} missed deadlines", out.missed)
+                } else {
+                    String::new()
+                }
+            );
+            if let Some(first) = &first {
+                if *first != out.hashes {
+                    eprintln!("swr-bench: {r}: run {run} hashes differ from run 0 — replay is not deterministic");
+                    failed = true;
+                }
+            }
+            match &reference {
+                Some((ref_name, ref_hashes)) if check && *ref_hashes != out.hashes => {
+                    eprintln!("swr-bench: {r} pixels differ from {ref_name} — renderers disagree");
+                    failed = true;
+                }
+                _ => {}
+            }
+            if first.is_none() {
+                first = Some(out.hashes.clone());
+            }
+            if run == 0 {
+                if reference.is_none() {
+                    reference = Some((r.to_string(), out.hashes.clone()));
+                }
+                rows.push(out.to_json());
+            }
+        }
+    }
+    if let Some(path) = out_path {
+        let doc = Json::obj()
+            .with("schema", Json::Str("swr-replay-report/1".into()))
+            .with("trace", Json::Str(trace_path.into()))
+            .with("host", Json::Str(host_name()))
+            .with("results", Json::Arr(rows));
+        write_out(&path, &doc);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if check {
+        println!("replay check ok: all runs and renderers bit-identical");
+    }
+    std::process::exit(0);
 }
 
 fn main() {
     let mut cfg = WallBenchConfig::default();
     let mut out_path: Option<String> = None;
     let mut validate_path: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut renderer = "all".to_string();
+    let mut mode = ReplayMode::Throughput;
+    let mut check = false;
+    let mut gate_fresh: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut self_test_path: Option<String> = None;
+    let mut gate_cfg = GateConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -50,6 +183,25 @@ fn main() {
             }
             "--force-scalar" => cfg.force_scalar = true,
             "--validate" => validate_path = Some(value("--validate")),
+            "--replay" => replay_path = Some(value("--replay")),
+            "--renderer" => renderer = value("--renderer"),
+            "--mode" => {
+                mode = match value("--mode").as_str() {
+                    "throughput" => ReplayMode::Throughput,
+                    "realtime" => ReplayMode::Realtime,
+                    other => {
+                        eprintln!("unknown replay mode {other:?} (want throughput|realtime)");
+                        usage()
+                    }
+                }
+            }
+            "--check" => check = true,
+            "--gate" => gate_fresh = Some(value("--gate")),
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--gate-self-test" => self_test_path = Some(value("--gate-self-test")),
+            "--threshold" => {
+                gate_cfg.threshold_pct = value("--threshold").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -59,14 +211,7 @@ fn main() {
     }
 
     if let Some(path) = validate_path {
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            eprintln!("swr-bench: cannot read {path}: {e}");
-            std::process::exit(1);
-        });
-        let doc = Json::parse(&text).unwrap_or_else(|e| {
-            eprintln!("swr-bench: {path}: invalid JSON: {e}");
-            std::process::exit(1);
-        });
+        let doc = read_json(&path);
         match validate_bench_json(&doc) {
             Ok(()) => {
                 // v1 documents still validate; report the tag the file
@@ -85,15 +230,62 @@ fn main() {
         }
     }
 
+    if let Some(path) = replay_path {
+        run_replay(&path, &renderer, mode, check, out_path);
+    }
+
+    if let Some(path) = self_test_path {
+        let baseline = read_json(&path);
+        match gate_self_test(&baseline, &gate_cfg) {
+            Ok(msg) => {
+                println!("{msg}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("swr-bench: gate self-test FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(fresh_path) = gate_fresh {
+        let baseline_path = baseline_path.unwrap_or_else(|| {
+            eprintln!("swr-bench: --gate needs --baseline PATH");
+            usage()
+        });
+        let baseline = read_json(&baseline_path);
+        let fresh = read_json(&fresh_path);
+        let outcome = bench_gate(&baseline, &fresh, &gate_cfg).unwrap_or_else(|e| {
+            eprintln!("swr-bench: gate cannot run: {e}");
+            std::process::exit(1);
+        });
+        for line in outcome.report_lines() {
+            println!("{line}");
+        }
+        if let Some(path) = out_path {
+            write_out(&path, &outcome.to_json());
+        }
+        if outcome.passed() {
+            println!(
+                "gate passed: {} rows compared, no significant regression over {}%",
+                outcome.comparisons.len(),
+                gate_cfg.threshold_pct
+            );
+            return;
+        }
+        eprintln!(
+            "swr-bench: gate FAILED: {} of {} rows regressed significantly",
+            outcome.regressions().len(),
+            outcome.comparisons.len()
+        );
+        std::process::exit(1);
+    }
+
     if cfg.frames == 0 || cfg.threads.is_empty() {
         eprintln!("swr-bench: need at least one measured frame and one thread count");
         usage();
     }
     let doc = run_wall_bench(&cfg, |line| eprintln!("{line}"));
     let path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", host_name()));
-    if let Err(e) = std::fs::write(&path, format!("{doc}\n")) {
-        eprintln!("swr-bench: cannot write {path}: {e}");
-        std::process::exit(1);
-    }
-    println!("wrote {path}");
+    write_out(&path, &doc);
 }

@@ -1,0 +1,512 @@
+//! The benchmark regression gate: compares a fresh `BENCH_*.json` run
+//! against a committed baseline and fails **only on statistically
+//! significant regressions**.
+//!
+//! A row regresses when BOTH hold for its `frame_ms_stats`:
+//!
+//! 1. the fresh mean exceeds the baseline mean by more than the configured
+//!    threshold percentage, and
+//! 2. the two 95% confidence intervals are disjoint (the difference is
+//!    significant at the interval level — a noisy host widens its own CI
+//!    and thereby *protects itself* from flagging a lucky sample).
+//!
+//! Rows match on `(phantom, renderer, threads)`. When the two documents
+//! come from different hosts (or different volume sizes), absolute
+//! milliseconds are incomparable; the gate then **calibrates** the baseline
+//! through the ratio of serial means per phantom — effectively gating on
+//! relative speedups, the quantity the paper's claims are actually about —
+//! and records that it did so. Rows without stats objects (pre-`/4`
+//! documents) are skipped with a note, never silently passed as compared.
+
+use crate::stats::SummaryStats;
+use swr_telemetry::Json;
+
+/// Gate configuration.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Minimum mean regression, in percent, before a significant difference
+    /// fails the gate (CI disjointness alone is not enough — a 0.5% shift
+    /// can be significant on a quiet host and still not worth failing CI).
+    pub threshold_pct: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { threshold_pct: 5.0 }
+    }
+}
+
+/// One matched row's comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// `phantom/renderer/threads` row key.
+    pub key: String,
+    /// Baseline stats after calibration (scaled by the serial ratio when
+    /// the documents are cross-host).
+    pub baseline: SummaryStats,
+    /// Fresh stats.
+    pub fresh: SummaryStats,
+    /// Mean delta relative to the (calibrated) baseline, percent; positive
+    /// is slower.
+    pub delta_pct: f64,
+    /// The CIs are disjoint (the delta is significant).
+    pub significant: bool,
+    /// Significant AND slower than the threshold: this row fails the gate.
+    pub regression: bool,
+}
+
+/// The gate's full outcome. [`GateOutcome::passed`] is the CI verdict.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// The baseline was rescaled through serial means (cross-host mode).
+    pub calibrated: bool,
+    /// Every matched-and-compared row.
+    pub comparisons: Vec<Comparison>,
+    /// Rows that could not be compared, with reasons (missing stats,
+    /// missing counterpart, no serial calibration anchor).
+    pub skipped: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when no compared row regressed.
+    pub fn passed(&self) -> bool {
+        self.comparisons.iter().all(|c| !c.regression)
+    }
+
+    /// The failing rows.
+    pub fn regressions(&self) -> Vec<&Comparison> {
+        self.comparisons.iter().filter(|c| c.regression).collect()
+    }
+
+    /// Human-readable report lines, one per compared/skipped row.
+    pub fn report_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.calibrated {
+            out.push(
+                "note: cross-host documents; baseline calibrated by serial-mean ratio per phantom"
+                    .to_string(),
+            );
+        }
+        for c in &self.comparisons {
+            let verdict = if c.regression {
+                "REGRESSION"
+            } else if c.significant && c.delta_pct < 0.0 {
+                "improved"
+            } else {
+                "ok"
+            };
+            out.push(format!(
+                "{}: {:.3} ms -> {:.3} ms ({:+.1}%, CI [{:.3}, {:.3}] vs [{:.3}, {:.3}]) {}",
+                c.key,
+                c.baseline.mean,
+                c.fresh.mean,
+                c.delta_pct,
+                c.baseline.ci95_lo,
+                c.baseline.ci95_hi,
+                c.fresh.ci95_lo,
+                c.fresh.ci95_hi,
+                verdict
+            ));
+        }
+        for s in &self.skipped {
+            out.push(format!("skipped: {s}"));
+        }
+        out
+    }
+
+    /// Machine-readable gate report.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("schema", Json::Str("swr-bench-gate/1".into()))
+            .with("calibrated", Json::Bool(self.calibrated))
+            .with("passed", Json::Bool(self.passed()))
+            .with(
+                "comparisons",
+                Json::Arr(
+                    self.comparisons
+                        .iter()
+                        .map(|c| {
+                            Json::obj()
+                                .with("key", Json::Str(c.key.clone()))
+                                .with("baseline_mean_ms", Json::F64(c.baseline.mean))
+                                .with("fresh_mean_ms", Json::F64(c.fresh.mean))
+                                .with("delta_pct", Json::F64(c.delta_pct))
+                                .with("significant", Json::Bool(c.significant))
+                                .with("regression", Json::Bool(c.regression))
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "skipped",
+                Json::Arr(self.skipped.iter().map(|s| Json::Str(s.clone())).collect()),
+            )
+    }
+}
+
+/// One document's gate-relevant rows: key → (stats, is_serial, phantom).
+struct DocRows {
+    host: String,
+    base: Option<u64>,
+    rows: Vec<(String, String, String, u64, Option<SummaryStats>)>,
+}
+
+fn doc_rows(doc: &Json, which: &str) -> Result<DocRows, String> {
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{which}: missing results array"))?;
+    let host = doc
+        .get("host")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let base = doc
+        .get("config")
+        .and_then(|c| c.get("base"))
+        .and_then(Json::as_u64);
+    let mut rows = Vec::new();
+    for (i, row) in results.iter().enumerate() {
+        let renderer = row
+            .get("renderer")
+            .and_then(Json::as_str)
+            .ok_or(format!("{which}: results[{i}] missing renderer"))?
+            .to_string();
+        let phantom = row
+            .get("phantom")
+            .and_then(Json::as_str)
+            .unwrap_or("default")
+            .to_string();
+        let threads = row.get("threads").and_then(Json::as_u64).unwrap_or(1);
+        let stats = row.get("frame_ms_stats").and_then(SummaryStats::from_json);
+        let key = format!("{phantom}/{renderer}/x{threads}");
+        rows.push((key, phantom, renderer, threads, stats));
+    }
+    Ok(DocRows { host, base, rows })
+}
+
+/// Runs the gate: `fresh` against `baseline` under `cfg`. Errors are
+/// structural (documents that are not bench documents at all); a clean run
+/// with regressions returns `Ok` with [`GateOutcome::passed`] = false.
+pub fn bench_gate(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> Result<GateOutcome, String> {
+    let base_doc = doc_rows(baseline, "baseline")?;
+    let fresh_doc = doc_rows(fresh, "fresh")?;
+    let mut out = GateOutcome {
+        // Absolute wall-clock is only comparable within one host *and* one
+        // volume size; otherwise normalize through the serial baseline.
+        calibrated: base_doc.host != fresh_doc.host || base_doc.base != fresh_doc.base,
+        ..GateOutcome::default()
+    };
+
+    // Per-phantom calibration anchors: ratio of fresh to baseline serial
+    // means (1.0 in same-host mode).
+    let serial_mean = |doc: &DocRows, phantom: &str| -> Option<f64> {
+        doc.rows
+            .iter()
+            .find(|(_, p, r, _, _)| p == phantom && r == "serial")
+            .and_then(|(_, _, _, _, s)| s.as_ref())
+            .map(|s| s.mean)
+    };
+
+    for (key, phantom, renderer, threads, fresh_stats) in &fresh_doc.rows {
+        let Some(fresh_stats) = fresh_stats else {
+            out.skipped
+                .push(format!("{key}: fresh row has no frame_ms_stats"));
+            continue;
+        };
+        let Some((_, _, _, _, base_stats)) = base_doc
+            .rows
+            .iter()
+            .find(|(_, p, r, t, _)| p == phantom && r == renderer && t == threads)
+        else {
+            out.skipped.push(format!("{key}: no baseline row"));
+            continue;
+        };
+        let Some(base_stats) = base_stats else {
+            out.skipped.push(format!(
+                "{key}: baseline row has no frame_ms_stats (pre-/4 document)"
+            ));
+            continue;
+        };
+        let scale = if out.calibrated {
+            if renderer == "serial" {
+                // The anchor itself: comparing it post-calibration is a
+                // tautology (ratio 1 by construction).
+                out.skipped
+                    .push(format!("{key}: serial row is the calibration anchor"));
+                continue;
+            }
+            match (
+                serial_mean(&fresh_doc, phantom),
+                serial_mean(&base_doc, phantom),
+            ) {
+                (Some(f), Some(b)) if b > 0.0 && f > 0.0 => f / b,
+                _ => {
+                    out.skipped.push(format!(
+                        "{key}: no serial anchor for phantom {phantom} on both sides"
+                    ));
+                    continue;
+                }
+            }
+        } else {
+            1.0
+        };
+        let calibrated_base = base_stats.scaled(scale);
+        let delta_pct = if calibrated_base.mean > 0.0 {
+            (fresh_stats.mean - calibrated_base.mean) / calibrated_base.mean * 100.0
+        } else {
+            0.0
+        };
+        let significant = !fresh_stats.ci_overlaps(&calibrated_base);
+        let regression = significant && delta_pct > cfg.threshold_pct;
+        out.comparisons.push(Comparison {
+            key: key.clone(),
+            baseline: calibrated_base,
+            fresh: fresh_stats.clone(),
+            delta_pct,
+            significant,
+            regression,
+        });
+    }
+    if out.comparisons.is_empty() {
+        return Err(format!(
+            "no comparable rows between the documents ({} skipped)",
+            out.skipped.len()
+        ));
+    }
+    Ok(out)
+}
+
+/// Rebuilds an object with `key` replaced by `value` (the builder `set`
+/// appends rather than replaces).
+fn with_replaced(obj: &Json, key: &str, value: &Json) -> Json {
+    let mut out = Json::obj();
+    if let Some(pairs) = obj.as_obj() {
+        for (k, v) in pairs {
+            out.set(k, if k == key { value.clone() } else { v.clone() });
+        }
+    }
+    out
+}
+
+/// Shifts a stats object's location while keeping its spread: the
+/// synthetic "this row got slower" a self-test injects. The shift is
+/// `(factor - 1)` × mean plus twice the CI width, so the doctored interval
+/// is guaranteed disjoint from the original no matter how noisy the
+/// baseline row is.
+fn inflate_stats(s: &SummaryStats, factor: f64) -> SummaryStats {
+    let shift = s.mean * (factor - 1.0) + 2.0 * (s.ci95_hi - s.ci95_lo);
+    SummaryStats {
+        n: s.n,
+        mean: s.mean + shift,
+        trimmed_mean: s.trimmed_mean + shift,
+        stddev: s.stddev,
+        ci95_lo: s.ci95_lo + shift,
+        ci95_hi: s.ci95_hi + shift,
+        p50: s.p50 + shift,
+        p95: s.p95 + shift,
+        p99: s.p99 + shift,
+        min: s.min + shift,
+        max: s.max + shift,
+        iqr_outliers: s.iqr_outliers,
+    }
+}
+
+/// Deterministic gate self-test for CI: proves the gate *fires* without
+/// depending on live timings. Clones `baseline`, inflates one parallel
+/// row's timing stats by 3× (location shifted, spread kept), and asserts
+/// that (a) baseline-vs-baseline passes and (b) baseline-vs-inflated fails
+/// on exactly the doctored row. Returns a description of what fired.
+pub fn gate_self_test(baseline: &Json, cfg: &GateConfig) -> Result<String, String> {
+    let clean = bench_gate(baseline, baseline, cfg)?;
+    if !clean.passed() {
+        return Err(format!(
+            "baseline regressed against itself: {:?}",
+            clean
+                .regressions()
+                .iter()
+                .map(|c| c.key.clone())
+                .collect::<Vec<_>>()
+        ));
+    }
+
+    // Doctor the first parallel row carrying stats; the inflation shift is
+    // constructed to be significant whatever the row's noise level.
+    let results = baseline
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing results array")?;
+    let mut doctored: Option<(usize, String)> = None;
+    let mut new_rows = Vec::with_capacity(results.len());
+    for (i, row) in results.iter().enumerate() {
+        if doctored.is_none() && row.get("renderer").and_then(Json::as_str) != Some("serial") {
+            if let Some(s) = row.get("frame_ms_stats").and_then(SummaryStats::from_json) {
+                let inflated = inflate_stats(&s, 3.0);
+                new_rows.push(with_replaced(row, "frame_ms_stats", &inflated.to_json()));
+                let key = format!(
+                    "{}/{}/x{}",
+                    row.get("phantom")
+                        .and_then(Json::as_str)
+                        .unwrap_or("default"),
+                    row.get("renderer").and_then(Json::as_str).unwrap_or("?"),
+                    row.get("threads").and_then(Json::as_u64).unwrap_or(1)
+                );
+                doctored = Some((i, key));
+                continue;
+            }
+        }
+        new_rows.push(row.clone());
+    }
+    let (_, doctored_key) =
+        doctored.ok_or("baseline has no parallel row with frame_ms_stats to doctor")?;
+    let inflated_doc = with_replaced(baseline, "results", &Json::Arr(new_rows));
+
+    let fired = bench_gate(baseline, &inflated_doc, cfg)?;
+    let hits: Vec<String> = fired.regressions().iter().map(|c| c.key.clone()).collect();
+    if fired.passed() {
+        return Err(format!(
+            "gate did NOT fire on row {doctored_key} inflated 3x"
+        ));
+    }
+    if hits != vec![doctored_key.clone()] {
+        return Err(format!(
+            "gate fired on {hits:?}, expected exactly [{doctored_key}]"
+        ));
+    }
+    Ok(format!(
+        "gate self-test ok: fired on doctored row {doctored_key}, passed on clean baseline"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic v4-shaped document: serial + new rows with the given
+    /// per-row mean (tight, zero-excluding CIs).
+    fn doc(host: &str, base: u64, serial_mean: f64, new_mean: f64) -> Json {
+        let stats = |mean: f64| {
+            SummaryStats::from_samples(&[mean * 0.98, mean, mean * 1.02, mean * 0.99, mean * 1.01])
+                .expect("stats")
+                .to_json()
+        };
+        let row = |renderer: &str, mean: f64| {
+            Json::obj()
+                .with("renderer", Json::Str(renderer.into()))
+                .with("phantom", Json::Str("MriBrain".into()))
+                .with(
+                    "threads",
+                    Json::U64(if renderer == "serial" { 1 } else { 2 }),
+                )
+                .with("frame_ms_stats", stats(mean))
+        };
+        Json::obj()
+            .with("schema", Json::Str("swr-bench-wall/4".into()))
+            .with("host", Json::Str(host.into()))
+            .with("config", Json::obj().with("base", Json::U64(base)))
+            .with(
+                "results",
+                Json::Arr(vec![row("serial", serial_mean), row("new", new_mean)]),
+            )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc("vm", 40, 10.0, 4.0);
+        let out = bench_gate(&d, &d, &GateConfig::default()).expect("gate runs");
+        assert!(!out.calibrated);
+        assert!(out.passed());
+        assert_eq!(out.comparisons.len(), 2);
+    }
+
+    #[test]
+    fn significant_slowdown_fails_and_noise_does_not() {
+        let base = doc("vm", 40, 10.0, 4.0);
+        // 50% slower with tight CIs: fires.
+        let slow = doc("vm", 40, 10.0, 6.0);
+        let out = bench_gate(&base, &slow, &GateConfig::default()).expect("gate runs");
+        assert!(!out.passed());
+        let regs = out.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "MriBrain/new/x2");
+        assert!(regs[0].significant);
+        // 2% slower: under threshold, passes even though CIs may separate.
+        let slight = doc("vm", 40, 10.0, 4.08);
+        assert!(bench_gate(&base, &slight, &GateConfig::default())
+            .expect("gate runs")
+            .passed());
+        // An *improvement* never fires.
+        let fast = doc("vm", 40, 10.0, 2.0);
+        assert!(bench_gate(&base, &fast, &GateConfig::default())
+            .expect("gate runs")
+            .passed());
+    }
+
+    #[test]
+    fn wide_intervals_protect_a_noisy_host() {
+        let base = doc("vm", 40, 10.0, 4.0);
+        // 30% slower but with a CI so wide it overlaps the baseline's: the
+        // difference is not significant, so the gate must not fire.
+        let noisy_stats = SummaryStats::from_samples(&[2.0, 9.0, 4.5, 6.0, 4.6]).expect("stats");
+        let results = base.get("results").and_then(Json::as_arr).expect("rows");
+        let doctored = with_replaced(&results[1], "frame_ms_stats", &noisy_stats.to_json());
+        let fresh = with_replaced(
+            &base,
+            "results",
+            &Json::Arr(vec![results[0].clone(), doctored]),
+        );
+        let out = bench_gate(&base, &fresh, &GateConfig::default()).expect("gate runs");
+        assert!(out.passed(), "{:?}", out.report_lines());
+        let c = &out.comparisons[1];
+        assert!(c.delta_pct > 5.0 && !c.significant);
+    }
+
+    #[test]
+    fn cross_host_documents_calibrate_through_the_serial_anchor() {
+        // The CI host is 3x slower across the board: after calibration the
+        // parallel row is *not* a regression.
+        let base = doc("vm", 40, 10.0, 4.0);
+        let ci_uniform = doc("ci", 24, 30.0, 12.0);
+        let out = bench_gate(&base, &ci_uniform, &GateConfig::default()).expect("gate runs");
+        assert!(out.calibrated);
+        assert!(out.passed(), "{:?}", out.report_lines());
+        // Serial rows are the anchor, not a comparison.
+        assert_eq!(out.comparisons.len(), 1);
+        // But a host that is 3x slower on serial and 9x slower on the
+        // parallel row has lost its speedup: that fires even calibrated.
+        let ci_regressed = doc("ci", 24, 30.0, 36.0);
+        let out = bench_gate(&base, &ci_regressed, &GateConfig::default()).expect("gate runs");
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn rows_without_stats_are_skipped_loudly() {
+        let base = doc("vm", 40, 10.0, 4.0);
+        let results = base.get("results").and_then(Json::as_arr).expect("rows");
+        let stripped: Vec<Json> = results
+            .iter()
+            .map(|r| {
+                let mut out = Json::obj();
+                for (k, v) in r.as_obj().expect("obj") {
+                    if k != "frame_ms_stats" {
+                        out.set(k, v.clone());
+                    }
+                }
+                out
+            })
+            .collect();
+        let legacy = with_replaced(&base, "results", &Json::Arr(stripped));
+        // Legacy baseline: every fresh row skips; no comparable rows is an
+        // error, not a silent pass.
+        assert!(bench_gate(&legacy, &base, &GateConfig::default())
+            .unwrap_err()
+            .contains("no comparable rows"));
+    }
+
+    #[test]
+    fn self_test_fires_on_the_doctored_row_only() {
+        let base = doc("vm", 40, 10.0, 4.0);
+        let msg = gate_self_test(&base, &GateConfig::default()).expect("self test passes");
+        assert!(msg.contains("MriBrain/new/x2"), "{msg}");
+    }
+}

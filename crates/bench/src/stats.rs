@@ -1,0 +1,315 @@
+//! Summary statistics for benchmark series.
+//!
+//! Every timing series the wall-clock harness emits is reduced here: mean,
+//! 10%-trimmed mean, sample standard deviation, a Student-t 95% confidence
+//! interval on the mean, the p50/p95/p99 percentiles, and an IQR outlier
+//! count. Bare means (the pre-`swr-bench-wall/4` reporting) hide exactly
+//! the variance the paper's speedup claims rest on; the regression gate
+//! (`gate.rs`) compares *confidence intervals*, not point estimates, so a
+//! noisy host cannot fail CI on a lucky sample and a real slowdown cannot
+//! hide behind one fast frame.
+//!
+//! The math is deliberately self-contained (no external stats crate): a
+//! two-sided t critical-value table down to one degree of freedom, linear
+//! interpolation for percentiles, and NaN-free handling of the degenerate
+//! series (empty, single-sample, constant) that used to produce NaN/Inf
+//! rows.
+
+use swr_telemetry::Json;
+
+/// Two-sided 97.5% Student-t critical values by degrees of freedom
+/// (`df = n - 1`), i.e. the multiplier for a 95% confidence interval.
+/// Indexed `df 1..=30`; larger samples use the asymptotic normal value.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% t critical value for `df` degrees of freedom
+/// (asymptotically 1.96; `df == 0` returns the df-1 value so a two-sample
+/// series still gets a defined, conservative interval).
+pub fn t_critical_95(df: usize) -> f64 {
+    match df {
+        0 => T_95[0],
+        d if d <= T_95.len() => T_95[d - 1],
+        _ => 1.96,
+    }
+}
+
+/// The `q`-quantile (`0.0..=1.0`) of an ascending-sorted slice, linearly
+/// interpolated between the two nearest order statistics (the "type 7"
+/// estimator). Returns 0.0 for an empty slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Summary statistics of one timing series. Constructed by
+/// [`SummaryStats::from_samples`]; every field is finite by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Mean after dropping the lowest and highest 10% of samples (rounded
+    /// down, so series under 10 samples are untrimmed).
+    pub trimmed_mean: f64,
+    /// Sample standard deviation (`n - 1` denominator; 0 when `n < 2`).
+    pub stddev: f64,
+    /// Lower edge of the Student-t 95% confidence interval on the mean.
+    pub ci95_lo: f64,
+    /// Upper edge of the Student-t 95% confidence interval on the mean.
+    pub ci95_hi: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Samples outside `[q1 - 1.5·IQR, q3 + 1.5·IQR]` — flagged, never
+    /// silently dropped (the trimmed mean is the outlier-robust estimate).
+    pub iqr_outliers: usize,
+}
+
+impl SummaryStats {
+    /// Reduces a series to its summary. Returns `None` for an empty series
+    /// or one containing non-finite samples — the degenerate inputs that
+    /// used to propagate NaN into emitted documents must fail loudly at the
+    /// source instead.
+    pub fn from_samples(samples: &[f64]) -> Option<SummaryStats> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = samples.len();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let trim = n / 10;
+        let trimmed = &sorted[trim..n - trim];
+        let trimmed_mean = trimmed.iter().sum::<f64>() / trimmed.len() as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        let half = t_critical_95(n.saturating_sub(1)) * stddev / (n as f64).sqrt();
+        let q1 = percentile_sorted(&sorted, 0.25);
+        let q3 = percentile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let (fence_lo, fence_hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let iqr_outliers = sorted
+            .iter()
+            .filter(|&&v| v < fence_lo || v > fence_hi)
+            .count();
+        Some(SummaryStats {
+            n,
+            mean,
+            trimmed_mean,
+            stddev,
+            ci95_lo: mean - half,
+            ci95_hi: mean + half,
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+            min: sorted[0],
+            max: sorted[n - 1],
+            iqr_outliers,
+        })
+    }
+
+    /// True when the two 95% confidence intervals share any point. The gate
+    /// treats overlapping intervals as "not significantly different".
+    pub fn ci_overlaps(&self, other: &SummaryStats) -> bool {
+        self.ci95_lo <= other.ci95_hi && other.ci95_lo <= self.ci95_hi
+    }
+
+    /// The JSON object embedded in `swr-bench-wall/4` rows.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("n", Json::U64(self.n as u64))
+            .with("mean", Json::F64(self.mean))
+            .with("trimmed_mean", Json::F64(self.trimmed_mean))
+            .with("stddev", Json::F64(self.stddev))
+            .with("ci95_lo", Json::F64(self.ci95_lo))
+            .with("ci95_hi", Json::F64(self.ci95_hi))
+            .with("p50", Json::F64(self.p50))
+            .with("p95", Json::F64(self.p95))
+            .with("p99", Json::F64(self.p99))
+            .with("min", Json::F64(self.min))
+            .with("max", Json::F64(self.max))
+            .with("iqr_outliers", Json::U64(self.iqr_outliers as u64))
+    }
+
+    /// Parses a stats object back out of a document ([`Self::to_json`]'s
+    /// inverse). `None` when any field is missing or non-finite — a `null`
+    /// where a number belongs must not round-trip into a usable value.
+    pub fn from_json(v: &Json) -> Option<SummaryStats> {
+        let f = |key: &str| v.get(key).and_then(Json::as_f64).filter(|x| x.is_finite());
+        Some(SummaryStats {
+            n: v.get("n").and_then(Json::as_u64)? as usize,
+            mean: f("mean")?,
+            trimmed_mean: f("trimmed_mean")?,
+            stddev: f("stddev")?,
+            ci95_lo: f("ci95_lo")?,
+            ci95_hi: f("ci95_hi")?,
+            p50: f("p50")?,
+            p95: f("p95")?,
+            p99: f("p99")?,
+            min: f("min")?,
+            max: f("max")?,
+            iqr_outliers: v.get("iqr_outliers").and_then(Json::as_u64)? as usize,
+        })
+    }
+
+    /// Scales every location statistic by `s` (spread statistics scale
+    /// too). The cross-host gate calibrates a baseline document through the
+    /// ratio of serial means before comparing.
+    pub fn scaled(&self, s: f64) -> SummaryStats {
+        SummaryStats {
+            n: self.n,
+            mean: self.mean * s,
+            trimmed_mean: self.trimmed_mean * s,
+            stddev: self.stddev * s,
+            ci95_lo: self.ci95_lo * s,
+            ci95_hi: self.ci95_hi * s,
+            p50: self.p50 * s,
+            p95: self.p95 * s,
+            p99: self.p99 * s,
+            min: self.min * s,
+            max: self.max * s,
+            iqr_outliers: self.iqr_outliers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_series_never_produce_nan() {
+        assert!(SummaryStats::from_samples(&[]).is_none());
+        assert!(SummaryStats::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(SummaryStats::from_samples(&[f64::INFINITY]).is_none());
+        let one = SummaryStats::from_samples(&[5.0]).expect("single sample");
+        assert_eq!(one.mean, 5.0);
+        assert_eq!(one.stddev, 0.0);
+        assert_eq!(one.ci95_lo, 5.0);
+        assert_eq!(one.ci95_hi, 5.0);
+        assert_eq!(one.p99, 5.0);
+        let constant = SummaryStats::from_samples(&[2.0; 8]).expect("constant series");
+        assert_eq!(constant.stddev, 0.0);
+        assert_eq!(constant.ci95_lo, constant.ci95_hi);
+        assert_eq!(constant.iqr_outliers, 0);
+    }
+
+    #[test]
+    fn known_series_reduces_correctly() {
+        // 1..=10: mean 5.5, sample stddev sqrt(110/12) ≈ 3.0277.
+        let v: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let s = SummaryStats::from_samples(&v).expect("stats");
+        assert_eq!(s.n, 10);
+        assert!((s.mean - 5.5).abs() < 1e-12);
+        assert!((s.stddev - (110.0f64 / 12.0).sqrt()).abs() < 1e-9);
+        // df = 9 → t = 2.262; half-width = 2.262 * 3.0277 / sqrt(10).
+        let half = 2.262 * s.stddev / 10f64.sqrt();
+        assert!((s.ci95_hi - s.ci95_lo - 2.0 * half).abs() < 1e-9);
+        assert!(s.ci95_lo < s.mean && s.mean < s.ci95_hi);
+        assert!((s.p50 - 5.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        // n/10 = 1 trimmed from each side: mean of 2..=9 is 5.5.
+        assert!((s.trimmed_mean - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_sheds_a_spike_the_mean_cannot() {
+        let mut v = vec![10.0; 19];
+        v.push(10_000.0);
+        let s = SummaryStats::from_samples(&v).expect("stats");
+        assert!(s.mean > 500.0);
+        assert_eq!(s.trimmed_mean, 10.0);
+        assert_eq!(s.iqr_outliers, 1);
+        assert_eq!(s.p50, 10.0);
+        assert!(s.p99 > 5000.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_stay_ordered() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let s = SummaryStats::from_samples(&v).expect("stats");
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        assert_eq!(percentile_sorted(&[1.0, 2.0], 0.5), 1.5);
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn t_table_is_monotone_toward_the_normal_limit() {
+        let mut prev = f64::INFINITY;
+        for df in 1..=40 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "df={df}");
+            assert!(t >= 1.96, "df={df}");
+            prev = t;
+        }
+        assert_eq!(t_critical_95(1000), 1.96);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = SummaryStats::from_samples(&[3.0, 1.0, 2.0, 5.0, 4.0]).expect("stats");
+        let back = SummaryStats::from_json(&s.to_json()).expect("parses back");
+        assert_eq!(back, s);
+        // A null in place of a number refuses to parse.
+        let missing = Json::obj().with("n", Json::U64(3));
+        assert!(SummaryStats::from_json(&missing).is_none());
+        let nulled = Json::parse(
+            &s.to_json()
+                .to_string()
+                .replace(&format!("\"p95\":{:?}", s.p95), "\"p95\":null"),
+        )
+        .expect("parses");
+        assert!(SummaryStats::from_json(&nulled).is_none());
+    }
+
+    #[test]
+    fn ci_overlap_detects_separation() {
+        let fast = SummaryStats::from_samples(&[10.0, 10.1, 9.9, 10.05, 9.95]).expect("stats");
+        let slow = SummaryStats::from_samples(&[20.0, 20.1, 19.9, 20.05, 19.95]).expect("stats");
+        assert!(!fast.ci_overlaps(&slow));
+        assert!(fast.ci_overlaps(&fast));
+        // Wide noisy intervals around the same mean overlap.
+        let noisy_a = SummaryStats::from_samples(&[5.0, 15.0, 10.0]).expect("stats");
+        let noisy_b = SummaryStats::from_samples(&[7.0, 13.0, 11.0]).expect("stats");
+        assert!(noisy_a.ci_overlaps(&noisy_b));
+    }
+
+    #[test]
+    fn scaling_calibrates_location_and_spread() {
+        let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0]).expect("stats");
+        let d = s.scaled(2.0);
+        assert_eq!(d.mean, s.mean * 2.0);
+        assert_eq!(d.p95, s.p95 * 2.0);
+        assert_eq!(d.stddev, s.stddev * 2.0);
+        assert_eq!(d.n, s.n);
+    }
+}

@@ -1,0 +1,660 @@
+//! Workload traces: record a camera/parameter sequence once, replay it
+//! deterministically through any renderer.
+//!
+//! The paper's experiments (and MovieMaker's workload, PAPERS.md) are
+//! *recorded sequences* — a camera path plus classification changes —
+//! replayed through a parallel renderer. This module gives that workload a
+//! concrete format (`swr-trace/1`, line-delimited JSON: one header line,
+//! one line per frame) so one captured run becomes a comparable experiment:
+//! `swrender --record-trace` writes a trace, `swr-bench --replay` drives it
+//! through the serial, old-parallel, new-parallel, or pipelined renderer in
+//! **throughput** mode (frames back to back) or **paced real-time** mode
+//! (each frame launched on the recorded schedule, lateness measured).
+//!
+//! Replay is deterministic end to end: the volume is regenerated from the
+//! recorded phantom/seed, classification changes re-apply at the recorded
+//! frames, and per-frame FNV-64 image hashes let callers assert that two
+//! replays — or two *renderers* — produce bit-identical pixels.
+
+use std::collections::HashMap;
+use std::time::Instant;
+use swr_core::{
+    AnimationPipeline, FaultPlan, NewParallelRenderer, OldParallelRenderer, ParallelConfig,
+};
+use swr_geom::ViewSpec;
+use swr_render::{FinalImage, SerialRenderer};
+use swr_telemetry::Json;
+use swr_volume::{classify, EncodedVolume, Phantom, TransferFunction};
+
+/// Schema tag on the header line; bump on breaking format changes.
+pub const TRACE_SCHEMA: &str = "swr-trace/1";
+
+/// The renderer names a trace can replay through.
+pub const RENDERERS: [&str; 4] = ["serial", "old", "new", "new_pipelined"];
+
+/// Everything needed to regenerate the recorded workload's dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Phantom name (`mri` | `ct` | `ellipsoid`).
+    pub phantom: String,
+    /// Base resolution fed to [`Phantom::paper_dims`].
+    pub base: usize,
+    /// Phantom generation seed.
+    pub seed: u64,
+    /// Initial classification preset (`mri` | `ct` | `opaque`).
+    pub transfer: String,
+    /// Worker threads the recording ran with (replay default).
+    pub threads: usize,
+    /// Renderer that recorded the trace (informational; any renderer can
+    /// replay it).
+    pub renderer: String,
+}
+
+/// One recorded frame: the full view parameterization plus the wall-clock
+/// gap since the previous frame's delivery (the real-time replay schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFrame {
+    /// Rotation about X, degrees.
+    pub angle_x: f64,
+    /// Rotation about Y, degrees.
+    pub angle_y: f64,
+    /// Uniform zoom.
+    pub zoom: f64,
+    /// Perspective eye distance in voxels; `None` for parallel projection.
+    pub perspective: Option<f64>,
+    /// Classification change taking effect *at this frame* (the volume is
+    /// re-classified and re-encoded before rendering it).
+    pub transfer: Option<String>,
+    /// Milliseconds since the previous frame was delivered when recording
+    /// (0 for the first frame). Real-time replay paces to this schedule.
+    pub dt_ms: f64,
+}
+
+/// A parsed workload trace: header plus frame sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadTrace {
+    /// Dataset description.
+    pub header: TraceHeader,
+    /// Recorded frames, in order.
+    pub frames: Vec<TraceFrame>,
+}
+
+fn phantom_by_name(name: &str) -> Result<Phantom, String> {
+    match name {
+        "mri" => Ok(Phantom::MriBrain),
+        "ct" => Ok(Phantom::CtHead),
+        "ellipsoid" => Ok(Phantom::SolidEllipsoid),
+        other => Err(format!("unknown phantom {other:?}")),
+    }
+}
+
+fn transfer_by_name(name: &str) -> Result<TransferFunction, String> {
+    match name {
+        "mri" => Ok(TransferFunction::mri_default()),
+        "ct" => Ok(TransferFunction::ct_default()),
+        "opaque" => Ok(TransferFunction::opaque_nonzero()),
+        other => Err(format!("unknown transfer {other:?}")),
+    }
+}
+
+impl WorkloadTrace {
+    /// Serializes to the `swr-trace/1` line-JSON format.
+    pub fn to_lines(&self) -> String {
+        let mut out = String::new();
+        let h = Json::obj()
+            .with("schema", Json::Str(TRACE_SCHEMA.into()))
+            .with("phantom", Json::Str(self.header.phantom.clone()))
+            .with("base", Json::U64(self.header.base as u64))
+            .with("seed", Json::U64(self.header.seed))
+            .with("transfer", Json::Str(self.header.transfer.clone()))
+            .with("threads", Json::U64(self.header.threads as u64))
+            .with("renderer", Json::Str(self.header.renderer.clone()));
+        out.push_str(&h.to_string());
+        out.push('\n');
+        for (i, f) in self.frames.iter().enumerate() {
+            let mut row = Json::obj()
+                .with("frame", Json::U64(i as u64))
+                .with("angle_x", Json::F64(f.angle_x))
+                .with("angle_y", Json::F64(f.angle_y))
+                .with("zoom", Json::F64(f.zoom))
+                .with("dt_ms", Json::F64(f.dt_ms));
+            if let Some(d) = f.perspective {
+                row.set("perspective", Json::F64(d));
+            }
+            if let Some(t) = &f.transfer {
+                row.set("transfer", Json::Str(t.clone()));
+            }
+            out.push_str(&row.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the line-JSON format, validating names, finiteness, and frame
+    /// ordering so a malformed trace fails before any rendering starts.
+    pub fn parse(text: &str) -> Result<WorkloadTrace, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let head = lines.next().ok_or("empty trace")?;
+        let h = Json::parse(head).map_err(|e| format!("header: {e}"))?;
+        if h.get("schema").and_then(Json::as_str) != Some(TRACE_SCHEMA) {
+            return Err(format!(
+                "header schema {:?}, expected {TRACE_SCHEMA:?}",
+                h.get("schema").and_then(Json::as_str).unwrap_or("missing")
+            ));
+        }
+        let header = TraceHeader {
+            phantom: h
+                .get("phantom")
+                .and_then(Json::as_str)
+                .ok_or("header: missing phantom")?
+                .to_string(),
+            base: h
+                .get("base")
+                .and_then(Json::as_u64)
+                .filter(|&b| b >= 1)
+                .ok_or("header: missing/zero base")? as usize,
+            seed: h.get("seed").and_then(Json::as_u64).unwrap_or(42),
+            transfer: h
+                .get("transfer")
+                .and_then(Json::as_str)
+                .ok_or("header: missing transfer")?
+                .to_string(),
+            threads: h
+                .get("threads")
+                .and_then(Json::as_u64)
+                .filter(|&t| t >= 1)
+                .ok_or("header: missing/zero threads")? as usize,
+            renderer: h
+                .get("renderer")
+                .and_then(Json::as_str)
+                .unwrap_or("new")
+                .to_string(),
+        };
+        phantom_by_name(&header.phantom)?;
+        transfer_by_name(&header.transfer)?;
+        let mut frames = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let row = Json::parse(line).map_err(|e| format!("frame line {i}: {e}"))?;
+            let num = |key: &str| -> Result<f64, String> {
+                row.get(key)
+                    .and_then(Json::as_finite_f64)
+                    .ok_or(format!("frame line {i}: missing/non-finite {key}"))
+            };
+            if row.get("frame").and_then(Json::as_u64) != Some(i as u64) {
+                return Err(format!("frame line {i}: out-of-order frame index"));
+            }
+            let zoom = num("zoom")?;
+            if zoom <= 0.0 {
+                return Err(format!("frame line {i}: zoom must be positive"));
+            }
+            let dt_ms = num("dt_ms")?;
+            if dt_ms < 0.0 {
+                return Err(format!("frame line {i}: dt_ms must be >= 0"));
+            }
+            let transfer = match row.get("transfer").and_then(Json::as_str) {
+                Some(t) => {
+                    transfer_by_name(t).map_err(|e| format!("frame line {i}: {e}"))?;
+                    Some(t.to_string())
+                }
+                None => None,
+            };
+            frames.push(TraceFrame {
+                angle_x: num("angle_x")?,
+                angle_y: num("angle_y")?,
+                zoom,
+                perspective: row.get("perspective").and_then(Json::as_finite_f64),
+                transfer,
+                dt_ms,
+            });
+        }
+        if frames.is_empty() {
+            return Err("trace has no frames".into());
+        }
+        Ok(WorkloadTrace { header, frames })
+    }
+
+    /// The [`ViewSpec`] a frame parameterizes over a volume of `dims`.
+    pub fn view_for(dims: [usize; 3], f: &TraceFrame) -> ViewSpec {
+        let mut v = ViewSpec::new(dims)
+            .rotate_x(f.angle_x.to_radians())
+            .rotate_y(f.angle_y.to_radians())
+            .with_zoom(f.zoom);
+        if let Some(d) = f.perspective {
+            v = v.with_perspective(d);
+        }
+        v
+    }
+}
+
+/// Incremental trace capture for `swrender --record-trace`: call
+/// [`TraceRecorder::record`] as each frame is delivered; the recorder
+/// stamps the inter-frame gap from its own clock.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    trace: WorkloadTrace,
+    last: Option<Instant>,
+}
+
+impl TraceRecorder {
+    /// Starts recording under the given header.
+    pub fn new(header: TraceHeader) -> Self {
+        TraceRecorder {
+            trace: WorkloadTrace {
+                header,
+                frames: Vec::new(),
+            },
+            last: None,
+        }
+    }
+
+    /// Records one delivered frame's view parameters; `dt_ms` is measured
+    /// from the previous call (0 for the first frame).
+    pub fn record(&mut self, angle_x: f64, angle_y: f64, zoom: f64, perspective: Option<f64>) {
+        let now = Instant::now();
+        let dt_ms = match self.last {
+            Some(prev) => (now - prev).as_secs_f64() * 1000.0,
+            None => 0.0,
+        };
+        self.last = Some(now);
+        self.trace.frames.push(TraceFrame {
+            angle_x,
+            angle_y,
+            zoom,
+            perspective,
+            transfer: None,
+            dt_ms,
+        });
+    }
+
+    /// Finishes recording, returning the trace.
+    pub fn finish(self) -> WorkloadTrace {
+        self.trace
+    }
+}
+
+/// How replay paces the recorded frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Frames back to back, as fast as the renderer goes (the comparable-
+    /// measurement mode; `frame_ms` is pure render cost).
+    Throughput,
+    /// Each frame launched on the recorded `dt_ms` schedule; `lateness_ms`
+    /// records how far behind schedule each frame was delivered, and a
+    /// frame that slips by more than its own period counts as missed.
+    Realtime,
+}
+
+impl ReplayMode {
+    /// The mode's wire name (`throughput` | `realtime`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplayMode::Throughput => "throughput",
+            ReplayMode::Realtime => "realtime",
+        }
+    }
+}
+
+/// The measured outcome of one replay run through one renderer.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Renderer replayed through (`serial` | `old` | `new` | `new_pipelined`).
+    pub renderer: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Pacing mode.
+    pub mode: ReplayMode,
+    /// Per-frame wall cost: render time for the per-frame renderers,
+    /// delivery-to-delivery gap for the pipeline.
+    pub frame_ms: Vec<f64>,
+    /// Real-time mode: per-frame delivery lateness against the recorded
+    /// schedule (0 in throughput mode).
+    pub lateness_ms: Vec<f64>,
+    /// Real-time mode: frames delivered more than one period late.
+    pub missed: u64,
+    /// Per-frame FNV-64 image hashes — the bit-identity record.
+    pub hashes: Vec<String>,
+    /// Whole-replay wall time.
+    pub elapsed_ms: f64,
+}
+
+/// FNV-1a 64 over an image's RGBA bytes, as 16 hex digits (the same hash
+/// the serve protocol reports, so wire hashes and replay hashes compare).
+pub fn image_hash(img: &FinalImage) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in img.pixels() {
+        for &b in p {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// FNV-1a 64 over a list of per-frame hashes: one value summarizing a whole
+/// replay's pixels, for compact bit-identity comparison.
+pub fn hash_chain(hashes: &[String]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in hashes {
+        for &b in s.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Builds the per-frame encoded volumes a trace renders: one encoding per
+/// distinct classification, plus the frame → encoding assignment.
+fn build_encodings(
+    trace: &WorkloadTrace,
+) -> Result<(HashMap<String, EncodedVolume>, Vec<String>), String> {
+    let phantom = phantom_by_name(&trace.header.phantom)?;
+    let dims = phantom.paper_dims(trace.header.base);
+    let vol = phantom.generate(dims, trace.header.seed);
+    let mut encodings: HashMap<String, EncodedVolume> = HashMap::new();
+    let mut assignment = Vec::with_capacity(trace.frames.len());
+    let mut current = trace.header.transfer.clone();
+    for f in &trace.frames {
+        if let Some(t) = &f.transfer {
+            current = t.clone();
+        }
+        if !encodings.contains_key(&current) {
+            let tf = transfer_by_name(&current)?;
+            encodings.insert(current.clone(), EncodedVolume::encode(&classify(&vol, &tf)));
+        }
+        assignment.push(current.clone());
+    }
+    Ok((encodings, assignment))
+}
+
+fn sleep_until(start: Instant, sched_ms: f64) {
+    let target = std::time::Duration::from_secs_f64(sched_ms / 1000.0);
+    let elapsed = start.elapsed();
+    if target > elapsed {
+        std::thread::sleep(target - elapsed);
+    }
+}
+
+/// Replays `trace` through `renderer` (`serial` | `old` | `new` |
+/// `new_pipelined`), optionally overriding the recorded thread count and
+/// attaching a deterministic fault plan (worker panics injected mid-replay
+/// are repaired by the renderer exactly as in live rendering — the replay
+/// still completes with bit-identical pixels). Classification changes
+/// re-encode the volume at the recorded frame; the pipeline replays each
+/// constant-classification segment as one animation, persisting its pool
+/// and work profile across segments.
+pub fn replay_trace(
+    trace: &WorkloadTrace,
+    renderer: &str,
+    mode: ReplayMode,
+    threads: Option<usize>,
+    fault: Option<FaultPlan>,
+) -> Result<ReplayOutcome, String> {
+    let threads = threads.unwrap_or(trace.header.threads).max(1);
+    let phantom = phantom_by_name(&trace.header.phantom)?;
+    let dims = phantom.paper_dims(trace.header.base);
+    let (encodings, assignment) = build_encodings(trace)?;
+    let views: Vec<ViewSpec> = trace
+        .frames
+        .iter()
+        .map(|f| WorkloadTrace::view_for(dims, f))
+        .collect();
+    // The real-time schedule: frame i is launched at the cumulative sum of
+    // the recorded inter-frame gaps.
+    let mut sched = Vec::with_capacity(trace.frames.len());
+    let mut acc = 0.0;
+    for f in &trace.frames {
+        acc += f.dt_ms;
+        sched.push(acc);
+    }
+
+    let n = trace.frames.len();
+    let mut out = ReplayOutcome {
+        renderer: renderer.to_string(),
+        threads,
+        mode,
+        frame_ms: Vec::with_capacity(n),
+        lateness_ms: Vec::with_capacity(n),
+        missed: 0,
+        hashes: Vec::with_capacity(n),
+        elapsed_ms: 0.0,
+    };
+    let paced = mode == ReplayMode::Realtime;
+    let start = Instant::now();
+
+    // Shared per-frame epilogue: hash, lateness against the schedule,
+    // missed-deadline accounting.
+    let land = |out: &mut ReplayOutcome, i: usize, img: &FinalImage, frame_ms: f64| {
+        out.frame_ms.push(frame_ms);
+        out.hashes.push(image_hash(img));
+        let late = if paced {
+            (start.elapsed().as_secs_f64() * 1000.0 - sched[i]).max(0.0)
+        } else {
+            0.0
+        };
+        if paced && trace.frames[i].dt_ms > 0.0 && late > trace.frames[i].dt_ms {
+            out.missed += 1;
+        }
+        out.lateness_ms.push(late);
+    };
+
+    match renderer {
+        "serial" => {
+            let mut r = SerialRenderer::new();
+            for i in 0..n {
+                if paced {
+                    sleep_until(start, sched[i]);
+                }
+                let t = Instant::now();
+                let img = r
+                    .try_render(&encodings[&assignment[i]], &views[i])
+                    .map_err(|e| format!("frame {i}: {e}"))?;
+                land(&mut out, i, &img, t.elapsed().as_secs_f64() * 1000.0);
+            }
+        }
+        "old" | "new" => {
+            let cfg = ParallelConfig::with_procs(threads);
+            // Both branches share the per-frame loop; only the render call
+            // differs.
+            type RenderFn<'a> = Box<
+                dyn FnMut(&EncodedVolume, &ViewSpec) -> Result<FinalImage, swr_core::Error> + 'a,
+            >;
+            let mut render: RenderFn<'_> = if renderer == "old" {
+                let mut r = OldParallelRenderer::new(cfg);
+                r.fault = fault;
+                Box::new(move |enc, view| r.try_render(enc, view))
+            } else {
+                let mut r = NewParallelRenderer::new(cfg);
+                r.fault = fault;
+                Box::new(move |enc, view| r.try_render(enc, view))
+            };
+            for i in 0..n {
+                if paced {
+                    sleep_until(start, sched[i]);
+                }
+                let t = Instant::now();
+                let img = render(&encodings[&assignment[i]], &views[i])
+                    .map_err(|e| format!("frame {i}: {e}"))?;
+                land(&mut out, i, &img, t.elapsed().as_secs_f64() * 1000.0);
+            }
+        }
+        "new_pipelined" => {
+            let mut pipe = AnimationPipeline::new(ParallelConfig::with_procs(threads));
+            pipe.fault = fault;
+            // Segment the trace into runs of constant classification: the
+            // pipeline renders each run as one animation (pool + profile
+            // persist across calls).
+            let mut i = 0usize;
+            let mut last_delivery = start;
+            while i < n {
+                let mut j = i + 1;
+                while j < n && assignment[j] == assignment[i] {
+                    j += 1;
+                }
+                let seg_views = &views[i..j];
+                let base = i;
+                pipe.try_render_animation(&encodings[&assignment[i]], seg_views, |k, img, _| {
+                    let idx = base + k;
+                    if paced {
+                        sleep_until(start, sched[idx]);
+                    }
+                    let now = Instant::now();
+                    land(
+                        &mut out,
+                        idx,
+                        &img,
+                        (now - last_delivery).as_secs_f64() * 1000.0,
+                    );
+                    last_delivery = now;
+                })
+                .map_err(|e| format!("segment at frame {i}: {e}"))?;
+                i = j;
+            }
+        }
+        other => {
+            return Err(format!(
+                "unknown renderer {other:?} (want one of {RENDERERS:?})"
+            ))
+        }
+    }
+    out.elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+    Ok(out)
+}
+
+impl ReplayOutcome {
+    /// One replay-report row, with full summary statistics over the frame
+    /// series (and the lateness series in real-time mode).
+    pub fn to_json(&self) -> Json {
+        use crate::stats::SummaryStats;
+        let mut row = Json::obj()
+            .with("renderer", Json::Str(self.renderer.clone()))
+            .with("threads", Json::U64(self.threads as u64))
+            .with("mode", Json::Str(self.mode.name().into()))
+            .with("frames", Json::U64(self.frame_ms.len() as u64))
+            .with("elapsed_ms", Json::F64(self.elapsed_ms))
+            .with("hash_chain", Json::Str(hash_chain(&self.hashes)))
+            .with(
+                "hashes",
+                Json::Arr(self.hashes.iter().map(|h| Json::Str(h.clone())).collect()),
+            );
+        if let Some(s) = SummaryStats::from_samples(&self.frame_ms) {
+            row.set("frame_ms_stats", s.to_json());
+        }
+        if self.mode == ReplayMode::Realtime {
+            row.set("missed_deadlines", Json::U64(self.missed));
+            if let Some(s) = SummaryStats::from_samples(&self.lateness_ms) {
+                row.set("lateness_ms_stats", s.to_json());
+            }
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> WorkloadTrace {
+        WorkloadTrace {
+            header: TraceHeader {
+                phantom: "mri".into(),
+                base: 16,
+                seed: 7,
+                transfer: "mri".into(),
+                threads: 2,
+                renderer: "new".into(),
+            },
+            frames: (0..4)
+                .map(|i| TraceFrame {
+                    angle_x: 12.0,
+                    angle_y: 30.0 + i as f64 * 11.0,
+                    zoom: 1.0,
+                    perspective: None,
+                    transfer: (i == 2).then(|| "opaque".to_string()),
+                    dt_ms: if i == 0 { 0.0 } else { 1.5 },
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_line_format() {
+        let t = tiny_trace();
+        let text = t.to_lines();
+        let back = WorkloadTrace::parse(&text).expect("parses");
+        assert_eq!(back, t);
+        assert_eq!(back.to_lines(), text);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_traces() {
+        assert!(WorkloadTrace::parse("").is_err());
+        assert!(WorkloadTrace::parse("{}").is_err());
+        let t = tiny_trace();
+        let bad_phantom = t.to_lines().replacen("mri", "petscan", 1);
+        assert!(WorkloadTrace::parse(&bad_phantom).is_err());
+        // Header only, no frames.
+        let head_only = t.to_lines().lines().next().unwrap().to_string();
+        assert!(WorkloadTrace::parse(&head_only)
+            .unwrap_err()
+            .contains("no frames"));
+        // Out-of-order frame index.
+        let lines: Vec<String> = t.to_lines().lines().map(String::from).collect();
+        let reordered = format!("{}\n{}\n{}\n", lines[0], lines[2], lines[1]);
+        assert!(WorkloadTrace::parse(&reordered)
+            .unwrap_err()
+            .contains("out-of-order"));
+        // NaN in a numeric field arrives as null and is rejected loudly.
+        let nulled = t.to_lines().replacen("\"zoom\":1.0", "\"zoom\":null", 1);
+        assert!(WorkloadTrace::parse(&nulled).unwrap_err().contains("zoom"));
+    }
+
+    #[test]
+    fn recorder_stamps_monotone_schedule() {
+        let mut rec = TraceRecorder::new(tiny_trace().header);
+        rec.record(12.0, 30.0, 1.0, None);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.record(12.0, 33.0, 1.0, None);
+        let t = rec.finish();
+        assert_eq!(t.frames.len(), 2);
+        assert_eq!(t.frames[0].dt_ms, 0.0);
+        assert!(t.frames[1].dt_ms >= 1.0);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_renderer_invariant() {
+        let t = tiny_trace();
+        let serial =
+            replay_trace(&t, "serial", ReplayMode::Throughput, None, None).expect("serial");
+        assert_eq!(serial.hashes.len(), 4);
+        // The classification change at frame 2 changes the pixels.
+        assert_ne!(serial.hashes[1], serial.hashes[2]);
+        for r in ["serial", "old", "new", "new_pipelined"] {
+            let a = replay_trace(&t, r, ReplayMode::Throughput, None, None).expect(r);
+            let b = replay_trace(&t, r, ReplayMode::Throughput, None, None).expect(r);
+            assert_eq!(a.hashes, b.hashes, "{r}: replay must be bit-identical");
+            assert_eq!(
+                a.hashes, serial.hashes,
+                "{r}: must match the serial reference"
+            );
+        }
+    }
+
+    #[test]
+    fn realtime_mode_paces_and_counts_misses() {
+        let t = tiny_trace();
+        let out = replay_trace(&t, "serial", ReplayMode::Realtime, None, None).expect("replay");
+        // Pacing stretches the replay to at least the recorded span.
+        assert!(out.elapsed_ms >= 4.0, "{}", out.elapsed_ms);
+        assert_eq!(out.lateness_ms.len(), 4);
+        let row = out.to_json();
+        assert!(row.get("missed_deadlines").is_some());
+        assert!(row.get("lateness_ms_stats").is_some());
+    }
+
+    #[test]
+    fn unknown_renderer_is_rejected() {
+        let t = tiny_trace();
+        assert!(replay_trace(&t, "raycast", ReplayMode::Throughput, None, None).is_err());
+    }
+}

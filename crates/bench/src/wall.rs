@@ -12,6 +12,7 @@
 //! Regenerate with `cargo run --release -p swr-bench --bin swr-bench` or
 //! `swrender --bench` (see the README's *Performance* section).
 
+use crate::stats::SummaryStats;
 use crate::{build_dataset, view_at, FRAME_STEP_DEG};
 use std::time::Instant;
 use swr_core::{AnimationPipeline, NewParallelRenderer, OldParallelRenderer, ParallelConfig};
@@ -22,13 +23,19 @@ use swr_volume::Phantom;
 /// Schema tag of the emitted document; bump on breaking layout changes.
 /// v2 added the `new_pipelined` renderer rows (multi-frame pipeline) and
 /// the `spawn_per_frame` metadata on parallel rows. v3 added the
-/// `observability` rows (instrumentation-overhead A/B).
-pub const BENCH_SCHEMA: &str = "swr-bench-wall/3";
+/// `observability` rows (instrumentation-overhead A/B). v4 added the
+/// `frame_ms_stats` / `composite_ms_stats` summary objects (trimmed mean,
+/// stddev, Student-t 95% CI, p50/p95/p99, IQR outlier count — see
+/// [`crate::stats::SummaryStats`]) on every timing row, which the
+/// regression gate ([`crate::gate`]) compares across runs.
+pub const BENCH_SCHEMA: &str = "swr-bench-wall/4";
 
 /// Older schema tags, still accepted by [`validate_bench_json`] so archived
 /// documents keep validating.
+pub const BENCH_SCHEMA_V3: &str = "swr-bench-wall/3";
+/// See [`BENCH_SCHEMA_V3`].
 pub const BENCH_SCHEMA_V2: &str = "swr-bench-wall/2";
-/// See [`BENCH_SCHEMA_V2`].
+/// See [`BENCH_SCHEMA_V3`].
 pub const BENCH_SCHEMA_V1: &str = "swr-bench-wall/1";
 
 /// Configuration of one wall-clock benchmark run.
@@ -86,12 +93,21 @@ struct Series {
 }
 
 impl Series {
+    /// Mean frame time. An empty series reports 0 — the NaN the unguarded
+    /// division used to produce here serialized as `null`, slipped through
+    /// validation, and turned the fps column into `Inf`; degenerate series
+    /// now fail loudly at validation instead (their rows carry no
+    /// `frame_ms_stats` and zero is not a positive mean).
     fn mean_frame_ms(&self) -> f64 {
-        self.frame_ms.iter().sum::<f64>() / self.frame_ms.len() as f64
+        Self::mean_of(&self.frame_ms)
     }
 
     fn min_frame_ms(&self) -> f64 {
-        self.frame_ms.iter().copied().fold(f64::INFINITY, f64::min)
+        if self.frame_ms.is_empty() {
+            0.0
+        } else {
+            self.frame_ms.iter().copied().fold(f64::INFINITY, f64::min)
+        }
     }
 
     fn mean_of(v: &[f64]) -> f64 {
@@ -102,26 +118,43 @@ impl Series {
         }
     }
 
+    /// Guarded ratio: 0 when the denominator is not a positive number, so
+    /// a degenerate series emits finite zeros (which fail validation as
+    /// non-positive) rather than NaN/Inf (which serialize as `null`).
+    fn ratio(num: f64, den: f64) -> f64 {
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+
     fn to_json(&self, renderer: &str, threads: usize, serial_mean_ms: Option<f64>) -> Json {
         let mean = self.mean_frame_ms();
         let frames = self.frame_ms.len() as u64;
-        let pixels_per_frame = self.composited_pixels as f64 / frames as f64;
+        let pixels_per_frame = Self::ratio(self.composited_pixels as f64, frames as f64);
         let mut row = Json::obj()
             .with("renderer", Json::Str(renderer.into()))
             .with("threads", Json::U64(threads as u64))
             .with("frames", Json::U64(frames))
             .with("mean_frame_ms", Json::F64(mean))
             .with("min_frame_ms", Json::F64(self.min_frame_ms()))
-            .with("fps", Json::F64(1000.0 / mean))
+            .with("fps", Json::F64(Self::ratio(1000.0, mean)))
             .with("composite_ms", Json::F64(Self::mean_of(&self.composite_ms)))
             .with("warp_ms", Json::F64(Self::mean_of(&self.warp_ms)))
             .with("composited_pixels_per_frame", Json::F64(pixels_per_frame))
             .with(
                 "composited_mpixels_per_sec",
-                Json::F64(pixels_per_frame / mean / 1000.0),
+                Json::F64(Self::ratio(pixels_per_frame, mean) / 1000.0),
             );
+        // The full summary: every timing row reports through the stats
+        // module. A series the reducer rejects (empty, non-finite) gets no
+        // stats object, which v4 validation then refuses.
+        if let Some(stats) = SummaryStats::from_samples(&self.frame_ms) {
+            row.set("frame_ms_stats", stats.to_json());
+        }
         if let Some(serial) = serial_mean_ms {
-            row.set("speedup_vs_serial", Json::F64(serial / mean));
+            row.set("speedup_vs_serial", Json::F64(Self::ratio(serial, mean)));
         }
         row
     }
@@ -182,19 +215,24 @@ fn kernel_sweep(
         let mean = Series::mean_of(&totals[ki]);
         let min = totals[ki].iter().copied().fold(f64::INFINITY, f64::min);
         summary.push_str(&format!(" {} {mean:.3} ms", kernel.name()));
-        rows.push(
-            Json::obj()
-                .with("kernel", Json::Str(kernel.name().into()))
-                .with("phantom", Json::Str(format!("{phantom:?}")))
-                .with(
-                    "dims",
-                    Json::Arr(dims.iter().map(|&d| Json::U64(d as u64)).collect()),
-                )
-                .with("frames", Json::U64(totals[ki].len() as u64))
-                .with("composite_ms", Json::F64(mean))
-                .with("min_composite_ms", Json::F64(min))
-                .with("speedup_vs_scalar", Json::F64(scalar_mean / mean)),
-        );
+        let mut row = Json::obj()
+            .with("kernel", Json::Str(kernel.name().into()))
+            .with("phantom", Json::Str(format!("{phantom:?}")))
+            .with(
+                "dims",
+                Json::Arr(dims.iter().map(|&d| Json::U64(d as u64)).collect()),
+            )
+            .with("frames", Json::U64(totals[ki].len() as u64))
+            .with("composite_ms", Json::F64(mean))
+            .with("min_composite_ms", Json::F64(min))
+            .with(
+                "speedup_vs_scalar",
+                Json::F64(Series::ratio(scalar_mean, mean)),
+            );
+        if let Some(stats) = SummaryStats::from_samples(&totals[ki]) {
+            row.set("composite_ms_stats", stats.to_json());
+        }
+        rows.push(row);
     }
     progress(&summary);
     rows
@@ -525,6 +563,52 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
         .with("results", Json::Arr(results))
 }
 
+/// Finds the key path of the first `null` nested anywhere in `v`, if any.
+/// The writer has no way to say NaN or infinity except `null`, so a `null`
+/// inside a measurement row is always a degenerate computation in
+/// disguise — never valid data.
+fn find_null(v: &Json) -> Option<String> {
+    match v {
+        Json::Null => Some(String::new()),
+        Json::Arr(items) => items
+            .iter()
+            .enumerate()
+            .find_map(|(i, it)| find_null(it).map(|p| format!("[{i}]{p}"))),
+        Json::Obj(pairs) => pairs
+            .iter()
+            .find_map(|(k, it)| find_null(it).map(|p| format!(".{k}{p}"))),
+        _ => None,
+    }
+}
+
+/// Validates one embedded stats object (internal consistency: the CI must
+/// bracket the mean, the percentiles must be ordered and inside the range,
+/// and the sample count must match the row's `frames`).
+fn validate_stats(v: &Json, ctx: &str, frames: u64) -> Result<(), String> {
+    let s = SummaryStats::from_json(v).ok_or(format!(
+        "{ctx}: malformed stats object (missing or non-finite fields)"
+    ))?;
+    if s.n as u64 != frames {
+        return Err(format!(
+            "{ctx}: stats cover {} samples but the row has {frames} frames",
+            s.n
+        ));
+    }
+    if !(s.ci95_lo <= s.mean && s.mean <= s.ci95_hi) {
+        return Err(format!("{ctx}: 95% CI does not bracket the mean"));
+    }
+    if !(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max) {
+        return Err(format!("{ctx}: percentiles out of order"));
+    }
+    if s.min <= 0.0 {
+        return Err(format!(
+            "{ctx}: non-positive timing sample (min = {})",
+            s.min
+        ));
+    }
+    Ok(())
+}
+
 /// Validates the schema of a `BENCH_*.json` document: the CI smoke job
 /// gates on structure, never on absolute numbers. Returns a description of
 /// the first violation.
@@ -533,13 +617,21 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing schema tag")?;
-    if ![BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1].contains(&schema) {
+    if ![
+        BENCH_SCHEMA,
+        BENCH_SCHEMA_V3,
+        BENCH_SCHEMA_V2,
+        BENCH_SCHEMA_V1,
+    ]
+    .contains(&schema)
+    {
         return Err(format!(
             "schema {schema:?}, expected {BENCH_SCHEMA:?} (or legacy \
-             {BENCH_SCHEMA_V2:?} / {BENCH_SCHEMA_V1:?})"
+             {BENCH_SCHEMA_V3:?} / {BENCH_SCHEMA_V2:?} / {BENCH_SCHEMA_V1:?})"
         ));
     }
-    let v3 = schema == BENCH_SCHEMA;
+    let v4 = schema == BENCH_SCHEMA;
+    let v3 = v4 || schema == BENCH_SCHEMA_V3;
     let v2 = v3 || schema == BENCH_SCHEMA_V2;
     if doc.get("host").and_then(Json::as_str).is_none() {
         return Err("missing host".into());
@@ -571,6 +663,14 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     let mut saw_new = false;
     let mut saw_pipelined = false;
     for (i, row) in results.iter().enumerate() {
+        // A `null` anywhere in a measurement row is a serialized NaN/Inf:
+        // reject it no matter which schema version claims the document.
+        if let Some(path) = find_null(row) {
+            return Err(format!(
+                "results[{i}]{path}: null where a number is required (a \
+                 degenerate series' NaN/Inf serializes as null)"
+            ));
+        }
         let renderer = row
             .get("renderer")
             .and_then(Json::as_str)
@@ -626,20 +726,27 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         ] {
             let v = row
                 .get(key)
-                .and_then(Json::as_f64)
+                .and_then(Json::as_finite_f64)
                 .ok_or(format!("results[{i}]: missing {key}"))?;
-            if !(v.is_finite() && v > 0.0) {
+            if v <= 0.0 {
                 return Err(format!("results[{i}]: {key} = {v} not positive/finite"));
             }
+        }
+        if v4 {
+            let frames = row.get("frames").and_then(Json::as_u64).unwrap_or(0);
+            let stats = row
+                .get("frame_ms_stats")
+                .ok_or(format!("results[{i}]: v4 row missing frame_ms_stats"))?;
+            validate_stats(stats, &format!("results[{i}].frame_ms_stats"), frames)?;
         }
         if renderer != "serial" {
             let v = row
                 .get("speedup_vs_serial")
-                .and_then(Json::as_f64)
+                .and_then(Json::as_finite_f64)
                 .ok_or(format!(
                     "results[{i}]: parallel row missing speedup_vs_serial"
                 ))?;
-            if !(v.is_finite() && v > 0.0) {
+            if v <= 0.0 {
                 return Err(format!("results[{i}]: bad speedup {v}"));
             }
         }
@@ -665,6 +772,11 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     }
     let mut saw_scalar_sweep = false;
     for (i, row) in sweep.iter().enumerate() {
+        if let Some(path) = find_null(row) {
+            return Err(format!(
+                "kernel_sweep[{i}]{path}: null where a number is required"
+            ));
+        }
         let kernel = row
             .get("kernel")
             .and_then(Json::as_str)
@@ -676,13 +788,24 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         for key in ["composite_ms", "min_composite_ms", "speedup_vs_scalar"] {
             let v = row
                 .get(key)
-                .and_then(Json::as_f64)
+                .and_then(Json::as_finite_f64)
                 .ok_or(format!("kernel_sweep[{i}]: missing {key}"))?;
-            if !(v.is_finite() && v > 0.0) {
+            if v <= 0.0 {
                 return Err(format!(
                     "kernel_sweep[{i}]: {key} = {v} not positive/finite"
                 ));
             }
+        }
+        if v4 {
+            let frames = row.get("frames").and_then(Json::as_u64).unwrap_or(0);
+            let stats = row.get("composite_ms_stats").ok_or(format!(
+                "kernel_sweep[{i}]: v4 row missing composite_ms_stats"
+            ))?;
+            validate_stats(
+                stats,
+                &format!("kernel_sweep[{i}].composite_ms_stats"),
+                frames,
+            )?;
         }
     }
     if !saw_scalar_sweep {
@@ -697,15 +820,20 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             return Err("observability array is empty".into());
         }
         for (i, row) in obs.iter().enumerate() {
+            if let Some(path) = find_null(row) {
+                return Err(format!(
+                    "observability[{i}]{path}: null where a number is required"
+                ));
+            }
             if row.get("series").and_then(Json::as_str) != Some("observability_overhead") {
                 return Err(format!("observability[{i}]: unknown series tag"));
             }
             for key in ["baseline_mean_frame_ms", "instrumented_mean_frame_ms"] {
                 let v = row
                     .get(key)
-                    .and_then(Json::as_f64)
+                    .and_then(Json::as_finite_f64)
                     .ok_or(format!("observability[{i}]: missing {key}"))?;
-                if !(v.is_finite() && v > 0.0) {
+                if v <= 0.0 {
                     return Err(format!(
                         "observability[{i}]: {key} = {v} not positive/finite"
                     ));
@@ -714,12 +842,12 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             // Structural gate only: the <3% acceptance figure is asserted by
             // the bench tests on a quiet host, not by the CI validator (a
             // noisy shared runner can inflate either side of the A/B).
-            let v = row
+            if row
                 .get("overhead_pct")
-                .and_then(Json::as_f64)
-                .ok_or(format!("observability[{i}]: missing overhead_pct"))?;
-            if !v.is_finite() {
-                return Err(format!("observability[{i}]: overhead_pct not finite"));
+                .and_then(Json::as_finite_f64)
+                .is_none()
+            {
+                return Err(format!("observability[{i}]: missing overhead_pct"));
             }
         }
     }
@@ -798,10 +926,102 @@ mod tests {
             d.with("results", Json::Arr(results.clone()))
         };
         validate_bench_json(&rebuilt(BENCH_SCHEMA_V1)).expect("v1 document validates");
-        // But a v2 document must carry the pipelined series.
-        assert!(validate_bench_json(&rebuilt(BENCH_SCHEMA))
+        // But a v2/v3 document must carry the pipelined series, and a v4
+        // document must carry the summary stats.
+        assert!(validate_bench_json(&rebuilt(BENCH_SCHEMA_V3))
             .unwrap_err()
             .contains("spawn_per_frame"));
+        assert!(validate_bench_json(&rebuilt(BENCH_SCHEMA))
+            .unwrap_err()
+            .contains("frame_ms_stats"));
+    }
+
+    #[test]
+    fn v3_documents_without_stats_still_validate() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
+        // Retag the fresh v4 document as v3 with its stats stripped — what
+        // the archived BENCH_vm.json of the previous PR looks like.
+        let strip = |row: &Json| {
+            let mut out = Json::obj();
+            for (k, v) in row.as_obj().expect("row object") {
+                if k != "frame_ms_stats" && k != "composite_ms_stats" {
+                    out.set(k, v.clone());
+                }
+            }
+            out
+        };
+        let mut d = Json::obj().with("schema", Json::Str(BENCH_SCHEMA_V3.into()));
+        for (k, v) in doc.as_obj().expect("document object") {
+            match k.as_str() {
+                "schema" => {}
+                "results" | "kernel_sweep" => {
+                    d.set(
+                        k,
+                        Json::Arr(v.as_arr().expect("array").iter().map(strip).collect()),
+                    );
+                }
+                _ => {
+                    d.set(k, v.clone());
+                }
+            }
+        }
+        validate_bench_json(&d).expect("stats-free v3 document validates");
+    }
+
+    #[test]
+    fn v4_rows_carry_consistent_stats_and_reject_nulls() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
+        let text = doc.to_string();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(BENCH_SCHEMA));
+        // Every results row reports through the stats module.
+        for row in doc.get("results").and_then(Json::as_arr).expect("results") {
+            let s = row
+                .get("frame_ms_stats")
+                .and_then(crate::stats::SummaryStats::from_json)
+                .expect("parseable frame_ms_stats on every row");
+            let frames = row.get("frames").and_then(Json::as_u64).expect("frames");
+            assert_eq!(s.n as u64, frames);
+            assert!(s.ci95_lo <= s.mean && s.mean <= s.ci95_hi);
+            assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        }
+        // A NaN smuggled into a numeric column serializes as `null`; the
+        // validator now names the exact path instead of passing the row.
+        let poisoned = text.replacen("\"composite_ms\":", "\"composite_ms\":null,\"x\":", 1);
+        assert_ne!(poisoned, text, "fixture key present");
+        let err = validate_bench_json(&Json::parse(&poisoned).expect("parses"))
+            .expect_err("null must be rejected");
+        assert!(err.contains("null"), "{err}");
+        // Same document retagged v1: nulls are rejected even for legacy tags.
+        let legacy_poisoned = poisoned.replacen(BENCH_SCHEMA, BENCH_SCHEMA_V1, 1);
+        let err = validate_bench_json(&Json::parse(&legacy_poisoned).expect("parses"))
+            .expect_err("null must be rejected in legacy documents too");
+        assert!(err.contains("null"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_series_emit_finite_guarded_rows() {
+        // The regression this PR fixes: an empty series used to divide by
+        // zero into NaN means and Inf fps, which serialized as null/Inf.
+        let empty = Series {
+            frame_ms: vec![],
+            composite_ms: vec![],
+            warp_ms: vec![],
+            composited_pixels: 0,
+        };
+        assert_eq!(empty.mean_frame_ms(), 0.0);
+        assert_eq!(empty.min_frame_ms(), 0.0);
+        let row = empty.to_json("serial", 1, Some(10.0));
+        for (key, v) in row.as_obj().expect("row object") {
+            if let Some(f) = v.as_f64() {
+                assert!(f.is_finite(), "{key} = {f} must stay finite");
+            }
+        }
+        // No stats object: the reducer refuses the empty series, so a v4
+        // document built from it fails validation loudly.
+        assert!(row.get("frame_ms_stats").is_none());
+        assert_eq!(row.get("fps").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]

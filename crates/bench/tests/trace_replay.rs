@@ -1,0 +1,134 @@
+//! Trace replay determinism: a recorded workload must replay **bit-
+//! identically** — across repeated runs, across all four renderers, in both
+//! pacing modes, and even when an injected worker panic is repaired
+//! mid-replay. The per-frame FNV-64 image hashes are the record of
+//! identity; any divergence is a rendering bug, not noise.
+
+use std::sync::Once;
+use swr_bench::gate::{bench_gate, gate_self_test, GateConfig};
+use swr_bench::trace::{replay_trace, ReplayMode, TraceFrame, TraceHeader, WorkloadTrace};
+use swr_bench::wall::{run_wall_bench, validate_bench_json, WallBenchConfig};
+use swr_core::FaultPlan;
+
+fn quiet_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        std::panic::set_hook(Box::new(|_| {}));
+    });
+}
+
+/// A six-frame workload: rotation sweep wide enough to cross principal-axis
+/// changes, a zoom ramp, a perspective switch, and a classification change
+/// mid-sequence (forcing a re-encode during replay).
+fn workload() -> WorkloadTrace {
+    WorkloadTrace {
+        header: TraceHeader {
+            phantom: "mri".into(),
+            base: 16,
+            seed: 11,
+            transfer: "mri".into(),
+            threads: 2,
+            renderer: "new".into(),
+        },
+        frames: (0..6)
+            .map(|i| TraceFrame {
+                angle_x: 11.5,
+                angle_y: i as f64 * 23.0,
+                zoom: 1.0 + i as f64 * 0.05,
+                perspective: (i >= 4).then_some(96.0),
+                transfer: (i == 3).then(|| "opaque".to_string()),
+                dt_ms: if i == 0 { 0.0 } else { 2.0 },
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn trace_replays_bit_identically_through_every_renderer() {
+    let t = workload();
+    let reference =
+        replay_trace(&t, "serial", ReplayMode::Throughput, None, None).expect("serial replay");
+    assert_eq!(reference.hashes.len(), t.frames.len());
+    // The classification change at frame 3 must actually change pixels.
+    assert_ne!(reference.hashes[2], reference.hashes[3]);
+    for renderer in ["serial", "old", "new", "new_pipelined"] {
+        let a = replay_trace(&t, renderer, ReplayMode::Throughput, None, None)
+            .unwrap_or_else(|e| panic!("{renderer}: {e}"));
+        let b = replay_trace(&t, renderer, ReplayMode::Throughput, None, None)
+            .unwrap_or_else(|e| panic!("{renderer}: {e}"));
+        assert_eq!(
+            a.hashes, b.hashes,
+            "{renderer}: record/replay twice must be bit-identical"
+        );
+        assert_eq!(
+            a.hashes, reference.hashes,
+            "{renderer}: must match the serial reference pixels"
+        );
+    }
+}
+
+#[test]
+fn trace_survives_the_line_format_round_trip_before_replay() {
+    // The on-disk path: serialize, reparse, replay — hashes unchanged.
+    let t = workload();
+    let back = WorkloadTrace::parse(&t.to_lines()).expect("round trip");
+    assert_eq!(back, t);
+    let direct = replay_trace(&t, "new", ReplayMode::Throughput, None, None).expect("direct");
+    let reparsed =
+        replay_trace(&back, "new", ReplayMode::Throughput, None, None).expect("reparsed");
+    assert_eq!(direct.hashes, reparsed.hashes);
+}
+
+#[test]
+fn replay_with_injected_panic_repairs_bit_identically() {
+    quiet_panics();
+    let t = workload();
+    let clean = replay_trace(&t, "serial", ReplayMode::Throughput, None, None).expect("clean");
+    // A worker panic injected mid-replay (composite task, then warp band)
+    // is repaired inside the renderer; the replay completes with the same
+    // pixels as the clean run on every parallel renderer.
+    type FaultCtor = fn() -> FaultPlan;
+    let faults: [(&str, FaultCtor); 2] = [
+        ("composite panic", || FaultPlan::new(1).panic_at(3)),
+        ("warp panic", || FaultPlan::new(2).panic_in_warp_at(1)),
+    ];
+    for renderer in ["old", "new", "new_pipelined"] {
+        for (label, fault) in faults {
+            let out = replay_trace(&t, renderer, ReplayMode::Throughput, None, Some(fault()))
+                .unwrap_or_else(|e| panic!("{renderer} with {label}: {e}"));
+            assert_eq!(
+                out.hashes, clean.hashes,
+                "{renderer} with {label}: repaired replay must stay bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn realtime_replay_paces_to_the_recorded_schedule() {
+    let t = workload();
+    // 5 gaps of 2 ms: the paced replay cannot finish faster than the
+    // schedule, and its pixels still match the throughput run exactly.
+    let paced = replay_trace(&t, "new", ReplayMode::Realtime, None, None).expect("paced");
+    assert!(paced.elapsed_ms >= 10.0, "{}", paced.elapsed_ms);
+    let fast = replay_trace(&t, "new", ReplayMode::Throughput, None, None).expect("throughput");
+    assert_eq!(paced.hashes, fast.hashes);
+    let row = paced.to_json();
+    assert!(row.get("missed_deadlines").is_some());
+    assert!(row.get("lateness_ms_stats").is_some());
+    assert!(row.get("frame_ms_stats").is_some());
+}
+
+#[test]
+fn smoke_document_gates_against_itself_and_fails_when_doctored() {
+    // The end-to-end gate workflow on a real emitted document: a fresh
+    // smoke run passes against itself, and the deterministic self-test
+    // proves the gate fires on an artificially inflated row.
+    let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
+    validate_bench_json(&doc).expect("smoke document validates");
+    let cfg = GateConfig::default();
+    let outcome = bench_gate(&doc, &doc, &cfg).expect("gate runs");
+    assert!(outcome.passed(), "{:?}", outcome.report_lines());
+    let msg = gate_self_test(&doc, &cfg).expect("self-test");
+    assert!(msg.contains("fired on doctored row"), "{msg}");
+}

@@ -99,6 +99,15 @@ impl Json {
         }
     }
 
+    /// The value as a *finite* `f64`. NaN and infinity have no JSON
+    /// representation — the writer emits them as `null` — so a validator
+    /// that requires a real measurement must use this accessor: it rejects
+    /// `null` (a degenerate series' NaN in disguise) the same as a missing
+    /// or non-numeric value.
+    pub fn as_finite_f64(&self) -> Option<f64> {
+        self.as_f64().filter(|v| v.is_finite())
+    }
+
     /// The value as an array, if it is one.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -395,6 +404,18 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
             assert!(parse(bad).is_err(), "{bad:?} must fail");
         }
+    }
+
+    #[test]
+    fn finite_accessor_rejects_serialized_nan() {
+        // NaN writes as null; reading it back as a finite number must fail.
+        let doc = Json::obj().with("v", Json::F64(f64::NAN));
+        let back = parse(&doc.to_string()).unwrap();
+        assert_eq!(back.get("v"), Some(&Json::Null));
+        assert_eq!(back.get("v").and_then(Json::as_finite_f64), None);
+        assert_eq!(Json::F64(2.5).as_finite_f64(), Some(2.5));
+        assert_eq!(Json::U64(3).as_finite_f64(), Some(3.0));
+        assert_eq!(Json::F64(f64::INFINITY).as_finite_f64(), None);
     }
 
     #[test]

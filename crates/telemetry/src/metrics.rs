@@ -38,10 +38,14 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Records one sample.
+    /// Records one sample. The running `sum` saturates instead of wrapping:
+    /// a long-lived service histogram fed large samples (microsecond spans,
+    /// `u64::MAX`-scale sentinel values) must never panic the render path in
+    /// a debug build or silently wrap in release — a pinned `u64::MAX` sum
+    /// with an exact `count` is the legible degradation.
     pub fn observe(&mut self, v: u64) {
         self.count += 1;
-        self.sum += v;
+        self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.buckets[(64 - v.leading_zeros()) as usize] += 1;
@@ -112,13 +116,14 @@ impl Histogram {
         self.max
     }
 
-    /// Folds another histogram into this one.
+    /// Folds another histogram into this one (`sum` saturates, as in
+    /// [`Histogram::observe`]).
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -281,6 +286,31 @@ mod tests {
         assert!((h.mean() - 1010.0 / 6.0).abs() < 1e-9);
         assert_eq!(Histogram::bucket_bound(0), 0);
         assert_eq!(Histogram::bucket_bound(3), 7);
+    }
+
+    #[test]
+    fn observe_saturates_instead_of_overflowing() {
+        // Two u64::MAX-scale samples used to overflow `sum` (a panic in
+        // debug builds, silent wrap in release). The sum now pins at
+        // u64::MAX while count/min/max/buckets/quantiles stay exact.
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX - 1);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, u64::MAX - 1);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.buckets[64], 3);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // A saturated mean reads as sum/count — bounded, never NaN.
+        assert!(h.mean().is_finite());
+
+        // Merging two saturated histograms must not overflow either.
+        let other = h.clone();
+        h.merge(&other);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 6);
     }
 
     #[test]

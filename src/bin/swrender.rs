@@ -38,6 +38,7 @@ struct Cli {
     animate: Option<usize>,
     no_pipeline: bool,
     output: String,
+    record_trace: Option<String>,
     metrics: Option<String>,
     trace: Option<String>,
     breakdown: bool,
@@ -76,6 +77,7 @@ impl Default for Cli {
             animate: None,
             no_pipeline: false,
             output: "render.ppm".into(),
+            record_trace: None,
             metrics: None,
             trace: None,
             breakdown: false,
@@ -141,6 +143,11 @@ rendering:
                                through the per-frame new renderer instead
                                (the non-overlapped contrast case)
   -o, --output PATH            output PPM (prefix when rendering > 1 frame)
+  --record-trace PATH          write a swr-trace/1 workload trace of the
+                               rendered frames (synthetic phantoms only —
+                               replay regenerates the volume from
+                               phantom+seed; drive it back through any
+                               renderer with `swr-bench --replay PATH`)
 
 telemetry:
   --metrics PATH               write per-frame metrics + totals JSON
@@ -258,7 +265,13 @@ fn parse() -> Cli {
             "--watchdog-ms" => {
                 cli.watchdog_ms = Some(val("--watchdog-ms").parse().unwrap_or_else(|_| usage()))
             }
-            "--frames" => cli.frames = val("--frames").parse().unwrap_or_else(|_| usage()),
+            "--frames" => {
+                cli.frames = val("--frames").parse().unwrap_or_else(|_| usage());
+                if cli.frames == 0 {
+                    eprintln!("--frames must be >= 1");
+                    usage()
+                }
+            }
             "--step" => cli.step = val("--step").parse().unwrap_or_else(|_| usage()),
             "--animate" => {
                 let n: usize = val("--animate").parse().unwrap_or_else(|_| usage());
@@ -290,6 +303,7 @@ fn parse() -> Cli {
                 cli.watch_iters = Some(val("--watch-iters").parse().unwrap_or_else(|_| usage()))
             }
             "-o" | "--output" => cli.output = val("--output"),
+            "--record-trace" => cli.record_trace = Some(val("--record-trace")),
             "-h" | "--help" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -697,6 +711,26 @@ fn decode_frame(resp: &Json) -> Option<FinalImage> {
 
 fn main() {
     let mut cli = parse();
+    if cli.record_trace.is_some() {
+        // Replay regenerates the dataset from phantom + seed, so only
+        // synthetic local renders are recordable.
+        if cli.input.is_some() || cli.raw.is_some() {
+            eprintln!("--record-trace requires a synthetic --phantom (replay regenerates the volume from phantom+seed)");
+            usage()
+        }
+        if cli.simulate.is_some() || cli.connect.is_some() || cli.bench {
+            eprintln!(
+                "--record-trace records local renders only (not --simulate/--connect/--bench)"
+            );
+            usage()
+        }
+        if cfg!(not(feature = "bench")) {
+            eprintln!(
+                "swrender: --record-trace needs the `bench` feature; rebuild with default features"
+            );
+            std::process::exit(2);
+        }
+    }
     if cli.bench {
         run_bench();
     }
@@ -815,6 +849,30 @@ fn main() {
         (view, ay)
     };
 
+    // Workload trace capture: one record per delivered frame, stamped with
+    // the live inter-frame gap so `swr-bench --replay --mode realtime` can
+    // reproduce the recorded pacing.
+    #[cfg(feature = "bench")]
+    let mut trace_rec = cli.record_trace.as_ref().map(|_| {
+        let phantom_name = match cli.phantom.expect("validated: phantom input") {
+            Phantom::MriBrain => "mri",
+            Phantom::CtHead => "ct",
+            Phantom::SolidEllipsoid => "ellipsoid",
+        };
+        swr_bench::trace::TraceRecorder::new(swr_bench::trace::TraceHeader {
+            phantom: phantom_name.into(),
+            base: cli.base,
+            seed: cli.seed,
+            transfer: cli.transfer.clone(),
+            threads: cli.threads,
+            renderer: if cli.animate.is_some() {
+                "new_pipelined".into()
+            } else {
+                cli.algorithm.clone()
+            },
+        })
+    });
+
     let mut telemetry: Vec<FrameTelemetry> = Vec::new();
     if let Some(nframes) = cli.animate {
         // Pipelined animation: the pool persists across frames and frame
@@ -841,6 +899,15 @@ fn main() {
                 image.height(),
                 t0.elapsed().as_secs_f64() * 1e3
             );
+            #[cfg(feature = "bench")]
+            if let Some(rec) = trace_rec.as_mut() {
+                rec.record(
+                    cli.angle_x,
+                    cli.angle_y + frame as f64 * cli.step,
+                    cli.zoom,
+                    cli.perspective,
+                );
+            }
         })
         .unwrap_or_else(|e| fail(e));
         let secs = t0.elapsed().as_secs_f64();
@@ -887,7 +954,21 @@ fn main() {
                 image.height(),
                 t.elapsed().as_secs_f64() * 1e3
             );
+            #[cfg(feature = "bench")]
+            if let Some(rec) = trace_rec.as_mut() {
+                rec.record(cli.angle_x, ay, cli.zoom, cli.perspective);
+            }
         }
+    }
+
+    #[cfg(feature = "bench")]
+    if let (Some(path), Some(rec)) = (cli.record_trace.as_ref(), trace_rec.take()) {
+        let trace = rec.finish();
+        std::fs::write(path, trace.to_lines()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("recorded {} frames -> {path}", trace.frames.len());
     }
 
     write_telemetry(&cli, &telemetry);
