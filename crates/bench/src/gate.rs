@@ -144,11 +144,24 @@ impl GateOutcome {
     }
 }
 
-/// One document's gate-relevant rows: key → (stats, is_serial, phantom).
+/// One gate-relevant row extracted from a document.
+#[derive(Debug, Clone)]
+struct Row {
+    key: String,
+    phantom: String,
+    renderer: String,
+    threads: u64,
+    /// v5 scheduling class (`threads > host_cpus`); `None` on pre-v5
+    /// documents, which never class-separate.
+    oversubscribed: Option<bool>,
+    stats: Option<SummaryStats>,
+}
+
+/// One document's gate-relevant rows.
 struct DocRows {
     host: String,
     base: Option<u64>,
-    rows: Vec<(String, String, String, u64, Option<SummaryStats>)>,
+    rows: Vec<Row>,
 }
 
 fn doc_rows(doc: &Json, which: &str) -> Result<DocRows, String> {
@@ -166,21 +179,44 @@ fn doc_rows(doc: &Json, which: &str) -> Result<DocRows, String> {
         .and_then(|c| c.get("base"))
         .and_then(Json::as_u64);
     let mut rows = Vec::new();
-    for (i, row) in results.iter().enumerate() {
-        let renderer = row
-            .get("renderer")
-            .and_then(Json::as_str)
-            .ok_or(format!("{which}: results[{i}] missing renderer"))?
-            .to_string();
+    let push = |rows: &mut Vec<Row>, row: &Json, renderer: String| {
         let phantom = row
             .get("phantom")
             .and_then(Json::as_str)
             .unwrap_or("default")
             .to_string();
         let threads = row.get("threads").and_then(Json::as_u64).unwrap_or(1);
-        let stats = row.get("frame_ms_stats").and_then(SummaryStats::from_json);
-        let key = format!("{phantom}/{renderer}/x{threads}");
-        rows.push((key, phantom, renderer, threads, stats));
+        rows.push(Row {
+            key: format!("{phantom}/{renderer}/x{threads}"),
+            phantom,
+            renderer,
+            threads,
+            oversubscribed: row.get("oversubscribed").and_then(Json::as_bool),
+            stats: row.get("frame_ms_stats").and_then(SummaryStats::from_json),
+        });
+    };
+    for (i, row) in results.iter().enumerate() {
+        let renderer = row
+            .get("renderer")
+            .and_then(Json::as_str)
+            .ok_or(format!("{which}: results[{i}] missing renderer"))?
+            .to_string();
+        push(&mut rows, row, renderer);
+    }
+    // The v5 series arrays ride under the gate too: their rows carry the
+    // same frame_ms_stats shape, keyed by their matrix cell.
+    if let Some(loc) = doc.get("bricked_locality").and_then(Json::as_arr) {
+        for row in loc {
+            let layout = row.get("layout").and_then(Json::as_str).unwrap_or("?");
+            let pin = row.get("pin").and_then(Json::as_str).unwrap_or("?");
+            push(&mut rows, row, format!("bricked[{layout}/{pin}]"));
+        }
+    }
+    if let Some(res) = doc.get("resident_sweep").and_then(Json::as_arr) {
+        for row in res {
+            let budget = row.get("budget").and_then(Json::as_str).unwrap_or("?");
+            push(&mut rows, row, format!("resident[{budget}]"));
+        }
     }
     Ok(DocRows { host, base, rows })
 }
@@ -203,49 +239,109 @@ pub fn bench_gate(baseline: &Json, fresh: &Json, cfg: &GateConfig) -> Result<Gat
     let serial_mean = |doc: &DocRows, phantom: &str| -> Option<f64> {
         doc.rows
             .iter()
-            .find(|(_, p, r, _, _)| p == phantom && r == "serial")
-            .and_then(|(_, _, _, _, s)| s.as_ref())
+            .find(|r| r.phantom == phantom && r.renderer == "serial")
+            .and_then(|r| r.stats.as_ref())
             .map(|s| s.mean)
     };
+    // Matched oversubscribed pairs per phantom, for the class anchor below:
+    // (key, phantom, fresh mean, baseline mean).
+    let over_pairs: Vec<(String, String, f64, f64)> = fresh_doc
+        .rows
+        .iter()
+        .filter(|r| r.oversubscribed == Some(true))
+        .filter_map(|r| {
+            let f = r.stats.as_ref()?.mean;
+            let b = base_doc
+                .rows
+                .iter()
+                .find(|br| {
+                    br.phantom == r.phantom
+                        && br.renderer == r.renderer
+                        && br.threads == r.threads
+                        && br.oversubscribed == Some(true)
+                })
+                .and_then(|br| br.stats.as_ref())?
+                .mean;
+            Some((r.key.clone(), r.phantom.clone(), f, b))
+        })
+        .collect();
 
-    for (key, phantom, renderer, threads, fresh_stats) in &fresh_doc.rows {
-        let Some(fresh_stats) = fresh_stats else {
+    for fr in &fresh_doc.rows {
+        let key = &fr.key;
+        let Some(fresh_stats) = &fr.stats else {
             out.skipped
                 .push(format!("{key}: fresh row has no frame_ms_stats"));
             continue;
         };
-        let Some((_, _, _, _, base_stats)) = base_doc
-            .rows
-            .iter()
-            .find(|(_, p, r, t, _)| p == phantom && r == renderer && t == threads)
-        else {
+        let Some(br) = base_doc.rows.iter().find(|b| {
+            b.phantom == fr.phantom && b.renderer == fr.renderer && b.threads == fr.threads
+        }) else {
             out.skipped.push(format!("{key}: no baseline row"));
             continue;
         };
-        let Some(base_stats) = base_stats else {
+        let Some(base_stats) = &br.stats else {
             out.skipped.push(format!(
                 "{key}: baseline row has no frame_ms_stats (pre-/4 document)"
             ));
             continue;
         };
         let scale = if out.calibrated {
-            if renderer == "serial" {
+            if fr.renderer == "serial" {
                 // The anchor itself: comparing it post-calibration is a
                 // tautology (ratio 1 by construction).
                 out.skipped
                     .push(format!("{key}: serial row is the calibration anchor"));
                 continue;
             }
-            match (
-                serial_mean(&fresh_doc, phantom),
-                serial_mean(&base_doc, phantom),
-            ) {
-                (Some(f), Some(b)) if b > 0.0 && f > 0.0 => f / b,
-                _ => {
+            if fr.oversubscribed.is_some()
+                && br.oversubscribed.is_some()
+                && fr.oversubscribed != br.oversubscribed
+            {
+                // A row that oversubscribes one host but not the other
+                // measures different phenomena on each side; no anchor can
+                // reconcile them.
+                out.skipped.push(format!(
+                    "{key}: oversubscription class differs between hosts"
+                ));
+                continue;
+            }
+            if fr.oversubscribed == Some(true) {
+                // Leave-one-out class anchor: oversubscribed wall times are
+                // dominated by scheduler interference, which the serial
+                // anchor cannot normalize (the serial row never
+                // oversubscribes). Calibrate each oversubscribed row
+                // through the *rest* of its class on the same phantom, so
+                // the gate fires only when one cell regresses relative to
+                // its class peers — a uniformly slower scheduler on the CI
+                // host passes, a genuinely regressed configuration fails.
+                let (mut f_sum, mut b_sum, mut n) = (0.0f64, 0.0f64, 0usize);
+                for (k, p, f, b) in &over_pairs {
+                    if p == &fr.phantom && k != key {
+                        f_sum += f;
+                        b_sum += b;
+                        n += 1;
+                    }
+                }
+                if n == 0 || b_sum <= 0.0 || f_sum <= 0.0 {
                     out.skipped.push(format!(
-                        "{key}: no serial anchor for phantom {phantom} on both sides"
+                        "{key}: oversubscribed row has no class peers to anchor against"
                     ));
                     continue;
+                }
+                f_sum / b_sum
+            } else {
+                match (
+                    serial_mean(&fresh_doc, &fr.phantom),
+                    serial_mean(&base_doc, &fr.phantom),
+                ) {
+                    (Some(f), Some(b)) if b > 0.0 && f > 0.0 => f / b,
+                    _ => {
+                        out.skipped.push(format!(
+                            "{key}: no serial anchor for phantom {} on both sides",
+                            fr.phantom
+                        ));
+                        continue;
+                    }
                 }
             }
         } else {
@@ -508,5 +604,96 @@ mod tests {
         let base = doc("vm", 40, 10.0, 4.0);
         let msg = gate_self_test(&base, &GateConfig::default()).expect("self test passes");
         assert!(msg.contains("MriBrain/new/x2"), "{msg}");
+    }
+
+    /// Like [`doc`] but with additional oversubscribed rows (threads 16,
+    /// 32, 64, ... with `oversubscribed: true`), the v5 shape.
+    fn doc_over(host: &str, base: u64, serial_mean: f64, new_mean: f64, over: &[f64]) -> Json {
+        let stats = |mean: f64| {
+            SummaryStats::from_samples(&[mean * 0.98, mean, mean * 1.02, mean * 0.99, mean * 1.01])
+                .expect("stats")
+                .to_json()
+        };
+        let mut rows = vec![
+            doc("x", base, serial_mean, new_mean)
+                .get("results")
+                .and_then(Json::as_arr)
+                .expect("rows")[0]
+                .clone(),
+            doc("x", base, serial_mean, new_mean)
+                .get("results")
+                .and_then(Json::as_arr)
+                .expect("rows")[1]
+                .clone(),
+        ];
+        for (i, mean) in over.iter().enumerate() {
+            rows.push(
+                Json::obj()
+                    .with("renderer", Json::Str("new".into()))
+                    .with("phantom", Json::Str("MriBrain".into()))
+                    .with("threads", Json::U64(16 << i))
+                    .with("oversubscribed", Json::Bool(true))
+                    .with("frame_ms_stats", stats(*mean)),
+            );
+        }
+        Json::obj()
+            .with("schema", Json::Str("swr-bench-wall/5".into()))
+            .with("host", Json::Str(host.into()))
+            .with("config", Json::obj().with("base", Json::U64(base)))
+            .with("results", Json::Arr(rows))
+    }
+
+    #[test]
+    fn oversubscribed_rows_calibrate_through_their_class_not_the_serial_anchor() {
+        let base = doc_over("vm", 40, 10.0, 4.0, &[20.0, 24.0, 30.0]);
+        // CI host: serial and the normal parallel row are identical, but
+        // every oversubscribed row is uniformly 3x slower (a slower
+        // scheduler under contention). The serial anchor would fire on all
+        // three; the leave-one-out class anchor passes them all.
+        let ci = doc_over("ci", 40, 10.0, 4.0, &[60.0, 72.0, 90.0]);
+        let out = bench_gate(&base, &ci, &GateConfig::default()).expect("gate runs");
+        assert!(out.calibrated);
+        assert!(out.passed(), "{:?}", out.report_lines());
+
+        // One cell regresses 3x while its two class peers hold: the class
+        // anchor stays ~1 for that row, so the gate fires on exactly it.
+        let ci_one_bad = doc_over("ci", 40, 10.0, 4.0, &[20.0, 72.0, 30.0]);
+        let out = bench_gate(&base, &ci_one_bad, &GateConfig::default()).expect("gate runs");
+        assert!(!out.passed());
+        let regs = out.regressions();
+        assert_eq!(regs.len(), 1, "{:?}", out.report_lines());
+        assert_eq!(regs[0].key, "MriBrain/new/x32");
+    }
+
+    #[test]
+    fn oversubscribed_row_without_class_peers_is_skipped() {
+        let base = doc_over("vm", 40, 10.0, 4.0, &[20.0]);
+        let ci = doc_over("ci", 40, 10.0, 4.0, &[60.0]);
+        let out = bench_gate(&base, &ci, &GateConfig::default()).expect("gate runs");
+        assert!(out.passed(), "{:?}", out.report_lines());
+        assert!(
+            out.skipped.iter().any(|s| s.contains("no class peers")),
+            "{:?}",
+            out.skipped
+        );
+    }
+
+    #[test]
+    fn oversubscription_class_change_between_hosts_is_skipped() {
+        let base = doc_over("vm", 40, 10.0, 4.0, &[20.0, 24.0]);
+        // Same rows, but on the fresh host 16 threads fit the machine.
+        let mut fresh = doc_over("ci", 40, 10.0, 4.0, &[20.0, 24.0]);
+        let rows = fresh.get("results").and_then(Json::as_arr).expect("rows");
+        let mut doctored: Vec<Json> = rows.to_vec();
+        doctored[2] = with_replaced(&doctored[2], "oversubscribed", &Json::Bool(false));
+        fresh = with_replaced(&fresh, "results", &Json::Arr(doctored));
+        let out = bench_gate(&base, &fresh, &GateConfig::default()).expect("gate runs");
+        assert!(
+            out.skipped
+                .iter()
+                .any(|s| s.contains("class differs between hosts")),
+            "{:?}",
+            out.skipped
+        );
     }
 }

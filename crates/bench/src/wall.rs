@@ -15,10 +15,13 @@
 use crate::stats::SummaryStats;
 use crate::{build_dataset, view_at, FRAME_STEP_DEG};
 use std::time::Instant;
-use swr_core::{AnimationPipeline, NewParallelRenderer, OldParallelRenderer, ParallelConfig};
-use swr_render::SerialRenderer;
+use swr_core::{
+    host_cpus, AnimationPipeline, NewParallelRenderer, OldParallelRenderer, ParallelConfig,
+    Placement,
+};
+use swr_render::{SerialRenderer, VolumeSrc};
 use swr_telemetry::Json;
-use swr_volume::Phantom;
+use swr_volume::{BrickedVolume, Phantom, DEFAULT_BRICK_EXTENT};
 
 /// Schema tag of the emitted document; bump on breaking layout changes.
 /// v2 added the `new_pipelined` renderer rows (multi-frame pipeline) and
@@ -27,15 +30,23 @@ use swr_volume::Phantom;
 /// `frame_ms_stats` / `composite_ms_stats` summary objects (trimmed mean,
 /// stddev, Student-t 95% CI, p50/p95/p99, IQR outlier count — see
 /// [`crate::stats::SummaryStats`]) on every timing row, which the
-/// regression gate ([`crate::gate`]) compares across runs.
-pub const BENCH_SCHEMA: &str = "swr-bench-wall/4";
+/// regression gate ([`crate::gate`]) compares across runs. v5 added the
+/// per-row `effective_threads` / `oversubscribed` scheduling metadata (so
+/// the gate can class-separate oversubscribed series), the
+/// `bricked_locality` series (flat vs bricked storage × pin policy ×
+/// threads) and the `resident_sweep` series (frame time vs brick-cache
+/// byte budget), and switched `new_pipelined` frame timing to completion
+/// timestamps.
+pub const BENCH_SCHEMA: &str = "swr-bench-wall/5";
 
 /// Older schema tags, still accepted by [`validate_bench_json`] so archived
 /// documents keep validating.
+pub const BENCH_SCHEMA_V4: &str = "swr-bench-wall/4";
+/// See [`BENCH_SCHEMA_V4`].
 pub const BENCH_SCHEMA_V3: &str = "swr-bench-wall/3";
-/// See [`BENCH_SCHEMA_V3`].
+/// See [`BENCH_SCHEMA_V4`].
 pub const BENCH_SCHEMA_V2: &str = "swr-bench-wall/2";
-/// See [`BENCH_SCHEMA_V3`].
+/// See [`BENCH_SCHEMA_V4`].
 pub const BENCH_SCHEMA_V1: &str = "swr-bench-wall/1";
 
 /// Configuration of one wall-clock benchmark run.
@@ -133,9 +144,16 @@ impl Series {
         let mean = self.mean_frame_ms();
         let frames = self.frame_ms.len() as u64;
         let pixels_per_frame = Self::ratio(self.composited_pixels as f64, frames as f64);
+        let cpus = host_cpus();
         let mut row = Json::obj()
             .with("renderer", Json::Str(renderer.into()))
             .with("threads", Json::U64(threads as u64))
+            // How many of the requested threads can actually run at once on
+            // this host, and whether the row oversubscribed it. A speedup
+            // from an oversubscribed row measures scheduler interference,
+            // not the algorithm — the gate classes such rows separately.
+            .with("effective_threads", Json::U64(threads.min(cpus) as u64))
+            .with("oversubscribed", Json::Bool(threads > cpus))
             .with("frames", Json::U64(frames))
             .with("mean_frame_ms", Json::F64(mean))
             .with("min_frame_ms", Json::F64(self.min_frame_ms()))
@@ -271,10 +289,14 @@ fn time_series(
 /// Times the multi-frame pipeline over one animation. Unlike
 /// [`time_series`] there is no per-frame render call to clock: the pool
 /// renders two frames at a time and delivers them in order, so frame cost
-/// is the *delivery-to-delivery* gap on the consuming thread — exactly the
-/// frame rate an animation consumer observes. `composite_ms` records each
-/// frame's publish-to-completion latency (which spans the overlap with its
-/// neighbours, so per-frame latency can exceed the delivery gap).
+/// is the *completion-to-completion* gap as stamped by the driver
+/// (`RenderStats::completion_us`). Timing delivery gaps on the consuming
+/// thread instead is wrong: the bounded ring can release two buffered
+/// frames back-to-back after the sink stalls, producing near-zero gaps
+/// (`min_frame_ms` ≈ 0.0002 in pre-v5 documents) that no renderer ever
+/// achieved. `composite_ms` records each frame's publish-to-completion
+/// latency (which spans the overlap with its neighbours, so per-frame
+/// latency can exceed the completion gap).
 fn pipelined_series(
     enc: &swr_volume::EncodedVolume,
     dims: [usize; 3],
@@ -293,16 +315,17 @@ fn pipelined_series(
         warp_ms: Vec::with_capacity(frames),
         composited_pixels: 0,
     };
-    let start = Instant::now();
-    let mut last = start;
+    // Frame 0's "gap" is measured from the animation clock's origin, which
+    // is its real latency; warmup ≥ 1 discards it anyway.
+    let mut last_completion_us = 0u64;
     pipe.try_render_animation(enc, &views, |frame, _img, st| {
-        let now = Instant::now();
         if frame >= warmup {
-            series.frame_ms.push((now - last).as_secs_f64() * 1000.0);
+            let gap_us = st.completion_us.saturating_sub(last_completion_us);
+            series.frame_ms.push(gap_us as f64 / 1000.0);
             series.composite_ms.push(st.composite_secs * 1000.0);
             series.composited_pixels += st.composited_pixels;
         }
-        last = now;
+        last_completion_us = st.completion_us;
     })
     .expect("pipelined benchmark render");
     series
@@ -406,6 +429,170 @@ fn observability_series(
         .with("baseline_mean_frame_ms", Json::F64(base_median))
         .with("instrumented_mean_frame_ms", Json::F64(median(&instr_ms)))
         .with("overhead_pct", Json::F64(overhead_pct))
+}
+
+/// The thread counts the locality matrix sweeps: the smallest and largest
+/// configured counts (deduplicated). The full cross product of
+/// layout × pin × threads over every configured count would dominate the
+/// benchmark's wall time without adding information — locality effects are
+/// monotone in between.
+fn locality_threads(threads: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if let Some(&first) = threads.first() {
+        out.push(first);
+    }
+    if let Some(&last) = threads.last() {
+        if Some(&last) != out.last() {
+            out.push(last);
+        }
+    }
+    out
+}
+
+/// The memory-locality matrix: flat vs bricked RLE storage crossed with
+/// thread-pinning policy, rendered through the new parallel renderer. Both
+/// layouts produce bit-identical images (asserted by the equivalence
+/// suite); these rows measure what the layout and placement buy in frame
+/// time. Returns one row per (layout, pin, threads) cell.
+fn bricked_locality_series(
+    cfg: &WallBenchConfig,
+    phantom: Phantom,
+    enc: &swr_volume::EncodedVolume,
+    dims: [usize; 3],
+    mut progress: impl FnMut(&str),
+) -> Vec<Json> {
+    let bricked = BrickedVolume::from_encoded(enc, DEFAULT_BRICK_EXTENT);
+    let label = format!("{phantom:?}");
+    let pins = [Placement::None, Placement::Compact, Placement::Scatter];
+    let mut rows = Vec::new();
+    for &threads in &locality_threads(&cfg.threads) {
+        for pin in pins {
+            // Per-cell flat baseline: the layout comparison must hold the
+            // pin policy fixed, so the flat render re-runs under each one.
+            let mut flat_mean = None;
+            for (layout, src) in [
+                ("flat", VolumeSrc::Flat(enc)),
+                ("bricked", VolumeSrc::Bricked(&bricked)),
+            ] {
+                let pcfg = ParallelConfig {
+                    placement: pin,
+                    ..ParallelConfig::with_procs(threads)
+                };
+                let mut renderer = NewParallelRenderer::new(pcfg);
+                let s = time_series(dims, cfg.warmup, cfg.frames, |view| {
+                    let (_, st) = renderer
+                        .try_render_with_stats_src(src, view)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (st.composite_secs, st.warp_secs, st.composited_pixels)
+                });
+                let mean = s.mean_frame_ms();
+                progress(&format!(
+                    "{label} {dims:?} locality {layout}/pin={pin} x{threads}: {mean:.2} ms/frame"
+                ));
+                let mut row = s
+                    .to_json("new", threads, None)
+                    .with("series", Json::Str("bricked_locality".into()))
+                    .with("layout", Json::Str(layout.into()))
+                    .with("pin", Json::Str(pin.to_string()))
+                    .with("phantom", Json::Str(label.clone()))
+                    .with(
+                        "dims",
+                        Json::Arr(dims.iter().map(|&d| Json::U64(d as u64)).collect()),
+                    );
+                match flat_mean {
+                    None => flat_mean = Some(mean),
+                    Some(f) => {
+                        row.set("speedup_vs_flat", Json::F64(Series::ratio(f, mean)));
+                    }
+                }
+                rows.push(row);
+            }
+        }
+    }
+    rows
+}
+
+/// Byte-budget fractions the resident sweep renders under, as divisors of
+/// the bricked volume's total payload size. Labels are stable across hosts
+/// and volume sizes so the gate can match rows PR over PR.
+const RESIDENT_FRACTIONS: [(&str, u64); 4] =
+    [("eighth", 8), ("quarter", 4), ("half", 2), ("full", 1)];
+
+/// The bounded-resident-set sweep: frame time as a function of the brick
+/// cache's byte budget, with the volume streaming from its spill file. Each
+/// row records the cache counters and asserts (structurally, re-checked by
+/// the validator) that the peak resident bytes never exceeded the budget —
+/// the hard guarantee `--resident-mb` makes.
+fn resident_sweep_series(
+    cfg: &WallBenchConfig,
+    phantom: Phantom,
+    enc: &swr_volume::EncodedVolume,
+    dims: [usize; 3],
+    mut progress: impl FnMut(&str),
+) -> Vec<Json> {
+    let label = format!("{phantom:?}");
+    let threads = cfg.threads.last().copied().unwrap_or(1);
+    let full = BrickedVolume::from_encoded(enc, DEFAULT_BRICK_EXTENT);
+    let storage = full.storage_bytes() as u64;
+    drop(full);
+    let mut rows = Vec::new();
+    for (frac_label, div) in RESIDENT_FRACTIONS {
+        let budget = (storage / div).max(1);
+        let vol = match BrickedVolume::from_encoded_streamed(enc, DEFAULT_BRICK_EXTENT, budget) {
+            Ok(v) => v,
+            Err(e) => {
+                // No writable temp dir (locked-down CI sandbox): report and
+                // move on rather than failing the whole benchmark document.
+                progress(&format!(
+                    "{label} {dims:?} resident {frac_label}: skipped (spill file: {e})"
+                ));
+                continue;
+            }
+        };
+        let mut renderer = NewParallelRenderer::new(ParallelConfig::with_procs(threads));
+        let s = time_series(dims, cfg.warmup, cfg.frames, |view| {
+            let (_, st) = renderer
+                .try_render_with_stats_src(VolumeSrc::Bricked(&vol), view)
+                .unwrap_or_else(|e| panic!("{e}"));
+            (st.composite_secs, st.warp_secs, st.composited_pixels)
+        });
+        let stats = vol.cache_stats().expect("streamed volume has a cache");
+        let lookups = stats.hits + stats.misses;
+        let hit_rate = Series::ratio(stats.hits as f64, lookups as f64);
+        progress(&format!(
+            "{label} {dims:?} resident {frac_label} ({} KiB) x{threads}: {:.2} ms/frame, \
+             {:.0}% hits, {} evictions, peak {} KiB",
+            stats.budget_bytes / 1024,
+            s.mean_frame_ms(),
+            hit_rate * 100.0,
+            stats.evictions,
+            stats.peak_resident_bytes / 1024,
+        ));
+        rows.push(
+            s.to_json("new", threads, None)
+                .with("series", Json::Str("resident_sweep".into()))
+                .with("budget", Json::Str(frac_label.into()))
+                // The cache's actual budget (post clamp to the largest
+                // brick), which the peak bound is asserted against.
+                .with("budget_bytes", Json::U64(stats.budget_bytes))
+                .with("storage_bytes", Json::U64(storage))
+                .with("cache_hits", Json::U64(stats.hits))
+                .with("cache_misses", Json::U64(stats.misses))
+                .with("cache_evictions", Json::U64(stats.evictions))
+                .with("hit_rate", Json::F64(hit_rate))
+                .with("peak_resident_bytes", Json::U64(stats.peak_resident_bytes))
+                .with(
+                    "within_budget",
+                    Json::Bool(stats.peak_resident_bytes <= stats.budget_bytes),
+                )
+                .with("phantom", Json::Str(label.clone()))
+                .with(
+                    "dims",
+                    Json::Arr(dims.iter().map(|&d| Json::U64(d as u64)).collect()),
+                ),
+        );
+    }
+    rows
 }
 
 /// The benchmark host name: `/proc/sys/kernel/hostname`, the `HOSTNAME`
@@ -532,6 +719,27 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
         }
     }
 
+    let mut bricked_locality = Vec::new();
+    let mut resident_sweep = Vec::new();
+    for &phantom in &cfg.phantoms {
+        let dims = phantom.paper_dims(cfg.base);
+        let enc = build_dataset(phantom, cfg.base);
+        bricked_locality.extend(bricked_locality_series(
+            cfg,
+            phantom,
+            &enc,
+            dims,
+            &mut progress,
+        ));
+        resident_sweep.extend(resident_sweep_series(
+            cfg,
+            phantom,
+            &enc,
+            dims,
+            &mut progress,
+        ));
+    }
+
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -539,14 +747,12 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
     // Thread counts above the host's parallelism still run (the schedulers
     // must not degrade), but their speedups only mean anything relative to
     // this figure — record it so readers can tell a 1-core container's
-    // numbers from a 32-way machine's.
-    let host_cpus = std::thread::available_parallelism()
-        .map(|n| n.get() as u64)
-        .unwrap_or(1);
+    // numbers from a 32-way machine's. The same figure drives each row's
+    // `effective_threads` / `oversubscribed` fields.
     Json::obj()
         .with("schema", Json::Str(BENCH_SCHEMA.into()))
         .with("host", Json::Str(host_name()))
-        .with("host_cpus", Json::U64(host_cpus))
+        .with("host_cpus", Json::U64(host_cpus() as u64))
         .with("kernel", Json::Str(kernel.name().into()))
         .with("simd_enabled", Json::Bool(kernel.lanes() > 1))
         .with("unix_secs", Json::U64(unix_secs))
@@ -556,10 +762,13 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
                 .with("base", Json::U64(cfg.base as u64))
                 .with("warmup", Json::U64(cfg.warmup as u64))
                 .with("frames", Json::U64(cfg.frames as u64))
-                .with("force_scalar", Json::Bool(cfg.force_scalar)),
+                .with("force_scalar", Json::Bool(cfg.force_scalar))
+                .with("brick", Json::U64(DEFAULT_BRICK_EXTENT as u64)),
         )
         .with("kernel_sweep", Json::Arr(sweep))
         .with("observability", Json::Arr(observability))
+        .with("bricked_locality", Json::Arr(bricked_locality))
+        .with("resident_sweep", Json::Arr(resident_sweep))
         .with("results", Json::Arr(results))
 }
 
@@ -609,6 +818,35 @@ fn validate_stats(v: &Json, ctx: &str, frames: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a v5 row's scheduling metadata: `effective_threads` within
+/// `1..=threads` and `oversubscribed` consistent with it.
+fn validate_sched_meta(row: &Json, ctx: &str) -> Result<(), String> {
+    let threads = row
+        .get("threads")
+        .and_then(Json::as_u64)
+        .ok_or(format!("{ctx}: missing threads"))?;
+    let eff = row
+        .get("effective_threads")
+        .and_then(Json::as_u64)
+        .ok_or(format!("{ctx}: v5 row missing effective_threads"))?;
+    let over = row
+        .get("oversubscribed")
+        .and_then(Json::as_bool)
+        .ok_or(format!("{ctx}: v5 row missing oversubscribed"))?;
+    if eff == 0 || eff > threads {
+        return Err(format!(
+            "{ctx}: effective_threads = {eff} outside 1..={threads}"
+        ));
+    }
+    if over != (eff < threads) {
+        return Err(format!(
+            "{ctx}: oversubscribed = {over} inconsistent with \
+             effective_threads {eff} of {threads}"
+        ));
+    }
+    Ok(())
+}
+
 /// Validates the schema of a `BENCH_*.json` document: the CI smoke job
 /// gates on structure, never on absolute numbers. Returns a description of
 /// the first violation.
@@ -619,6 +857,7 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         .ok_or("missing schema tag")?;
     if ![
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
         BENCH_SCHEMA_V2,
         BENCH_SCHEMA_V1,
@@ -627,10 +866,12 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     {
         return Err(format!(
             "schema {schema:?}, expected {BENCH_SCHEMA:?} (or legacy \
-             {BENCH_SCHEMA_V3:?} / {BENCH_SCHEMA_V2:?} / {BENCH_SCHEMA_V1:?})"
+             {BENCH_SCHEMA_V4:?} / {BENCH_SCHEMA_V3:?} / {BENCH_SCHEMA_V2:?} / \
+             {BENCH_SCHEMA_V1:?})"
         ));
     }
-    let v4 = schema == BENCH_SCHEMA;
+    let v5 = schema == BENCH_SCHEMA;
+    let v4 = v5 || schema == BENCH_SCHEMA_V4;
     let v3 = v4 || schema == BENCH_SCHEMA_V3;
     let v2 = v3 || schema == BENCH_SCHEMA_V2;
     if doc.get("host").and_then(Json::as_str).is_none() {
@@ -738,6 +979,9 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
                 .get("frame_ms_stats")
                 .ok_or(format!("results[{i}]: v4 row missing frame_ms_stats"))?;
             validate_stats(stats, &format!("results[{i}].frame_ms_stats"), frames)?;
+        }
+        if v5 {
+            validate_sched_meta(row, &format!("results[{i}]"))?;
         }
         if renderer != "serial" {
             let v = row
@@ -849,6 +1093,100 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             {
                 return Err(format!("observability[{i}]: missing overhead_pct"));
             }
+        }
+    }
+    if v5 {
+        let loc = doc
+            .get("bricked_locality")
+            .and_then(Json::as_arr)
+            .ok_or("v5 document missing bricked_locality array")?;
+        if loc.is_empty() {
+            return Err("bricked_locality array is empty".into());
+        }
+        let (mut saw_flat, mut saw_bricked) = (false, false);
+        for (i, row) in loc.iter().enumerate() {
+            let ctx = format!("bricked_locality[{i}]");
+            if let Some(path) = find_null(row) {
+                return Err(format!("{ctx}{path}: null where a number is required"));
+            }
+            if row.get("series").and_then(Json::as_str) != Some("bricked_locality") {
+                return Err(format!("{ctx}: wrong series tag"));
+            }
+            match row.get("layout").and_then(Json::as_str) {
+                Some("flat") => saw_flat = true,
+                Some("bricked") => saw_bricked = true,
+                other => return Err(format!("{ctx}: bad layout {other:?}")),
+            }
+            let pin = row.get("pin").and_then(Json::as_str).unwrap_or("");
+            if !["none", "compact", "scatter"].contains(&pin) {
+                return Err(format!("{ctx}: unknown pin policy {pin:?}"));
+            }
+            validate_sched_meta(row, &ctx)?;
+            let v = row
+                .get("mean_frame_ms")
+                .and_then(Json::as_finite_f64)
+                .ok_or(format!("{ctx}: missing mean_frame_ms"))?;
+            if v <= 0.0 {
+                return Err(format!("{ctx}: mean_frame_ms = {v} not positive"));
+            }
+            let frames = row.get("frames").and_then(Json::as_u64).unwrap_or(0);
+            let stats = row
+                .get("frame_ms_stats")
+                .ok_or(format!("{ctx}: missing frame_ms_stats"))?;
+            validate_stats(stats, &format!("{ctx}.frame_ms_stats"), frames)?;
+        }
+        if !(saw_flat && saw_bricked) {
+            return Err("bricked_locality must cover both layouts".into());
+        }
+        let resident = doc
+            .get("resident_sweep")
+            .and_then(Json::as_arr)
+            .ok_or("v5 document missing resident_sweep array")?;
+        if resident.is_empty() {
+            return Err("resident_sweep array is empty".into());
+        }
+        for (i, row) in resident.iter().enumerate() {
+            let ctx = format!("resident_sweep[{i}]");
+            if let Some(path) = find_null(row) {
+                return Err(format!("{ctx}{path}: null where a number is required"));
+            }
+            if row.get("series").and_then(Json::as_str) != Some("resident_sweep") {
+                return Err(format!("{ctx}: wrong series tag"));
+            }
+            let budget = row
+                .get("budget_bytes")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{ctx}: missing budget_bytes"))?;
+            if budget == 0 {
+                return Err(format!("{ctx}: zero budget_bytes"));
+            }
+            let peak = row
+                .get("peak_resident_bytes")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{ctx}: missing peak_resident_bytes"))?;
+            // The hard-budget guarantee: eviction runs before admission, so
+            // a peak above the budget is a cache bug, not noise.
+            if peak > budget {
+                return Err(format!(
+                    "{ctx}: peak resident {peak} B exceeds budget {budget} B \
+                     — the hard byte budget was violated"
+                ));
+            }
+            if row.get("within_budget").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("{ctx}: within_budget must be true"));
+            }
+            let v = row
+                .get("mean_frame_ms")
+                .and_then(Json::as_finite_f64)
+                .ok_or(format!("{ctx}: missing mean_frame_ms"))?;
+            if v <= 0.0 {
+                return Err(format!("{ctx}: mean_frame_ms = {v} not positive"));
+            }
+            let frames = row.get("frames").and_then(Json::as_u64).unwrap_or(0);
+            let stats = row
+                .get("frame_ms_stats")
+                .ok_or(format!("{ctx}: missing frame_ms_stats"))?;
+            validate_stats(stats, &format!("{ctx}.frame_ms_stats"), frames)?;
         }
     }
     Ok(())

@@ -101,6 +101,7 @@ pub mod old_renderer;
 pub mod pad;
 pub mod partition;
 pub mod pipeline;
+pub mod placement;
 pub mod prefix;
 pub(crate) mod telem;
 
@@ -111,6 +112,7 @@ pub use old_renderer::OldParallelRenderer;
 pub use pad::CachePadded;
 pub use partition::{balanced_contiguous, equal_contiguous, interleaved_chunks, make_tiles};
 pub use pipeline::AnimationPipeline;
+pub use placement::{host_cpus, pin_current_thread, PinLedger, PinOutcome, Placement};
 pub use prefix::{parallel_prefix_sum, prefix_sum};
 pub use swr_error::Error;
 pub use swr_telemetry::{FrameTelemetry, Json, MetricsRegistry};
@@ -152,6 +154,12 @@ pub struct ParallelConfig {
     /// [`RenderStats`]); `false` surfaces
     /// [`Error::WorkerPanicked`](swr_error::Error) instead.
     pub recover_panics: bool,
+    /// Thread-placement policy for pool workers: each worker pins itself
+    /// to one CPU before touching band memory, keeping the first-touch
+    /// pages local to the processor that composites them. The default
+    /// reads the `SWR_PIN` environment variable (unset ⇒ no pinning), so
+    /// pinning can be enabled without touching call sites.
+    pub placement: Placement,
 }
 
 impl Default for ParallelConfig {
@@ -167,6 +175,7 @@ impl Default for ParallelConfig {
             profiled_partition: true,
             watchdog_timeout: Some(Duration::from_secs(10)),
             recover_panics: true,
+            placement: Placement::from_env(),
         }
     }
 }
@@ -243,6 +252,13 @@ pub struct RenderStats {
     pub repaired_rows: u64,
     /// Whether any part of this frame ran on the serial fallback path.
     pub degraded: bool,
+    /// Clock tick (µs, frame-clock domain) at which the frame was fully
+    /// resolved. Zero for renderers that do not pipeline frames; the
+    /// animation pipeline stamps it so consumers can measure inter-frame
+    /// delivery by *completion* gaps rather than sink-arrival gaps (which
+    /// collapse to ~0 when back-pressure releases two buffered frames
+    /// back-to-back).
+    pub completion_us: u64,
 }
 
 impl RenderStats {
@@ -272,6 +288,7 @@ impl RenderStats {
             .with("worker_panics", Json::U64(self.worker_panics))
             .with("repaired_rows", Json::U64(self.repaired_rows))
             .with("degraded", Json::Bool(self.degraded))
+            .with("completion_us", Json::U64(self.completion_us))
     }
 
     /// Parses the object produced by [`RenderStats::to_json`]. Missing keys
@@ -292,6 +309,7 @@ impl RenderStats {
             worker_panics: u("worker_panics"),
             repaired_rows: u("repaired_rows"),
             degraded: b("degraded"),
+            completion_us: u("completion_us"),
         })
     }
 }
@@ -378,6 +396,7 @@ mod tests {
             worker_panics: 1,
             repaired_rows: 42,
             degraded: true,
+            completion_us: 987_654,
         };
         let text = stats.to_json().to_string();
         let back = RenderStats::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -389,6 +408,7 @@ mod tests {
         assert_eq!(back.worker_panics, stats.worker_panics);
         assert_eq!(back.repaired_rows, stats.repaired_rows);
         assert_eq!(back.degraded, stats.degraded);
+        assert_eq!(back.completion_us, stats.completion_us);
         // Defaults fill in for absent keys; non-objects are rejected.
         assert!(RenderStats::from_json(&Json::parse("{}").unwrap()).is_ok());
         assert!(RenderStats::from_json(&Json::U64(3)).is_err());

@@ -36,6 +36,7 @@ use crate::fault::FaultPlan;
 use crate::old_renderer::StealQueue;
 use crate::pad::CachePadded;
 use crate::partition::{balanced_contiguous, equal_contiguous, partition_chunks};
+use crate::placement::{pin_current_thread, PinLedger};
 use crate::prefix::parallel_prefix_sum;
 use crate::telem;
 use crate::{Error, ParallelConfig, RenderStats};
@@ -47,12 +48,12 @@ use std::time::Duration;
 use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
-    composite::occupied_y_bounds, composite_scanline_slice, composite_scanline_slice_untraced,
-    warp_row_band, CompositeOpts, FinalImage, IntermediateImage, NullTracer, SharedFinal,
-    SharedIntermediate,
+    composite::occupied_y_bounds_src, composite_scanline_slice_src,
+    composite_scanline_slice_untraced_src, warp_row_band, AxisSrc, CompositeOpts, FinalImage,
+    IntermediateImage, NullTracer, SharedFinal, SharedIntermediate, VolumeSrc,
 };
 use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind};
-use swr_volume::{EncodedVolume, RleEncoding};
+use swr_volume::EncodedVolume;
 
 /// Row-claim sentinel: no worker ever claimed the row.
 pub(crate) const UNCLAIMED: usize = usize::MAX;
@@ -201,6 +202,14 @@ impl NewParallelRenderer {
         self.try_render_with_stats(enc, view).map(|(img, _)| img)
     }
 
+    /// Renders one frame from either storage layout (legacy panicking
+    /// form).
+    pub fn render_src(&mut self, src: VolumeSrc<'_>, view: &ViewSpec) -> FinalImage {
+        self.try_render_with_stats_src(src, view)
+            .map(|(img, _)| img)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Renders one frame, returning execution statistics (including any
     /// recorded degradation) or a typed error.
     pub fn try_render_with_stats(
@@ -208,10 +217,19 @@ impl NewParallelRenderer {
         enc: &EncodedVolume,
         view: &ViewSpec,
     ) -> Result<(FinalImage, RenderStats), Error> {
+        self.try_render_with_stats_src(VolumeSrc::Flat(enc), view)
+    }
+
+    /// [`Self::try_render_with_stats`] from either storage layout.
+    pub fn try_render_with_stats_src(
+        &mut self,
+        src: VolumeSrc<'_>,
+        view: &ViewSpec,
+    ) -> Result<(FinalImage, RenderStats), Error> {
         self.cfg.try_validate()?;
         view.try_validate()?;
         let fact = Factorization::from_view(view);
-        let rle = enc.for_axis(fact.principal);
+        let rle = src.for_axis(fact.principal);
         let nprocs = self.cfg.nprocs;
         let h = fact.inter_h;
 
@@ -233,7 +251,7 @@ impl NewParallelRenderer {
 
         // §4.2: composite only the occupied band of the intermediate image.
         let region: Range<usize> = if self.cfg.empty_region_clip {
-            match occupied_y_bounds(rle, &fact) {
+            match occupied_y_bounds_src(rle, &fact) {
                 Some((lo, hi)) => lo..hi + 1,
                 None => return Ok((out, stats)), // empty volume: nothing to draw
             }
@@ -343,6 +361,9 @@ impl NewParallelRenderer {
 
         let steals = CachePadded::new(AtomicU64::new(0));
         let composited = CachePadded::new(AtomicU64::new(0));
+        // Worker pin outcomes for the core.pinned / core.numa_node gauges.
+        let pins = PinLedger::new();
+        let placement = self.cfg.placement;
         // Waits entered with the watchdog timeout armed (a backstop metric:
         // nonzero arms with zero stalls means the watchdog never fired).
         let watchdog_arms = CachePadded::new(AtomicU64::new(0));
@@ -372,7 +393,12 @@ impl NewParallelRenderer {
                     let logs = &logs;
                     let clock = &clock;
                     let steal = self.cfg.steal;
+                    let pins = &pins;
                     s.spawn(move |_| {
+                        // Pin before the first-touch row zeroing below, so
+                        // the pages a worker faults in stay local to the
+                        // CPU that composites them for the whole frame.
+                        pins.record(pin_current_thread(placement, p, nprocs));
                         // Checked out once per frame; recording into it is
                         // lock-free from here on.
                         let mut wlog = logs[p].lock();
@@ -616,6 +642,8 @@ impl NewParallelRenderer {
             |m| {
                 m.inc("watchdog.arms", watchdog_arms.load(Ordering::Relaxed));
                 m.set_gauge("profile.frames_since", frames_since_profile as f64);
+                m.set_gauge("core.pinned", pins.pinned() as f64);
+                m.set_gauge("core.numa_node", pins.max_numa_node() as f64);
             },
         ));
         Ok((out, stats))
@@ -633,7 +661,7 @@ impl NewParallelRenderer {
 /// working set, so its capacity misses (and on ccNUMA, its page placement)
 /// decide the compositing phase's memory time.
 pub(crate) fn composite_chunk_rows(
-    rle: &RleEncoding,
+    rle: AxisSrc<'_>,
     fact: &Factorization,
     shared: &SharedIntermediate<'_>,
     rows: Range<usize>,
@@ -653,11 +681,12 @@ pub(crate) fn composite_chunk_rows(
             // SAFETY: as above — exclusive row access via chunk ownership.
             let mut row = unsafe { shared.row_view(y) };
             if profiling {
-                let st = composite_scanline_slice(rle, fact, &mut row, k, opts, &mut NullTracer);
+                let st =
+                    composite_scanline_slice_src(rle, fact, &mut row, k, opts, &mut NullTracer);
                 pixels += st.composited;
                 new_profile[y].fetch_add(st.work, Ordering::Relaxed);
             } else {
-                pixels += composite_scanline_slice_untraced(rle, fact, &mut row, k, opts);
+                pixels += composite_scanline_slice_untraced_src(rle, fact, &mut row, k, opts);
             }
         }
     }
@@ -676,7 +705,7 @@ pub(crate) fn extend_band(band: &mut Range<usize>, region_start: usize) {
 /// Serially re-composites one lost row from scratch, visiting slices in the
 /// same ascending order as the worker loop so the repair is bit-identical.
 pub(crate) fn recomposite_row(
-    rle: &RleEncoding,
+    rle: AxisSrc<'_>,
     fact: &Factorization,
     shared: &SharedIntermediate<'_>,
     y: usize,
@@ -688,7 +717,7 @@ pub(crate) fn recomposite_row(
     let mut row = unsafe { shared.row_view(y) };
     for m in 0..fact.slice_count() {
         let k = fact.slice_for_step(m);
-        composite_scanline_slice(rle, fact, &mut row, k, opts, &mut NullTracer);
+        composite_scanline_slice_src(rle, fact, &mut row, k, opts, &mut NullTracer);
     }
 }
 

@@ -20,6 +20,7 @@
 use crate::fault::FaultPlan;
 use crate::pad::CachePadded;
 use crate::partition::{interleaved_chunks, make_tiles};
+use crate::placement::{pin_current_thread, PinLedger};
 use crate::telem;
 use crate::{Error, ParallelConfig, RenderStats};
 use parking_lot::Mutex;
@@ -30,8 +31,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use swr_error::panic_message;
 use swr_geom::{Factorization, ViewSpec};
 use swr_render::{
-    composite_scanline_slice, composite_scanline_slice_untraced, warp_full, warp_tile,
+    composite_scanline_slice_src, composite_scanline_slice_untraced_src, warp_full, warp_tile,
     CompositeOpts, FinalImage, IntermediateImage, NullTracer, SharedFinal, SharedIntermediate,
+    VolumeSrc,
 };
 use swr_telemetry::{us_to_secs, FrameClock, FrameTelemetry, SpanKind};
 use swr_volume::EncodedVolume;
@@ -162,10 +164,27 @@ impl OldParallelRenderer {
         enc: &EncodedVolume,
         view: &ViewSpec,
     ) -> Result<(FinalImage, RenderStats), Error> {
+        self.try_render_with_stats_src(VolumeSrc::Flat(enc), view)
+    }
+
+    /// Renders one frame from any [`VolumeSrc`] layout (flat per-axis RLE or
+    /// bricked, possibly streamed). Output is bit-identical across layouts.
+    pub fn render_src(&mut self, src: VolumeSrc<'_>, view: &ViewSpec) -> FinalImage {
+        self.try_render_with_stats_src(src, view)
+            .map(|(img, _)| img)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Layout-polymorphic form of [`OldParallelRenderer::try_render_with_stats`].
+    pub fn try_render_with_stats_src(
+        &mut self,
+        src: VolumeSrc<'_>,
+        view: &ViewSpec,
+    ) -> Result<(FinalImage, RenderStats), Error> {
         self.cfg.try_validate()?;
         view.try_validate()?;
         let fact = Factorization::from_view(view);
-        let rle = enc.for_axis(fact.principal);
+        let rle = src.for_axis(fact.principal);
         let nprocs = self.cfg.nprocs;
 
         // Reuse the intermediate buffer across frames.
@@ -231,6 +250,8 @@ impl OldParallelRenderer {
         let composite_end_us = AtomicU64::new(0);
         let opts = self.composite_opts;
         let watchdog = self.cfg.watchdog_timeout;
+        let pins = PinLedger::new();
+        let placement = self.cfg.placement;
         {
             let shared = SharedIntermediate::new(inter);
             let shared_out = SharedFinal::new(&mut out);
@@ -255,7 +276,12 @@ impl OldParallelRenderer {
                     let logs = &logs;
                     let clock = &clock;
                     let steal = self.cfg.steal;
+                    let pins = &pins;
                     s.spawn(move |_| {
+                        // Pin before the first queue pop: all of this
+                        // worker's intermediate-row writes then stay on its
+                        // node for the warp phase to read back locally.
+                        pins.record(pin_current_thread(placement, p, nprocs));
                         // Checked out once per frame; recording into it is
                         // lock-free from here on.
                         let mut wlog = logs[p].lock();
@@ -290,7 +316,7 @@ impl OldParallelRenderer {
                                         // SAFETY: each scanline belongs to exactly
                                         // one chunk and each chunk is popped once.
                                         let mut row = unsafe { shared.row_view(y) };
-                                        local_pixels += composite_scanline_slice_untraced(
+                                        local_pixels += composite_scanline_slice_untraced_src(
                                             rle, fact, &mut row, k, &opts,
                                         );
                                     }
@@ -415,7 +441,7 @@ impl OldParallelRenderer {
                 let mut row = inter.row_view(y);
                 for m in 0..fact.slice_count() {
                     let k = fact.slice_for_step(m);
-                    composite_scanline_slice(rle, &fact, &mut row, k, &opts, &mut tracer);
+                    composite_scanline_slice_src(rle, &fact, &mut row, k, &opts, &mut tracer);
                 }
             }
             // The tile warp was skipped on abort; redo it serially over the
@@ -454,6 +480,8 @@ impl OldParallelRenderer {
             &stats,
             |m| {
                 m.set_gauge("old.final_chunk_rows", final_chunk_rows as f64);
+                m.set_gauge("core.pinned", pins.pinned() as f64);
+                m.set_gauge("core.numa_node", pins.max_numa_node() as f64);
             },
         ));
         Ok((out, stats))

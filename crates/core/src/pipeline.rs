@@ -43,6 +43,7 @@ use crate::new_renderer::{
 use crate::old_renderer::{pop_or_steal, StealQueue};
 use crate::pad::CachePadded;
 use crate::partition::{balanced_contiguous, equal_contiguous, partition_chunks};
+use crate::placement::{pin_current_thread, PinLedger};
 use crate::prefix::parallel_prefix_sum;
 use crate::telem;
 use crate::{Error, ParallelConfig, RenderStats};
@@ -55,8 +56,8 @@ use std::sync::Arc;
 use swr_error::panic_message;
 use swr_geom::{Factorization, Mat4, ViewSpec};
 use swr_render::{
-    composite::occupied_y_bounds, warp_row_band, CompositeOpts, FinalImage, IntermediateImage,
-    NullTracer, SharedFinal, SharedIntermediate,
+    composite::occupied_y_bounds_src, warp_row_band, CompositeOpts, FinalImage, IntermediateImage,
+    NullTracer, SharedFinal, SharedIntermediate, VolumeSrc,
 };
 use swr_telemetry::{
     us_to_secs, Correlation, FrameClock, FrameTelemetry, MetricsRegistry, SpanKind, WorkerLog,
@@ -376,6 +377,19 @@ impl AnimationPipeline {
         &mut self,
         enc: &EncodedVolume,
         views: &[ViewSpec],
+        sink: impl FnMut(usize, FinalImage, &RenderStats),
+    ) -> Result<(), Error> {
+        self.try_render_animation_src(VolumeSrc::Flat(enc), views, sink)
+    }
+
+    /// Layout-polymorphic form of [`AnimationPipeline::try_render_animation`]:
+    /// renders from any [`VolumeSrc`] (flat per-axis RLE or bricked, possibly
+    /// streamed through a bounded [`BrickCache`](swr_volume::BrickCache)).
+    /// Output is bit-identical across layouts for the same views.
+    pub fn try_render_animation_src(
+        &mut self,
+        src: VolumeSrc<'_>,
+        views: &[ViewSpec],
         mut sink: impl FnMut(usize, FinalImage, &RenderStats),
     ) -> Result<(), Error> {
         self.cfg.try_validate()?;
@@ -405,6 +419,8 @@ impl AnimationPipeline {
         let ring = Ring::new();
         let clock = FrameClock::new();
         let state = std::mem::take(&mut self.state);
+        let pins = PinLedger::new();
+        let placement = self.cfg.placement;
 
         let shared_inter = [
             SharedIntermediate::new(&mut inter_a),
@@ -420,7 +436,7 @@ impl AnimationPipeline {
             composite_opts: self.composite_opts,
             correlation: self.correlation,
             fault: self.fault.as_ref(),
-            enc,
+            src,
             views,
             facts: &facts,
             slots: &slots,
@@ -430,6 +446,7 @@ impl AnimationPipeline {
             shared_inter: &shared_inter,
             shared_final: &shared_final,
             nprocs,
+            pins: &pins,
         };
 
         // The vendored scoped-thread shim has no join handles, so the
@@ -446,7 +463,9 @@ impl AnimationPipeline {
                     steal: self.cfg.steal,
                     watchdog: self.cfg.watchdog_timeout,
                     fault: self.fault.as_ref(),
-                    enc,
+                    src,
+                    placement,
+                    pins: &pins,
                     slots: &slots,
                     gate: &gate,
                     clock: &clock,
@@ -505,6 +524,18 @@ impl AnimationPipeline {
         self.try_render_animation(enc, views, |_, img, _| frames.push(img))?;
         Ok(frames)
     }
+
+    /// Convenience form of [`AnimationPipeline::try_render_animation_src`]
+    /// collecting every frame in order.
+    pub fn try_render_all_src(
+        &mut self,
+        src: VolumeSrc<'_>,
+        views: &[ViewSpec],
+    ) -> Result<Vec<FinalImage>, Error> {
+        let mut frames = Vec::with_capacity(views.len());
+        self.try_render_animation_src(src, views, |_, img, _| frames.push(img))?;
+        Ok(frames)
+    }
 }
 
 /// Everything one worker thread captures for the animation.
@@ -514,7 +545,9 @@ struct WorkerCtx<'a, 'img> {
     steal: bool,
     watchdog: Option<std::time::Duration>,
     fault: Option<&'a FaultPlan>,
-    enc: &'a EncodedVolume,
+    src: VolumeSrc<'a>,
+    placement: crate::placement::Placement,
+    pins: &'a PinLedger,
     slots: &'a [SlotState; 2],
     gate: &'a Gate,
     clock: &'a FrameClock,
@@ -526,6 +559,10 @@ impl WorkerCtx<'_, '_> {
     /// The persistent worker loop: one gate wait and one frame of work per
     /// published frame, until shutdown.
     fn run(&self) {
+        // Pin once for the whole animation, before any frame's first-touch
+        // writes, so a worker's pages stay on its node across every frame.
+        self.pins
+            .record(pin_current_thread(self.placement, self.p, self.nprocs));
         for frame in 0.. {
             match self.gate.wait_for(frame) {
                 GateOutcome::Proceed => {}
@@ -549,7 +586,7 @@ impl WorkerCtx<'_, '_> {
             .expect("gate released only after publish");
         let epoch = params.epoch;
         let fact = &params.fact;
-        let rle = self.enc.for_axis(fact.principal);
+        let rle = self.src.for_axis(fact.principal);
         let inter = self.shared_inter[frame % 2].window(fact.inter_w, fact.inter_h);
         let out = self.shared_final[frame % 2].window(fact.final_w, fact.final_h);
         let collect = telem::collect();
@@ -692,7 +729,7 @@ struct DriverCtx<'a, 'img> {
     composite_opts: CompositeOpts,
     correlation: Option<Correlation>,
     fault: Option<&'a FaultPlan>,
-    enc: &'a EncodedVolume,
+    src: VolumeSrc<'a>,
     views: &'a [ViewSpec],
     facts: &'a [Factorization],
     slots: &'a [SlotState; 2],
@@ -702,6 +739,7 @@ struct DriverCtx<'a, 'img> {
     shared_inter: &'a [SharedIntermediate<'img>; 2],
     shared_final: &'a [SharedFinal<'img>; 2],
     nprocs: usize,
+    pins: &'a PinLedger,
 }
 
 impl DriverCtx<'_, '_> {
@@ -752,11 +790,11 @@ impl DriverCtx<'_, '_> {
         let epoch = frame as u64 + 1;
         let fact = self.facts[frame].clone();
         let h = fact.inter_h;
-        let rle = self.enc.for_axis(fact.principal);
+        let rle = self.src.for_axis(fact.principal);
         let part_start = self.clock.now_us();
 
         let region: Range<usize> = if self.cfg.empty_region_clip {
-            match occupied_y_bounds(rle, &fact) {
+            match occupied_y_bounds_src(rle, &fact) {
                 Some((lo, hi)) => lo..hi + 1,
                 None => 0..0, // empty volume: an all-empty frame
             }
@@ -936,7 +974,7 @@ impl DriverCtx<'_, '_> {
             stats.degraded = true;
             stats.repaired_rows = lost.len() as u64;
             let repair_start = self.clock.now_us();
-            let rle = self.enc.for_axis(fact.principal);
+            let rle = self.src.for_axis(fact.principal);
             for &y in &lost {
                 recomposite_row(rle, fact, &inter, y, &params.opts);
             }
@@ -993,6 +1031,11 @@ impl DriverCtx<'_, '_> {
         }
 
         let completion_us = self.clock.now_us();
+        // Stamp the resolve tick so consumers can time pipelined frames by
+        // completion gaps: the ring can release two buffered frames
+        // back-to-back, making sink-arrival gaps collapse to ~0 and wrecking
+        // any min-frame-time statistic derived from them.
+        stats.completion_us = completion_us;
         stats.composite_secs = us_to_secs(completion_us.saturating_sub(params.publish_us));
         // How long this frame overlapped its predecessor: the stretch from
         // this frame's publish to the previous frame's completion, during
@@ -1007,6 +1050,8 @@ impl DriverCtx<'_, '_> {
                 m.set_gauge("profile.frames_since", frames_since as f64);
                 m.set_gauge("pipeline.overlap_us", overlap_us as f64);
                 m.set_gauge("pipeline.in_flight_max", 2.0);
+                m.set_gauge("core.pinned", self.pins.pinned() as f64);
+                m.set_gauge("core.numa_node", self.pins.max_numa_node() as f64);
             });
             telemetry.push(t);
         }

@@ -1,0 +1,352 @@
+//! Worker thread placement: CPU pinning policies for the parallel
+//! renderers' pools.
+//!
+//! The paper's machines (DASH, Challenge) schedule one process per
+//! processor for the whole run, so a worker's pages — faulted in by
+//! first-touch during band zeroing — stay local to the processor that
+//! composites them. A modern kernel migrates unpinned threads freely,
+//! which silently breaks that first-touch contract. [`Placement`] restores
+//! it: each pool worker pins itself to one CPU before touching any band
+//! memory, so the per-scanline partition and the `AnimationPipeline` band
+//! ownership stay aligned with the pages the worker faulted in.
+//!
+//! Policies:
+//!
+//! * **compact** — worker `p` → CPU `p % ncpus`: fills one socket (and its
+//!   memory domain) before spilling to the next; best cache sharing.
+//! * **scatter** — worker `p` → CPU `(p * stride) % ncpus`: spreads workers
+//!   across the topology for maximum aggregate memory bandwidth.
+//! * **none** — leave scheduling to the kernel (the default).
+//!
+//! Pinning uses the raw `sched_setaffinity(2)` syscall bound directly
+//! (the build has no libc crate; same vendored-symbol style as the
+//! `signal(2)` shutdown handler in `swr-serve`). On non-Linux targets, or
+//! when the syscall fails (unprivileged container, cpuset restrictions),
+//! pinning degrades to a recorded no-op — never an error.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A thread-placement policy for pool workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// No pinning: the kernel schedules workers freely.
+    #[default]
+    None,
+    /// Worker `p` pins to CPU `p % ncpus` (fill cores in order).
+    Compact,
+    /// Worker `p` pins to CPU `(p * stride) % ncpus` (spread across the
+    /// topology; stride is `ncpus / nprocs`, at least 1).
+    Scatter,
+}
+
+impl Placement {
+    /// Reads the policy from the `SWR_PIN` environment variable
+    /// (`compact` / `scatter` / `none`); unset or unparsable means
+    /// [`Placement::None`].
+    pub fn from_env() -> Self {
+        std::env::var("SWR_PIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default()
+    }
+
+    /// Stable lowercase name (CLI flag value / metrics label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::None => "none",
+            Placement::Compact => "compact",
+            Placement::Scatter => "scatter",
+        }
+    }
+
+    /// The CPU worker `p` of `nprocs` should pin to under this policy, or
+    /// `None` when the policy is [`Placement::None`].
+    pub fn cpu_for(self, worker: usize, nprocs: usize, ncpus: usize) -> Option<usize> {
+        if ncpus == 0 {
+            return None;
+        }
+        match self {
+            Placement::None => None,
+            Placement::Compact => Some(worker % ncpus),
+            Placement::Scatter => {
+                let stride = (ncpus / nprocs.max(1)).max(1);
+                Some((worker * stride) % ncpus)
+            }
+        }
+    }
+}
+
+impl FromStr for Placement {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" | "off" | "" => Ok(Placement::None),
+            "compact" => Ok(Placement::Compact),
+            "scatter" => Ok(Placement::Scatter),
+            other => Err(format!(
+                "unknown placement {other:?} (expected compact, scatter, or none)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What pinning a worker actually achieved, aggregated per pool/frame and
+/// exported as the `core.pinned` / `core.numa_node` gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PinOutcome {
+    /// Whether `sched_setaffinity` succeeded for this worker.
+    pub pinned: bool,
+    /// The CPU requested (policy target), if the policy pins at all.
+    pub cpu: Option<usize>,
+    /// NUMA node of the CPU the thread runs on after pinning, when the
+    /// topology is readable (`/sys/devices/system/node`); `None` otherwise.
+    pub numa_node: Option<u32>,
+}
+
+/// Shared tally of pin outcomes across one pool's workers; cheap enough to
+/// update once per worker startup and read once per frame for the gauges.
+#[derive(Debug)]
+pub struct PinLedger {
+    /// Workers successfully pinned.
+    pinned: AtomicU64,
+    /// Workers that requested pinning (policy != none).
+    requested: AtomicU64,
+    /// Highest NUMA node observed, or -1 when unknown.
+    max_node: AtomicI64,
+}
+
+impl Default for PinLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PinLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        PinLedger {
+            pinned: AtomicU64::new(0),
+            requested: AtomicU64::new(0),
+            max_node: AtomicI64::new(-1),
+        }
+    }
+
+    /// Records one worker's outcome.
+    pub fn record(&self, outcome: PinOutcome) {
+        if outcome.cpu.is_some() {
+            self.requested.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.pinned {
+            self.pinned.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(node) = outcome.numa_node {
+            self.max_node.fetch_max(node as i64, Ordering::Relaxed);
+        }
+    }
+
+    /// Workers successfully pinned.
+    pub fn pinned(&self) -> u64 {
+        self.pinned.load(Ordering::Relaxed)
+    }
+
+    /// Workers whose policy requested pinning.
+    pub fn requested(&self) -> u64 {
+        self.requested.load(Ordering::Relaxed)
+    }
+
+    /// Highest NUMA node any pinned worker landed on, or -1 when the
+    /// topology is unknown (single-node hosts report 0).
+    pub fn max_numa_node(&self) -> i64 {
+        self.max_node.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of CPUs available to this process (used to derive pin targets
+/// and the bench oversubscription flag).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pins the calling thread per `placement`, returning what was achieved.
+/// Never fails: an unpinnable environment yields `pinned: false`.
+pub fn pin_current_thread(placement: Placement, worker: usize, nprocs: usize) -> PinOutcome {
+    let ncpus = host_cpus();
+    let Some(cpu) = placement.cpu_for(worker, nprocs, ncpus) else {
+        return PinOutcome::default();
+    };
+    let pinned = sys::set_affinity(cpu);
+    PinOutcome {
+        pinned,
+        cpu: Some(cpu),
+        numa_node: if pinned { sys::numa_node_of(cpu) } else { None },
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    /// Room for 1024 CPUs, the kernel's default CPU_SETSIZE.
+    const MASK_WORDS: usize = 16;
+
+    // The build has no libc crate; bind the affinity call directly. On
+    // every Linux target `pid_t` is i32 and the glibc/musl wrapper takes
+    // (pid, cpusetsize, mask); pid 0 means the calling thread.
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+
+    /// Pins the calling thread to `cpu`. Returns success; EPERM/EINVAL in
+    /// restricted containers simply reports false.
+    pub fn set_affinity(cpu: usize) -> bool {
+        if cpu >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[cpu / 64] = 1u64 << (cpu % 64);
+        // SAFETY: the mask buffer outlives the call and the size argument
+        // matches its length in bytes; the syscall only reads the mask.
+        let rc = unsafe { sched_setaffinity(0, MASK_WORDS * 8, mask.as_ptr()) };
+        rc == 0
+    }
+
+    /// NUMA node owning `cpu`, from the sysfs topology (`node*/cpulist`).
+    /// `None` when sysfs is unreadable (minimal containers).
+    pub fn numa_node_of(cpu: usize) -> Option<u32> {
+        let entries = std::fs::read_dir("/sys/devices/system/node").ok()?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(num) = name.strip_prefix("node") else {
+                continue;
+            };
+            let Ok(node) = num.parse::<u32>() else {
+                continue;
+            };
+            let Ok(list) = std::fs::read_to_string(entry.path().join("cpulist")) else {
+                continue;
+            };
+            if cpulist_contains(list.trim(), cpu) {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// Parses a kernel cpulist ("0-3,8,10-11") and tests membership.
+    fn cpulist_contains(list: &str, cpu: usize) -> bool {
+        for part in list.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let hit = match part.split_once('-') {
+                Some((lo, hi)) => match (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                    (Ok(lo), Ok(hi)) => lo <= cpu && cpu <= hi,
+                    _ => false,
+                },
+                None => part.parse::<usize>().map(|v| v == cpu).unwrap_or(false),
+            };
+            if hit {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::cpulist_contains;
+
+        #[test]
+        fn cpulist_membership_parses_ranges_and_singletons() {
+            assert!(cpulist_contains("0-3,8,10-11", 2));
+            assert!(cpulist_contains("0-3,8,10-11", 8));
+            assert!(cpulist_contains("0-3,8,10-11", 11));
+            assert!(!cpulist_contains("0-3,8,10-11", 9));
+            assert!(cpulist_contains("0", 0));
+            assert!(!cpulist_contains("", 0));
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    /// Pinning is Linux-only; elsewhere it is a recorded no-op.
+    pub fn set_affinity(_cpu: usize) -> bool {
+        false
+    }
+
+    pub fn numa_node_of(_cpu: usize) -> Option<u32> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parsing_round_trips_and_rejects_junk() {
+        for p in [Placement::None, Placement::Compact, Placement::Scatter] {
+            assert_eq!(p.name().parse::<Placement>().unwrap(), p);
+        }
+        assert_eq!("OFF".parse::<Placement>().unwrap(), Placement::None);
+        assert!("threads".parse::<Placement>().is_err());
+    }
+
+    #[test]
+    fn cpu_targets_follow_the_policy_shape() {
+        assert_eq!(Placement::None.cpu_for(3, 4, 8), None);
+        assert_eq!(Placement::Compact.cpu_for(3, 4, 8), Some(3));
+        assert_eq!(Placement::Compact.cpu_for(9, 4, 8), Some(1));
+        // Scatter with 2 workers on 8 CPUs strides by 4.
+        assert_eq!(Placement::Scatter.cpu_for(0, 2, 8), Some(0));
+        assert_eq!(Placement::Scatter.cpu_for(1, 2, 8), Some(4));
+        // More workers than CPUs degenerates to modulo, never panics.
+        assert_eq!(Placement::Scatter.cpu_for(5, 16, 2), Some(1));
+        assert_eq!(Placement::Compact.cpu_for(5, 16, 0), None);
+    }
+
+    #[test]
+    fn pinning_is_a_recorded_no_op_when_unavailable() {
+        // Whatever the host allows, the call must not fail or panic, and
+        // the outcome must be internally consistent.
+        let out = pin_current_thread(Placement::Compact, 0, 1);
+        assert_eq!(out.cpu, Some(0));
+        if !out.pinned {
+            assert_eq!(out.numa_node, None);
+        }
+        let none = pin_current_thread(Placement::None, 0, 1);
+        assert_eq!(none, PinOutcome::default());
+    }
+
+    #[test]
+    fn ledger_tallies_outcomes() {
+        let ledger = PinLedger::new();
+        ledger.record(PinOutcome {
+            pinned: true,
+            cpu: Some(0),
+            numa_node: Some(0),
+        });
+        ledger.record(PinOutcome {
+            pinned: false,
+            cpu: Some(1),
+            numa_node: None,
+        });
+        ledger.record(PinOutcome::default()); // policy none
+        assert_eq!(ledger.requested(), 2);
+        assert_eq!(ledger.pinned(), 1);
+        assert_eq!(ledger.max_numa_node(), 0);
+        let empty = PinLedger::new();
+        assert_eq!(empty.max_numa_node(), -1);
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`svm`] — a home-based lazy-release-consistency (HLRC) shared virtual
 //!   memory model at page granularity, with page-fault data wait, diff and
 //!   write-notice costs, and contention-aware barriers.
+//! * [`workingset`] — working-set replay for the bricked streaming store: a
+//!   policy twin of `swr-volume`'s clock brick cache plus an idealized LRU
+//!   bound, predicting miss curves over resident-set budgets and ranking
+//!   brick extents by decode traffic (the model behind the default 32³
+//!   brick and the `resident_sweep` bench series).
 //!
 //! The renderer's traces use real heap addresses, so data-structure layout
 //! (and hence false sharing and line-size effects) is exactly that of the
@@ -67,6 +72,7 @@ pub mod platform;
 pub mod replay;
 pub mod svm;
 pub mod trace;
+pub mod workingset;
 pub mod workload;
 
 pub use cache::{Cache, CacheConfig};
@@ -82,4 +88,8 @@ pub use svm::{
 };
 pub use swr_error::Error;
 pub use trace::{CollectingTracer, TaskTrace, TraceEvent};
+pub use workingset::{
+    lru_misses, miss_curve, recommend_brick, scanline_touches, sweep_brick_sizes, BrickChoice,
+    BrickTouch, ClockCacheSim, MissCurvePoint, SimStats,
+};
 pub use workload::{FrameWorkload, StealPolicy, TaskSpec};

@@ -18,9 +18,10 @@
 
 use crate::costs;
 use crate::image::{IPixel, RowView};
+use crate::source::AxisSrc;
 use crate::tracer::{NullTracer, Tracer, WorkKind};
 use swr_geom::Factorization;
-use swr_volume::{RgbaVoxel, RleEncoding, RleScanline};
+use swr_volume::{BrickHandle, BrickedEncoding, RgbaVoxel, RleEncoding, RleScanline};
 
 /// Depth cueing (VolPack feature): colors are attenuated exponentially with
 /// front-to-back slice depth, giving cheap atmospheric depth perception.
@@ -188,6 +189,287 @@ impl<'a> RunCursor<'a> {
     }
 }
 
+/// A monotone cursor over one voxel scanline. Abstracts the flat
+/// [`RunCursor`] and the bricked [`BrickCursor`] behind the two queries the
+/// compositing kernel needs, with identical semantics and identical modeled
+/// cost charging (`VOXEL_FETCH` exactly once per successful `query`,
+/// `RUN_ADVANCE` per run byte consumed), so one traversal implementation
+/// serves both storage layouts and produces bit-identical images.
+pub(crate) trait VoxelCursor {
+    /// Voxel at index `i`, or `None` in a transparent run / out of range.
+    /// `i` is monotonically non-decreasing across calls (modulo the `i0` /
+    /// `i0 + 1` footprint pattern).
+    fn query<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> Option<RgbaVoxel>;
+
+    /// First stored voxel index ≥ `i`, or `n_i` if none remain.
+    fn next_opaque_at_or_after<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> i64;
+}
+
+impl VoxelCursor for RunCursor<'_> {
+    #[inline]
+    fn query<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> Option<RgbaVoxel> {
+        RunCursor::query(self, i, tracer)
+    }
+
+    #[inline]
+    fn next_opaque_at_or_after<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> i64 {
+        RunCursor::next_opaque_at_or_after(self, i, tracer)
+    }
+}
+
+/// A cursor walking one scanline of a [`BrickedEncoding`] across its brick
+/// columns in global `i` coordinates. Within a column it consumes the
+/// brick-local runs (every brick-local scanline starts with a possibly
+/// zero-length transparent run and covers the full column width, so the
+/// transparent/opaque phase resets cleanly at every column boundary);
+/// fully-empty bricks are skipped without touching their payload by
+/// synthesizing one transparent segment spanning the column — the brick-skip
+/// optimization the layout exists for.
+///
+/// For a streamed volume, entering a column pulls the brick through the
+/// [`swr_volume::BrickCache`] and holds it only while the cursor traverses
+/// that column, which is what bounds the resident set.
+pub(crate) struct BrickCursor<'a> {
+    enc: &'a BrickedEncoding,
+    /// Brick row/slab of this scanline (fixed) and its brick-local scanline
+    /// index (identical for every column because `bj` fixes the local width).
+    bj: usize,
+    bk: usize,
+    scan: usize,
+    /// Current brick column, in `0..nb_i`; `nb_i` once exhausted.
+    bi: usize,
+    nb_i: usize,
+    /// Payload of the current column (`None` for empty bricks / exhausted).
+    payload: Option<BrickHandle<'a>>,
+    /// Pending synthetic transparent run length for an empty column.
+    synthetic: i64,
+    run_pos: usize,
+    run_end: usize,
+    vox_pos: usize,
+    seg_lo: i64,
+    seg_hi: i64,
+    opaque: bool,
+    n_i: i64,
+}
+
+impl<'a> BrickCursor<'a> {
+    fn new(enc: &'a BrickedEncoding, k: usize, j: usize, n_i: i64) -> Self {
+        let b = enc.brick_extent();
+        let mut cur = BrickCursor {
+            enc,
+            bj: j / b,
+            bk: k / b,
+            scan: enc.local_scan(k, j),
+            bi: 0,
+            nb_i: enc.grid()[0],
+            payload: None,
+            synthetic: 0,
+            run_pos: 0,
+            run_end: 0,
+            vox_pos: 0,
+            seg_lo: 0,
+            seg_hi: 0,
+            opaque: true,
+            n_i,
+        };
+        cur.enter_column();
+        cur
+    }
+
+    /// Loads column `bi`'s run window (or schedules a synthetic transparent
+    /// segment for an empty brick). Does not emit a segment.
+    fn enter_column(&mut self) {
+        let id = self.enc.brick_id(self.bi, self.bj, self.bk);
+        let (lo, hi) = self.enc.col_range(self.bi);
+        debug_assert_eq!(lo, self.seg_hi, "column entry must be seamless");
+        match self.enc.payload(id) {
+            None => {
+                // Empty brick: skip without decoding — one synthetic
+                // transparent segment covers the whole column.
+                self.payload = None;
+                self.synthetic = hi - lo;
+                self.run_pos = 0;
+                self.run_end = 0;
+            }
+            Some(handle) => {
+                let (runs, voxels) = handle.brick().scan_range(self.scan);
+                self.run_pos = runs.start;
+                self.run_end = runs.end;
+                self.vox_pos = voxels.start;
+                self.synthetic = 0;
+                self.payload = Some(handle);
+            }
+        }
+    }
+
+    #[inline]
+    fn exhausted(&self) -> bool {
+        self.bi >= self.nb_i
+    }
+
+    /// Moves to the next run segment, crossing column boundaries as needed.
+    /// If the last column's runs are consumed this marks the cursor
+    /// exhausted without emitting a segment (the callers re-check).
+    #[inline]
+    fn advance<T: Tracer>(&mut self, tracer: &mut T) {
+        if self.opaque {
+            self.vox_pos += (self.seg_hi - self.seg_lo) as usize;
+        }
+        loop {
+            if self.synthetic > 0 {
+                let len = self.synthetic;
+                self.synthetic = 0;
+                tracer.work(WorkKind::Traverse, costs::RUN_ADVANCE);
+                self.seg_lo = self.seg_hi;
+                self.seg_hi = self.seg_lo + len;
+                self.opaque = false;
+                return;
+            }
+            if self.run_pos < self.run_end {
+                let brick = self
+                    .payload
+                    .as_ref()
+                    .expect("non-synthetic column has a payload")
+                    .brick();
+                let len = brick.runs()[self.run_pos];
+                if T::TRACING {
+                    tracer.read(&brick.runs()[self.run_pos] as *const u8 as usize, 1);
+                }
+                tracer.work(WorkKind::Traverse, costs::RUN_ADVANCE);
+                self.run_pos += 1;
+                self.seg_lo = self.seg_hi;
+                self.seg_hi = self.seg_lo + len as i64;
+                self.opaque = !self.opaque;
+                return;
+            }
+            self.bi += 1;
+            if self.exhausted() {
+                self.payload = None;
+                return;
+            }
+            // Phase baseline at the boundary: the next column's scanline
+            // starts with its own (possibly zero-length) transparent run.
+            self.opaque = true;
+            self.enter_column();
+        }
+    }
+}
+
+impl VoxelCursor for BrickCursor<'_> {
+    #[inline]
+    fn query<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> Option<RgbaVoxel> {
+        if i < 0 || i >= self.n_i {
+            return None;
+        }
+        while self.seg_hi <= i {
+            if self.exhausted() {
+                return None;
+            }
+            self.advance(tracer);
+        }
+        if self.opaque && i >= self.seg_lo {
+            let brick = self
+                .payload
+                .as_ref()
+                .expect("opaque segment lives in a payload brick")
+                .brick();
+            let idx = self.vox_pos + (i - self.seg_lo) as usize;
+            let v = brick.voxels()[idx];
+            if T::TRACING {
+                tracer.read(&brick.voxels()[idx] as *const RgbaVoxel as usize, 4);
+            }
+            tracer.work(WorkKind::Composite, costs::VOXEL_FETCH);
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn next_opaque_at_or_after<T: Tracer>(&mut self, i: i64, tracer: &mut T) -> i64 {
+        loop {
+            if self.opaque && self.seg_hi > i {
+                return self.seg_lo.max(i);
+            }
+            if self.exhausted() {
+                return self.n_i;
+            }
+            self.advance(tracer);
+        }
+    }
+}
+
+/// A per-axis voxel source the compositing kernel can open scanline cursors
+/// on: the flat [`RleEncoding`] or a [`BrickedEncoding`]. Monomorphizing
+/// [`composite_kernel`] over this keeps the flat path's machine code exactly
+/// what it was before bricking existed.
+pub(crate) trait SliceSrc<'v>: Copy {
+    type Cursor: VoxelCursor;
+
+    /// Standard-object dimensions `[n_i, n_j, n_k]`.
+    fn src_std_dims(self) -> [usize; 3];
+
+    /// Conservative non-empty `j` bounds of slice `k` (superset is safe:
+    /// empty scanlines composite nothing).
+    fn src_slice_nonempty_bounds(self, k: usize) -> Option<(usize, usize)>;
+
+    /// Opens a cursor on scanline `(k, j)`, emitting any per-scanline index
+    /// loads to the tracer.
+    fn make_cursor<T: Tracer>(self, k: usize, j: usize, n_i: i64, tracer: &mut T) -> Self::Cursor;
+}
+
+impl<'v> SliceSrc<'v> for &'v RleEncoding {
+    type Cursor = RunCursor<'v>;
+
+    #[inline]
+    fn src_std_dims(self) -> [usize; 3] {
+        self.std_dims()
+    }
+
+    #[inline]
+    fn src_slice_nonempty_bounds(self, k: usize) -> Option<(usize, usize)> {
+        self.slice_nonempty_bounds(k)
+    }
+
+    #[inline]
+    fn make_cursor<T: Tracer>(self, k: usize, j: usize, n_i: i64, tracer: &mut T) -> RunCursor<'v> {
+        if T::TRACING {
+            let (ra, va) = self.scanline_index_addrs(k, j);
+            tracer.read(ra, 4);
+            tracer.read(va, 4);
+        }
+        RunCursor::new(self.scanline(k, j), n_i)
+    }
+}
+
+impl<'v> SliceSrc<'v> for &'v BrickedEncoding {
+    type Cursor = BrickCursor<'v>;
+
+    #[inline]
+    fn src_std_dims(self) -> [usize; 3] {
+        self.std_dims()
+    }
+
+    #[inline]
+    fn src_slice_nonempty_bounds(self, k: usize) -> Option<(usize, usize)> {
+        self.slice_nonempty_bounds(k)
+    }
+
+    #[inline]
+    fn make_cursor<T: Tracer>(
+        self,
+        k: usize,
+        j: usize,
+        n_i: i64,
+        _tracer: &mut T,
+    ) -> BrickCursor<'v> {
+        // The bricked layout has no flat scanline index array; the per-brick
+        // scan tables are read inside the cursor, so no extra index loads
+        // are traced here.
+        BrickCursor::new(self, k, j, n_i)
+    }
+}
+
 /// Source voxel rows feeding the image scanline at fractional row
 /// coordinate `jf`: the floor row, its fractional weight, and the two
 /// in-bounds row indices (the `+1` row participates only with a nonzero
@@ -203,26 +485,20 @@ fn select_rows(jf: f64, n_j: i64) -> (f32, Option<usize>, Option<usize>) {
     (wj, row_a, row_b)
 }
 
-/// Opens run cursors on the two source voxel scanlines (emitting the
+/// Opens run cursors on the two source voxel scanlines (emitting any
 /// scanline-index loads to the tracer). Shared by both compositing paths.
 #[inline]
-fn make_cursors<'e, T: Tracer>(
-    enc: &'e RleEncoding,
+fn make_cursors<'e, E: SliceSrc<'e>, T: Tracer>(
+    enc: E,
     k: usize,
     rows: (Option<usize>, Option<usize>),
     n_i: i64,
     tracer: &mut T,
-) -> (Option<RunCursor<'e>>, Option<RunCursor<'e>>) {
-    let mk = |j: Option<usize>, tracer: &mut T| -> Option<RunCursor<'e>> {
-        let j = j?;
-        if T::TRACING {
-            let (ra, va) = enc.scanline_index_addrs(k, j);
-            tracer.read(ra, 4);
-            tracer.read(va, 4);
-        }
-        Some(RunCursor::new(enc.scanline(k, j), n_i))
-    };
-    (mk(rows.0, tracer), mk(rows.1, tracer))
+) -> (Option<E::Cursor>, Option<E::Cursor>) {
+    let mk = |j: Option<usize>, tracer: &mut T| Some(enc.make_cursor(k, j?, n_i, tracer));
+    let a = mk(rows.0, tracer);
+    let b = mk(rows.1, tracer);
+    (a, b)
 }
 
 /// Early-ray-termination hop from pixel `x`, charging the modeled
@@ -253,9 +529,9 @@ fn skip_opaque<T: Tracer, const STATS: bool>(
 /// loads and work the tracer observes exactly.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn blend_footprint<'v, T: Tracer, const STATS: bool>(
-    cur_a: &mut Option<RunCursor<'v>>,
-    cur_b: &mut Option<RunCursor<'v>>,
+fn blend_footprint<C: VoxelCursor, T: Tracer, const STATS: bool>(
+    cur_a: &mut Option<C>,
+    cur_b: &mut Option<C>,
     i0: i64,
     wgts: [f32; 4],
     cue: Option<f32>,
@@ -358,10 +634,10 @@ pub(crate) trait FootprintSink {
     /// destination pixel `x` in `row`. Must leave the cursors exactly as
     /// [`blend_footprint`] would.
     #[allow(clippy::too_many_arguments)]
-    fn footprint<'v, T: Tracer, const STATS: bool>(
+    fn footprint<C: VoxelCursor, T: Tracer, const STATS: bool>(
         &mut self,
-        cur_a: &mut Option<RunCursor<'v>>,
-        cur_b: &mut Option<RunCursor<'v>>,
+        cur_a: &mut Option<C>,
+        cur_b: &mut Option<C>,
         i0: i64,
         wgts: [f32; 4],
         cue: Option<f32>,
@@ -384,10 +660,10 @@ pub(crate) struct BlendNow;
 
 impl FootprintSink for BlendNow {
     #[inline(always)]
-    fn footprint<'v, T: Tracer, const STATS: bool>(
+    fn footprint<C: VoxelCursor, T: Tracer, const STATS: bool>(
         &mut self,
-        cur_a: &mut Option<RunCursor<'v>>,
-        cur_b: &mut Option<RunCursor<'v>>,
+        cur_a: &mut Option<C>,
+        cur_b: &mut Option<C>,
         i0: i64,
         wgts: [f32; 4],
         cue: Option<f32>,
@@ -397,7 +673,7 @@ impl FootprintSink for BlendNow {
         stats: &mut ScanlineSliceStats,
         tracer: &mut T,
     ) {
-        blend_footprint::<T, STATS>(cur_a, cur_b, i0, wgts, cue, row, x, opts, stats, tracer);
+        blend_footprint::<C, T, STATS>(cur_a, cur_b, i0, wgts, cue, row, x, opts, stats, tracer);
     }
 
     #[inline(always)]
@@ -415,7 +691,28 @@ pub fn composite_scanline_slice<T: Tracer>(
     opts: &CompositeOpts,
     tracer: &mut T,
 ) -> ScanlineSliceStats {
-    composite_kernel::<T, BlendNow, true>(enc, fact, row, k, opts, tracer, &mut BlendNow)
+    composite_kernel::<_, T, BlendNow, true>(enc, fact, row, k, opts, tracer, &mut BlendNow)
+}
+
+/// [`composite_scanline_slice`] over either storage layout. The dispatch
+/// happens once per `(scanline, slice)` step; the kernel itself is
+/// monomorphized per layout.
+pub fn composite_scanline_slice_src<T: Tracer>(
+    src: AxisSrc<'_>,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+    tracer: &mut T,
+) -> ScanlineSliceStats {
+    match src {
+        AxisSrc::Flat(enc) => {
+            composite_kernel::<_, T, BlendNow, true>(enc, fact, row, k, opts, tracer, &mut BlendNow)
+        }
+        AxisSrc::Bricked(enc) => {
+            composite_kernel::<_, T, BlendNow, true>(enc, fact, row, k, opts, tracer, &mut BlendNow)
+        }
+    }
 }
 
 /// The untraced fast path: identical traversal and pixel arithmetic as
@@ -433,9 +730,20 @@ pub fn composite_scanline_slice_untraced(
     k: usize,
     opts: &CompositeOpts,
 ) -> u64 {
-    composite_scanline_slice_untraced_with(
+    untraced_kernel_for(crate::simd::dispatched_kernel(), enc, fact, row, k, opts)
+}
+
+/// [`composite_scanline_slice_untraced`] over either storage layout.
+pub fn composite_scanline_slice_untraced_src(
+    src: AxisSrc<'_>,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+) -> u64 {
+    composite_scanline_slice_untraced_with_src(
         crate::simd::dispatched_kernel(),
-        enc,
+        src,
         fact,
         row,
         k,
@@ -449,6 +757,33 @@ pub fn composite_scanline_slice_untraced(
 pub fn composite_scanline_slice_untraced_with(
     kernel: crate::simd::SimdKernel,
     enc: &RleEncoding,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+) -> u64 {
+    untraced_kernel_for(kernel, enc, fact, row, k, opts)
+}
+
+/// [`composite_scanline_slice_untraced_with`] over either storage layout.
+pub fn composite_scanline_slice_untraced_with_src(
+    kernel: crate::simd::SimdKernel,
+    src: AxisSrc<'_>,
+    fact: &Factorization,
+    row: &mut RowView<'_>,
+    k: usize,
+    opts: &CompositeOpts,
+) -> u64 {
+    match src {
+        AxisSrc::Flat(enc) => untraced_kernel_for(kernel, enc, fact, row, k, opts),
+        AxisSrc::Bricked(enc) => untraced_kernel_for(kernel, enc, fact, row, k, opts),
+    }
+}
+
+/// The untraced kernel body, monomorphized per storage layout.
+fn untraced_kernel_for<'v, E: SliceSrc<'v>>(
+    kernel: crate::simd::SimdKernel,
+    enc: E,
     fact: &Factorization,
     row: &mut RowView<'_>,
     k: usize,
@@ -469,7 +804,7 @@ pub fn composite_scanline_slice_untraced_with(
     #[cfg(feature = "simd")]
     if kernel.lanes() > 1 {
         let mut sink = crate::simd::BatchSink::new(kernel);
-        return composite_kernel::<NullTracer, _, false>(
+        return composite_kernel::<_, NullTracer, _, false>(
             enc,
             fact,
             row,
@@ -481,7 +816,7 @@ pub fn composite_scanline_slice_untraced_with(
         .composited;
     }
     debug_assert_eq!(kernel, SimdKernel::Scalar);
-    composite_kernel::<NullTracer, BlendNow, false>(
+    composite_kernel::<_, NullTracer, BlendNow, false>(
         enc,
         fact,
         row,
@@ -498,8 +833,8 @@ pub fn composite_scanline_slice_untraced_with(
 /// (`STATS = false` compiles the bookkeeping away; only `composited` is
 /// counted).
 #[allow(clippy::too_many_arguments)]
-fn composite_kernel<T: Tracer, S: FootprintSink, const STATS: bool>(
-    enc: &RleEncoding,
+fn composite_kernel<'v, E: SliceSrc<'v>, T: Tracer, S: FootprintSink, const STATS: bool>(
+    enc: E,
     fact: &Factorization,
     row: &mut RowView<'_>,
     k: usize,
@@ -508,12 +843,12 @@ fn composite_kernel<T: Tracer, S: FootprintSink, const STATS: bool>(
     sink: &mut S,
 ) -> ScanlineSliceStats {
     let mut stats = ScanlineSliceStats::default();
-    let [n_i, n_j, _] = enc.std_dims();
+    let [n_i, n_j, _] = enc.src_std_dims();
     let xf = fact.slice_xform(k);
     if (xf.scale - 1.0).abs() > 1e-12 {
         // Perspective slices scale as well as translate; take the
         // general-resampling path.
-        return composite_scaled::<T, S, STATS>(enc, fact, row, k, xf, opts, tracer, sink);
+        return composite_scaled::<E, T, S, STATS>(enc, fact, row, k, xf, opts, tracer, sink);
     }
     let (u_off, v_off) = (xf.off_u, xf.off_v);
     let cue = opts.depth_cue.map(|c| c.factor(fact.depth_of_slice(k)));
@@ -583,7 +918,7 @@ fn composite_kernel<T: Tracer, S: FootprintSink, const STATS: bool>(
             continue;
         }
 
-        sink.footprint::<T, STATS>(
+        sink.footprint::<_, T, STATS>(
             &mut cur_a, &mut cur_b, i0, wgts, cue, row, x as usize, opts, &mut stats, tracer,
         );
         x += 1;
@@ -599,8 +934,8 @@ fn composite_kernel<T: Tracer, S: FootprintSink, const STATS: bool>(
 /// per-pixel epilogue, and the coherence optimizations with the unit-scale
 /// fast path.
 #[allow(clippy::too_many_arguments)]
-fn composite_scaled<T: Tracer, S: FootprintSink, const STATS: bool>(
-    enc: &RleEncoding,
+fn composite_scaled<'v, E: SliceSrc<'v>, T: Tracer, S: FootprintSink, const STATS: bool>(
+    enc: E,
     fact: &Factorization,
     row: &mut RowView<'_>,
     k: usize,
@@ -610,7 +945,7 @@ fn composite_scaled<T: Tracer, S: FootprintSink, const STATS: bool>(
     sink: &mut S,
 ) -> ScanlineSliceStats {
     let mut stats = ScanlineSliceStats::default();
-    let [n_i, n_j, _] = enc.std_dims();
+    let [n_i, n_j, _] = enc.src_std_dims();
     let s = xf.scale;
     debug_assert!(s > 0.0);
     let inv_s = 1.0 / s;
@@ -677,7 +1012,7 @@ fn composite_scaled<T: Tracer, S: FootprintSink, const STATS: bool>(
         let wx0 = 1.0 - fx;
         let wx1 = fx;
         let wgts = [w_a * wx0, w_a * wx1, w_b * wx0, w_b * wx1];
-        sink.footprint::<T, STATS>(
+        sink.footprint::<_, T, STATS>(
             &mut cur_a, &mut cur_b, i0, wgts, cue, row, x as usize, opts, &mut stats, tracer,
         );
         x += 1;
@@ -690,12 +1025,29 @@ fn composite_scaled<T: Tracer, S: FootprintSink, const STATS: bool>(
 /// smallest `y` range outside which no slice deposits any voxel. The new
 /// parallel algorithm composites (and profiles) only this band.
 pub fn occupied_y_bounds(enc: &RleEncoding, fact: &Factorization) -> Option<(usize, usize)> {
-    let n_k = enc.std_dims()[2];
+    occupied_y_bounds_impl(enc, fact)
+}
+
+/// [`occupied_y_bounds`] over either storage layout. The bricked layout's
+/// slice bounds are brick-granular and therefore a conservative superset of
+/// the flat bounds — safe because empty scanlines composite nothing.
+pub fn occupied_y_bounds_src(src: AxisSrc<'_>, fact: &Factorization) -> Option<(usize, usize)> {
+    match src {
+        AxisSrc::Flat(enc) => occupied_y_bounds_impl(enc, fact),
+        AxisSrc::Bricked(enc) => occupied_y_bounds_impl(enc, fact),
+    }
+}
+
+fn occupied_y_bounds_impl<'v, E: SliceSrc<'v>>(
+    enc: E,
+    fact: &Factorization,
+) -> Option<(usize, usize)> {
+    let n_k = enc.src_std_dims()[2];
     let h = fact.inter_h as f64;
     let mut lo = f64::INFINITY;
     let mut hi = f64::NEG_INFINITY;
     for k in 0..n_k {
-        if let Some((j_lo, j_hi)) = enc.slice_nonempty_bounds(k) {
+        if let Some((j_lo, j_hi)) = enc.src_slice_nonempty_bounds(k) {
             let xf = fact.slice_xform(k);
             lo = lo.min(xf.off_v + xf.scale * j_lo as f64 - 1.0);
             hi = hi.max(xf.off_v + xf.scale * j_hi as f64 + 1.0);
@@ -1058,7 +1410,7 @@ mod tests {
                     &enc, &fact, &mut row, k, &opts, &mut t_u,
                 ));
                 let mut row = img_s.row_view(y);
-                st_s.merge(&composite_scaled::<_, _, true>(
+                st_s.merge(&composite_scaled::<_, _, _, true>(
                     &enc,
                     &fact,
                     &mut row,
@@ -1080,6 +1432,83 @@ mod tests {
                     img_s.get(x as isize, y as isize),
                     "pixel ({x}, {y})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn bricked_source_is_bit_identical_to_flat() {
+        // The same scene through a BrickCursor (brick extent 7 forces seams
+        // inside runs and 1-voxel-tail columns on 20-wide scanlines) must
+        // produce bit-identical pixels, the same composited count, and the
+        // same composite-kind modeled cycles as the flat RunCursor, traced
+        // and untraced, parallel and perspective.
+        let dims = [20, 20, 12];
+        let c = vol_from(dims, |x, y, z| ((x * y + z) % 4 == 1) as u8 * 180);
+        let enc_all = swr_volume::EncodedVolume::encode_with_threshold(&c, 1);
+        let bricked = swr_volume::BrickedVolume::from_encoded(&enc_all, 7);
+        for view in [
+            ViewSpec::new(dims).rotate_y(0.45).rotate_x(0.15),
+            ViewSpec::new(dims).rotate_y(0.3).with_perspective(80.0),
+        ] {
+            let fact = swr_geom::Factorization::from_view(&view);
+            let flat = enc_all.for_axis(fact.principal);
+            let brick_enc = bricked.for_axis(fact.principal);
+            let opts = CompositeOpts::default();
+            let mut img_f = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let mut img_b = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let mut img_bu = IntermediateImage::new(fact.inter_w, fact.inter_h);
+            let mut t_f = CountingTracer::default();
+            let mut t_b = CountingTracer::default();
+            let mut st_f = ScanlineSliceStats::default();
+            let mut st_b = ScanlineSliceStats::default();
+            let mut untraced = 0u64;
+            for y in 0..fact.inter_h {
+                for m in 0..fact.slice_count() {
+                    let k = fact.slice_for_step(m);
+                    let mut row = img_f.row_view(y);
+                    st_f.merge(&composite_scanline_slice(
+                        flat, &fact, &mut row, k, &opts, &mut t_f,
+                    ));
+                    let mut row = img_b.row_view(y);
+                    st_b.merge(&composite_scanline_slice_src(
+                        AxisSrc::Bricked(brick_enc),
+                        &fact,
+                        &mut row,
+                        k,
+                        &opts,
+                        &mut t_b,
+                    ));
+                    let mut row = img_bu.row_view(y);
+                    untraced += composite_scanline_slice_untraced_src(
+                        AxisSrc::Bricked(brick_enc),
+                        &fact,
+                        &mut row,
+                        k,
+                        &opts,
+                    );
+                }
+            }
+            assert!(st_f.composited > 0);
+            assert_eq!(st_f.composited, st_b.composited);
+            assert_eq!(st_f.voxels_fetched, st_b.voxels_fetched);
+            assert_eq!(st_b.composited, untraced);
+            // Composite-kind modeled work is layout-invariant (traverse-kind
+            // differs: the bricked stream has more run bytes).
+            assert_eq!(t_f.composite_cycles, t_b.composite_cycles);
+            for y in 0..fact.inter_h {
+                for x in 0..fact.inter_w {
+                    let pf = img_f.get(x as isize, y as isize);
+                    assert_eq!(pf, img_b.get(x as isize, y as isize), "pixel ({x}, {y})");
+                    assert_eq!(pf, img_bu.get(x as isize, y as isize), "pixel ({x}, {y})");
+                }
+            }
+            // Brick-granular occupancy bounds must contain the flat bounds.
+            let fb = occupied_y_bounds(flat, &fact);
+            let bb = occupied_y_bounds_src(AxisSrc::Bricked(brick_enc), &fact);
+            if let Some((flo, fhi)) = fb {
+                let (blo, bhi) = bb.expect("bricked bounds cover flat bounds");
+                assert!(blo <= flo && bhi >= fhi);
             }
         }
     }

@@ -1,9 +1,11 @@
 //! The complete serial shear-warp renderer.
 
 use crate::composite::{
-    composite_scanline_slice, composite_scanline_slice_untraced, CompositeOpts, ScanlineSliceStats,
+    composite_scanline_slice_src, composite_scanline_slice_untraced_src, CompositeOpts,
+    ScanlineSliceStats,
 };
 use crate::image::{FinalImage, IntermediateImage};
+use crate::source::VolumeSrc;
 use crate::tracer::{NullTracer, Tracer};
 use crate::warp::warp_full;
 use swr_error::Error;
@@ -62,6 +64,11 @@ impl SerialRenderer {
         self.render_traced(enc, view, &mut NullTracer).0
     }
 
+    /// Renders one frame from either storage layout.
+    pub fn render_src(&mut self, src: VolumeSrc<'_>, view: &ViewSpec) -> FinalImage {
+        self.render_inner(src, view, &mut NullTracer, None).0
+    }
+
     /// Renders one frame after validating the view, returning
     /// [`Error::InvalidView`] instead of panicking on degenerate view
     /// specifications or a view built for a different volume.
@@ -70,17 +77,26 @@ impl SerialRenderer {
         enc: &EncodedVolume,
         view: &ViewSpec,
     ) -> Result<FinalImage, Error> {
+        self.try_render_src(VolumeSrc::Flat(enc), view)
+    }
+
+    /// [`Self::try_render`] from either storage layout.
+    pub fn try_render_src(
+        &mut self,
+        src: VolumeSrc<'_>,
+        view: &ViewSpec,
+    ) -> Result<FinalImage, Error> {
         view.try_validate()?;
-        if enc.dims() != view.dims {
+        if src.dims() != view.dims {
             return Err(Error::InvalidView {
                 reason: format!(
                     "view dims {:?} do not match the encoded volume dims {:?}",
                     view.dims,
-                    enc.dims()
+                    src.dims()
                 ),
             });
         }
-        Ok(self.render(enc, view))
+        Ok(self.render_src(src, view))
     }
 
     /// Renders one frame, reporting every memory access and work unit to
@@ -92,7 +108,17 @@ impl SerialRenderer {
         view: &ViewSpec,
         tracer: &mut T,
     ) -> (FinalImage, SerialStats) {
-        self.render_inner(enc, view, tracer, None)
+        self.render_inner(VolumeSrc::Flat(enc), view, tracer, None)
+    }
+
+    /// [`Self::render_traced`] from either storage layout.
+    pub fn render_traced_src<T: Tracer>(
+        &mut self,
+        src: VolumeSrc<'_>,
+        view: &ViewSpec,
+        tracer: &mut T,
+    ) -> (FinalImage, SerialStats) {
+        self.render_inner(src, view, tracer, None)
     }
 
     /// Renders one frame while collecting a per-scanline work profile
@@ -104,18 +130,18 @@ impl SerialRenderer {
         tracer: &mut T,
         profile: &mut Vec<u64>,
     ) -> (FinalImage, SerialStats) {
-        self.render_inner(enc, view, tracer, Some(profile))
+        self.render_inner(VolumeSrc::Flat(enc), view, tracer, Some(profile))
     }
 
     fn render_inner<T: Tracer>(
         &mut self,
-        enc: &EncodedVolume,
+        src: VolumeSrc<'_>,
         view: &ViewSpec,
         tracer: &mut T,
         mut profile: Option<&mut Vec<u64>>,
     ) -> (FinalImage, SerialStats) {
         let fact = Factorization::from_view(view);
-        let rle = enc.for_axis(fact.principal);
+        let rle = src.for_axis(fact.principal);
         let mut opts = self.opts;
         if profile.is_some() {
             opts.profile = true;
@@ -154,9 +180,9 @@ impl SerialRenderer {
                 let mut row = inter.row_view(y);
                 if fast {
                     stats.composite.composited +=
-                        composite_scanline_slice_untraced(rle, &fact, &mut row, k, &opts);
+                        composite_scanline_slice_untraced_src(rle, &fact, &mut row, k, &opts);
                 } else {
-                    let s = composite_scanline_slice(rle, &fact, &mut row, k, &opts, tracer);
+                    let s = composite_scanline_slice_src(rle, &fact, &mut row, k, &opts, tracer);
                     if let Some(p) = profile.as_deref_mut() {
                         p[y] += s.work;
                     }

@@ -50,7 +50,7 @@
 //! pins the scalar reference kernel for A/B comparisons.
 
 #[cfg(feature = "simd")]
-use crate::composite::{CompositeOpts, FootprintSink, RunCursor, ScanlineSliceStats};
+use crate::composite::{CompositeOpts, FootprintSink, ScanlineSliceStats, VoxelCursor};
 #[cfg(feature = "simd")]
 use crate::image::{IPixel, RowView};
 #[cfg(feature = "simd")]
@@ -305,10 +305,10 @@ const PAD_LANE: u32 = u32::MAX;
 #[cfg(feature = "simd")]
 impl FootprintSink for BatchSink {
     #[inline]
-    fn footprint<'v, T: Tracer, const STATS: bool>(
+    fn footprint<C: VoxelCursor, T: Tracer, const STATS: bool>(
         &mut self,
-        cur_a: &mut Option<RunCursor<'v>>,
-        cur_b: &mut Option<RunCursor<'v>>,
+        cur_a: &mut Option<C>,
+        cur_b: &mut Option<C>,
         i0: i64,
         wgts: [f32; 4],
         cue: Option<f32>,

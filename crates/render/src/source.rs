@@ -1,0 +1,102 @@
+//! Storage-layout dispatch for the renderers.
+//!
+//! The compositing kernel is monomorphized over the voxel source (see
+//! `SliceSrc` in [`crate::composite`]); these enums are the *runtime* face
+//! of that choice: a renderer holds an [`AxisSrc`] / [`VolumeSrc`] and
+//! dispatches once per `(scanline, slice)` step (or once per frame), so the
+//! flat path's inner loop is exactly the pre-bricking machine code.
+//!
+//! Both layouts produce bit-identical images. The bricked layout exists for
+//! memory locality (brick-local runs, transparent-brick skipping) and for
+//! bounded-resident streaming of beyond-memory volumes.
+
+use swr_geom::Axis;
+use swr_volume::{BrickCacheStats, BrickedEncoding, BrickedVolume, EncodedVolume, RleEncoding};
+
+/// One axis' run-length encoding in either storage layout.
+#[derive(Clone, Copy)]
+pub enum AxisSrc<'a> {
+    /// The flat per-axis RLE (the paper's layout).
+    Flat(&'a RleEncoding),
+    /// The bricked per-axis RLE (locality / streaming layout).
+    Bricked(&'a BrickedEncoding),
+}
+
+impl AxisSrc<'_> {
+    /// Standard-object dimensions `[n_i, n_j, n_k]`.
+    pub fn std_dims(self) -> [usize; 3] {
+        match self {
+            AxisSrc::Flat(e) => e.std_dims(),
+            AxisSrc::Bricked(e) => e.std_dims(),
+        }
+    }
+
+    /// Conservative non-empty `j` bounds of slice `k` (bricked bounds are
+    /// brick-granular supersets of the flat bounds).
+    pub fn slice_nonempty_bounds(self, k: usize) -> Option<(usize, usize)> {
+        match self {
+            AxisSrc::Flat(e) => e.slice_nonempty_bounds(k),
+            AxisSrc::Bricked(e) => e.slice_nonempty_bounds(k),
+        }
+    }
+
+    /// Stored (non-transparent) voxel count for this axis.
+    pub fn stored_voxels(self) -> usize {
+        match self {
+            AxisSrc::Flat(e) => e.stored_voxels(),
+            AxisSrc::Bricked(e) => e.stored_voxels(),
+        }
+    }
+}
+
+/// A fully-encoded volume in either storage layout; what the renderers'
+/// `*_src` entry points accept.
+#[derive(Clone, Copy)]
+pub enum VolumeSrc<'a> {
+    /// Flat per-axis RLEs.
+    Flat(&'a EncodedVolume),
+    /// Bricked per-axis RLEs, optionally streamed through a byte-budgeted
+    /// brick cache.
+    Bricked(&'a BrickedVolume),
+}
+
+impl<'a> VolumeSrc<'a> {
+    /// Original volume dimensions.
+    pub fn dims(self) -> [usize; 3] {
+        match self {
+            VolumeSrc::Flat(e) => e.dims(),
+            VolumeSrc::Bricked(b) => b.dims(),
+        }
+    }
+
+    /// The encoding for principal axis `axis`.
+    pub fn for_axis(self, axis: Axis) -> AxisSrc<'a> {
+        match self {
+            VolumeSrc::Flat(e) => AxisSrc::Flat(e.for_axis(axis)),
+            VolumeSrc::Bricked(b) => AxisSrc::Bricked(b.for_axis(axis)),
+        }
+    }
+
+    /// Brick-cache statistics, if this source streams from a bounded cache.
+    pub fn cache_stats(self) -> Option<BrickCacheStats> {
+        match self {
+            VolumeSrc::Flat(_) => None,
+            VolumeSrc::Bricked(b) => b.cache_stats(),
+        }
+    }
+
+    /// Stable layout name, used as a cache-key discriminant and in bench
+    /// row labels.
+    pub fn layout_name(self) -> &'static str {
+        match self {
+            VolumeSrc::Flat(_) => "flat",
+            VolumeSrc::Bricked(b) => {
+                if b.is_streamed() {
+                    "bricked-streamed"
+                } else {
+                    "bricked"
+                }
+            }
+        }
+    }
+}

@@ -2,18 +2,33 @@
 //!
 //! Classification + encoding dominates session start-up, and concurrent
 //! sessions frequently view the same dataset (the MovieMaker shape: many
-//! clients, one simulation). The cache shares one [`EncodedVolume`] per
-//! distinct `(phantom, base, seed, transfer)` so N sessions pay for one
-//! encode; entries are `Arc`s, so an evicted-then-reinserted entry never
-//! invalidates a session already holding it.
+//! clients, one simulation). The cache shares one encoded dataset per
+//! distinct `(phantom, base, seed, transfer, layout)` so N sessions pay
+//! for one encode; entries are `Arc`s, so an evicted-then-reinserted entry
+//! never invalidates a session already holding it.
+//!
+//! The key carries the full *storage layout* discriminant: a bricked
+//! dataset and a flat one are different cache entries even for the same
+//! phantom, as are two streamed datasets with different resident budgets —
+//! sharing a byte-budgeted [`BrickCache`](swr_volume::BrickCache) between
+//! sessions that asked for different budgets would let one session's
+//! working set evict another's.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use swr_error::Error;
-use swr_volume::{classify, EncodedVolume, Phantom, TransferFunction};
+use swr_render::VolumeSrc;
+use swr_volume::{
+    classify, BrickCacheStats, BrickedVolume, EncodedVolume, Phantom, TransferFunction,
+    DEFAULT_BRICK_EXTENT,
+};
 
-/// Identity of one cacheable dataset.
+/// Brick edge length the service uses when a `hello` names the bricked
+/// layout without a `brick` field.
+pub const DEFAULT_SERVE_BRICK: usize = DEFAULT_BRICK_EXTENT;
+
+/// Identity of one cacheable dataset, storage layout included.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VolumeKey {
     /// Phantom name (`mri`, `ct`, `ellipsoid`).
@@ -24,10 +39,75 @@ pub struct VolumeKey {
     pub seed: u64,
     /// Transfer preset name (empty = the phantom's default).
     pub transfer: String,
+    /// Storage layout: `flat` (per-axis RLE) or `bricked`.
+    pub layout: String,
+    /// Brick edge length for the bricked layout (ignored for flat).
+    pub brick: usize,
+    /// Resident-set byte budget for the bricked layout; `0` keeps every
+    /// brick resident, nonzero streams bricks through a clock cache.
+    pub resident_bytes: u64,
 }
 
-/// A shared, encoded dataset: the RLE volume plus its voxel dimensions.
-pub type CachedVolume = Arc<(EncodedVolume, [usize; 3])>;
+impl VolumeKey {
+    /// A flat-layout key (the pre-layout-aware default).
+    pub fn flat(phantom: &str, base: usize, seed: u64, transfer: &str) -> Self {
+        VolumeKey {
+            phantom: phantom.into(),
+            base,
+            seed,
+            transfer: transfer.into(),
+            layout: "flat".into(),
+            brick: DEFAULT_BRICK_EXTENT,
+            resident_bytes: 0,
+        }
+    }
+}
+
+/// One cached dataset in whichever storage layout its key named.
+#[derive(Debug)]
+pub enum CachedLayout {
+    /// Flat per-axis RLE.
+    Flat(EncodedVolume),
+    /// Bricked per-axis RLE, possibly streamed under a byte budget.
+    Bricked(BrickedVolume),
+}
+
+/// A shared dataset: the encoded volume (in its layout) plus dimensions.
+#[derive(Debug)]
+pub struct CachedDataset {
+    /// Voxel dimensions.
+    pub dims: [usize; 3],
+    layout: CachedLayout,
+}
+
+impl CachedDataset {
+    /// The dataset as a renderer-facing [`VolumeSrc`].
+    pub fn as_src(&self) -> VolumeSrc<'_> {
+        match &self.layout {
+            CachedLayout::Flat(enc) => VolumeSrc::Flat(enc),
+            CachedLayout::Bricked(b) => VolumeSrc::Bricked(b),
+        }
+    }
+
+    /// Stable layout name (`flat` / `bricked`).
+    pub fn layout_name(&self) -> &'static str {
+        match &self.layout {
+            CachedLayout::Flat(_) => "flat",
+            CachedLayout::Bricked(_) => "bricked",
+        }
+    }
+
+    /// Brick-cache counters, when this dataset streams bricks on demand.
+    pub fn cache_stats(&self) -> Option<BrickCacheStats> {
+        match &self.layout {
+            CachedLayout::Flat(_) => None,
+            CachedLayout::Bricked(b) => b.cache_stats(),
+        }
+    }
+}
+
+/// A shared, encoded dataset handle.
+pub type CachedVolume = Arc<CachedDataset>;
 
 /// Shared cache of encoded volumes, keyed by [`VolumeKey`].
 #[derive(Debug, Default)]
@@ -45,9 +125,9 @@ impl VolumeCache {
         Arc::new(Self::default())
     }
 
-    /// Returns the encoded volume (and its dims) for `key`, generating and
-    /// classifying it on first use. Unknown phantom or transfer names are
-    /// typed protocol errors.
+    /// Returns the dataset for `key`, generating, classifying, and (for
+    /// bricked keys) re-bricking it on first use. Unknown phantom,
+    /// transfer, or layout names are typed protocol errors.
     pub fn get(&self, key: &VolumeKey) -> Result<CachedVolume, Error> {
         let mut entries = self.entries.lock();
         if let Some(hit) = entries.get(key) {
@@ -82,7 +162,27 @@ impl VolumeCache {
         let dims = phantom.paper_dims(key.base);
         let vol = phantom.generate(dims, key.seed);
         let enc = EncodedVolume::encode(&classify(&vol, &tf));
-        let entry = Arc::new((enc, dims));
+        let layout = match key.layout.as_str() {
+            "flat" => CachedLayout::Flat(enc),
+            "bricked" if key.brick == 0 => {
+                return Err(Error::Protocol {
+                    reason: "brick extent must be >= 1".into(),
+                })
+            }
+            "bricked" if key.resident_bytes == 0 => {
+                CachedLayout::Bricked(BrickedVolume::from_encoded(&enc, key.brick))
+            }
+            "bricked" => CachedLayout::Bricked(
+                BrickedVolume::from_encoded_streamed(&enc, key.brick, key.resident_bytes)
+                    .map_err(Error::from)?,
+            ),
+            other => {
+                return Err(Error::Protocol {
+                    reason: format!("unknown layout {other:?} (want flat|bricked)"),
+                })
+            }
+        };
+        let entry = Arc::new(CachedDataset { dims, layout });
         if entries.len() >= CACHE_CAP {
             entries.clear();
         }
@@ -108,39 +208,67 @@ mod tests {
     #[test]
     fn identical_keys_share_one_encode() {
         let cache = VolumeCache::new();
-        let key = VolumeKey {
-            phantom: "mri".into(),
-            base: 16,
-            seed: 7,
-            transfer: String::new(),
-        };
+        let key = VolumeKey::flat("mri", 16, 7, "");
         let a = cache.get(&key).expect("first get encodes");
         let b = cache.get(&key).expect("second get hits");
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
-        assert_eq!(a.1, Phantom::MriBrain.paper_dims(16));
+        assert_eq!(a.dims, Phantom::MriBrain.paper_dims(16));
+        assert_eq!(a.layout_name(), "flat");
+        assert!(a.cache_stats().is_none());
+    }
+
+    #[test]
+    fn layout_is_part_of_the_key() {
+        let cache = VolumeCache::new();
+        let flat = cache.get(&VolumeKey::flat("mri", 16, 7, "")).expect("flat");
+        let bricked = cache
+            .get(&VolumeKey {
+                layout: "bricked".into(),
+                brick: 8,
+                ..VolumeKey::flat("mri", 16, 7, "")
+            })
+            .expect("bricked");
+        assert_eq!(cache.len(), 2, "flat and bricked are distinct entries");
+        assert_eq!(flat.layout_name(), "flat");
+        assert_eq!(bricked.layout_name(), "bricked");
+        assert_eq!(flat.dims, bricked.dims);
+        // Resident (unstreamed) bricked datasets have no cache to count.
+        assert!(bricked.cache_stats().is_none());
+    }
+
+    #[test]
+    fn streamed_bricked_dataset_reports_cache_stats() {
+        let cache = VolumeCache::new();
+        let vol = cache
+            .get(&VolumeKey {
+                layout: "bricked".into(),
+                brick: 8,
+                resident_bytes: 4096,
+                ..VolumeKey::flat("mri", 16, 7, "")
+            })
+            .expect("streamed bricked");
+        let stats = vol.cache_stats().expect("streamed layout has a cache");
+        assert!(stats.budget_bytes >= 4096);
     }
 
     #[test]
     fn bad_names_are_protocol_errors() {
         let cache = VolumeCache::new();
         let e = cache
-            .get(&VolumeKey {
-                phantom: "voxelzilla".into(),
-                base: 16,
-                seed: 0,
-                transfer: String::new(),
-            })
+            .get(&VolumeKey::flat("voxelzilla", 16, 0, ""))
             .expect_err("unknown phantom");
         assert!(matches!(e, Error::Protocol { .. }), "{e}");
         let e = cache
-            .get(&VolumeKey {
-                phantom: "mri".into(),
-                base: 16,
-                seed: 0,
-                transfer: "xray".into(),
-            })
+            .get(&VolumeKey::flat("mri", 16, 0, "xray"))
             .expect_err("unknown transfer");
+        assert!(matches!(e, Error::Protocol { .. }), "{e}");
+        let e = cache
+            .get(&VolumeKey {
+                layout: "holographic".into(),
+                ..VolumeKey::flat("mri", 16, 0, "")
+            })
+            .expect_err("unknown layout");
         assert!(matches!(e, Error::Protocol { .. }), "{e}");
         assert!(cache.is_empty());
     }

@@ -486,11 +486,21 @@ impl Connection {
     }
 
     fn open_session(&self, id: u64, h: &HelloReq) -> Result<Session, Error> {
+        // A resident budget implies the bricked layout; otherwise the
+        // client picks the layout explicitly (default flat).
+        let layout = match &h.layout {
+            Some(l) => l.clone(),
+            None if h.resident_mb.is_some() => "bricked".into(),
+            None => "flat".into(),
+        };
         let key = VolumeKey {
             phantom: h.phantom.clone(),
             base: h.base,
             seed: h.seed,
             transfer: h.transfer.clone().unwrap_or_default(),
+            layout,
+            brick: h.brick.unwrap_or(cache::DEFAULT_SERVE_BRICK),
+            resident_bytes: h.resident_mb.map(|mb| mb << 20).unwrap_or(0),
         };
         let enc = self.cache.get(&key)?;
         Ok(Session::new(

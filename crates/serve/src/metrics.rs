@@ -26,6 +26,8 @@
 //! | `serve.session_restarts` | counter | supervised pipeline restarts after panics |
 //! | `serve.faults_injected`  | counter | chaos faults armed via the wire           |
 //! | `serve.flight_dumps`     | counter | flight-recorder forensics files written   |
+//! | `serve.brick_evictions`  | counter | streamed-brick cache evictions (thrash)   |
+//! | `serve.brick_resident_bytes` | gauge | bytes resident in the streamed-brick cache |
 //! | `serve.scrapes`          | counter | metrics expositions served                |
 //! | `serve.frame_latency_ms` | histogram | arrival → frame-response latency        |
 //! | `serve.queue_wait_ms`    | histogram | arrival → dequeue wait                  |

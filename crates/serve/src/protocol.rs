@@ -57,6 +57,13 @@ pub struct HelloReq {
     /// Worker threads requested for this session's parallel renders
     /// (clamped by the server; the global budget may grant fewer).
     pub threads: Option<usize>,
+    /// Storage layout (`flat` | `bricked`); defaults to `flat`, or to
+    /// `bricked` when a resident budget is requested.
+    pub layout: Option<String>,
+    /// Brick edge length for the bricked layout (server default: 32).
+    pub brick: Option<usize>,
+    /// Stream bricks under a resident byte budget of this many MiB.
+    pub resident_mb: Option<u64>,
 }
 
 /// A frame-render request.
@@ -181,6 +188,9 @@ impl Request {
                 seed: get_u64(&v, "seed")?.unwrap_or(42),
                 transfer: v.get("transfer").and_then(Json::as_str).map(String::from),
                 threads: get_u64(&v, "threads")?.map(|t| t as usize),
+                layout: v.get("layout").and_then(Json::as_str).map(String::from),
+                brick: get_u64(&v, "brick")?.map(|b| b as usize),
+                resident_mb: get_u64(&v, "resident_mb")?,
             })),
             "render" => {
                 let fault = match v.get("fault") {

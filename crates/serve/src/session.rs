@@ -24,6 +24,7 @@
 //!    a disconnect.
 
 use crate::budget::{Lease, WorkerBudget};
+use crate::cache::CachedVolume;
 use crate::events::EventLog;
 use crate::metrics::{correlate, ServeMetrics};
 use crate::protocol::{error_response, frame_response, Quality, RenderReq};
@@ -36,7 +37,6 @@ use swr_error::{panic_message, Error};
 use swr_geom::ViewSpec;
 use swr_render::SerialRenderer;
 use swr_telemetry::{FlightRecorder, FrameTelemetry, Json, SpanKind, WorkerLog};
-use swr_volume::EncodedVolume;
 
 /// The graceful-degradation ladder, top to bottom.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -131,7 +131,10 @@ impl Health {
 pub struct Session {
     /// Session id (echoed in `session_failed` errors and logs).
     pub id: u64,
-    enc: Arc<(EncodedVolume, [usize; 3])>,
+    vol: CachedVolume,
+    /// Brick-cache eviction count already attributed to earlier requests
+    /// (the cache is shared, so only the delta is this session's).
+    brick_evictions_seen: u64,
     threads: usize,
     pipe: AnimationPipeline,
     serial: SerialRenderer,
@@ -153,10 +156,10 @@ fn retryable(e: &Error) -> bool {
 }
 
 impl Session {
-    /// Opens a session over an encoded volume.
+    /// Opens a session over an encoded volume (in any storage layout).
     pub fn new(
         id: u64,
-        enc: Arc<(EncodedVolume, [usize; 3])>,
+        vol: CachedVolume,
         threads: usize,
         cfg: Arc<ServeConfig>,
         budget: Arc<WorkerBudget>,
@@ -167,9 +170,11 @@ impl Session {
         let mut pcfg = ParallelConfig::with_procs(threads);
         pcfg.watchdog_timeout = Some(cfg.watchdog);
         metrics.set_gauge(&format!("serve.session.{id}.level"), Level::Full.rank());
+        let brick_evictions_seen = vol.cache_stats().map(|s| s.evictions).unwrap_or(0);
         Session {
             id,
-            enc,
+            vol,
+            brick_evictions_seen,
             threads,
             pipe: AnimationPipeline::new(pcfg),
             serial: SerialRenderer::new(),
@@ -282,7 +287,7 @@ impl Session {
         } else {
             1.0
         };
-        let [dx, dy, dz] = self.enc.1;
+        let [dx, dy, dz] = self.vol.dims;
         let views: Vec<ViewSpec> = (0..req.frames)
             .map(|f| {
                 let mut view = ViewSpec::new([dx, dy, dz])
@@ -309,6 +314,7 @@ impl Session {
             self.metrics.inc("serve.serial_fallbacks");
             let ok = self.serial_frames(req, &views, 0, 1, budget_ms, arrived, deadline, out);
             self.note_outcome(!ok, req.id);
+            self.note_brick_cache(req.id);
             return;
         }
 
@@ -391,6 +397,35 @@ impl Session {
         self.metrics
             .set_gauge("serve.budget_in_use", self.budget.in_use() as f64);
         self.note_outcome(fault_event, req.id);
+        self.note_brick_cache(req.id);
+    }
+
+    /// Settles streamed-brick accounting after a request: publishes the
+    /// eviction delta this request caused on the shared brick cache, and
+    /// emits a `brick_thrash` event when the render's working set exceeded
+    /// the resident budget (any eviction means bricks were decoded, thrown
+    /// away, and will be decoded again next frame).
+    fn note_brick_cache(&mut self, request: u64) {
+        let Some(stats) = self.vol.cache_stats() else {
+            return;
+        };
+        self.metrics
+            .set_gauge("serve.brick_resident_bytes", stats.resident_bytes as f64);
+        let delta = stats.evictions.saturating_sub(self.brick_evictions_seen);
+        self.brick_evictions_seen = stats.evictions;
+        if delta > 0 {
+            self.metrics.add("serve.brick_evictions", delta);
+            self.events.emit(
+                "brick_thrash",
+                self.id,
+                Some(request),
+                &[
+                    ("evictions", Json::U64(delta)),
+                    ("budget_bytes", Json::U64(stats.budget_bytes)),
+                    ("peak_resident_bytes", Json::U64(stats.peak_resident_bytes)),
+                ],
+            );
+        }
     }
 
     /// One parallel rung: renders `views[*next..]` through the pipeline,
@@ -431,7 +466,7 @@ impl Session {
         let degraded_lease = lease.granted() < self.threads;
         let mut blemish = degraded_lease && level == Level::Full;
         let attempt_out = {
-            let enc = &self.enc.0;
+            let src = self.vol.as_src();
             let metrics = &self.metrics;
             let events = &self.events;
             let session = self.id;
@@ -440,7 +475,7 @@ impl Session {
             let responses = &mut *out;
             let blemish = &mut blemish;
             catch_unwind(AssertUnwindSafe(move || {
-                pipe.try_render_animation(enc, &views[base..], |i, img, stats| {
+                pipe.try_render_animation_src(src, &views[base..], |i, img, stats| {
                     let idx = base + i;
                     let elapsed_ms = arrived.elapsed().as_millis() as u64;
                     if Instant::now() >= deadline {
@@ -599,9 +634,9 @@ impl Session {
                 continue;
             }
             let rendered = {
-                let enc = &self.enc.0;
+                let src = self.vol.as_src();
                 let serial = &mut self.serial;
-                catch_unwind(AssertUnwindSafe(move || serial.try_render(enc, view)))
+                catch_unwind(AssertUnwindSafe(move || serial.try_render_src(src, view)))
             };
             let elapsed_ms = arrived.elapsed().as_millis() as u64;
             match rendered {
@@ -680,12 +715,7 @@ mod tests {
     fn test_session(budget: Arc<WorkerBudget>, metrics: ServeMetrics) -> Session {
         let cache = VolumeCache::new();
         let enc = cache
-            .get(&VolumeKey {
-                phantom: "mri".into(),
-                base: 20,
-                seed: 11,
-                transfer: String::new(),
-            })
+            .get(&VolumeKey::flat("mri", 20, 11, ""))
             .expect("phantom encodes");
         let cfg = Arc::new(ServeConfig {
             degrade_after: 2,
@@ -865,12 +895,7 @@ mod tests {
         let events = EventLog::in_memory();
         let cache = VolumeCache::new();
         let enc = cache
-            .get(&VolumeKey {
-                phantom: "mri".into(),
-                base: 20,
-                seed: 11,
-                transfer: String::new(),
-            })
+            .get(&VolumeKey::flat("mri", 20, 11, ""))
             .expect("phantom encodes");
         let cfg = Arc::new(ServeConfig {
             degrade_after: 2,
@@ -933,6 +958,62 @@ mod tests {
         assert_eq!(m.gauge("serve.session.1.level"), Some(0.0));
         s.close();
         assert_eq!(m.gauge("serve.session.1.level"), None);
+    }
+
+    #[test]
+    fn thrashing_brick_cache_counts_evictions_and_emits_the_event() {
+        let m = ServeMetrics::new();
+        let events = EventLog::in_memory();
+        let cache = VolumeCache::new();
+        // A budget far below one slice's working set: every frame decodes,
+        // evicts, and re-decodes bricks.
+        let vol = cache
+            .get(&VolumeKey {
+                layout: "bricked".into(),
+                brick: 8,
+                resident_bytes: 1,
+                ..VolumeKey::flat("mri", 24, 11, "")
+            })
+            .expect("streamed bricked dataset");
+        let cfg = Arc::new(ServeConfig {
+            flight_dir: None,
+            ..ServeConfig::default()
+        });
+        let mut s = Session::new(
+            7,
+            vol,
+            2,
+            cfg,
+            WorkerBudget::new(4),
+            m.clone(),
+            events.clone(),
+        );
+        let mut out = Vec::new();
+        s.handle_render(&render_req(1), Instant::now(), &mut out);
+        assert_eq!(first_type(&out), "frame");
+        assert_eq!(out[0].get("quality").and_then(Json::as_str), Some("full"));
+        assert!(
+            m.counter("serve.brick_evictions") > 0,
+            "a 1-byte budget must evict"
+        );
+        let thrash = events.recent_of("brick_thrash");
+        assert_eq!(thrash.len(), 1, "{thrash:?}");
+        assert_eq!(thrash[0].get("session").and_then(Json::as_u64), Some(7));
+        assert_eq!(thrash[0].get("request").and_then(Json::as_u64), Some(1));
+        assert!(
+            thrash[0]
+                .get("evictions")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0
+        );
+        // A second request attributes only its own delta.
+        let seen = m.counter("serve.brick_evictions");
+        let mut out = Vec::new();
+        s.handle_render(&render_req(2), Instant::now(), &mut out);
+        assert_eq!(first_type(&out), "frame");
+        assert!(m.counter("serve.brick_evictions") > seen);
+        assert_eq!(events.recent_of("brick_thrash").len(), 2);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod brick;
 pub mod classify;
 pub mod gradient;
 pub mod grid;
@@ -31,6 +32,10 @@ pub mod resample;
 pub mod rle;
 pub mod transfer;
 
+pub use brick::{
+    Brick, BrickCache, BrickCacheStats, BrickHandle, BrickMeta, BrickedEncoding, BrickedVolume,
+    DEFAULT_BRICK_EXTENT,
+};
 pub use classify::{
     classify, classify_fast, classify_parallel, classify_with_field, ClassifiedVolume, RgbaVoxel,
 };

@@ -31,6 +31,10 @@ struct Cli {
     depth_cue: Option<f32>,
     fast_classify: bool,
     algorithm: String,
+    layout: String,
+    brick: usize,
+    resident_mb: Option<u64>,
+    pin: Option<Placement>,
     threads: usize,
     watchdog_ms: Option<u64>,
     frames: usize,
@@ -70,6 +74,10 @@ impl Default for Cli {
             depth_cue: None,
             fast_classify: false,
             algorithm: "new".into(),
+            layout: "flat".into(),
+            brick: DEFAULT_BRICK_EXTENT,
+            resident_mb: None,
+            pin: None,
             threads: 4,
             watchdog_ms: None,
             frames: 1,
@@ -106,6 +114,9 @@ impl Cli {
                 Some(std::time::Duration::from_millis(ms))
             };
         }
+        if let Some(pin) = self.pin {
+            cfg.placement = pin;
+        }
         cfg
     }
 }
@@ -130,6 +141,19 @@ rendering:
   --fast-classify              min-max accelerated classification
   --algorithm serial|old|new   renderer (default new)
   --threads T                  worker threads for parallel renderers
+  --pin none|compact|scatter   pin workers to CPUs (default: SWR_PIN env or
+                               none; no-op off Linux or when unprivileged)
+
+memory layout:
+  --layout flat|bricked        RLE storage layout (default flat); bricked
+                               splits each per-axis RLE into BxBxB bricks
+                               with per-brick opacity bounds (bit-identical
+                               output, better locality + brick skipping)
+  --brick B                    brick edge length in voxels (default 32)
+  --resident-mb N              stream bricks from a spill file through a
+                               clock cache holding at most N MiB resident
+                               (implies --layout bricked); prints cache
+                               hit/miss/eviction stats after rendering
   --watchdog-ms MS             scheduler stall watchdog for the parallel
                                renderers (0 disables; env SWR_WATCHDOG_MS;
                                default 10000)
@@ -255,6 +279,36 @@ fn parse() -> Cli {
             }
             "--fast-classify" => cli.fast_classify = true,
             "--algorithm" => cli.algorithm = val("--algorithm"),
+            "--layout" => {
+                cli.layout = val("--layout");
+                if cli.layout != "flat" && cli.layout != "bricked" {
+                    eprintln!("--layout must be flat or bricked, got {}", cli.layout);
+                    usage()
+                }
+            }
+            "--brick" => {
+                cli.brick = val("--brick").parse().unwrap_or_else(|_| usage());
+                if cli.brick == 0 {
+                    eprintln!("--brick must be >= 1");
+                    usage()
+                }
+            }
+            "--resident-mb" => {
+                let mb: u64 = val("--resident-mb").parse().unwrap_or_else(|_| usage());
+                if mb == 0 {
+                    eprintln!("--resident-mb must be >= 1");
+                    usage()
+                }
+                cli.resident_mb = Some(mb);
+                cli.layout = "bricked".into();
+            }
+            "--pin" => {
+                let raw = val("--pin");
+                cli.pin = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--pin must be none, compact, or scatter, got {raw}");
+                    usage()
+                }))
+            }
             "--threads" => {
                 cli.threads = val("--threads").parse().unwrap_or_else(|_| usage());
                 if cli.threads == 0 {
@@ -416,15 +470,21 @@ fn run_client(cli: &Cli, addr: &str) -> ! {
         Json::parse(line.trim()).unwrap_or_else(|e| die(format!("malformed response line: {e}"), 4))
     };
 
-    send(
-        &Json::obj()
-            .with("op", Json::Str("hello".into()))
-            .with("phantom", Json::Str(phantom.into()))
-            .with("base", Json::U64(cli.base as u64))
-            .with("seed", Json::U64(cli.seed))
-            .with("transfer", Json::Str(cli.transfer.clone()))
-            .with("threads", Json::U64(cli.threads as u64)),
-    );
+    let mut hello = Json::obj()
+        .with("op", Json::Str("hello".into()))
+        .with("phantom", Json::Str(phantom.into()))
+        .with("base", Json::U64(cli.base as u64))
+        .with("seed", Json::U64(cli.seed))
+        .with("transfer", Json::Str(cli.transfer.clone()))
+        .with("threads", Json::U64(cli.threads as u64));
+    if cli.layout != "flat" {
+        hello.set("layout", Json::Str(cli.layout.clone()));
+        hello.set("brick", Json::U64(cli.brick as u64));
+    }
+    if let Some(mb) = cli.resident_mb {
+        hello.set("resident_mb", Json::U64(mb));
+    }
+    send(&hello);
     let hello = recv();
     if hello.get("ok").and_then(Json::as_bool) != Some(true) {
         let code = hello
@@ -802,6 +862,42 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
+    // Optional bricked / streamed storage. `src` borrows whichever layout is
+    // active; every renderer produces bit-identical output from either.
+    let bricked: Option<BrickedVolume> = if cli.layout == "bricked" {
+        if cli.simulate.is_some() {
+            eprintln!("--simulate replays task traces from the flat layout only");
+            usage()
+        }
+        let t = std::time::Instant::now();
+        let vol = match cli.resident_mb {
+            Some(mb) => BrickedVolume::from_encoded_streamed(&enc, cli.brick, mb << 20)
+                .unwrap_or_else(|e| {
+                    eprintln!("swrender: cannot spill bricks to disk: {e}");
+                    std::process::exit(1)
+                }),
+            None => BrickedVolume::from_encoded(&enc, cli.brick),
+        };
+        eprintln!(
+            "  bricked {b}x{b}x{b}: {} run bytes{}  ({:.2}s)",
+            vol.storage_bytes(),
+            if vol.is_streamed() {
+                " spilled to disk, decoded on demand"
+            } else {
+                " resident"
+            },
+            t.elapsed().as_secs_f64(),
+            b = cli.brick,
+        );
+        Some(vol)
+    } else {
+        None
+    };
+    let src = match &bricked {
+        Some(b) => VolumeSrc::Bricked(b),
+        None => VolumeSrc::Flat(&enc),
+    };
+
     enum AnyRenderer {
         Serial(Box<SerialRenderer>),
         Old(Box<OldParallelRenderer>),
@@ -882,7 +978,7 @@ fn main() {
         pipe.composite_opts = composite_opts;
         let views: Vec<ViewSpec> = (0..nframes).map(|f| view_at(f).0).collect();
         let t0 = std::time::Instant::now();
-        pipe.try_render_animation(&enc, &views, |frame, image, _stats| {
+        pipe.try_render_animation_src(src, &views, |frame, image, _stats| {
             let path = if nframes > 1 {
                 format!("{}{frame:04}.ppm", cli.output.trim_end_matches(".ppm"))
             } else {
@@ -927,9 +1023,9 @@ fn main() {
             // Route faults by class: worker panics and scheduler stalls exit 3,
             // bad views 2, rather than unwinding out of main.
             let image = match &mut renderer {
-                AnyRenderer::Serial(r) => r.try_render(&enc, &view),
-                AnyRenderer::Old(r) => r.try_render(&enc, &view),
-                AnyRenderer::New(r) => r.try_render(&enc, &view),
+                AnyRenderer::Serial(r) => r.try_render_src(src, &view),
+                AnyRenderer::Old(r) => r.try_render_with_stats_src(src, &view).map(|(i, _)| i),
+                AnyRenderer::New(r) => r.try_render_with_stats_src(src, &view).map(|(i, _)| i),
             }
             .unwrap_or_else(|e| fail(e));
             if let Some(t) = match &mut renderer {
@@ -959,6 +1055,21 @@ fn main() {
                 rec.record(cli.angle_x, ay, cli.zoom, cli.perspective);
             }
         }
+    }
+
+    // One grep-friendly line for CI budget assertions: peak never exceeds
+    // the (clamped) budget by construction of the reserve-before-admit cache.
+    if let Some(stats) = bricked.as_ref().and_then(|v| v.cache_stats()) {
+        eprintln!(
+            "brick cache: hits={} misses={} evictions={} resident_bytes={} peak_resident_bytes={} budget_bytes={} within_budget={}",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.resident_bytes,
+            stats.peak_resident_bytes,
+            stats.budget_bytes,
+            stats.peak_resident_bytes <= stats.budget_bytes,
+        );
     }
 
     #[cfg(feature = "bench")]

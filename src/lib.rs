@@ -66,17 +66,18 @@ pub mod fault {
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use swr_core::{
-        AnimationPipeline, FaultPlan, NewParallelRenderer, OldParallelRenderer, ParallelConfig,
-        RenderStats,
+        host_cpus, AnimationPipeline, FaultPlan, NewParallelRenderer, OldParallelRenderer,
+        ParallelConfig, Placement, RenderStats,
     };
     pub use swr_error::{Error, Result};
     pub use swr_geom::{Affine2, Axis, Factorization, Mat4, Vec3, ViewSpec};
-    pub use swr_render::{FinalImage, SerialRenderer, Tracer};
+    pub use swr_render::{FinalImage, SerialRenderer, Tracer, VolumeSrc};
     pub use swr_telemetry::{
         breakdown_table, chrome_trace, metrics_json, run_metrics_json, validate_chrome_trace,
         FrameTelemetry, Json, MetricsRegistry,
     };
     pub use swr_volume::{
-        classify, ClassifiedVolume, EncodedVolume, Phantom, TransferFunction, Volume,
+        classify, BrickedVolume, ClassifiedVolume, EncodedVolume, Phantom, TransferFunction,
+        Volume, DEFAULT_BRICK_EXTENT,
     };
 }

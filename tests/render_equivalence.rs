@@ -375,6 +375,190 @@ mod simd_sweep {
     }
 }
 
+mod brick_seams {
+    //! The bricked layout re-chunks the already-encoded flat streams, so the
+    //! bricked render path must be bit-identical to the flat path — most
+    //! delicately where a stored run crosses a brick seam, where a brick is
+    //! entirely transparent (no payload at all) or entirely opaque (early
+    //! termination mid-brick), and where tail bricks shrink to a single
+    //! voxel. Each case renders through views that select all three
+    //! principal axes plus a perspective projection, against the serial,
+    //! old-parallel, and new-parallel renderers, resident and streamed.
+
+    use super::*;
+    use shearwarp::volume::{BrickedVolume, ClassifiedVolume, RgbaVoxel};
+
+    /// Encodes a synthetic opacity field (premultiplied color derived from
+    /// alpha) with the store-everything threshold.
+    fn synthetic(dims: [usize; 3], alpha: impl Fn(usize, usize, usize) -> u8) -> EncodedVolume {
+        let mut vox = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    let a = alpha(x, y, z);
+                    vox.push(RgbaVoxel {
+                        r: a,
+                        g: a / 2,
+                        b: a / 3,
+                        a,
+                    });
+                }
+            }
+        }
+        EncodedVolume::encode_with_threshold(&ClassifiedVolume::from_raw(dims, vox), 1)
+    }
+
+    /// Views hitting every principal axis, plus one perspective projection.
+    fn views(dims: [usize; 3]) -> [(&'static str, ViewSpec); 4] {
+        [
+            ("principal-z", ViewSpec::new(dims)),
+            (
+                "principal-x",
+                ViewSpec::new(dims).rotate_y(1.3).rotate_x(0.2),
+            ),
+            (
+                "principal-y",
+                ViewSpec::new(dims).rotate_x(1.3).rotate_y(0.15),
+            ),
+            (
+                "perspective",
+                ViewSpec::new(dims)
+                    .rotate_y(0.4)
+                    .with_perspective(dims[0] as f64 * 2.5),
+            ),
+        ]
+    }
+
+    /// Renders `enc` flat and bricked at `brick` (resident *and* streamed
+    /// under a deliberately starved budget) through every renderer and view,
+    /// asserting bit identity throughout.
+    fn assert_bricked_matches_flat(enc: &EncodedVolume, dims: [usize; 3], brick: usize, tag: &str) {
+        let resident = BrickedVolume::from_encoded(enc, brick);
+        let streamed =
+            BrickedVolume::from_encoded_streamed(enc, brick, 1).expect("spill file in temp dir");
+        assert!(streamed.is_streamed());
+        for (name, view) in views(dims) {
+            let reference = SerialRenderer::new().render(enc, &view);
+            for (layout, vol) in [("resident", &resident), ("streamed", &streamed)] {
+                let src = VolumeSrc::Bricked(vol);
+                let label = format!("{tag}/b{brick}/{name}/{layout}");
+                assert_eq!(
+                    SerialRenderer::new().render_src(src, &view),
+                    reference,
+                    "{label}: serial"
+                );
+                assert_eq!(
+                    OldParallelRenderer::new(ParallelConfig::with_procs(3)).render_src(src, &view),
+                    reference,
+                    "{label}: old parallel"
+                );
+                assert_eq!(
+                    NewParallelRenderer::new(ParallelConfig::with_procs(3)).render_src(src, &view),
+                    reference,
+                    "{label}: new parallel"
+                );
+            }
+        }
+        // The starved budget forced real evictions, and the hard bound held.
+        let stats = streamed.cache_stats().expect("streamed volume has a cache");
+        assert!(stats.misses > 0, "{tag}: streaming never decoded a brick");
+        assert!(
+            stats.peak_resident_bytes <= stats.budget_bytes,
+            "{tag}: resident set exceeded its budget: {stats:?}"
+        );
+    }
+
+    /// Stored runs deliberately straddle the `i = 8` and `i = 16` seams, in
+    /// every scanline of every axis encoding.
+    #[test]
+    fn runs_spanning_brick_seams_are_bit_identical() {
+        let dims = [20, 12, 12];
+        let enc = synthetic(dims, |x, y, z| {
+            // A slab crossing both seams plus per-row jitter so seams are
+            // crossed at different run phases.
+            if (5..13).contains(&x) || (x + 2 * y + 3 * z) % 9 == 0 {
+                60 + ((x * 31 + y * 7 + z * 13) % 120) as u8
+            } else {
+                0
+            }
+        });
+        assert_bricked_matches_flat(&enc, dims, 8, "seam-span");
+    }
+
+    /// One brick stores nothing (metadata-only skip), one brick is wall-to-
+    /// wall opaque (early termination inside the brick), the rest patterned.
+    #[test]
+    fn all_transparent_and_all_opaque_bricks_are_bit_identical() {
+        let dims = [24, 24, 24];
+        let enc = synthetic(dims, |x, y, z| {
+            let hole = x < 8 && y < 8 && z < 8;
+            let wall = (8..16).contains(&x) && (8..16).contains(&y) && (8..16).contains(&z);
+            if hole {
+                0
+            } else if wall {
+                255
+            } else if (x + y + z) % 4 == 0 {
+                70
+            } else {
+                0
+            }
+        });
+        assert_bricked_matches_flat(&enc, dims, 8, "empty+opaque");
+    }
+
+    /// Dims one past a brick multiple leave single-voxel tail bricks on
+    /// every axis; put stored voxels exactly on the tail plane.
+    #[test]
+    fn one_voxel_tail_bricks_are_bit_identical() {
+        let dims = [17, 17, 17];
+        let enc = synthetic(dims, |x, y, z| {
+            let on_tail = x == 16 || y == 16 || z == 16;
+            if on_tail || (x + y + z) % 5 == 1 {
+                40 + ((x * 17 + y * 5 + z) % 150) as u8
+            } else {
+                0
+            }
+        });
+        for brick in [4, 8, 16] {
+            assert_bricked_matches_flat(&enc, dims, brick, "tail");
+        }
+    }
+
+    /// A transparent gap longer than 255 voxels forces the flat encoder to
+    /// split the run; the bricked path re-chunks those splits across many
+    /// wholly-empty bricks between the two stored islands.
+    #[test]
+    fn gaps_longer_than_a_run_length_byte_are_bit_identical() {
+        let dims = [300, 8, 8];
+        let enc = synthetic(dims, |x, y, z| {
+            if !(3..=296).contains(&x) {
+                120 + ((x + y + z) % 90) as u8
+            } else {
+                0
+            }
+        });
+        assert_bricked_matches_flat(&enc, dims, 32, "long-gap");
+    }
+
+    /// The forced-scalar override and the dispatched SIMD kernels must agree
+    /// on the bricked path exactly as they do on the flat path.
+    #[test]
+    fn forced_scalar_and_simd_agree_on_the_bricked_path() {
+        use shearwarp::render::set_force_scalar;
+        let (enc, dims) = dataset(Phantom::MriBrain, 24);
+        let bricked = BrickedVolume::from_encoded(&enc, 8);
+        let src = VolumeSrc::Bricked(&bricked);
+        let view = ViewSpec::new(dims).rotate_y(0.6).rotate_x(0.2);
+        let flat_reference = SerialRenderer::new().render(&enc, &view);
+        set_force_scalar(true);
+        let scalar = SerialRenderer::new().render_src(src, &view);
+        set_force_scalar(false);
+        let dispatched = SerialRenderer::new().render_src(src, &view);
+        assert_eq!(scalar, flat_reference, "forced-scalar bricked vs flat");
+        assert_eq!(dispatched, flat_reference, "dispatched bricked vs flat");
+    }
+}
+
 #[test]
 fn raycaster_and_shearwarp_see_the_same_object() {
     // The two renderers differ in resampling (2-D sheared bilinear vs true
