@@ -218,6 +218,14 @@ fn doc_rows(doc: &Json, which: &str) -> Result<DocRows, String> {
             push(&mut rows, row, format!("resident[{budget}]"));
         }
     }
+    // v6: multi-process rows, keyed by transport (their `threads` mirrors
+    // the shard count, so the x{N} suffix reads as processes).
+    if let Some(sh) = doc.get("sharded").and_then(Json::as_arr) {
+        for row in sh {
+            let transport = row.get("transport").and_then(Json::as_str).unwrap_or("?");
+            push(&mut rows, row, format!("sharded[{transport}]"));
+        }
+    }
     Ok(DocRows { host, base, rows })
 }
 

@@ -20,6 +20,7 @@ use swr_core::{
     Placement,
 };
 use swr_render::{SerialRenderer, VolumeSrc};
+use swr_shard::{resolve_worker_bin, SceneSpec, ShardConfig, ShardTransport, ShardedRenderer};
 use swr_telemetry::Json;
 use swr_volume::{BrickedVolume, Phantom, DEFAULT_BRICK_EXTENT};
 
@@ -36,11 +37,17 @@ use swr_volume::{BrickedVolume, Phantom, DEFAULT_BRICK_EXTENT};
 /// `bricked_locality` series (flat vs bricked storage × pin policy ×
 /// threads) and the `resident_sweep` series (frame time vs brick-cache
 /// byte budget), and switched `new_pipelined` frame timing to completion
-/// timestamps.
-pub const BENCH_SCHEMA: &str = "swr-bench-wall/5";
+/// timestamps. v6 added the `sharded` series: multi-process rendering
+/// through `swr-shard` worker processes, shm vs socket transport per shard
+/// count, with the measured tile traffic and the overhead against the
+/// single-process renderer at the same parallelism (empty when the
+/// `swr-shard` worker binary is not built alongside the benchmark).
+pub const BENCH_SCHEMA: &str = "swr-bench-wall/6";
 
 /// Older schema tags, still accepted by [`validate_bench_json`] so archived
 /// documents keep validating.
+pub const BENCH_SCHEMA_V5: &str = "swr-bench-wall/5";
+/// See [`BENCH_SCHEMA_V5`].
 pub const BENCH_SCHEMA_V4: &str = "swr-bench-wall/4";
 /// See [`BENCH_SCHEMA_V4`].
 pub const BENCH_SCHEMA_V3: &str = "swr-bench-wall/3";
@@ -595,6 +602,165 @@ fn resident_sweep_series(
     rows
 }
 
+/// The transports the sharded series measures: both on Linux (where the
+/// shared-memory rings exist), sockets alone elsewhere.
+fn sharded_transports() -> Vec<ShardTransport> {
+    if cfg!(target_os = "linux") {
+        vec![ShardTransport::Shm, ShardTransport::Socket]
+    } else {
+        vec![ShardTransport::Socket]
+    }
+}
+
+/// The multi-process sharded series: the same rotation rendered through
+/// `swr-shard` worker processes, per shard count and transport, against the
+/// in-process new renderer at the same parallelism. The interesting figure
+/// is `overhead_vs_single_pct` — what crossing process boundaries (tile
+/// serialization, halo routing through the hub, span merge) costs relative
+/// to shared-address-space threads — plus the measured tile traffic that
+/// the SVM cross-check (`swrender --shard-crosscheck`) compares against
+/// page-granularity predictions. Returns no rows when the `swr-shard`
+/// worker binary is not built next to the benchmark (the v6 schema allows
+/// an empty array for exactly this case).
+fn sharded_series(
+    cfg: &WallBenchConfig,
+    phantom: Phantom,
+    enc: &swr_volume::EncodedVolume,
+    dims: [usize; 3],
+    mut progress: impl FnMut(&str),
+) -> Vec<Json> {
+    let worker = match resolve_worker_bin(None) {
+        Ok(p) => p,
+        Err(_) => {
+            progress(
+                "sharded: swr-shard worker binary not found — series skipped \
+                 (build with `cargo build --release --bin swr-shard`)",
+            );
+            return Vec::new();
+        }
+    };
+    let name = match phantom {
+        Phantom::MriBrain => "mri",
+        Phantom::CtHead => "ct",
+        Phantom::SolidEllipsoid => "ellipsoid",
+    };
+    let scene = match SceneSpec::new(name, cfg.base, crate::SEED) {
+        Ok(s) => s,
+        Err(e) => {
+            progress(&format!("sharded: cannot describe scene: {e}"));
+            return Vec::new();
+        }
+    };
+    let label = format!("{phantom:?}");
+    let mut rows = Vec::new();
+    for &shards in &locality_threads(&cfg.threads) {
+        // The single-process anchor: the new renderer with as many threads
+        // as the sharded run has processes, on the identical animation.
+        let mut single = NewParallelRenderer::new(ParallelConfig::with_procs(shards));
+        let s = time_series(dims, cfg.warmup, cfg.frames, |view| {
+            let (_, st) = single.render_with_stats(enc, view);
+            (st.composite_secs, st.warp_secs, st.composited_pixels)
+        });
+        let single_mean = s.mean_frame_ms();
+        for transport in sharded_transports() {
+            let tname = match transport {
+                ShardTransport::Shm => "shm",
+                ShardTransport::Socket => "socket",
+            };
+            let shard_cfg = ShardConfig {
+                shards,
+                transport,
+                worker_bin: Some(worker.clone()),
+                ..ShardConfig::default()
+            };
+            let mut renderer = match ShardedRenderer::try_new(&scene, shard_cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    progress(&format!(
+                        "{label} {dims:?} sharded[{tname}] x{shards}: spawn failed ({e}) — skipped"
+                    ));
+                    continue;
+                }
+            };
+            let mut frame_ms = Vec::with_capacity(cfg.frames);
+            let (mut tiles, mut bytes, mut spins) = (0u64, 0u64, 0u64);
+            let mut degraded_frames = 0u64;
+            let mut render_err = None;
+            for i in 0..cfg.warmup + cfg.frames {
+                let view = view_at(dims, i as f64 * FRAME_STEP_DEG);
+                let start = Instant::now();
+                if let Err(e) = renderer.try_render(&view) {
+                    render_err = Some(e);
+                    break;
+                }
+                let ms = start.elapsed().as_secs_f64() * 1000.0;
+                if i >= cfg.warmup {
+                    frame_ms.push(ms);
+                    tiles += renderer.last_stats.tiles_routed;
+                    bytes += renderer.last_stats.bytes_moved;
+                    spins += renderer.last_stats.ring_full_spins;
+                    if renderer.last_stats.degraded() {
+                        degraded_frames += 1;
+                    }
+                }
+            }
+            if let Some(e) = render_err {
+                progress(&format!(
+                    "{label} {dims:?} sharded[{tname}] x{shards}: render failed ({e}) — skipped"
+                ));
+                continue;
+            }
+            let mean = Series::mean_of(&frame_ms);
+            let min = frame_ms.iter().copied().fold(f64::INFINITY, f64::min);
+            let overhead_pct = if single_mean > 0.0 {
+                (mean - single_mean) / single_mean * 100.0
+            } else {
+                0.0
+            };
+            let frames = frame_ms.len() as u64;
+            progress(&format!(
+                "{label} {dims:?} sharded[{tname}] x{shards}: {mean:.2} ms/frame \
+                 ({overhead_pct:+.1}% vs single-process, {} tile B/frame)",
+                bytes / frames.max(1)
+            ));
+            let mut row = Json::obj()
+                .with("series", Json::Str("sharded".into()))
+                .with("renderer", Json::Str("sharded".into()))
+                .with("transport", Json::Str(tname.into()))
+                .with("shards", Json::U64(shards as u64))
+                // Mirrored as `threads` so the regression gate keys sharded
+                // rows the same way as every other parallel series.
+                .with("threads", Json::U64(shards as u64))
+                .with("frames", Json::U64(frames))
+                .with("mean_frame_ms", Json::F64(mean))
+                .with("min_frame_ms", Json::F64(min))
+                .with("fps", Json::F64(Series::ratio(1000.0, mean)))
+                .with("single_process_mean_ms", Json::F64(single_mean))
+                .with("overhead_vs_single_pct", Json::F64(overhead_pct))
+                .with(
+                    "tiles_routed_per_frame",
+                    Json::F64(Series::ratio(tiles as f64, frames as f64)),
+                )
+                .with(
+                    "bytes_moved_per_frame",
+                    Json::F64(Series::ratio(bytes as f64, frames as f64)),
+                )
+                .with("ring_full_spins", Json::U64(spins))
+                .with("degraded_frames", Json::U64(degraded_frames))
+                .with("phantom", Json::Str(label.clone()))
+                .with(
+                    "dims",
+                    Json::Arr(dims.iter().map(|&d| Json::U64(d as u64)).collect()),
+                );
+            if let Some(stats) = SummaryStats::from_samples(&frame_ms) {
+                row.set("frame_ms_stats", stats.to_json());
+            }
+            rows.push(row);
+        }
+    }
+    rows
+}
+
 /// The benchmark host name: `/proc/sys/kernel/hostname`, the `HOSTNAME`
 /// environment variable, or `"unknown"`.
 pub fn host_name() -> String {
@@ -721,6 +887,7 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
 
     let mut bricked_locality = Vec::new();
     let mut resident_sweep = Vec::new();
+    let mut sharded = Vec::new();
     for &phantom in &cfg.phantoms {
         let dims = phantom.paper_dims(cfg.base);
         let enc = build_dataset(phantom, cfg.base);
@@ -738,6 +905,7 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
             dims,
             &mut progress,
         ));
+        sharded.extend(sharded_series(cfg, phantom, &enc, dims, &mut progress));
     }
 
     let unix_secs = std::time::SystemTime::now()
@@ -769,6 +937,7 @@ pub fn run_wall_bench(cfg: &WallBenchConfig, mut progress: impl FnMut(&str)) -> 
         .with("observability", Json::Arr(observability))
         .with("bricked_locality", Json::Arr(bricked_locality))
         .with("resident_sweep", Json::Arr(resident_sweep))
+        .with("sharded", Json::Arr(sharded))
         .with("results", Json::Arr(results))
 }
 
@@ -857,6 +1026,7 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
         .ok_or("missing schema tag")?;
     if ![
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
         BENCH_SCHEMA_V2,
@@ -866,11 +1036,12 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
     {
         return Err(format!(
             "schema {schema:?}, expected {BENCH_SCHEMA:?} (or legacy \
-             {BENCH_SCHEMA_V4:?} / {BENCH_SCHEMA_V3:?} / {BENCH_SCHEMA_V2:?} / \
-             {BENCH_SCHEMA_V1:?})"
+             {BENCH_SCHEMA_V5:?} / {BENCH_SCHEMA_V4:?} / {BENCH_SCHEMA_V3:?} / \
+             {BENCH_SCHEMA_V2:?} / {BENCH_SCHEMA_V1:?})"
         ));
     }
-    let v5 = schema == BENCH_SCHEMA;
+    let v6 = schema == BENCH_SCHEMA;
+    let v5 = v6 || schema == BENCH_SCHEMA_V5;
     let v4 = v5 || schema == BENCH_SCHEMA_V4;
     let v3 = v4 || schema == BENCH_SCHEMA_V3;
     let v2 = v3 || schema == BENCH_SCHEMA_V2;
@@ -1189,6 +1360,64 @@ pub fn validate_bench_json(doc: &Json) -> Result<(), String> {
             validate_stats(stats, &format!("{ctx}.frame_ms_stats"), frames)?;
         }
     }
+    if v6 {
+        // The array must exist even when empty: an absent key means the
+        // document predates the series, an empty one means the swr-shard
+        // worker binary was not available to the benchmark run.
+        let sharded = doc
+            .get("sharded")
+            .and_then(Json::as_arr)
+            .ok_or("v6 document missing sharded array")?;
+        for (i, row) in sharded.iter().enumerate() {
+            let ctx = format!("sharded[{i}]");
+            if let Some(path) = find_null(row) {
+                return Err(format!("{ctx}{path}: null where a number is required"));
+            }
+            if row.get("series").and_then(Json::as_str) != Some("sharded") {
+                return Err(format!("{ctx}: wrong series tag"));
+            }
+            let transport = row.get("transport").and_then(Json::as_str).unwrap_or("");
+            if !["shm", "socket"].contains(&transport) {
+                return Err(format!("{ctx}: unknown transport {transport:?}"));
+            }
+            let shards = row
+                .get("shards")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{ctx}: missing shards"))?;
+            if shards == 0 {
+                return Err(format!("{ctx}: zero shards"));
+            }
+            for key in ["mean_frame_ms", "single_process_mean_ms", "fps"] {
+                let v = row
+                    .get(key)
+                    .and_then(Json::as_finite_f64)
+                    .ok_or(format!("{ctx}: missing {key}"))?;
+                if v <= 0.0 {
+                    return Err(format!("{ctx}: {key} = {v} not positive/finite"));
+                }
+            }
+            // Any finite figure passes structurally — crossing process
+            // boundaries legitimately costs, and on loaded CI hosts the
+            // sign can even flip; the regression gate tracks the trend.
+            if row
+                .get("overhead_vs_single_pct")
+                .and_then(Json::as_finite_f64)
+                .is_none()
+            {
+                return Err(format!("{ctx}: missing overhead_vs_single_pct"));
+            }
+            for key in ["tiles_routed_per_frame", "bytes_moved_per_frame"] {
+                if row.get(key).and_then(Json::as_finite_f64).is_none() {
+                    return Err(format!("{ctx}: missing {key}"));
+                }
+            }
+            let frames = row.get("frames").and_then(Json::as_u64).unwrap_or(0);
+            let stats = row
+                .get("frame_ms_stats")
+                .ok_or(format!("{ctx}: missing frame_ms_stats"))?;
+            validate_stats(stats, &format!("{ctx}.frame_ms_stats"), frames)?;
+        }
+    }
     Ok(())
 }
 
@@ -1418,6 +1647,70 @@ mod tests {
         assert!(validate_bench_json(&unknown)
             .unwrap_err()
             .contains("unknown kernel"));
+    }
+
+    #[test]
+    fn v5_documents_without_sharded_still_validate() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
+        // Retag as v5 with the sharded series removed — what the archived
+        // BENCH_vm.json of the previous PR looks like.
+        let mut d = Json::obj().with("schema", Json::Str(BENCH_SCHEMA_V5.into()));
+        for (k, v) in doc.as_obj().expect("document object") {
+            if k != "schema" && k != "sharded" {
+                d.set(k, v.clone());
+            }
+        }
+        validate_bench_json(&d).expect("sharded-free v5 document validates");
+        // But a v6 document must carry the sharded key (even if empty).
+        let mut v6 = Json::obj().with("schema", Json::Str(BENCH_SCHEMA.into()));
+        for (k, v) in doc.as_obj().expect("document object") {
+            if k != "schema" && k != "sharded" {
+                v6.set(k, v.clone());
+            }
+        }
+        assert!(validate_bench_json(&v6)
+            .unwrap_err()
+            .contains("sharded array"));
+    }
+
+    #[test]
+    fn v6_validator_rejects_malformed_sharded_rows() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        let doc = run_wall_bench(&WallBenchConfig::smoke(), |_| {});
+        let rebuilt = |rows: Vec<Json>| {
+            let mut d = Json::obj();
+            for (k, v) in doc.as_obj().expect("document object") {
+                if k == "sharded" {
+                    d.set(k, Json::Arr(rows.clone()));
+                } else {
+                    d.set(k, v.clone());
+                }
+            }
+            d
+        };
+        // An empty series is legitimate (worker binary unavailable).
+        validate_bench_json(&rebuilt(vec![])).expect("empty sharded array validates");
+        let bad_tag = Json::obj().with("series", Json::Str("shards".into()));
+        assert!(validate_bench_json(&rebuilt(vec![bad_tag]))
+            .unwrap_err()
+            .contains("series tag"));
+        let bad_transport = Json::obj()
+            .with("series", Json::Str("sharded".into()))
+            .with("transport", Json::Str("pigeon".into()));
+        assert!(validate_bench_json(&rebuilt(vec![bad_transport]))
+            .unwrap_err()
+            .contains("transport"));
+        let no_overhead = Json::obj()
+            .with("series", Json::Str("sharded".into()))
+            .with("transport", Json::Str("shm".into()))
+            .with("shards", Json::U64(2))
+            .with("mean_frame_ms", Json::F64(1.0))
+            .with("single_process_mean_ms", Json::F64(1.0))
+            .with("fps", Json::F64(1000.0));
+        assert!(validate_bench_json(&rebuilt(vec![no_overhead]))
+            .unwrap_err()
+            .contains("overhead_vs_single_pct"));
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   so spatial locality is poor compared with shear-warp's storage-order
 //!   streaming.
 
+// This crate is the comparison baseline, not part of the render pipeline
+// proper — deny (don't just warn on) rot so unused code cannot accumulate
+// here unnoticed between the paper-figure benches that exercise it.
+#![deny(dead_code)]
+
 pub mod octree;
 
 pub use octree::MaxOctree;
@@ -360,5 +365,21 @@ mod tests {
         let (c, view) = scene();
         let rc = RayCaster::new(&c);
         assert_eq!(rc.render(&view), rc.render(&view));
+    }
+
+    #[test]
+    fn perspective_smoke() {
+        // The perspective path shares cast_ray with the parallel path but
+        // builds per-pixel eye rays; it must produce a nonempty image with
+        // every ray accounted for in the stats.
+        let (c, view) = scene();
+        let view = view.with_perspective(400.0);
+        let rc = RayCaster::new(&c);
+        let (img, stats) = rc.render_traced(&view, &mut CountingTracer::default());
+        assert!(img.mean_luma() > 0.5, "perspective image is nonempty");
+        assert!(stats.rays > 0 && stats.samples > 0, "{stats:?}");
+        assert!(stats.steps >= stats.samples, "every sample costs a step");
+        let o = rc.octree;
+        assert_eq!(o.dims(), c.dims(), "octree covers the volume");
     }
 }

@@ -50,6 +50,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 use swr_error::{panic_message, Error};
+use swr_shard::{SceneSpec, ShardTransport};
 use swr_telemetry::Json;
 
 /// Service configuration; [`Default`] gives test-friendly values.
@@ -503,7 +504,7 @@ impl Connection {
             resident_bytes: h.resident_mb.map(|mb| mb << 20).unwrap_or(0),
         };
         let enc = self.cache.get(&key)?;
-        Ok(Session::new(
+        let mut session = Session::new(
             id,
             enc,
             h.threads.unwrap_or(self.cfg.max_threads_per_session),
@@ -511,7 +512,51 @@ impl Connection {
             Arc::clone(&self.budget),
             self.metrics.clone(),
             self.events.clone(),
-        ))
+        );
+        if let Some(shards) = h.shards {
+            // The shard fleet regenerates the scene inside each worker
+            // process, so it composes with the flat layout only; a bricked
+            // layout or resident budget is a config conflict, not a silent
+            // ignore.
+            if key.layout != "flat" || h.resident_mb.is_some() {
+                return Err(Error::InvalidConfig {
+                    reason: "sharded rendering requires the flat layout with no resident budget"
+                        .into(),
+                });
+            }
+            let transport = match h.shard_transport.as_deref() {
+                Some(t) => ShardTransport::parse(t)?,
+                None => ShardTransport::default(),
+            };
+            // A bad shard count is the client's mistake — refuse the hello
+            // with the typed reason before touching the fleet.
+            if !(1..=256).contains(&shards) {
+                return Err(Error::InvalidConfig {
+                    reason: format!("shard count {shards} out of range 1..=256"),
+                });
+            }
+            let scene = match &h.transfer {
+                Some(t) => SceneSpec {
+                    phantom: h.phantom.clone(),
+                    base: h.base,
+                    seed: h.seed,
+                    transfer: t.clone(),
+                },
+                None => SceneSpec::new(&h.phantom, h.base, h.seed)?,
+            };
+            if let Err(e) = session.enable_sharding(&scene, shards, transport) {
+                // Worker binary missing or the fleet failed to spawn: the
+                // session still opens, on the in-process ladder.
+                self.metrics.inc("serve.shard_unavailable");
+                self.events.emit(
+                    "shard_unavailable",
+                    id,
+                    None,
+                    &[("reason", Json::Str(e.wire_code().into()))],
+                );
+            }
+        }
+        Ok(session)
     }
 }
 

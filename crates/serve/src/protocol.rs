@@ -64,6 +64,13 @@ pub struct HelloReq {
     pub brick: Option<usize>,
     /// Stream bricks under a resident byte budget of this many MiB.
     pub resident_mb: Option<u64>,
+    /// Render through this many `swr-shard` worker processes instead of
+    /// in-process threads (flat layout only; falls back to the in-process
+    /// ladder when the worker binary is unavailable).
+    pub shards: Option<usize>,
+    /// Tile transport for the sharded path (`shm` | `socket`); defaults
+    /// to shared memory.
+    pub shard_transport: Option<String>,
 }
 
 /// A frame-render request.
@@ -191,6 +198,11 @@ impl Request {
                 layout: v.get("layout").and_then(Json::as_str).map(String::from),
                 brick: get_u64(&v, "brick")?.map(|b| b as usize),
                 resident_mb: get_u64(&v, "resident_mb")?,
+                shards: get_u64(&v, "shards")?.map(|s| s as usize),
+                shard_transport: v
+                    .get("shard_transport")
+                    .and_then(Json::as_str)
+                    .map(String::from),
             })),
             "render" => {
                 let fault = match v.get("fault") {

@@ -36,6 +36,7 @@ use swr_core::{AnimationPipeline, ParallelConfig};
 use swr_error::{panic_message, Error};
 use swr_geom::ViewSpec;
 use swr_render::SerialRenderer;
+use swr_shard::{SceneSpec, ShardConfig, ShardTransport, ShardedRenderer};
 use swr_telemetry::{FlightRecorder, FrameTelemetry, Json, SpanKind, WorkerLog};
 
 /// The graceful-degradation ladder, top to bottom.
@@ -138,6 +139,10 @@ pub struct Session {
     threads: usize,
     pipe: AnimationPipeline,
     serial: SerialRenderer,
+    /// Multi-process fleet, present when the hello opted into sharding.
+    /// Dropped (fleet shut down) on the first sharded failure; the session
+    /// then renders through the in-process ladder for its lifetime.
+    sharded: Option<ShardedRenderer>,
     health: Health,
     cfg: Arc<ServeConfig>,
     budget: Arc<WorkerBudget>,
@@ -178,6 +183,7 @@ impl Session {
             threads,
             pipe: AnimationPipeline::new(pcfg),
             serial: SerialRenderer::new(),
+            sharded: None,
             health: Health::new(&cfg),
             cfg: Arc::clone(&cfg),
             budget,
@@ -191,6 +197,36 @@ impl Session {
     /// Worker threads this session renders with (post-clamp).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attaches a multi-process shard fleet: `shards` worker processes
+    /// rendering over `transport`, tried before the in-process ladder on
+    /// every Full-level request. The fleet regenerates the scene from
+    /// `scene` in each worker, so the caller must pass the same spec the
+    /// session volume was built from (flat layout only).
+    pub fn enable_sharding(
+        &mut self,
+        scene: &SceneSpec,
+        shards: usize,
+        transport: ShardTransport,
+    ) -> Result<(), Error> {
+        let renderer = ShardedRenderer::try_new(
+            scene,
+            ShardConfig {
+                shards,
+                transport,
+                ..ShardConfig::default()
+            },
+        )?;
+        self.metrics
+            .set_gauge("serve.shard_workers", renderer.alive() as f64);
+        self.sharded = Some(renderer);
+        Ok(())
+    }
+
+    /// Whether this session currently renders through the shard fleet.
+    pub fn sharding(&self) -> bool {
+        self.sharded.is_some()
     }
 
     /// Current degradation level.
@@ -249,6 +285,9 @@ impl Session {
         }
         self.metrics
             .remove_gauge(&format!("serve.session.{}.level", self.id));
+        if self.sharded.take().is_some() {
+            self.metrics.remove_gauge("serve.shard_workers");
+        }
     }
 
     /// Watchdog for a render starting now: the configured ceiling, clamped
@@ -318,6 +357,24 @@ impl Session {
             return;
         }
 
+        // Multi-process rung: a hello that opted into sharding renders
+        // Full-level requests through the worker-process fleet first.
+        // Injected faults target the in-process pipeline, so chaos requests
+        // skip straight to it; a sharded failure shuts the fleet down and
+        // falls through to the ladder for the frames not yet answered.
+        let mut next = 0usize;
+        let mut shard_fault = false;
+        if level == Level::Full && req.fault.is_none() && self.sharded.is_some() {
+            match self.sharded_frames(req, &views, &mut next, budget_ms, arrived, deadline, out) {
+                Some(clean) => {
+                    self.note_outcome(!clean, req.id);
+                    self.note_brick_cache(req.id);
+                    return;
+                }
+                None => shard_fault = true,
+            }
+        }
+
         let Some(lease) = self.budget.acquire_up_to(self.threads) else {
             // Admission control: the global budget is exhausted — shed.
             self.metrics.inc("serve.shed");
@@ -344,8 +401,8 @@ impl Session {
             .set_gauge("serve.budget_in_use", self.budget.in_use() as f64);
 
         // The retry ladder: parallel, parallel retry, serial, typed error.
-        let mut next = 0usize; // frames already answered
-        let mut fault_event = false;
+        // `next` frames were already answered by the sharded rung, if any.
+        let mut fault_event = shard_fault;
         let mut attempt = 1u32;
         loop {
             let outcome = self.parallel_attempt(
@@ -609,6 +666,118 @@ impl Session {
             ],
         );
         Some(shown)
+    }
+
+    /// The sharded rung: renders `views[*next..]` through the worker-process
+    /// fleet, answering each frame as it lands. Returns `Some(clean)` when
+    /// every remaining frame was answered (`clean` = no repair/deadline
+    /// blemish). A render failure or contained panic shuts the fleet down,
+    /// returns `None`, and leaves `*next` at the first unanswered frame so
+    /// the in-process ladder can finish the request.
+    #[allow(clippy::too_many_arguments)]
+    fn sharded_frames(
+        &mut self,
+        req: &RenderReq,
+        views: &[ViewSpec],
+        next: &mut usize,
+        budget_ms: u64,
+        arrived: Instant,
+        deadline: Instant,
+        out: &mut Vec<Json>,
+    ) -> Option<bool> {
+        let mut clean = true;
+        for (idx, view) in views.iter().enumerate().skip(*next) {
+            if Instant::now() >= deadline {
+                self.push_deadline_error(req.id, budget_ms, arrived, out);
+                *next = idx + 1;
+                clean = false;
+                continue;
+            }
+            let rendered = {
+                let sharded = self.sharded.as_mut()?;
+                catch_unwind(AssertUnwindSafe(move || sharded.try_render(view)))
+            };
+            let elapsed_ms = arrived.elapsed().as_millis() as u64;
+            match rendered {
+                Ok(Ok(img)) => {
+                    let (degraded, repaired, tiles, bytes, alive) = {
+                        let sharded = self.sharded.as_ref()?;
+                        let s = &sharded.last_stats;
+                        (
+                            s.degraded(),
+                            s.repaired_shards.clone(),
+                            s.tiles_routed,
+                            s.bytes_moved,
+                            sharded.alive(),
+                        )
+                    };
+                    let quality = if degraded {
+                        Quality::Repaired
+                    } else {
+                        Quality::Full
+                    };
+                    if degraded {
+                        clean = false;
+                        self.events.emit(
+                            "shard_repair",
+                            self.id,
+                            Some(req.id),
+                            &[(
+                                "repaired",
+                                Json::Arr(repaired.iter().map(|&s| Json::U64(s as u64)).collect()),
+                            )],
+                        );
+                    }
+                    self.metrics.inc("serve.frames");
+                    self.metrics.inc("serve.shard_frames");
+                    self.metrics
+                        .inc(&format!("serve.quality.{}", quality.as_str()));
+                    self.metrics.observe("serve.frame_latency_ms", elapsed_ms);
+                    self.metrics.add("serve.shard_tiles_routed", tiles);
+                    self.metrics.add("serve.shard_bytes_moved", bytes);
+                    self.metrics.set_gauge("serve.shard_workers", alive as f64);
+                    out.push(frame_response(
+                        req.id,
+                        idx,
+                        &img,
+                        quality,
+                        1,
+                        degraded,
+                        elapsed_ms,
+                        req.want_pixels,
+                    ));
+                    *next = idx + 1;
+                }
+                Ok(Err(e)) => {
+                    // Coordinator-level failure (every repair rung inside the
+                    // fleet already failed): shut the fleet down and let the
+                    // in-process ladder take over from this frame.
+                    self.metrics.inc("serve.shard_fallbacks");
+                    self.events.emit(
+                        "shard_fallback",
+                        self.id,
+                        Some(req.id),
+                        &[("reason", Json::Str(e.wire_code().into()))],
+                    );
+                    self.sharded = None;
+                    self.metrics.remove_gauge("serve.shard_workers");
+                    return None;
+                }
+                Err(payload) => {
+                    self.metrics.inc("serve.shard_fallbacks");
+                    self.events.emit(
+                        "shard_fallback",
+                        self.id,
+                        Some(req.id),
+                        &[("reason", Json::Str(panic_message(payload.as_ref())))],
+                    );
+                    self.sharded = None;
+                    self.metrics.remove_gauge("serve.shard_workers");
+                    return None;
+                }
+            }
+        }
+        Some(clean)
     }
 
     /// The serial rung (and the whole of `SerialOnly` mode): renders

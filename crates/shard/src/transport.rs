@@ -1,0 +1,310 @@
+//! Pluggable byte transports between the coordinator and its shard workers,
+//! plus the process-spawning glue.
+//!
+//! Both transports present the same shape — a `(reader, writer)` pair of
+//! blocking byte streams carrying [`crate::codec`] frames:
+//!
+//! * **Shared-memory ring** ([`crate::shm`]) — the fast path. One memfd per
+//!   worker holding two SPSC rings; the fd is inherited through spawn and
+//!   its number travels in `SWR_SHARD_SHM_FD`.
+//! * **Unix-domain socket** — the portable/debug path. One listener per
+//!   worker; the socket path travels in `SWR_SHARD_SOCK`.
+//!
+//! Worker death shows up as EOF on the socket transport naturally; on the
+//! shm transport the coordinator's child watcher closes the rings when
+//! `try_wait` reports the exit, which wakes any blocked reader with EOF.
+
+use crate::shm::{self, ShmMap, ShmSide, DEFAULT_RING_CAP, ENV_SHM_CAP, ENV_SHM_FD};
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swr_error::Error;
+
+/// Environment variable carrying the worker's shard id.
+pub const ENV_SHARD_ID: &str = "SWR_SHARD_ID";
+/// Environment variable selecting the transport (`shm` | `socket`).
+pub const ENV_TRANSPORT: &str = "SWR_SHARD_TRANSPORT";
+/// Environment variable carrying the socket path (socket transport).
+pub const ENV_SOCK: &str = "SWR_SHARD_SOCK";
+/// Environment variable overriding worker-binary resolution.
+pub const ENV_WORKER_BIN: &str = "SWR_SHARD_BIN";
+
+/// Transport selection for the sharded render path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardTransport {
+    /// Shared-memory rings over an inherited memfd (Linux; the fast path).
+    #[default]
+    Shm,
+    /// Unix-domain sockets (portable, observable with standard tooling).
+    Socket,
+}
+
+impl ShardTransport {
+    /// Parses `shm` | `socket`.
+    pub fn parse(s: &str) -> Result<ShardTransport, Error> {
+        match s {
+            "shm" => Ok(ShardTransport::Shm),
+            "socket" => Ok(ShardTransport::Socket),
+            other => Err(Error::InvalidConfig {
+                reason: format!("unknown shard transport {other:?} (expected shm|socket)"),
+            }),
+        }
+    }
+
+    /// The name `parse` accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardTransport::Shm => "shm",
+            ShardTransport::Socket => "socket",
+        }
+    }
+}
+
+impl std::fmt::Display for ShardTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One side's endpoints of a coordinator↔worker link.
+pub struct Link {
+    /// Blocking frame-stream reader.
+    pub reader: Box<dyn Read + Send>,
+    /// Blocking frame-stream writer.
+    pub writer: Box<dyn Write + Send>,
+    /// The shared mapping, when this link rides the shm transport (the
+    /// coordinator's watcher closes it to signal worker death).
+    pub shm: Option<Arc<ShmMap>>,
+    /// Full-ring spin counter of this side's writer (shm only).
+    pub full_spins: Option<Arc<AtomicU64>>,
+}
+
+/// A spawned worker process with the coordinator-side link to it.
+pub struct SpawnedWorker {
+    /// The worker process handle.
+    pub child: Child,
+    /// Coordinator-side endpoints.
+    pub link: Link,
+}
+
+static SOCK_NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn sock_path(shard: usize) -> PathBuf {
+    let nonce = SOCK_NONCE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "swr-shard-{}-{}-{}.sock",
+        std::process::id(),
+        shard,
+        nonce
+    ))
+}
+
+fn accept_with_timeout(
+    listener: &UnixListener,
+    child: &mut Child,
+    timeout: Duration,
+) -> Result<UnixStream, Error> {
+    listener.set_nonblocking(true).map_err(Error::from)?;
+    let start = Instant::now();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).map_err(Error::from)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Err(Error::Protocol {
+                        reason: format!("shard worker exited before connecting: {status}"),
+                    });
+                }
+                if start.elapsed() > timeout {
+                    return Err(Error::Protocol {
+                        reason: format!(
+                            "shard worker did not connect within {}ms",
+                            timeout.as_millis()
+                        ),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(Error::from(e)),
+        }
+    }
+}
+
+/// Spawns one `swr-shard` worker and establishes the link to it.
+pub fn spawn_worker(
+    worker_bin: &Path,
+    shard: usize,
+    transport: ShardTransport,
+) -> Result<SpawnedWorker, Error> {
+    let mut cmd = Command::new(worker_bin);
+    cmd.env(ENV_SHARD_ID, shard.to_string())
+        .env(ENV_TRANSPORT, transport.name())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    match transport {
+        ShardTransport::Shm => {
+            let map = Arc::new(ShmMap::create(DEFAULT_RING_CAP)?);
+            cmd.env(ENV_SHM_FD, map.fd().to_string())
+                .env(ENV_SHM_CAP, DEFAULT_RING_CAP.to_string());
+            let child = cmd.spawn().map_err(Error::from)?;
+            let (reader, writer) = shm::endpoints(Arc::clone(&map), ShmSide::Coordinator);
+            let full_spins = Arc::clone(&writer.full_spins);
+            Ok(SpawnedWorker {
+                child,
+                link: Link {
+                    reader: Box::new(reader),
+                    writer: Box::new(writer),
+                    shm: Some(map),
+                    full_spins: Some(full_spins),
+                },
+            })
+        }
+        ShardTransport::Socket => {
+            let path = sock_path(shard);
+            let _ = std::fs::remove_file(&path);
+            let listener = UnixListener::bind(&path).map_err(Error::from)?;
+            cmd.env(ENV_SOCK, &path);
+            let mut child = cmd.spawn().map_err(Error::from)?;
+            let accepted = accept_with_timeout(&listener, &mut child, Duration::from_secs(20));
+            // The path served its one rendezvous either way.
+            let _ = std::fs::remove_file(&path);
+            let stream = match accepted {
+                Ok(s) => s,
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(e);
+                }
+            };
+            let reader = stream.try_clone().map_err(Error::from)?;
+            Ok(SpawnedWorker {
+                child,
+                link: Link {
+                    reader: Box::new(reader),
+                    writer: Box::new(stream),
+                    shm: None,
+                    full_spins: None,
+                },
+            })
+        }
+    }
+}
+
+/// Worker-side: builds the link back to the coordinator from the spawn
+/// environment. Returns `(shard_id, link)`.
+pub fn worker_connect_from_env() -> Result<(usize, Link), Error> {
+    let bad = |reason: String| Error::InvalidConfig { reason };
+    let shard: usize = std::env::var(ENV_SHARD_ID)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(format!("{ENV_SHARD_ID} missing or invalid")))?;
+    let transport = ShardTransport::parse(
+        &std::env::var(ENV_TRANSPORT).map_err(|_| bad(format!("{ENV_TRANSPORT} missing")))?,
+    )?;
+    let link = match transport {
+        ShardTransport::Shm => {
+            let fd: i32 = std::env::var(ENV_SHM_FD)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad(format!("{ENV_SHM_FD} missing or invalid")))?;
+            let cap: usize = std::env::var(ENV_SHM_CAP)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_RING_CAP);
+            let map = Arc::new(ShmMap::from_inherited_fd(fd, cap)?);
+            let (reader, writer) = shm::endpoints(Arc::clone(&map), ShmSide::Worker);
+            let full_spins = Arc::clone(&writer.full_spins);
+            Link {
+                reader: Box::new(reader),
+                writer: Box::new(writer),
+                shm: Some(map),
+                full_spins: Some(full_spins),
+            }
+        }
+        ShardTransport::Socket => {
+            let path = std::env::var(ENV_SOCK).map_err(|_| bad(format!("{ENV_SOCK} missing")))?;
+            let stream = UnixStream::connect(&path).map_err(Error::from)?;
+            let reader = stream.try_clone().map_err(Error::from)?;
+            Link {
+                reader: Box::new(reader),
+                writer: Box::new(stream),
+                shm: None,
+                full_spins: None,
+            }
+        }
+    };
+    Ok((shard, link))
+}
+
+/// Resolves the `swr-shard` worker binary: an explicit override, then
+/// `SWR_SHARD_BIN`, then siblings of the current executable (covering both
+/// `target/<profile>/` for binaries and `target/<profile>/deps/` for test
+/// harnesses).
+pub fn resolve_worker_bin(explicit: Option<&Path>) -> Result<PathBuf, Error> {
+    if let Some(p) = explicit {
+        if p.exists() {
+            return Ok(p.to_path_buf());
+        }
+        return Err(Error::InvalidConfig {
+            reason: format!("shard worker binary not found at {}", p.display()),
+        });
+    }
+    if let Ok(p) = std::env::var(ENV_WORKER_BIN) {
+        let p = PathBuf::from(p);
+        if p.exists() {
+            return Ok(p);
+        }
+        return Err(Error::InvalidConfig {
+            reason: format!("{ENV_WORKER_BIN} points at missing file {}", p.display()),
+        });
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dir = exe.parent();
+        for _ in 0..2 {
+            if let Some(d) = dir {
+                let cand = d.join("swr-shard");
+                if cand.exists() {
+                    return Ok(cand);
+                }
+                dir = d.parent();
+            }
+        }
+    }
+    Err(Error::InvalidConfig {
+        reason: "cannot locate the swr-shard worker binary: build it \
+                 (`cargo build --bin swr-shard`) or set SWR_SHARD_BIN"
+            .into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn transport_parse_round_trips() {
+        for t in [ShardTransport::Shm, ShardTransport::Socket] {
+            assert_eq!(ShardTransport::parse(t.name()).unwrap(), t);
+        }
+        assert!(matches!(
+            ShardTransport::parse("carrier-pigeon"),
+            Err(Error::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn socket_paths_are_unique() {
+        let a = sock_path(0);
+        let b = sock_path(0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,526 @@
+//! Payload serialization for the shard protocol.
+//!
+//! Everything is little-endian and fixed-layout. Floating-point values travel
+//! as raw IEEE-754 bit patterns (`f64::to_bits` / `from_bits`), so the
+//! worker's `Factorization` is constructed from *bit-identical* inputs and
+//! every derived coordinate matches the coordinator's — the foundation of
+//! the sharded path's bit-exact equivalence with the in-process renderers.
+
+use swr_error::Error;
+use swr_geom::{Mat4, Projection, ViewSpec};
+
+fn short(what: &str) -> Error {
+    Error::Protocol {
+        reason: format!("short payload while decoding {what}"),
+    }
+}
+
+/// Little-endian payload writer.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    pub fn new() -> Self {
+        PayloadWriter::default()
+    }
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    pub fn f32_bits(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    /// Length-prefixed UTF-8 string (u16 length).
+    pub fn str16(&mut self, s: &str) {
+        let b = s.as_bytes();
+        self.buf
+            .extend_from_slice(&(b.len().min(u16::MAX as usize) as u16).to_le_bytes());
+        self.buf
+            .extend_from_slice(&b[..b.len().min(u16::MAX as usize)]);
+    }
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian payload reader; every overrun is a typed
+/// [`Error::Protocol`].
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], Error> {
+        if self.pos + n > self.buf.len() {
+            return Err(short(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    pub fn u8(&mut self, what: &str) -> Result<u8, Error> {
+        Ok(self.take(1, what)?[0])
+    }
+    pub fn u32(&mut self, what: &str) -> Result<u32, Error> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    pub fn u64(&mut self, what: &str) -> Result<u64, Error> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    pub fn f64_bits(&mut self, what: &str) -> Result<f64, Error> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+    pub fn f32_bits(&mut self, what: &str) -> Result<f32, Error> {
+        Ok(f32::from_bits(self.u32(what)?))
+    }
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], Error> {
+        self.take(n, what)
+    }
+    pub fn str16(&mut self, what: &str) -> Result<String, Error> {
+        let n = self.take(2, what)?;
+        let n = u16::from_le_bytes([n[0], n[1]]) as usize;
+        let b = self.take(n, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| Error::Protocol {
+            reason: format!("invalid UTF-8 while decoding {what}"),
+        })
+    }
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    /// Fails unless the payload was consumed exactly.
+    pub fn expect_done(&self, what: &str) -> Result<(), Error> {
+        if self.remaining() != 0 {
+            return Err(Error::Protocol {
+                reason: format!("{} trailing bytes after decoding {what}", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a [`ViewSpec`] with exact `f64` bit patterns.
+pub fn encode_view(w: &mut PayloadWriter, view: &ViewSpec) {
+    for d in view.dims {
+        w.u64(d as u64);
+    }
+    for row in view.model.m {
+        for v in row {
+            w.f64_bits(v);
+        }
+    }
+    w.f64_bits(view.zoom);
+    match view.image_size {
+        None => w.u8(0),
+        Some((iw, ih)) => {
+            w.u8(1);
+            w.u64(iw as u64);
+            w.u64(ih as u64);
+        }
+    }
+    match view.projection {
+        Projection::Parallel => w.u8(0),
+        Projection::Perspective { distance } => {
+            w.u8(1);
+            w.f64_bits(distance);
+        }
+    }
+}
+
+/// Decodes a [`ViewSpec`] encoded by [`encode_view`].
+pub fn decode_view(r: &mut PayloadReader<'_>) -> Result<ViewSpec, Error> {
+    let mut dims = [0usize; 3];
+    for d in &mut dims {
+        *d = r.u64("view dims")? as usize;
+    }
+    let mut m = [[0f64; 4]; 4];
+    for row in &mut m {
+        for v in row.iter_mut() {
+            *v = r.f64_bits("view model")?;
+        }
+    }
+    let zoom = r.f64_bits("view zoom")?;
+    let image_size = match r.u8("view image_size tag")? {
+        0 => None,
+        1 => Some((
+            r.u64("view image w")? as usize,
+            r.u64("view image h")? as usize,
+        )),
+        t => {
+            return Err(Error::Protocol {
+                reason: format!("invalid image_size tag {t} in view"),
+            })
+        }
+    };
+    let projection = match r.u8("view projection tag")? {
+        0 => Projection::Parallel,
+        1 => Projection::Perspective {
+            distance: r.f64_bits("view eye distance")?,
+        },
+        t => {
+            return Err(Error::Protocol {
+                reason: format!("invalid projection tag {t} in view"),
+            })
+        }
+    };
+    Ok(ViewSpec {
+        dims,
+        model: Mat4::from_rows(m),
+        zoom,
+        image_size,
+        projection,
+    })
+}
+
+/// The per-frame work order the coordinator sends each shard.
+#[derive(Debug, Clone)]
+pub struct FrameAssignment {
+    /// The frame's view (bit-exact).
+    pub view: ViewSpec,
+    /// Occupied intermediate-image row region `[lo, hi)`.
+    pub region: (u32, u32),
+    /// This shard's owned band `[lo, hi)` within the region.
+    pub band: (u32, u32),
+    /// Send the band's first composited scanline to the coordinator for
+    /// routing to the owner of the band above (false for the first band).
+    pub send_first_row: bool,
+    /// Wait for the scanline at `band.1` (the next band's first row) before
+    /// warping (false for the last band, whose upper guard row is clear).
+    pub expect_halo: bool,
+}
+
+/// Encodes a [`FrameAssignment`].
+pub fn encode_assignment(a: &FrameAssignment) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    encode_view(&mut w, &a.view);
+    w.u32(a.region.0);
+    w.u32(a.region.1);
+    w.u32(a.band.0);
+    w.u32(a.band.1);
+    let mut flags = 0u8;
+    if a.send_first_row {
+        flags |= 1;
+    }
+    if a.expect_halo {
+        flags |= 2;
+    }
+    w.u8(flags);
+    w.finish()
+}
+
+/// Decodes a [`FrameAssignment`].
+pub fn decode_assignment(buf: &[u8]) -> Result<FrameAssignment, Error> {
+    let mut r = PayloadReader::new(buf);
+    let view = decode_view(&mut r)?;
+    let region = (r.u32("region lo")?, r.u32("region hi")?);
+    let band = (r.u32("band lo")?, r.u32("band hi")?);
+    let flags = r.u8("assignment flags")?;
+    r.expect_done("frame assignment")?;
+    if region.0 > region.1 || band.0 > band.1 || band.0 < region.0 || band.1 > region.1 {
+        return Err(Error::Protocol {
+            reason: format!(
+                "inconsistent assignment: band {:?} outside region {:?}",
+                band, region
+            ),
+        });
+    }
+    Ok(FrameAssignment {
+        view,
+        region,
+        band,
+        send_first_row: flags & 1 != 0,
+        expect_halo: flags & 2 != 0,
+    })
+}
+
+/// Encodes one intermediate scanline (premultiplied RGBA `f32`s, exact bits).
+pub fn encode_inter_row(pix: &[swr_render::IPixel]) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u32(pix.len() as u32);
+    for p in pix {
+        w.f32_bits(p.r);
+        w.f32_bits(p.g);
+        w.f32_bits(p.b);
+        w.f32_bits(p.a);
+    }
+    w.finish()
+}
+
+/// Decodes an intermediate scanline into `out` (must match the encoded
+/// width — a mismatch means the peer disagrees about the factorization).
+pub fn decode_inter_row(buf: &[u8], out: &mut [swr_render::IPixel]) -> Result<(), Error> {
+    let mut r = PayloadReader::new(buf);
+    let n = r.u32("inter row width")? as usize;
+    if n != out.len() {
+        return Err(Error::Protocol {
+            reason: format!(
+                "inter row width mismatch: peer sent {n}, local image has {}",
+                out.len()
+            ),
+        });
+    }
+    for p in out.iter_mut() {
+        p.r = r.f32_bits("inter row r")?;
+        p.g = r.f32_bits("inter row g")?;
+        p.b = r.f32_bits("inter row b")?;
+        p.a = r.f32_bits("inter row a")?;
+    }
+    r.expect_done("inter row")?;
+    Ok(())
+}
+
+/// One horizontal run of final-image pixels at row `v` starting at `u0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinalSpan {
+    pub v: u32,
+    pub u0: u32,
+    pub pixels: Vec<[u8; 4]>,
+}
+
+/// Encodes a batch of final spans.
+pub fn encode_final_spans(spans: &[FinalSpan]) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u32(spans.len() as u32);
+    for s in spans {
+        w.u32(s.v);
+        w.u32(s.u0);
+        w.u32(s.pixels.len() as u32);
+        for p in &s.pixels {
+            w.bytes(p);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a batch of final spans.
+pub fn decode_final_spans(buf: &[u8]) -> Result<Vec<FinalSpan>, Error> {
+    let mut r = PayloadReader::new(buf);
+    let count = r.u32("span count")? as usize;
+    // Each span costs at least 12 header bytes; reject counts the payload
+    // cannot possibly hold before reserving anything.
+    if count > buf.len() / 12 {
+        return Err(Error::Protocol {
+            reason: format!("span count {count} exceeds payload capacity"),
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = r.u32("span v")?;
+        let u0 = r.u32("span u0")?;
+        let n = r.u32("span len")? as usize;
+        let bytes = r.bytes(n * 4, "span pixels")?;
+        let mut pixels = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(4) {
+            pixels.push([c[0], c[1], c[2], c[3]]);
+        }
+        out.push(FinalSpan { v, u0, pixels });
+    }
+    r.expect_done("final spans")?;
+    Ok(out)
+}
+
+/// Per-frame transport statistics a worker reports with `FrameDone`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerFrameReport {
+    /// Scanlines the worker composited.
+    pub rows_composited: u32,
+    /// Busy-wait spins on a full shared-memory ring (0 on sockets).
+    pub ring_full_spins: u64,
+    /// Payload bytes the worker sent this frame.
+    pub bytes_sent: u64,
+}
+
+/// Encodes a [`WorkerFrameReport`].
+pub fn encode_report(rep: &WorkerFrameReport) -> Vec<u8> {
+    let mut w = PayloadWriter::new();
+    w.u32(rep.rows_composited);
+    w.u64(rep.ring_full_spins);
+    w.u64(rep.bytes_sent);
+    w.finish()
+}
+
+/// Decodes a [`WorkerFrameReport`].
+pub fn decode_report(buf: &[u8]) -> Result<WorkerFrameReport, Error> {
+    let mut r = PayloadReader::new(buf);
+    let rep = WorkerFrameReport {
+        rows_composited: r.u32("report rows")?,
+        ring_full_spins: r.u64("report spins")?,
+        bytes_sent: r.u64("report bytes")?,
+    };
+    r.expect_done("frame report")?;
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn awkward_view() -> ViewSpec {
+        // Rotation angles chosen so every matrix entry is an "ugly" float;
+        // bit-exactness of the round trip is the whole point.
+        let mut v = ViewSpec::new([41, 37, 23]);
+        v.model = Mat4::rotation_y(0.7342871) * Mat4::rotation_z(1.9812345) * v.model;
+        v.zoom = 1.37500001;
+        v.image_size = Some((129, 67));
+        v.projection = Projection::Perspective {
+            distance: 123.4567890123,
+        };
+        v
+    }
+
+    #[test]
+    fn view_round_trip_is_bit_exact() {
+        for view in [ViewSpec::new([8, 8, 8]), awkward_view()] {
+            let mut w = PayloadWriter::new();
+            encode_view(&mut w, &view);
+            let buf = w.finish();
+            let mut r = PayloadReader::new(&buf);
+            let back = decode_view(&mut r).unwrap();
+            r.expect_done("view").unwrap();
+            assert_eq!(back.dims, view.dims);
+            assert_eq!(back.zoom.to_bits(), view.zoom.to_bits());
+            assert_eq!(back.image_size, view.image_size);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(back.model.m[i][j].to_bits(), view.model.m[i][j].to_bits());
+                }
+            }
+            match (back.projection, view.projection) {
+                (Projection::Parallel, Projection::Parallel) => {}
+                (
+                    Projection::Perspective { distance: a },
+                    Projection::Perspective { distance: b },
+                ) => assert_eq!(a.to_bits(), b.to_bits()),
+                other => panic!("projection mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_round_trip() {
+        let a = FrameAssignment {
+            view: awkward_view(),
+            region: (3, 210),
+            band: (50, 120),
+            send_first_row: true,
+            expect_halo: true,
+        };
+        let back = decode_assignment(&encode_assignment(&a)).unwrap();
+        assert_eq!(back.region, a.region);
+        assert_eq!(back.band, a.band);
+        assert!(back.send_first_row && back.expect_halo);
+    }
+
+    #[test]
+    fn assignment_band_outside_region_rejected() {
+        let a = FrameAssignment {
+            view: ViewSpec::new([8, 8, 8]),
+            region: (10, 20),
+            band: (5, 15),
+            send_first_row: false,
+            expect_halo: false,
+        };
+        assert!(matches!(
+            decode_assignment(&encode_assignment(&a)),
+            Err(swr_error::Error::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn inter_row_round_trip_and_width_check() {
+        let pix: Vec<swr_render::IPixel> = (0..64)
+            .map(|i| swr_render::IPixel {
+                r: (i as f32 * 0.017).fract(),
+                g: 0.5,
+                b: f32::MIN_POSITIVE, // subnormal-adjacent bits survive
+                a: 1.0 - (i as f32 * 0.003),
+            })
+            .collect();
+        let buf = encode_inter_row(&pix);
+        let mut out = vec![swr_render::IPixel::CLEAR; 64];
+        decode_inter_row(&buf, &mut out).unwrap();
+        for (a, b) in pix.iter().zip(&out) {
+            assert_eq!(a.r.to_bits(), b.r.to_bits());
+            assert_eq!(a.a.to_bits(), b.a.to_bits());
+        }
+        let mut wrong = vec![swr_render::IPixel::CLEAR; 63];
+        assert!(matches!(
+            decode_inter_row(&buf, &mut wrong),
+            Err(swr_error::Error::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn final_spans_round_trip() {
+        let spans = vec![
+            FinalSpan {
+                v: 0,
+                u0: 3,
+                pixels: vec![[1, 2, 3, 4], [5, 6, 7, 8]],
+            },
+            FinalSpan {
+                v: 77,
+                u0: 0,
+                pixels: vec![],
+            },
+        ];
+        assert_eq!(
+            decode_final_spans(&encode_final_spans(&spans)).unwrap(),
+            spans
+        );
+    }
+
+    #[test]
+    fn short_payloads_are_typed_errors() {
+        let spans = vec![FinalSpan {
+            v: 1,
+            u0: 2,
+            pixels: vec![[9, 9, 9, 9]; 5],
+        }];
+        let buf = encode_final_spans(&spans);
+        for cut in 0..buf.len() {
+            match decode_final_spans(&buf[..cut]) {
+                Err(swr_error::Error::Protocol { .. }) => {}
+                Ok(_) if cut == buf.len() => {}
+                other => panic!("cut {cut}: expected Protocol error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_round_trip() {
+        let rep = WorkerFrameReport {
+            rows_composited: 41,
+            ring_full_spins: 1_000_000_007,
+            bytes_sent: u64::MAX / 3,
+        };
+        assert_eq!(decode_report(&encode_report(&rep)).unwrap(), rep);
+    }
+}

@@ -1,0 +1,19 @@
+//! `swr-shard` — one shard worker of the multi-process sharded renderer.
+//!
+//! Never launched by hand: the coordinator ([`swr_shard::ShardedRenderer`],
+//! reachable via `swrender --shards N`) spawns one of these per shard and
+//! hands it a link through the environment (`SWR_SHARD_ID`,
+//! `SWR_SHARD_TRANSPORT`, and either `SWR_SHARD_SHM_FD`/`SWR_SHARD_SHM_CAP`
+//! or `SWR_SHARD_SOCK`). The worker composites its owned band of the
+//! intermediate image, exchanges halo scanlines through the coordinator,
+//! warps the band's final pixels, and streams the spans back.
+//!
+//! Exit codes follow [`swr_shard::Error::exit_code`]; a clean shutdown
+//! (Shutdown frame or coordinator EOF) exits 0.
+
+fn main() {
+    if let Err(e) = swr_shard::worker::run_worker() {
+        eprintln!("swr-shard: {e}");
+        std::process::exit(e.exit_code());
+    }
+}

@@ -36,6 +36,10 @@ struct Cli {
     resident_mb: Option<u64>,
     pin: Option<Placement>,
     threads: usize,
+    shards: Option<usize>,
+    shard_transport: Option<String>,
+    shard_kill: Option<usize>,
+    shard_crosscheck: Option<String>,
     watchdog_ms: Option<u64>,
     frames: usize,
     step: f64,
@@ -79,6 +83,10 @@ impl Default for Cli {
             resident_mb: None,
             pin: None,
             threads: 4,
+            shards: None,
+            shard_transport: None,
+            shard_kill: None,
+            shard_crosscheck: None,
             watchdog_ms: None,
             frames: 1,
             step: 3.0,
@@ -143,6 +151,25 @@ rendering:
   --threads T                  worker threads for parallel renderers
   --pin none|compact|scatter   pin workers to CPUs (default: SWR_PIN env or
                                none; no-op off Linux or when unprivileged)
+
+multi-process rendering:
+  --shards N                   render through N separate swr-shard worker
+                               processes: each owns a contiguous band of the
+                               intermediate image, halo scanlines are routed
+                               through the coordinator, and warped spans
+                               merge into a final image bit-identical to the
+                               in-process renderers (synthetic phantoms only)
+  --transport shm|socket       coordinator<->worker byte transport (default
+                               shm: shared-memory rings on Linux; socket:
+                               Unix-domain sockets, portable + traceable)
+  --shard-kill K               chaos: SIGKILL shard K after its first tile
+                               of the frame arrives (exercises the repair
+                               ladder; output stays bit-identical)
+  --shard-crosscheck PATH      also replay the frame's task traces on the
+                               paper's page-based SVM model and write a JSON
+                               report comparing predicted page traffic
+                               (faults + diffs x 4096 B) against measured
+                               tile traffic (tiles_routed, bytes_moved)
 
 memory layout:
   --layout flat|bricked        RLE storage layout (default flat); bricked
@@ -316,6 +343,18 @@ fn parse() -> Cli {
                     usage()
                 }
             }
+            "--shards" => {
+                cli.shards = Some(val("--shards").parse().unwrap_or_else(|_| usage()));
+                if cli.shards == Some(0) {
+                    eprintln!("--shards must be >= 1");
+                    usage()
+                }
+            }
+            "--transport" => cli.shard_transport = Some(val("--transport")),
+            "--shard-kill" => {
+                cli.shard_kill = Some(val("--shard-kill").parse().unwrap_or_else(|_| usage()))
+            }
+            "--shard-crosscheck" => cli.shard_crosscheck = Some(val("--shard-crosscheck")),
             "--watchdog-ms" => {
                 cli.watchdog_ms = Some(val("--watchdog-ms").parse().unwrap_or_else(|_| usage()))
             }
@@ -739,6 +778,199 @@ fn print_watch_table(addr: &str, scrape: u64, samples: &[(String, f64)]) {
     }
 }
 
+/// `--shards N`: renders through N separate `swr-shard` worker processes.
+/// Each worker owns a contiguous band of the intermediate image; halo
+/// scanlines route through the coordinator and the warped spans merge into
+/// a final image bit-identical to the in-process renderers. Publishes the
+/// hub's traffic counters (`shard.tiles_routed`, `shard.bytes_moved`,
+/// `shard.ring_full_spins`) and optionally cross-checks the measured tile
+/// traffic against the paper's page-based SVM model (`--shard-crosscheck`).
+fn run_sharded(cli: &Cli) -> ! {
+    let die = |msg: String| -> ! {
+        eprintln!("swrender: {msg}");
+        std::process::exit(2)
+    };
+    let fail = |e: Error| -> ! {
+        eprintln!("swrender: {e}");
+        std::process::exit(e.exit_code())
+    };
+    let shards = cli.shards.expect("dispatched on --shards");
+    if cli.input.is_some() || cli.raw.is_some() {
+        die("--shards renders synthetic phantoms only (workers regenerate the volume from phantom+seed)".into());
+    }
+    if cli.simulate.is_some() || cli.animate.is_some() || cli.record_trace.is_some() {
+        die("--shards cannot be combined with --simulate/--animate/--record-trace".into());
+    }
+    if cli.layout != "flat" || cli.resident_mb.is_some() {
+        die("--shards composites from the flat RLE layout only".into());
+    }
+    if cli.depth_cue.is_some() || cli.fast_classify {
+        die("--shards workers composite with default options; --depth-cue/--fast-classify are single-process only".into());
+    }
+    if let Some(k) = cli.shard_kill {
+        if k >= shards {
+            die(format!(
+                "--shard-kill {k} is out of range for {shards} shards"
+            ));
+        }
+    }
+    let ph = cli.phantom.expect("default phantom");
+    let phantom = match ph {
+        Phantom::MriBrain => "mri",
+        Phantom::CtHead => "ct",
+        Phantom::SolidEllipsoid => "ellipsoid",
+    };
+    let scene = SceneSpec {
+        phantom: phantom.into(),
+        base: cli.base,
+        seed: cli.seed,
+        transfer: cli.transfer.clone(),
+    };
+    let transport = match cli.shard_transport.as_deref() {
+        Some(s) => ShardTransport::parse(s).unwrap_or_else(|e| fail(e)),
+        None => ShardTransport::default(),
+    };
+    let tname = match transport {
+        ShardTransport::Shm => "shm",
+        ShardTransport::Socket => "socket",
+    };
+    let cfg = ShardConfig {
+        shards,
+        transport,
+        kill_shard: cli.shard_kill,
+        ..ShardConfig::default()
+    };
+
+    eprintln!("spawning {shards} swr-shard workers ({tname} transport)...");
+    let mut renderer = ShardedRenderer::try_new(&scene, cfg).unwrap_or_else(|e| fail(e));
+
+    let dims = ph.paper_dims(cli.base);
+    let view_at = |frame: usize| {
+        let ay = cli.angle_y + frame as f64 * cli.step;
+        let mut view = ViewSpec::new(dims)
+            .rotate_x(cli.angle_x.to_radians())
+            .rotate_y(ay.to_radians())
+            .with_zoom(cli.zoom);
+        if let Some(d) = cli.perspective {
+            view = view.with_perspective(d);
+        }
+        (view, ay)
+    };
+
+    let frames = cli.frames.max(1);
+    let mut reg = MetricsRegistry::new();
+    for frame in 0..frames {
+        let (view, ay) = view_at(frame);
+        let t = std::time::Instant::now();
+        let image = renderer.try_render(&view).unwrap_or_else(|e| fail(e));
+        let stats = renderer.last_stats.clone();
+        reg.inc("shard.frames", 1);
+        reg.inc("shard.tiles_routed", stats.tiles_routed);
+        reg.inc("shard.bytes_moved", stats.bytes_moved);
+        reg.inc("shard.ring_full_spins", stats.ring_full_spins);
+        reg.inc("shard.stale_tiles", stats.stale_tiles);
+        reg.inc("shard.repaired_bands", stats.repaired_shards.len() as u64);
+        if stats.fallback_serial {
+            reg.inc("shard.serial_fallbacks", 1);
+        }
+        let quality = if stats.fallback_serial {
+            "serial-fallback".to_string()
+        } else if !stats.repaired_shards.is_empty() {
+            format!("repaired shards {:?}", stats.repaired_shards)
+        } else {
+            "full".to_string()
+        };
+        let path = if frames > 1 {
+            format!("{}{frame:04}.ppm", cli.output.trim_end_matches(".ppm"))
+        } else {
+            cli.output.clone()
+        };
+        std::fs::write(&path, image.to_ppm()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!(
+            "frame {frame} @ {ay:.1}°: {}x{} in {:.1} ms -> {path}  \
+             (tiles {} bytes {} spins {} quality {quality})",
+            image.width(),
+            image.height(),
+            t.elapsed().as_secs_f64() * 1e3,
+            stats.tiles_routed,
+            stats.bytes_moved,
+            stats.ring_full_spins,
+        );
+    }
+    reg.set_gauge("shard.alive", renderer.alive() as f64);
+    drop(renderer); // orderly Shutdown broadcast + child reaping
+
+    if let Some(path) = &cli.metrics {
+        let doc = metrics_json(&reg);
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!("metrics -> {path}");
+    }
+
+    // The cross-check: the same frame, partitioned the same way, replayed on
+    // the paper's page-based SVM machine. Page faults + diffs × 4 KB is what
+    // a page-granular shared address space would move for this communication
+    // pattern; the tile protocol's measured bytes_moved is what the explicit
+    // message version actually moved.
+    if let Some(path) = &cli.shard_crosscheck {
+        use shearwarp::core::{try_capture_frame, CaptureConfig};
+        use shearwarp::memsim::{try_replay_svm, SvmConfig};
+        eprintln!("replaying frame 0 on the SVM page model for the cross-check...");
+        let enc = scene.try_build().unwrap_or_else(|e| fail(e));
+        let (view, _) = view_at(0);
+        let inter_rows = Factorization::from_view(&view).inter_h;
+        let ccfg = CaptureConfig::from_parallel(&ParallelConfig::with_procs(shards), inter_rows);
+        let mut cap = try_capture_frame(&enc, &view, &ccfg, true, true).unwrap_or_else(|e| fail(e));
+        let profile = cap.profile.clone();
+        let workload = cap.new_workload(shards, &profile);
+        let svm = SvmConfig::paper();
+        let sim = try_replay_svm(&svm, &workload).unwrap_or_else(|e| fail(e));
+        let predicted_bytes = (sim.faults + sim.diffs) * svm.page_bytes;
+        let measured_per_frame = reg.counter("shard.bytes_moved") / frames as u64;
+        let ratio = measured_per_frame as f64 / predicted_bytes.max(1) as f64;
+        let doc = Json::obj()
+            .with("schema", Json::Str("swr-shard-crosscheck/1".into()))
+            .with("shards", Json::U64(shards as u64))
+            .with("transport", Json::Str(tname.into()))
+            .with("page_bytes", Json::U64(svm.page_bytes))
+            .with(
+                "predicted",
+                Json::obj()
+                    .with("page_faults", Json::U64(sim.faults))
+                    .with("page_diffs", Json::U64(sim.diffs))
+                    .with("bytes_per_frame", Json::U64(predicted_bytes))
+                    .with("total_cycles", Json::U64(sim.total_cycles)),
+            )
+            .with(
+                "measured",
+                Json::obj()
+                    .with("frames", Json::U64(frames as u64))
+                    .with("tiles_routed", Json::U64(reg.counter("shard.tiles_routed")))
+                    .with("bytes_moved", Json::U64(reg.counter("shard.bytes_moved")))
+                    .with("bytes_per_frame", Json::U64(measured_per_frame))
+                    .with(
+                        "ring_full_spins",
+                        Json::U64(reg.counter("shard.ring_full_spins")),
+                    ),
+            )
+            .with("measured_over_predicted", Json::F64(ratio));
+        std::fs::write(path, format!("{doc}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        eprintln!(
+            "crosscheck -> {path}  (svm predicts {predicted_bytes} B/frame, \
+             tiles moved {measured_per_frame} B/frame, ratio {ratio:.2})"
+        );
+    }
+    std::process::exit(0)
+}
+
 /// Rebuilds a [`FinalImage`] from a frame response's hex `pixels` payload
 /// (8 hex digits per RGBA pixel, row-major). `None` when pixels were not
 /// requested or the payload is inconsistent with the advertised size.
@@ -796,6 +1028,9 @@ fn main() {
     }
     if let Some(addr) = cli.connect.clone() {
         run_client(&cli, &addr);
+    }
+    if cli.shards.is_some() {
+        run_sharded(&cli);
     }
     if cli.animate.is_some() {
         if cli.algorithm != "new" {

@@ -28,6 +28,11 @@
 //!   protocol, per-session supervision (deadlines, retry ladder, admission
 //!   control, graceful degradation), and the shared worker budget behind
 //!   the `swr-serve` daemon.
+//! * [`shard`] — multi-process sharded compositing: a distributed
+//!   framebuffer where separate `swr-shard` worker processes own contiguous
+//!   bands of the intermediate image, exchange halo scanlines over
+//!   shared-memory rings or Unix sockets, and stream warped spans back to a
+//!   coordinator for a bit-identical deterministic merge.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +57,7 @@ pub use swr_memsim as memsim;
 pub use swr_raycast as raycast;
 pub use swr_render as render;
 pub use swr_serve as serve;
+pub use swr_shard as shard;
 pub use swr_telemetry as telemetry;
 pub use swr_volume as volume;
 
@@ -72,6 +78,7 @@ pub mod prelude {
     pub use swr_error::{Error, Result};
     pub use swr_geom::{Affine2, Axis, Factorization, Mat4, Vec3, ViewSpec};
     pub use swr_render::{FinalImage, SerialRenderer, Tracer, VolumeSrc};
+    pub use swr_shard::{SceneSpec, ShardConfig, ShardTransport, ShardedRenderer};
     pub use swr_telemetry::{
         breakdown_table, chrome_trace, metrics_json, run_metrics_json, validate_chrome_trace,
         FrameTelemetry, Json, MetricsRegistry,

@@ -572,3 +572,87 @@ fn queue_overflow_sheds_at_the_door() {
     c.assert_alive();
     handle.shutdown().expect("clean shutdown");
 }
+
+/// The multi-process path over the wire: a hello carrying `"shards"` opens
+/// a session whose Full-level frames render through the `swr-shard` worker
+/// fleet — bit-identical to the serial reference — while a hello that
+/// cannot spawn the fleet (bogus worker binary) still opens and serves
+/// identical frames on the in-process ladder.
+#[test]
+fn sharded_sessions_render_bit_identically_and_fall_back() {
+    quiet_panics();
+    // The serve daemon resolves the worker binary like any sibling
+    // install; tests pin it to the one cargo just built.
+    std::env::set_var("SWR_SHARD_BIN", env!("CARGO_BIN_EXE_swr-shard"));
+    let reference = reference_hash();
+    let handle = spawn(ServeConfig::default()).expect("spawn server");
+
+    // Session 1: two worker processes, default (shm) transport.
+    let mut c = Client::connect(&handle);
+    c.send(&format!(
+        r#"{{"op":"hello","phantom":"mri","base":{BASE},"seed":{SEED},"shards":2}}"#
+    ));
+    let v = c.recv();
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("hello"), "{v:?}");
+    for id in 1..=2 {
+        c.send_render(id, None);
+        let v = c.recv();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("frame"), "{v:?}");
+        assert_eq!(quality(&v), "full", "{v:?}");
+        assert_eq!(hash(&v), reference, "sharded frame must be bit-identical");
+    }
+    let m = handle.metrics();
+    assert!(
+        m.counter("serve.shard_frames") >= 2,
+        "frames went through the fleet"
+    );
+    assert!(m.counter("serve.shard_bytes_moved") > 0, "tiles crossed it");
+    c.send(r#"{"op":"bye"}"#);
+
+    // Session 2: socket transport, same bit-identity.
+    let mut c = Client::connect(&handle);
+    c.send(&format!(
+        r#"{{"op":"hello","phantom":"mri","base":{BASE},"seed":{SEED},"shards":2,"shard_transport":"socket"}}"#
+    ));
+    assert_eq!(
+        c.recv().get("type").and_then(Json::as_str),
+        Some("hello"),
+        "socket-transport hello"
+    );
+    c.send_render(3, None);
+    let v = c.recv();
+    assert_eq!(quality(&v), "full", "{v:?}");
+    assert_eq!(hash(&v), reference, "socket transport is bit-identical too");
+    c.send(r#"{"op":"bye"}"#);
+
+    // A bogus transport is a typed protocol-level refusal, not a session.
+    let mut c = Client::connect(&handle);
+    c.send(&format!(
+        r#"{{"op":"hello","phantom":"mri","base":{BASE},"seed":{SEED},"shards":2,"shard_transport":"pigeon"}}"#
+    ));
+    let v = c.recv();
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("error"), "{v:?}");
+
+    // Unspawnable fleet (worker binary pointed at nothing): the session
+    // still opens and renders identical frames on the in-process ladder.
+    std::env::set_var("SWR_SHARD_BIN", "/nonexistent/swr-shard");
+    let mut c = Client::connect(&handle);
+    c.send(&format!(
+        r#"{{"op":"hello","phantom":"mri","base":{BASE},"seed":{SEED},"shards":2}}"#
+    ));
+    assert_eq!(
+        c.recv().get("type").and_then(Json::as_str),
+        Some("hello"),
+        "fleet-less hello still opens a session"
+    );
+    c.send_render(4, None);
+    let v = c.recv();
+    assert_eq!(quality(&v), "full", "{v:?}");
+    assert_eq!(hash(&v), reference, "fallback ladder is bit-identical");
+    assert!(
+        handle.metrics().counter("serve.shard_unavailable") >= 1,
+        "the fallback was counted"
+    );
+    std::env::set_var("SWR_SHARD_BIN", env!("CARGO_BIN_EXE_swr-shard"));
+    handle.shutdown().expect("clean shutdown");
+}
